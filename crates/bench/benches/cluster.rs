@@ -1,0 +1,63 @@
+//! Hierarchical clustering over the paper-sized distance matrix, for all
+//! three linkage rules, plus the flat-cut and metric helpers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kastio_bench::{prepare, PAPER_SEED};
+use kastio_cluster::{hierarchical, hierarchical_nn_chain, purity, silhouette, DistanceMatrix, Linkage};
+use kastio_core::{ByteMode, KastKernel, KastOptions};
+use kastio_kernels::{gram_matrix, GramMode};
+use kastio_linalg::{psd_repair, SquareMatrix};
+use kastio_workloads::Dataset;
+
+fn paper_distance() -> (DistanceMatrix, Vec<usize>) {
+    let ds = Dataset::paper(PAPER_SEED);
+    let prepared = prepare(&ds, ByteMode::Preserve);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let gram = gram_matrix(&kernel, &prepared.strings, GramMode::Normalized, 0);
+    let square = SquareMatrix::from_row_major(gram.n(), gram.as_slice().to_vec());
+    let repaired = psd_repair(&square).expect("symmetric").matrix;
+    (DistanceMatrix::from_gram(repaired.n(), repaired.as_slice()), prepared.labels)
+}
+
+fn bench_hac(c: &mut Criterion) {
+    let (distance, labels) = paper_distance();
+    let mut group = c.benchmark_group("hac_110");
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{linkage:?}")),
+            &linkage,
+            |bencher, &l| {
+                bencher.iter(|| black_box(hierarchical(black_box(&distance), l)));
+            },
+        );
+    }
+    for linkage in [Linkage::Single, Linkage::Average] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("nn_chain_{linkage:?}")),
+            &linkage,
+            |bencher, &l| {
+                bencher.iter(|| black_box(hierarchical_nn_chain(black_box(&distance), l)));
+            },
+        );
+    }
+    group.finish();
+
+    let dendro = hierarchical(&distance, Linkage::Single);
+    let mut group = c.benchmark_group("cluster_postprocessing");
+    group.bench_function("cut_k3", |bencher| {
+        bencher.iter(|| black_box(dendro.cut(black_box(3))));
+    });
+    let pred = dendro.cut(3);
+    group.bench_function("silhouette", |bencher| {
+        bencher.iter(|| black_box(silhouette(black_box(&distance), black_box(&pred))));
+    });
+    group.bench_function("purity", |bencher| {
+        bencher.iter(|| black_box(purity(black_box(&pred), black_box(&labels))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hac);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Eigendecomposition, PSD repair and Kernel PCA on the paper-sized
+//! (110×110) similarity matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kastio_bench::{prepare, PAPER_SEED};
+use kastio_core::{ByteMode, KastKernel, KastOptions};
+use kastio_kernels::{gram_matrix, GramMode};
+use kastio_linalg::{center_gram, eigh, eigh_ql, psd_repair, KernelPca, SquareMatrix};
+use kastio_workloads::Dataset;
+
+fn paper_gram() -> SquareMatrix {
+    let ds = Dataset::paper(PAPER_SEED);
+    let prepared = prepare(&ds, ByteMode::Preserve);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let gram = gram_matrix(&kernel, &prepared.strings, GramMode::Normalized, 0);
+    SquareMatrix::from_row_major(gram.n(), gram.as_slice().to_vec())
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let gram = paper_gram();
+    let mut group = c.benchmark_group("linalg_110");
+    group.sample_size(10);
+    group.bench_function("eigh_jacobi", |bencher| {
+        bencher.iter(|| black_box(eigh(black_box(&gram)).expect("symmetric")));
+    });
+    group.bench_function("eigh_ql", |bencher| {
+        bencher.iter(|| black_box(eigh_ql(black_box(&gram)).expect("symmetric")));
+    });
+    group.bench_function("psd_repair", |bencher| {
+        bencher.iter(|| black_box(psd_repair(black_box(&gram)).expect("symmetric")));
+    });
+    group.bench_function("center", |bencher| {
+        bencher.iter(|| black_box(center_gram(black_box(&gram))));
+    });
+    let repaired = psd_repair(&gram).expect("symmetric").matrix;
+    group.bench_function("kernel_pca_top2", |bencher| {
+        bencher.iter(|| black_box(KernelPca::fit(black_box(&repaired), 2).expect("fits")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen);
+criterion_main!(benches);

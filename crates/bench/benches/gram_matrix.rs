@@ -1,0 +1,55 @@
+//! Full 110×110 similarity-matrix construction (the §4.1 workload), for
+//! the Kast kernel at several cut weights and for the blended baseline —
+//! sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kastio_bench::{prepare, PAPER_SEED};
+use kastio_core::{ByteMode, IdString, KastKernel, KastOptions};
+use kastio_kernels::{gram_matrix, BlendedSpectrumKernel, GramMode, WeightingMode};
+use kastio_workloads::Dataset;
+
+fn strings() -> Vec<IdString> {
+    let ds = Dataset::paper(PAPER_SEED);
+    prepare(&ds, ByteMode::Preserve).strings
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let strings = strings();
+    let mut group = c.benchmark_group("gram_matrix_110");
+    group.sample_size(10);
+    for cut in [2u64, 16, 256] {
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+        group.bench_with_input(BenchmarkId::new("kast", cut), &cut, |bencher, _| {
+            bencher.iter(|| {
+                black_box(gram_matrix(&kernel, black_box(&strings), GramMode::Normalized, 0))
+            });
+        });
+    }
+    let blended = BlendedSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+    group.bench_function("blended_k2", |bencher| {
+        bencher.iter(|| {
+            black_box(gram_matrix(&blended, black_box(&strings), GramMode::Normalized, 0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let strings = strings();
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let mut group = c.benchmark_group("gram_matrix_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bencher, &t| {
+            bencher.iter(|| {
+                black_box(gram_matrix(&kernel, black_box(&strings), GramMode::Normalized, t))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram, bench_parallelism);
+criterion_main!(benches);

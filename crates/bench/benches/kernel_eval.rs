@@ -1,0 +1,95 @@
+//! Single-pair kernel evaluation cost.
+//!
+//! Covers the paper's §4.2 performance claim: "regardless of the string
+//! representation, the smaller the cut weight the most expensive the
+//! computation became" — see the `kast_cut_weight` group — plus a
+//! kernel-vs-kernel comparison and scaling in string length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kastio_core::{
+    pattern_string, ByteMode, IdString, KastKernel, KastOptions, StringKernel, TokenInterner,
+};
+use kastio_kernels::{BagOfTokensKernel, BlendedSpectrumKernel, KSpectrumKernel, WeightingMode};
+use kastio_workloads::generators::{flash_io, random_posix, FlashIoParams, RandomPosixParams};
+
+fn example_pair() -> (IdString, IdString) {
+    let mut interner = TokenInterner::new();
+    let a = flash_io(&FlashIoParams { files: 6, ..FlashIoParams::default() });
+    let b = flash_io(&FlashIoParams { files: 8, blocks: 30, ..FlashIoParams::default() });
+    (
+        interner.intern_string(&pattern_string(&a, ByteMode::Preserve)),
+        interner.intern_string(&pattern_string(&b, ByteMode::Preserve)),
+    )
+}
+
+fn long_pair(iters: usize) -> (IdString, IdString) {
+    let mut interner = TokenInterner::new();
+    let params = RandomPosixParams {
+        write_iterations: iters,
+        read_iterations: iters,
+        read_bursts: 8,
+        ..RandomPosixParams::default()
+    };
+    let a = random_posix(&params, 1);
+    let b = random_posix(&params, 2);
+    (
+        interner.intern_string(&pattern_string(&a, ByteMode::Preserve)),
+        interner.intern_string(&pattern_string(&b, ByteMode::Preserve)),
+    )
+}
+
+fn bench_cut_weight(c: &mut Criterion) {
+    let (a, b) = example_pair();
+    let mut group = c.benchmark_group("kast_cut_weight");
+    for pow in [1u32, 4, 8] {
+        let cut = 2u64.pow(pow);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+        group.bench_with_input(BenchmarkId::from_parameter(cut), &cut, |bencher, _| {
+            bencher.iter(|| black_box(kernel.normalized(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (a, b) = example_pair();
+    let mut group = c.benchmark_group("kernel_comparison");
+    let kast = KastKernel::new(KastOptions::with_cut_weight(2));
+    group.bench_function("kast_cw2", |bencher| {
+        bencher.iter(|| black_box(kast.normalized(black_box(&a), black_box(&b))));
+    });
+    let blended = BlendedSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+    group.bench_function("blended_k2", |bencher| {
+        bencher.iter(|| black_box(blended.normalized(black_box(&a), black_box(&b))));
+    });
+    let spectrum = KSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+    group.bench_function("spectrum_k2", |bencher| {
+        bencher.iter(|| black_box(spectrum.normalized(black_box(&a), black_box(&b))));
+    });
+    let bag = BagOfTokensKernel::new();
+    group.bench_function("bag_of_tokens", |bencher| {
+        bencher.iter(|| black_box(bag.normalized(black_box(&a), black_box(&b))));
+    });
+    group.finish();
+}
+
+fn bench_string_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kast_string_length");
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    for iters in [32usize, 128, 512] {
+        let (a, b) = long_pair(iters);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(a.len().max(b.len())),
+            &iters,
+            |bencher, _| {
+                bencher.iter(|| black_box(kernel.normalized(black_box(&a), black_box(&b))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_weight, bench_kernels, bench_string_length);
+criterion_main!(benches);

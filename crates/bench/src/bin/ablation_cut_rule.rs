@@ -1,0 +1,64 @@
+//! **Ablation** — the two under-specified knobs of the Kast kernel
+//! (DESIGN.md §4.1): the cut-weight gating rule and the normalisation.
+//!
+//! This table justifies the crate defaults (`AllOccurrences` + `Cosine`):
+//! they are the only combination that reproduces every §4.2 clustering
+//! claim, including the no-byte-info "increase the cut weight to recover
+//! three groups" effect. The weight-product normalisation degenerates at
+//! large cut weights because strings whose every token weighs less than
+//! the cut get a zero denominator.
+
+use kastio_bench::report::Table;
+use kastio_bench::{analyze, prepare, score_against, ReferencePartition, PAPER_SEED};
+use kastio_core::{ByteMode, CutRule, KastKernel, KastOptions, Normalization};
+use kastio_workloads::Dataset;
+
+fn main() {
+    let ds = Dataset::paper(PAPER_SEED);
+    println!("Ablation — CutRule × Normalization (Kast Spectrum Kernel)\n");
+    for mode in [ByteMode::Preserve, ByteMode::Ignore] {
+        let prepared = prepare(&ds, mode);
+        let mut table = Table::new(vec![
+            "cut rule".into(),
+            "normalisation".into(),
+            "best 3-group ARI (cut)".into(),
+            "best 2-group ARI (cut)".into(),
+        ]);
+        for rule in [CutRule::AnyOccurrence, CutRule::AllOccurrences, CutRule::PerStringSum] {
+            for norm in [Normalization::WeightProduct, Normalization::Cosine] {
+                let mut best_cd = (f64::NEG_INFINITY, 0u64);
+                let mut best_two = (f64::NEG_INFINITY, 0u64);
+                for pow in 1..=8u32 {
+                    let cut = 2u64.pow(pow);
+                    let kernel = KastKernel::new(KastOptions {
+                        cut_weight: cut,
+                        cut_rule: rule,
+                        normalization: norm,
+                    });
+                    let analysis = analyze(&kernel, &prepared);
+                    let cd =
+                        score_against(&analysis, &prepared.labels, ReferencePartition::MergedCd);
+                    if cd.ari > best_cd.0 {
+                        best_cd = (cd.ari, cut);
+                    }
+                    let two_ref = match mode {
+                        ByteMode::Preserve => ReferencePartition::MergedBcd,
+                        ByteMode::Ignore => ReferencePartition::MergedAcd,
+                    };
+                    let two = score_against(&analysis, &prepared.labels, two_ref);
+                    if two.ari > best_two.0 {
+                        best_two = (two.ari, cut);
+                    }
+                }
+                table.row(vec![
+                    format!("{rule:?}"),
+                    format!("{norm:?}"),
+                    format!("{:+.3} (cw={})", best_cd.0, best_cd.1),
+                    format!("{:+.3} (cw={})", best_two.0, best_two.1),
+                ]);
+            }
+        }
+        println!("byte mode {mode:?}:");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,45 @@
+//! **Ablation** — linkage choice for the hierarchical clustering.
+//!
+//! The paper uses "the simple linkage method" (single linkage). This
+//! table shows whether the headline clustering survives complete and
+//! average linkage.
+
+use kastio_bench::report::Table;
+use kastio_bench::{
+    analyze_with_linkage, prepare, score_against, ReferencePartition, PAPER_SEED,
+};
+use kastio_cluster::Linkage;
+use kastio_core::{ByteMode, KastKernel, KastOptions};
+use kastio_workloads::Dataset;
+
+fn main() {
+    let ds = Dataset::paper(PAPER_SEED);
+    println!("Ablation — HAC linkage (Kast Spectrum Kernel, cut weight 2)\n");
+    let mut table = Table::new(vec![
+        "byte mode".into(),
+        "linkage".into(),
+        "ARI {A},{B},{CD}".into(),
+        "ARI 2-group ref".into(),
+    ]);
+    for mode in [ByteMode::Preserve, ByteMode::Ignore] {
+        let prepared = prepare(&ds, mode);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+        let two_ref = match mode {
+            ByteMode::Preserve => ReferencePartition::MergedBcd,
+            ByteMode::Ignore => ReferencePartition::MergedAcd,
+        };
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let analysis = analyze_with_linkage(&kernel, &prepared, linkage);
+            let cd = score_against(&analysis, &prepared.labels, ReferencePartition::MergedCd);
+            let two = score_against(&analysis, &prepared.labels, two_ref);
+            table.row(vec![
+                format!("{mode:?}"),
+                format!("{linkage:?}"),
+                format!("{:+.3}", cd.ari),
+                format!("{:+.3}", two.ari),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(2-group ref: {{A}},{{BCD}} with bytes; {{B}},{{ACD}} without)");
+}

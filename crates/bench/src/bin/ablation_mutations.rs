@@ -1,0 +1,54 @@
+//! **Ablation** — sensitivity of every kernel to the mutation model
+//! behind the paper's synthetic copies (DESIGN.md §5).
+//!
+//! The paper does not specify its mutations. We compare three models:
+//! weight-only (duplicate/drop operations, duplicate blocks),
+//! the default paper mix (adds ±10% byte-size perturbations), and an
+//! aggressive mix (adds `fsync` insertion, which renames merged tokens).
+//! The robustness ordering — Kast ≥ blended ≥ k-spectrum — is the paper's
+//! §4.3 story in table form.
+
+use kastio_bench::report::Table;
+use kastio_bench::{analyze, prepare, score_against, ReferencePartition, PAPER_SEED};
+use kastio_core::{ByteMode, KastKernel, KastOptions, StringKernel};
+use kastio_kernels::{BlendedSpectrumKernel, KSpectrumKernel, WeightingMode};
+use kastio_workloads::{Dataset, DatasetShape, MutationConfig};
+
+fn main() {
+    println!("Ablation — kernel robustness across mutation models (byte info kept)\n");
+    let models: [(&str, MutationConfig); 3] = [
+        ("weight-only", MutationConfig::weight_only()),
+        ("paper mix", MutationConfig::default()),
+        ("aggressive", MutationConfig::aggressive()),
+    ];
+    let mut table = Table::new(vec![
+        "mutation model".into(),
+        "kast cw=2".into(),
+        "blended k=2".into(),
+        "k-spectrum k=2".into(),
+        "k-spectrum k=5".into(),
+    ]);
+    for (name, config) in models {
+        let ds = Dataset::generate_with(DatasetShape::paper(), PAPER_SEED, &config);
+        let prepared = prepare(&ds, ByteMode::Preserve);
+        let ari = |a: &kastio_bench::Analysis| {
+            score_against(a, &prepared.labels, ReferencePartition::MergedCd).ari
+        };
+        let kast = KastKernel::new(KastOptions::with_cut_weight(2));
+        let blended = BlendedSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+        let spec2 = KSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+        let spec5 = KSpectrumKernel::new(5).with_mode(WeightingMode::Counts);
+        assert_eq!(kast.name(), "kast");
+        table.row(vec![
+            name.into(),
+            format!("{:+.3}", ari(&analyze(&kast, &prepared))),
+            format!("{:+.3}", ari(&analyze(&blended, &prepared))),
+            format!("{:+.3}", ari(&analyze(&spec2, &prepared))),
+            format!("{:+.3}", ari(&analyze(&spec5, &prepared))),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(cells: ARI of the 3-cut against the paper partition {{A}},{{B}},{{C∪D}})");
+    println!("expected shape: kast stays at 1.000 across models; the fixed-length");
+    println!("spectrum baselines degrade as mutations start touching token literals");
+}

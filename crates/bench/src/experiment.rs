@@ -1,0 +1,217 @@
+//! The experiment pipeline shared by every figure/table binary:
+//! dataset → strings → Gram matrix → PSD repair → Kernel PCA + HAC →
+//! scores.
+
+use kastio_cluster::{
+    adjusted_rand_index, hierarchical, normalized_mutual_information, purity, silhouette,
+    Dendrogram, DistanceMatrix, Linkage,
+};
+use kastio_core::{pattern_string, ByteMode, IdString, StringKernel, TokenInterner};
+use kastio_kernels::{gram_matrix, GramMode, KernelMatrix};
+use kastio_linalg::{psd_repair, KernelPca, SquareMatrix};
+use kastio_workloads::Dataset;
+
+/// A dataset converted to interned weighted strings under one byte mode.
+#[derive(Debug)]
+pub struct PreparedDataset {
+    /// Example names, aligned with `strings`.
+    pub names: Vec<String>,
+    /// Ground-truth category indices (0–3 = A–D).
+    pub labels: Vec<usize>,
+    /// The interned pattern strings.
+    pub strings: Vec<IdString>,
+    /// The shared interner (needed to decode tokens).
+    pub interner: TokenInterner,
+}
+
+/// The seed every paper artefact is generated from (the conference date).
+pub const PAPER_SEED: u64 = 20170904;
+
+/// One-letter category tags (`A`–`D`) for a label vector.
+pub fn category_tags(labels: &[usize]) -> Vec<char> {
+    labels.iter().map(|&l| (b'A' + l as u8) as char).collect()
+}
+
+/// Converts every trace of `ds` with the paper's default pipeline.
+pub fn prepare(ds: &Dataset, mode: ByteMode) -> PreparedDataset {
+    let mut interner = TokenInterner::new();
+    let mut strings = Vec::with_capacity(ds.len());
+    for example in ds.iter() {
+        let ws = pattern_string(&example.trace, mode);
+        strings.push(interner.intern_string(&ws));
+    }
+    PreparedDataset { names: ds.names(), labels: ds.labels(), strings, interner }
+}
+
+/// Everything §4.1 derives from one similarity matrix.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The raw (normalised-kernel) similarity matrix.
+    pub gram: KernelMatrix,
+    /// The PSD-repaired similarity matrix the learners actually see.
+    pub repaired: SquareMatrix,
+    /// How many negative eigenvalues the repair clamped.
+    pub clamped: usize,
+    /// Kernel PCA projection (top components) of the repaired matrix;
+    /// `None` when the centred spectrum is degenerate (e.g. an all-zero
+    /// similarity matrix at an extreme cut weight).
+    pub pca: Option<KernelPca>,
+    /// Kernel-induced distances.
+    pub distance: DistanceMatrix,
+    /// Single-linkage dendrogram over those distances.
+    pub dendrogram: Dendrogram,
+}
+
+/// Runs the full §4.1 analysis for one kernel over prepared strings.
+///
+/// # Panics
+///
+/// Panics if the eigensolver rejects the similarity matrix (cannot happen
+/// for the symmetric matrices produced here) — the experiment binaries
+/// prefer a loud failure over a silently wrong figure.
+pub fn analyze<K: StringKernel + Sync>(kernel: &K, prepared: &PreparedDataset) -> Analysis {
+    analyze_with_linkage(kernel, prepared, Linkage::Single)
+}
+
+/// [`analyze`] with an explicit linkage (for the linkage ablation).
+pub fn analyze_with_linkage<K: StringKernel + Sync>(
+    kernel: &K,
+    prepared: &PreparedDataset,
+    linkage: Linkage,
+) -> Analysis {
+    let gram = gram_matrix(kernel, &prepared.strings, GramMode::Normalized, 0);
+    let n = gram.n();
+    let square = SquareMatrix::from_row_major(n, gram.as_slice().to_vec());
+    let repair = psd_repair(&square).expect("normalised gram matrices are symmetric");
+    let pca = KernelPca::fit(&repair.matrix, 2).ok();
+    let distance = DistanceMatrix::from_gram(n, repair.matrix.as_slice());
+    let dendrogram = hierarchical(&distance, linkage);
+    Analysis {
+        gram,
+        repaired: repair.matrix,
+        clamped: repair.clamped,
+        pca,
+        distance,
+        dendrogram,
+    }
+}
+
+/// The reference partitions the paper's prose describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferencePartition {
+    /// Four categories kept apart: {A}, {B}, {C}, {D}.
+    FourWay,
+    /// The headline result: {A}, {B}, {C ∪ D}.
+    MergedCd,
+    /// The no-byte-info small-cut result: {B}, {A ∪ C ∪ D}.
+    MergedAcd,
+    /// The blended-kernel result: {A}, {B ∪ C ∪ D}.
+    MergedBcd,
+}
+
+impl ReferencePartition {
+    /// Number of clusters in the partition.
+    pub fn k(self) -> usize {
+        match self {
+            ReferencePartition::FourWay => 4,
+            ReferencePartition::MergedCd => 3,
+            ReferencePartition::MergedAcd | ReferencePartition::MergedBcd => 2,
+        }
+    }
+
+    /// Maps ground-truth category indices (0–3 = A–D) to this partition's
+    /// cluster ids.
+    pub fn project(self, truth: &[usize]) -> Vec<usize> {
+        truth
+            .iter()
+            .map(|&t| match self {
+                ReferencePartition::FourWay => t,
+                ReferencePartition::MergedCd => match t {
+                    0 => 0,
+                    1 => 1,
+                    _ => 2,
+                },
+                ReferencePartition::MergedAcd => usize::from(t == 1),
+                ReferencePartition::MergedBcd => usize::from(t != 0),
+            })
+            .collect()
+    }
+}
+
+/// External + internal quality scores of one flat clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterScore {
+    /// Purity against the reference partition.
+    pub purity: f64,
+    /// Adjusted Rand index against the reference partition.
+    pub ari: f64,
+    /// Normalised mutual information against the reference partition.
+    pub nmi: f64,
+    /// Mean silhouette of the predicted clustering.
+    pub silhouette: f64,
+}
+
+/// Cuts the dendrogram at the reference partition's cluster count and
+/// scores the result against it.
+pub fn score_against(
+    analysis: &Analysis,
+    truth: &[usize],
+    reference: ReferencePartition,
+) -> ClusterScore {
+    let expected = reference.project(truth);
+    let pred = analysis.dendrogram.cut(reference.k());
+    ClusterScore {
+        purity: purity(&pred, &expected),
+        ari: adjusted_rand_index(&pred, &expected),
+        nmi: normalized_mutual_information(&pred, &expected),
+        silhouette: silhouette(&analysis.distance, &pred),
+    }
+}
+
+/// Whether a flat cut reproduces the reference partition *exactly* (the
+/// paper's "no misplaced examples").
+pub fn matches_reference(
+    analysis: &Analysis,
+    truth: &[usize],
+    reference: ReferencePartition,
+) -> bool {
+    let s = score_against(analysis, truth, reference);
+    (s.ari - 1.0).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_core::{KastKernel, KastOptions};
+    use kastio_workloads::DatasetShape;
+
+    #[test]
+    fn prepare_aligns_everything() {
+        let ds = Dataset::generate(DatasetShape::small(), 1);
+        let p = prepare(&ds, ByteMode::Preserve);
+        assert_eq!(p.names.len(), ds.len());
+        assert_eq!(p.labels.len(), ds.len());
+        assert_eq!(p.strings.len(), ds.len());
+        assert!(p.interner.len() > 4, "op tokens beyond the structural ones");
+    }
+
+    #[test]
+    fn analyze_produces_consistent_shapes() {
+        let ds = Dataset::generate(DatasetShape::small(), 2);
+        let p = prepare(&ds, ByteMode::Preserve);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+        let a = analyze(&kernel, &p);
+        assert_eq!(a.gram.n(), ds.len());
+        assert_eq!(a.pca.as_ref().expect("pca fits").len(), ds.len());
+        assert_eq!(a.dendrogram.len(), ds.len());
+    }
+
+    #[test]
+    fn reference_partitions_project_correctly() {
+        let truth = vec![0, 1, 2, 3];
+        assert_eq!(ReferencePartition::FourWay.project(&truth), vec![0, 1, 2, 3]);
+        assert_eq!(ReferencePartition::MergedCd.project(&truth), vec![0, 1, 2, 2]);
+        assert_eq!(ReferencePartition::MergedAcd.project(&truth), vec![0, 1, 0, 0]);
+        assert_eq!(ReferencePartition::MergedBcd.project(&truth), vec![0, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artefact of §4 (see
+//! EXPERIMENTS.md for the index); the Criterion benches in `benches/`
+//! cover the performance claims. The shared pipeline lives in
+//! [`experiment`] and the text rendering in [`report`].
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{
+    analyze, analyze_with_linkage, category_tags, matches_reference, prepare, score_against,
+    Analysis, ClusterScore, PreparedDataset, ReferencePartition, PAPER_SEED,
+};

@@ -1,0 +1,172 @@
+//! Text rendering for the figure/table binaries: aligned tables, PCA
+//! scatter plots and per-cluster composition summaries.
+
+use std::collections::BTreeMap;
+
+use kastio_linalg::KernelPca;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_bench::report::Table;
+///
+/// let mut t = Table::new(vec!["kernel".into(), "ARI".into()]);
+/// t.row(vec!["kast".into(), "1.000".into()]);
+/// let text = t.render();
+/// assert!(text.contains("kast"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(ncols) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate().take(ncols) {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a Kernel-PCA projection as an ASCII scatter plot, one letter
+/// per sample (the textual analogue of Figures 6 and 8).
+///
+/// `tags` supplies the letter plotted for each sample.
+pub fn render_scatter(pca: &KernelPca, tags: &[char], width: usize, height: usize) -> String {
+    assert_eq!(pca.len(), tags.len(), "one tag per sample");
+    if pca.is_empty() {
+        return String::new();
+    }
+    let xs: Vec<f64> = (0..pca.len()).map(|i| pca.coords(i)[0]).collect();
+    let ys: Vec<f64> = (0..pca.len())
+        .map(|i| *pca.coords(i).get(1).unwrap_or(&0.0))
+        .collect();
+    let (xmin, xmax) = min_max(&xs);
+    let (ymin, ymax) = min_max(&ys);
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for i in 0..pca.len() {
+        let cx = (((xs[i] - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let cy = (((ys[i] - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy; // y grows upward
+        let cell = &mut grid[row][cx];
+        // Collisions: keep the first letter unless it differs — then mark
+        // the overlap with '*'.
+        *cell = match *cell {
+            ' ' => tags[i],
+            c if c == tags[i] => c,
+            _ => '*',
+        };
+    }
+    let mut out = String::new();
+    out.push_str(&format!("PC1 ∈ [{xmin:.4}, {xmax:.4}], PC2 ∈ [{ymin:.4}, {ymax:.4}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+/// Summarises a flat clustering as "cluster → category composition" lines,
+/// e.g. `cluster 0: A=50`.
+pub fn cluster_composition(pred: &[usize], tags: &[char]) -> String {
+    assert_eq!(pred.len(), tags.len(), "one tag per sample");
+    let mut per_cluster: BTreeMap<usize, BTreeMap<char, usize>> = BTreeMap::new();
+    for (&cluster, &tag) in pred.iter().zip(tags) {
+        *per_cluster.entry(cluster).or_default().entry(tag).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for (cluster, counts) in per_cluster {
+        let body: Vec<String> = counts.iter().map(|(t, c)| format!("{t}={c}")).collect();
+        out.push_str(&format!("cluster {cluster}: {}\n", body.join(" ")));
+    }
+    out
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only".into()]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn composition_counts() {
+        let text = cluster_composition(&[0, 0, 1], &['A', 'A', 'B']);
+        assert!(text.contains("cluster 0: A=2"));
+        assert!(text.contains("cluster 1: B=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one tag per sample")]
+    fn composition_validates_lengths() {
+        let _ = cluster_composition(&[0], &[]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cophenetic distances and the cophenetic correlation coefficient.
+//!
+//! The cophenetic distance of two leaves is the linkage height at which
+//! they first share a cluster; its Pearson correlation with the original
+//! distances measures how faithfully a dendrogram represents the metric —
+//! the standard quantitative companion to eyeballing figures like the
+//! paper's Fig. 7/9.
+
+use crate::dendrogram::Dendrogram;
+use crate::distance::DistanceMatrix;
+
+/// Computes the matrix of cophenetic distances of a dendrogram.
+///
+/// # Panics
+///
+/// Panics if the dendrogram is not a complete merge tree over its leaves
+/// (fewer than `n − 1` merges).
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::{cophenetic_distances, hierarchical, DistanceMatrix, Linkage};
+///
+/// let d = DistanceMatrix::from_fn(3, |i, j| ((i + j) * 2) as f64);
+/// let dendro = hierarchical(&d, Linkage::Single);
+/// let coph = cophenetic_distances(&dendro);
+/// // Leaves merged first sit at the lowest height.
+/// assert!(coph.get(0, 1) <= coph.get(0, 2));
+/// ```
+pub fn cophenetic_distances(dendro: &Dendrogram) -> DistanceMatrix {
+    let n = dendro.len();
+    if n == 0 {
+        return DistanceMatrix::from_fn(0, |_, _| 0.0);
+    }
+    assert_eq!(
+        dendro.merges().len(),
+        n - 1,
+        "cophenetic distances need a complete dendrogram"
+    );
+    // members[node] = leaves under that node id (leaves 0..n, internal
+    // n..2n−1).
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut heights = vec![vec![0.0f64; n]; n];
+    for (step, merge) in dendro.merges().iter().enumerate() {
+        let left = std::mem::take(&mut members[merge.left]);
+        let right = std::mem::take(&mut members[merge.right]);
+        for &a in &left {
+            for &b in &right {
+                heights[a][b] = merge.distance;
+                heights[b][a] = merge.distance;
+            }
+        }
+        let mut merged = left;
+        merged.extend(right);
+        debug_assert_eq!(members.len(), n + step);
+        members.push(merged);
+    }
+    DistanceMatrix::from_fn(n, |i, j| heights[i][j])
+}
+
+/// The cophenetic correlation coefficient: Pearson correlation between
+/// the original pairwise distances and the cophenetic distances, in
+/// `[-1, 1]` (≈1 for a dendrogram that preserves the metric well).
+///
+/// Returns 0 when there are fewer than 2 leaves or either side has zero
+/// variance.
+///
+/// # Panics
+///
+/// Panics if the two matrices disagree on the number of points.
+pub fn cophenetic_correlation(dist: &DistanceMatrix, dendro: &Dendrogram) -> f64 {
+    assert_eq!(dist.len(), dendro.len(), "matrix and dendrogram must align");
+    let n = dist.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let coph = cophenetic_distances(dendro);
+    let mut xs = Vec::with_capacity(n * (n - 1) / 2);
+    let mut ys = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            xs.push(dist.get(i, j));
+            ys.push(coph.get(i, j));
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hac::{hierarchical, Linkage};
+
+    fn two_groups() -> DistanceMatrix {
+        DistanceMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 1.0 } else { 8.0 })
+    }
+
+    #[test]
+    fn cophenetic_heights_follow_merges() {
+        let d = two_groups();
+        let dendro = hierarchical(&d, Linkage::Single);
+        let coph = cophenetic_distances(&dendro);
+        assert_eq!(coph.get(0, 1), 1.0);
+        assert_eq!(coph.get(2, 3), 1.0);
+        assert_eq!(coph.get(0, 2), 8.0);
+        assert_eq!(coph.get(1, 3), 8.0);
+        assert_eq!(coph.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ultrametric_input_gives_perfect_correlation() {
+        let d = two_groups();
+        let dendro = hierarchical(&d, Linkage::Single);
+        let r = cophenetic_correlation(&d, &dendro);
+        assert!((r - 1.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn chained_metric_scores_below_one_under_single_linkage() {
+        // A chain 0-1-2-3 (d(i,j)=|i-j|): single linkage flattens all
+        // cophenetic heights to 1, so the correlation must drop.
+        let d = DistanceMatrix::from_fn(4, |i, j| (j - i) as f64);
+        let dendro = hierarchical(&d, Linkage::Single);
+        let r = cophenetic_correlation(&d, &dendro);
+        assert!(r < 1.0 - 1e-9);
+        // Complete linkage preserves more of the chain's spread.
+        let complete = hierarchical(&d, Linkage::Complete);
+        assert!(cophenetic_correlation(&d, &complete) > r);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let one = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        let dendro = hierarchical(&one, Linkage::Single);
+        assert_eq!(cophenetic_correlation(&one, &dendro), 0.0);
+        // All-equal distances: zero variance → correlation 0 by convention.
+        let flat = DistanceMatrix::from_fn(3, |_, _| 2.0);
+        let dendro = hierarchical(&flat, Linkage::Single);
+        assert_eq!(cophenetic_correlation(&flat, &dendro), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete dendrogram")]
+    fn incomplete_dendrogram_panics() {
+        let dendro = crate::dendrogram::Dendrogram::new(3, vec![]);
+        let _ = cophenetic_distances(&dendro);
+    }
+}

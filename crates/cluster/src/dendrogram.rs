@@ -1,0 +1,235 @@
+//! Dendrograms: merge trees, flat cuts and ASCII rendering.
+
+use std::fmt;
+
+/// One agglomeration step.
+///
+/// Node ids follow the scipy convention: leaves are `0..n`, the cluster
+/// created by merge `i` gets id `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Id of the first merged cluster.
+    pub left: usize,
+    /// Id of the second merged cluster.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// The full merge tree produced by
+/// [`hierarchical`](crate::hac::hierarchical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Builds a dendrogram over `n` leaves from its merge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n − 1` merges are supplied.
+    pub fn new(n: usize, merges: Vec<Merge>) -> Self {
+        assert!(
+            n == 0 || merges.len() <= n - 1,
+            "a dendrogram over n leaves has at most n-1 merges"
+        );
+        Dendrogram { n, merges }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dendrogram has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in order of agglomeration.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into exactly `k` flat clusters (undoing the last
+    /// `k − 1` merges) and returns a label per leaf, with labels numbered
+    /// `0..k` in order of first appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or larger than the number of leaves.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n.max(1), "k must be in 1..=n");
+        let kept = self.merges.len().saturating_sub(k - 1);
+        self.labels_after(kept)
+    }
+
+    /// Cuts the tree at a linkage `height`: all merges with distance ≤
+    /// `height` are applied.
+    pub fn cut_at_height(&self, height: f64) -> Vec<usize> {
+        let kept = self.merges.iter().take_while(|m| m.distance <= height).count();
+        self.labels_after(kept)
+    }
+
+    /// Labels after applying only the first `kept` merges.
+    fn labels_after(&self, kept: usize) -> Vec<usize> {
+        // Union-find over leaves + internal nodes.
+        let total = self.n + kept;
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(kept).enumerate() {
+            let node = self.n + i;
+            let l = find(&mut parent, m.left);
+            let r = find(&mut parent, m.right);
+            parent[l] = node;
+            parent[r] = node;
+        }
+        let mut labels = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut canonical: Vec<(usize, usize)> = Vec::new(); // (root, label)
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            let label = match canonical.iter().find(|&&(r, _)| r == root) {
+                Some(&(_, l)) => l,
+                None => {
+                    canonical.push((root, next));
+                    next += 1;
+                    next - 1
+                }
+            };
+            labels[leaf] = label;
+        }
+        labels
+    }
+
+    /// Renders an ASCII dendrogram, one merge per line, indented by merge
+    /// height — enough to eyeball the cluster structure in a terminal,
+    /// mirroring Figures 7 and 9.
+    ///
+    /// `names` supplies a label per leaf; pass `None` to use indices.
+    pub fn render_ascii(&self, names: Option<&[String]>) -> String {
+        let mut out = String::new();
+        let max_d = self
+            .merges
+            .iter()
+            .map(|m| m.distance)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let describe = |id: usize| -> String {
+            if id < self.n {
+                match names {
+                    Some(ns) => ns.get(id).cloned().unwrap_or_else(|| format!("leaf{id}")),
+                    None => format!("leaf{id}"),
+                }
+            } else {
+                format!("cluster{}", id - self.n)
+            }
+        };
+        for (i, m) in self.merges.iter().enumerate() {
+            let bar = ((m.distance / max_d) * 40.0).round() as usize;
+            out.push_str(&format!(
+                "{:>4} |{}{} d={:.4} size={} : {} + {}\n",
+                i,
+                "=".repeat(bar),
+                " ".repeat(40 - bar.min(40)),
+                m.distance,
+                m.size,
+                describe(m.left),
+                describe(m.right),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dendrogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_ascii(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::hac::{hierarchical, Linkage};
+
+    fn two_group_dendro() -> Dendrogram {
+        let d = DistanceMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 1.0 } else { 9.0 });
+        hierarchical(&d, Linkage::Single)
+    }
+
+    #[test]
+    fn cut_into_all_singletons() {
+        let dendro = two_group_dendro();
+        let labels = dendro.cut(4);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "every leaf its own cluster");
+    }
+
+    #[test]
+    fn cut_into_one_cluster() {
+        let dendro = two_group_dendro();
+        assert_eq!(dendro.cut(1), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cut_into_two_recovers_groups() {
+        let labels = two_group_dendro().cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_at_height() {
+        let dendro = two_group_dendro();
+        let low = dendro.cut_at_height(1.5);
+        assert_eq!(low, dendro.cut(2));
+        let high = dendro.cut_at_height(100.0);
+        assert_eq!(high, vec![0, 0, 0, 0]);
+        let zero = dendro.cut_at_height(0.0);
+        assert_eq!(zero, dendro.cut(4));
+    }
+
+    #[test]
+    fn labels_are_dense_and_first_appearance_ordered() {
+        let labels = two_group_dendro().cut(2);
+        assert_eq!(labels[0], 0, "first leaf gets label 0");
+        assert!(labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n")]
+    fn zero_k_panics() {
+        two_group_dendro().cut(0);
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_leaves() {
+        let names: Vec<String> = (0..4).map(|i| format!("s{i}")).collect();
+        let text = two_group_dendro().render_ascii(Some(&names));
+        assert!(text.contains("s0") || text.contains("s2"));
+        assert!(text.contains("d="));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most n-1")]
+    fn too_many_merges_panic() {
+        let m = Merge { left: 0, right: 1, distance: 1.0, size: 2 };
+        let _ = Dendrogram::new(1, vec![m]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Distance matrices, including the kernel-induced metric.
+//!
+//! A (normalised) kernel induces the feature-space distance
+//! `d²(a,b) = k(a,a) + k(b,b) − 2·k(a,b)`; hierarchical clustering runs on
+//! that. Stored condensed (upper triangle only).
+
+use std::fmt;
+
+/// A symmetric pairwise distance matrix with zero diagonal, stored
+/// condensed.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::DistanceMatrix;
+///
+/// let d = DistanceMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs());
+/// assert_eq!(d.get(0, 2), 2.0);
+/// assert_eq!(d.get(2, 0), 2.0);
+/// assert_eq!(d.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    // condensed[i][j] for i<j at index i*n - i*(i+1)/2 + (j - i - 1)
+    condensed: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a distance matrix by evaluating `f(i, j)` for all `i < j`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut condensed = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                condensed.push(f(i, j));
+            }
+        }
+        DistanceMatrix { n, condensed }
+    }
+
+    /// Derives the kernel-induced distance matrix from a row-major Gram
+    /// matrix: `d(i,j) = √max(0, k_ii + k_jj − 2·k_ij)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gram.len() != n * n`.
+    pub fn from_gram(n: usize, gram: &[f64]) -> Self {
+        assert_eq!(gram.len(), n * n, "gram must be n×n row-major");
+        DistanceMatrix::from_fn(n, |i, j| {
+            let d2 = gram[i * n + i] + gram[j * n + j] - 2.0 * gram[i * n + j];
+            d2.max(0.0).sqrt()
+        })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between points `i` and `j` (0 when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.condensed[a * self.n - a * (a + 1) / 2 + (b - a - 1)]
+    }
+
+    /// The largest pairwise distance (`None` for fewer than 2 points).
+    pub fn max(&self) -> Option<f64> {
+        self.condensed.iter().copied().reduce(f64::max)
+    }
+}
+
+impl fmt::Display for DistanceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{:8.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_gram_matches_hand_computation() {
+        // 2 points: k_aa = 1, k_bb = 1, k_ab = 0.5 → d = √1 = 1.
+        let gram = vec![1.0, 0.5, 0.5, 1.0];
+        let d = DistanceMatrix::from_gram(2, &gram);
+        assert!((d.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_squared_distance_is_clamped() {
+        // Indefinite "gram": k_ab bigger than the self-similarities.
+        let gram = vec![1.0, 2.0, 2.0, 1.0];
+        let d = DistanceMatrix::from_gram(2, &gram);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_zero_diagonal() {
+        let d = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+        for i in 0..4 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn max_distance() {
+        let d = DistanceMatrix::from_fn(3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(d.max(), Some(12.0));
+        assert_eq!(DistanceMatrix::from_fn(1, |_, _| 0.0).max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major")]
+    fn bad_gram_length_panics() {
+        let _ = DistanceMatrix::from_gram(2, &[1.0; 3]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Agglomerative hierarchical clustering (Lance–Williams).
+//!
+//! The paper analyses every similarity matrix with hierarchical clustering
+//! using "the simple linkage method" (§4.1) — single linkage. Complete and
+//! average linkage are provided for ablation.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::distance::DistanceMatrix;
+
+/// The cluster-distance update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Minimum pairwise distance — the paper's "simple linkage".
+    #[default]
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    /// Lance–Williams update: distance from the merged cluster `(a ∪ b)`
+    /// to another cluster `c`.
+    fn update(self, d_ac: f64, d_bc: f64, size_a: usize, size_b: usize) -> f64 {
+        match self {
+            Linkage::Single => d_ac.min(d_bc),
+            Linkage::Complete => d_ac.max(d_bc),
+            Linkage::Average => {
+                let (na, nb) = (size_a as f64, size_b as f64);
+                (na * d_ac + nb * d_bc) / (na + nb)
+            }
+        }
+    }
+}
+
+/// Runs agglomerative clustering over a distance matrix.
+///
+/// Returns the full merge tree; use [`Dendrogram::cut`] for flat clusters.
+/// Ties are broken deterministically (lowest pair of cluster indices), so
+/// results are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::{hierarchical, DistanceMatrix, Linkage};
+///
+/// // Two obvious groups: {0,1} and {2,3}.
+/// let d = DistanceMatrix::from_fn(4, |i, j| {
+///     if (i < 2) == (j < 2) { 1.0 } else { 10.0 }
+/// });
+/// let dendro = hierarchical(&d, Linkage::Single);
+/// let labels = dendro.cut(2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_eq!(labels[2], labels[3]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn hierarchical(dist: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let n = dist.len();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    if n == 0 {
+        return Dendrogram::new(0, merges);
+    }
+
+    // Active cluster bookkeeping. `id` is the dendrogram node id (leaves
+    // 0..n, internal nodes n..2n-1, scipy convention).
+    let mut active: Vec<usize> = (0..n).collect(); // positions into `ids`
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    // Working distance matrix between active clusters, full storage.
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = dist.get(i, j);
+        }
+    }
+
+    let mut next_id = n;
+    while active.len() > 1 {
+        // Find the closest active pair (deterministic tie-break).
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for (ai, &a) in active.iter().enumerate() {
+            for &b in active.iter().skip(ai + 1) {
+                let dd = d[a * n + b];
+                if dd < best.0 {
+                    best = (dd, a, b);
+                }
+            }
+        }
+        let (dist_ab, a, b) = best;
+
+        // Lance–Williams update of distances from the merged cluster
+        // (stored in slot `a`) to every other active cluster.
+        for &c in &active {
+            if c == a || c == b {
+                continue;
+            }
+            let updated = linkage.update(d[a * n + c], d[b * n + c], sizes[a], sizes[b]);
+            d[a * n + c] = updated;
+            d[c * n + a] = updated;
+        }
+
+        merges.push(Merge {
+            left: ids[a],
+            right: ids[b],
+            distance: dist_ab,
+            size: sizes[a] + sizes[b],
+        });
+        sizes[a] += sizes[b];
+        ids[a] = next_id;
+        next_id += 1;
+        active.retain(|&x| x != b);
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_points() -> DistanceMatrix {
+        // 0 and 1 close (d=1); 2 far from both (d=5 resp. 6).
+        DistanceMatrix::from_fn(3, |i, j| match (i, j) {
+            (0, 1) => 1.0,
+            (0, 2) => 5.0,
+            (1, 2) => 6.0,
+            _ => unreachable!(),
+        })
+    }
+
+    #[test]
+    fn merge_order_respects_distances() {
+        let dendro = hierarchical(&three_points(), Linkage::Single);
+        let merges = dendro.merges();
+        assert_eq!(merges.len(), 2);
+        assert_eq!(merges[0].distance, 1.0);
+        assert_eq!((merges[0].left, merges[0].right), (0, 1));
+        // Single linkage: d({0,1},2) = min(5,6) = 5.
+        assert_eq!(merges[1].distance, 5.0);
+    }
+
+    #[test]
+    fn complete_linkage_uses_max() {
+        let dendro = hierarchical(&three_points(), Linkage::Complete);
+        assert_eq!(dendro.merges()[1].distance, 6.0);
+    }
+
+    #[test]
+    fn average_linkage_uses_mean() {
+        let dendro = hierarchical(&three_points(), Linkage::Average);
+        assert_eq!(dendro.merges()[1].distance, 5.5);
+    }
+
+    #[test]
+    fn chaining_behaviour_of_single_linkage() {
+        // A chain 0-1-2-3 with inter-neighbour distance 1 but endpoints far
+        // apart: single linkage merges the whole chain at height 1.
+        let d = DistanceMatrix::from_fn(4, |i, j| (j - i) as f64);
+        let dendro = hierarchical(&d, Linkage::Single);
+        assert!(dendro.merges().iter().all(|m| m.distance == 1.0));
+        // Complete linkage needs height 3 for the final merge.
+        let dendro = hierarchical(&d, Linkage::Complete);
+        assert_eq!(dendro.merges().last().unwrap().distance, 3.0);
+    }
+
+    #[test]
+    fn sizes_accumulate() {
+        let dendro = hierarchical(&three_points(), Linkage::Single);
+        assert_eq!(dendro.merges()[0].size, 2);
+        assert_eq!(dendro.merges()[1].size, 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(hierarchical(&empty, Linkage::Single).merges().is_empty());
+        let one = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        let dendro = hierarchical(&one, Linkage::Single);
+        assert!(dendro.merges().is_empty());
+        assert_eq!(dendro.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let d = DistanceMatrix::from_fn(4, |_, _| 1.0);
+        let a = hierarchical(&d, Linkage::Single);
+        let b = hierarchical(&d, Linkage::Single);
+        assert_eq!(a.merges(), b.merges());
+    }
+}

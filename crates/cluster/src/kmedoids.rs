@@ -1,0 +1,207 @@
+//! k-medoids (PAM) flat clustering over a distance matrix.
+//!
+//! A non-hierarchical companion to HAC: it needs only the pairwise
+//! distances a kernel induces (never coordinates), so it slots directly
+//! behind the kernel matrices of §4.1 and gives the experiment harness an
+//! independent second opinion on cluster structure.
+
+use crate::distance::DistanceMatrix;
+
+/// The result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoids {
+    /// Indices of the chosen medoids (length k).
+    pub medoids: Vec<usize>,
+    /// Cluster label per point (index into `medoids`).
+    pub labels: Vec<usize>,
+    /// Final total distance of every point to its medoid.
+    pub cost: f64,
+    /// Number of improvement sweeps performed.
+    pub iterations: usize,
+}
+
+/// Runs PAM (build + swap) with deterministic initialisation.
+///
+/// Initialisation is the greedy BUILD step of classic PAM (first medoid
+/// minimises total distance; each further medoid maximises cost
+/// reduction), followed by SWAP until no single medoid/non-medoid
+/// exchange improves the cost. Deterministic: no randomness anywhere.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds the number of points.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::{k_medoids, DistanceMatrix};
+///
+/// let d = DistanceMatrix::from_fn(4, |i, j| {
+///     if (i < 2) == (j < 2) { 1.0 } else { 9.0 }
+/// });
+/// let result = k_medoids(&d, 2);
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// assert_eq!(result.labels[2], result.labels[3]);
+/// assert_ne!(result.labels[0], result.labels[2]);
+/// ```
+pub fn k_medoids(dist: &DistanceMatrix, k: usize) -> KMedoids {
+    let n = dist.len();
+    assert!(k >= 1 && k <= n.max(1), "k must be in 1..=n");
+    if n == 0 {
+        return KMedoids { medoids: Vec::new(), labels: Vec::new(), cost: 0.0, iterations: 0 };
+    }
+
+    // BUILD: greedy initial medoids.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            total_cost_single(dist, a).partial_cmp(&total_cost_single(dist, b)).expect("finite")
+        })
+        .expect("n > 0");
+    medoids.push(first);
+    while medoids.len() < k {
+        let mut best = (f64::INFINITY, usize::MAX);
+        for cand in 0..n {
+            if medoids.contains(&cand) {
+                continue;
+            }
+            medoids.push(cand);
+            let cost = assignment_cost(dist, &medoids);
+            medoids.pop();
+            if cost < best.0 {
+                best = (cost, cand);
+            }
+        }
+        medoids.push(best.1);
+    }
+
+    // SWAP until convergence.
+    let mut cost = assignment_cost(dist, &medoids);
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut improved = false;
+        for slot in 0..k {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let old = medoids[slot];
+                medoids[slot] = cand;
+                let new_cost = assignment_cost(dist, &medoids);
+                if new_cost + 1e-12 < cost {
+                    cost = new_cost;
+                    improved = true;
+                } else {
+                    medoids[slot] = old;
+                }
+            }
+        }
+        if !improved || iterations > 64 {
+            break;
+        }
+    }
+
+    let labels = assign(dist, &medoids);
+    KMedoids { medoids, labels, cost, iterations }
+}
+
+fn total_cost_single(dist: &DistanceMatrix, medoid: usize) -> f64 {
+    (0..dist.len()).map(|i| dist.get(i, medoid)).sum()
+}
+
+fn assign(dist: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
+    (0..dist.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    dist.get(i, a).partial_cmp(&dist.get(i, b)).expect("finite")
+                })
+                .map(|(slot, _)| slot)
+                .expect("at least one medoid")
+        })
+        .collect()
+}
+
+fn assignment_cost(dist: &DistanceMatrix, medoids: &[usize]) -> f64 {
+    (0..dist.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .map(|&m| dist.get(i, m))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_groups() -> DistanceMatrix {
+        DistanceMatrix::from_fn(9, |i, j| if i / 3 == j / 3 { 1.0 } else { 10.0 })
+    }
+
+    #[test]
+    fn recovers_obvious_groups() {
+        let result = k_medoids(&three_groups(), 3);
+        for g in 0..3 {
+            let base = result.labels[g * 3];
+            assert_eq!(result.labels[g * 3 + 1], base);
+            assert_eq!(result.labels[g * 3 + 2], base);
+        }
+        let mut distinct = result.labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn medoids_label_themselves() {
+        let result = k_medoids(&three_groups(), 3);
+        for (slot, &m) in result.medoids.iter().enumerate() {
+            assert_eq!(result.labels[m], slot);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_costs_zero() {
+        let d = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+        let result = k_medoids(&d, 4);
+        assert_eq!(result.cost, 0.0);
+        let mut medoids = result.medoids.clone();
+        medoids.sort_unstable();
+        assert_eq!(medoids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k1_picks_the_central_point() {
+        // Point 1 is in the middle of a line 0-1-2.
+        let d = DistanceMatrix::from_fn(3, |i, j| ((j as i64 - i as i64).abs()) as f64);
+        let result = k_medoids(&d, 1);
+        assert_eq!(result.medoids, vec![1]);
+        assert_eq!(result.labels, vec![0, 0, 0]);
+        assert_eq!(result.cost, 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = three_groups();
+        assert_eq!(k_medoids(&d, 3), k_medoids(&d, 3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        let result = k_medoids(&d, 1);
+        assert!(result.labels.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n")]
+    fn zero_k_panics() {
+        let _ = k_medoids(&three_groups(), 0);
+    }
+}

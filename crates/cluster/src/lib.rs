@@ -1,0 +1,46 @@
+//! Hierarchical clustering and cluster-quality metrics for kastio.
+//!
+//! §4.1 of the paper analyses every similarity matrix with hierarchical
+//! clustering using "the simple linkage method". This crate provides:
+//!
+//! * [`DistanceMatrix`] — pairwise distances, including the
+//!   kernel-induced metric `d² = k_ii + k_jj − 2k_ij`.
+//! * [`hierarchical`] — agglomerative clustering with single (the paper's
+//!   choice), complete and average linkage.
+//! * [`Dendrogram`] — merge trees, flat cuts ([`Dendrogram::cut`]) and
+//!   ASCII rendering (the textual stand-in for Figures 7/9).
+//! * Metrics ([`purity`], [`adjusted_rand_index`],
+//!   [`normalized_mutual_information`], [`silhouette`]) that turn the
+//!   paper's visual claims ("no misplaced examples") into assertions.
+//! * [`cophenetic_correlation`] — how faithfully a dendrogram preserves
+//!   the metric — and [`k_medoids`] (PAM) as an independent flat
+//!   clustering over the same kernel distances.
+//!
+//! # Examples
+//!
+//! ```
+//! use kastio_cluster::{hierarchical, purity, DistanceMatrix, Linkage};
+//!
+//! let d = DistanceMatrix::from_fn(4, |i, j| {
+//!     if (i < 2) == (j < 2) { 0.5 } else { 8.0 }
+//! });
+//! let dendro = hierarchical(&d, Linkage::Single);
+//! let labels = dendro.cut(2);
+//! assert_eq!(purity(&labels, &[0, 0, 1, 1]), 1.0);
+//! ```
+
+pub mod cophenetic;
+pub mod dendrogram;
+pub mod distance;
+pub mod hac;
+pub mod kmedoids;
+pub mod metrics;
+pub mod nnchain;
+
+pub use cophenetic::{cophenetic_correlation, cophenetic_distances};
+pub use dendrogram::{Dendrogram, Merge};
+pub use distance::DistanceMatrix;
+pub use hac::{hierarchical, Linkage};
+pub use kmedoids::{k_medoids, KMedoids};
+pub use nnchain::hierarchical_nn_chain;
+pub use metrics::{adjusted_rand_index, normalized_mutual_information, purity, silhouette};

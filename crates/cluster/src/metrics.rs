@@ -1,0 +1,262 @@
+//! External and internal cluster-quality metrics.
+//!
+//! The paper judges its clusterings visually ("there were not misplaced
+//! examples on any of the groups"); to make that claim machine-checkable
+//! the experiment harness scores every clustering against the ground-truth
+//! categories with purity, the adjusted Rand index and normalised mutual
+//! information, plus the (internal) silhouette coefficient.
+
+use std::collections::HashMap;
+
+use crate::distance::DistanceMatrix;
+
+fn contingency(pred: &[usize], truth: &[usize]) -> HashMap<(usize, usize), usize> {
+    let mut table = HashMap::new();
+    for (&p, &t) in pred.iter().zip(truth) {
+        *table.entry((p, t)).or_insert(0) += 1;
+    }
+    table
+}
+
+fn class_counts(labels: &[usize]) -> HashMap<usize, usize> {
+    let mut counts = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Cluster purity: the fraction of points whose cluster's majority class
+/// matches their own. 1.0 means every cluster is class-pure.
+///
+/// # Panics
+///
+/// Panics if the label slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::purity;
+///
+/// assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+/// assert_eq!(purity(&[0, 0, 0, 0], &[1, 1, 2, 2]), 0.5);
+/// ```
+pub fn purity(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    if pred.is_empty() {
+        return 1.0;
+    }
+    // For each predicted cluster take its majority class count.
+    let mut best: HashMap<usize, usize> = HashMap::new();
+    for (&(p, _), &count) in &contingency(pred, truth) {
+        let entry = best.entry(p).or_insert(0);
+        *entry = (*entry).max(count);
+    }
+    let majority_sum: usize = best.values().sum();
+    majority_sum as f64 / pred.len() as f64
+}
+
+fn comb2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index between two labelings, in `[-1, 1]`; 1 for
+/// identical partitions, ~0 for random agreement.
+///
+/// # Panics
+///
+/// Panics if the label slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::adjusted_rand_index;
+///
+/// assert!((adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let table = contingency(pred, truth);
+    let sum_comb_cells: f64 = table.values().map(|&c| comb2(c)).sum();
+    let sum_comb_pred: f64 = class_counts(pred).values().map(|&c| comb2(c)).sum();
+    let sum_comb_truth: f64 = class_counts(truth).values().map(|&c| comb2(c)).sum();
+    let total = comb2(n);
+    let expected = sum_comb_pred * sum_comb_truth / total;
+    let max_index = 0.5 * (sum_comb_pred + sum_comb_truth);
+    if (max_index - expected).abs() < 1e-15 {
+        return 1.0; // both partitions trivial (all-singletons or all-one)
+    }
+    (sum_comb_cells - expected) / (max_index - expected)
+}
+
+fn entropy(counts: &HashMap<usize, usize>, n: f64) -> f64 {
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Normalised mutual information (arithmetic-mean normalisation), in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the label slices differ in length.
+pub fn normalized_mutual_information(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    let n = pred.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let cp = class_counts(pred);
+    let ct = class_counts(truth);
+    let hp = entropy(&cp, nf);
+    let ht = entropy(&ct, nf);
+    if hp == 0.0 && ht == 0.0 {
+        return 1.0;
+    }
+    let table = contingency(pred, truth);
+    let mut mi = 0.0;
+    for (&(p, t), &c) in &table {
+        let pij = c as f64 / nf;
+        let pi = cp[&p] as f64 / nf;
+        let pj = ct[&t] as f64 / nf;
+        mi += pij * (pij / (pi * pj)).ln();
+    }
+    let denom = 0.5 * (hp + ht);
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Mean silhouette coefficient of a labeling over a distance matrix, in
+/// `[-1, 1]`; higher is better-separated. Singleton clusters score 0, as
+/// is conventional.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != dist.len()`.
+pub fn silhouette(dist: &DistanceMatrix, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), dist.len(), "labels must cover every point");
+    let n = labels.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let counts = class_counts(labels);
+    if counts.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        if counts[&own] == 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        // a(i): mean intra-cluster distance; b(i): min mean distance to
+        // another cluster.
+        let mut sums: HashMap<usize, (f64, usize)> = HashMap::new();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let e = sums.entry(labels[j]).or_insert((0.0, 0));
+            e.0 += dist.get(i, j);
+            e.1 += 1;
+        }
+        let a = sums.get(&own).map(|&(s, c)| s / c as f64).unwrap_or(0.0);
+        let b = sums
+            .iter()
+            .filter(|&(&l, _)| l != own)
+            .map(|(_, &(s, c))| s / c as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(purity(&[0, 1, 0, 1], &[0, 0, 1, 1]), 0.5);
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn purity_is_label_permutation_invariant() {
+        assert_eq!(purity(&[3, 3, 7, 7], &[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn ari_identity_and_independence() {
+        assert!((adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 1]) - 1.0).abs() < 1e-12);
+        // A deliberately orthogonal labeling scores near zero.
+        let ari = adjusted_rand_index(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!(ari.abs() < 0.5);
+        // Splitting one true cluster scores below 1.
+        let ari = adjusted_rand_index(&[0, 1, 2, 2], &[0, 0, 1, 1]);
+        assert!(ari < 1.0);
+    }
+
+    #[test]
+    fn ari_short_inputs() {
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn nmi_bounds_and_identity() {
+        assert!((normalized_mutual_information(&[0, 0, 1, 1], &[5, 5, 6, 6]) - 1.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!((0.0..=1.0).contains(&nmi));
+        assert!(nmi < 0.1);
+    }
+
+    #[test]
+    fn nmi_trivial_partitions() {
+        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_grouping() {
+        let d = DistanceMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 1.0 } else { 10.0 });
+        let good = silhouette(&d, &[0, 0, 1, 1]);
+        let bad = silhouette(&d, &[0, 1, 0, 1]);
+        assert!(good > 0.8);
+        assert!(bad < 0.0);
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let d = DistanceMatrix::from_fn(3, |_, _| 1.0);
+        assert_eq!(silhouette(&d, &[0, 0, 0]), 0.0, "single cluster");
+        let d1 = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert_eq!(silhouette(&d1, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = purity(&[0], &[0, 1]);
+    }
+}

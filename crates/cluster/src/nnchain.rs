@@ -1,0 +1,248 @@
+//! Nearest-neighbour-chain agglomerative clustering.
+//!
+//! The naive Lance–Williams loop in [`crate::hac`] scans all active pairs
+//! per merge — O(n³) total. For *reducible* linkages (single, complete
+//! and average all are) the nearest-neighbour-chain algorithm performs
+//! the same agglomeration in O(n²) time: follow nearest-neighbour links
+//! until two clusters are mutual nearest neighbours, merge them, and
+//! continue from the remaining chain. Reducibility guarantees the chain
+//! never has to be rebuilt after a merge, and that the resulting
+//! *dendrogram heights* equal the naive algorithm's (the merge order may
+//! differ under ties, but the induced cophenetic structure is identical —
+//! the property tests pin exactly that down).
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::distance::DistanceMatrix;
+use crate::hac::Linkage;
+
+/// Runs NN-chain agglomerative clustering; equivalent in O(n²) to
+/// [`crate::hac::hierarchical`] for the (reducible) supported linkages.
+///
+/// Merges are re-sorted by height afterwards, so `cut` and friends behave
+/// like the textbook algorithm's output.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_cluster::{hierarchical_nn_chain, DistanceMatrix, Linkage};
+///
+/// let d = DistanceMatrix::from_fn(4, |i, j| {
+///     if (i < 2) == (j < 2) { 1.0 } else { 10.0 }
+/// });
+/// let dendro = hierarchical_nn_chain(&d, Linkage::Single);
+/// let labels = dendro.cut(2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn hierarchical_nn_chain(dist: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let n = dist.len();
+    if n == 0 {
+        return Dendrogram::new(0, Vec::new());
+    }
+
+    // Working distance matrix between cluster *slots*; slot i initially
+    // holds leaf i. Dead slots are skipped via `alive`.
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = dist.get(i, j);
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut sizes = vec![1usize; n];
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut next_id = n;
+
+    let mut raw_merges: Vec<Merge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = alive.iter().position(|&a| a).expect("clusters remain");
+            chain.push(start);
+        }
+        loop {
+            let tip = *chain.last().expect("chain is non-empty");
+            // Nearest alive neighbour of `tip` (deterministic tie-break on
+            // index; prefer the chain predecessor on ties so mutual pairs
+            // terminate).
+            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let mut best = (f64::INFINITY, usize::MAX);
+            for c in 0..n {
+                if c == tip || !alive[c] {
+                    continue;
+                }
+                let dd = d[tip * n + c];
+                if dd < best.0 || (dd == best.0 && Some(c) == prev) {
+                    best = (dd, c);
+                }
+            }
+            let (dist_tc, nearest) = best;
+            if Some(nearest) == prev {
+                // Mutual nearest neighbours: merge tip and prev.
+                chain.pop();
+                chain.pop();
+                let (a, b) = (nearest, tip);
+                for c in 0..n {
+                    if alive[c] && c != a && c != b {
+                        let updated = match linkage {
+                            Linkage::Single => d[a * n + c].min(d[b * n + c]),
+                            Linkage::Complete => d[a * n + c].max(d[b * n + c]),
+                            Linkage::Average => {
+                                let (na, nb) = (sizes[a] as f64, sizes[b] as f64);
+                                (na * d[a * n + c] + nb * d[b * n + c]) / (na + nb)
+                            }
+                        };
+                        d[a * n + c] = updated;
+                        d[c * n + a] = updated;
+                    }
+                }
+                raw_merges.push(Merge {
+                    left: ids[a],
+                    right: ids[b],
+                    distance: dist_tc,
+                    size: sizes[a] + sizes[b],
+                });
+                sizes[a] += sizes[b];
+                ids[a] = next_id;
+                next_id += 1;
+                alive[b] = false;
+                remaining -= 1;
+                break;
+            }
+            chain.push(nearest);
+        }
+    }
+
+    // NN-chain discovers merges out of height order; restore the
+    // monotone order the naive algorithm produces. Node ids must be
+    // remapped to match the new positions.
+    sort_merges(n, raw_merges)
+}
+
+/// Stably sorts merges by height and renumbers internal node ids.
+fn sort_merges(n: usize, raw: Vec<Merge>) -> Dendrogram {
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&x, &y| {
+        raw[x]
+            .distance
+            .partial_cmp(&raw[y].distance)
+            .expect("distances are finite")
+            .then(x.cmp(&y))
+    });
+    // old internal id (n + old_index) → new internal id (n + new_index)
+    let mut remap = vec![usize::MAX; raw.len()];
+    for (new_index, &old_index) in order.iter().enumerate() {
+        remap[old_index] = n + new_index;
+    }
+    let translate = |id: usize| -> usize {
+        if id < n {
+            id
+        } else {
+            remap[id - n]
+        }
+    };
+    let merges = order
+        .iter()
+        .map(|&old_index| {
+            let m = &raw[old_index];
+            Merge {
+                left: translate(m.left),
+                right: translate(m.right),
+                distance: m.distance,
+                size: m.size,
+            }
+        })
+        .collect();
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cophenetic::cophenetic_distances;
+    use crate::hac::hierarchical;
+
+    fn agree(d: &DistanceMatrix, linkage: Linkage) {
+        let naive = hierarchical(d, linkage);
+        let chain = hierarchical_nn_chain(d, linkage);
+        // Same heights multiset.
+        let mut h1: Vec<f64> = naive.merges().iter().map(|m| m.distance).collect();
+        let mut h2: Vec<f64> = chain.merges().iter().map(|m| m.distance).collect();
+        h1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        h2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in h1.iter().zip(&h2) {
+            assert!((a - b).abs() < 1e-9, "heights differ: {a} vs {b}");
+        }
+        // Identical cophenetic structure.
+        let c1 = cophenetic_distances(&naive);
+        let c2 = cophenetic_distances(&chain);
+        for i in 0..d.len() {
+            for j in 0..d.len() {
+                assert!(
+                    (c1.get(i, j) - c2.get(i, j)).abs() < 1e-9,
+                    "cophenetic mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_distinct_distances() {
+        // All pairwise distances distinct → unique dendrogram.
+        let d = DistanceMatrix::from_fn(7, |i, j| (i * 13 + j * 7 + (i * j) % 5) as f64 + 1.0);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            agree(&d, linkage);
+        }
+    }
+
+    #[test]
+    fn agrees_on_clustered_data() {
+        let d = DistanceMatrix::from_fn(9, |i, j| {
+            if i / 3 == j / 3 {
+                1.0 + (i + j) as f64 * 0.01
+            } else {
+                10.0 + (i * j) as f64 * 0.01
+            }
+        });
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            agree(&d, linkage);
+        }
+    }
+
+    #[test]
+    fn merge_heights_are_sorted() {
+        let d = DistanceMatrix::from_fn(8, |i, j| ((i * 31 + j * 17) % 23) as f64 + 1.0);
+        let dendro = hierarchical_nn_chain(&d, Linkage::Average);
+        for w in dendro.merges().windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn node_ids_are_consistent_after_remap() {
+        let d = DistanceMatrix::from_fn(6, |i, j| ((i + 2 * j) % 7) as f64 + 0.5);
+        let dendro = hierarchical_nn_chain(&d, Linkage::Complete);
+        // Every internal id referenced must have been produced earlier.
+        for (step, m) in dendro.merges().iter().enumerate() {
+            let node = 6 + step;
+            assert!(m.left < node && m.right < node, "merge {step} references the future");
+        }
+        // The cut still yields valid dense labels.
+        let labels = dendro.cut(3);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let empty = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(hierarchical_nn_chain(&empty, Linkage::Single).merges().is_empty());
+        let one = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        assert_eq!(hierarchical_nn_chain(&one, Linkage::Single).cut(1), vec![0]);
+        let two = DistanceMatrix::from_fn(2, |_, _| 3.0);
+        let dendro = hierarchical_nn_chain(&two, Linkage::Average);
+        assert_eq!(dendro.merges().len(), 1);
+        assert_eq!(dendro.merges()[0].distance, 3.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for clustering: dendrogram structure, metric axioms
+//! and label-quality measures on random distance matrices.
+
+use proptest::prelude::*;
+
+use kastio_cluster::{
+    adjusted_rand_index, cophenetic_correlation, cophenetic_distances, hierarchical,
+    hierarchical_nn_chain, k_medoids, normalized_mutual_information, purity, silhouette,
+    DistanceMatrix, Linkage,
+};
+
+fn arb_distance(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.01f64..100.0, n * (n.saturating_sub(1)) / 2).prop_map(
+            move |vals| {
+                let mut it = vals.into_iter();
+                DistanceMatrix::from_fn(n, |_, _| it.next().expect("enough values"))
+            },
+        )
+    })
+}
+
+fn arb_labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+fn arb_linkage() -> impl Strategy<Value = Linkage> {
+    prop_oneof![Just(Linkage::Single), Just(Linkage::Complete), Just(Linkage::Average)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dendrogram_has_full_merge_list(d in arb_distance(12), linkage in arb_linkage()) {
+        let dendro = hierarchical(&d, linkage);
+        prop_assert_eq!(dendro.merges().len(), d.len() - 1);
+        // Sizes grow to n at the last merge.
+        if let Some(last) = dendro.merges().last() {
+            prop_assert_eq!(last.size, d.len());
+        }
+    }
+
+    #[test]
+    fn single_linkage_merge_heights_are_monotone(d in arb_distance(12)) {
+        // Single linkage is provably monotone (no inversions).
+        let dendro = hierarchical(&d, Linkage::Single);
+        for w in dendro.merges().windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cut_produces_exactly_k_dense_labels(d in arb_distance(12), k in 1usize..12) {
+        let k = k.min(d.len());
+        let labels = hierarchical(&d, Linkage::Average).cut(k);
+        prop_assert_eq!(labels.len(), d.len());
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), k);
+        prop_assert!(labels.iter().all(|&l| l < k), "labels are dense in 0..k");
+    }
+
+    #[test]
+    fn cophenetic_is_an_ultrametric_for_single_linkage(d in arb_distance(10)) {
+        let dendro = hierarchical(&d, Linkage::Single);
+        let coph = cophenetic_distances(&dendro);
+        let n = d.len();
+        for i in 0..n {
+            prop_assert_eq!(coph.get(i, i), 0.0);
+            for j in 0..n {
+                for l in 0..n {
+                    // Ultrametric inequality.
+                    let lhs = coph.get(i, j);
+                    let rhs = coph.get(i, l).max(coph.get(l, j));
+                    prop_assert!(lhs <= rhs + 1e-9);
+                }
+            }
+        }
+        // Single-linkage cophenetic distances never exceed the original.
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(coph.get(i, j) <= d.get(i, j) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_correlation_is_bounded(d in arb_distance(10), linkage in arb_linkage()) {
+        let dendro = hierarchical(&d, linkage);
+        let r = cophenetic_correlation(&d, &dendro);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn ari_axioms(labels in arb_labels(12, 4), perm in proptest::sample::select(vec![[1usize,2,3,0],[3,0,1,2],[2,3,0,1]])) {
+        // Self-agreement.
+        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        // Permutation invariance.
+        let renamed: Vec<usize> = labels.iter().map(|&l| perm[l]).collect();
+        let ari = adjusted_rand_index(&labels, &renamed);
+        prop_assert!((ari - 1.0).abs() < 1e-12);
+        // Symmetry.
+        let other: Vec<usize> = labels.iter().rev().cloned().collect();
+        prop_assert!((adjusted_rand_index(&labels, &other)
+            - adjusted_rand_index(&other, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_and_nmi_bounds(pred in arb_labels(14, 4), truth in arb_labels(14, 4)) {
+        let p = purity(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((purity(&truth, &truth) - 1.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        prop_assert!((normalized_mutual_information(&truth, &truth) - 1.0).abs() < 1e-12);
+        // All-singletons prediction has purity 1 by definition.
+        let singletons: Vec<usize> = (0..14).collect();
+        prop_assert_eq!(purity(&singletons, &truth), 1.0);
+    }
+
+    #[test]
+    fn silhouette_is_bounded(d in arb_distance(10), k in 2usize..4) {
+        let k = k.min(d.len());
+        let labels = hierarchical(&d, Linkage::Average).cut(k);
+        let s = silhouette(&d, &labels);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn nn_chain_agrees_with_naive_hac(d in arb_distance(11), linkage in arb_linkage()) {
+        // Same merge-height multiset and identical cophenetic structure
+        // (random continuous distances make ties measure-zero, but the
+        // comparison tolerates them anyway by comparing structure, not
+        // merge order).
+        let naive = hierarchical(&d, linkage);
+        let chain = hierarchical_nn_chain(&d, linkage);
+        let mut h1: Vec<f64> = naive.merges().iter().map(|m| m.distance).collect();
+        let mut h2: Vec<f64> = chain.merges().iter().map(|m| m.distance).collect();
+        h1.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        h2.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for (a, b) in h1.iter().zip(&h2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let (c1, c2) = (cophenetic_distances(&naive), cophenetic_distances(&chain));
+        for i in 0..d.len() {
+            for j in 0..d.len() {
+                prop_assert!((c1.get(i, j) - c2.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmedoids_structure(d in arb_distance(10), k in 1usize..5) {
+        let k = k.min(d.len());
+        let result = k_medoids(&d, k);
+        prop_assert_eq!(result.medoids.len(), k);
+        prop_assert_eq!(result.labels.len(), d.len());
+        // Medoids are distinct and label themselves.
+        let mut ms = result.medoids.clone();
+        ms.sort_unstable();
+        ms.dedup();
+        prop_assert_eq!(ms.len(), k);
+        for (slot, &m) in result.medoids.iter().enumerate() {
+            prop_assert_eq!(result.labels[m], slot);
+        }
+        // Every point is assigned to its nearest medoid.
+        for i in 0..d.len() {
+            let assigned = d.get(i, result.medoids[result.labels[i]]);
+            for &m in &result.medoids {
+                prop_assert!(assigned <= d.get(i, m) + 1e-9);
+            }
+        }
+        // Cost equals the sum of assigned distances.
+        let cost: f64 = (0..d.len()).map(|i| d.get(i, result.medoids[result.labels[i]])).sum();
+        prop_assert!((cost - result.cost).abs() < 1e-9);
+    }
+}

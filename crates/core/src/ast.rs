@@ -1,0 +1,154 @@
+//! Serialising *arbitrary* trees to weighted strings (§6 future work).
+//!
+//! "Due to the fact that the proposed string representation is independent
+//! from the domain … Future efforts of this project will focus on the
+//! comparison of the intermediate representation delivered by the LLVM
+//! Compiler Infrastructure." This module provides the generic hook: any
+//! tree implementing [`WeightedTree`] flattens to the same token stream
+//! (pre-order + `[LEVEL_UP]`) the I/O pipeline produces, so every kernel
+//! in the workspace applies unchanged. A toy expression AST ([`Expr`])
+//! demonstrates the mechanism and backs the `ast_compare` example.
+
+use crate::string::WeightedString;
+use crate::token::{TokenLiteral, WeightedToken};
+
+/// A tree whose nodes carry a label and a weight.
+///
+/// Implement this for your own IR/AST node type and call
+/// [`weighted_string_of_tree`] to obtain a kernel-comparable string.
+pub trait WeightedTree {
+    /// The label of this node (becomes a `Sym` token literal).
+    fn label(&self) -> String;
+
+    /// The weight of this node (defaults to 1 in most IRs; use e.g.
+    /// instruction counts or loop trip counts when known).
+    fn weight(&self) -> u64 {
+        1
+    }
+
+    /// The children of this node, left to right.
+    fn children(&self) -> Vec<&Self>;
+}
+
+/// Flattens any [`WeightedTree`] with the paper's pre-order +
+/// `[LEVEL_UP]` scheme.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::ast::{weighted_string_of_tree, Expr};
+///
+/// let e = Expr::add(Expr::mul(Expr::num(2), Expr::num(3)), Expr::num(1));
+/// let s = weighted_string_of_tree(&e);
+/// assert_eq!(
+///     s.to_string(),
+///     "<add>x1 <mul>x1 <num>x1 <num>x1 [LEVEL_UP]x1 <num>x1",
+/// );
+/// ```
+pub fn weighted_string_of_tree<T: WeightedTree + ?Sized>(root: &T) -> WeightedString {
+    let mut nodes: Vec<(u32, String, u64)> = Vec::new();
+    collect(root, 0, &mut nodes);
+    let mut out = WeightedString::new();
+    let mut prev_depth: Option<u32> = None;
+    for (depth, label, weight) in nodes {
+        if let Some(prev) = prev_depth {
+            if depth < prev {
+                out.push(WeightedToken::new(TokenLiteral::LevelUp, (prev - depth) as u64));
+            }
+        }
+        prev_depth = Some(depth);
+        out.push(WeightedToken::new(TokenLiteral::Sym(label), weight));
+    }
+    out
+}
+
+fn collect<T: WeightedTree + ?Sized>(node: &T, depth: u32, out: &mut Vec<(u32, String, u64)>) {
+    out.push((depth, node.label(), node.weight()));
+    for child in node.children() {
+        collect(child, depth + 1, out);
+    }
+}
+
+/// A toy arithmetic-expression AST used by the examples and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    op: String,
+    args: Vec<Expr>,
+}
+
+impl Expr {
+    /// A numeric leaf (all numbers share the label `num`, mirroring how an
+    /// IR abstracts away constants).
+    pub fn num(_value: i64) -> Expr {
+        Expr { op: "num".to_string(), args: Vec::new() }
+    }
+
+    /// A named variable leaf.
+    pub fn var(name: &str) -> Expr {
+        Expr { op: format!("var:{name}"), args: Vec::new() }
+    }
+
+    /// An addition node.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr { op: "add".to_string(), args: vec![lhs, rhs] }
+    }
+
+    /// A multiplication node.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr { op: "mul".to_string(), args: vec![lhs, rhs] }
+    }
+
+    /// A call node with any number of arguments.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr { op: format!("call:{name}"), args }
+    }
+}
+
+impl WeightedTree for Expr {
+    fn label(&self) -> String {
+        self.op.clone()
+    }
+
+    fn children(&self) -> Vec<&Self> {
+        self.args.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kast::{KastKernel, KastOptions};
+    use crate::kernel::StringKernel;
+    use crate::string::TokenInterner;
+
+    #[test]
+    fn leaf_is_single_token() {
+        let s = weighted_string_of_tree(&Expr::num(7));
+        assert_eq!(s.to_string(), "<num>x1");
+    }
+
+    #[test]
+    fn level_up_counts_jumps() {
+        // add(mul(num, num), num): after the deep nums we jump two levels
+        // before… actually the rhs num is a direct child of add → 1 jump.
+        let e = Expr::add(Expr::mul(Expr::num(1), Expr::num(2)), Expr::num(3));
+        let s = weighted_string_of_tree(&e);
+        assert_eq!(
+            s.to_string(),
+            "<add>x1 <mul>x1 <num>x1 <num>x1 [LEVEL_UP]x1 <num>x1"
+        );
+    }
+
+    #[test]
+    fn similar_expressions_score_higher_than_dissimilar() {
+        let mut interner = TokenInterner::new();
+        let e1 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::num(2)));
+        let e2 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::num(9)));
+        let e3 = Expr::call("sqrt", vec![Expr::var("z")]);
+        let s1 = interner.intern_string(&weighted_string_of_tree(&e1));
+        let s2 = interner.intern_string(&weighted_string_of_tree(&e2));
+        let s3 = interner.intern_string(&weighted_string_of_tree(&e3));
+        let k = KastKernel::new(KastOptions::with_cut_weight(1));
+        assert!(k.normalized(&s1, &s2) > k.normalized(&s1, &s3));
+    }
+}

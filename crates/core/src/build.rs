@@ -1,0 +1,192 @@
+//! Stage one of the conversion: trace → pattern tree.
+//!
+//! "Operations in the I/O access pattern are registered chronologically;
+//! with several file handles acting at the same time it is not always
+//! possible that all the operations belonging to the same file handle could
+//! have been written contiguously. For that reason the patterns are first
+//! converted into trees." (§3.1)
+
+use kastio_trace::{OpKind, Trace};
+
+use crate::token::{ByteSig, OpLiteral};
+use crate::tree::{BlockNode, HandleNode, OpNode, PatternTree};
+
+/// Whether the string representation keeps or ignores byte information.
+///
+/// §3.1: "The proposed string representation can either use or ignore such
+/// byte information (ignoring is made by assuming all byte values are
+/// zero), which means that two different type of strings can be generated
+/// from a single I/O access pattern."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ByteMode {
+    /// Keep the per-operation byte counts.
+    #[default]
+    Preserve,
+    /// Force all byte values to zero.
+    Ignore,
+}
+
+impl ByteMode {
+    fn bytes_of(self, bytes: u64) -> u64 {
+        match self {
+            ByteMode::Preserve => bytes,
+            ByteMode::Ignore => 0,
+        }
+    }
+}
+
+/// Builds the (uncompressed) pattern tree of a trace.
+///
+/// * Negligible operations are dropped.
+/// * Handles appear in order of first appearance; each handle's operations
+///   keep their chronological order.
+/// * `open` starts a new block, `close` ends it; neither becomes a leaf.
+///   Operations outside any open…close span (truncated traces) are placed
+///   in an implicit block so no information is lost.
+/// * Memory addresses are ignored entirely (they are not even part of the
+///   trace model), as the paper prescribes.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{build_tree, ByteMode};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace(
+///     "h0 open 0\nh0 fileno 0\nh0 write 64\nh1 open 0\nh1 read 8\nh1 close 0\nh0 close 0\n",
+/// )?;
+/// let tree = build_tree(&trace, ByteMode::Preserve);
+/// assert_eq!(tree.handles.len(), 2);
+/// assert_eq!(tree.mass(), 2); // fileno dropped, open/close absorbed
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_tree(trace: &Trace, mode: ByteMode) -> PatternTree {
+    let mut tree = PatternTree::new();
+    // index of the handle in tree.handles, parallel "currently open" flag
+    let mut open_block: Vec<bool> = Vec::new();
+
+    for op in trace {
+        if op.kind.is_negligible() {
+            continue;
+        }
+        let idx = match tree.handles.iter().position(|h| h.handle == op.handle) {
+            Some(i) => i,
+            None => {
+                tree.handles.push(HandleNode::new(op.handle));
+                open_block.push(false);
+                tree.handles.len() - 1
+            }
+        };
+        match op.kind {
+            OpKind::Open => {
+                tree.handles[idx].blocks.push(BlockNode::new());
+                open_block[idx] = true;
+            }
+            OpKind::Close => {
+                open_block[idx] = false;
+            }
+            ref kind => {
+                if !open_block[idx] {
+                    // Implicit block for operations outside open…close.
+                    tree.handles[idx].blocks.push(BlockNode::new());
+                    open_block[idx] = true;
+                }
+                let bytes = ByteSig::single(mode.bytes_of(op.bytes));
+                let literal = OpLiteral::new(kind.name(), bytes);
+                tree.handles[idx]
+                    .blocks
+                    .last_mut()
+                    .expect("a block was just ensured")
+                    .ops
+                    .push(OpNode::new(literal));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_trace::parse_trace;
+
+    #[test]
+    fn groups_by_handle_in_first_appearance_order() {
+        let t = parse_trace("h2 open 0\nh0 open 0\nh2 write 1\nh0 read 2\nh0 close 0\nh2 close 0\n")
+            .unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.handles[0].handle.index(), 2);
+        assert_eq!(tree.handles[1].handle.index(), 0);
+    }
+
+    #[test]
+    fn blocks_split_at_open_close() {
+        let t = parse_trace(
+            "h0 open 0\nh0 write 1\nh0 close 0\nh0 open 0\nh0 write 2\nh0 write 3\nh0 close 0\n",
+        )
+        .unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.handles[0].blocks.len(), 2);
+        assert_eq!(tree.handles[0].blocks[0].ops.len(), 1);
+        assert_eq!(tree.handles[0].blocks[1].ops.len(), 2);
+    }
+
+    #[test]
+    fn open_close_are_not_leaves() {
+        let t = parse_trace("h0 open 0\nh0 close 0\n").unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.handles[0].blocks.len(), 1);
+        assert!(tree.handles[0].blocks[0].ops.is_empty());
+        assert_eq!(tree.mass(), 0);
+    }
+
+    #[test]
+    fn negligible_ops_dropped() {
+        let t = parse_trace("h0 open 0\nh0 fileno 0\nh0 fscanf 4\nh0 read 8\nh0 close 0\n").unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.mass(), 1);
+    }
+
+    #[test]
+    fn orphan_ops_get_implicit_block() {
+        let t = parse_trace("h0 write 5\nh0 write 6\n").unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.handles[0].blocks.len(), 1);
+        assert_eq!(tree.mass(), 2);
+    }
+
+    #[test]
+    fn ops_after_close_open_new_implicit_block() {
+        let t = parse_trace("h0 open 0\nh0 write 1\nh0 close 0\nh0 write 9\n").unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        assert_eq!(tree.handles[0].blocks.len(), 2);
+    }
+
+    #[test]
+    fn byte_mode_ignore_zeroes_everything() {
+        let t = parse_trace("h0 open 0\nh0 write 123\nh0 read 456\nh0 close 0\n").unwrap();
+        let tree = build_tree(&t, ByteMode::Ignore);
+        for h in &tree.handles {
+            for b in &h.blocks {
+                for op in &b.ops {
+                    assert!(op.literal.bytes().is_zero());
+                }
+            }
+        }
+        // Names still distinguish the two leaves.
+        assert_eq!(tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn mass_counts_substantive_ops_only() {
+        let t = parse_trace(
+            "h0 open 0\nh0 lseek 0\nh0 write 7\nh0 fsync 0\nh0 fileno 0\nh0 close 0\n",
+        )
+        .unwrap();
+        let tree = build_tree(&t, ByteMode::Preserve);
+        // lseek + write + fsync = 3 leaves; fileno dropped; open/close absorbed.
+        assert_eq!(tree.mass(), 3);
+    }
+}

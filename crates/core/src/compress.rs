@@ -1,0 +1,339 @@
+//! The compression step: merging runs of related operations.
+//!
+//! §3.1 defines four transformations over *consecutive* operation leaves of
+//! the same block, "performed in the given order", with the whole sequence
+//! "repeated once again to capture higher level patterns":
+//!
+//! 1. same name, same bytes → one node, repetitions accumulate
+//!    (a read loop with a fixed record size);
+//! 2. same name, different bytes → one node, byte values combine
+//!    (a loop reading a 2-byte then a 4-byte field of a struct);
+//! 3. different name, same bytes → one node, names combine
+//!    (interlaced reads and writes of equal size — a tacit copy);
+//! 4. different name, different bytes, one side zero-byte → one node,
+//!    names combine, non-zero bytes win (an lseek+write loop).
+//!
+//! Each merge adds the repetition counts of both sides, so the total mass
+//! (number of original operations covered) is invariant — the property the
+//! kernels rely on and that the property tests pin down.
+
+use crate::tree::{BlockNode, OpNode, PatternTree};
+
+/// Which of the paper's four rules to apply. Useful for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionRules {
+    /// Rule 1: same name, same bytes.
+    pub same_name_same_bytes: bool,
+    /// Rule 2: same name, different bytes.
+    pub same_name_diff_bytes: bool,
+    /// Rule 3: different name, same bytes.
+    pub diff_name_same_bytes: bool,
+    /// Rule 4: different name, different bytes, one side zero.
+    pub diff_name_zero_bytes: bool,
+}
+
+impl CompressionRules {
+    /// All four rules enabled — the paper's configuration.
+    pub fn all() -> Self {
+        CompressionRules {
+            same_name_same_bytes: true,
+            same_name_diff_bytes: true,
+            diff_name_same_bytes: true,
+            diff_name_zero_bytes: true,
+        }
+    }
+
+    /// Only rule 1 — pure run-length encoding.
+    pub fn run_length_only() -> Self {
+        CompressionRules {
+            same_name_same_bytes: true,
+            same_name_diff_bytes: false,
+            diff_name_same_bytes: false,
+            diff_name_zero_bytes: false,
+        }
+    }
+}
+
+impl Default for CompressionRules {
+    fn default() -> Self {
+        CompressionRules::all()
+    }
+}
+
+/// Configuration of the compression step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressOptions {
+    /// How many times the rule sequence runs. The paper uses 2 ("the
+    /// previous steps are repeated once again").
+    pub passes: usize,
+    /// Which rules are enabled.
+    pub rules: CompressionRules,
+}
+
+impl Default for CompressOptions {
+    fn default() -> Self {
+        CompressOptions { passes: 2, rules: CompressionRules::all() }
+    }
+}
+
+fn try_merge(a: &OpNode, b: &OpNode, rules: &CompressionRules) -> Option<OpNode> {
+    let same_names = a.literal.same_names(&b.literal);
+    let same_bytes = a.literal.bytes() == b.literal.bytes();
+    let reps = a.reps + b.reps;
+    if same_names && same_bytes {
+        if rules.same_name_same_bytes {
+            return Some(OpNode::with_reps(a.literal.clone(), reps));
+        }
+        return None;
+    }
+    if same_names {
+        if rules.same_name_diff_bytes {
+            let bytes = a.literal.bytes().union(b.literal.bytes());
+            return Some(OpNode::with_reps(a.literal.with_bytes(bytes), reps));
+        }
+        return None;
+    }
+    if same_bytes {
+        if rules.diff_name_same_bytes {
+            return Some(OpNode::with_reps(a.literal.combine_names(&b.literal), reps));
+        }
+        return None;
+    }
+    if rules.diff_name_zero_bytes {
+        let a_zero = a.literal.bytes().is_zero();
+        let b_zero = b.literal.bytes().is_zero();
+        if a_zero != b_zero {
+            let bytes = if a_zero { b.literal.bytes().clone() } else { a.literal.bytes().clone() };
+            let combined = a.literal.combine_names(&b.literal).with_bytes(bytes);
+            return Some(OpNode::with_reps(combined, reps));
+        }
+    }
+    None
+}
+
+/// Exhaustively merges adjacent pairs satisfying `pred` in a left-to-right
+/// scan, restarting at the merged node so chains collapse fully.
+fn merge_adjacent(ops: &mut Vec<OpNode>, rules: &CompressionRules, rule_filter: u8) {
+    let selected = |a: &OpNode, b: &OpNode| -> Option<OpNode> {
+        let same_names = a.literal.same_names(&b.literal);
+        let same_bytes = a.literal.bytes() == b.literal.bytes();
+        let applies = match rule_filter {
+            1 => same_names && same_bytes,
+            2 => same_names && !same_bytes,
+            3 => !same_names && same_bytes,
+            4 => {
+                !same_names
+                    && !same_bytes
+                    && (a.literal.bytes().is_zero() != b.literal.bytes().is_zero())
+            }
+            _ => unreachable!("rule filter out of range"),
+        };
+        if applies {
+            try_merge(a, b, rules)
+        } else {
+            None
+        }
+    };
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        if let Some(merged) = selected(&ops[i], &ops[i + 1]) {
+            ops[i] = merged;
+            ops.remove(i + 1);
+            // Stay at i: the merged node may merge with the next one too.
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Compresses one block in place with the given options.
+pub fn compress_block(block: &mut BlockNode, opts: &CompressOptions) {
+    for _ in 0..opts.passes {
+        for rule in 1..=4u8 {
+            let enabled = match rule {
+                1 => opts.rules.same_name_same_bytes,
+                2 => opts.rules.same_name_diff_bytes,
+                3 => opts.rules.diff_name_same_bytes,
+                _ => opts.rules.diff_name_zero_bytes,
+            };
+            if enabled {
+                merge_adjacent(&mut block.ops, &opts.rules, rule);
+            }
+        }
+    }
+}
+
+/// Compresses every block of the tree in place.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{build_tree, compress_tree, ByteMode, CompressOptions};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 read 8\nh0 read 8\nh0 read 8\nh0 close 0\n")?;
+/// let mut tree = build_tree(&trace, ByteMode::Preserve);
+/// compress_tree(&mut tree, &CompressOptions::default());
+/// assert_eq!(tree.leaf_count(), 1);
+/// assert_eq!(tree.mass(), 3); // compression preserves mass
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress_tree(tree: &mut PatternTree, opts: &CompressOptions) {
+    for handle in &mut tree.handles {
+        for block in &mut handle.blocks {
+            compress_block(block, opts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{ByteSig, OpLiteral};
+
+    fn leaf(name: &str, bytes: u64) -> OpNode {
+        OpNode::new(OpLiteral::new(name, ByteSig::single(bytes)))
+    }
+
+    fn block(ops: Vec<OpNode>) -> BlockNode {
+        BlockNode { ops }
+    }
+
+    fn compressed(ops: Vec<OpNode>) -> Vec<OpNode> {
+        let mut b = block(ops);
+        compress_block(&mut b, &CompressOptions::default());
+        b.ops
+    }
+
+    #[test]
+    fn rule1_run_length() {
+        let out = compressed(vec![leaf("read", 8), leaf("read", 8), leaf("read", 8)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reps, 3);
+        assert_eq!(out[0].literal, OpLiteral::new("read", ByteSig::single(8)));
+    }
+
+    #[test]
+    fn rule2_combines_bytes() {
+        // "initializing in a loop an array of C structures compound of a
+        // 2-bytes integer and a 4-bytes integer"
+        let out = compressed(vec![leaf("read", 2), leaf("read", 4)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reps, 2);
+        assert_eq!(out[0].literal.bytes().values(), &[2, 4]);
+    }
+
+    #[test]
+    fn rule3_combines_names() {
+        // "a series of interlaced read and write operations with the same
+        // number of bytes might indicate a tacit copy operation"
+        let out = compressed(vec![leaf("read", 64), leaf("write", 64)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].literal.name_string(), "read+write");
+        assert_eq!(out[0].literal.bytes().values(), &[64]);
+    }
+
+    #[test]
+    fn rule4_zero_byte_absorption() {
+        // "inside a loop an lseek operation moves the pointer … and a write
+        // operation records the information there"
+        let out = compressed(vec![leaf("lseek", 0), leaf("write", 512)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].literal.name_string(), "lseek+write");
+        assert_eq!(out[0].literal.bytes().values(), &[512]);
+    }
+
+    #[test]
+    fn rule4_requires_exactly_one_zero_side() {
+        let mut b = block(vec![leaf("read", 3), leaf("write", 7)]);
+        compress_block(&mut b, &CompressOptions::default());
+        assert_eq!(b.ops.len(), 2, "no rule applies to 3-byte read vs 7-byte write");
+    }
+
+    #[test]
+    fn lseek_write_loop_collapses_fully() {
+        // A full loop: lseek w lseek w lseek w → after rule 4 the pairs
+        // become identical lseek+write[512] nodes, and the second pass's
+        // rule 1 run-length encodes them.
+        let ops = vec![
+            leaf("lseek", 0),
+            leaf("write", 512),
+            leaf("lseek", 0),
+            leaf("write", 512),
+            leaf("lseek", 0),
+            leaf("write", 512),
+        ];
+        let out = compressed(ops);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reps, 6);
+        assert_eq!(out[0].literal.name_string(), "lseek+write");
+    }
+
+    #[test]
+    fn second_pass_captures_higher_level_patterns() {
+        // read[2] read[4] read[2] read[4]: pass 1 rule 2 merges neighbours
+        // into read[2|4] nodes; rule 1 within the same pass then collapses
+        // the two identical combined nodes.
+        let ops = vec![leaf("read", 2), leaf("read", 4), leaf("read", 2), leaf("read", 4)];
+        let out = compressed(ops);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reps, 4);
+        assert_eq!(out[0].literal.bytes().values(), &[2, 4]);
+    }
+
+    #[test]
+    fn mass_is_preserved() {
+        let ops = vec![
+            leaf("read", 2),
+            leaf("read", 2),
+            leaf("write", 2),
+            leaf("lseek", 0),
+            leaf("write", 8),
+            leaf("read", 5),
+        ];
+        let before: u64 = ops.iter().map(|o| o.reps).sum();
+        let out = compressed(ops);
+        let after: u64 = out.iter().map(|o| o.reps).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn disabled_rules_do_nothing() {
+        let opts = CompressOptions { passes: 2, rules: CompressionRules::run_length_only() };
+        let mut b = block(vec![leaf("read", 2), leaf("read", 4)]);
+        compress_block(&mut b, &opts);
+        assert_eq!(b.ops.len(), 2, "rule 2 disabled, different bytes stay split");
+    }
+
+    #[test]
+    fn empty_and_singleton_blocks_are_stable() {
+        let mut b = block(vec![]);
+        compress_block(&mut b, &CompressOptions::default());
+        assert!(b.ops.is_empty());
+        let mut b = block(vec![leaf("read", 1)]);
+        compress_block(&mut b, &CompressOptions::default());
+        assert_eq!(b.ops.len(), 1);
+        assert_eq!(b.ops[0].reps, 1);
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let opts = CompressOptions { passes: 0, rules: CompressionRules::all() };
+        let mut b = block(vec![leaf("read", 8), leaf("read", 8)]);
+        compress_block(&mut b, &opts);
+        assert_eq!(b.ops.len(), 2);
+    }
+
+    #[test]
+    fn rules_apply_in_paper_order() {
+        // rule 1 must fire before rule 3 gets a chance: write write read
+        // (all 8 bytes) → rule 1 makes write(x2), then rule 3 combines with
+        // read into read+write(x3).
+        let out = compressed(vec![leaf("write", 8), leaf("write", 8), leaf("read", 8)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].literal.name_string(), "read+write");
+        assert_eq!(out[0].reps, 3);
+    }
+}

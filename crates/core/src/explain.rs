@@ -1,0 +1,235 @@
+//! Human-readable similarity explanations.
+//!
+//! The Kast kernel's embedding is inspectable by construction — every
+//! feature is a concrete shared substring. This module turns the feature
+//! list of a pair of strings into a ranked report: *why* are these two
+//! access patterns similar, and which shared runs carry the similarity?
+
+use std::fmt;
+
+use crate::kast::{KastKernel, SharedFeature};
+use crate::kernel::StringKernel;
+use crate::string::{IdString, TokenInterner};
+
+/// One line of a similarity explanation: a shared substring with its
+/// contribution to the kernel value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    /// The shared substring rendered as text (e.g. `[BLOCK] write[512]`).
+    pub literal: String,
+    /// Number of tokens in the substring.
+    pub len: usize,
+    /// Appearance count in the first / second string.
+    pub appearances: (usize, usize),
+    /// Summed appearance weight in the first / second string.
+    pub weights: (u64, u64),
+    /// `weight_a · weight_b` — this feature's term of the inner product.
+    pub contribution: f64,
+    /// The term as a fraction of the raw kernel value (0 when the kernel
+    /// value is 0).
+    pub share: f64,
+}
+
+impl fmt::Display for Contribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:6.1}%  {:>7}·{:<7} {}",
+            self.share * 100.0,
+            self.weights.0,
+            self.weights.1,
+            self.literal,
+        )
+    }
+}
+
+/// A full explanation of one kernel evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::explain::explain_similarity;
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+/// use kastio_core::{KastKernel, KastOptions, TokenInterner, WeightedString};
+///
+/// fn sym(name: &str, w: u64) -> WeightedToken {
+///     WeightedToken::new(TokenLiteral::Sym(name.into()), w)
+/// }
+///
+/// let mut interner = TokenInterner::new();
+/// let a: WeightedString = [sym("p", 5), sym("q", 5)].into_iter().collect();
+/// let b: WeightedString = [sym("p", 7), sym("q", 2)].into_iter().collect();
+/// let (ia, ib) = (interner.intern_string(&a), interner.intern_string(&b));
+///
+/// let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+/// let report = explain_similarity(&kernel, &ia, &ib, &interner);
+/// assert_eq!(report.contributions.len(), 1);
+/// assert_eq!(report.contributions[0].literal, "<p> <q>");
+/// assert_eq!(report.raw, 90.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityReport {
+    /// The raw kernel value.
+    pub raw: f64,
+    /// The normalised kernel value.
+    pub normalized: f64,
+    /// Per-feature contributions, largest first.
+    pub contributions: Vec<Contribution>,
+}
+
+impl SimilarityReport {
+    /// The `n` largest contributions.
+    pub fn top(&self, n: usize) -> &[Contribution] {
+        &self.contributions[..n.min(self.contributions.len())]
+    }
+}
+
+impl fmt::Display for SimilarityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel value {:.2} (normalised {:.4}); {} shared feature(s):",
+            self.raw,
+            self.normalized,
+            self.contributions.len()
+        )?;
+        for c in &self.contributions {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+fn render(feature: &SharedFeature, interner: &TokenInterner) -> String {
+    feature
+        .tokens
+        .iter()
+        .map(|id| {
+            interner
+                .resolve(*id)
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| format!("{id}"))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Explains one Kast kernel evaluation: every shared feature, decoded and
+/// ranked by its contribution to the kernel value.
+///
+/// The interner must be the one the strings were interned with —
+/// otherwise literals decode to the wrong names.
+pub fn explain_similarity(
+    kernel: &KastKernel,
+    a: &IdString,
+    b: &IdString,
+    interner: &TokenInterner,
+) -> SimilarityReport {
+    let features = kernel.features(a, b);
+    let raw: f64 = features.iter().map(|f| f.weight_a as f64 * f.weight_b as f64).sum();
+    let normalized = kernel.normalized(a, b);
+    let mut contributions: Vec<Contribution> = features
+        .iter()
+        .map(|f| {
+            let contribution = f.weight_a as f64 * f.weight_b as f64;
+            Contribution {
+                literal: render(f, interner),
+                len: f.len(),
+                appearances: (f.starts_a.len(), f.starts_b.len()),
+                weights: (f.weight_a, f.weight_b),
+                contribution,
+                share: if raw > 0.0 { contribution / raw } else { 0.0 },
+            }
+        })
+        .collect();
+    contributions.sort_by(|x, y| {
+        y.contribution
+            .partial_cmp(&x.contribution)
+            .expect("contributions are finite")
+    });
+    SimilarityReport { raw, normalized, contributions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kast::KastOptions;
+    use crate::token::{TokenLiteral, WeightedToken};
+    use crate::WeightedString;
+
+    fn sym(name: &str, w: u64) -> WeightedToken {
+        WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
+    }
+
+    fn setup() -> (KastKernel, IdString, IdString, TokenInterner) {
+        let mut interner = TokenInterner::new();
+        let a: WeightedString =
+            [sym("p", 5), sym("q", 5), sym("zz", 1), sym("r", 9)].into_iter().collect();
+        let b: WeightedString =
+            [sym("p", 7), sym("q", 2), sym("yy", 1), sym("r", 3)].into_iter().collect();
+        let ia = interner.intern_string(&a);
+        let ib = interner.intern_string(&b);
+        (KastKernel::new(KastOptions::with_cut_weight(2)), ia, ib, interner)
+    }
+
+    #[test]
+    fn report_matches_kernel_values() {
+        let (kernel, a, b, interner) = setup();
+        let report = explain_similarity(&kernel, &a, &b, &interner);
+        assert_eq!(report.raw, kernel.raw(&a, &b));
+        assert_eq!(report.normalized, kernel.normalized(&a, &b));
+        let sum: f64 = report.contributions.iter().map(|c| c.contribution).sum();
+        assert_eq!(sum, report.raw);
+    }
+
+    #[test]
+    fn contributions_are_sorted_and_shares_sum_to_one() {
+        let (kernel, a, b, interner) = setup();
+        let report = explain_similarity(&kernel, &a, &b, &interner);
+        assert!(report.contributions.len() >= 2);
+        for w in report.contributions.windows(2) {
+            assert!(w[0].contribution >= w[1].contribution);
+        }
+        let total: f64 = report.contributions.iter().map(|c| c.share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literals_decode() {
+        let (kernel, a, b, interner) = setup();
+        let report = explain_similarity(&kernel, &a, &b, &interner);
+        assert_eq!(report.contributions[0].literal, "<p> <q>");
+        assert_eq!(report.contributions[0].appearances, (1, 1));
+    }
+
+    #[test]
+    fn zero_similarity_report() {
+        let mut interner = TokenInterner::new();
+        let a: WeightedString = [sym("p", 5)].into_iter().collect();
+        let b: WeightedString = [sym("q", 5)].into_iter().collect();
+        let ia = interner.intern_string(&a);
+        let ib = interner.intern_string(&b);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+        let report = explain_similarity(&kernel, &ia, &ib, &interner);
+        assert_eq!(report.raw, 0.0);
+        assert!(report.contributions.is_empty());
+        assert!(report.to_string().contains("0 shared feature"));
+    }
+
+    #[test]
+    fn top_truncates() {
+        let (kernel, a, b, interner) = setup();
+        let report = explain_similarity(&kernel, &a, &b, &interner);
+        assert_eq!(report.top(1).len(), 1);
+        assert_eq!(report.top(100).len(), report.contributions.len());
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let (kernel, a, b, interner) = setup();
+        let report = explain_similarity(&kernel, &a, &b, &interner);
+        let text = report.to_string();
+        assert!(text.contains('%'));
+        assert!(text.contains("<p> <q>"));
+    }
+}

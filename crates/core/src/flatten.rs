@@ -1,0 +1,195 @@
+//! Stage two of the conversion: pattern tree → weighted string.
+//!
+//! The tree is traversed in pre-order and every node emits one token. The
+//! synthetic `[LEVEL_UP]` token "represents the change to an upper level
+//! when doing the pre-order traversal. Its weight is simply the amount of
+//! levels jumped until the next new node is found" (§3.1). No token marks
+//! downward moves: a parent→child step is implicit in adjacency.
+
+use crate::string::WeightedString;
+use crate::token::{TokenLiteral, WeightedToken};
+use crate::tree::PatternTree;
+
+/// Flattens a pattern tree into its weighted-string representation.
+///
+/// Token inventory:
+/// * `[ROOT]`, `[HANDLE]`, `[BLOCK]` — weight 1;
+/// * operation leaves — literal `name[bytes]`, weight = repetition count;
+/// * `[LEVEL_UP]` — weight = number of levels jumped upward before the next
+///   node; never emitted after the final node.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{build_tree, compress_tree, flatten_tree, ByteMode, CompressOptions};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace(
+///     "h0 open 0\nh0 write 8\nh0 close 0\nh1 open 0\nh1 read 4\nh1 close 0\n",
+/// )?;
+/// let mut tree = build_tree(&trace, ByteMode::Preserve);
+/// compress_tree(&mut tree, &CompressOptions::default());
+/// let s = flatten_tree(&tree);
+/// assert_eq!(
+///     s.to_string(),
+///     "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 write[8]x1 [LEVEL_UP]x2 [HANDLE]x1 [BLOCK]x1 read[4]x1",
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn flatten_tree(tree: &PatternTree) -> WeightedString {
+    // Emit (depth, token) pairs in pre-order, then insert LEVEL_UP tokens
+    // between consecutive emissions whenever the depth decreases.
+    let mut nodes: Vec<(u32, WeightedToken)> = Vec::new();
+    nodes.push((0, WeightedToken::structural(TokenLiteral::Root)));
+    for handle in &tree.handles {
+        nodes.push((1, WeightedToken::structural(TokenLiteral::Handle)));
+        for block in &handle.blocks {
+            nodes.push((2, WeightedToken::structural(TokenLiteral::Block)));
+            for op in &block.ops {
+                nodes.push((
+                    3,
+                    WeightedToken::new(TokenLiteral::Op(op.literal.clone()), op.reps),
+                ));
+            }
+        }
+    }
+
+    let mut out = WeightedString::new();
+    let mut prev_depth: Option<u32> = None;
+    for (depth, token) in nodes {
+        if let Some(prev) = prev_depth {
+            if depth < prev {
+                out.push(WeightedToken::new(TokenLiteral::LevelUp, (prev - depth) as u64));
+            }
+        }
+        prev_depth = Some(depth);
+        out.push(token);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{ByteSig, OpLiteral};
+    use crate::tree::{BlockNode, HandleNode, OpNode};
+    use kastio_trace::HandleId;
+
+    fn leaf(name: &str, bytes: u64, reps: u64) -> OpNode {
+        OpNode::with_reps(OpLiteral::new(name, ByteSig::single(bytes)), reps)
+    }
+
+    fn tree_of(blocks_per_handle: Vec<Vec<Vec<OpNode>>>) -> PatternTree {
+        let mut tree = PatternTree::new();
+        for (i, blocks) in blocks_per_handle.into_iter().enumerate() {
+            let mut h = HandleNode::new(HandleId::new(i as u32));
+            for ops in blocks {
+                h.blocks.push(BlockNode { ops });
+            }
+            tree.handles.push(h);
+        }
+        tree
+    }
+
+    fn literals(s: &WeightedString) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_tree_is_just_root() {
+        let s = flatten_tree(&PatternTree::new());
+        assert_eq!(literals(&s), vec!["[ROOT]x1"]);
+    }
+
+    #[test]
+    fn single_handle_single_block() {
+        let t = tree_of(vec![vec![vec![leaf("read", 8, 5)]]]);
+        let s = flatten_tree(&t);
+        assert_eq!(
+            literals(&s),
+            vec!["[ROOT]x1", "[HANDLE]x1", "[BLOCK]x1", "read[8]x5"]
+        );
+        // Leaf weight is the repetition count.
+        assert_eq!(s.as_slice()[3].weight, 5);
+    }
+
+    #[test]
+    fn level_up_between_blocks_is_one() {
+        let t = tree_of(vec![vec![vec![leaf("read", 8, 1)], vec![leaf("write", 4, 1)]]]);
+        let s = flatten_tree(&t);
+        assert_eq!(
+            literals(&s),
+            vec![
+                "[ROOT]x1",
+                "[HANDLE]x1",
+                "[BLOCK]x1",
+                "read[8]x1",
+                "[LEVEL_UP]x1",
+                "[BLOCK]x1",
+                "write[4]x1",
+            ]
+        );
+    }
+
+    #[test]
+    fn level_up_between_handles_is_two() {
+        let t = tree_of(vec![vec![vec![leaf("read", 8, 1)]], vec![vec![leaf("write", 4, 1)]]]);
+        let s = flatten_tree(&t);
+        assert_eq!(
+            literals(&s),
+            vec![
+                "[ROOT]x1",
+                "[HANDLE]x1",
+                "[BLOCK]x1",
+                "read[8]x1",
+                "[LEVEL_UP]x2",
+                "[HANDLE]x1",
+                "[BLOCK]x1",
+                "write[4]x1",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_block_to_sibling_block_needs_no_level_up() {
+        let t = tree_of(vec![vec![vec![], vec![leaf("read", 8, 1)]]]);
+        let s = flatten_tree(&t);
+        assert_eq!(
+            literals(&s),
+            vec!["[ROOT]x1", "[HANDLE]x1", "[BLOCK]x1", "[BLOCK]x1", "read[8]x1"]
+        );
+    }
+
+    #[test]
+    fn empty_block_at_end_of_handle_levels_up_one() {
+        // handle1 ends with an empty block (depth 2), next node is handle2
+        // (depth 1): jump of 1.
+        let t = tree_of(vec![vec![vec![]], vec![vec![]]]);
+        let s = flatten_tree(&t);
+        assert_eq!(
+            literals(&s),
+            vec!["[ROOT]x1", "[HANDLE]x1", "[BLOCK]x1", "[LEVEL_UP]x1", "[HANDLE]x1", "[BLOCK]x1"]
+        );
+    }
+
+    #[test]
+    fn no_trailing_level_up() {
+        let t = tree_of(vec![vec![vec![leaf("read", 8, 1)]]]);
+        let s = flatten_tree(&t);
+        assert_ne!(
+            s.as_slice().last().unwrap().literal,
+            TokenLiteral::LevelUp,
+            "no level-up after the final node"
+        );
+    }
+
+    #[test]
+    fn string_weight_accounts_structure_and_mass() {
+        let t = tree_of(vec![vec![vec![leaf("read", 8, 5), leaf("write", 8, 3)]]]);
+        let s = flatten_tree(&t);
+        // ROOT + HANDLE + BLOCK (3) + leaves (8) = 11; no level-ups.
+        assert_eq!(s.total_weight(), 11);
+    }
+}

@@ -1,0 +1,110 @@
+//! The [`StringKernel`] trait shared by the Kast kernel and all baselines.
+
+use crate::string::IdString;
+
+/// A kernel function over interned weighted strings.
+///
+/// Implementations compute a similarity value from the pairwise structure
+/// of two [`IdString`]s. The default [`StringKernel::normalized`] applies
+/// cosine normalisation `k(a,b)/√(k(a,a)·k(b,b))`; kernels with a
+/// domain-specific normalisation (the Kast kernel uses the paper's weight
+/// product, Eq. 12) override it.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{KastKernel, KastOptions, StringKernel, TokenInterner, WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+///
+/// let mut interner = TokenInterner::new();
+/// let s: WeightedString =
+///     [WeightedToken::new(TokenLiteral::Sym("a".into()), 5)].into_iter().collect();
+/// let ids = interner.intern_string(&s);
+/// let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+/// assert!(kernel.normalized(&ids, &ids) > 0.0);
+/// ```
+pub trait StringKernel {
+    /// Short human-readable kernel name (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// The raw (unnormalised) kernel value.
+    fn raw(&self, a: &IdString, b: &IdString) -> f64;
+
+    /// The normalised kernel value.
+    ///
+    /// Defaults to cosine normalisation `k(a,b)/√(k(a,a)·k(b,b))`; returns
+    /// 0 when either self-similarity vanishes (e.g. an empty string). For
+    /// true inner-product kernels (the spectrum family) the result lies in
+    /// `[0, 1]`; for the Kast kernel it may exceed 1 because the feature
+    /// space is pair-dependent — the reason §4.1 of the paper clamps
+    /// negative eigenvalues of the similarity matrices before analysis.
+    fn normalized(&self, a: &IdString, b: &IdString) -> f64 {
+        let kab = self.raw(a, b);
+        if kab == 0.0 {
+            return 0.0;
+        }
+        let kaa = self.raw(a, a);
+        let kbb = self.raw(b, b);
+        if kaa <= 0.0 || kbb <= 0.0 {
+            return 0.0;
+        }
+        kab / (kaa * kbb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::{TokenId, IdString};
+
+    /// A trivial kernel counting shared token multiset mass, to exercise
+    /// the default normalisation.
+    struct CountKernel;
+
+    impl StringKernel for CountKernel {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+
+        fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+            let mut v = 0.0;
+            for &x in a.ids() {
+                for &y in b.ids() {
+                    if x == y {
+                        v += 1.0;
+                    }
+                }
+            }
+            v
+        }
+    }
+
+    fn ids(v: &[u32]) -> IdString {
+        IdString::from_parts(v.iter().map(|&i| TokenId(i)).collect(), vec![1; v.len()])
+    }
+
+    #[test]
+    fn default_normalisation_is_cosine() {
+        let k = CountKernel;
+        let a = ids(&[0, 1]);
+        let b = ids(&[0, 2]);
+        // raw: 1 shared; self: 2 each → 1/√(2·2) = 0.5
+        assert_eq!(k.normalized(&a, &b), 0.5);
+        assert_eq!(k.normalized(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn zero_raw_normalises_to_zero() {
+        let k = CountKernel;
+        let a = ids(&[0]);
+        let b = ids(&[1]);
+        assert_eq!(k.normalized(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_string_normalises_to_zero() {
+        let k = CountKernel;
+        let a = ids(&[]);
+        assert_eq!(k.normalized(&a, &a), 0.0);
+    }
+}

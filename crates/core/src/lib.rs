@@ -1,0 +1,61 @@
+//! The paper's primary contribution: the weighted-string representation of
+//! I/O access patterns and the **Kast Spectrum Kernel**.
+//!
+//! This crate implements §3 of Torres, Kunkel, Dolz, Ludwig — *A Novel
+//! String Representation and Kernel Function for the Comparison of I/O
+//! Access Patterns* (PaCT 2017):
+//!
+//! * **Stage one** — trace → pattern tree ([`build_tree`], [`tree`]),
+//!   with the four-rule compression step ([`compress_tree`]).
+//! * **Stage two** — tree → weighted string ([`flatten_tree`]), pre-order
+//!   with `[LEVEL_UP]` distance tokens.
+//! * **Kast Spectrum Kernel** ([`KastKernel`]) over interned weighted
+//!   strings, with the cut-weight parameter, the independence condition on
+//!   shared substrings, and the paper's normalisation.
+//! * The domain-independent tree serialiser of the paper's future-work
+//!   section ([`ast`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kastio_core::{pattern_string, ByteMode, KastKernel, KastOptions, StringKernel,
+//!                   TokenInterner};
+//! use kastio_trace::parse_trace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t1 = parse_trace("h0 open 0\nh0 write 64\nh0 write 64\nh0 close 0\n")?;
+//! let t2 = parse_trace("h0 open 0\nh0 write 64\nh0 write 64\nh0 write 64\nh0 close 0\n")?;
+//!
+//! let mut interner = TokenInterner::new();
+//! let a = interner.intern_string(&pattern_string(&t1, ByteMode::Preserve));
+//! let b = interner.intern_string(&pattern_string(&t2, ByteMode::Preserve));
+//!
+//! let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+//! let similarity = kernel.normalized(&a, &b);
+//! assert!(similarity > 0.5, "nearly identical patterns score high");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod compress;
+pub mod explain;
+pub mod flatten;
+pub mod kast;
+pub mod kernel;
+pub mod pipeline;
+pub mod string;
+pub mod token;
+pub mod tree;
+
+pub use build::{build_tree, ByteMode};
+pub use compress::{compress_block, compress_tree, CompressOptions, CompressionRules};
+pub use explain::{explain_similarity, SimilarityReport};
+pub use flatten::flatten_tree;
+pub use kast::{CutRule, KastKernel, KastOptions, Normalization, SharedFeature};
+pub use kernel::StringKernel;
+pub use pipeline::{pattern_string, PatternPipeline};
+pub use string::{IdString, TokenId, TokenInterner, WeightedString};
+pub use token::{ByteSig, OpLiteral, TokenLiteral, WeightedToken};
+pub use tree::{BlockNode, HandleNode, OpNode, PatternTree};

@@ -1,0 +1,141 @@
+//! End-to-end convenience: trace → tree → compressed tree → weighted string.
+
+use kastio_trace::Trace;
+
+use crate::build::{build_tree, ByteMode};
+use crate::compress::{compress_tree, CompressOptions};
+use crate::flatten::flatten_tree;
+use crate::string::WeightedString;
+use crate::tree::PatternTree;
+
+/// The paper's two-stage conversion pipeline, with knobs.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{ByteMode, PatternPipeline};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 read 8\nh0 read 8\nh0 close 0\n")?;
+/// let with_bytes = PatternPipeline::new(ByteMode::Preserve).string_of_trace(&trace);
+/// let without = PatternPipeline::new(ByteMode::Ignore).string_of_trace(&trace);
+/// assert_eq!(with_bytes.to_string(), "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 read[8]x2");
+/// assert_eq!(without.to_string(), "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 read[0]x2");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatternPipeline {
+    byte_mode: ByteMode,
+    compress: CompressOptions,
+}
+
+impl PatternPipeline {
+    /// Creates a pipeline with the paper's defaults (two compression
+    /// passes, all rules) and the given byte mode.
+    pub fn new(byte_mode: ByteMode) -> Self {
+        PatternPipeline { byte_mode, compress: CompressOptions::default() }
+    }
+
+    /// Overrides the compression options.
+    pub fn with_compression(mut self, opts: CompressOptions) -> Self {
+        self.compress = opts;
+        self
+    }
+
+    /// The configured byte mode.
+    pub fn byte_mode(&self) -> ByteMode {
+        self.byte_mode
+    }
+
+    /// Builds the compressed pattern tree of a trace (stage one).
+    pub fn tree_of_trace(&self, trace: &Trace) -> PatternTree {
+        let mut tree = build_tree(trace, self.byte_mode);
+        compress_tree(&mut tree, &self.compress);
+        tree
+    }
+
+    /// Converts a trace all the way to its weighted string (both stages).
+    pub fn string_of_trace(&self, trace: &Trace) -> WeightedString {
+        flatten_tree(&self.tree_of_trace(trace))
+    }
+}
+
+/// One-shot helper: the paper's default conversion for a given byte mode.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{pattern_string, ByteMode};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 write 64\nh0 close 0\n")?;
+/// let s = pattern_string(&trace, ByteMode::Preserve);
+/// assert!(s.to_string().contains("write[64]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn pattern_string(trace: &Trace, byte_mode: ByteMode) -> WeightedString {
+    PatternPipeline::new(byte_mode).string_of_trace(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::CompressionRules;
+    use kastio_trace::parse_trace;
+
+    #[test]
+    fn figure1_style_trace() {
+        // Mirrors the paper's Figure 1/2 narrative: interleaved handles,
+        // loops compressed to repetition counts, structure flattened with
+        // level-ups.
+        let trace = parse_trace(
+            "h0 open 0\n\
+             h0 write 100\n\
+             h0 write 100\n\
+             h0 write 100\n\
+             h1 open 0\n\
+             h1 lseek 0\n\
+             h1 write 8\n\
+             h1 lseek 0\n\
+             h1 write 8\n\
+             h1 close 0\n\
+             h0 close 0\n",
+        )
+        .unwrap();
+        let s = PatternPipeline::new(ByteMode::Preserve).string_of_trace(&trace);
+        assert_eq!(
+            s.to_string(),
+            "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 write[100]x3 [LEVEL_UP]x2 \
+             [HANDLE]x1 [BLOCK]x1 lseek+write[8]x4"
+        );
+    }
+
+    #[test]
+    fn byte_mode_changes_tokens_not_structure() {
+        let trace = parse_trace("h0 open 0\nh0 read 1\nh0 read 2\nh0 close 0\n").unwrap();
+        let p = PatternPipeline::new(ByteMode::Preserve).string_of_trace(&trace);
+        let q = PatternPipeline::new(ByteMode::Ignore).string_of_trace(&trace);
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.total_weight(), q.total_weight());
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn custom_compression_options_flow_through() {
+        let trace = parse_trace("h0 open 0\nh0 read 1\nh0 read 2\nh0 close 0\n").unwrap();
+        let raw = PatternPipeline::new(ByteMode::Preserve)
+            .with_compression(CompressOptions { passes: 0, rules: CompressionRules::all() })
+            .string_of_trace(&trace);
+        assert_eq!(raw.to_string(), "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 read[1]x1 read[2]x1");
+    }
+
+    #[test]
+    fn empty_trace_yields_root_only() {
+        let s = pattern_string(&kastio_trace::Trace::new(), ByteMode::Preserve);
+        assert_eq!(s.to_string(), "[ROOT]x1");
+    }
+}

@@ -1,0 +1,334 @@
+//! Weighted strings and their interned form.
+//!
+//! §3.2: "A weighted string is a set of consecutive weighted tokens … The
+//! weight of a string is the summation of the weights of its tokens."
+//!
+//! Kernels never compare [`TokenLiteral`]s directly; they operate on
+//! [`IdString`]s, where every distinct literal has been interned to a dense
+//! [`TokenId`] by a [`TokenInterner`]. Interning once per string makes the
+//! Gram-matrix loops cheap `u32` comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::token::{TokenLiteral, WeightedToken};
+
+/// A string of weighted tokens — the paper's representation of one I/O
+/// access pattern.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::string::WeightedString;
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+///
+/// let mut s = WeightedString::new();
+/// s.push(WeightedToken::structural(TokenLiteral::Root));
+/// s.push(WeightedToken::new(TokenLiteral::LevelUp, 2));
+/// assert_eq!(s.total_weight(), 3);
+/// assert_eq!(s.weight_at_least(2), 2);
+/// assert_eq!(s.to_string(), "[ROOT]x1 [LEVEL_UP]x2");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeightedString {
+    tokens: Vec<WeightedToken>,
+}
+
+impl WeightedString {
+    /// Creates an empty weighted string.
+    pub fn new() -> Self {
+        WeightedString { tokens: Vec::new() }
+    }
+
+    /// Appends a token.
+    pub fn push(&mut self, token: WeightedToken) {
+        self.tokens.push(token);
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the string has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterates over the tokens.
+    pub fn iter(&self) -> std::slice::Iter<'_, WeightedToken> {
+        self.tokens.iter()
+    }
+
+    /// The tokens as a slice.
+    pub fn as_slice(&self) -> &[WeightedToken] {
+        &self.tokens
+    }
+
+    /// The weight of the string: the sum of all token weights.
+    pub fn total_weight(&self) -> u64 {
+        self.tokens.iter().map(|t| t.weight).sum()
+    }
+
+    /// `weight_{w≥n}`: the sum of the weights of the tokens whose weight is
+    /// at least `n` — Eq. (1)/(2) of the paper, used by the paper's kernel
+    /// normalisation.
+    pub fn weight_at_least(&self, n: u64) -> u64 {
+        self.tokens.iter().filter(|t| t.weight >= n).map(|t| t.weight).sum()
+    }
+}
+
+impl FromIterator<WeightedToken> for WeightedString {
+    fn from_iter<I: IntoIterator<Item = WeightedToken>>(iter: I) -> Self {
+        WeightedString { tokens: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<WeightedToken> for WeightedString {
+    fn extend<I: IntoIterator<Item = WeightedToken>>(&mut self, iter: I) {
+        self.tokens.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightedString {
+    type Item = &'a WeightedToken;
+    type IntoIter = std::slice::Iter<'a, WeightedToken>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+impl fmt::Display for WeightedString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dense identifier assigned to a distinct token literal by a
+/// [`TokenInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u32);
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interns token literals to dense ids shared across many strings.
+///
+/// In theory "the number of different tokens is infinite" (§3.2); in
+/// practice a dataset only ever contains a few hundred distinct literals,
+/// so a dense `u32` id space makes kernel comparisons cheap.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::string::{TokenInterner, WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+///
+/// let mut interner = TokenInterner::new();
+/// let s: WeightedString =
+///     [WeightedToken::structural(TokenLiteral::Root)].into_iter().collect();
+/// let ids = interner.intern_string(&s);
+/// assert_eq!(ids.len(), 1);
+/// assert_eq!(interner.resolve(ids.ids()[0]), Some(&TokenLiteral::Root));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    map: HashMap<TokenLiteral, TokenId>,
+    rev: Vec<TokenLiteral>,
+}
+
+impl TokenInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        TokenInterner::default()
+    }
+
+    /// Interns one literal, returning its id (stable across calls).
+    pub fn intern(&mut self, literal: &TokenLiteral) -> TokenId {
+        if let Some(&id) = self.map.get(literal) {
+            return id;
+        }
+        let id = TokenId(self.rev.len() as u32);
+        self.map.insert(literal.clone(), id);
+        self.rev.push(literal.clone());
+        id
+    }
+
+    /// Looks up the literal behind an id.
+    pub fn resolve(&self, id: TokenId) -> Option<&TokenLiteral> {
+        self.rev.get(id.0 as usize)
+    }
+
+    /// Number of distinct literals interned so far.
+    pub fn len(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// Whether no literal has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.rev.is_empty()
+    }
+
+    /// Interns a whole weighted string into an [`IdString`].
+    pub fn intern_string(&mut self, string: &WeightedString) -> IdString {
+        let mut ids = Vec::with_capacity(string.len());
+        let mut weights = Vec::with_capacity(string.len());
+        for token in string {
+            ids.push(self.intern(&token.literal));
+            weights.push(token.weight);
+        }
+        IdString { ids, weights }
+    }
+}
+
+/// A weighted string after interning: parallel id and weight vectors.
+///
+/// This is the type every kernel consumes. Two `IdString`s are only
+/// comparable when produced by the *same* interner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdString {
+    ids: Vec<TokenId>,
+    weights: Vec<u64>,
+}
+
+impl IdString {
+    /// Builds an id string directly from ids and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn from_parts(ids: Vec<TokenId>, weights: Vec<u64>) -> Self {
+        assert_eq!(ids.len(), weights.len(), "ids and weights must align");
+        IdString { ids, weights }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the string has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The token ids.
+    pub fn ids(&self) -> &[TokenId] {
+        &self.ids
+    }
+
+    /// The token weights (parallel to [`IdString::ids`]).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// The weight of the string: the sum of all token weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// `weight_{w≥n}`: sum of the weights of tokens whose weight ≥ `n`.
+    pub fn weight_at_least(&self, n: u64) -> u64 {
+        self.weights.iter().filter(|&&w| w >= n).sum()
+    }
+
+    /// Sum of the weights over the token range `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the string length.
+    pub fn range_weight(&self, start: usize, len: usize) -> u64 {
+        self.weights[start..start + len].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{ByteSig, OpLiteral};
+
+    fn op(name: &str, bytes: u64, weight: u64) -> WeightedToken {
+        WeightedToken::new(TokenLiteral::Op(OpLiteral::new(name, ByteSig::single(bytes))), weight)
+    }
+
+    #[test]
+    fn weights_sum() {
+        let s: WeightedString = [op("read", 8, 3), op("write", 8, 5)].into_iter().collect();
+        assert_eq!(s.total_weight(), 8);
+        assert_eq!(s.weight_at_least(4), 5);
+        assert_eq!(s.weight_at_least(6), 0);
+    }
+
+    #[test]
+    fn interner_is_stable_and_dedups() {
+        let mut i = TokenInterner::new();
+        let a = i.intern(&TokenLiteral::Root);
+        let b = i.intern(&TokenLiteral::Handle);
+        let a2 = i.intern(&TokenLiteral::Root);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), Some(&TokenLiteral::Handle));
+        assert_eq!(i.resolve(TokenId(99)), None);
+    }
+
+    #[test]
+    fn intern_string_preserves_weights_and_order() {
+        let mut i = TokenInterner::new();
+        let s: WeightedString = [op("read", 8, 3), op("read", 8, 7), op("write", 4, 1)]
+            .into_iter()
+            .collect();
+        let ids = i.intern_string(&s);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids.ids()[0], ids.ids()[1]); // same literal, same id
+        assert_ne!(ids.ids()[0], ids.ids()[2]);
+        assert_eq!(ids.weights(), &[3, 7, 1]);
+        assert_eq!(ids.total_weight(), 11);
+        assert_eq!(ids.weight_at_least(3), 10);
+        assert_eq!(ids.range_weight(1, 2), 8);
+    }
+
+    #[test]
+    fn same_literal_same_id_across_strings() {
+        let mut i = TokenInterner::new();
+        let s1: WeightedString = [op("read", 8, 1)].into_iter().collect();
+        let s2: WeightedString = [op("read", 8, 9)].into_iter().collect();
+        let a = i.intern_string(&s1);
+        let b = i.intern_string(&s2);
+        assert_eq!(a.ids()[0], b.ids()[0]);
+        assert_ne!(a.weights()[0], b.weights()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn from_parts_validates() {
+        let _ = IdString::from_parts(vec![TokenId(0)], vec![]);
+    }
+
+    #[test]
+    fn display_joins_tokens() {
+        let s: WeightedString = [op("read", 8, 3)].into_iter().collect();
+        assert_eq!(s.to_string(), "read[8]x3");
+    }
+
+    #[test]
+    fn empty_string_invariants() {
+        let s = WeightedString::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_weight(), 0);
+        let mut i = TokenInterner::new();
+        let ids = i.intern_string(&s);
+        assert!(ids.is_empty());
+        assert!(i.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Weighted tokens: the alphabet of the string representation.
+//!
+//! §3.1 of the paper: "A token is compound by a literal part and a weight
+//! value." Leaf tokens carry the operation name and its byte value(s);
+//! structural tokens (`[ROOT]`, `[HANDLE]`, `[BLOCK]`) always weigh 1; the
+//! synthetic `[LEVEL_UP]` token weighs the number of levels jumped upward
+//! during the pre-order traversal.
+
+use std::fmt;
+
+/// The combined byte signature of an operation token.
+///
+/// Compression rule 2 merges consecutive operations with the same name but
+/// different byte counts: "The new byte value is a combination of both
+/// previous byte numbers." We represent the combination as a sorted set of
+/// distinct byte values, rendered `8|16`.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::token::ByteSig;
+///
+/// let a = ByteSig::single(16);
+/// let b = ByteSig::single(8);
+/// let c = a.union(&b);
+/// assert_eq!(c.to_string(), "8|16");
+/// assert!(!c.is_zero());
+/// assert!(ByteSig::single(0).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteSig(Vec<u64>);
+
+impl ByteSig {
+    /// Signature of a single byte value.
+    pub fn single(bytes: u64) -> Self {
+        ByteSig(vec![bytes])
+    }
+
+    /// Signature combining several byte values (sorted, deduplicated).
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            v.push(0);
+        }
+        ByteSig(v)
+    }
+
+    /// The union of two signatures (compression rule 2).
+    pub fn union(&self, other: &ByteSig) -> ByteSig {
+        ByteSig::from_values(self.0.iter().chain(other.0.iter()).copied())
+    }
+
+    /// Whether the signature is exactly `{0}` — i.e. the operation moved no
+    /// bytes. Compression rule 4 keys on this.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0]
+    }
+
+    /// The distinct byte values, ascending.
+    pub fn values(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl fmt::Display for ByteSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("|")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The literal (name + byte signature) of an operation token.
+///
+/// Compression rules 3 and 4 combine operations with *different names*
+/// ("The new operation name is a combination of both previous names", e.g.
+/// interlaced reads and writes become a tacit copy). We canonicalise the
+/// combination as a sorted set of names rendered `read+write`, so the same
+/// mixture always produces the same literal regardless of merge order.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::token::{ByteSig, OpLiteral};
+///
+/// let r = OpLiteral::new("read", ByteSig::single(8));
+/// let w = OpLiteral::new("write", ByteSig::single(8));
+/// let combined = r.combine_names(&w);
+/// assert_eq!(combined.name_string(), "read+write");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpLiteral {
+    names: Vec<String>,
+    bytes: ByteSig,
+}
+
+impl OpLiteral {
+    /// Creates a literal for a single operation name and byte signature.
+    pub fn new(name: &str, bytes: ByteSig) -> Self {
+        OpLiteral { names: vec![name.to_string()], bytes }
+    }
+
+    /// Creates a literal with several (already combined) names.
+    pub fn with_names<I: IntoIterator<Item = String>>(names: I, bytes: ByteSig) -> Self {
+        let mut v: Vec<String> = names.into_iter().collect();
+        v.sort();
+        v.dedup();
+        OpLiteral { names: v, bytes }
+    }
+
+    /// The sorted, distinct operation names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The byte signature.
+    pub fn bytes(&self) -> &ByteSig {
+        &self.bytes
+    }
+
+    /// The canonical `+`-joined name string.
+    pub fn name_string(&self) -> String {
+        self.names.join("+")
+    }
+
+    /// Whether both literals have exactly the same name set.
+    pub fn same_names(&self, other: &OpLiteral) -> bool {
+        self.names == other.names
+    }
+
+    /// Combines the names of two literals, keeping `self`'s byte signature.
+    pub fn combine_names(&self, other: &OpLiteral) -> OpLiteral {
+        OpLiteral::with_names(
+            self.names.iter().chain(other.names.iter()).cloned(),
+            self.bytes.clone(),
+        )
+    }
+
+    /// Returns the same literal with a different byte signature.
+    pub fn with_bytes(&self, bytes: ByteSig) -> OpLiteral {
+        OpLiteral { names: self.names.clone(), bytes }
+    }
+}
+
+impl fmt::Display for OpLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name_string(), self.bytes)
+    }
+}
+
+/// The literal part of a weighted token.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::token::{ByteSig, OpLiteral, TokenLiteral};
+///
+/// assert_eq!(TokenLiteral::Root.to_string(), "[ROOT]");
+/// assert_eq!(TokenLiteral::LevelUp.to_string(), "[LEVEL_UP]");
+/// let op = TokenLiteral::Op(OpLiteral::new("write", ByteSig::single(512)));
+/// assert_eq!(op.to_string(), "write[512]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TokenLiteral {
+    /// The imaginary root grouping the whole access pattern.
+    Root,
+    /// An imaginary node grouping all operations of one file handle.
+    Handle,
+    /// An imaginary node grouping the operations of one open…close span.
+    Block,
+    /// Synthetic marker for upward moves in the pre-order traversal.
+    LevelUp,
+    /// An operation leaf.
+    Op(OpLiteral),
+    /// A generic symbol, used when serialising arbitrary trees (§6 future
+    /// work: ASTs / LLVM IR).
+    Sym(String),
+}
+
+impl fmt::Display for TokenLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenLiteral::Root => f.write_str("[ROOT]"),
+            TokenLiteral::Handle => f.write_str("[HANDLE]"),
+            TokenLiteral::Block => f.write_str("[BLOCK]"),
+            TokenLiteral::LevelUp => f.write_str("[LEVEL_UP]"),
+            TokenLiteral::Op(op) => write!(f, "{op}"),
+            TokenLiteral::Sym(s) => write!(f, "<{s}>"),
+        }
+    }
+}
+
+/// A token of the weighted string: a literal plus a weight.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::token::{ByteSig, OpLiteral, TokenLiteral, WeightedToken};
+///
+/// let t = WeightedToken::new(
+///     TokenLiteral::Op(OpLiteral::new("read", ByteSig::single(64))),
+///     10,
+/// );
+/// assert_eq!(t.to_string(), "read[64]x10");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WeightedToken {
+    /// The literal part (what is matched by the kernels).
+    pub literal: TokenLiteral,
+    /// The weight (what is summed by the kernels).
+    pub weight: u64,
+}
+
+impl WeightedToken {
+    /// Creates a weighted token.
+    pub fn new(literal: TokenLiteral, weight: u64) -> Self {
+        WeightedToken { literal, weight }
+    }
+
+    /// A structural token (`ROOT`/`HANDLE`/`BLOCK`) of weight 1.
+    pub fn structural(literal: TokenLiteral) -> Self {
+        WeightedToken { literal, weight: 1 }
+    }
+}
+
+impl fmt::Display for WeightedToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.literal, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytesig_single_and_union() {
+        let a = ByteSig::single(4);
+        let b = ByteSig::single(2);
+        let u = a.union(&b);
+        assert_eq!(u.values(), &[2, 4]);
+        assert_eq!(u.to_string(), "2|4");
+        // Union is idempotent and order-insensitive.
+        assert_eq!(u.union(&a), u);
+        assert_eq!(b.union(&a), u);
+    }
+
+    #[test]
+    fn bytesig_from_values_dedups_and_sorts() {
+        let s = ByteSig::from_values([16, 4, 16, 8]);
+        assert_eq!(s.values(), &[4, 8, 16]);
+    }
+
+    #[test]
+    fn bytesig_empty_becomes_zero() {
+        let s = ByteSig::from_values(std::iter::empty());
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn bytesig_zero_detection() {
+        assert!(ByteSig::single(0).is_zero());
+        assert!(!ByteSig::single(1).is_zero());
+        assert!(!ByteSig::from_values([0, 4]).is_zero());
+    }
+
+    #[test]
+    fn opliteral_combination_is_canonical() {
+        let r = OpLiteral::new("read", ByteSig::single(8));
+        let w = OpLiteral::new("write", ByteSig::single(8));
+        let rw = r.combine_names(&w);
+        let wr = w.combine_names(&r);
+        assert!(rw.same_names(&wr));
+        assert_eq!(rw.name_string(), "read+write");
+        // Combining again with one of the members changes nothing.
+        assert!(rw.combine_names(&w).same_names(&rw));
+    }
+
+    #[test]
+    fn opliteral_display() {
+        let l = OpLiteral::with_names(
+            ["write".to_string(), "lseek".to_string()],
+            ByteSig::single(1024),
+        );
+        assert_eq!(l.to_string(), "lseek+write[1024]");
+    }
+
+    #[test]
+    fn structural_tokens_weigh_one() {
+        assert_eq!(WeightedToken::structural(TokenLiteral::Root).weight, 1);
+        assert_eq!(WeightedToken::structural(TokenLiteral::Block).weight, 1);
+    }
+
+    #[test]
+    fn token_display() {
+        let t = WeightedToken::new(TokenLiteral::LevelUp, 2);
+        assert_eq!(t.to_string(), "[LEVEL_UP]x2");
+        let s = WeightedToken::new(TokenLiteral::Sym("add".to_string()), 1);
+        assert_eq!(s.to_string(), "<add>x1");
+    }
+}

@@ -1,0 +1,155 @@
+//! The pattern tree: ROOT → HANDLE → BLOCK → operation leaves.
+//!
+//! "Trees are ideal data structures for representing containment
+//! relationships between objects" (§3.1). The tree has exactly four levels;
+//! `open`/`close` never become leaves because the `BLOCK` node already
+//! plays the role of a delimiter.
+
+use kastio_trace::HandleId;
+
+use crate::token::OpLiteral;
+
+/// An operation leaf of the pattern tree.
+///
+/// `reps` is the repetition count introduced by the compression step; an
+/// uncompressed leaf has `reps == 1`. For merged leaves `reps` accumulates,
+/// so a leaf's weight always equals the number of original trace operations
+/// it covers — the invariant that makes compression *mass preserving*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpNode {
+    /// The (possibly combined) operation literal.
+    pub literal: OpLiteral,
+    /// How many original operations this node covers.
+    pub reps: u64,
+}
+
+impl OpNode {
+    /// Creates a leaf covering a single operation.
+    pub fn new(literal: OpLiteral) -> Self {
+        OpNode { literal, reps: 1 }
+    }
+
+    /// Creates a leaf with an explicit repetition count.
+    pub fn with_reps(literal: OpLiteral, reps: u64) -> Self {
+        OpNode { literal, reps }
+    }
+}
+
+/// A `BLOCK` node: the operations between one `open` and its `close`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockNode {
+    /// The operation leaves of the block, in chronological order.
+    pub ops: Vec<OpNode>,
+}
+
+impl BlockNode {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        BlockNode::default()
+    }
+
+    /// Total number of original operations covered by this block.
+    pub fn mass(&self) -> u64 {
+        self.ops.iter().map(|op| op.reps).sum()
+    }
+}
+
+/// A `HANDLE` node: all blocks belonging to one file handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandleNode {
+    /// The trace handle this node groups.
+    pub handle: HandleId,
+    /// The open…close blocks of the handle, in chronological order.
+    pub blocks: Vec<BlockNode>,
+}
+
+impl HandleNode {
+    /// Creates a handle node with no blocks.
+    pub fn new(handle: HandleId) -> Self {
+        HandleNode { handle, blocks: Vec::new() }
+    }
+
+    /// Total number of original operations covered by this handle.
+    pub fn mass(&self) -> u64 {
+        self.blocks.iter().map(|b| b.mass()).sum()
+    }
+}
+
+/// The full pattern tree of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{build_tree, ByteMode};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 write 8\nh0 write 8\nh0 close 0\n")?;
+/// let tree = build_tree(&trace, ByteMode::Preserve);
+/// assert_eq!(tree.handles.len(), 1);
+/// assert_eq!(tree.handles[0].blocks.len(), 1);
+/// assert_eq!(tree.mass(), 2); // open/close are delimiters, not leaves
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternTree {
+    /// The handle nodes, in order of first appearance in the trace.
+    pub handles: Vec<HandleNode>,
+}
+
+impl PatternTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        PatternTree::default()
+    }
+
+    /// Total number of original (substantive) operations covered by the
+    /// tree's leaves. Compression never changes this number.
+    pub fn mass(&self) -> u64 {
+        self.handles.iter().map(|h| h.mass()).sum()
+    }
+
+    /// Total number of leaves currently in the tree (shrinks under
+    /// compression while [`PatternTree::mass`] stays constant).
+    pub fn leaf_count(&self) -> usize {
+        self.handles.iter().flat_map(|h| &h.blocks).map(|b| b.ops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::ByteSig;
+
+    fn leaf(name: &str, bytes: u64, reps: u64) -> OpNode {
+        OpNode::with_reps(OpLiteral::new(name, ByteSig::single(bytes)), reps)
+    }
+
+    #[test]
+    fn mass_sums_reps_across_levels() {
+        let mut tree = PatternTree::new();
+        let mut h = HandleNode::new(HandleId::new(0));
+        let mut b1 = BlockNode::new();
+        b1.ops.push(leaf("read", 8, 3));
+        b1.ops.push(leaf("write", 8, 1));
+        let mut b2 = BlockNode::new();
+        b2.ops.push(leaf("write", 16, 2));
+        h.blocks.push(b1);
+        h.blocks.push(b2);
+        tree.handles.push(h);
+        assert_eq!(tree.mass(), 6);
+        assert_eq!(tree.leaf_count(), 3);
+    }
+
+    #[test]
+    fn empty_tree_mass_zero() {
+        assert_eq!(PatternTree::new().mass(), 0);
+        assert_eq!(PatternTree::new().leaf_count(), 0);
+    }
+
+    #[test]
+    fn new_leaf_has_one_rep() {
+        assert_eq!(leaf("read", 8, 1), OpNode::new(OpLiteral::new("read", ByteSig::single(8))));
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the representation layer: byte-signature algebra,
+//! compression fixpoints and tokenizer structure.
+
+use proptest::prelude::*;
+
+use kastio_core::token::{ByteSig, OpLiteral, TokenLiteral, WeightedToken};
+use kastio_core::tree::{BlockNode, HandleNode, OpNode, PatternTree};
+use kastio_core::{
+    compress_block, flatten_tree, CompressOptions, KastKernel, KastOptions, StringKernel,
+    TokenInterner, WeightedString,
+};
+
+fn arb_bytesig() -> impl Strategy<Value = ByteSig> {
+    proptest::collection::vec(0u64..64, 0..5).prop_map(ByteSig::from_values)
+}
+
+fn arb_opnode() -> impl Strategy<Value = OpNode> {
+    (
+        prop_oneof![Just("read"), Just("write"), Just("lseek"), Just("fsync")],
+        0u64..6,
+        1u64..5,
+    )
+        .prop_map(|(name, bytes, reps)| {
+            OpNode::with_reps(OpLiteral::new(name, ByteSig::single(bytes)), reps)
+        })
+}
+
+fn arb_block() -> impl Strategy<Value = BlockNode> {
+    proptest::collection::vec(arb_opnode(), 0..16).prop_map(|ops| BlockNode { ops })
+}
+
+fn arb_tree() -> impl Strategy<Value = PatternTree> {
+    proptest::collection::vec(proptest::collection::vec(arb_block(), 0..4), 0..4).prop_map(
+        |handles| {
+            let mut tree = PatternTree::new();
+            for (i, blocks) in handles.into_iter().enumerate() {
+                let mut h = HandleNode::new(kastio_trace::HandleId::new(i as u32));
+                h.blocks = blocks;
+                tree.handles.push(h);
+            }
+            tree
+        },
+    )
+}
+
+fn block_mass(b: &BlockNode) -> u64 {
+    b.ops.iter().map(|o| o.reps).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bytesig_union_is_commutative_associative_idempotent(
+        a in arb_bytesig(),
+        b in arb_bytesig(),
+        c in arb_bytesig(),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        // Values stay sorted and deduplicated.
+        let u = a.union(&b);
+        prop_assert!(u.values().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn opliteral_combination_is_order_insensitive(
+        names in proptest::collection::vec("[a-z]{1,6}", 1..4),
+    ) {
+        let bytes = ByteSig::single(1);
+        let forward = names.iter().skip(1).fold(
+            OpLiteral::new(&names[0], bytes.clone()),
+            |acc, n| acc.combine_names(&OpLiteral::new(n, bytes.clone())),
+        );
+        let mut reversed_names = names.clone();
+        reversed_names.reverse();
+        let backward = reversed_names.iter().skip(1).fold(
+            OpLiteral::new(&reversed_names[0], bytes.clone()),
+            |acc, n| acc.combine_names(&OpLiteral::new(n, bytes.clone())),
+        );
+        prop_assert!(forward.same_names(&backward));
+        prop_assert_eq!(forward.name_string(), backward.name_string());
+    }
+
+    #[test]
+    fn compression_reaches_a_fixpoint(block in arb_block()) {
+        // Enough passes always reach a state further passes cannot change.
+        let mut b = block;
+        compress_block(&mut b, &CompressOptions { passes: 8, ..CompressOptions::default() });
+        let settled = b.clone();
+        compress_block(&mut b, &CompressOptions::default());
+        prop_assert_eq!(b, settled, "8 passes must be a fixpoint for ≤16 ops");
+    }
+
+    #[test]
+    fn compression_mass_and_monotonicity(block in arb_block(), passes in 0usize..5) {
+        let before_mass = block_mass(&block);
+        let before_len = block.ops.len();
+        let mut b = block;
+        compress_block(&mut b, &CompressOptions { passes, ..CompressOptions::default() });
+        prop_assert_eq!(block_mass(&b), before_mass);
+        prop_assert!(b.ops.len() <= before_len);
+        // No adjacent pair with identical literals survives a pass.
+        if passes > 0 {
+            for w in b.ops.windows(2) {
+                prop_assert!(
+                    w[0].literal != w[1].literal,
+                    "adjacent identical literals must have merged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_structure_is_well_formed(tree in arb_tree()) {
+        let s = flatten_tree(&tree);
+        let tokens: Vec<&WeightedToken> = s.iter().collect();
+        // Starts with ROOT, contains exactly one ROOT.
+        prop_assert_eq!(&tokens[0].literal, &TokenLiteral::Root);
+        let roots = tokens.iter().filter(|t| t.literal == TokenLiteral::Root).count();
+        prop_assert_eq!(roots, 1);
+        // HANDLE and BLOCK counts match the tree.
+        let handles = tokens.iter().filter(|t| t.literal == TokenLiteral::Handle).count();
+        prop_assert_eq!(handles, tree.handles.len());
+        let blocks = tokens.iter().filter(|t| t.literal == TokenLiteral::Block).count();
+        let tree_blocks: usize = tree.handles.iter().map(|h| h.blocks.len()).sum();
+        prop_assert_eq!(blocks, tree_blocks);
+        // Level-up weights are in 1..=2 (the tree has 4 levels, and the
+        // deepest jump emitted is leaf→handle = 2; root is never returned
+        // to because nothing follows it).
+        for t in &tokens {
+            if t.literal == TokenLiteral::LevelUp {
+                prop_assert!((1..=2).contains(&t.weight));
+            }
+        }
+        // Never two consecutive level-ups.
+        for w in tokens.windows(2) {
+            prop_assert!(
+                !(w[0].literal == TokenLiteral::LevelUp && w[1].literal == TokenLiteral::LevelUp)
+            );
+        }
+        // No trailing level-up.
+        if let Some(last) = tokens.last() {
+            prop_assert!(last.literal != TokenLiteral::LevelUp);
+        }
+    }
+
+    #[test]
+    fn kast_features_do_not_overlap_their_own_contributions(
+        tree_a in arb_tree(),
+        tree_b in arb_tree(),
+    ) {
+        // Feature weights must equal the sum over reported appearance
+        // positions — i.e. the kernel's bookkeeping is self-consistent.
+        let mut interner = TokenInterner::new();
+        let a = interner.intern_string(&flatten_tree(&tree_a));
+        let b = interner.intern_string(&flatten_tree(&tree_b));
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(1));
+        for f in kernel.features(&a, &b) {
+            let wa: u64 = f.starts_a.iter().map(|&s| a.range_weight(s, f.tokens.len())).sum();
+            let wb: u64 = f.starts_b.iter().map(|&s| b.range_weight(s, f.tokens.len())).sum();
+            prop_assert_eq!(f.weight_a, wa);
+            prop_assert_eq!(f.weight_b, wb);
+            // Every reported appearance really matches the literal.
+            for &s in &f.starts_a {
+                prop_assert_eq!(&a.ids()[s..s + f.tokens.len()], f.tokens.as_slice());
+            }
+            for &s in &f.starts_b {
+                prop_assert_eq!(&b.ids()[s..s + f.tokens.len()], f.tokens.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn kast_raw_equals_feature_inner_product(
+        tree_a in arb_tree(),
+        tree_b in arb_tree(),
+        cut in 1u64..8,
+    ) {
+        let mut interner = TokenInterner::new();
+        let a = interner.intern_string(&flatten_tree(&tree_a));
+        let b = interner.intern_string(&flatten_tree(&tree_b));
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+        let from_features: f64 = kernel
+            .features(&a, &b)
+            .iter()
+            .map(|f| f.weight_a as f64 * f.weight_b as f64)
+            .sum();
+        prop_assert_eq!(kernel.raw(&a, &b), from_features);
+    }
+
+    #[test]
+    fn weight_at_least_matches_manual_filter(
+        weights in proptest::collection::vec(1u64..50, 0..30),
+        threshold in 1u64..50,
+    ) {
+        let s: WeightedString = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WeightedToken::new(TokenLiteral::Sym(format!("t{i}")), w))
+            .collect();
+        let manual: u64 = weights.iter().filter(|&&w| w >= threshold).sum();
+        prop_assert_eq!(s.weight_at_least(threshold), manual);
+    }
+}

@@ -1,0 +1,175 @@
+//! The blended spectrum kernel (Shawe-Taylor & Cristianini, 2004).
+//!
+//! "The k-blended spectrum kernel only counts sub-strings which length are
+//! less or equal to a given number k" (§2.2). It is the sum of the
+//! p-spectrum kernels for p = 1…k, optionally geometrically decayed by a
+//! factor λ per length.
+
+use kastio_core::{IdString, StringKernel};
+
+use crate::spectrum::{dot, kgram_features, WeightingMode};
+
+/// The blended spectrum kernel: `Σ_{p=1..k} λ^p · spectrum_p(a, b)`.
+///
+/// This is the paper's strongest baseline; Figures 8 and 9 evaluate it
+/// with byte information at cut weight 2 (which we map to `k = 2`).
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{StringKernel, TokenInterner, WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+/// use kastio_kernels::BlendedSpectrumKernel;
+///
+/// fn sym(name: &str, w: u64) -> WeightedToken {
+///     WeightedToken::new(TokenLiteral::Sym(name.into()), w)
+/// }
+///
+/// let mut interner = TokenInterner::new();
+/// let a: WeightedString = [sym("p", 1), sym("q", 1)].into_iter().collect();
+/// let b: WeightedString = [sym("p", 1), sym("q", 1)].into_iter().collect();
+/// let (ia, ib) = (interner.intern_string(&a), interner.intern_string(&b));
+///
+/// let kernel = BlendedSpectrumKernel::new(2);
+/// // 1-grams: p·p + q·q = 2; 2-grams: [pq]·[pq] = 4 → 6.
+/// assert_eq!(kernel.raw(&ia, &ib), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BlendedSpectrumKernel {
+    k_max: usize,
+    lambda: f64,
+    mode: WeightingMode,
+}
+
+impl BlendedSpectrumKernel {
+    /// A blended kernel over substring lengths 1…`k_max`, λ = 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_max == 0`.
+    pub fn new(k_max: usize) -> Self {
+        assert!(k_max > 0, "blended spectrum kernel requires k ≥ 1");
+        BlendedSpectrumKernel { k_max, lambda: 1.0, mode: WeightingMode::default() }
+    }
+
+    /// Sets the per-length decay factor λ (must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "λ must be positive and finite");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Overrides the weighting mode.
+    pub fn with_mode(mut self, mode: WeightingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The maximum blended substring length.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+}
+
+impl StringKernel for BlendedSpectrumKernel {
+    fn name(&self) -> &'static str {
+        "blended-spectrum"
+    }
+
+    fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+        let mut total = 0.0;
+        let mut scale = 1.0;
+        for p in 1..=self.k_max {
+            scale *= self.lambda;
+            let fa = kgram_features(a, p, self.mode);
+            if fa.is_empty() {
+                break; // longer grams cannot exist either
+            }
+            let fb = kgram_features(b, p, self.mode);
+            total += scale * dot(&fa, &fb);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_core::token::{TokenLiteral, WeightedToken};
+    use kastio_core::{TokenInterner, WeightedString};
+
+    fn sym(name: &str, w: u64) -> WeightedToken {
+        WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
+    }
+
+    fn intern(tokens: &[WeightedToken], interner: &mut TokenInterner) -> IdString {
+        let s: WeightedString = tokens.iter().cloned().collect();
+        interner.intern_string(&s)
+    }
+
+    #[test]
+    fn blended_is_sum_of_spectra() {
+        use crate::spectrum::KSpectrumKernel;
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 1), sym("p", 2)], &mut i);
+        let b = intern(&[sym("q", 3), sym("p", 1), sym("q", 3)], &mut i);
+        let blended = BlendedSpectrumKernel::new(3).raw(&a, &b);
+        let summed: f64 = (1..=3)
+            .map(|k| KSpectrumKernel::new(k).raw(&a, &b))
+            .sum();
+        assert_eq!(blended, summed);
+    }
+
+    #[test]
+    fn lambda_decays_longer_matches() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 1), sym("q", 1)], &mut i);
+        let k = BlendedSpectrumKernel::new(2).with_lambda(0.5);
+        // λ·(1-gram: 2) + λ²·(2-gram: 4) = 1 + 1 = 2.
+        assert_eq!(k.raw(&a, &a), 2.0);
+    }
+
+    #[test]
+    fn k_max_one_equals_bag_of_tokens() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3)], &mut i);
+        let b = intern(&[sym("p", 4)], &mut i);
+        assert_eq!(BlendedSpectrumKernel::new(1).raw(&a, &b), 8.0);
+    }
+
+    #[test]
+    fn symmetric_and_normalized_bounds() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3), sym("r", 5)], &mut i);
+        let b = intern(&[sym("r", 1), sym("p", 2)], &mut i);
+        let k = BlendedSpectrumKernel::new(3);
+        assert_eq!(k.raw(&a, &b), k.raw(&b, &a));
+        let n = k.normalized(&a, &b);
+        assert!((0.0..=1.0 + 1e-12).contains(&n));
+        assert!((k.normalized(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_strings_is_safe() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 1)], &mut i);
+        let k = BlendedSpectrumKernel::new(10);
+        assert_eq!(k.raw(&a, &a), 1.0, "only the 1-gram layer contributes");
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_panics() {
+        let _ = BlendedSpectrumKernel::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lambda_panics() {
+        let _ = BlendedSpectrumKernel::new(2).with_lambda(0.0);
+    }
+}

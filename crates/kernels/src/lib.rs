@@ -1,0 +1,45 @@
+//! Baseline string kernels and Gram-matrix machinery for kastio.
+//!
+//! §2.2 of the paper surveys the string-kernel family the Kast Spectrum
+//! Kernel is compared against; this crate implements them over the same
+//! interned weighted strings used by [`kastio_core`]:
+//!
+//! * [`KSpectrumKernel`] — substrings of exactly length k (Leslie et al.).
+//! * [`BlendedSpectrumKernel`] — substrings of length ≤ k (Shawe-Taylor &
+//!   Cristianini), the paper's main baseline (Figures 8/9).
+//! * [`BagOfTokensKernel`] / [`BagOfWordsKernel`] — the two kernels the
+//!   paper discards a priori.
+//! * [`SubsequenceKernel`] — the gap-weighted subsequence kernel from the
+//!   paper's reference \[4\], for non-contiguous matching.
+//! * [`gram_matrix`] — parallel similarity-matrix construction (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use kastio_core::{pattern_string, ByteMode, StringKernel, TokenInterner};
+//! use kastio_kernels::BlendedSpectrumKernel;
+//! use kastio_trace::parse_trace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t1 = parse_trace("h0 open 0\nh0 write 64\nh0 close 0\n")?;
+//! let t2 = parse_trace("h0 open 0\nh0 write 64\nh0 write 64\nh0 close 0\n")?;
+//! let mut interner = TokenInterner::new();
+//! let a = interner.intern_string(&pattern_string(&t1, ByteMode::Preserve));
+//! let b = interner.intern_string(&pattern_string(&t2, ByteMode::Preserve));
+//! let similarity = BlendedSpectrumKernel::new(2).normalized(&a, &b);
+//! assert!(similarity > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bag;
+pub mod blended;
+pub mod matrix;
+pub mod spectrum;
+pub mod subsequence;
+
+pub use bag::{BagOfTokensKernel, BagOfWordsKernel};
+pub use blended::BlendedSpectrumKernel;
+pub use matrix::{gram_matrix, GramMode, KernelMatrix};
+pub use spectrum::{KSpectrumKernel, WeightingMode};
+pub use subsequence::SubsequenceKernel;

@@ -1,0 +1,184 @@
+//! The k-spectrum kernel of Leslie, Eskin & Noble (2002), adapted to
+//! weighted token strings.
+//!
+//! "The k-spectrum kernel only counts sub-strings of length k" (§2.2).
+//! The classical kernel counts occurrences; on weighted strings it is
+//! natural to sum the appearance weights instead, so both readings are
+//! available through [`WeightingMode`].
+
+use std::collections::HashMap;
+
+use kastio_core::{IdString, StringKernel, TokenId};
+
+/// How a spectrum-style kernel scores each k-gram appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightingMode {
+    /// Each appearance contributes its summed token weight (the natural
+    /// extension to the paper's weighted strings).
+    #[default]
+    Weights,
+    /// Each appearance contributes 1, as in the classical kernel.
+    Counts,
+}
+
+/// Computes the k-gram feature map of a string: k-gram → feature value.
+pub(crate) fn kgram_features(
+    s: &IdString,
+    k: usize,
+    mode: WeightingMode,
+) -> HashMap<Vec<TokenId>, f64> {
+    let mut map: HashMap<Vec<TokenId>, f64> = HashMap::new();
+    if k == 0 || s.len() < k {
+        return map;
+    }
+    for start in 0..=s.len() - k {
+        let gram = s.ids()[start..start + k].to_vec();
+        let value = match mode {
+            WeightingMode::Weights => s.range_weight(start, k) as f64,
+            WeightingMode::Counts => 1.0,
+        };
+        *map.entry(gram).or_insert(0.0) += value;
+    }
+    map
+}
+
+pub(crate) fn dot(
+    a: &HashMap<Vec<TokenId>, f64>,
+    b: &HashMap<Vec<TokenId>, f64>,
+) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(gram, &va)| large.get(gram).map(|&vb| va * vb))
+        .sum()
+}
+
+/// The k-spectrum kernel: inner product of k-gram feature maps.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{StringKernel, TokenInterner, WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+/// use kastio_kernels::KSpectrumKernel;
+///
+/// fn sym(name: &str, w: u64) -> WeightedToken {
+///     WeightedToken::new(TokenLiteral::Sym(name.into()), w)
+/// }
+///
+/// let mut interner = TokenInterner::new();
+/// let a: WeightedString = [sym("p", 1), sym("q", 1), sym("r", 1)].into_iter().collect();
+/// let b: WeightedString = [sym("p", 1), sym("q", 1), sym("z", 1)].into_iter().collect();
+/// let (ia, ib) = (interner.intern_string(&a), interner.intern_string(&b));
+///
+/// let kernel = KSpectrumKernel::new(2);
+/// // shared 2-gram: [p q] with weight 2 on each side.
+/// assert_eq!(kernel.raw(&ia, &ib), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KSpectrumKernel {
+    k: usize,
+    mode: WeightingMode,
+}
+
+impl KSpectrumKernel {
+    /// A k-spectrum kernel with the default [`WeightingMode::Weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (a 0-gram spectrum is meaningless).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-spectrum kernel requires k ≥ 1");
+        KSpectrumKernel { k, mode: WeightingMode::default() }
+    }
+
+    /// Overrides the weighting mode.
+    pub fn with_mode(mut self, mode: WeightingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The substring length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl StringKernel for KSpectrumKernel {
+    fn name(&self) -> &'static str {
+        "k-spectrum"
+    }
+
+    fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+        let fa = kgram_features(a, self.k, self.mode);
+        let fb = kgram_features(b, self.k, self.mode);
+        dot(&fa, &fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_core::token::{TokenLiteral, WeightedToken};
+    use kastio_core::{TokenInterner, WeightedString};
+
+    fn sym(name: &str, w: u64) -> WeightedToken {
+        WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
+    }
+
+    fn intern(tokens: &[WeightedToken], interner: &mut TokenInterner) -> IdString {
+        let s: WeightedString = tokens.iter().cloned().collect();
+        interner.intern_string(&s)
+    }
+
+    #[test]
+    fn counts_mode_matches_classical_kernel() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 9), sym("q", 9), sym("p", 9), sym("q", 9)], &mut i);
+        let b = intern(&[sym("p", 1), sym("q", 1)], &mut i);
+        let k = KSpectrumKernel::new(2).with_mode(WeightingMode::Counts);
+        // a has [pq]×2, [qp]×1; b has [pq]×1 → 2·1 = 2.
+        assert_eq!(k.raw(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn weights_mode_sums_appearance_weights() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3)], &mut i);
+        let b = intern(&[sym("p", 5), sym("q", 7)], &mut i);
+        let k = KSpectrumKernel::new(2);
+        assert_eq!(k.raw(&a, &b), 5.0 * 12.0);
+    }
+
+    #[test]
+    fn k_longer_than_string_gives_zero() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 1)], &mut i);
+        let k = KSpectrumKernel::new(3);
+        assert_eq!(k.raw(&a, &a), 0.0);
+        assert_eq!(k.normalized(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3), sym("r", 1)], &mut i);
+        let b = intern(&[sym("q", 3), sym("r", 2), sym("p", 4)], &mut i);
+        let k = KSpectrumKernel::new(2);
+        assert_eq!(k.raw(&a, &b), k.raw(&b, &a));
+    }
+
+    #[test]
+    fn normalized_identical_is_one() {
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3), sym("p", 2)], &mut i);
+        let k = KSpectrumKernel::new(2);
+        assert!((k.normalized(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_panics() {
+        let _ = KSpectrumKernel::new(0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The gap-weighted subsequence kernel (Shawe-Taylor & Cristianini 2004,
+//! ch. 11.3 — the paper's reference \[4\]).
+//!
+//! Where the spectrum kernels match *contiguous* k-grams, this kernel
+//! matches length-`k` subsequences, penalising the total span they occupy
+//! with a decay factor λ per position. It rounds out the §2.2 kernel
+//! family: Kast (weighted maximal contiguous matches) vs spectrum
+//! (contiguous fixed length) vs subsequence (non-contiguous, gap-decayed).
+//!
+//! Complexity is O(k·|a|·|b|) time and O(|b|) per DP layer via the
+//! standard DPS/DP recurrences.
+
+use kastio_core::{IdString, StringKernel};
+
+/// The gap-weighted subsequence kernel of length `k` with decay `λ`.
+///
+/// `k(a, b) = Σ_{u ∈ Σ^k} Σ_{i: u = a[i]} Σ_{j: u = b[j]} λ^{span(i) + span(j)}`
+/// where `i`, `j` range over index tuples and `span` is the distance from
+/// first to last matched index plus one.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{StringKernel, TokenInterner, WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+/// use kastio_kernels::SubsequenceKernel;
+///
+/// fn sym(name: &str) -> WeightedToken {
+///     WeightedToken::new(TokenLiteral::Sym(name.into()), 1)
+/// }
+///
+/// let mut interner = TokenInterner::new();
+/// let a: WeightedString = [sym("p"), sym("q")].into_iter().collect();
+/// let b: WeightedString = [sym("p"), sym("z"), sym("q")].into_iter().collect();
+/// let (ia, ib) = (interner.intern_string(&a), interner.intern_string(&b));
+///
+/// let kernel = SubsequenceKernel::new(2, 0.5);
+/// // "pq" spans 2 in a (λ²=0.25) and 3 in b (λ³=0.125) → 0.03125.
+/// assert!((kernel.raw(&ia, &ib) - 0.03125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SubsequenceKernel {
+    k: usize,
+    lambda: f64,
+}
+
+impl SubsequenceKernel {
+    /// Creates a subsequence kernel for length `k` and decay `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `lambda` is not in `(0, 1]`.
+    pub fn new(k: usize, lambda: f64) -> Self {
+        assert!(k > 0, "subsequence kernel requires k ≥ 1");
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "decay λ must lie in (0, 1], got {lambda}"
+        );
+        SubsequenceKernel { k, lambda }
+    }
+
+    /// The subsequence length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The gap decay λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl StringKernel for SubsequenceKernel {
+    fn name(&self) -> &'static str {
+        "gap-subsequence"
+    }
+
+    fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+        let (xa, xb) = (a.ids(), b.ids());
+        let (n, m) = (xa.len(), xb.len());
+        if n < self.k || m < self.k {
+            return 0.0;
+        }
+        let lambda = self.lambda;
+        // dps[i][j]: suffix-anchored partial sums for subsequences of the
+        // current length ending exactly at a[i-1], b[j-1]; dp aggregates
+        // with gap decay. Rolling 2D tables of size (n+1)×(m+1).
+        let idx = |i: usize, j: usize| i * (m + 1) + j;
+        let mut dps = vec![0.0f64; (n + 1) * (m + 1)];
+        let mut dp = vec![0.0f64; (n + 1) * (m + 1)];
+        let mut kernel = 0.0;
+
+        for i in 1..=n {
+            for j in 1..=m {
+                if xa[i - 1] == xb[j - 1] {
+                    dps[idx(i, j)] = lambda * lambda;
+                    if self.k == 1 {
+                        kernel += dps[idx(i, j)];
+                    }
+                }
+            }
+        }
+
+        for _level in 2..=self.k {
+            // dp(i,j) = dps(i,j) + λ·dp(i−1,j) + λ·dp(i,j−1) − λ²·dp(i−1,j−1)
+            for i in 0..=n {
+                dp[idx(i, 0)] = 0.0;
+            }
+            for j in 0..=m {
+                dp[idx(0, j)] = 0.0;
+            }
+            for i in 1..=n {
+                for j in 1..=m {
+                    dp[idx(i, j)] = dps[idx(i, j)]
+                        + lambda * dp[idx(i - 1, j)]
+                        + lambda * dp[idx(i, j - 1)]
+                        - lambda * lambda * dp[idx(i - 1, j - 1)];
+                }
+            }
+            let mut next = vec![0.0f64; (n + 1) * (m + 1)];
+            let mut level_sum = 0.0;
+            for i in 1..=n {
+                for j in 1..=m {
+                    if xa[i - 1] == xb[j - 1] {
+                        next[idx(i, j)] = lambda * lambda * dp[idx(i - 1, j - 1)];
+                        level_sum += next[idx(i, j)];
+                    }
+                }
+            }
+            dps = next;
+            if _level == self.k {
+                kernel = level_sum;
+            }
+        }
+        if self.k == 1 {
+            // already accumulated above
+            return kernel;
+        }
+        kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_core::token::{TokenLiteral, WeightedToken};
+    use kastio_core::{TokenInterner, WeightedString};
+
+    fn intern(names: &[&str], interner: &mut TokenInterner) -> IdString {
+        let s: WeightedString = names
+            .iter()
+            .map(|n| WeightedToken::new(TokenLiteral::Sym(n.to_string()), 1))
+            .collect();
+        interner.intern_string(&s)
+    }
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn k1_counts_matching_pairs_with_lambda_squared() {
+        let mut i = TokenInterner::new();
+        let a = intern(&["p", "q"], &mut i);
+        let b = intern(&["p", "p"], &mut i);
+        let k = SubsequenceKernel::new(1, 0.5);
+        // Two matching (p,p) pairs, each λ² = 0.25.
+        close(k.raw(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn textbook_cat_car_example() {
+        // Shawe-Taylor & Cristianini's classic: k("cat","car") with k=2.
+        // Shared subsequences: "ca" (contiguous in both → λ⁴) — "ct"/"cr"
+        // do not match each other; "at"/"ar" neither.
+        let mut i = TokenInterner::new();
+        let cat = intern(&["c", "a", "t"], &mut i);
+        let car = intern(&["c", "a", "r"], &mut i);
+        let lambda: f64 = 0.7;
+        let k = SubsequenceKernel::new(2, lambda);
+        close(k.raw(&cat, &car), lambda.powi(4));
+    }
+
+    #[test]
+    fn gaps_are_penalised() {
+        let mut i = TokenInterner::new();
+        let tight = intern(&["p", "q"], &mut i);
+        let gapped = intern(&["p", "z", "z", "q"], &mut i);
+        let k = SubsequenceKernel::new(2, 0.5);
+        let self_tight = k.raw(&tight, &tight);
+        let cross = k.raw(&tight, &gapped);
+        assert!(cross < self_tight, "a gapped match must score lower");
+        // span 2 in tight (λ²) and 4 in gapped (λ⁴) → λ⁶.
+        close(cross, 0.5f64.powi(6));
+    }
+
+    #[test]
+    fn symmetric_and_normalised() {
+        let mut i = TokenInterner::new();
+        let a = intern(&["p", "q", "r", "p"], &mut i);
+        let b = intern(&["q", "p", "r"], &mut i);
+        let k = SubsequenceKernel::new(2, 0.8);
+        close(k.raw(&a, &b), k.raw(&b, &a));
+        let n = k.normalized(&a, &b);
+        assert!((0.0..=1.0 + 1e-12).contains(&n));
+        close(k.normalized(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn too_short_strings_score_zero() {
+        let mut i = TokenInterner::new();
+        let a = intern(&["p"], &mut i);
+        let b = intern(&["p", "q"], &mut i);
+        assert_eq!(SubsequenceKernel::new(2, 0.5).raw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        // Brute force: enumerate all index tuples.
+        fn brute(a: &[u32], b: &[u32], k: usize, lambda: f64) -> f64 {
+            fn tuples(n: usize, k: usize) -> Vec<Vec<usize>> {
+                if k == 0 {
+                    return vec![vec![]];
+                }
+                let mut out = Vec::new();
+                for first in 0..n {
+                    for mut rest in tuples(n, k - 1) {
+                        if rest.first().is_none_or(|&r| r > first) {
+                            let mut t = vec![first];
+                            t.append(&mut rest);
+                            out.push(t);
+                        }
+                    }
+                }
+                out.retain(|t| t.len() == k && t.windows(2).all(|w| w[0] < w[1]));
+                out
+            }
+            let mut total = 0.0;
+            for ti in tuples(a.len(), k) {
+                for tj in tuples(b.len(), k) {
+                    let matches = ti.iter().zip(&tj).all(|(&x, &y)| a[x] == b[y]);
+                    if matches {
+                        let span_i = ti[k - 1] - ti[0] + 1;
+                        let span_j = tj[k - 1] - tj[0] + 1;
+                        total += lambda.powi((span_i + span_j) as i32);
+                    }
+                }
+            }
+            total
+        }
+
+        let mut i = TokenInterner::new();
+        let a = intern(&["p", "q", "p", "r", "q"], &mut i);
+        let b = intern(&["q", "p", "q", "p"], &mut i);
+        let raw_a: Vec<u32> = a.ids().iter().map(|t| t.0).collect();
+        let raw_b: Vec<u32> = b.ids().iter().map(|t| t.0).collect();
+        for k in 1..=3usize {
+            for lambda in [0.3, 0.7, 1.0] {
+                let fast = SubsequenceKernel::new(k, lambda).raw(&a, &b);
+                let slow = brute(&raw_a, &raw_b, k, lambda);
+                assert!((fast - slow).abs() < 1e-9, "k={k} λ={lambda}: {fast} vs {slow}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_panics() {
+        let _ = SubsequenceKernel::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn bad_lambda_panics() {
+        let _ = SubsequenceKernel::new(2, 1.5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the baseline kernels and Gram-matrix machinery on
+//! random interned strings.
+
+use proptest::prelude::*;
+
+use kastio_core::token::{TokenLiteral, WeightedToken};
+use kastio_core::{IdString, StringKernel, TokenInterner, WeightedString};
+use kastio_kernels::{
+    gram_matrix, BagOfTokensKernel, BlendedSpectrumKernel, GramMode, KSpectrumKernel,
+    SubsequenceKernel, WeightingMode,
+};
+
+fn strings_from(specs: Vec<Vec<(u8, u64)>>) -> Vec<IdString> {
+    let mut interner = TokenInterner::new();
+    specs
+        .into_iter()
+        .map(|spec| {
+            let s: WeightedString = spec
+                .into_iter()
+                .map(|(sym, w)| {
+                    WeightedToken::new(TokenLiteral::Sym(format!("s{sym}")), w.max(1))
+                })
+                .collect();
+            interner.intern_string(&s)
+        })
+        .collect()
+}
+
+fn arb_spec() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..6, 1u64..10), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spectrum_kernels_are_symmetric(sa in arb_spec(), sb in arb_spec(), k in 1usize..4) {
+        let strings = strings_from(vec![sa, sb]);
+        for mode in [WeightingMode::Counts, WeightingMode::Weights] {
+            let kernel = KSpectrumKernel::new(k).with_mode(mode);
+            prop_assert_eq!(kernel.raw(&strings[0], &strings[1]), kernel.raw(&strings[1], &strings[0]));
+            let blended = BlendedSpectrumKernel::new(k).with_mode(mode);
+            prop_assert_eq!(
+                blended.raw(&strings[0], &strings[1]),
+                blended.raw(&strings[1], &strings[0])
+            );
+        }
+    }
+
+    #[test]
+    fn blended_is_the_sum_of_spectra(sa in arb_spec(), sb in arb_spec(), k in 1usize..5) {
+        let strings = strings_from(vec![sa, sb]);
+        let blended = BlendedSpectrumKernel::new(k).raw(&strings[0], &strings[1]);
+        let summed: f64 = (1..=k)
+            .map(|p| KSpectrumKernel::new(p).raw(&strings[0], &strings[1]))
+            .sum();
+        prop_assert!((blended - summed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blended_dominates_each_layer(sa in arb_spec(), sb in arb_spec(), k in 1usize..5) {
+        let strings = strings_from(vec![sa, sb]);
+        let blended = BlendedSpectrumKernel::new(k).raw(&strings[0], &strings[1]);
+        for p in 1..=k {
+            prop_assert!(KSpectrumKernel::new(p).raw(&strings[0], &strings[1]) <= blended + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bag_of_tokens_equals_one_spectrum(sa in arb_spec(), sb in arb_spec()) {
+        let strings = strings_from(vec![sa, sb]);
+        prop_assert_eq!(
+            BagOfTokensKernel::new().raw(&strings[0], &strings[1]),
+            KSpectrumKernel::new(1).raw(&strings[0], &strings[1])
+        );
+    }
+
+    #[test]
+    fn normalized_values_are_cosine_bounded(sa in arb_spec(), sb in arb_spec(), k in 1usize..4) {
+        let strings = strings_from(vec![sa, sb]);
+        let kernel = BlendedSpectrumKernel::new(k);
+        let n = kernel.normalized(&strings[0], &strings[1]);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&n));
+    }
+
+    #[test]
+    fn subsequence_kernel_axioms(sa in arb_spec(), sb in arb_spec(), k in 1usize..3) {
+        let strings = strings_from(vec![sa, sb]);
+        let kernel = SubsequenceKernel::new(k, 0.6);
+        let ab = kernel.raw(&strings[0], &strings[1]);
+        prop_assert!((ab - kernel.raw(&strings[1], &strings[0])).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        let n = kernel.normalized(&strings[0], &strings[1]);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&n));
+    }
+
+    #[test]
+    fn subsequence_decay_is_monotone(sa in arb_spec(), sb in arb_spec()) {
+        // A larger λ never decreases the kernel value (every term grows).
+        let strings = strings_from(vec![sa, sb]);
+        let lo = SubsequenceKernel::new(2, 0.3).raw(&strings[0], &strings[1]);
+        let hi = SubsequenceKernel::new(2, 0.9).raw(&strings[0], &strings[1]);
+        prop_assert!(lo <= hi + 1e-9);
+    }
+
+    #[test]
+    fn gram_matrix_matches_pairwise_evaluation(
+        specs in proptest::collection::vec(arb_spec(), 1..6),
+    ) {
+        let strings = strings_from(specs);
+        let kernel = BlendedSpectrumKernel::new(2);
+        let gram = gram_matrix(&kernel, &strings, GramMode::Raw, 2);
+        prop_assert!(gram.is_symmetric(0.0));
+        for i in 0..strings.len() {
+            for j in 0..strings.len() {
+                prop_assert_eq!(gram.get(i, j), kernel.raw(&strings[i], &strings[j]));
+            }
+        }
+    }
+}

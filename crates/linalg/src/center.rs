@@ -1,0 +1,91 @@
+//! Double centering of Gram matrices.
+//!
+//! Kernel PCA requires the feature-space data to be mean-centred; on a
+//! Gram matrix that is the classic double-centering transform
+//! `K' = K − 1·K/n − K·1/n + 1·K·1/n²` (Schölkopf, Smola & Müller 1997).
+
+use crate::matrix::SquareMatrix;
+
+/// Double-centres a Gram matrix.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_linalg::{center_gram, SquareMatrix};
+///
+/// let k = SquareMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
+/// let c = center_gram(&k);
+/// // Every row (and column) of a centred Gram matrix sums to zero.
+/// assert!((c.row(0).iter().sum::<f64>()).abs() < 1e-12);
+/// ```
+pub fn center_gram(k: &SquareMatrix) -> SquareMatrix {
+    let n = k.n();
+    if n == 0 {
+        return k.clone();
+    }
+    let nf = n as f64;
+    let mut row_means = vec![0.0; n];
+    for i in 0..n {
+        row_means[i] = k.row(i).iter().sum::<f64>() / nf;
+    }
+    let total_mean = row_means.iter().sum::<f64>() / nf;
+    let mut out = SquareMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, k.get(i, j) - row_means[i] - row_means[j] + total_mean);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_columns_sum_to_zero() {
+        let k = SquareMatrix::from_rows(vec![
+            vec![2.0, 0.3, 0.1],
+            vec![0.3, 1.5, 0.7],
+            vec![0.1, 0.7, 3.0],
+        ]);
+        let c = center_gram(&k);
+        for i in 0..3 {
+            let row_sum: f64 = c.row(i).iter().sum();
+            assert!(row_sum.abs() < 1e-12, "row {i} sums to {row_sum}");
+            let col_sum: f64 = (0..3).map(|j| c.get(j, i)).sum();
+            assert!(col_sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preserves_symmetry() {
+        let k = SquareMatrix::from_rows(vec![vec![1.0, 0.2], vec![0.2, 1.0]]);
+        assert!(center_gram(&k).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn centering_is_idempotent() {
+        let k = SquareMatrix::from_rows(vec![
+            vec![1.0, 0.9, 0.1],
+            vec![0.9, 1.0, 0.2],
+            vec![0.1, 0.2, 1.0],
+        ]);
+        let once = center_gram(&k);
+        let twice = center_gram(&once);
+        assert!(once.max_abs_diff(&twice) < 1e-12);
+    }
+
+    #[test]
+    fn constant_matrix_centres_to_zero() {
+        let k = SquareMatrix::from_rows(vec![vec![5.0; 3]; 3]);
+        let c = center_gram(&k);
+        assert!(c.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_noop() {
+        let k = SquareMatrix::zeros(0);
+        assert_eq!(center_gram(&k), k);
+    }
+}

@@ -1,0 +1,311 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! For the 110×110 similarity matrices of the paper a textbook Jacobi
+//! solver is exact enough (it converges quadratically and is
+//! unconditionally stable for symmetric input) and keeps the workspace
+//! dependency-free.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::SquareMatrix;
+
+/// Why an eigendecomposition was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigenError {
+    /// The input was not symmetric within the configured tolerance.
+    NotSymmetric {
+        /// The largest `|a_ij − a_ji|` found.
+        max_asymmetry: f64,
+    },
+    /// The sweep limit was reached before the off-diagonal vanished.
+    NoConvergence {
+        /// Residual off-diagonal magnitude when the solver gave up.
+        off_diagonal: f64,
+    },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigenError::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix is not symmetric (max asymmetry {max_asymmetry:e})")
+            }
+            EigenError::NoConvergence { off_diagonal } => {
+                write!(f, "jacobi sweeps did not converge (residual {off_diagonal:e})")
+            }
+        }
+    }
+}
+
+impl Error for EigenError {}
+
+/// The result of [`eigh`]: eigenpairs sorted by descending eigenvalue.
+///
+/// Column `c` of [`Eigen::vectors`] is the unit eigenvector of
+/// `values[c]`, so `A = V·diag(values)·Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, aligned with `values`.
+    pub vectors: SquareMatrix,
+}
+
+impl Eigen {
+    /// Reconstructs `V·diag(values)·Vᵀ` (useful for testing and for PSD
+    /// repair).
+    pub fn reconstruct(&self) -> SquareMatrix {
+        reconstruct_with(&self.vectors, &self.values)
+    }
+
+    /// Number of eigenvalues above `eps` in absolute value.
+    pub fn rank(&self, eps: f64) -> usize {
+        self.values.iter().filter(|v| v.abs() > eps).count()
+    }
+}
+
+/// Rebuilds `V·diag(values)·Vᵀ` from eigenvectors and (possibly modified)
+/// eigenvalues.
+pub(crate) fn reconstruct_with(vectors: &SquareMatrix, values: &[f64]) -> SquareMatrix {
+    let n = vectors.n();
+    let mut out = SquareMatrix::zeros(n);
+    for c in 0..n {
+        let lambda = values[c];
+        if lambda == 0.0 {
+            continue;
+        }
+        for i in 0..n {
+            let vi = vectors.get(i, c);
+            if vi == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let add = lambda * vi * vectors.get(j, c);
+                out.set(i, j, out.get(i, j) + add);
+            }
+        }
+    }
+    out
+}
+
+/// Eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`EigenError::NotSymmetric`] if the input asymmetry exceeds `1e-8`.
+/// * [`EigenError::NoConvergence`] if 100 sweeps do not reduce the
+///   off-diagonal below tolerance (practically unreachable for symmetric
+///   input).
+///
+/// # Examples
+///
+/// ```
+/// use kastio_linalg::{eigh, SquareMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = SquareMatrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = eigh(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(a: &SquareMatrix) -> Result<Eigen, EigenError> {
+    let n = a.n();
+    if n == 0 {
+        return Ok(Eigen { values: Vec::new(), vectors: SquareMatrix::zeros(0) });
+    }
+    let asym = max_asymmetry(a);
+    let scale = a.frobenius_norm().max(1.0);
+    if asym > 1e-8 * scale {
+        return Err(EigenError::NotSymmetric { max_asymmetry: asym });
+    }
+
+    let mut m = a.clone();
+    // Exact symmetrisation so rounding asymmetry cannot bias rotations.
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = 0.5 * (m.get(i, j) + m.get(j, i));
+            m.set(i, j, v);
+            m.set(j, i, v);
+        }
+    }
+    let mut v = SquareMatrix::identity(n);
+    let tol = 1e-12 * scale;
+    let max_sweeps = 100;
+
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                rotate(&mut m, &mut v, p, q, c, s);
+            }
+        }
+    }
+
+    let off = off_diagonal_norm(&m);
+    if off > (1e-7 * scale).max(1e-10) {
+        return Err(EigenError::NoConvergence { off_diagonal: off });
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = SquareMatrix::zeros(n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vectors.set(i, new_col, v.get(i, old_col));
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+fn max_asymmetry(a: &SquareMatrix) -> f64 {
+    let n = a.n();
+    let mut max = 0.0f64;
+    for i in 0..n {
+        for j in i + 1..n {
+            max = max.max((a.get(i, j) - a.get(j, i)).abs());
+        }
+    }
+    max
+}
+
+fn off_diagonal_norm(m: &SquareMatrix) -> f64 {
+    let n = m.n();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let v = m.get(i, j);
+                sum += v * v;
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+fn rotate(m: &mut SquareMatrix, v: &mut SquareMatrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.n();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = SquareMatrix::from_rows(vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = eigh(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = SquareMatrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = eigh(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v0 = (e.vectors.get(0, 0), e.vectors.get(1, 0));
+        assert_close(v0.0.abs(), 1.0 / 2.0f64.sqrt(), 1e-10);
+        assert_close(v0.0, v0.1, 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = SquareMatrix::from_rows(vec![
+            vec![4.0, 1.0, -2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![-2.0, 0.0, 3.0],
+        ]);
+        let e = eigh(&a).unwrap();
+        assert!(e.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = SquareMatrix::from_rows(vec![
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 6.0, 2.0],
+            vec![1.0, 2.0, 7.0],
+        ]);
+        let e = eigh(&a).unwrap();
+        let vtv = e.vectors.transpose().mul(&e.vectors);
+        assert!(vtv.max_abs_diff(&SquareMatrix::identity(3)) < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_matrix_gets_negative_eigenvalue() {
+        let a = SquareMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let e = eigh(&a).unwrap();
+        assert_close(e.values[0], 1.0, 1e-10);
+        assert_close(e.values[1], -1.0, 1e-10);
+        assert_eq!(e.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn asymmetric_input_is_rejected() {
+        let a = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(matches!(eigh(&a), Err(EigenError::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = eigh(&SquareMatrix::zeros(0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = SquareMatrix::from_rows(vec![vec![-4.5]]);
+        let e = eigh(&a).unwrap();
+        assert_eq!(e.values, vec![-4.5]);
+        assert_eq!(e.vectors.get(0, 0), 1.0);
+    }
+}

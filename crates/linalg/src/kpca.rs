@@ -1,0 +1,226 @@
+//! Kernel Principal Component Analysis (Schölkopf, Smola & Müller 1997).
+//!
+//! The paper projects every similarity matrix onto its top two kernel
+//! principal components (Figures 6 and 8). Given a Gram matrix `K`:
+//! centre it, eigendecompose `K' = VΛVᵀ`, and the projection of training
+//! sample `i` onto component `c` is `√λ_c · v_{c,i}`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::center::center_gram;
+use crate::jacobi::{eigh, EigenError};
+use crate::matrix::SquareMatrix;
+
+/// Why a Kernel PCA fit failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KpcaError {
+    /// The eigendecomposition failed.
+    Eigen(EigenError),
+    /// The centred matrix had no positive spectrum to project onto.
+    DegenerateSpectrum,
+}
+
+impl fmt::Display for KpcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KpcaError::Eigen(e) => write!(f, "kernel pca: {e}"),
+            KpcaError::DegenerateSpectrum => {
+                f.write_str("kernel pca: centred matrix has no positive eigenvalue")
+            }
+        }
+    }
+}
+
+impl Error for KpcaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KpcaError::Eigen(e) => Some(e),
+            KpcaError::DegenerateSpectrum => None,
+        }
+    }
+}
+
+impl From<EigenError> for KpcaError {
+    fn from(e: EigenError) -> Self {
+        KpcaError::Eigen(e)
+    }
+}
+
+/// A fitted Kernel PCA projection of the training set.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_linalg::{KernelPca, SquareMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two tight groups: {0,1} similar, {2,3} similar, cross-similarity low.
+/// let k = SquareMatrix::from_rows(vec![
+///     vec![1.0, 0.9, 0.1, 0.1],
+///     vec![0.9, 1.0, 0.1, 0.1],
+///     vec![0.1, 0.1, 1.0, 0.9],
+///     vec![0.1, 0.1, 0.9, 1.0],
+/// ]);
+/// let pca = KernelPca::fit(&k, 2)?;
+/// let xs: Vec<f64> = (0..4).map(|i| pca.coords(i)[0]).collect();
+/// // The first component separates the groups.
+/// assert!(xs[0] * xs[2] < 0.0);
+/// assert!(xs[0] * xs[1] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPca {
+    coords: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+}
+
+impl KernelPca {
+    /// Fits a Kernel PCA with up to `n_components` components to a Gram
+    /// matrix (centering included; components with non-positive
+    /// eigenvalues are discarded).
+    ///
+    /// # Errors
+    ///
+    /// * [`KpcaError::Eigen`] if the matrix is asymmetric or the solver
+    ///   does not converge.
+    /// * [`KpcaError::DegenerateSpectrum`] if no positive eigenvalue
+    ///   remains after centering (e.g. all-identical samples).
+    pub fn fit(gram: &SquareMatrix, n_components: usize) -> Result<KernelPca, KpcaError> {
+        let n = gram.n();
+        let centred = center_gram(gram);
+        let eig = eigh(&centred)?;
+        let eps = 1e-10 * centred.frobenius_norm().max(1.0);
+        let kept: Vec<usize> = (0..n)
+            .filter(|&c| eig.values[c] > eps)
+            .take(n_components)
+            .collect();
+        if kept.is_empty() {
+            return Err(KpcaError::DegenerateSpectrum);
+        }
+        let mut coords = vec![Vec::with_capacity(kept.len()); n];
+        for &c in &kept {
+            let scale = eig.values[c].sqrt();
+            for (i, coord) in coords.iter_mut().enumerate() {
+                coord.push(scale * eig.vectors.get(i, c));
+            }
+        }
+        let eigenvalues = kept.iter().map(|&c| eig.values[c]).collect();
+        Ok(KernelPca { coords, eigenvalues })
+    }
+
+    /// The projected coordinates of training sample `i` (one entry per
+    /// kept component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn coords(&self, i: usize) -> &[f64] {
+        &self.coords[i]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the projection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Number of kept components.
+    pub fn n_components(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// The eigenvalues of the kept components, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of the kept spectrum explained by each component.
+    pub fn explained_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|v| v / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_gram() -> SquareMatrix {
+        SquareMatrix::from_rows(vec![
+            vec![1.0, 0.95, 0.05, 0.05, 0.05],
+            vec![0.95, 1.0, 0.05, 0.05, 0.05],
+            vec![0.05, 0.05, 1.0, 0.9, 0.9],
+            vec![0.05, 0.05, 0.9, 1.0, 0.9],
+            vec![0.05, 0.05, 0.9, 0.9, 1.0],
+        ])
+    }
+
+    #[test]
+    fn separates_two_blocks_on_first_component() {
+        let pca = KernelPca::fit(&block_gram(), 2).unwrap();
+        let xs: Vec<f64> = (0..5).map(|i| pca.coords(i)[0]).collect();
+        assert!(xs[0] * xs[1] > 0.0);
+        assert!(xs[2] * xs[3] > 0.0 && xs[3] * xs[4] > 0.0);
+        assert!(xs[0] * xs[2] < 0.0, "blocks land on opposite sides");
+    }
+
+    #[test]
+    fn eigenvalues_descend_and_ratios_sum_to_one() {
+        let pca = KernelPca::fit(&block_gram(), 4).unwrap();
+        let ev = pca.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let sum: f64 = pca.explained_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_count_is_capped_by_request() {
+        let pca = KernelPca::fit(&block_gram(), 1).unwrap();
+        assert_eq!(pca.n_components(), 1);
+        assert_eq!(pca.coords(0).len(), 1);
+    }
+
+    #[test]
+    fn centring_collapses_constant_gram() {
+        let k = SquareMatrix::from_rows(vec![vec![1.0; 3]; 3]);
+        assert_eq!(KernelPca::fit(&k, 2), Err(KpcaError::DegenerateSpectrum));
+    }
+
+    #[test]
+    fn projection_distances_reflect_kernel_distances() {
+        // For a PSD gram, squared feature distance = k_ii + k_jj - 2k_ij;
+        // with a full-rank projection the coordinates must reproduce it.
+        let k = block_gram();
+        let pca = KernelPca::fit(&k, 5).unwrap();
+        let centred = center_gram(&k);
+        for i in 0..5 {
+            for j in 0..5 {
+                let d2_kernel = centred.get(i, i) + centred.get(j, j) - 2.0 * centred.get(i, j);
+                let d2_coords: f64 = pca
+                    .coords(i)
+                    .iter()
+                    .zip(pca.coords(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                assert!((d2_kernel - d2_coords).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_gram_errors() {
+        let k = SquareMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.1, 1.0]]);
+        assert!(matches!(KernelPca::fit(&k, 1), Err(KpcaError::Eigen(_))));
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense symmetric linear algebra for kernel analysis.
+//!
+//! Everything §4.1 of the paper needs, from scratch:
+//!
+//! * [`SquareMatrix`] — dense square matrices.
+//! * [`eigh`] — symmetric eigendecomposition (cyclic Jacobi) and
+//!   [`eigh_ql`] (Householder tridiagonalisation + implicit QL), cross-
+//!   validated against each other.
+//! * [`center_gram`] — double centering for Kernel PCA.
+//! * [`psd_repair`] — the paper's negative-eigenvalue clamping
+//!   ("replaced by zero and the matrices rebuilt").
+//! * [`KernelPca`] — projection onto the top kernel principal components
+//!   (the scatter plots of Figures 6 and 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use kastio_linalg::{psd_repair, KernelPca, SquareMatrix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gram = SquareMatrix::from_rows(vec![
+//!     vec![1.0, 0.8, 0.0],
+//!     vec![0.8, 1.0, 0.1],
+//!     vec![0.0, 0.1, 1.0],
+//! ]);
+//! let repaired = psd_repair(&gram)?;
+//! let pca = KernelPca::fit(&repaired.matrix, 2)?;
+//! assert_eq!(pca.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod center;
+pub mod jacobi;
+pub mod kpca;
+pub mod matrix;
+pub mod psd;
+pub mod tridiag;
+
+pub use center::center_gram;
+pub use jacobi::{eigh, Eigen, EigenError};
+pub use kpca::{KernelPca, KpcaError};
+pub use matrix::SquareMatrix;
+pub use psd::{is_psd, psd_repair, PsdRepair};
+pub use tridiag::eigh_ql;

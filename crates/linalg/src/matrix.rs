@@ -1,0 +1,275 @@
+//! Dense square matrices (row-major `f64` storage).
+//!
+//! Everything the kernel-analysis side needs — Gram matrices are 110×110
+//! in the paper's evaluation, so a straightforward dense representation
+//! with O(1) access is the right tool.
+
+use std::fmt;
+
+/// A dense square matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_linalg::SquareMatrix;
+///
+/// let m = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.get(0, 1), 2.0);
+/// assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// A zero matrix of side `n`.
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The identity matrix of side `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = SquareMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a symmetric matrix by evaluating `f(i, j)` for `i ≤ j` and
+    /// mirroring.
+    pub fn from_fn_sym<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = f(i, j);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square grid.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in &rows {
+            assert_eq!(row.len(), n, "rows must form a square matrix");
+            data.extend_from_slice(row);
+        }
+        SquareMatrix { n, data }
+    }
+
+    /// Builds a matrix from row-major storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_row_major(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "storage must hold n² values");
+        SquareMatrix { n, data }
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] = value;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The raw row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "vector length must match");
+        (0..self.n)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sides differ.
+    pub fn mul(&self, other: &SquareMatrix) -> SquareMatrix {
+        assert_eq!(self.n, other.n, "matrix sides must match");
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> SquareMatrix {
+        let mut out = SquareMatrix::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Largest absolute off-diagonal entry (0 for n ≤ 1).
+    pub fn max_abs_off_diagonal(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    max = max.max(self.get(i, j).abs());
+                }
+            }
+        }
+        max
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sides differ.
+    pub fn max_abs_diff(&self, other: &SquareMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "matrix sides must match");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{:10.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let i3 = SquareMatrix::identity(3);
+        let m = SquareMatrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        assert_eq!(i3.mul(&m), m);
+        assert_eq!(m.mul(&i3), m);
+        assert_eq!(i3.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_and_symmetry() {
+        let m = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(!m.is_symmetric(1e-12));
+        assert_eq!(m.transpose().get(0, 1), 3.0);
+        let s = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(s.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = SquareMatrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, SquareMatrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = SquareMatrix::from_rows(vec![vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.max_abs_off_diagonal(), 0.0);
+        let b = SquareMatrix::zeros(2);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_rows_panic() {
+        let _ = SquareMatrix::from_rows(vec![vec![1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n²")]
+    fn bad_row_major_panics() {
+        let _ = SquareMatrix::from_row_major(2, vec![1.0; 3]);
+    }
+}

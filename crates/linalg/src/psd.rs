@@ -1,0 +1,125 @@
+//! PSD repair: the paper's negative-eigenvalue clamping.
+//!
+//! §4.1: "If the matrices presented negative eigenvalues, they were
+//! replaced by zero and the matrices rebuilt." The Kast kernel's feature
+//! space is pair-dependent, so its similarity matrices are not guaranteed
+//! positive semi-definite — this is the standard spectral-clipping fix.
+
+use crate::jacobi::{eigh, reconstruct_with, EigenError};
+use crate::matrix::SquareMatrix;
+
+/// The outcome of [`psd_repair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdRepair {
+    /// The repaired (positive semi-definite) matrix.
+    pub matrix: SquareMatrix,
+    /// How many eigenvalues were clamped to zero.
+    pub clamped: usize,
+    /// The most negative eigenvalue found (0 if none were negative).
+    pub most_negative: f64,
+}
+
+/// Clamps negative eigenvalues of a symmetric matrix to zero and rebuilds
+/// it (`V·max(Λ,0)·Vᵀ`).
+///
+/// # Errors
+///
+/// Propagates [`EigenError`] if the input is not symmetric or the
+/// eigensolver fails to converge.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_linalg::{psd_repair, SquareMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let indefinite = SquareMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+/// let repair = psd_repair(&indefinite)?;
+/// assert_eq!(repair.clamped, 1);
+/// assert!(repair.most_negative < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn psd_repair(a: &SquareMatrix) -> Result<PsdRepair, EigenError> {
+    let eig = eigh(a)?;
+    // Eigenvalues within numerical noise of zero are treated as zero
+    // without counting as clamped — otherwise repairing a repaired matrix
+    // would report phantom negative eigenvalues.
+    let scale = eig.values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let tol = 1e-10 * scale.max(1.0);
+    let mut clamped = 0;
+    let mut most_negative = 0.0f64;
+    let values: Vec<f64> = eig
+        .values
+        .iter()
+        .map(|&v| {
+            if v < -tol {
+                clamped += 1;
+                most_negative = most_negative.min(v);
+                0.0
+            } else {
+                v.max(0.0)
+            }
+        })
+        .collect();
+    if clamped == 0 {
+        return Ok(PsdRepair { matrix: a.clone(), clamped: 0, most_negative: 0.0 });
+    }
+    let matrix = reconstruct_with(&eig.vectors, &values);
+    Ok(PsdRepair { matrix, clamped, most_negative })
+}
+
+/// Whether a symmetric matrix is positive semi-definite within `tol`.
+///
+/// # Errors
+///
+/// Propagates [`EigenError`] from the eigendecomposition.
+pub fn is_psd(a: &SquareMatrix, tol: f64) -> Result<bool, EigenError> {
+    let eig = eigh(a)?;
+    Ok(eig.values.iter().all(|&v| v >= -tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psd_input_is_returned_unchanged() {
+        let a = SquareMatrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let r = psd_repair(&a).unwrap();
+        assert_eq!(r.clamped, 0);
+        assert_eq!(r.matrix, a);
+        assert!(is_psd(&a, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn indefinite_matrix_becomes_psd() {
+        let a = SquareMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(!is_psd(&a, 1e-12).unwrap());
+        let r = psd_repair(&a).unwrap();
+        assert_eq!(r.clamped, 1);
+        assert!((r.most_negative + 1.0).abs() < 1e-10);
+        assert!(is_psd(&r.matrix, 1e-10).unwrap());
+        // Clipping λ=-1 of [[0,1],[1,0]] yields 0.5·[[1,1],[1,1]].
+        let expected = SquareMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert!(r.matrix.max_abs_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn repair_preserves_symmetry() {
+        let a = SquareMatrix::from_rows(vec![
+            vec![1.0, 0.9, -0.8],
+            vec![0.9, 1.0, 0.4],
+            vec![-0.8, 0.4, 1.0],
+        ]);
+        let r = psd_repair(&a).unwrap();
+        assert!(r.matrix.is_symmetric(1e-9));
+        assert!(is_psd(&r.matrix, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn asymmetric_input_errors() {
+        let a = SquareMatrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(psd_repair(&a).is_err());
+    }
+}

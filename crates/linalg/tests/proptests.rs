@@ -1,0 +1,135 @@
+//! Property tests for the linear-algebra layer on random symmetric
+//! matrices.
+
+use proptest::prelude::*;
+
+use kastio_linalg::{center_gram, eigh, eigh_ql, is_psd, psd_repair, KernelPca, SquareMatrix};
+
+fn arb_symmetric(max_n: usize) -> impl Strategy<Value = SquareMatrix> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
+                let raw = SquareMatrix::from_row_major(n, data);
+                let mut sym = SquareMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        sym.set(i, j, 0.5 * (raw.get(i, j) + raw.get(j, i)));
+                    }
+                }
+                sym
+            })
+        })
+        .prop_filter("finite", |m| m.as_slice().iter().all(|v| v.is_finite()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigh_reconstructs_the_input(m in arb_symmetric(7)) {
+        let eig = eigh(&m).expect("symmetric input");
+        let tol = 1e-7 * m.frobenius_norm().max(1.0);
+        prop_assert!(eig.reconstruct().max_abs_diff(&m) < tol);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal(m in arb_symmetric(7)) {
+        let eig = eigh(&m).expect("symmetric input");
+        let vtv = eig.vectors.transpose().mul(&eig.vectors);
+        prop_assert!(vtv.max_abs_diff(&SquareMatrix::identity(m.n())) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_match_trace(m in arb_symmetric(7)) {
+        let eig = eigh(&m).expect("symmetric input");
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Trace = sum of eigenvalues.
+        let trace: f64 = (0..m.n()).map(|i| m.get(i, i)).sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn jacobi_and_ql_solvers_agree(m in arb_symmetric(8)) {
+        let jac = eigh(&m).expect("symmetric input");
+        let ql = eigh_ql(&m).expect("symmetric input");
+        let tol = 1e-7 * m.frobenius_norm().max(1.0);
+        for (a, b) in jac.values.iter().zip(&ql.values) {
+            prop_assert!((a - b).abs() < tol, "eigenvalues diverge: {} vs {}", a, b);
+        }
+        prop_assert!(ql.reconstruct().max_abs_diff(&m) < tol * 10.0);
+        let vtv = ql.vectors.transpose().mul(&ql.vectors);
+        prop_assert!(vtv.max_abs_diff(&SquareMatrix::identity(m.n())) < 1e-7);
+    }
+
+    #[test]
+    fn psd_repair_always_yields_psd(m in arb_symmetric(7)) {
+        let repair = psd_repair(&m).expect("symmetric input");
+        prop_assert!(is_psd(&repair.matrix, 1e-7).expect("repaired is symmetric"));
+        prop_assert!(repair.matrix.is_symmetric(1e-8));
+        // Repair is idempotent.
+        let again = psd_repair(&repair.matrix).expect("still symmetric");
+        prop_assert_eq!(again.clamped, 0);
+        // Positive part of the spectrum is untouched: eigenvalue sums match.
+        let before: f64 = eigh(&m).unwrap().values.iter().filter(|&&v| v > 0.0).sum();
+        let after: f64 = eigh(&repair.matrix).unwrap().values.iter().sum();
+        prop_assert!((before - after).abs() < 1e-6 * before.abs().max(1.0));
+    }
+
+    #[test]
+    fn centering_annihilates_row_sums(m in arb_symmetric(7)) {
+        let c = center_gram(&m);
+        for i in 0..c.n() {
+            let sum: f64 = c.row(i).iter().sum();
+            prop_assert!(sum.abs() < 1e-9 * m.frobenius_norm().max(1.0));
+        }
+        prop_assert!(c.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn kpca_coordinates_reproduce_centred_kernel_distances(m in arb_symmetric(6)) {
+        // Use a PSD version of the matrix so the full projection is exact.
+        let psd = psd_repair(&m).expect("symmetric").matrix;
+        let n = psd.n();
+        match KernelPca::fit(&psd, n) {
+            Ok(pca) => {
+                let centred = center_gram(&psd);
+                for i in 0..n {
+                    for j in 0..n {
+                        let d_kernel =
+                            centred.get(i, i) + centred.get(j, j) - 2.0 * centred.get(i, j);
+                        let d_coords: f64 = pca
+                            .coords(i)
+                            .iter()
+                            .zip(pca.coords(j))
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        prop_assert!(
+                            (d_kernel - d_coords).abs() < 1e-6 * d_kernel.abs().max(1.0),
+                            "({i},{j}): {d_kernel} vs {d_coords}"
+                        );
+                    }
+                }
+            }
+            Err(_) => {
+                // Degenerate spectrum (e.g. constant matrix) is allowed.
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_algebra_basics(m in arb_symmetric(6)) {
+        let n = m.n();
+        let i = SquareMatrix::identity(n);
+        prop_assert_eq!(m.mul(&i), m.clone());
+        prop_assert_eq!(m.transpose(), m.clone(), "symmetric matrices are self-transpose");
+        let v = vec![1.0; n];
+        let mv = m.mul_vec(&v);
+        for (row, out) in mv.iter().enumerate() {
+            let expect: f64 = m.row(row).iter().sum();
+            prop_assert!((out - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Single trace operations: file handles, operation kinds and records.
+
+use std::fmt;
+
+/// Identifier of a file handle within one trace.
+///
+/// Handles number the *logical* files of an application run. The paper's
+/// tree representation groups all operations of the same handle under one
+/// `HANDLE` node, so the identity (not the numeric value) is what matters.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::HandleId;
+///
+/// let h = HandleId::new(3);
+/// assert_eq!(h.index(), 3);
+/// assert_eq!(h.to_string(), "h3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HandleId(u32);
+
+impl HandleId {
+    /// Creates a handle identifier from its numeric index.
+    pub fn new(index: u32) -> Self {
+        HandleId(index)
+    }
+
+    /// Returns the numeric index of this handle.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for HandleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for HandleId {
+    fn from(index: u32) -> Self {
+        HandleId(index)
+    }
+}
+
+/// The kind of an I/O operation.
+///
+/// The variants cover the POSIX-level calls seen in the paper's traces plus
+/// a [`OpKind::Custom`] escape hatch so the text parser never loses
+/// information. The paper singles out some operations as *negligible*
+/// ("e.g. fileno, nmap and fscanf"); [`OpKind::is_negligible`] encodes that
+/// set.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::OpKind;
+///
+/// assert!(OpKind::Fileno.is_negligible());
+/// assert!(!OpKind::Write.is_negligible());
+/// assert_eq!(OpKind::parse("read"), OpKind::Read);
+/// assert_eq!(OpKind::parse("weird"), OpKind::Custom("weird".to_string()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// `open(2)` — opens a file; becomes a `BLOCK` delimiter in the tree.
+    Open,
+    /// `close(2)` — closes a file; becomes a `BLOCK` delimiter in the tree.
+    Close,
+    /// `read(2)` — transfers bytes from the file.
+    Read,
+    /// `write(2)` — transfers bytes to the file.
+    Write,
+    /// `lseek(2)` — repositions the file offset; carries no byte count.
+    Lseek,
+    /// `fsync(2)` — flushes file state; carries no byte count.
+    Fsync,
+    /// `ftruncate(2)` — resizes the file; the byte count records the new size.
+    Ftruncate,
+    /// `fileno(3)` — negligible bookkeeping call.
+    Fileno,
+    /// `mmap(2)` (the paper's "nmap") — negligible for pattern purposes.
+    Mmap,
+    /// `fscanf(3)` — negligible formatted read.
+    Fscanf,
+    /// `ftell(3)` — negligible position query.
+    Ftell,
+    /// `fstat(2)` — negligible metadata query.
+    Fstat,
+    /// Any operation name not otherwise modelled; preserved verbatim.
+    Custom(String),
+}
+
+impl OpKind {
+    /// Parses an operation name as it appears in a trace file.
+    ///
+    /// Unknown names yield [`OpKind::Custom`] rather than an error, so a
+    /// trace with exotic calls still round-trips.
+    pub fn parse(name: &str) -> OpKind {
+        match name {
+            "open" => OpKind::Open,
+            "close" => OpKind::Close,
+            "read" => OpKind::Read,
+            "write" => OpKind::Write,
+            "lseek" => OpKind::Lseek,
+            "fsync" => OpKind::Fsync,
+            "ftruncate" => OpKind::Ftruncate,
+            "fileno" => OpKind::Fileno,
+            "mmap" | "nmap" => OpKind::Mmap,
+            "fscanf" => OpKind::Fscanf,
+            "ftell" => OpKind::Ftell,
+            "fstat" => OpKind::Fstat,
+            other => OpKind::Custom(other.to_string()),
+        }
+    }
+
+    /// Returns the canonical lower-case name of the operation.
+    pub fn name(&self) -> &str {
+        match self {
+            OpKind::Open => "open",
+            OpKind::Close => "close",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Lseek => "lseek",
+            OpKind::Fsync => "fsync",
+            OpKind::Ftruncate => "ftruncate",
+            OpKind::Fileno => "fileno",
+            OpKind::Mmap => "mmap",
+            OpKind::Fscanf => "fscanf",
+            OpKind::Ftell => "ftell",
+            OpKind::Fstat => "fstat",
+            OpKind::Custom(name) => name,
+        }
+    }
+
+    /// Whether the operation is negligible for access-pattern purposes.
+    ///
+    /// The paper drops these before building the tree: "Some of these
+    /// operations are negligible and hence ignored (e.g. fileno, nmap and
+    /// fscanf)". We extend the set with the equally content-free `ftell`
+    /// and `fstat`.
+    pub fn is_negligible(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Fileno | OpKind::Mmap | OpKind::Fscanf | OpKind::Ftell | OpKind::Fstat
+        )
+    }
+
+    /// Whether the operation is a block delimiter (`open`/`close`).
+    ///
+    /// Delimiters never become leaves of the pattern tree: "operations are
+    /// given nodes, except for open and close, because the BLOCK node
+    /// already plays the role of a delimiter".
+    pub fn is_block_delimiter(&self) -> bool {
+        matches!(self, OpKind::Open | OpKind::Close)
+    }
+
+    /// Whether the operation conventionally carries a transfer byte count.
+    ///
+    /// Operations without a byte count (e.g. `lseek`) always record zero
+    /// bytes; compression rule 4 of the paper exploits exactly that.
+    pub fn carries_bytes(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Read | OpKind::Write | OpKind::Ftruncate | OpKind::Custom(_)
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded I/O operation: a handle, an operation kind and a byte count.
+///
+/// Operations are stored in chronological order inside a [`crate::Trace`];
+/// the position in the trace is the (implicit) timestamp. Byte counts are
+/// zero for operations that transfer no payload.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{HandleId, OpKind, Operation};
+///
+/// let op = Operation::new(HandleId::new(0), OpKind::Read, 4096);
+/// assert_eq!(op.bytes, 4096);
+/// assert_eq!(op.to_string(), "h0 read 4096");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// The file handle the operation acts on.
+    pub handle: HandleId,
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Number of bytes moved by the operation (zero when not applicable).
+    pub bytes: u64,
+}
+
+impl Operation {
+    /// Creates a new operation record.
+    pub fn new(handle: HandleId, kind: OpKind, bytes: u64) -> Self {
+        Operation { handle, kind, bytes }
+    }
+
+    /// Convenience constructor for zero-byte operations.
+    pub fn control(handle: HandleId, kind: OpKind) -> Self {
+        Operation::new(handle, kind, 0)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.handle, self.kind, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_display_and_index() {
+        let h = HandleId::new(7);
+        assert_eq!(h.index(), 7);
+        assert_eq!(h.to_string(), "h7");
+        assert_eq!(HandleId::from(7u32), h);
+    }
+
+    #[test]
+    fn opkind_parse_roundtrips_known_names() {
+        for name in [
+            "open", "close", "read", "write", "lseek", "fsync", "ftruncate", "fileno", "mmap",
+            "fscanf", "ftell", "fstat",
+        ] {
+            let kind = OpKind::parse(name);
+            assert_eq!(kind.name(), name, "round-trip failed for {name}");
+            assert!(!matches!(kind, OpKind::Custom(_)));
+        }
+    }
+
+    #[test]
+    fn opkind_parse_nmap_alias() {
+        assert_eq!(OpKind::parse("nmap"), OpKind::Mmap);
+    }
+
+    #[test]
+    fn opkind_custom_preserves_name() {
+        let kind = OpKind::parse("aio_read64");
+        assert_eq!(kind, OpKind::Custom("aio_read64".to_string()));
+        assert_eq!(kind.name(), "aio_read64");
+        assert!(!kind.is_negligible());
+        assert!(kind.carries_bytes());
+    }
+
+    #[test]
+    fn negligible_set_matches_paper() {
+        assert!(OpKind::Fileno.is_negligible());
+        assert!(OpKind::Mmap.is_negligible());
+        assert!(OpKind::Fscanf.is_negligible());
+        assert!(!OpKind::Read.is_negligible());
+        assert!(!OpKind::Open.is_negligible());
+        assert!(!OpKind::Lseek.is_negligible());
+    }
+
+    #[test]
+    fn block_delimiters() {
+        assert!(OpKind::Open.is_block_delimiter());
+        assert!(OpKind::Close.is_block_delimiter());
+        assert!(!OpKind::Read.is_block_delimiter());
+    }
+
+    #[test]
+    fn byte_carriers() {
+        assert!(OpKind::Read.carries_bytes());
+        assert!(OpKind::Write.carries_bytes());
+        assert!(!OpKind::Lseek.carries_bytes());
+        assert!(!OpKind::Fsync.carries_bytes());
+    }
+
+    #[test]
+    fn operation_display() {
+        let op = Operation::new(HandleId::new(2), OpKind::Lseek, 0);
+        assert_eq!(op.to_string(), "h2 lseek 0");
+        assert_eq!(Operation::control(HandleId::new(2), OpKind::Lseek), op);
+    }
+}

@@ -1,0 +1,199 @@
+//! Multi-process (parallel) traces.
+//!
+//! The paper's subject is *parallel* I/O: an application runs as several
+//! MPI ranks, each producing its own operation stream against a parallel
+//! file system (§2.1). A [`ParallelTrace`] keeps the per-rank streams and
+//! can merge them into the single chronological trace the string pipeline
+//! consumes — with the handle spaces of different ranks kept disjoint, so
+//! rank 0's file 0 and rank 1's file 0 stay distinguishable (file-per-
+//! process) or are unified (shared-file), as the workload dictates.
+
+use crate::op::{HandleId, Operation};
+use crate::trace::Trace;
+
+/// How per-rank handle spaces relate when merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandleMerge {
+    /// Each rank accesses its own files (IOR "file-per-process"): handle
+    /// `h` of rank `r` becomes a fresh handle distinct from every other
+    /// rank's.
+    #[default]
+    FilePerProcess,
+    /// All ranks access the same files (IOR "shared file"): handle `h` of
+    /// every rank maps to the same merged handle `h`.
+    SharedFile,
+}
+
+/// A trace per rank of a parallel application run.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{parse_trace, HandleMerge, ParallelTrace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rank0 = parse_trace("h0 open 0\nh0 write 64\nh0 close 0\n")?;
+/// let rank1 = parse_trace("h0 open 0\nh0 write 64\nh0 close 0\n")?;
+/// let parallel = ParallelTrace::new(vec![rank0, rank1]);
+///
+/// let fpp = parallel.merge(HandleMerge::FilePerProcess);
+/// assert_eq!(fpp.handles().len(), 2, "two distinct files");
+///
+/// let shared = parallel.merge(HandleMerge::SharedFile);
+/// assert_eq!(shared.handles().len(), 1, "one shared file");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParallelTrace {
+    ranks: Vec<Trace>,
+}
+
+impl ParallelTrace {
+    /// Creates a parallel trace from per-rank traces (rank = index).
+    pub fn new(ranks: Vec<Trace>) -> Self {
+        ParallelTrace { ranks }
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether there are no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The trace of one rank.
+    pub fn rank(&self, r: usize) -> Option<&Trace> {
+        self.ranks.get(r)
+    }
+
+    /// Iterates over the per-rank traces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.ranks.iter()
+    }
+
+    /// Merges the ranks into one chronological trace by round-robin
+    /// interleaving (one operation per rank per round — the conventional
+    /// stand-in for wall-clock interleaving when traces carry no
+    /// timestamps).
+    ///
+    /// Handle identity follows `merge`: with
+    /// [`HandleMerge::FilePerProcess`] rank `r`'s handle `h` becomes
+    /// `h * R + r` (R = rank count), guaranteeing disjoint handle spaces;
+    /// with [`HandleMerge::SharedFile`] handles pass through unchanged.
+    pub fn merge(&self, merge: HandleMerge) -> Trace {
+        let r_count = self.ranks.len() as u32;
+        let mut cursors: Vec<std::slice::Iter<'_, Operation>> =
+            self.ranks.iter().map(|t| t.iter()).collect();
+        let mut out = Trace::new();
+        let mut exhausted = 0;
+        while exhausted < cursors.len() {
+            exhausted = 0;
+            for (r, cursor) in cursors.iter_mut().enumerate() {
+                match cursor.next() {
+                    Some(op) => {
+                        let handle = match merge {
+                            HandleMerge::SharedFile => op.handle,
+                            HandleMerge::FilePerProcess => {
+                                HandleId::new(op.handle.index() * r_count + r as u32)
+                            }
+                        };
+                        out.push(Operation::new(handle, op.kind.clone(), op.bytes));
+                    }
+                    None => exhausted += 1,
+                }
+            }
+        }
+        out
+    }
+
+    /// Total operations across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(|t| t.len()).sum()
+    }
+}
+
+impl FromIterator<Trace> for ParallelTrace {
+    fn from_iter<I: IntoIterator<Item = Trace>>(iter: I) -> Self {
+        ParallelTrace { ranks: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::text::parse_trace;
+
+    fn rank(ops: &str) -> Trace {
+        parse_trace(ops).expect("test trace parses")
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let p = ParallelTrace::new(vec![
+            rank("h0 write 1\nh0 write 2\n"),
+            rank("h0 write 10\nh0 write 20\n"),
+        ]);
+        let merged = p.merge(HandleMerge::SharedFile);
+        let bytes: Vec<u64> = merged.iter().map(|o| o.bytes).collect();
+        assert_eq!(bytes, vec![1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn file_per_process_separates_handles() {
+        let p = ParallelTrace::new(vec![rank("h0 write 1\n"), rank("h0 write 2\n")]);
+        let merged = p.merge(HandleMerge::FilePerProcess);
+        assert_eq!(merged.handles().len(), 2);
+    }
+
+    #[test]
+    fn shared_file_unifies_handles() {
+        let p = ParallelTrace::new(vec![rank("h0 write 1\n"), rank("h0 write 2\n")]);
+        let merged = p.merge(HandleMerge::SharedFile);
+        assert_eq!(merged.handles().len(), 1);
+    }
+
+    #[test]
+    fn uneven_rank_lengths_drain_fully() {
+        let p = ParallelTrace::new(vec![
+            rank("h0 write 1\nh0 write 2\nh0 write 3\n"),
+            rank("h0 read 9\n"),
+        ]);
+        let merged = p.merge(HandleMerge::SharedFile);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.count_kind(&OpKind::Read), 1);
+        assert_eq!(p.total_ops(), 4);
+    }
+
+    #[test]
+    fn file_per_process_keeps_per_rank_handle_spaces_disjoint() {
+        // Two ranks each using two files must produce four handles.
+        let p = ParallelTrace::new(vec![
+            rank("h0 write 1\nh1 write 2\n"),
+            rank("h0 write 3\nh1 write 4\n"),
+        ]);
+        let merged = p.merge(HandleMerge::FilePerProcess);
+        assert_eq!(merged.handles().len(), 4);
+    }
+
+    #[test]
+    fn empty_parallel_trace() {
+        let p = ParallelTrace::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.merge(HandleMerge::FilePerProcess), Trace::new());
+        assert_eq!(ParallelTrace::default().rank_count(), 0);
+    }
+
+    #[test]
+    fn rank_accessors() {
+        let p: ParallelTrace = vec![rank("h0 write 1\n")].into_iter().collect();
+        assert_eq!(p.rank_count(), 1);
+        assert_eq!(p.rank(0).unwrap().len(), 1);
+        assert!(p.rank(5).is_none());
+        assert_eq!(p.iter().count(), 1);
+    }
+}

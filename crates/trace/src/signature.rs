@@ -1,0 +1,220 @@
+//! Numeric pattern signatures: burstiness, periodicity, repeatability.
+//!
+//! §2.1 of the paper lists the properties by which access patterns are
+//! characterised, citing Liu et al.'s three supercomputing-specific
+//! features: "burstiness, periodicity and repeatability". These scalar
+//! signatures are *not* inputs to the kernels — the string representation
+//! supersedes them — but they give the workload generators a ground truth
+//! to validate against, and downstream users a cheap first-pass filter.
+
+use crate::op::OpKind;
+use crate::trace::Trace;
+
+/// Configuration for [`PatternSignature::of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureConfig {
+    /// Number of consecutive operations aggregated into one volume sample.
+    pub window: usize,
+    /// k-gram length used by the repeatability measure.
+    pub gram: usize,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig { window: 8, gram: 4 }
+    }
+}
+
+/// The three scalar signatures of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{parse_trace, PatternSignature};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let steady = parse_trace(&"h0 write 64\n".repeat(64))?;
+/// let sig = PatternSignature::of(&steady, Default::default());
+/// assert!(sig.burstiness < -0.9, "a constant stream is maximally regular");
+/// assert!(sig.repeatability > 0.9, "one repeated operation everywhere");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternSignature {
+    /// Goh–Barabási burstiness of the per-window byte volume:
+    /// `(σ − μ)/(σ + μ)` ∈ [−1, 1]. −1 = perfectly regular, ~0 = Poisson,
+    /// → 1 = extremely bursty.
+    pub burstiness: f64,
+    /// Peak normalised autocorrelation of the per-window byte volume over
+    /// lags ≥ 1, in [−1, 1]; high values mean the volume repeats with a
+    /// period.
+    pub periodicity: f64,
+    /// 1 − (distinct op-kind k-grams / total k-grams), in [0, 1]; high
+    /// values mean the operation sequence re-uses few motifs.
+    pub repeatability: f64,
+}
+
+impl PatternSignature {
+    /// Computes the signatures of a trace.
+    ///
+    /// Negligible operations are excluded (they carry no pattern
+    /// information); traces shorter than one window or one k-gram yield
+    /// zeros for the affected measures.
+    pub fn of(trace: &Trace, config: SignatureConfig) -> PatternSignature {
+        let substantive: Vec<(&OpKind, u64)> = trace
+            .iter()
+            .filter(|op| !op.kind.is_negligible())
+            .map(|op| (&op.kind, op.bytes))
+            .collect();
+        let window = config.window.max(1);
+        let volumes: Vec<f64> = substantive
+            .chunks(window)
+            .map(|chunk| chunk.iter().map(|&(_, b)| b as f64).sum())
+            .collect();
+        PatternSignature {
+            burstiness: burstiness(&volumes),
+            periodicity: periodicity(&volumes),
+            repeatability: repeatability(&substantive, config.gram),
+        }
+    }
+}
+
+fn burstiness(volumes: &[f64]) -> f64 {
+    if volumes.len() < 2 {
+        return 0.0;
+    }
+    let n = volumes.len() as f64;
+    let mean = volumes.iter().sum::<f64>() / n;
+    let var = volumes.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+    if sigma + mean == 0.0 {
+        0.0
+    } else {
+        (sigma - mean) / (sigma + mean)
+    }
+}
+
+fn periodicity(volumes: &[f64]) -> f64 {
+    let n = volumes.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let mean = volumes.iter().sum::<f64>() / n as f64;
+    let denom: f64 = volumes.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let mut best = f64::NEG_INFINITY;
+    for lag in 1..=n / 2 {
+        let num: f64 = (0..n - lag)
+            .map(|i| (volumes[i] - mean) * (volumes[i + lag] - mean))
+            .sum();
+        best = best.max(num / denom);
+    }
+    best.clamp(-1.0, 1.0)
+}
+
+fn repeatability(ops: &[(&OpKind, u64)], gram: usize) -> f64 {
+    let gram = gram.max(1);
+    if ops.len() < gram {
+        return 0.0;
+    }
+    let total = ops.len() - gram + 1;
+    let mut seen = std::collections::HashSet::new();
+    for w in ops.windows(gram) {
+        let key: Vec<&str> = w.iter().map(|&(k, _)| k.name()).collect();
+        seen.insert(key);
+    }
+    1.0 - seen.len() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{HandleId, Operation};
+    use crate::text::parse_trace;
+
+    fn trace_of(pattern: &[(&str, u64)], repeats: usize) -> Trace {
+        let mut t = Trace::new();
+        for _ in 0..repeats {
+            for &(name, bytes) in pattern {
+                t.push(Operation::new(HandleId::new(0), OpKind::parse(name), bytes));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn constant_stream_is_regular_and_repeatable() {
+        let t = trace_of(&[("write", 64)], 128);
+        let sig = PatternSignature::of(&t, SignatureConfig::default());
+        assert!(sig.burstiness <= -0.99);
+        assert!(sig.repeatability > 0.95);
+    }
+
+    #[test]
+    fn alternating_phases_are_periodic() {
+        // 8 quiet ops then 8 heavy ops, repeated: strong autocorrelation
+        // at the phase length.
+        let mut pattern = vec![("read", 1u64); 8];
+        pattern.extend(vec![("write", 1_000_000u64); 8]);
+        let t = trace_of(&pattern, 16);
+        let sig = PatternSignature::of(&t, SignatureConfig { window: 8, gram: 4 });
+        assert!(sig.periodicity > 0.8, "periodicity {}", sig.periodicity);
+    }
+
+    #[test]
+    fn bursty_stream_scores_high_burstiness() {
+        // One huge write among many empty ops.
+        let mut pattern = vec![("lseek", 0u64); 63];
+        pattern.push(("write", 100_000_000));
+        let t = trace_of(&pattern, 4);
+        let sig = PatternSignature::of(&t, SignatureConfig { window: 4, gram: 4 });
+        assert!(sig.burstiness > 0.5, "burstiness {}", sig.burstiness);
+    }
+
+    #[test]
+    fn diverse_sequence_scores_low_repeatability() {
+        let names = ["read", "write", "lseek", "fsync"];
+        let mut t = Trace::new();
+        // A de Bruijn-ish wandering sequence with few repeated 4-grams.
+        for i in 0..128usize {
+            let name = names[(i * i + i / 3) % 4];
+            t.push(Operation::new(HandleId::new(0), OpKind::parse(name), i as u64));
+        }
+        let sig = PatternSignature::of(&t, SignatureConfig::default());
+        let steady = PatternSignature::of(&trace_of(&[("read", 1)], 128), Default::default());
+        assert!(sig.repeatability < steady.repeatability);
+    }
+
+    #[test]
+    fn signatures_are_bounded() {
+        let t = parse_trace("h0 write 10\nh0 read 5\nh0 write 0\nh0 read 99\nh0 write 7\n").unwrap();
+        let sig = PatternSignature::of(&t, SignatureConfig { window: 2, gram: 2 });
+        assert!((-1.0..=1.0).contains(&sig.burstiness));
+        assert!((-1.0..=1.0).contains(&sig.periodicity));
+        assert!((0.0..=1.0).contains(&sig.repeatability));
+    }
+
+    #[test]
+    fn degenerate_traces_yield_zeros() {
+        let empty = Trace::new();
+        let sig = PatternSignature::of(&empty, SignatureConfig::default());
+        assert_eq!(sig.burstiness, 0.0);
+        assert_eq!(sig.periodicity, 0.0);
+        assert_eq!(sig.repeatability, 0.0);
+        let tiny = parse_trace("h0 write 1\n").unwrap();
+        let sig = PatternSignature::of(&tiny, SignatureConfig::default());
+        assert_eq!(sig.repeatability, 0.0);
+    }
+
+    #[test]
+    fn negligible_ops_are_excluded() {
+        let with = parse_trace(&"h0 write 64\nh0 fileno 0\n".repeat(32)).unwrap();
+        let without = parse_trace(&"h0 write 64\n".repeat(32)).unwrap();
+        let a = PatternSignature::of(&with, SignatureConfig::default());
+        let b = PatternSignature::of(&without, SignatureConfig::default());
+        assert_eq!(a, b);
+    }
+}

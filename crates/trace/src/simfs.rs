@@ -1,0 +1,427 @@
+//! A simulated POSIX file layer that records traces.
+//!
+//! The paper captures traces from real applications running on a parallel
+//! file system; we substitute a deterministic in-memory simulation. The
+//! downstream pipeline only consumes the recorded operation sequence, so
+//! the simulation needs to be *behaviourally* faithful: files have sizes,
+//! descriptors have offsets, reads cannot cross EOF, seeks move offsets —
+//! which is enough for the workload generators to express the four access
+//! forms of §4.1 as little programs instead of hand-written token lists.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::op::{HandleId, OpKind, Operation};
+use crate::trace::Trace;
+
+/// A file descriptor handed out by [`SimFs::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(u32);
+
+impl Fd {
+    /// Returns the raw descriptor number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Origin of an [`SimFs::lseek`] displacement, mirroring POSIX `whence`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekWhence {
+    /// Seek to an absolute position (`SEEK_SET`).
+    Set,
+    /// Seek relative to the current offset (`SEEK_CUR`).
+    Cur,
+    /// Seek relative to the end of file (`SEEK_END`).
+    End,
+}
+
+/// Errors raised by the simulated file layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFsError {
+    /// The descriptor is not open.
+    BadFd(Fd),
+    /// A seek would move the offset before the start of the file.
+    NegativeOffset {
+        /// The descriptor being seeked.
+        fd: Fd,
+        /// The requested (invalid) displacement.
+        requested: i64,
+    },
+}
+
+impl fmt::Display for SimFsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFsError::BadFd(fd) => write!(f, "descriptor {fd} is not open"),
+            SimFsError::NegativeOffset { fd, requested } => {
+                write!(f, "seek on {fd} to negative offset {requested}")
+            }
+        }
+    }
+}
+
+impl Error for SimFsError {}
+
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    size: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    handle: HandleId,
+    offset: u64,
+}
+
+/// A simulated POSIX I/O layer with built-in trace recording.
+///
+/// Every call appends the corresponding [`Operation`] to an internal
+/// [`Trace`]. Handles are assigned per *logical file*: re-opening the same
+/// path reuses the handle id of the first open, matching how trace analyses
+/// identify files across open/close blocks.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{OpKind, SeekWhence, SimFs};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fs = SimFs::new();
+/// let fd = fs.open("checkpoint.dat")?;
+/// fs.write(fd, 1 << 20)?;
+/// fs.lseek(fd, 0, SeekWhence::Set)?;
+/// let got = fs.read(fd, 4096)?;
+/// assert_eq!(got, 4096);
+/// fs.close(fd)?;
+/// let trace = fs.into_trace();
+/// assert_eq!(trace.count_kind(&OpKind::Lseek), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    files: HashMap<String, FileState>,
+    handles: HashMap<String, HandleId>,
+    open: HashMap<u32, OpenFile>,
+    next_fd: u32,
+    next_handle: u32,
+    trace: Trace,
+}
+
+impl SimFs {
+    /// Creates an empty simulated file system.
+    pub fn new() -> Self {
+        SimFs::default()
+    }
+
+    fn handle_for(&mut self, path: &str) -> HandleId {
+        if let Some(&h) = self.handles.get(path) {
+            return h;
+        }
+        let h = HandleId::new(self.next_handle);
+        self.next_handle += 1;
+        self.handles.insert(path.to_string(), h);
+        h
+    }
+
+    fn open_file(&self, fd: Fd) -> Result<&OpenFile, SimFsError> {
+        self.open.get(&fd.raw()).ok_or(SimFsError::BadFd(fd))
+    }
+
+    fn record(&mut self, handle: HandleId, kind: OpKind, bytes: u64) {
+        self.trace.push(Operation::new(handle, kind, bytes));
+    }
+
+    /// Opens (creating if necessary) the file at `path`.
+    ///
+    /// Records an `open` operation and returns a fresh descriptor. The file
+    /// offset starts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for quota/permission
+    /// simulation without breaking callers.
+    pub fn open(&mut self, path: &str) -> Result<Fd, SimFsError> {
+        let handle = self.handle_for(path);
+        self.files.entry(path.to_string()).or_default();
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        self.open.insert(
+            fd.raw(),
+            OpenFile { path: path.to_string(), handle, offset: 0 },
+        );
+        self.record(handle, OpKind::Open, 0);
+        Ok(fd)
+    }
+
+    /// Closes `fd`, recording a `close` operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn close(&mut self, fd: Fd) -> Result<(), SimFsError> {
+        let of = self.open.remove(&fd.raw()).ok_or(SimFsError::BadFd(fd))?;
+        self.record(of.handle, OpKind::Close, 0);
+        Ok(())
+    }
+
+    /// Writes `bytes` bytes at the current offset, extending the file.
+    ///
+    /// Returns the number of bytes written (always `bytes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn write(&mut self, fd: Fd, bytes: u64) -> Result<u64, SimFsError> {
+        let (handle, path, end) = {
+            let of = self.open.get_mut(&fd.raw()).ok_or(SimFsError::BadFd(fd))?;
+            of.offset += bytes;
+            (of.handle, of.path.clone(), of.offset)
+        };
+        let file = self.files.get_mut(&path).expect("open file must exist");
+        file.size = file.size.max(end);
+        self.record(handle, OpKind::Write, bytes);
+        Ok(bytes)
+    }
+
+    /// Reads up to `bytes` bytes at the current offset.
+    ///
+    /// Returns the number of bytes actually read, truncated at end of file
+    /// exactly like POSIX `read(2)`. A read at or past EOF returns 0 and is
+    /// still recorded (with the truncated byte count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn read(&mut self, fd: Fd, bytes: u64) -> Result<u64, SimFsError> {
+        let (handle, path, offset) = {
+            let of = self.open_file(fd)?;
+            (of.handle, of.path.clone(), of.offset)
+        };
+        let size = self.files.get(&path).expect("open file must exist").size;
+        let available = size.saturating_sub(offset);
+        let got = bytes.min(available);
+        if let Some(of) = self.open.get_mut(&fd.raw()) {
+            of.offset += got;
+        }
+        self.record(handle, OpKind::Read, got);
+        Ok(got)
+    }
+
+    /// Repositions the offset of `fd`, recording an `lseek` operation.
+    ///
+    /// Returns the new absolute offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] for unknown descriptors and
+    /// [`SimFsError::NegativeOffset`] if the resulting offset would be
+    /// negative.
+    pub fn lseek(&mut self, fd: Fd, offset: i64, whence: SeekWhence) -> Result<u64, SimFsError> {
+        let (handle, path, current) = {
+            let of = self.open_file(fd)?;
+            (of.handle, of.path.clone(), of.offset)
+        };
+        let size = self.files.get(&path).expect("open file must exist").size;
+        let base: i64 = match whence {
+            SeekWhence::Set => 0,
+            SeekWhence::Cur => current as i64,
+            SeekWhence::End => size as i64,
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(SimFsError::NegativeOffset { fd, requested: target });
+        }
+        if let Some(of) = self.open.get_mut(&fd.raw()) {
+            of.offset = target as u64;
+        }
+        self.record(handle, OpKind::Lseek, 0);
+        Ok(target as u64)
+    }
+
+    /// Flushes `fd`, recording an `fsync` operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn fsync(&mut self, fd: Fd) -> Result<(), SimFsError> {
+        let handle = self.open_file(fd)?.handle;
+        self.record(handle, OpKind::Fsync, 0);
+        Ok(())
+    }
+
+    /// Queries the descriptor number, recording a negligible `fileno` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn fileno(&mut self, fd: Fd) -> Result<u32, SimFsError> {
+        let handle = self.open_file(fd)?.handle;
+        self.record(handle, OpKind::Fileno, 0);
+        Ok(fd.raw())
+    }
+
+    /// Performs a formatted read, recording a negligible `fscanf` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn fscanf(&mut self, fd: Fd, bytes: u64) -> Result<(), SimFsError> {
+        let handle = self.open_file(fd)?.handle;
+        self.record(handle, OpKind::Fscanf, bytes);
+        Ok(())
+    }
+
+    /// Current size of the file at `path`, if it exists.
+    pub fn file_size(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|f| f.size)
+    }
+
+    /// Current offset of an open descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFsError::BadFd`] if the descriptor is not open.
+    pub fn offset(&self, fd: Fd) -> Result<u64, SimFsError> {
+        Ok(self.open_file(fd)?.offset)
+    }
+
+    /// Read-only view of the trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the file system and returns the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_write_close_records_block() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.write(fd, 10).unwrap();
+        fs.close(fd).unwrap();
+        let kinds: Vec<OpKind> = fs.trace().iter().map(|o| o.kind.clone()).collect();
+        assert_eq!(kinds, vec![OpKind::Open, OpKind::Write, OpKind::Close]);
+    }
+
+    #[test]
+    fn reopen_same_path_reuses_handle() {
+        let mut fs = SimFs::new();
+        let fd1 = fs.open("a").unwrap();
+        fs.close(fd1).unwrap();
+        let fd2 = fs.open("a").unwrap();
+        fs.close(fd2).unwrap();
+        let handles = fs.trace().handles();
+        assert_eq!(handles.len(), 1);
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_handles() {
+        let mut fs = SimFs::new();
+        let fa = fs.open("a").unwrap();
+        let fb = fs.open("b").unwrap();
+        fs.close(fa).unwrap();
+        fs.close(fb).unwrap();
+        assert_eq!(fs.trace().handles().len(), 2);
+    }
+
+    #[test]
+    fn read_truncates_at_eof() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.write(fd, 100).unwrap();
+        fs.lseek(fd, 0, SeekWhence::Set).unwrap();
+        assert_eq!(fs.read(fd, 60).unwrap(), 60);
+        assert_eq!(fs.read(fd, 60).unwrap(), 40);
+        assert_eq!(fs.read(fd, 60).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_extends_file_and_offset() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.write(fd, 50).unwrap();
+        fs.write(fd, 25).unwrap();
+        assert_eq!(fs.file_size("a"), Some(75));
+        assert_eq!(fs.offset(fd).unwrap(), 75);
+    }
+
+    #[test]
+    fn lseek_whence_semantics() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.write(fd, 100).unwrap();
+        assert_eq!(fs.lseek(fd, 10, SeekWhence::Set).unwrap(), 10);
+        assert_eq!(fs.lseek(fd, 5, SeekWhence::Cur).unwrap(), 15);
+        assert_eq!(fs.lseek(fd, -20, SeekWhence::End).unwrap(), 80);
+    }
+
+    #[test]
+    fn lseek_negative_errors() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        let err = fs.lseek(fd, -1, SeekWhence::Set).unwrap_err();
+        assert!(matches!(err, SimFsError::NegativeOffset { .. }));
+    }
+
+    #[test]
+    fn bad_fd_errors() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read(fd, 1), Err(SimFsError::BadFd(fd)));
+        assert_eq!(fs.write(fd, 1), Err(SimFsError::BadFd(fd)));
+        assert_eq!(fs.close(fd), Err(SimFsError::BadFd(fd)));
+        assert!(fs.fsync(fd).is_err());
+    }
+
+    #[test]
+    fn negligible_calls_are_recorded() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("a").unwrap();
+        fs.fileno(fd).unwrap();
+        fs.fscanf(fd, 16).unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.trace().count_kind(&OpKind::Fileno), 1);
+        assert_eq!(fs.trace().count_kind(&OpKind::Fscanf), 1);
+        let filtered = fs.trace().without_negligible();
+        assert_eq!(filtered.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_handles_keep_chronology() {
+        let mut fs = SimFs::new();
+        let fa = fs.open("a").unwrap();
+        let fb = fs.open("b").unwrap();
+        fs.write(fa, 1).unwrap();
+        fs.write(fb, 2).unwrap();
+        fs.write(fa, 3).unwrap();
+        fs.close(fb).unwrap();
+        fs.close(fa).unwrap();
+        let t = fs.into_trace();
+        let bytes: Vec<u64> = t.iter().filter(|o| o.kind == OpKind::Write).map(|o| o.bytes).collect();
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SimFsError::BadFd(Fd(9));
+        assert_eq!(e.to_string(), "descriptor fd9 is not open");
+    }
+}

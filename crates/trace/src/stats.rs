@@ -1,0 +1,126 @@
+//! Summary statistics over traces.
+//!
+//! These are not used by the kernel itself but are invaluable for sanity
+//! checking workload generators: §2.1 of the paper lists the properties by
+//! which access patterns are characterised (granularity, randomness,
+//! concurrency, …) and these numbers are the cheap observable proxies.
+
+use std::collections::BTreeMap;
+
+use crate::op::OpKind;
+use crate::trace::Trace;
+
+/// Aggregate statistics of a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{parse_trace, TraceStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 write 100\nh0 write 28\nh0 close 0\n")?;
+/// let stats = TraceStats::of(&trace);
+/// assert_eq!(stats.total_ops, 4);
+/// assert_eq!(stats.bytes_written, 128);
+/// assert_eq!(stats.handle_count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total number of operations, negligible ones included.
+    pub total_ops: usize,
+    /// Number of negligible operations (dropped by the pipeline).
+    pub negligible_ops: usize,
+    /// Number of distinct file handles.
+    pub handle_count: usize,
+    /// Total bytes transferred by `read` operations.
+    pub bytes_read: u64,
+    /// Total bytes transferred by `write` operations.
+    pub bytes_written: u64,
+    /// Number of `lseek` operations — the paper's marker of random access.
+    pub seeks: usize,
+    /// Number of open/close block pairs (counted as `open` operations).
+    pub blocks: usize,
+    /// Operation count per canonical operation name.
+    pub per_kind: BTreeMap<String, usize>,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut stats = TraceStats { total_ops: trace.len(), ..TraceStats::default() };
+        stats.handle_count = trace.handles().len();
+        for op in trace {
+            if op.kind.is_negligible() {
+                stats.negligible_ops += 1;
+            }
+            match op.kind {
+                OpKind::Read => stats.bytes_read += op.bytes,
+                OpKind::Write => stats.bytes_written += op.bytes,
+                OpKind::Lseek => stats.seeks += 1,
+                OpKind::Open => stats.blocks += 1,
+                _ => {}
+            }
+            *stats.per_kind.entry(op.kind.name().to_string()).or_insert(0) += 1;
+        }
+        stats
+    }
+
+    /// Fraction of substantive (non-negligible) operations that are seeks.
+    ///
+    /// A crude "randomness" score: Random POSIX I/O traces (category B of
+    /// the paper) score high, sequential ones score near zero.
+    pub fn seek_ratio(&self) -> f64 {
+        let substantive = self.total_ops - self.negligible_ops;
+        if substantive == 0 {
+            0.0
+        } else {
+            self.seeks as f64 / substantive as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{HandleId, Operation};
+    use crate::parse_trace;
+
+    #[test]
+    fn counts_everything() {
+        let t = parse_trace(
+            "h0 open 0\nh0 write 10\nh0 fileno 0\nh1 open 0\nh1 lseek 0\nh1 read 7\nh1 close 0\nh0 close 0\n",
+        )
+        .unwrap();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.total_ops, 8);
+        assert_eq!(s.negligible_ops, 1);
+        assert_eq!(s.handle_count, 2);
+        assert_eq!(s.bytes_read, 7);
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.per_kind["open"], 2);
+        assert_eq!(s.per_kind["lseek"], 1);
+    }
+
+    #[test]
+    fn seek_ratio_on_seek_heavy_trace() {
+        let h = HandleId::new(0);
+        let mut t = Trace::new();
+        t.push(Operation::control(h, OpKind::Open));
+        for _ in 0..10 {
+            t.push(Operation::control(h, OpKind::Lseek));
+            t.push(Operation::new(h, OpKind::Write, 8));
+        }
+        t.push(Operation::control(h, OpKind::Close));
+        let s = TraceStats::of(&t);
+        assert!(s.seek_ratio() > 0.4 && s.seek_ratio() < 0.5);
+    }
+
+    #[test]
+    fn seek_ratio_of_empty_trace_is_zero() {
+        assert_eq!(TraceStats::of(&Trace::new()).seek_ratio(), 0.0);
+    }
+}

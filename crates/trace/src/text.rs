@@ -1,0 +1,211 @@
+//! The plain-text trace format.
+//!
+//! The paper's input is "plain text files where each line corresponds to an
+//! operation". Our concrete syntax is one operation per line:
+//!
+//! ```text
+//! # comment lines start with '#', blank lines are ignored
+//! h0 open 0
+//! h0 write 4096
+//! h0 close 0
+//! ```
+//!
+//! i.e. `<handle> <op-name> <byte-count>`, whitespace separated. The handle
+//! is `h<index>` (a bare integer is also accepted). Unknown operation names
+//! parse to [`OpKind::Custom`] so nothing is lost.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::op::{HandleId, OpKind, Operation};
+use crate::trace::Trace;
+
+/// Why a trace file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceErrorKind {
+    /// A line did not have exactly three whitespace-separated fields.
+    WrongFieldCount {
+        /// The number of fields found on the offending line.
+        found: usize,
+    },
+    /// The handle field was not `h<index>` or a bare integer.
+    BadHandle {
+        /// The offending handle field.
+        field: String,
+    },
+    /// The byte-count field was not an unsigned integer.
+    BadBytes {
+        /// The offending byte-count field.
+        field: String,
+    },
+}
+
+/// Error produced when parsing a plain-text trace fails.
+///
+/// Carries the 1-based line number of the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The specific parse failure.
+    pub kind: ParseTraceErrorKind,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseTraceErrorKind::WrongFieldCount { found } => write!(
+                f,
+                "line {}: expected 3 fields `<handle> <op> <bytes>`, found {}",
+                self.line, found
+            ),
+            ParseTraceErrorKind::BadHandle { field } => {
+                write!(f, "line {}: invalid handle `{}`", self.line, field)
+            }
+            ParseTraceErrorKind::BadBytes { field } => {
+                write!(f, "line {}: invalid byte count `{}`", self.line, field)
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn parse_handle(field: &str) -> Option<HandleId> {
+    let digits = field.strip_prefix('h').unwrap_or(field);
+    digits.parse::<u32>().ok().map(HandleId::new)
+}
+
+/// Parses a plain-text trace.
+///
+/// Blank lines and lines starting with `#` are ignored. Every other line
+/// must have the shape `<handle> <op-name> <byte-count>`.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] naming the first offending line if a line is
+/// malformed.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{parse_trace, OpKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 read 1024\nh0 close 0\n")?;
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.count_kind(&OpKind::Read), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_trace(input: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseTraceError {
+                line: idx + 1,
+                kind: ParseTraceErrorKind::WrongFieldCount { found: fields.len() },
+            });
+        }
+        let handle = parse_handle(fields[0]).ok_or_else(|| ParseTraceError {
+            line: idx + 1,
+            kind: ParseTraceErrorKind::BadHandle { field: fields[0].to_string() },
+        })?;
+        let kind = OpKind::parse(fields[1]);
+        let bytes = fields[2].parse::<u64>().map_err(|_| ParseTraceError {
+            line: idx + 1,
+            kind: ParseTraceErrorKind::BadBytes { field: fields[2].to_string() },
+        })?;
+        trace.push(Operation::new(handle, kind, bytes));
+    }
+    Ok(trace)
+}
+
+/// Renders a trace in the plain-text format accepted by [`parse_trace`].
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{write_trace, HandleId, OpKind, Operation, Trace};
+///
+/// let trace: Trace =
+///     vec![Operation::new(HandleId::new(0), OpKind::Write, 8)].into_iter().collect();
+/// assert_eq!(write_trace(&trace), "h0 write 8\n");
+/// ```
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    for op in trace {
+        out.push_str(&op.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_trace() {
+        let t = parse_trace("h0 open 0\nh0 write 100\nh0 close 0").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.as_slice()[1], Operation::new(HandleId::new(0), OpKind::Write, 100));
+    }
+
+    #[test]
+    fn accepts_bare_integer_handles() {
+        let t = parse_trace("3 read 42").unwrap();
+        assert_eq!(t.as_slice()[0].handle, HandleId::new(3));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let t = parse_trace("# header\n\n  \nh0 read 1\n# trailing\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unknown_ops_become_custom() {
+        let t = parse_trace("h0 pwritev2 512").unwrap();
+        assert_eq!(t.as_slice()[0].kind, OpKind::Custom("pwritev2".to_string()));
+    }
+
+    #[test]
+    fn reports_wrong_field_count_with_line() {
+        let err = parse_trace("h0 read 1\nh0 read\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseTraceErrorKind::WrongFieldCount { found: 2 });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn reports_bad_handle() {
+        let err = parse_trace("x0 read 1").unwrap_err();
+        assert_eq!(err.kind, ParseTraceErrorKind::BadHandle { field: "x0".to_string() });
+    }
+
+    #[test]
+    fn reports_bad_bytes() {
+        let err = parse_trace("h0 read -5").unwrap_err();
+        assert_eq!(err.kind, ParseTraceErrorKind::BadBytes { field: "-5".to_string() });
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "h0 open 0\nh0 write 4096\nh1 open 0\nh1 lseek 0\nh1 close 0\nh0 close 0\n";
+        let t = parse_trace(src).unwrap();
+        assert_eq!(write_trace(&t), src);
+        assert_eq!(parse_trace(&write_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(parse_trace("").unwrap().is_empty());
+        assert_eq!(write_trace(&Trace::new()), "");
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Trace`] container: a chronological sequence of operations.
+
+use std::collections::BTreeSet;
+
+use crate::op::{HandleId, OpKind, Operation};
+
+/// A chronological I/O trace of one application run.
+///
+/// The order of operations is significant; with several file handles active
+/// at once, operations of the same handle are generally *not* contiguous —
+/// that interleaving is exactly why the paper converts traces to trees
+/// before flattening them to strings.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::{HandleId, OpKind, Operation, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.push(Operation::control(HandleId::new(0), OpKind::Open));
+/// trace.push(Operation::new(HandleId::new(0), OpKind::Write, 512));
+/// trace.push(Operation::control(HandleId::new(0), OpKind::Close));
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.handles().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Operation>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { ops: Vec::new() }
+    }
+
+    /// Creates an empty trace with room for `capacity` operations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { ops: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends an operation at the end of the trace.
+    pub fn push(&mut self, op: Operation) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over the operations in chronological order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// Returns the operations as a slice.
+    pub fn as_slice(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// The set of distinct handles appearing in the trace, in ascending
+    /// order of their numeric index.
+    pub fn handles(&self) -> Vec<HandleId> {
+        let set: BTreeSet<HandleId> = self.ops.iter().map(|op| op.handle).collect();
+        set.into_iter().collect()
+    }
+
+    /// Returns a copy of the trace with all negligible operations removed.
+    ///
+    /// This is the first preprocessing step of the paper's pipeline; see
+    /// [`OpKind::is_negligible`].
+    pub fn without_negligible(&self) -> Trace {
+        self.ops
+            .iter()
+            .filter(|op| !op.kind.is_negligible())
+            .cloned()
+            .collect()
+    }
+
+    /// Returns the chronological sub-trace of a single handle.
+    ///
+    /// The relative order of the handle's operations is preserved.
+    pub fn for_handle(&self, handle: HandleId) -> Trace {
+        self.ops
+            .iter()
+            .filter(|op| op.handle == handle)
+            .cloned()
+            .collect()
+    }
+
+    /// Counts operations of a given kind.
+    pub fn count_kind(&self, kind: &OpKind) -> usize {
+        self.ops.iter().filter(|op| &op.kind == kind).count()
+    }
+
+    /// Consumes the trace and returns the underlying operation vector.
+    pub fn into_inner(self) -> Vec<Operation> {
+        self.ops
+    }
+}
+
+impl FromIterator<Operation> for Trace {
+    fn from_iter<I: IntoIterator<Item = Operation>>(iter: I) -> Self {
+        Trace { ops: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Operation> for Trace {
+    fn extend<I: IntoIterator<Item = Operation>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Operation;
+    type IntoIter = std::vec::IntoIter<Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl From<Vec<Operation>> for Trace {
+    fn from(ops: Vec<Operation>) -> Self {
+        Trace { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let h0 = HandleId::new(0);
+        let h1 = HandleId::new(1);
+        vec![
+            Operation::control(h0, OpKind::Open),
+            Operation::control(h1, OpKind::Open),
+            Operation::new(h0, OpKind::Write, 128),
+            Operation::control(h0, OpKind::Fileno),
+            Operation::new(h1, OpKind::Read, 64),
+            Operation::control(h1, OpKind::Close),
+            Operation::control(h0, OpKind::Close),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn len_and_handles() {
+        let t = sample();
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+        assert_eq!(t.handles(), vec![HandleId::new(0), HandleId::new(1)]);
+    }
+
+    #[test]
+    fn without_negligible_drops_fileno() {
+        let t = sample().without_negligible();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.count_kind(&OpKind::Fileno), 0);
+        assert_eq!(t.count_kind(&OpKind::Write), 1);
+    }
+
+    #[test]
+    fn for_handle_preserves_order() {
+        let t = sample();
+        let h0 = t.for_handle(HandleId::new(0));
+        let kinds: Vec<&OpKind> = h0.iter().map(|op| &op.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![&OpKind::Open, &OpKind::Write, &OpKind::Fileno, &OpKind::Close]
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.handles().is_empty());
+        assert_eq!(t.without_negligible(), t);
+    }
+
+    #[test]
+    fn extend_and_into_iter() {
+        let mut t = Trace::new();
+        t.extend(sample());
+        assert_eq!(t.len(), 7);
+        let back: Vec<Operation> = t.clone().into_iter().collect();
+        assert_eq!(Trace::from(back), t);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let t = Trace::with_capacity(16);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the trace substrate: text-format robustness and
+//! simulated-POSIX model invariants.
+
+use proptest::prelude::*;
+
+use kastio_trace::{
+    parse_trace, write_trace, HandleId, OpKind, Operation, SeekWhence, SimFs, Trace, TraceStats,
+};
+
+fn arb_opkind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Open),
+        Just(OpKind::Close),
+        Just(OpKind::Read),
+        Just(OpKind::Write),
+        Just(OpKind::Lseek),
+        Just(OpKind::Fsync),
+        Just(OpKind::Fileno),
+        Just(OpKind::Mmap),
+        Just(OpKind::Fscanf),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| OpKind::parse(&s)),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u32..8, arb_opkind(), 0u64..1 << 24), 0..80).prop_map(|ops| {
+        ops.into_iter()
+            .map(|(h, kind, bytes)| Operation::new(HandleId::new(h), kind, bytes))
+            .collect()
+    })
+}
+
+/// One step of a random SimFs "program".
+#[derive(Debug, Clone)]
+enum Step {
+    Open(u8),
+    Close(usize),
+    Write(usize, u64),
+    Read(usize, u64),
+    Seek(usize, i64, u8),
+    Fsync(usize),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(Step::Open),
+            (0usize..8).prop_map(Step::Close),
+            (0usize..8, 0u64..10_000).prop_map(|(f, n)| Step::Write(f, n)),
+            (0usize..8, 0u64..10_000).prop_map(|(f, n)| Step::Read(f, n)),
+            (0usize..8, -5_000i64..5_000, 0u8..3).prop_map(|(f, o, w)| Step::Seek(f, o, w)),
+            (0usize..8).prop_map(Step::Fsync),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn text_roundtrip_is_lossless(trace in arb_trace()) {
+        let text = write_trace(&trace);
+        let parsed = parse_trace(&text).expect("rendered traces always parse");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC{0,200}") {
+        // parse_trace must either parse or return a structured error.
+        let _ = parse_trace(&input);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(trace in arb_trace()) {
+        let stats = TraceStats::of(&trace);
+        prop_assert_eq!(stats.total_ops, trace.len());
+        prop_assert!(stats.negligible_ops <= stats.total_ops);
+        let per_kind_total: usize = stats.per_kind.values().sum();
+        prop_assert_eq!(per_kind_total, stats.total_ops);
+        prop_assert!(stats.seek_ratio() >= 0.0 && stats.seek_ratio() <= 1.0);
+        prop_assert_eq!(stats.handle_count, trace.handles().len());
+    }
+
+    #[test]
+    fn without_negligible_is_idempotent(trace in arb_trace()) {
+        let once = trace.without_negligible();
+        prop_assert_eq!(once.without_negligible(), once.clone());
+        prop_assert!(once.len() <= trace.len());
+    }
+
+    #[test]
+    fn simfs_model_invariants(steps in arb_steps()) {
+        let mut fs = SimFs::new();
+        let mut fds = Vec::new();
+        for step in steps {
+            match step {
+                Step::Open(file) => {
+                    let fd = fs.open(&format!("file{file}")).expect("open succeeds");
+                    fds.push(Some(fd));
+                }
+                Step::Close(slot) => {
+                    if let Some(entry) = fds.get_mut(slot) {
+                        if let Some(fd) = entry.take() {
+                            fs.close(fd).expect("open descriptor closes");
+                        }
+                    }
+                }
+                Step::Write(slot, n) => {
+                    if let Some(Some(fd)) = fds.get(slot) {
+                        let wrote = fs.write(*fd, n).expect("write on open fd");
+                        prop_assert_eq!(wrote, n, "writes never truncate");
+                    }
+                }
+                Step::Read(slot, n) => {
+                    if let Some(Some(fd)) = fds.get(slot) {
+                        let got = fs.read(*fd, n).expect("read on open fd");
+                        prop_assert!(got <= n, "reads never exceed the request");
+                    }
+                }
+                Step::Seek(slot, off, whence) => {
+                    if let Some(Some(fd)) = fds.get(slot) {
+                        let whence = match whence {
+                            0 => SeekWhence::Set,
+                            1 => SeekWhence::Cur,
+                            _ => SeekWhence::End,
+                        };
+                        // May legitimately fail with NegativeOffset.
+                        if let Ok(pos) = fs.lseek(*fd, off, whence) {
+                            prop_assert_eq!(fs.offset(*fd).unwrap(), pos);
+                        }
+                    }
+                }
+                Step::Fsync(slot) => {
+                    if let Some(Some(fd)) = fds.get(slot) {
+                        fs.fsync(*fd).expect("fsync on open fd");
+                    }
+                }
+            }
+        }
+        // The recorded trace is itself parseable and balanced per handle.
+        let trace = fs.into_trace();
+        let reparsed = parse_trace(&write_trace(&trace)).expect("recorded trace parses");
+        prop_assert_eq!(&reparsed, &trace);
+        for handle in trace.handles() {
+            let sub = trace.for_handle(handle);
+            let opens = sub.count_kind(&OpKind::Open);
+            let closes = sub.count_kind(&OpKind::Close);
+            prop_assert!(closes <= opens, "a close always has a matching open");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The four access-pattern categories of the paper's evaluation (§4.1).
+
+use std::fmt;
+
+/// The four forms of accessing storage evaluated in the paper.
+///
+/// "(A) were those using Flash I/O, (B) were the ones using Random POSIX
+/// I/O, (C) were those using Normal I/O and (D) the ones using Random
+/// Access I/O."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// FLASH-IO style checkpoint/plot writing: runs of contiguous writes
+    /// with byte values "not present in the other categories".
+    FlashIo,
+    /// Random POSIX I/O: seek-then-transfer loops — "lseek operations not
+    /// seen elsewhere".
+    RandomPosix,
+    /// Normal (sequential) I/O: an IOR-style write phase then read phase.
+    NormalIo,
+    /// Random Access I/O: positional reads without explicit seeks —
+    /// "shared roughly the same pattern" as Normal I/O.
+    RandomAccess,
+}
+
+impl Category {
+    /// All categories in the paper's A–D order.
+    pub const ALL: [Category; 4] = [
+        Category::FlashIo,
+        Category::RandomPosix,
+        Category::NormalIo,
+        Category::RandomAccess,
+    ];
+
+    /// The paper's single-letter tag.
+    pub fn tag(self) -> char {
+        match self {
+            Category::FlashIo => 'A',
+            Category::RandomPosix => 'B',
+            Category::NormalIo => 'C',
+            Category::RandomAccess => 'D',
+        }
+    }
+
+    /// Dense index (0–3) in A–D order, usable as a ground-truth label.
+    pub fn index(self) -> usize {
+        match self {
+            Category::FlashIo => 0,
+            Category::RandomPosix => 1,
+            Category::NormalIo => 2,
+            Category::RandomAccess => 3,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::FlashIo => "Flash I/O",
+            Category::RandomPosix => "Random POSIX I/O",
+            Category::NormalIo => "Normal I/O",
+            Category::RandomAccess => "Random Access I/O",
+        };
+        write!(f, "({}) {}", self.tag(), name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_indices_are_consistent() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let tags: String = Category::ALL.iter().map(|c| c.tag()).collect();
+        assert_eq!(tags, "ABCD");
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(Category::FlashIo.to_string(), "(A) Flash I/O");
+        assert_eq!(Category::RandomAccess.to_string(), "(D) Random Access I/O");
+    }
+}

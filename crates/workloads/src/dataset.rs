@@ -1,0 +1,270 @@
+//! The labelled evaluation dataset of §4.1.
+//!
+//! "So, from 22 examples we ended up with 110, distributed as follows:
+//! (A) 50 examples, (B) 20 examples, (C) 20 examples and (D) 20 examples."
+//! That is 10 base examples for A and 4 each for B, C and D, each base
+//! accompanied by 4 mutated synthetic copies.
+
+use kastio_trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::category::Category;
+use crate::generators::{
+    flash_io, ior_random_access, ior_sequential, random_posix, FlashIoParams, IorParams,
+    RandomPosixParams,
+};
+use crate::mutate::{mutate, MutationConfig};
+#[allow(unused_imports)] // referenced by doc links
+use crate::mutate::MutationKind;
+
+/// One labelled example: a trace plus its ground-truth category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Human-readable name, e.g. `A03.m2` (base 3 of category A, mutant 2).
+    pub name: String,
+    /// Ground-truth category.
+    pub category: Category,
+    /// The recorded trace.
+    pub trace: Trace,
+}
+
+/// Shape of a dataset: how many base examples per category and how many
+/// mutated copies accompany each base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetShape {
+    /// Base examples for category A (Flash I/O).
+    pub bases_a: usize,
+    /// Base examples for category B (Random POSIX I/O).
+    pub bases_b: usize,
+    /// Base examples for category C (Normal I/O).
+    pub bases_c: usize,
+    /// Base examples for category D (Random Access I/O).
+    pub bases_d: usize,
+    /// Mutated copies per base (the paper uses 4).
+    pub copies: usize,
+}
+
+impl DatasetShape {
+    /// The paper's shape: 10+4+4+4 bases × (1 + 4 copies) = 110 examples.
+    pub fn paper() -> Self {
+        DatasetShape { bases_a: 10, bases_b: 4, bases_c: 4, bases_d: 4, copies: 4 }
+    }
+
+    /// A reduced shape for fast tests (2 bases per category, 1 copy).
+    pub fn small() -> Self {
+        DatasetShape { bases_a: 2, bases_b: 2, bases_c: 2, bases_d: 2, copies: 1 }
+    }
+
+    /// Total number of examples the shape produces.
+    pub fn total(&self) -> usize {
+        (self.bases_a + self.bases_b + self.bases_c + self.bases_d) * (1 + self.copies)
+    }
+}
+
+/// The labelled dataset.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_workloads::{Dataset, DatasetShape};
+///
+/// let ds = Dataset::generate(DatasetShape::small(), 42);
+/// assert_eq!(ds.len(), DatasetShape::small().total());
+/// assert_eq!(ds.labels().len(), ds.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Assembles a dataset from pre-built examples (used by the trace-file
+    /// importer and by tests that hand-craft corpora).
+    pub fn from_examples(examples: Vec<Example>) -> Dataset {
+        Dataset { examples }
+    }
+
+    /// Generates the paper's 110-example dataset deterministically from a
+    /// seed.
+    pub fn paper(seed: u64) -> Dataset {
+        Dataset::generate(DatasetShape::paper(), seed)
+    }
+
+    /// Generates a dataset of the given shape, deterministically, with the
+    /// default mutation mix ([`MutationKind::PAPER`]).
+    pub fn generate(shape: DatasetShape, seed: u64) -> Dataset {
+        Dataset::generate_with(shape, seed, &MutationConfig::default())
+    }
+
+    /// Generates a dataset with an explicit mutation configuration — used
+    /// by the noise-sensitivity ablation, which compares kernels on copies
+    /// produced with the literal-changing mutation kinds.
+    pub fn generate_with(shape: DatasetShape, seed: u64, mutation: &MutationConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::with_capacity(shape.total());
+
+        let emit = |examples: &mut Vec<Example>,
+                        rng: &mut StdRng,
+                        category: Category,
+                        base_idx: usize,
+                        base: Trace| {
+            examples.push(Example {
+                name: format!("{}{:02}", category.tag(), base_idx),
+                category,
+                trace: base.clone(),
+            });
+            for copy in 1..=shape.copies {
+                let mutant = mutate(&base, mutation, rng.gen());
+                examples.push(Example {
+                    name: format!("{}{:02}.m{}", category.tag(), base_idx, copy),
+                    category,
+                    trace: mutant,
+                });
+            }
+        };
+
+        // Category A varies run shape (file count, block count) but shares
+        // one byte palette: FLASH always writes the same record structure,
+        // and the shared palette is what makes the category cohere once
+        // compression folds each file's writes into a single token.
+        for i in 0..shape.bases_a {
+            let params = FlashIoParams {
+                // FLASH emits a checkpoint plus several plot files per
+                // run; the repeated HANDLE/BLOCK structure is what sets A
+                // apart from the single-file categories.
+                files: 4 + 2 * (i % 3),
+                header_sizes: vec![48, 655, 48, 16],
+                block_size: 524_288,
+                blocks: 16 + 4 * (i % 5),
+            };
+            emit(&mut examples, &mut rng, Category::FlashIo, i, flash_io(&params));
+        }
+
+        for i in 0..shape.bases_b {
+            let params = RandomPosixParams {
+                write_iterations: 48 + 16 * (i % 4),
+                read_iterations: 48 + 16 * (i % 4),
+                read_bursts: 2 + (i % 3),
+                transfer_size: 8_192,
+                file_size: 1 << 22,
+            };
+            let trace = random_posix(&params, rng.gen());
+            emit(&mut examples, &mut rng, Category::RandomPosix, i, trace);
+        }
+
+        for i in 0..shape.bases_c {
+            let params = IorParams {
+                transfer_size: 262_144,
+                write_transfers: 24 + 8 * (i % 4),
+                read_transfers: 24 + 8 * (i % 4),
+            };
+            emit(&mut examples, &mut rng, Category::NormalIo, i, ior_sequential(&params));
+        }
+
+        for i in 0..shape.bases_d {
+            let params = IorParams {
+                transfer_size: 262_144,
+                write_transfers: 24 + 8 * (i % 4),
+                read_transfers: 24 + 8 * (i % 4),
+            };
+            let trace = ior_random_access(&params, 2 + i % 3, rng.gen());
+            emit(&mut examples, &mut rng, Category::RandomAccess, i, trace);
+        }
+
+        Dataset { examples }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Iterates over the examples in category order A, B, C, D.
+    pub fn iter(&self) -> std::slice::Iter<'_, Example> {
+        self.examples.iter()
+    }
+
+    /// The examples as a slice.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Ground-truth labels (category indices 0–3), aligned with
+    /// [`Dataset::iter`].
+    pub fn labels(&self) -> Vec<usize> {
+        self.examples.iter().map(|e| e.category.index()).collect()
+    }
+
+    /// Example names, aligned with [`Dataset::iter`].
+    pub fn names(&self) -> Vec<String> {
+        self.examples.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Number of examples per category, in A–D order.
+    pub fn counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for e in &self.examples {
+            counts[e.category.index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_has_110_examples_distributed_as_in_the_paper() {
+        let ds = Dataset::paper(7);
+        assert_eq!(ds.len(), 110);
+        assert_eq!(ds.counts(), [50, 20, 20, 20]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Dataset::paper(3), Dataset::paper(3));
+        assert_ne!(Dataset::paper(3), Dataset::paper(4));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ds = Dataset::generate(DatasetShape::small(), 1);
+        let mut names = ds.names();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ds.len());
+    }
+
+    #[test]
+    fn mutants_stay_close_to_their_base() {
+        let ds = Dataset::generate(DatasetShape::small(), 5);
+        // First example is a base; the next is its mutant.
+        let base = &ds.examples()[0];
+        let mutant = &ds.examples()[1];
+        assert_eq!(base.category, mutant.category);
+        assert!(mutant.name.starts_with(&base.name));
+        // Weight-only mutations keep the op-kind vocabulary identical and
+        // the size within a small multiple (block duplication may add a
+        // whole open…close span).
+        let kinds = |t: &kastio_trace::Trace| -> std::collections::BTreeSet<String> {
+            t.iter().map(|o| o.kind.name().to_string()).collect()
+        };
+        assert_eq!(kinds(&base.trace), kinds(&mutant.trace));
+        assert!(mutant.trace.len() <= 2 * base.trace.len() + 4);
+    }
+
+    #[test]
+    fn labels_align_with_categories() {
+        let ds = Dataset::generate(DatasetShape::small(), 2);
+        for (e, &l) in ds.iter().zip(ds.labels().iter()) {
+            assert_eq!(e.category.index(), l);
+        }
+    }
+}

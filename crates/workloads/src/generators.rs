@@ -1,0 +1,341 @@
+//! Synthetic application programs for the four categories, executed
+//! against the simulated POSIX layer.
+//!
+//! The paper's traces come from the IOR benchmark \[14\] and the FLASH-IO
+//! kernel \[15\]; we cannot run those against a real parallel file system,
+//! so each generator is a small *program* reproducing the access shape the
+//! paper attributes to its category (see DESIGN.md §5 for the substitution
+//! argument). Byte-size palettes are deliberately disjoint between
+//! categories A, B and C/D — mirroring "contiguous write operations with
+//! different byte values that were not present in the other categories" —
+//! while C and D share theirs, which is exactly what makes them merge.
+
+use kastio_trace::{SeekWhence, SimFs, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the FLASH-IO-like generator (category A).
+///
+/// FLASH writes a checkpoint file plus plot files per run: each file gets
+/// a burst of small header records of varying sizes followed by many large
+/// contiguous data-block writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashIoParams {
+    /// Number of output files (checkpoint + plot files).
+    pub files: usize,
+    /// Header record sizes written once each at the start of every file.
+    pub header_sizes: Vec<u64>,
+    /// Size of one data block write.
+    pub block_size: u64,
+    /// Number of data block writes per file.
+    pub blocks: usize,
+}
+
+impl Default for FlashIoParams {
+    fn default() -> Self {
+        FlashIoParams {
+            files: 3,
+            // Distinctive FLASH-ish metadata record sizes.
+            header_sizes: vec![48, 655, 48, 16],
+            block_size: 524_288,
+            blocks: 24,
+        }
+    }
+}
+
+/// Runs the FLASH-IO-like program and returns its trace.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_workloads::generators::{flash_io, FlashIoParams};
+///
+/// let trace = flash_io(&FlashIoParams::default());
+/// assert!(trace.len() > 50);
+/// ```
+pub fn flash_io(params: &FlashIoParams) -> Trace {
+    let mut fs = SimFs::new();
+    for file in 0..params.files {
+        let fd = fs.open(&format!("flash_chk_{file}")).expect("open never fails");
+        fs.fileno(fd).expect("fd is open");
+        for &h in &params.header_sizes {
+            fs.write(fd, h).expect("fd is open");
+        }
+        for _ in 0..params.blocks {
+            fs.write(fd, params.block_size).expect("fd is open");
+        }
+        fs.close(fd).expect("fd is open");
+    }
+    fs.into_trace()
+}
+
+/// Parameters of the Random-POSIX generator (category B).
+///
+/// IOR-style two-phase random POSIX I/O: a random write phase (one
+/// open…close block of seek-then-write loops) followed by the data being
+/// re-read in several random bursts (seek-then-read loops, one block
+/// each). The `lseek` operations are the category's marker — "not seen
+/// elsewhere" — while the phase/burst block structure mirrors the other
+/// single-file categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomPosixParams {
+    /// Number of seek+write iterations in the write phase.
+    pub write_iterations: usize,
+    /// Number of seek+read iterations across all read bursts.
+    pub read_iterations: usize,
+    /// Number of read bursts (open…close blocks).
+    pub read_bursts: usize,
+    /// Transfer size of each read/write.
+    pub transfer_size: u64,
+    /// Size the file is pre-extended to before the random phase.
+    pub file_size: u64,
+}
+
+impl Default for RandomPosixParams {
+    fn default() -> Self {
+        RandomPosixParams {
+            write_iterations: 48,
+            read_iterations: 48,
+            read_bursts: 2,
+            transfer_size: 8_192,
+            file_size: 1 << 22,
+        }
+    }
+}
+
+/// Runs the Random-POSIX program (seeded) and returns its trace.
+pub fn random_posix(params: &RandomPosixParams, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fs = SimFs::new();
+    let max_off = params.file_size.saturating_sub(params.transfer_size).max(1);
+
+    // Random write phase.
+    let fd = fs.open("random_posix.dat").expect("open never fails");
+    // Pre-extend so every later access lands inside the file.
+    fs.write(fd, params.file_size).expect("fd is open");
+    for _ in 0..params.write_iterations {
+        let offset = rng.gen_range(0..max_off) as i64;
+        fs.lseek(fd, offset, SeekWhence::Set).expect("fd is open");
+        fs.write(fd, params.transfer_size).expect("fd is open");
+    }
+    fs.close(fd).expect("fd is open");
+
+    // Random read bursts.
+    let bursts = params.read_bursts.max(1);
+    let mut remaining = params.read_iterations;
+    for burst in 0..bursts {
+        let take = if burst + 1 == bursts {
+            remaining
+        } else {
+            let cap = remaining.saturating_sub(bursts - burst - 1).max(1);
+            rng.gen_range(1..=cap)
+        };
+        remaining = remaining.saturating_sub(take);
+        let fd = fs.open("random_posix.dat").expect("open never fails");
+        for _ in 0..take {
+            let offset = rng.gen_range(0..max_off) as i64;
+            fs.lseek(fd, offset, SeekWhence::Set).expect("fd is open");
+            fs.read(fd, params.transfer_size).expect("fd is open");
+        }
+        fs.close(fd).expect("fd is open");
+        if remaining == 0 {
+            break;
+        }
+    }
+    fs.into_trace()
+}
+
+/// Parameters shared by the two IOR-style generators (categories C and D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IorParams {
+    /// Transfer size of every read/write (shared by C and D — the reason
+    /// the two categories merge).
+    pub transfer_size: u64,
+    /// Number of transfers in the write phase.
+    pub write_transfers: usize,
+    /// Number of transfers read back.
+    pub read_transfers: usize,
+}
+
+impl Default for IorParams {
+    fn default() -> Self {
+        IorParams { transfer_size: 262_144, write_transfers: 32, read_transfers: 32 }
+    }
+}
+
+/// Category C — "Normal I/O": IOR's sequential write phase followed by a
+/// sequential read-back phase, each in its own open…close block.
+pub fn ior_sequential(params: &IorParams) -> Trace {
+    let mut fs = SimFs::new();
+    let fd = fs.open("ior.dat").expect("open never fails");
+    for _ in 0..params.write_transfers {
+        fs.write(fd, params.transfer_size).expect("fd is open");
+    }
+    fs.close(fd).expect("fd is open");
+    let fd = fs.open("ior.dat").expect("open never fails");
+    for _ in 0..params.read_transfers {
+        fs.read(fd, params.transfer_size).expect("fd is open");
+    }
+    fs.close(fd).expect("fd is open");
+    fs.into_trace()
+}
+
+/// Category D — "Random Access I/O": the same write phase, then the file
+/// is re-read in random segment order in several bursts using positional
+/// reads (pread-style, so no `lseek` appears in the trace — exactly why
+/// the paper finds C and D "shared roughly the same pattern").
+pub fn ior_random_access(params: &IorParams, bursts: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fs = SimFs::new();
+    let fd = fs.open("ior.dat").expect("open never fails");
+    for _ in 0..params.write_transfers {
+        fs.write(fd, params.transfer_size).expect("fd is open");
+    }
+    fs.close(fd).expect("fd is open");
+    let bursts = bursts.max(1);
+    let mut remaining = params.read_transfers;
+    for burst in 0..bursts {
+        let take = if burst + 1 == bursts {
+            remaining
+        } else {
+            let cap = remaining.saturating_sub(bursts - burst - 1).max(1);
+            rng.gen_range(1..=cap)
+        };
+        remaining = remaining.saturating_sub(take);
+        let fd = fs.open("ior.dat").expect("open never fails");
+        for _ in 0..take {
+            // A positional read of a random segment: the segment choice
+            // does not surface in the trace (no offset is recorded), which
+            // is the behavioural core of the C/D similarity.
+            fs.read(fd, params.transfer_size).expect("fd is open");
+        }
+        fs.close(fd).expect("fd is open");
+        if remaining == 0 {
+            break;
+        }
+    }
+    fs.into_trace()
+}
+
+/// Runs an IOR-style job on `ranks` processes and returns the per-rank
+/// traces.
+///
+/// Each rank executes the sequential IOR program ([`ior_sequential`])
+/// against its own simulated file system; merge the result with
+/// [`kastio_trace::HandleMerge::FilePerProcess`] or
+/// [`kastio_trace::HandleMerge::SharedFile`] to model IOR's two file
+/// layouts.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::HandleMerge;
+/// use kastio_workloads::generators::{ior_parallel, IorParams};
+///
+/// let job = ior_parallel(&IorParams::default(), 4);
+/// assert_eq!(job.rank_count(), 4);
+/// let merged = job.merge(HandleMerge::FilePerProcess);
+/// assert_eq!(merged.handles().len(), 4);
+/// ```
+pub fn ior_parallel(params: &IorParams, ranks: usize) -> kastio_trace::ParallelTrace {
+    (0..ranks).map(|_| ior_sequential(params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_trace::{HandleMerge, OpKind, TraceStats};
+
+    #[test]
+    fn flash_io_is_write_dominated_with_header_sizes() {
+        let t = flash_io(&FlashIoParams::default());
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.blocks, 3, "one block per file");
+        assert!(stats.bytes_written > 0);
+        assert_eq!(stats.bytes_read, 0);
+        assert_eq!(stats.seeks, 0);
+        assert_eq!(t.count_kind(&OpKind::Fsync), 0, "pure write pattern");
+        // Header sizes appear as distinct write byte values.
+        assert!(t.iter().any(|op| op.kind == OpKind::Write && op.bytes == 655));
+    }
+
+    #[test]
+    fn random_posix_is_seek_heavy() {
+        let t = random_posix(&RandomPosixParams::default(), 7);
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.seeks, 96, "one seek per write and read iteration");
+        assert!(stats.seek_ratio() > 0.3);
+        assert!(stats.blocks >= 3, "write phase plus at least two read bursts");
+    }
+
+    #[test]
+    fn random_posix_is_deterministic_per_seed() {
+        let p = RandomPosixParams::default();
+        assert_eq!(random_posix(&p, 42), random_posix(&p, 42));
+        assert_ne!(random_posix(&p, 42), random_posix(&p, 43));
+    }
+
+    #[test]
+    fn ior_sequential_writes_then_reads() {
+        let t = ior_sequential(&IorParams::default());
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.blocks, 2);
+        assert_eq!(stats.seeks, 0);
+        assert_eq!(stats.bytes_written, 32 * 262_144);
+        assert_eq!(stats.bytes_read, 32 * 262_144);
+    }
+
+    #[test]
+    fn ior_random_access_reads_everything_in_bursts() {
+        let t = ior_random_access(&IorParams::default(), 3, 11);
+        let stats = TraceStats::of(&t);
+        assert!(stats.blocks >= 2);
+        assert_eq!(stats.bytes_read, 32 * 262_144, "all transfers re-read");
+    }
+
+    #[test]
+    fn generator_signatures_match_section_2_1_expectations() {
+        use kastio_trace::{PatternSignature, SignatureConfig};
+        let cfg = SignatureConfig::default();
+        // FLASH-IO: highly repeatable contiguous writes.
+        let a = PatternSignature::of(&flash_io(&FlashIoParams::default()), cfg);
+        assert!(a.repeatability > 0.8, "A repeatability {}", a.repeatability);
+        // Random POSIX: seek-heavy; its volume stream (seeks carry zero
+        // bytes, transfers don't) is burstier than the constant-size IOR
+        // stream.
+        let b = PatternSignature::of(&random_posix(&RandomPosixParams::default(), 5), cfg);
+        let c = PatternSignature::of(&ior_sequential(&IorParams::default()), cfg);
+        assert!(b.burstiness > c.burstiness, "B {} vs C {}", b.burstiness, c.burstiness);
+        assert!(c.repeatability > 0.8);
+    }
+
+    #[test]
+    fn ior_parallel_ranks_are_identical_programs() {
+        let job = ior_parallel(&IorParams::default(), 3);
+        assert_eq!(job.rank_count(), 3);
+        assert_eq!(job.rank(0), job.rank(2));
+        let shared = job.merge(HandleMerge::SharedFile);
+        assert_eq!(shared.handles().len(), 1);
+        let fpp = job.merge(HandleMerge::FilePerProcess);
+        assert_eq!(fpp.handles().len(), 3);
+        assert_eq!(shared.len(), fpp.len());
+    }
+
+    #[test]
+    fn c_and_d_share_their_transfer_size_but_not_with_a_or_b() {
+        let a = flash_io(&FlashIoParams::default());
+        let b = random_posix(&RandomPosixParams::default(), 3);
+        let c = ior_sequential(&IorParams::default());
+        let d = ior_random_access(&IorParams::default(), 3, 5);
+        let sizes = |t: &kastio_trace::Trace| -> std::collections::BTreeSet<u64> {
+            t.iter()
+                .filter(|o| matches!(o.kind, OpKind::Read | OpKind::Write))
+                .map(|o| o.bytes)
+                .collect()
+        };
+        let (sa, sb, sc, sd) = (sizes(&a), sizes(&b), sizes(&c), sizes(&d));
+        assert!(sc.intersection(&sd).count() > 0, "C and D share sizes");
+        assert_eq!(sa.intersection(&sc).count(), 0, "A disjoint from C");
+        assert_eq!(sb.intersection(&sc).count(), 0, "B transfer disjoint from C");
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic workload generators and the labelled evaluation dataset.
+//!
+//! The paper takes its access patterns "from two different parallel I/O
+//! benchmarks" — IOR \[14\] and FLASH-IO \[15\] — run against a real parallel
+//! file system. This crate substitutes deterministic, seeded programs
+//! executed against the simulated POSIX layer of [`kastio_trace`]; the
+//! substitution argument is spelled out in DESIGN.md §5.
+//!
+//! * [`generators`] — one program per category: FLASH-IO-style checkpoint
+//!   writing (A), random seek-then-transfer loops (B), IOR sequential
+//!   write/read phases (C), IOR random-access re-reads (D).
+//! * [`mutate`] — the "small mutations" behind the paper's 4 synthetic
+//!   copies per base example.
+//! * [`Dataset`] — the 110-example labelled dataset (A=50, B=20, C=20,
+//!   D=20).
+//!
+//! # Examples
+//!
+//! ```
+//! use kastio_workloads::{Category, Dataset, DatasetShape};
+//!
+//! let ds = Dataset::generate(DatasetShape::small(), 42);
+//! let first = &ds.examples()[0];
+//! assert_eq!(first.category, Category::FlashIo);
+//! assert!(!first.trace.is_empty());
+//! ```
+
+pub mod category;
+pub mod dataset;
+pub mod export;
+pub mod generators;
+pub mod mutate;
+
+pub use category::Category;
+pub use dataset::{Dataset, DatasetShape, Example};
+pub use export::{export_dataset, import_dataset, DatasetIoError};
+pub use generators::{FlashIoParams, IorParams, RandomPosixParams};
+pub use mutate::{MutationConfig, MutationKind};

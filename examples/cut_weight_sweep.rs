@@ -1,0 +1,40 @@
+//! How the cut weight steers the Kast Spectrum Kernel: "the cut weight
+//! determined the granularity of the search" (§6).
+//!
+//! Sweeps the cut weight over a small dataset and prints how similarity
+//! values and the number of surviving features change.
+//!
+//! Run with `cargo run --example cut_weight_sweep`.
+
+use kastio::{
+    pattern_string, ByteMode, Dataset, DatasetShape, KastKernel, KastOptions, StringKernel,
+    TokenInterner,
+};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetShape::small(), 7);
+    let mut interner = TokenInterner::new();
+    let strings: Vec<_> = dataset
+        .iter()
+        .map(|e| interner.intern_string(&pattern_string(&e.trace, ByteMode::Preserve)))
+        .collect();
+
+    // Pick one example of category A and one of category C.
+    let a_idx = dataset.iter().position(|e| e.name == "A00").expect("A00 exists");
+    let c_idx = dataset.iter().position(|e| e.name == "C00").expect("C00 exists");
+    let a2_idx = dataset.iter().position(|e| e.name == "A01").expect("A01 exists");
+
+    println!("cut     k̄(A00,A01)  k̄(A00,C00)  features(A00,A01)");
+    println!("---------------------------------------------------");
+    for pow in 0..=9u32 {
+        let cut = 2u64.pow(pow);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+        let same = kernel.normalized(&strings[a_idx], &strings[a2_idx]);
+        let cross = kernel.normalized(&strings[a_idx], &strings[c_idx]);
+        let nfeat = kernel.features(&strings[a_idx], &strings[a2_idx]).len();
+        println!("{cut:<7} {same:<12.4} {cross:<12.4} {nfeat}");
+    }
+    println!();
+    println!("reading: within-category similarity survives far higher cut weights");
+    println!("than cross-category similarity — the cut weight is a granularity dial.");
+}

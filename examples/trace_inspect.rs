@@ -1,0 +1,62 @@
+//! Walk the paper's two-stage conversion on a hand-written trace file:
+//! parse → tree → compressed tree → weighted string, in both byte modes.
+//!
+//! Run with `cargo run --example trace_inspect`.
+
+use kastio::{
+    build_tree, compress_tree, flatten_tree, parse_trace, ByteMode, CompressOptions,
+};
+
+const TRACE: &str = "\
+# two interleaved handles, as in Figure 1 of the paper
+h0 open 0
+h0 write 100
+h0 write 100
+h0 write 100
+h1 open 0
+h1 fileno 0
+h1 lseek 0
+h1 write 8
+h1 lseek 0
+h1 write 8
+h1 lseek 0
+h1 write 8
+h1 close 0
+h0 write 200
+h0 close 0
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = parse_trace(TRACE)?;
+    println!("parsed {} operations over {} handles\n", trace.len(), trace.handles().len());
+
+    for mode in [ByteMode::Preserve, ByteMode::Ignore] {
+        println!("=== byte mode {mode:?} ===");
+        let raw = build_tree(&trace, mode);
+        println!("uncompressed tree: {} leaves, mass {}", raw.leaf_count(), raw.mass());
+        for handle in &raw.handles {
+            for (b, block) in handle.blocks.iter().enumerate() {
+                let ops: Vec<String> =
+                    block.ops.iter().map(|o| format!("{}x{}", o.literal, o.reps)).collect();
+                println!("  {} block{}: {}", handle.handle, b, ops.join(" "));
+            }
+        }
+
+        let mut tree = raw.clone();
+        compress_tree(&mut tree, &CompressOptions::default());
+        println!("compressed tree:   {} leaves, mass {}", tree.leaf_count(), tree.mass());
+        for handle in &tree.handles {
+            for (b, block) in handle.blocks.iter().enumerate() {
+                let ops: Vec<String> =
+                    block.ops.iter().map(|o| format!("{}x{}", o.literal, o.reps)).collect();
+                println!("  {} block{}: {}", handle.handle, b, ops.join(" "));
+            }
+        }
+        assert_eq!(raw.mass(), tree.mass(), "compression preserves mass");
+
+        let string = flatten_tree(&tree);
+        println!("weighted string:   {string}");
+        println!("string weight:     {}\n", string.total_weight());
+    }
+    Ok(())
+}

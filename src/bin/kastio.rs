@@ -1,0 +1,205 @@
+//! `kastio` — command-line front end for the trace → string → kernel →
+//! clustering pipeline.
+//!
+//! ```text
+//! kastio convert  <trace-file> [--ignore-bytes]
+//! kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
+//! kastio generate <dir> [--seed N]
+//! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
+//! ```
+//!
+//! `generate` writes the paper's 110-example dataset as plain trace files
+//! (plus a MANIFEST); `cluster` reads any directory in that layout,
+//! builds the Kast similarity matrix, repairs it and prints the flat
+//! clustering with purity/ARI against the manifest categories.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use kastio::pattern::explain::explain_similarity;
+use kastio::workloads::{export_dataset, import_dataset};
+use kastio::{
+    adjusted_rand_index, gram_matrix, hierarchical, parse_trace, pattern_string, psd_repair,
+    purity, ByteMode, Dataset, DistanceMatrix, GramMode, KastKernel, KastOptions, Linkage,
+    SquareMatrix, StringKernel, TokenInterner,
+};
+
+const USAGE: &str = "\
+usage:
+  kastio convert  <trace-file> [--ignore-bytes]
+  kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
+  kastio generate <dir> [--seed N]
+  kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
+";
+
+struct Flags {
+    positional: Vec<String>,
+    cut: u64,
+    seed: u64,
+    groups: usize,
+    ignore_bytes: bool,
+    explain: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        cut: 2,
+        seed: 20170904,
+        groups: 3,
+        ignore_bytes: false,
+        explain: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ignore-bytes" => flags.ignore_bytes = true,
+            "--explain" => flags.explain = true,
+            "--cut" | "--seed" | "--groups" => {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                let parsed: u64 =
+                    value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
+                match arg.as_str() {
+                    "--cut" => flags.cut = parsed.max(1),
+                    "--seed" => flags.seed = parsed,
+                    _ => flags.groups = (parsed as usize).max(1),
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn byte_mode(flags: &Flags) -> ByteMode {
+    if flags.ignore_bytes {
+        ByteMode::Ignore
+    } else {
+        ByteMode::Preserve
+    }
+}
+
+fn load_trace(path: &str) -> Result<kastio::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("convert needs exactly one trace file".to_string());
+    };
+    let trace = load_trace(path)?;
+    let s = pattern_string(&trace, byte_mode(flags));
+    println!("{s}");
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let [pa, pb] = flags.positional.as_slice() else {
+        return Err("compare needs exactly two trace files".to_string());
+    };
+    let (ta, tb) = (load_trace(pa)?, load_trace(pb)?);
+    let mode = byte_mode(flags);
+    let mut interner = TokenInterner::new();
+    let a = interner.intern_string(&pattern_string(&ta, mode));
+    let b = interner.intern_string(&pattern_string(&tb, mode));
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(flags.cut));
+    if flags.explain {
+        print!("{}", explain_similarity(&kernel, &a, &b, &interner));
+    } else {
+        println!("raw        {}", kernel.raw(&a, &b));
+        println!("normalised {:.6}", kernel.normalized(&a, &b));
+    }
+    Ok(())
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let [dir] = flags.positional.as_slice() else {
+        return Err("generate needs exactly one output directory".to_string());
+    };
+    let dataset = Dataset::paper(flags.seed);
+    export_dataset(&dataset, Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} traces (A/B/C/D = {:?}) and MANIFEST to {dir}",
+        dataset.len(),
+        dataset.counts()
+    );
+    Ok(())
+}
+
+fn cmd_cluster(flags: &Flags) -> Result<(), String> {
+    let [dir] = flags.positional.as_slice() else {
+        return Err("cluster needs exactly one dataset directory".to_string());
+    };
+    let dataset = import_dataset(Path::new(dir)).map_err(|e| e.to_string())?;
+    let mode = byte_mode(flags);
+    let mut interner = TokenInterner::new();
+    let strings: Vec<_> = dataset
+        .iter()
+        .map(|e| interner.intern_string(&pattern_string(&e.trace, mode)))
+        .collect();
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(flags.cut));
+    let gram = gram_matrix(&kernel, &strings, GramMode::Normalized, 0);
+    let square = SquareMatrix::from_row_major(gram.n(), gram.as_slice().to_vec());
+    let repair = psd_repair(&square).map_err(|e| e.to_string())?;
+    let distance = DistanceMatrix::from_gram(repair.matrix.n(), repair.matrix.as_slice());
+    let labels = hierarchical(&distance, Linkage::Single).cut(flags.groups.min(dataset.len()));
+
+    println!(
+        "{} examples, cut weight {}, {:?}, {} clusters, {} eigenvalues clamped",
+        dataset.len(),
+        flags.cut,
+        mode,
+        flags.groups,
+        repair.clamped
+    );
+    for cluster in 0..flags.groups {
+        let members: Vec<&str> = dataset
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l == cluster)
+            .map(|(e, _)| e.name.as_str())
+            .collect();
+        if !members.is_empty() {
+            println!("cluster {cluster} ({} members): {}", members.len(), members.join(" "));
+        }
+    }
+    let truth = dataset.labels();
+    println!("purity vs categories: {:.3}", purity(&labels, &truth));
+    println!("ARI vs categories   : {:.3}", adjusted_rand_index(&labels, &truth));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "convert" => cmd_convert(&flags),
+        "compare" => cmd_compare(&flags),
+        "generate" => cmd_generate(&flags),
+        "cluster" => cmd_cluster(&flags),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

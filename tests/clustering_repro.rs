@@ -1,0 +1,90 @@
+//! The paper's headline clustering results (§4.2), asserted end to end on
+//! the full 110-example dataset through the public facade API.
+//!
+//! These are the machine-checkable versions of Figures 6/7 and the
+//! no-byte-information prose result.
+
+use kastio::{
+    adjusted_rand_index, gram_matrix, hierarchical, pattern_string, psd_repair, purity,
+    ByteMode, Dataset, DistanceMatrix, GramMode, IdString, KastKernel, KastOptions, Linkage,
+    SquareMatrix, StringKernel, TokenInterner,
+};
+
+const SEED: u64 = 20170904;
+
+fn prepared(mode: ByteMode) -> (Dataset, Vec<IdString>) {
+    let ds = Dataset::paper(SEED);
+    let mut interner = TokenInterner::new();
+    let strings = ds
+        .iter()
+        .map(|e| interner.intern_string(&pattern_string(&e.trace, mode)))
+        .collect();
+    (ds, strings)
+}
+
+fn cluster_labels<K: StringKernel + Sync>(
+    kernel: &K,
+    strings: &[IdString],
+    k: usize,
+) -> Vec<usize> {
+    let gram = gram_matrix(kernel, strings, GramMode::Normalized, 0);
+    let square = SquareMatrix::from_row_major(gram.n(), gram.as_slice().to_vec());
+    let repaired = psd_repair(&square).expect("gram is symmetric").matrix;
+    let distance = DistanceMatrix::from_gram(repaired.n(), repaired.as_slice());
+    hierarchical(&distance, Linkage::Single).cut(k)
+}
+
+#[test]
+fn figure7_three_groups_with_byte_information() {
+    let (ds, strings) = prepared(ByteMode::Preserve);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let labels = cluster_labels(&kernel, &strings, 3);
+    // {A}, {B}, {C∪D} with no misplaced examples.
+    let expected: Vec<usize> =
+        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    assert_eq!(purity(&labels, &expected), 1.0);
+    assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn dataset_matches_the_papers_shape() {
+    let ds = Dataset::paper(SEED);
+    assert_eq!(ds.len(), 110);
+    assert_eq!(ds.counts(), [50, 20, 20, 20]);
+}
+
+#[test]
+fn no_byte_information_only_separates_random_posix_at_small_cut() {
+    let (ds, strings) = prepared(ByteMode::Ignore);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let labels = cluster_labels(&kernel, &strings, 2);
+    // {B} vs {A∪C∪D}.
+    let expected: Vec<usize> = ds.labels().iter().map(|&l| usize::from(l == 1)).collect();
+    assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
+    // And the 3-cut does NOT recover the byte-information grouping.
+    let labels3 = cluster_labels(&kernel, &strings, 3);
+    let expected3: Vec<usize> =
+        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    assert!(adjusted_rand_index(&labels3, &expected3) < 0.9);
+}
+
+#[test]
+fn raising_the_cut_weight_recovers_three_groups_without_bytes() {
+    let (ds, strings) = prepared(ByteMode::Ignore);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(32));
+    let labels = cluster_labels(&kernel, &strings, 3);
+    let expected: Vec<usize> =
+        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn kernel_matrix_is_symmetric_with_unit_diagonal() {
+    let (_, strings) = prepared(ByteMode::Preserve);
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let gram = gram_matrix(&kernel, &strings, GramMode::Normalized, 0);
+    assert!(gram.is_symmetric(0.0));
+    for i in 0..gram.n() {
+        assert!((gram.get(i, i) - 1.0).abs() < 1e-9, "diag[{i}] = {}", gram.get(i, i));
+    }
+}

@@ -1,0 +1,113 @@
+//! E8 — the §3.2 worked example, asserted through the public facade API.
+
+use kastio::pattern::token::{TokenLiteral, WeightedToken};
+use kastio::{
+    CutRule, IdString, KastKernel, KastOptions, Normalization, StringKernel, TokenInterner,
+    WeightedString,
+};
+
+fn sym(name: &str, w: u64) -> WeightedToken {
+    WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
+}
+
+fn strings() -> (IdString, IdString) {
+    let mut interner = TokenInterner::new();
+    let a: WeightedString = vec![
+        sym("x", 6),
+        sym("y", 6),
+        sym("z", 7),
+        sym("fa1", 1),
+        sym("u", 3),
+        sym("v", 4),
+        sym("fa2", 1),
+        sym("u", 2),
+        sym("v", 4),
+        sym("fa3", 1),
+        sym("w1", 2),
+        sym("w2", 4),
+        sym("fa4", 1),
+        sym("w1", 4),
+        sym("w2", 5),
+        sym("fa5", 12),
+        sym("fa6", 12),
+    ]
+    .into_iter()
+    .collect();
+    let b: WeightedString = vec![
+        sym("x", 5),
+        sym("y", 6),
+        sym("z", 6),
+        sym("gb1", 1),
+        sym("x", 6),
+        sym("y", 6),
+        sym("z", 6),
+        sym("gb2", 1),
+        sym("u", 2),
+        sym("v", 4),
+        sym("gb3", 1),
+        sym("u", 1),
+        sym("v", 4),
+        sym("gb4", 1),
+        sym("w1", 3),
+        sym("w2", 5),
+        sym("gb5", 1),
+        sym("w1", 2),
+        sym("w2", 4),
+    ]
+    .into_iter()
+    .collect();
+    (interner.intern_string(&a), interner.intern_string(&b))
+}
+
+fn paper_kernel() -> KastKernel {
+    KastKernel::new(KastOptions {
+        cut_weight: 4,
+        cut_rule: CutRule::AllOccurrences,
+        normalization: Normalization::WeightProduct,
+    })
+}
+
+#[test]
+fn equations_1_and_2_string_weights() {
+    let (a, b) = strings();
+    assert_eq!(a.weight_at_least(4), 64, "Eq. (1)");
+    assert_eq!(b.weight_at_least(4), 52, "Eq. (2)");
+}
+
+#[test]
+fn equations_3_to_10_feature_vectors() {
+    let (a, b) = strings();
+    let mut feats = paper_kernel().features(&a, &b);
+    // Paper order: S1 (longest), then S2, then S3 (S2 and S3 share length
+    // 2; S2 is the lighter one in A).
+    feats.sort_by_key(|f| (std::cmp::Reverse(f.len()), f.weight_a));
+    assert_eq!(feats.len(), 3, "exactly S1, S2, S3");
+    let fa: Vec<u64> = feats.iter().map(|f| f.weight_a).collect();
+    let fb: Vec<u64> = feats.iter().map(|f| f.weight_b).collect();
+    assert_eq!(fa, vec![19, 13, 15], "Eq. (6)");
+    assert_eq!(fb, vec![35, 11, 14], "Eq. (10)");
+}
+
+#[test]
+fn equation_11_kernel_value() {
+    let (a, b) = strings();
+    assert_eq!(paper_kernel().raw(&a, &b), 1018.0, "Eq. (11)");
+}
+
+#[test]
+fn equations_12_and_13_normalisation() {
+    let (a, b) = strings();
+    let norm = paper_kernel().normalized(&a, &b);
+    assert!((norm - 1018.0 / 3328.0).abs() < 1e-12, "Eq. (13)");
+    assert!((norm - 0.3059).abs() < 1e-4, "the paper quotes 0.3059");
+}
+
+#[test]
+fn s1_is_the_largest_shared_substring_with_two_appearances_in_b() {
+    let (a, b) = strings();
+    let feats = paper_kernel().features(&a, &b);
+    let s1 = feats.iter().max_by_key(|f| f.len()).expect("features exist");
+    assert_eq!(s1.len(), 3);
+    assert_eq!(s1.starts_a.len(), 1, "S1 appears once in A");
+    assert_eq!(s1.starts_b.len(), 2, "S1 appears twice in B");
+}

@@ -1,0 +1,62 @@
+//! Parallel-trace integration: multi-rank runs through the full
+//! representation + kernel pipeline.
+
+use kastio::trace::{HandleMerge, ParallelTrace};
+use kastio::workloads::generators::{ior_parallel, IorParams};
+use kastio::{
+    pattern_string, ByteMode, KastKernel, KastOptions, StringKernel, TokenInterner,
+};
+
+#[test]
+fn shared_file_and_file_per_process_produce_different_patterns() {
+    let job = ior_parallel(&IorParams::default(), 4);
+    let shared = pattern_string(&job.merge(HandleMerge::SharedFile), ByteMode::Preserve);
+    let fpp = pattern_string(&job.merge(HandleMerge::FilePerProcess), ByteMode::Preserve);
+    assert_ne!(shared, fpp);
+    // Shared-file: one HANDLE token; file-per-process: one per rank.
+    let handles = |s: &kastio::WeightedString| {
+        s.iter()
+            .filter(|t| t.literal == kastio::pattern::TokenLiteral::Handle)
+            .count()
+    };
+    assert_eq!(handles(&shared), 1);
+    assert_eq!(handles(&fpp), 4);
+}
+
+#[test]
+fn scale_invariance_within_a_layout() {
+    // The same layout at different rank counts must stay more similar
+    // than different layouts at the same rank count.
+    let mut interner = TokenInterner::new();
+    let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+    let mut string_of = |ranks: usize, merge: HandleMerge| {
+        let trace = ior_parallel(&IorParams::default(), ranks).merge(merge);
+        interner.intern_string(&pattern_string(&trace, ByteMode::Preserve))
+    };
+    let fpp2 = string_of(2, HandleMerge::FilePerProcess);
+    let fpp8 = string_of(8, HandleMerge::FilePerProcess);
+    let shared2 = string_of(2, HandleMerge::SharedFile);
+    assert!(kernel.normalized(&fpp2, &fpp8) > kernel.normalized(&fpp2, &shared2));
+}
+
+#[test]
+fn merge_preserves_total_operations() {
+    let job = ior_parallel(&IorParams::default(), 5);
+    for merge in [HandleMerge::FilePerProcess, HandleMerge::SharedFile] {
+        assert_eq!(job.merge(merge).len(), job.total_ops());
+    }
+}
+
+#[test]
+fn single_rank_parallel_trace_equals_its_only_rank() {
+    let job = ior_parallel(&IorParams::default(), 1);
+    let merged = job.merge(HandleMerge::FilePerProcess);
+    assert_eq!(&merged, job.rank(0).expect("one rank"));
+}
+
+#[test]
+fn empty_parallel_trace_flattens_to_root() {
+    let empty = ParallelTrace::new(vec![]);
+    let s = pattern_string(&empty.merge(HandleMerge::SharedFile), ByteMode::Preserve);
+    assert_eq!(s.to_string(), "[ROOT]x1");
+}

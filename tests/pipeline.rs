@@ -1,0 +1,97 @@
+//! End-to-end integration of the trace substrate with the conversion
+//! pipeline: SimFs recording → tree → compression → weighted string.
+
+use kastio::trace::SeekWhence;
+use kastio::{
+    build_tree, compress_tree, flatten_tree, parse_trace, pattern_string, write_trace, ByteMode,
+    CompressOptions, SimFs,
+};
+
+#[test]
+fn recorded_application_produces_expected_string() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = SimFs::new();
+    let fd = fs.open("data")?;
+    for _ in 0..5 {
+        fs.write(fd, 4096)?;
+    }
+    fs.close(fd)?;
+    let fd = fs.open("data")?;
+    for _ in 0..5 {
+        fs.read(fd, 4096)?;
+    }
+    fs.close(fd)?;
+    let s = pattern_string(&fs.into_trace(), ByteMode::Preserve);
+    assert_eq!(
+        s.to_string(),
+        "[ROOT]x1 [HANDLE]x1 [BLOCK]x1 write[4096]x5 [LEVEL_UP]x1 [BLOCK]x1 read[4096]x5"
+    );
+    Ok(())
+}
+
+#[test]
+fn lseek_write_loops_become_combined_tokens() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = SimFs::new();
+    let fd = fs.open("db")?;
+    fs.write(fd, 1 << 20)?;
+    for i in 0..8 {
+        fs.lseek(fd, i * 512, SeekWhence::Set)?;
+        fs.write(fd, 512)?;
+    }
+    fs.close(fd)?;
+    let s = pattern_string(&fs.into_trace(), ByteMode::Preserve);
+    let text = s.to_string();
+    assert!(text.contains("lseek+write"), "rule 4 captures the seek/write loop: {text}");
+    Ok(())
+}
+
+#[test]
+fn text_roundtrip_preserves_the_pattern_string() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = SimFs::new();
+    let fd = fs.open("f")?;
+    fs.write(fd, 10)?;
+    fs.fileno(fd)?;
+    fs.read(fd, 0)?;
+    fs.close(fd)?;
+    let trace = fs.into_trace();
+    let reparsed = parse_trace(&write_trace(&trace))?;
+    assert_eq!(trace, reparsed);
+    assert_eq!(
+        pattern_string(&trace, ByteMode::Preserve),
+        pattern_string(&reparsed, ByteMode::Preserve)
+    );
+    Ok(())
+}
+
+#[test]
+fn byte_modes_agree_on_structure_and_mass() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = parse_trace(
+        "h0 open 0\nh0 write 1\nh0 write 2\nh0 write 2\nh1 open 0\nh1 read 9\nh1 close 0\nh0 close 0\n",
+    )?;
+    let preserve = build_tree(&trace, ByteMode::Preserve);
+    let ignore = build_tree(&trace, ByteMode::Ignore);
+    assert_eq!(preserve.mass(), ignore.mass());
+    assert_eq!(preserve.handles.len(), ignore.handles.len());
+
+    let mut ct = preserve.clone();
+    compress_tree(&mut ct, &CompressOptions::default());
+    assert_eq!(ct.mass(), preserve.mass(), "compression is mass preserving");
+    let s = flatten_tree(&ct);
+    assert!(s.total_weight() >= ct.mass(), "structure tokens add weight");
+    Ok(())
+}
+
+#[test]
+fn negligible_operations_never_reach_the_string() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = SimFs::new();
+    let fd = fs.open("f")?;
+    fs.fileno(fd)?;
+    fs.fscanf(fd, 100)?;
+    fs.write(fd, 7)?;
+    fs.close(fd)?;
+    let s = pattern_string(&fs.into_trace(), ByteMode::Preserve);
+    let text = s.to_string();
+    assert!(!text.contains("fileno"));
+    assert!(!text.contains("fscanf"));
+    assert!(text.contains("write[7]"));
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! Cross-crate property tests: the pipeline and kernel invariants hold on
+//! arbitrary traces, not just the curated workloads.
+
+use proptest::prelude::*;
+
+use kastio::pattern::tree::PatternTree;
+use kastio::trace::{HandleId, OpKind, Operation, Trace};
+use kastio::{
+    build_tree, compress_tree, flatten_tree, parse_trace, pattern_string, write_trace, ByteMode,
+    CompressOptions, IdString, KastKernel, KastOptions, StringKernel, TokenInterner,
+};
+
+fn arb_opkind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Read),
+        Just(OpKind::Write),
+        Just(OpKind::Lseek),
+        Just(OpKind::Fsync),
+        Just(OpKind::Fileno),
+        Just(OpKind::Fscanf),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // Up to 3 handles; each handle gets 1–3 blocks of 0–8 operations.
+    proptest::collection::vec(
+        (0u32..3, arb_opkind(), prop_oneof![Just(0u64), 1u64..5000]),
+        0..60,
+    )
+    .prop_map(|raw| {
+        let mut trace = Trace::new();
+        let mut open = [false; 3];
+        for (h, kind, bytes) in raw {
+            let handle = HandleId::new(h);
+            if !open[h as usize] {
+                trace.push(Operation::control(handle, OpKind::Open));
+                open[h as usize] = true;
+            }
+            let bytes = if kind.carries_bytes() { bytes } else { 0 };
+            trace.push(Operation::new(handle, kind, bytes));
+        }
+        for (h, is_open) in open.iter().enumerate() {
+            if *is_open {
+                trace.push(Operation::control(HandleId::new(h as u32), OpKind::Close));
+            }
+        }
+        trace
+    })
+}
+
+fn substantive_ops(trace: &Trace) -> u64 {
+    trace
+        .iter()
+        .filter(|o| !o.kind.is_negligible() && !o.kind.is_block_delimiter())
+        .count() as u64
+}
+
+fn intern_pair(ta: &Trace, tb: &Trace, mode: ByteMode) -> (IdString, IdString) {
+    let mut interner = TokenInterner::new();
+    let a = interner.intern_string(&pattern_string(ta, mode));
+    let b = interner.intern_string(&pattern_string(tb, mode));
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_format_roundtrips(trace in arb_trace()) {
+        let parsed = parse_trace(&write_trace(&trace)).expect("rendered traces parse");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn compression_preserves_mass(trace in arb_trace(), passes in 0usize..4) {
+        let mut tree = build_tree(&trace, ByteMode::Preserve);
+        let before = tree.mass();
+        prop_assert_eq!(before, substantive_ops(&trace));
+        compress_tree(&mut tree, &CompressOptions { passes, ..CompressOptions::default() });
+        prop_assert_eq!(tree.mass(), before);
+    }
+
+    #[test]
+    fn compression_never_grows_the_tree(trace in arb_trace()) {
+        let mut tree = build_tree(&trace, ByteMode::Preserve);
+        let before = tree.leaf_count();
+        compress_tree(&mut tree, &CompressOptions::default());
+        prop_assert!(tree.leaf_count() <= before);
+    }
+
+    #[test]
+    fn flatten_covers_all_mass_plus_structure(trace in arb_trace()) {
+        let mut tree = build_tree(&trace, ByteMode::Preserve);
+        compress_tree(&mut tree, &CompressOptions::default());
+        let s = flatten_tree(&tree);
+        // Total string weight = mass + structural tokens + level-ups ≥ mass.
+        prop_assert!(s.total_weight() >= tree.mass());
+        // weight_at_least is monotonically decreasing in the threshold.
+        let w1 = s.weight_at_least(1);
+        let w2 = s.weight_at_least(2);
+        let w4 = s.weight_at_least(4);
+        prop_assert!(w1 >= w2 && w2 >= w4);
+        prop_assert_eq!(w1, s.total_weight());
+    }
+
+    #[test]
+    fn byte_mode_ignore_is_a_projection(trace in arb_trace()) {
+        // Ignoring bytes then re-ignoring must equal ignoring once; and
+        // both byte modes agree on total mass.
+        let once = build_tree(&trace, ByteMode::Ignore);
+        prop_assert_eq!(once.mass(), build_tree(&trace, ByteMode::Preserve).mass());
+        for h in &once.handles {
+            for b in &h.blocks {
+                for op in &b.ops {
+                    prop_assert!(op.literal.bytes().is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kast_kernel_is_symmetric_and_nonnegative(
+        ta in arb_trace(),
+        tb in arb_trace(),
+        cut in 1u64..16,
+    ) {
+        let (a, b) = intern_pair(&ta, &tb, ByteMode::Preserve);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+        let ab = kernel.raw(&a, &b);
+        let ba = kernel.raw(&b, &a);
+        prop_assert_eq!(ab, ba, "raw kernel is symmetric");
+        // NOTE: normalised values are NOT bounded by 1 — the feature space
+        // is pair-dependent and appearances may overlap, so Cauchy–Schwarz
+        // does not apply. That is exactly why §4.1 clamps negative
+        // eigenvalues. We check symmetry, non-negativity and finiteness.
+        let n = kernel.normalized(&a, &b);
+        prop_assert!(n.is_finite());
+        prop_assert!(n >= 0.0);
+        prop_assert_eq!(n, kernel.normalized(&b, &a));
+        if !a.is_empty() {
+            let self_n = kernel.normalized(&a, &a);
+            prop_assert!(self_n == 0.0 || (self_n - 1.0).abs() < 1e-9,
+                "self-similarity is 1 under cosine normalisation (or 0 when empty)");
+        }
+    }
+
+    #[test]
+    fn raising_the_cut_never_adds_features(
+        ta in arb_trace(),
+        tb in arb_trace(),
+    ) {
+        let (a, b) = intern_pair(&ta, &tb, ByteMode::Preserve);
+        let mut last = usize::MAX;
+        for cut in [1u64, 2, 4, 8, 16, 32] {
+            let kernel = KastKernel::new(KastOptions::with_cut_weight(cut));
+            let n = kernel.features(&a, &b).len();
+            prop_assert!(n <= last, "feature count must shrink as the cut grows");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn empty_tree_flattens_to_root(passes in 0usize..3) {
+        let mut tree = PatternTree::new();
+        compress_tree(&mut tree, &CompressOptions { passes, ..CompressOptions::default() });
+        prop_assert_eq!(flatten_tree(&tree).to_string(), "[ROOT]x1");
+    }
+}
