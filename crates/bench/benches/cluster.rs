@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kastio_bench::{prepare, PAPER_SEED};
-use kastio_cluster::{hierarchical, hierarchical_nn_chain, purity, silhouette, DistanceMatrix, Linkage};
+use kastio_cluster::{
+    hierarchical, hierarchical_nn_chain, purity, silhouette, DistanceMatrix, Linkage,
+};
 use kastio_core::{ByteMode, KastKernel, KastOptions};
 use kastio_kernels::{gram_matrix, GramMode};
 use kastio_linalg::{psd_repair, SquareMatrix};

@@ -5,9 +5,7 @@
 //! average linkage.
 
 use kastio_bench::report::Table;
-use kastio_bench::{
-    analyze_with_linkage, prepare, score_against, ReferencePartition, PAPER_SEED,
-};
+use kastio_bench::{analyze_with_linkage, prepare, score_against, ReferencePartition, PAPER_SEED};
 use kastio_cluster::Linkage;
 use kastio_core::{ByteMode, KastKernel, KastOptions};
 use kastio_workloads::Dataset;

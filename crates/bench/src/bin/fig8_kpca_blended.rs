@@ -30,9 +30,7 @@ fn main() {
     println!("2-group check vs {{A}},{{B∪C∪D}}: purity={:.3} ARI={:.3}", bcd.purity, bcd.ari);
     println!("3-group check vs {{A}},{{B}},{{C∪D}}: purity={:.3} ARI={:.3}", cd.purity, cd.ari);
     if (bcd.ari - 1.0).abs() < 1e-12 && cd.ari < 1.0 {
-        println!(
-            "=> reproduces the paper: only (A) separates; (B-C-D) conform a single group"
-        );
+        println!("=> reproduces the paper: only (A) separates; (B-C-D) conform a single group");
     } else {
         println!("=> DEVIATION from the paper's reported clustering");
     }

@@ -151,7 +151,11 @@ fn main() {
 }
 
 fn status(ok: bool) -> String {
-    if ok { "OK".into() } else { "DEVIATION".into() }
+    if ok {
+        "OK".into()
+    } else {
+        "DEVIATION".into()
+    }
 }
 
 fn worked_example_strings() -> (kastio_core::IdString, kastio_core::IdString) {
@@ -160,18 +164,46 @@ fn worked_example_strings() -> (kastio_core::IdString, kastio_core::IdString) {
     }
     let mut interner = TokenInterner::new();
     let a: WeightedString = vec![
-        sym("x", 6), sym("y", 6), sym("z", 7), sym("fa1", 1),
-        sym("u", 3), sym("v", 4), sym("fa2", 1), sym("u", 2), sym("v", 4), sym("fa3", 1),
-        sym("w1", 2), sym("w2", 4), sym("fa4", 1), sym("w1", 4), sym("w2", 5),
-        sym("fa5", 12), sym("fa6", 12),
+        sym("x", 6),
+        sym("y", 6),
+        sym("z", 7),
+        sym("fa1", 1),
+        sym("u", 3),
+        sym("v", 4),
+        sym("fa2", 1),
+        sym("u", 2),
+        sym("v", 4),
+        sym("fa3", 1),
+        sym("w1", 2),
+        sym("w2", 4),
+        sym("fa4", 1),
+        sym("w1", 4),
+        sym("w2", 5),
+        sym("fa5", 12),
+        sym("fa6", 12),
     ]
     .into_iter()
     .collect();
     let b: WeightedString = vec![
-        sym("x", 5), sym("y", 6), sym("z", 6), sym("gb1", 1),
-        sym("x", 6), sym("y", 6), sym("z", 6), sym("gb2", 1),
-        sym("u", 2), sym("v", 4), sym("gb3", 1), sym("u", 1), sym("v", 4), sym("gb4", 1),
-        sym("w1", 3), sym("w2", 5), sym("gb5", 1), sym("w1", 2), sym("w2", 4),
+        sym("x", 5),
+        sym("y", 6),
+        sym("z", 6),
+        sym("gb1", 1),
+        sym("x", 6),
+        sym("y", 6),
+        sym("z", 6),
+        sym("gb2", 1),
+        sym("u", 2),
+        sym("v", 4),
+        sym("gb3", 1),
+        sym("u", 1),
+        sym("v", 4),
+        sym("gb4", 1),
+        sym("w1", 3),
+        sym("w2", 5),
+        sym("gb5", 1),
+        sym("w1", 2),
+        sym("w2", 4),
     ]
     .into_iter()
     .collect();

@@ -25,16 +25,23 @@ fn main() {
     // (6 + 9); plus fillers so that weight_{w≥4}(A) = 64, as in Eq. (1).
     let a = build(
         vec![
-            sym("x", 6), sym("y", 6), sym("z", 7),
+            sym("x", 6),
+            sym("y", 6),
+            sym("z", 7),
             sym("fa1", 1),
-            sym("u", 3), sym("v", 4),
+            sym("u", 3),
+            sym("v", 4),
             sym("fa2", 1),
-            sym("u", 2), sym("v", 4),
+            sym("u", 2),
+            sym("v", 4),
             sym("fa3", 1),
-            sym("w1", 2), sym("w2", 4),
+            sym("w1", 2),
+            sym("w2", 4),
             sym("fa4", 1),
-            sym("w1", 4), sym("w2", 5),
-            sym("fa5", 12), sym("fa6", 12),
+            sym("w1", 4),
+            sym("w2", 5),
+            sym("fa5", 12),
+            sym("fa6", 12),
         ],
         &mut interner,
     );
@@ -42,17 +49,25 @@ fn main() {
     // (8 + 6 = 14); weight_{w≥4}(B) = 52, as in Eq. (2).
     let b = build(
         vec![
-            sym("x", 5), sym("y", 6), sym("z", 6),
+            sym("x", 5),
+            sym("y", 6),
+            sym("z", 6),
             sym("gb1", 1),
-            sym("x", 6), sym("y", 6), sym("z", 6),
+            sym("x", 6),
+            sym("y", 6),
+            sym("z", 6),
             sym("gb2", 1),
-            sym("u", 2), sym("v", 4),
+            sym("u", 2),
+            sym("v", 4),
             sym("gb3", 1),
-            sym("u", 1), sym("v", 4),
+            sym("u", 1),
+            sym("v", 4),
             sym("gb4", 1),
-            sym("w1", 3), sym("w2", 5),
+            sym("w1", 3),
+            sym("w2", 5),
             sym("gb5", 1),
-            sym("w1", 2), sym("w2", 4),
+            sym("w1", 2),
+            sym("w2", 4),
         ],
         &mut interner,
     );
@@ -86,8 +101,14 @@ fn main() {
 
     let raw = kernel.raw(&a, &b);
     let normalized = kernel.normalized(&a, &b);
-    println!("\nf(A) = {:?}   (paper: [19, 13, 15])", features.iter().map(|f| f.weight_a).collect::<Vec<_>>());
-    println!("f(B) = {:?}   (paper: [35, 11, 14])", features.iter().map(|f| f.weight_b).collect::<Vec<_>>());
+    println!(
+        "\nf(A) = {:?}   (paper: [19, 13, 15])",
+        features.iter().map(|f| f.weight_a).collect::<Vec<_>>()
+    );
+    println!(
+        "f(B) = {:?}   (paper: [35, 11, 14])",
+        features.iter().map(|f| f.weight_b).collect::<Vec<_>>()
+    );
     println!("k_w≥4(A,B)  = {raw}   (paper: 1018)");
     println!("k̄_w≥4(A,B) = {normalized:.4} (paper: 1018/3328 = 0.3059)");
 

@@ -86,14 +86,7 @@ pub fn analyze_with_linkage<K: StringKernel + Sync>(
     let pca = KernelPca::fit(&repair.matrix, 2).ok();
     let distance = DistanceMatrix::from_gram(n, repair.matrix.as_slice());
     let dendrogram = hierarchical(&distance, linkage);
-    Analysis {
-        gram,
-        repaired: repair.matrix,
-        clamped: repair.clamped,
-        pca,
-        distance,
-        dendrogram,
-    }
+    Analysis { gram, repaired: repair.matrix, clamped: repair.clamped, pca, distance, dendrogram }
 }
 
 /// The reference partitions the paper's prose describes.

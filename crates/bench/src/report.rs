@@ -77,9 +77,7 @@ pub fn render_scatter(pca: &KernelPca, tags: &[char], width: usize, height: usiz
         return String::new();
     }
     let xs: Vec<f64> = (0..pca.len()).map(|i| pca.coords(i)[0]).collect();
-    let ys: Vec<f64> = (0..pca.len())
-        .map(|i| *pca.coords(i).get(1).unwrap_or(&0.0))
-        .collect();
+    let ys: Vec<f64> = (0..pca.len()).map(|i| *pca.coords(i).get(1).unwrap_or(&0.0)).collect();
     let (xmin, xmax) = min_max(&xs);
     let (ymin, ymax) = min_max(&ys);
     let xspan = (xmax - xmin).max(1e-12);

@@ -32,11 +32,7 @@ pub fn cophenetic_distances(dendro: &Dendrogram) -> DistanceMatrix {
     if n == 0 {
         return DistanceMatrix::from_fn(0, |_, _| 0.0);
     }
-    assert_eq!(
-        dendro.merges().len(),
-        n - 1,
-        "cophenetic distances need a complete dendrogram"
-    );
+    assert_eq!(dendro.merges().len(), n - 1, "cophenetic distances need a complete dendrogram");
     // members[node] = leaves under that node id (leaves 0..n, internal
     // n..2n−1).
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();

@@ -33,10 +33,7 @@ impl Dendrogram {
     ///
     /// Panics if more than `n − 1` merges are supplied.
     pub fn new(n: usize, merges: Vec<Merge>) -> Self {
-        assert!(
-            n == 0 || merges.len() <= n - 1,
-            "a dendrogram over n leaves has at most n-1 merges"
-        );
+        assert!(n == 0 || merges.len() < n, "a dendrogram over n leaves has at most n-1 merges");
         Dendrogram { n, merges }
     }
 
@@ -80,7 +77,7 @@ impl Dendrogram {
         // Union-find over leaves + internal nodes.
         let total = self.n + kept;
         let mut parent: Vec<usize> = (0..total).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -97,7 +94,7 @@ impl Dendrogram {
         let mut labels = vec![usize::MAX; self.n];
         let mut next = 0;
         let mut canonical: Vec<(usize, usize)> = Vec::new(); // (root, label)
-        for leaf in 0..self.n {
+        for (leaf, slot) in labels.iter_mut().enumerate() {
             let root = find(&mut parent, leaf);
             let label = match canonical.iter().find(|&&(r, _)| r == root) {
                 Some(&(_, l)) => l,
@@ -107,7 +104,7 @@ impl Dendrogram {
                     next - 1
                 }
             };
-            labels[leaf] = label;
+            *slot = label;
         }
         labels
     }
@@ -119,12 +116,7 @@ impl Dendrogram {
     /// `names` supplies a label per leaf; pass `None` to use indices.
     pub fn render_ascii(&self, names: Option<&[String]>) -> String {
         let mut out = String::new();
-        let max_d = self
-            .merges
-            .iter()
-            .map(|m| m.distance)
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+        let max_d = self.merges.iter().map(|m| m.distance).fold(0.0f64, f64::max).max(1e-12);
         let describe = |id: usize| -> String {
             if id < self.n {
                 match names {

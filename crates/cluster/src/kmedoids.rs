@@ -127,12 +127,7 @@ fn assign(dist: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
 
 fn assignment_cost(dist: &DistanceMatrix, medoids: &[usize]) -> f64 {
     (0..dist.len())
-        .map(|i| {
-            medoids
-                .iter()
-                .map(|&m| dist.get(i, m))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|i| medoids.iter().map(|&m| dist.get(i, m)).fold(f64::INFINITY, f64::min))
         .sum()
 }
 

@@ -42,5 +42,5 @@ pub use dendrogram::{Dendrogram, Merge};
 pub use distance::DistanceMatrix;
 pub use hac::{hierarchical, Linkage};
 pub use kmedoids::{k_medoids, KMedoids};
-pub use nnchain::hierarchical_nn_chain;
 pub use metrics::{adjusted_rand_index, normalized_mutual_information, purity, silhouette};
+pub use nnchain::hierarchical_nn_chain;

@@ -169,11 +169,11 @@ pub fn silhouette(dist: &DistanceMatrix, labels: &[usize]) -> f64 {
         // a(i): mean intra-cluster distance; b(i): min mean distance to
         // another cluster.
         let mut sums: HashMap<usize, (f64, usize)> = HashMap::new();
-        for j in 0..n {
+        for (j, &label) in labels.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let e = sums.entry(labels[j]).or_insert((0.0, 0));
+            let e = sums.entry(label).or_insert((0.0, 0));
             e.0 += dist.get(i, j);
             e.1 += 1;
         }

@@ -125,11 +125,7 @@ pub fn hierarchical_nn_chain(dist: &DistanceMatrix, linkage: Linkage) -> Dendrog
 fn sort_merges(n: usize, raw: Vec<Merge>) -> Dendrogram {
     let mut order: Vec<usize> = (0..raw.len()).collect();
     order.sort_by(|&x, &y| {
-        raw[x]
-            .distance
-            .partial_cmp(&raw[y].distance)
-            .expect("distances are finite")
-            .then(x.cmp(&y))
+        raw[x].distance.partial_cmp(&raw[y].distance).expect("distances are finite").then(x.cmp(&y))
     });
     // old internal id (n + old_index) → new internal id (n + new_index)
     let mut remap = vec![usize::MAX; raw.len()];

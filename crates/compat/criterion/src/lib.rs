@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The kastio build environment has no access to crates.io, so this crate
+//! mirrors the criterion API surface used by `crates/bench/benches/*`
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! [`criterion_group!`]/[`criterion_main!`]) over a deliberately simple
+//! wall-clock harness: each benchmark is warmed up, then timed over a
+//! fixed number of batches, and the median batch time is printed.
+//! Statistical machinery (outlier classification, bootstrap confidence
+//! intervals, HTML reports) is out of scope — swap in the real crate for
+//! publication-quality numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores
+    /// all arguments (criterion filters benchmarks here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.render(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(&label, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(&label, self.effective_sample_size(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group. The shim keeps no cross-group state; this
+    /// exists for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, an optional parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: Some(name.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function: Some(name), parameter: None }
+    }
+}
+
+/// Timer handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-batch iteration count fixed by the warm-up run; `None` means
+    /// this run calibrates it.
+    calibrated: Option<u64>,
+    batch: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, amortised over the calibrated number of
+    /// iterations per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if let Some(iters) = self.calibrated {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.batch = Some((iters, start.elapsed()));
+            return;
+        }
+        // Calibrate: grow the iteration count until one batch takes
+        // a measurable amount of time (>= ~1 ms) or gets large.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.batch = Some((iters, elapsed));
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up run; it also calibrates the per-batch iteration count the
+    // timed samples below reuse.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+    let calibrated = warmup.batch.map(|(iters, _)| iters);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { calibrated, batch: None };
+        f(&mut bencher);
+        if let Some((iters, elapsed)) = bencher.batch {
+            per_iter.push(elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<48} median {} (min {}, max {}, n={})",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("kast", 3).render(), "kast/3");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// An inclusive size band for generated collections. Mirrors
+/// `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { lo: exact, hi: exact }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { lo: range.start, hi: range.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { lo: *range.start(), hi: *range.end() }
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` and whose elements come
+/// from `element`. Mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn length_bands_are_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ranged = vec(0u8..10, 2..5);
+        let exact = vec(0u8..10, 3usize);
+        for _ in 0..200 {
+            let r = ranged.new_value(&mut rng);
+            assert!((2..5).contains(&r.len()), "len {} outside 2..5", r.len());
+            assert_eq!(exact.new_value(&mut rng).len(), 3);
+        }
+    }
+}

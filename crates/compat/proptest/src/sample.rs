@@ -1,0 +1,45 @@
+//! Sampling strategies: `proptest::sample::select`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy yielding clones of uniformly chosen elements of `items`.
+/// Mirrors `proptest::sample::select`.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs at least one item");
+    Select(items)
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn select_draws_only_given_items() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let strat = select(vec![[1usize, 2], [3, 4]]);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!(v == [1, 2] || v == [3, 4]);
+        }
+    }
+}

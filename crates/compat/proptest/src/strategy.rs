@@ -1,0 +1,276 @@
+//! The [`Strategy`] trait and its combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many times [`Filter`] retries before giving up on a predicate.
+const MAX_FILTER_TRIES: usize = 1_000;
+
+/// A recipe for generating values of one type. Mirrors
+/// `proptest::strategy::Strategy`, without shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates an intermediate value, then generates the final value
+    /// from the strategy `f` builds out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Discards generated values failing the predicate, retrying until
+    /// one passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (citing `reason`) if no value passes after 1000 attempts.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { source: self, reason: reason.into(), pred: Box::new(pred) }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value. Mirrors
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A boxed predicate over generated values, as stored by [`Filter`].
+type Predicate<T> = Box<dyn Fn(&T) -> bool>;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S: Strategy> {
+    source: S,
+    reason: String,
+    pred: Predicate<S::Value>,
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let value = self.source.new_value(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter: predicate \"{}\" rejected {} consecutive values",
+            self.reason, MAX_FILTER_TRIES
+        );
+    }
+}
+
+/// A type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Uniformly picks one of several boxed strategies per generated value.
+/// The engine behind [`crate::prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.0.len());
+        self.0[arm].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String literals act as regex-shaped string strategies
+/// (e.g. `"[a-z][a-z0-9_]{0,8}"`); see [`crate::string`] for the
+/// supported subset.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = (0u64..10)
+            .prop_map(|v| v * 2)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_flat_map(|v| v..v + 3);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!(v < 21);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), (5u8..7).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            match strat.new_value(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                5 => seen[2] = true,
+                6 => seen[3] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all arms reached: {seen:?}");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = (0u8..4, Just("x"), -2i64..=2);
+        for _ in 0..100 {
+            let (a, b, c) = strat.new_value(&mut rng);
+            assert!(a < 4);
+            assert_eq!(b, "x");
+            assert!((-2..=2).contains(&c));
+        }
+    }
+}

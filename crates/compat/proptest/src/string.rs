@@ -1,0 +1,179 @@
+//! String generation from a small regex subset.
+//!
+//! The workspace's tests use patterns like `"[a-z][a-z0-9_]{0,8}"` and
+//! `"[a-z]{1,6}"` as strategies. This module supports exactly that
+//! family: a sequence of atoms, each an escaped/literal character or a
+//! character class `[...]` (with `a-z` ranges), followed by an optional
+//! quantifier `{m}`, `{m,n}`, `?`, `*` or `+` (`*`/`+` capped at 8
+//! repetitions). Anchors, alternation, groups and negated classes are
+//! not supported and panic loudly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Open-ended quantifiers (`*`, `+`) repeat at most this many times.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug)]
+struct Atom {
+    /// Candidate characters for this position.
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics if `pattern` uses regex features outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..reps {
+            let i = rng.gen_range(0..atom.choices.len());
+            out.push(atom.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                i += 1;
+                vec![c]
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                unsupported(pattern, "groups, alternation, anchors and '.'")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    if chars.get(i) == Some(&'^') {
+        unsupported(pattern, "negated character classes");
+    }
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "invalid class range {lo}-{hi} in {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(lo);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        unsupported(pattern, "unterminated character class");
+    }
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    (set, i + 1)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| unsupported(pattern, "unterminated quantifier"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier repeat count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "empty quantifier {{{body}}} in {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn unsupported(pattern: &str, feature: &str) -> ! {
+    panic!(
+        "string strategy {pattern:?}: {feature} are not supported by the \
+         offline proptest shim (see crates/compat/proptest)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identifier_pattern_shapes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn exact_and_banded_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            assert_eq!(generate("[a-c]{3}", &mut rng).len(), 3);
+            let banded = generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&banded.len()));
+            let maybe = generate("x?", &mut rng);
+            assert!(maybe.is_empty() || maybe == "x");
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate(r"a\[b", &mut rng), "a[b");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn alternation_panics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        generate("a|b", &mut rng);
+    }
+}

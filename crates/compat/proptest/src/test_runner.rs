@@ -1,0 +1,222 @@
+//! Test execution: configuration, case errors and the runner.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration. Mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum [`TestCaseError::Reject`]s (from [`crate::prop_assume!`])
+    /// summed over the whole run — not consecutive — before the test
+    /// errors out, matching the real crate's global-reject semantics.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case disproves the property.
+    Fail(String),
+    /// The case does not apply (e.g. a failed [`crate::prop_assume!`]);
+    /// another is generated in its place.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection with the given explanation.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "case rejected: {reason}"),
+        }
+    }
+}
+
+/// A whole property test's failure, with the input that disproved it.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    case: u32,
+    reason: String,
+    input: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property failed at case {}: {}\n  input: {}\n  (no shrinking: \
+             this input may not be minimal; seed is fixed, so the run replays)",
+            self.case, self.reason, self.input
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Seed used when `PROPTEST_SEED` is not set. Arbitrary but fixed:
+/// every run generates the same cases.
+const DEFAULT_SEED: u64 = 0x6B61_7374_696F_2131;
+
+/// Generates inputs and drives test closures. Mirrors
+/// `proptest::test_runner::TestRunner`, without shrinking.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded from `PROPTEST_SEED` (if set and parseable as
+    /// `u64`) or the fixed default seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self::with_seed_salt(config, 0)
+    }
+
+    /// A runner whose seed is additionally salted with the test name, so
+    /// different tests in one file explore different sequences.
+    pub fn new_for_test(config: ProptestConfig, test_name: &str) -> Self {
+        let salt = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        Self::with_seed_salt(config, salt)
+    }
+
+    fn with_seed_salt(config: ProptestConfig, salt: u64) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner { config, rng: StdRng::seed_from_u64(base ^ salt) }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs. Returns the
+    /// first failure (assertion, panic) or `Ok(())` if every case passes.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut case = 0;
+        let mut rejects = 0;
+        while case < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let input = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(reason))) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(TestError {
+                            case,
+                            reason: format!("too many rejected cases ({rejects}); last: {reason}"),
+                            input,
+                        });
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(reason))) => {
+                    return Err(TestError { case, reason, input })
+                }
+                Err(panic) => {
+                    let reason = if let Some(s) = panic.downcast_ref::<&str>() {
+                        format!("panic: {s}")
+                    } else if let Some(s) = panic.downcast_ref::<String>() {
+                        format!("panic: {s}")
+                    } else {
+                        String::from("panic with non-string payload")
+                    };
+                    return Err(TestError { case, reason, input });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        let mut seen = 0;
+        runner
+            .run(&(0u64..100), |v| {
+                assert!(v < 100);
+                seen += 1;
+                Ok(())
+            })
+            .expect("property holds");
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(500));
+        let err = runner
+            .run(
+                &(0u64..100),
+                |v| if v >= 90 { Err(TestCaseError::fail("too big")) } else { Ok(()) },
+            )
+            .expect_err("must eventually draw >= 90");
+        let msg = err.to_string();
+        assert!(msg.contains("too big"), "message: {msg}");
+    }
+
+    #[test]
+    fn panics_are_captured() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let err =
+            runner.run(&(0u64..10), |_| panic!("boom")).expect_err("panics fail the property");
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn rejects_regenerate_without_consuming_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(20));
+        let mut passed = 0;
+        runner
+            .run(&(0u64..100), |v| {
+                if v % 2 == 1 {
+                    Err(TestCaseError::reject("odd"))
+                } else {
+                    passed += 1;
+                    Ok(())
+                }
+            })
+            .expect("even cases pass");
+        assert_eq!(passed, 20);
+    }
+}

@@ -89,11 +89,13 @@ impl Expr {
     }
 
     /// An addition node.
+    #[allow(clippy::should_implement_trait)] // constructor named after the AST node, not an operator
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr { op: "add".to_string(), args: vec![lhs, rhs] }
     }
 
     /// A multiplication node.
+    #[allow(clippy::should_implement_trait)] // constructor named after the AST node, not an operator
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr { op: "mul".to_string(), args: vec![lhs, rhs] }
     }
@@ -133,10 +135,7 @@ mod tests {
         // before… actually the rhs num is a direct child of add → 1 jump.
         let e = Expr::add(Expr::mul(Expr::num(1), Expr::num(2)), Expr::num(3));
         let s = weighted_string_of_tree(&e);
-        assert_eq!(
-            s.to_string(),
-            "<add>x1 <mul>x1 <num>x1 <num>x1 [LEVEL_UP]x1 <num>x1"
-        );
+        assert_eq!(s.to_string(), "<add>x1 <mul>x1 <num>x1 <num>x1 [LEVEL_UP]x1 <num>x1");
     }
 
     #[test]

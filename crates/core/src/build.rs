@@ -114,8 +114,9 @@ mod tests {
 
     #[test]
     fn groups_by_handle_in_first_appearance_order() {
-        let t = parse_trace("h2 open 0\nh0 open 0\nh2 write 1\nh0 read 2\nh0 close 0\nh2 close 0\n")
-            .unwrap();
+        let t =
+            parse_trace("h2 open 0\nh0 open 0\nh2 write 1\nh0 read 2\nh0 close 0\nh2 close 0\n")
+                .unwrap();
         let tree = build_tree(&t, ByteMode::Preserve);
         assert_eq!(tree.handles[0].handle.index(), 2);
         assert_eq!(tree.handles[1].handle.index(), 0);
@@ -144,7 +145,8 @@ mod tests {
 
     #[test]
     fn negligible_ops_dropped() {
-        let t = parse_trace("h0 open 0\nh0 fileno 0\nh0 fscanf 4\nh0 read 8\nh0 close 0\n").unwrap();
+        let t =
+            parse_trace("h0 open 0\nh0 fileno 0\nh0 fscanf 4\nh0 read 8\nh0 close 0\n").unwrap();
         let tree = build_tree(&t, ByteMode::Preserve);
         assert_eq!(tree.mass(), 1);
     }
@@ -181,10 +183,9 @@ mod tests {
 
     #[test]
     fn mass_counts_substantive_ops_only() {
-        let t = parse_trace(
-            "h0 open 0\nh0 lseek 0\nh0 write 7\nh0 fsync 0\nh0 fileno 0\nh0 close 0\n",
-        )
-        .unwrap();
+        let t =
+            parse_trace("h0 open 0\nh0 lseek 0\nh0 write 7\nh0 fsync 0\nh0 fileno 0\nh0 close 0\n")
+                .unwrap();
         let tree = build_tree(&t, ByteMode::Preserve);
         // lseek + write + fsync = 3 leaves; fileno dropped; open/close absorbed.
         assert_eq!(tree.mass(), 3);

@@ -104,12 +104,7 @@ fn render(feature: &SharedFeature, interner: &TokenInterner) -> String {
     feature
         .tokens
         .iter()
-        .map(|id| {
-            interner
-                .resolve(*id)
-                .map(|l| l.to_string())
-                .unwrap_or_else(|| format!("{id}"))
-        })
+        .map(|id| interner.resolve(*id).map(|l| l.to_string()).unwrap_or_else(|| format!("{id}")))
         .collect::<Vec<_>>()
         .join(" ")
 }
@@ -143,9 +138,7 @@ pub fn explain_similarity(
         })
         .collect();
     contributions.sort_by(|x, y| {
-        y.contribution
-            .partial_cmp(&x.contribution)
-            .expect("contributions are finite")
+        y.contribution.partial_cmp(&x.contribution).expect("contributions are finite")
     });
     SimilarityReport { raw, normalized, contributions }
 }

@@ -48,10 +48,7 @@ pub fn flatten_tree(tree: &PatternTree) -> WeightedString {
         for block in &handle.blocks {
             nodes.push((2, WeightedToken::structural(TokenLiteral::Block)));
             for op in &block.ops {
-                nodes.push((
-                    3,
-                    WeightedToken::new(TokenLiteral::Op(op.literal.clone()), op.reps),
-                ));
+                nodes.push((3, WeightedToken::new(TokenLiteral::Op(op.literal.clone()), op.reps)));
             }
         }
     }
@@ -107,10 +104,7 @@ mod tests {
     fn single_handle_single_block() {
         let t = tree_of(vec![vec![vec![leaf("read", 8, 5)]]]);
         let s = flatten_tree(&t);
-        assert_eq!(
-            literals(&s),
-            vec!["[ROOT]x1", "[HANDLE]x1", "[BLOCK]x1", "read[8]x5"]
-        );
+        assert_eq!(literals(&s), vec!["[ROOT]x1", "[HANDLE]x1", "[BLOCK]x1", "read[8]x5"]);
         // Leaf weight is the repetition count.
         assert_eq!(s.as_slice()[3].weight, 5);
     }

@@ -103,7 +103,11 @@ pub struct KastOptions {
 impl KastOptions {
     /// Paper defaults with the given cut weight.
     pub fn with_cut_weight(cut_weight: u64) -> Self {
-        KastOptions { cut_weight, cut_rule: CutRule::default(), normalization: Normalization::default() }
+        KastOptions {
+            cut_weight,
+            cut_rule: CutRule::default(),
+            normalization: Normalization::default(),
+        }
     }
 }
 
@@ -192,7 +196,12 @@ impl KastKernel {
         self.apply_cut(independent, a, b)
     }
 
-    fn apply_cut(&self, features: Vec<RawFeature>, a: &IdString, b: &IdString) -> Vec<SharedFeature> {
+    fn apply_cut(
+        &self,
+        features: Vec<RawFeature>,
+        a: &IdString,
+        b: &IdString,
+    ) -> Vec<SharedFeature> {
         let cut = self.opts.cut_weight;
         let mut out = Vec::new();
         for f in features {
@@ -203,14 +212,12 @@ impl KastKernel {
             let weight_a: u64 = occ_weights_a.iter().sum();
             let weight_b: u64 = occ_weights_b.iter().sum();
             let passes = match self.opts.cut_rule {
-                CutRule::AnyOccurrence => occ_weights_a
-                    .iter()
-                    .chain(occ_weights_b.iter())
-                    .any(|&w| w >= cut),
-                CutRule::AllOccurrences => occ_weights_a
-                    .iter()
-                    .chain(occ_weights_b.iter())
-                    .all(|&w| w >= cut),
+                CutRule::AnyOccurrence => {
+                    occ_weights_a.iter().chain(occ_weights_b.iter()).any(|&w| w >= cut)
+                }
+                CutRule::AllOccurrences => {
+                    occ_weights_a.iter().chain(occ_weights_b.iter()).all(|&w| w >= cut)
+                }
                 CutRule::PerStringSum => weight_a >= cut && weight_b >= cut,
             };
             if passes {
@@ -233,10 +240,7 @@ impl StringKernel for KastKernel {
     }
 
     fn raw(&self, a: &IdString, b: &IdString) -> f64 {
-        self.features(a, b)
-            .iter()
-            .map(|f| f.weight_a as f64 * f.weight_b as f64)
-            .sum()
+        self.features(a, b).iter().map(|f| f.weight_a as f64 * f.weight_b as f64).sum()
     }
 
     fn normalized(&self, a: &IdString, b: &IdString) -> f64 {
@@ -342,7 +346,7 @@ fn find_all(haystack: &[TokenId], needle: &[TokenId]) -> Vec<usize> {
 /// (in either string) is not strictly contained inside an appearance of an
 /// already-kept longer candidate.
 fn independence_filter(mut features: Vec<RawFeature>) -> Vec<RawFeature> {
-    features.sort_by(|x, y| y.tokens.len().cmp(&x.tokens.len()));
+    features.sort_by_key(|f| std::cmp::Reverse(f.tokens.len()));
     // (start, end, len) of kept appearances, per string.
     let mut kept_a: Vec<(usize, usize, usize)> = Vec::new();
     let mut kept_b: Vec<(usize, usize, usize)> = Vec::new();
@@ -361,9 +365,7 @@ fn independence_filter(mut features: Vec<RawFeature>) -> Vec<RawFeature> {
             current_len = len;
         }
         let contained = |intervals: &[(usize, usize, usize)], s: usize| {
-            intervals
-                .iter()
-                .any(|&(ks, ke, kl)| kl > len && ks <= s && s + len <= ke)
+            intervals.iter().any(|&(ks, ke, kl)| kl > len && ks <= s && s + len <= ke)
         };
         let independent_a = f.starts_a.iter().any(|&s| !contained(&kept_a, s));
         let independent_b = f.starts_b.iter().any(|&s| !contained(&kept_b, s));
@@ -391,10 +393,7 @@ mod tests {
         WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
     }
 
-    fn intern_pair(
-        a: &[WeightedToken],
-        b: &[WeightedToken],
-    ) -> (IdString, IdString) {
+    fn intern_pair(a: &[WeightedToken], b: &[WeightedToken]) -> (IdString, IdString) {
         let mut interner = TokenInterner::new();
         let sa: WeightedString = a.iter().cloned().collect();
         let sb: WeightedString = b.iter().cloned().collect();
@@ -601,7 +600,11 @@ mod tests {
         let b = [sym("p", 3)];
         let (ia, ib) = intern_pair(&a, &b);
         let mk = |rule, cut| {
-            KastKernel::new(KastOptions { cut_weight: cut, cut_rule: rule, normalization: Normalization::WeightProduct })
+            KastKernel::new(KastOptions {
+                cut_weight: cut,
+                cut_rule: rule,
+                normalization: Normalization::WeightProduct,
+            })
         };
         assert_eq!(mk(CutRule::AnyOccurrence, 3).raw(&ia, &ib), 9.0);
         assert_eq!(mk(CutRule::PerStringSum, 4).raw(&ia, &ib), 0.0);

@@ -55,7 +55,7 @@ pub trait StringKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::string::{TokenId, IdString};
+    use crate::string::{IdString, TokenId};
 
     /// A trivial kernel counting shared token multiset mass, to exercise
     /// the default normalisation.

@@ -285,9 +285,8 @@ mod tests {
     #[test]
     fn intern_string_preserves_weights_and_order() {
         let mut i = TokenInterner::new();
-        let s: WeightedString = [op("read", 8, 3), op("read", 8, 7), op("write", 4, 1)]
-            .into_iter()
-            .collect();
+        let s: WeightedString =
+            [op("read", 8, 3), op("read", 8, 7), op("write", 4, 1)].into_iter().collect();
         let ids = i.intern_string(&s);
         assert_eq!(ids.len(), 3);
         assert_eq!(ids.ids()[0], ids.ids()[1]); // same literal, same id

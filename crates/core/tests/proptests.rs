@@ -15,11 +15,7 @@ fn arb_bytesig() -> impl Strategy<Value = ByteSig> {
 }
 
 fn arb_opnode() -> impl Strategy<Value = OpNode> {
-    (
-        prop_oneof![Just("read"), Just("write"), Just("lseek"), Just("fsync")],
-        0u64..6,
-        1u64..5,
-    )
+    (prop_oneof![Just("read"), Just("write"), Just("lseek"), Just("fsync")], 0u64..6, 1u64..5)
         .prop_map(|(name, bytes, reps)| {
             OpNode::with_reps(OpLiteral::new(name, ByteSig::single(bytes)), reps)
         })

@@ -86,15 +86,11 @@ impl BagOfWordsKernel {
     /// Collects the ids of all structural literals currently interned and
     /// uses them as separators.
     pub fn with_structural_separators(interner: &mut TokenInterner) -> Self {
-        let separators = [
-            TokenLiteral::Root,
-            TokenLiteral::Handle,
-            TokenLiteral::Block,
-            TokenLiteral::LevelUp,
-        ]
-        .iter()
-        .map(|lit| interner.intern(lit))
-        .collect();
+        let separators =
+            [TokenLiteral::Root, TokenLiteral::Handle, TokenLiteral::Block, TokenLiteral::LevelUp]
+                .iter()
+                .map(|lit| interner.intern(lit))
+                .collect();
         BagOfWordsKernel::new(separators)
     }
 
@@ -177,13 +173,8 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let b: WeightedString = [
-            structural(TokenLiteral::Block),
-            sym("p", 1),
-            sym("q", 1),
-        ]
-        .into_iter()
-        .collect();
+        let b: WeightedString =
+            [structural(TokenLiteral::Block), sym("p", 1), sym("q", 1)].into_iter().collect();
         let k = BagOfWordsKernel::with_structural_separators(&mut i);
         let (ia, ib) = (i.intern_string(&a), i.intern_string(&b));
         // Shared word [p q]: 2·2 = 4; the lone [p] word of `a` is unmatched.

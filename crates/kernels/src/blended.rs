@@ -118,9 +118,7 @@ mod tests {
         let a = intern(&[sym("p", 2), sym("q", 1), sym("p", 2)], &mut i);
         let b = intern(&[sym("q", 3), sym("p", 1), sym("q", 3)], &mut i);
         let blended = BlendedSpectrumKernel::new(3).raw(&a, &b);
-        let summed: f64 = (1..=3)
-            .map(|k| KSpectrumKernel::new(k).raw(&a, &b))
-            .sum();
+        let summed: f64 = (1..=3).map(|k| KSpectrumKernel::new(k).raw(&a, &b)).sum();
         assert_eq!(blended, summed);
     }
 

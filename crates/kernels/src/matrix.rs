@@ -167,10 +167,10 @@ where
 
     // Each worker computes full rows of the upper triangle, striped so the
     // (uneven) row lengths balance out.
-    let rows: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::scope(|scope| {
+    let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc = Vec::new();
                     let mut i = t;
                     while i < n {
@@ -184,8 +184,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("gram worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     for chunk in rows {
         for (i, row) in chunk {
@@ -230,9 +229,7 @@ mod tests {
             .map(|spec| {
                 let s: WeightedString = spec
                     .iter()
-                    .map(|&(name, w)| {
-                        WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
-                    })
+                    .map(|&(name, w)| WeightedToken::new(TokenLiteral::Sym(name.to_string()), w))
                     .collect();
                 interner.intern_string(&s)
             })

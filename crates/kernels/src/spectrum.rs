@@ -42,15 +42,9 @@ pub(crate) fn kgram_features(
     map
 }
 
-pub(crate) fn dot(
-    a: &HashMap<Vec<TokenId>, f64>,
-    b: &HashMap<Vec<TokenId>, f64>,
-) -> f64 {
+pub(crate) fn dot(a: &HashMap<Vec<TokenId>, f64>, b: &HashMap<Vec<TokenId>, f64>) -> f64 {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    small
-        .iter()
-        .filter_map(|(gram, &va)| large.get(gram).map(|&vb| va * vb))
-        .sum()
+    small.iter().filter_map(|(gram, &va)| large.get(gram).map(|&vb| va * vb)).sum()
 }
 
 /// The k-spectrum kernel: inner product of k-gram feature maps.

@@ -52,10 +52,7 @@ impl SubsequenceKernel {
     /// Panics if `k == 0` or `lambda` is not in `(0, 1]`.
     pub fn new(k: usize, lambda: f64) -> Self {
         assert!(k > 0, "subsequence kernel requires k ≥ 1");
-        assert!(
-            lambda > 0.0 && lambda <= 1.0,
-            "decay λ must lie in (0, 1], got {lambda}"
-        );
+        assert!(lambda > 0.0 && lambda <= 1.0, "decay λ must lie in (0, 1], got {lambda}");
         SubsequenceKernel { k, lambda }
     }
 
@@ -111,10 +108,9 @@ impl StringKernel for SubsequenceKernel {
             }
             for i in 1..=n {
                 for j in 1..=m {
-                    dp[idx(i, j)] = dps[idx(i, j)]
-                        + lambda * dp[idx(i - 1, j)]
-                        + lambda * dp[idx(i, j - 1)]
-                        - lambda * lambda * dp[idx(i - 1, j - 1)];
+                    dp[idx(i, j)] =
+                        dps[idx(i, j)] + lambda * dp[idx(i - 1, j)] + lambda * dp[idx(i, j - 1)]
+                            - lambda * lambda * dp[idx(i - 1, j - 1)];
                 }
             }
             let mut next = vec![0.0f64; (n + 1) * (m + 1)];
@@ -147,10 +143,8 @@ mod tests {
     use kastio_core::{TokenInterner, WeightedString};
 
     fn intern(names: &[&str], interner: &mut TokenInterner) -> IdString {
-        let s: WeightedString = names
-            .iter()
-            .map(|n| WeightedToken::new(TokenLiteral::Sym(n.to_string()), 1))
-            .collect();
+        let s: WeightedString =
+            names.iter().map(|n| WeightedToken::new(TokenLiteral::Sym(n.to_string()), 1)).collect();
         interner.intern_string(&s)
     }
 

@@ -17,9 +17,7 @@ fn strings_from(specs: Vec<Vec<(u8, u64)>>) -> Vec<IdString> {
         .map(|spec| {
             let s: WeightedString = spec
                 .into_iter()
-                .map(|(sym, w)| {
-                    WeightedToken::new(TokenLiteral::Sym(format!("s{sym}")), w.max(1))
-                })
+                .map(|(sym, w)| WeightedToken::new(TokenLiteral::Sym(format!("s{sym}")), w.max(1)))
                 .collect();
             interner.intern_string(&s)
         })

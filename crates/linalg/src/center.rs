@@ -24,10 +24,7 @@ pub fn center_gram(k: &SquareMatrix) -> SquareMatrix {
         return k.clone();
     }
     let nf = n as f64;
-    let mut row_means = vec![0.0; n];
-    for i in 0..n {
-        row_means[i] = k.row(i).iter().sum::<f64>() / nf;
-    }
+    let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
     let total_mean = row_means.iter().sum::<f64>() / nf;
     let mut out = SquareMatrix::zeros(n);
     for i in 0..n {

@@ -70,8 +70,7 @@ impl Eigen {
 pub(crate) fn reconstruct_with(vectors: &SquareMatrix, values: &[f64]) -> SquareMatrix {
     let n = vectors.n();
     let mut out = SquareMatrix::zeros(n);
-    for c in 0..n {
-        let lambda = values[c];
+    for (c, &lambda) in values.iter().enumerate() {
         if lambda == 0.0 {
             continue;
         }

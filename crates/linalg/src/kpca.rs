@@ -92,10 +92,7 @@ impl KernelPca {
         let centred = center_gram(gram);
         let eig = eigh(&centred)?;
         let eps = 1e-10 * centred.frobenius_norm().max(1.0);
-        let kept: Vec<usize> = (0..n)
-            .filter(|&c| eig.values[c] > eps)
-            .take(n_components)
-            .collect();
+        let kept: Vec<usize> = (0..n).filter(|&c| eig.values[c] > eps).take(n_components).collect();
         if kept.is_empty() {
             return Err(KpcaError::DegenerateSpectrum);
         }
@@ -207,12 +204,8 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 let d2_kernel = centred.get(i, i) + centred.get(j, j) - 2.0 * centred.get(i, j);
-                let d2_coords: f64 = pca
-                    .coords(i)
-                    .iter()
-                    .zip(pca.coords(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2_coords: f64 =
+                    pca.coords(i).iter().zip(pca.coords(j)).map(|(a, b)| (a - b) * (a - b)).sum();
                 assert!((d2_kernel - d2_coords).abs() < 1e-8, "({i},{j})");
             }
         }

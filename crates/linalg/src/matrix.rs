@@ -119,9 +119,7 @@ impl SquareMatrix {
     /// Panics if `v.len() != n`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.n, "vector length must match");
-        (0..self.n)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.n).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Matrix–matrix product `self · other`.
@@ -195,11 +193,7 @@ impl SquareMatrix {
     /// Panics if the sides differ.
     pub fn max_abs_diff(&self, other: &SquareMatrix) -> f64 {
         assert_eq!(self.n, other.n, "matrix sides must match");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

@@ -54,9 +54,8 @@ pub fn eigh_ql(a: &SquareMatrix) -> Result<Eigen, EigenError> {
 
     // Working copy; `z` accumulates the Householder transforms and later
     // the QL rotations, so its columns end up as eigenvectors.
-    let mut z: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| 0.5 * (a.get(i, j) + a.get(j, i))).collect())
-        .collect();
+    let mut z: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| 0.5 * (a.get(i, j) + a.get(j, i))).collect()).collect();
     let mut diag = vec![0.0f64; n];
     let mut off = vec![0.0f64; n];
 
@@ -79,6 +78,9 @@ pub fn eigh_ql(a: &SquareMatrix) -> Result<Eigen, EigenError> {
 /// Householder reduction to tridiagonal form (Numerical Recipes `tred2`).
 /// On exit `z` holds the accumulated orthogonal transform, `diag` the
 /// diagonal and `off` the subdiagonal (off[0] unused).
+// Index loops mirror the published algorithm; iterator forms would obscure
+// the simultaneous row/column accesses.
+#[allow(clippy::needless_range_loop)]
 fn tred2(z: &mut [Vec<f64>], diag: &mut [f64], off: &mut [f64]) {
     let n = z.len();
     for i in (1..n).rev() {

@@ -161,10 +161,7 @@ impl OpKind {
     /// Operations without a byte count (e.g. `lseek`) always record zero
     /// bytes; compression rule 4 of the paper exploits exactly that.
     pub fn carries_bytes(&self) -> bool {
-        matches!(
-            self,
-            OpKind::Read | OpKind::Write | OpKind::Ftruncate | OpKind::Custom(_)
-        )
+        matches!(self, OpKind::Read | OpKind::Write | OpKind::Ftruncate | OpKind::Custom(_))
     }
 }
 
@@ -232,8 +229,18 @@ mod tests {
     #[test]
     fn opkind_parse_roundtrips_known_names() {
         for name in [
-            "open", "close", "read", "write", "lseek", "fsync", "ftruncate", "fileno", "mmap",
-            "fscanf", "ftell", "fstat",
+            "open",
+            "close",
+            "read",
+            "write",
+            "lseek",
+            "fsync",
+            "ftruncate",
+            "fileno",
+            "mmap",
+            "fscanf",
+            "ftell",
+            "fstat",
         ] {
             let kind = OpKind::parse(name);
             assert_eq!(kind.name(), name, "round-trip failed for {name}");

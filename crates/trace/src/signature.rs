@@ -107,9 +107,7 @@ fn periodicity(volumes: &[f64]) -> f64 {
     }
     let mut best = f64::NEG_INFINITY;
     for lag in 1..=n / 2 {
-        let num: f64 = (0..n - lag)
-            .map(|i| (volumes[i] - mean) * (volumes[i + lag] - mean))
-            .sum();
+        let num: f64 = (0..n - lag).map(|i| (volumes[i] - mean) * (volumes[i + lag] - mean)).sum();
         best = best.max(num / denom);
     }
     best.clamp(-1.0, 1.0)
@@ -190,7 +188,8 @@ mod tests {
 
     #[test]
     fn signatures_are_bounded() {
-        let t = parse_trace("h0 write 10\nh0 read 5\nh0 write 0\nh0 read 99\nh0 write 7\n").unwrap();
+        let t =
+            parse_trace("h0 write 10\nh0 read 5\nh0 write 0\nh0 read 99\nh0 write 7\n").unwrap();
         let sig = PatternSignature::of(&t, SignatureConfig { window: 2, gram: 2 });
         assert!((-1.0..=1.0).contains(&sig.burstiness));
         assert!((-1.0..=1.0).contains(&sig.periodicity));

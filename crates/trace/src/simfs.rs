@@ -155,10 +155,7 @@ impl SimFs {
         self.files.entry(path.to_string()).or_default();
         let fd = Fd(self.next_fd);
         self.next_fd += 1;
-        self.open.insert(
-            fd.raw(),
-            OpenFile { path: path.to_string(), handle, offset: 0 },
-        );
+        self.open.insert(fd.raw(), OpenFile { path: path.to_string(), handle, offset: 0 });
         self.record(handle, OpKind::Open, 0);
         Ok(fd)
     }
@@ -415,7 +412,8 @@ mod tests {
         fs.close(fb).unwrap();
         fs.close(fa).unwrap();
         let t = fs.into_trace();
-        let bytes: Vec<u64> = t.iter().filter(|o| o.kind == OpKind::Write).map(|o| o.bytes).collect();
+        let bytes: Vec<u64> =
+            t.iter().filter(|o| o.kind == OpKind::Write).map(|o| o.bytes).collect();
         assert_eq!(bytes, vec![1, 2, 3]);
     }
 

@@ -54,11 +54,13 @@ pub struct ParseTraceError {
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            ParseTraceErrorKind::WrongFieldCount { found } => write!(
-                f,
-                "line {}: expected 3 fields `<handle> <op> <bytes>`, found {}",
-                self.line, found
-            ),
+            ParseTraceErrorKind::WrongFieldCount { found } => {
+                write!(
+                    f,
+                    "line {}: expected 3 fields `<handle> <op> <bytes>`, found {}",
+                    self.line, found
+                )
+            }
             ParseTraceErrorKind::BadHandle { field } => {
                 write!(f, "line {}: invalid handle `{}`", self.line, field)
             }

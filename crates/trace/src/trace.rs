@@ -76,22 +76,14 @@ impl Trace {
     /// This is the first preprocessing step of the paper's pipeline; see
     /// [`OpKind::is_negligible`].
     pub fn without_negligible(&self) -> Trace {
-        self.ops
-            .iter()
-            .filter(|op| !op.kind.is_negligible())
-            .cloned()
-            .collect()
+        self.ops.iter().filter(|op| !op.kind.is_negligible()).cloned().collect()
     }
 
     /// Returns the chronological sub-trace of a single handle.
     ///
     /// The relative order of the handle's operations is preserved.
     pub fn for_handle(&self, handle: HandleId) -> Trace {
-        self.ops
-            .iter()
-            .filter(|op| op.handle == handle)
-            .cloned()
-            .collect()
+        self.ops.iter().filter(|op| op.handle == handle).cloned().collect()
     }
 
     /// Counts operations of a given kind.
@@ -182,10 +174,7 @@ mod tests {
         let t = sample();
         let h0 = t.for_handle(HandleId::new(0));
         let kinds: Vec<&OpKind> = h0.iter().map(|op| &op.kind).collect();
-        assert_eq!(
-            kinds,
-            vec![&OpKind::Open, &OpKind::Write, &OpKind::Fileno, &OpKind::Close]
-        );
+        assert_eq!(kinds, vec![&OpKind::Open, &OpKind::Write, &OpKind::Fileno, &OpKind::Close]);
     }
 
     #[test]

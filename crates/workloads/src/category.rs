@@ -24,12 +24,8 @@ pub enum Category {
 
 impl Category {
     /// All categories in the paper's A–D order.
-    pub const ALL: [Category; 4] = [
-        Category::FlashIo,
-        Category::RandomPosix,
-        Category::NormalIo,
-        Category::RandomAccess,
-    ];
+    pub const ALL: [Category; 4] =
+        [Category::FlashIo, Category::RandomPosix, Category::NormalIo, Category::RandomAccess];
 
     /// The paper's single-letter tag.
     pub fn tag(self) -> char {

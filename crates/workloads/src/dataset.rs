@@ -14,9 +14,9 @@ use crate::generators::{
     flash_io, ior_random_access, ior_sequential, random_posix, FlashIoParams, IorParams,
     RandomPosixParams,
 };
-use crate::mutate::{mutate, MutationConfig};
 #[allow(unused_imports)] // referenced by doc links
 use crate::mutate::MutationKind;
+use crate::mutate::{mutate, MutationConfig};
 
 /// One labelled example: a trace plus its ground-truth category.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,10 +105,10 @@ impl Dataset {
         let mut examples = Vec::with_capacity(shape.total());
 
         let emit = |examples: &mut Vec<Example>,
-                        rng: &mut StdRng,
-                        category: Category,
-                        base_idx: usize,
-                        base: Trace| {
+                    rng: &mut StdRng,
+                    category: Category,
+                    base_idx: usize,
+                    base: Trace| {
             examples.push(Example {
                 name: format!("{}{:02}", category.tag(), base_idx),
                 category,

@@ -137,10 +137,8 @@ pub fn import_dataset(dir: &Path) -> Result<Dataset, DatasetIoError> {
                 DatasetIoError::Io(e)
             }
         })?;
-        let trace = parse_trace(&text).map_err(|source| DatasetIoError::Parse {
-            file: file.display().to_string(),
-            source,
-        })?;
+        let trace = parse_trace(&text)
+            .map_err(|source| DatasetIoError::Parse { file: file.display().to_string(), source })?;
         examples.push(Example { name: name.to_string(), category, trace });
     }
     Ok(Dataset::from_examples(examples))

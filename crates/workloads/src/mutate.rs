@@ -52,11 +52,8 @@ impl MutationKind {
     ];
 
     /// The literal-stable kinds (see module docs).
-    pub const WEIGHT_ONLY: [MutationKind; 3] = [
-        MutationKind::DuplicateOp,
-        MutationKind::DropOp,
-        MutationKind::DuplicateBlock,
-    ];
+    pub const WEIGHT_ONLY: [MutationKind; 3] =
+        [MutationKind::DuplicateOp, MutationKind::DropOp, MutationKind::DuplicateBlock];
 
     /// The default mix used for the paper dataset: weight perturbations
     /// plus small byte-size perturbations. Operation kinds are never
@@ -203,8 +200,7 @@ pub fn mutate(trace: &Trace, config: &MutationConfig, seed: u64) -> Trace {
                 if let Some(&at) = pick(&mut rng, &candidates) {
                     let op = &mut ops[at];
                     if op.kind.carries_bytes() && op.bytes > 0 {
-                        let span =
-                            (op.bytes * config.max_byte_delta_percent as u64 / 100).max(1);
+                        let span = (op.bytes * config.max_byte_delta_percent as u64 / 100).max(1);
                         let delta = rng.gen_range(0..=2 * span) as i64 - span as i64;
                         op.bytes = (op.bytes as i64 + delta).max(1) as u64;
                     }
@@ -235,10 +231,8 @@ mod tests {
     use kastio_trace::parse_trace;
 
     fn base() -> Trace {
-        parse_trace(
-            "h0 open 0\nh0 write 64\nh0 write 64\nh0 write 64\nh0 read 32\nh0 close 0\n",
-        )
-        .unwrap()
+        parse_trace("h0 open 0\nh0 write 64\nh0 write 64\nh0 write 64\nh0 read 32\nh0 close 0\n")
+            .unwrap()
     }
 
     #[test]

@@ -34,10 +34,8 @@ fn main() {
         ),
         Expr::var("f"),
     );
-    let unrelated = Expr::call(
-        "hypot",
-        vec![Expr::call("sqrt", vec![Expr::var("p")]), Expr::num(2)],
-    );
+    let unrelated =
+        Expr::call("hypot", vec![Expr::call("sqrt", vec![Expr::var("p")]), Expr::num(2)]);
 
     let mut interner = TokenInterner::new();
     let programs = [

@@ -7,19 +7,15 @@
 use std::collections::BTreeMap;
 
 use kastio::{
-    adjusted_rand_index, gram_matrix, hierarchical, pattern_string, psd_repair, ByteMode,
-    Dataset, DistanceMatrix, GramMode, KastKernel, KastOptions, KernelPca, Linkage,
-    SquareMatrix, TokenInterner,
+    adjusted_rand_index, gram_matrix, hierarchical, pattern_string, psd_repair, ByteMode, Dataset,
+    DistanceMatrix, GramMode, KastKernel, KastOptions, KernelPca, Linkage, SquareMatrix,
+    TokenInterner,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §4.1: 22 base examples + 4 synthetic copies each = 110 examples.
     let dataset = Dataset::paper(20170904);
-    println!(
-        "dataset: {} examples, per category {:?}",
-        dataset.len(),
-        dataset.counts()
-    );
+    println!("dataset: {} examples, per category {:?}", dataset.len(), dataset.counts());
 
     // Stage 1+2: every trace becomes a weighted string (byte info kept).
     let mut interner = TokenInterner::new();
@@ -58,11 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let labels3 = dendro.cut(3);
 
     // Expected: {A}, {B}, {C∪D}.
-    let expected: Vec<usize> = dataset
-        .labels()
-        .iter()
-        .map(|&l| if l >= 2 { 2 } else { l })
-        .collect();
+    let expected: Vec<usize> =
+        dataset.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
     let ari = adjusted_rand_index(&labels3, &expected);
     println!("\n3-cluster ARI vs {{A}},{{B}},{{C∪D}}: {ari:.3}");
     assert!((ari - 1.0).abs() < 1e-12, "paper: no misplaced examples");

@@ -57,10 +57,7 @@ fn main() {
 
     let fpp_scale = kernel.normalized(&strings[0], &strings[1]);
     let cross = kernel.normalized(&strings[0], &strings[3]);
-    assert!(
-        fpp_scale > cross,
-        "the same layout at different scales beats different layouts"
-    );
+    assert!(fpp_scale > cross, "the same layout at different scales beats different layouts");
     println!("\nfile-per-process at 2 vs 8 ranks: {fpp_scale:.4}");
     println!("file-per-process vs shared-file : {cross:.4}");
     println!("=> scale changes the pattern less than the file layout does");

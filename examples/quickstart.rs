@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s3 = interner.intern_string(&pattern_string(&reader, ByteMode::Preserve));
 
     println!("checkpointer          : {}", pattern_string(&checkpointer, ByteMode::Preserve));
-    println!("checkpointer variant  : {}", pattern_string(&checkpointer_variant, ByteMode::Preserve));
+    println!(
+        "checkpointer variant  : {}",
+        pattern_string(&checkpointer_variant, ByteMode::Preserve)
+    );
     println!("random reader         : {}\n", pattern_string(&reader, ByteMode::Preserve));
 
     // Kast Spectrum Kernel (§3.2), cut weight 2.

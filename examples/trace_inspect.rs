@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example trace_inspect`.
 
-use kastio::{
-    build_tree, compress_tree, flatten_tree, parse_trace, ByteMode, CompressOptions,
-};
+use kastio::{build_tree, compress_tree, flatten_tree, parse_trace, ByteMode, CompressOptions};
 
 const TRACE: &str = "\
 # two interleaved handles, as in Figure 1 of the paper

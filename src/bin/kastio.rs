@@ -135,10 +135,8 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
     let dataset = import_dataset(Path::new(dir)).map_err(|e| e.to_string())?;
     let mode = byte_mode(flags);
     let mut interner = TokenInterner::new();
-    let strings: Vec<_> = dataset
-        .iter()
-        .map(|e| interner.intern_string(&pattern_string(&e.trace, mode)))
-        .collect();
+    let strings: Vec<_> =
+        dataset.iter().map(|e| interner.intern_string(&pattern_string(&e.trace, mode))).collect();
     let kernel = KastKernel::new(KastOptions::with_cut_weight(flags.cut));
     let gram = gram_matrix(&kernel, &strings, GramMode::Normalized, 0);
     let square = SquareMatrix::from_row_major(gram.n(), gram.as_slice().to_vec());

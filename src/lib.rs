@@ -74,8 +74,8 @@ pub use kastio_cluster::{
 };
 pub use kastio_core::{
     build_tree, compress_tree, flatten_tree, pattern_string, ByteMode, CompressOptions, CutRule,
-    IdString, KastKernel, KastOptions, Normalization, PatternPipeline, PatternTree,
-    StringKernel, TokenInterner, WeightedString,
+    IdString, KastKernel, KastOptions, Normalization, PatternPipeline, PatternTree, StringKernel,
+    TokenInterner, WeightedString,
 };
 pub use kastio_kernels::{
     gram_matrix, BagOfTokensKernel, BagOfWordsKernel, BlendedSpectrumKernel, GramMode,

@@ -5,9 +5,9 @@
 //! no-byte-information prose result.
 
 use kastio::{
-    adjusted_rand_index, gram_matrix, hierarchical, pattern_string, psd_repair, purity,
-    ByteMode, Dataset, DistanceMatrix, GramMode, IdString, KastKernel, KastOptions, Linkage,
-    SquareMatrix, StringKernel, TokenInterner,
+    adjusted_rand_index, gram_matrix, hierarchical, pattern_string, psd_repair, purity, ByteMode,
+    Dataset, DistanceMatrix, GramMode, IdString, KastKernel, KastOptions, Linkage, SquareMatrix,
+    StringKernel, TokenInterner,
 };
 
 const SEED: u64 = 20170904;
@@ -15,10 +15,8 @@ const SEED: u64 = 20170904;
 fn prepared(mode: ByteMode) -> (Dataset, Vec<IdString>) {
     let ds = Dataset::paper(SEED);
     let mut interner = TokenInterner::new();
-    let strings = ds
-        .iter()
-        .map(|e| interner.intern_string(&pattern_string(&e.trace, mode)))
-        .collect();
+    let strings =
+        ds.iter().map(|e| interner.intern_string(&pattern_string(&e.trace, mode))).collect();
     (ds, strings)
 }
 
@@ -40,8 +38,7 @@ fn figure7_three_groups_with_byte_information() {
     let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
     let labels = cluster_labels(&kernel, &strings, 3);
     // {A}, {B}, {C∪D} with no misplaced examples.
-    let expected: Vec<usize> =
-        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    let expected: Vec<usize> = ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
     assert_eq!(purity(&labels, &expected), 1.0);
     assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
 }
@@ -63,8 +60,7 @@ fn no_byte_information_only_separates_random_posix_at_small_cut() {
     assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
     // And the 3-cut does NOT recover the byte-information grouping.
     let labels3 = cluster_labels(&kernel, &strings, 3);
-    let expected3: Vec<usize> =
-        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    let expected3: Vec<usize> = ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
     assert!(adjusted_rand_index(&labels3, &expected3) < 0.9);
 }
 
@@ -73,8 +69,7 @@ fn raising_the_cut_weight_recovers_three_groups_without_bytes() {
     let (ds, strings) = prepared(ByteMode::Ignore);
     let kernel = KastKernel::new(KastOptions::with_cut_weight(32));
     let labels = cluster_labels(&kernel, &strings, 3);
-    let expected: Vec<usize> =
-        ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
+    let expected: Vec<usize> = ds.labels().iter().map(|&l| if l >= 2 { 2 } else { l }).collect();
     assert!((adjusted_rand_index(&labels, &expected) - 1.0).abs() < 1e-12);
 }
 

@@ -1,0 +1,53 @@
+//! Smoke coverage for `examples/`.
+//!
+//! Every example is compiled as part of `cargo test` (cargo builds all
+//! example targets for the package under test), and this test drives the
+//! `quickstart` example end-to-end through cargo to assert it also *runs*
+//! to completion.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Examples this crate ships. Kept explicit so that adding an example
+/// without smoke coverage fails the test below.
+const EXAMPLES: &[&str] = &[
+    "ast_compare",
+    "cluster_dataset",
+    "cut_weight_sweep",
+    "explain_similarity",
+    "parallel_io",
+    "quickstart",
+    "trace_inspect",
+];
+
+#[test]
+fn example_list_is_complete() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "rs"))
+        .map(|path| path.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    assert_eq!(found, EXAMPLES, "examples/ and EXAMPLES disagree; update the list");
+}
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo is runnable from a test");
+    assert!(
+        output.status.success(),
+        "quickstart example failed with {}\nstdout:\n{}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.trim().is_empty(), "quickstart prints its similarity report");
+}

@@ -3,9 +3,7 @@
 
 use kastio::trace::{HandleMerge, ParallelTrace};
 use kastio::workloads::generators::{ior_parallel, IorParams};
-use kastio::{
-    pattern_string, ByteMode, KastKernel, KastOptions, StringKernel, TokenInterner,
-};
+use kastio::{pattern_string, ByteMode, KastKernel, KastOptions, StringKernel, TokenInterner};
 
 #[test]
 fn shared_file_and_file_per_process_produce_different_patterns() {
@@ -15,9 +13,7 @@ fn shared_file_and_file_per_process_produce_different_patterns() {
     assert_ne!(shared, fpp);
     // Shared-file: one HANDLE token; file-per-process: one per rank.
     let handles = |s: &kastio::WeightedString| {
-        s.iter()
-            .filter(|t| t.literal == kastio::pattern::TokenLiteral::Handle)
-            .count()
+        s.iter().filter(|t| t.literal == kastio::pattern::TokenLiteral::Handle).count()
     };
     assert_eq!(handles(&shared), 1);
     assert_eq!(handles(&fpp), 4);

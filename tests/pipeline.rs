@@ -64,9 +64,8 @@ fn text_roundtrip_preserves_the_pattern_string() -> Result<(), Box<dyn std::erro
 
 #[test]
 fn byte_modes_agree_on_structure_and_mass() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = parse_trace(
-        "h0 open 0\nh0 write 1\nh0 write 2\nh0 write 2\nh1 open 0\nh1 read 9\nh1 close 0\nh0 close 0\n",
-    )?;
+    let trace =
+        parse_trace("h0 open 0\nh0 write 1\nh0 write 2\nh0 write 2\nh1 open 0\nh1 read 9\nh1 close 0\nh0 close 0\n")?;
     let preserve = build_tree(&trace, ByteMode::Preserve);
     let ignore = build_tree(&trace, ByteMode::Ignore);
     assert_eq!(preserve.mass(), ignore.mass());

@@ -23,36 +23,30 @@ fn arb_opkind() -> impl Strategy<Value = OpKind> {
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     // Up to 3 handles; each handle gets 1–3 blocks of 0–8 operations.
-    proptest::collection::vec(
-        (0u32..3, arb_opkind(), prop_oneof![Just(0u64), 1u64..5000]),
-        0..60,
-    )
-    .prop_map(|raw| {
-        let mut trace = Trace::new();
-        let mut open = [false; 3];
-        for (h, kind, bytes) in raw {
-            let handle = HandleId::new(h);
-            if !open[h as usize] {
-                trace.push(Operation::control(handle, OpKind::Open));
-                open[h as usize] = true;
+    proptest::collection::vec((0u32..3, arb_opkind(), prop_oneof![Just(0u64), 1u64..5000]), 0..60)
+        .prop_map(|raw| {
+            let mut trace = Trace::new();
+            let mut open = [false; 3];
+            for (h, kind, bytes) in raw {
+                let handle = HandleId::new(h);
+                if !open[h as usize] {
+                    trace.push(Operation::control(handle, OpKind::Open));
+                    open[h as usize] = true;
+                }
+                let bytes = if kind.carries_bytes() { bytes } else { 0 };
+                trace.push(Operation::new(handle, kind, bytes));
             }
-            let bytes = if kind.carries_bytes() { bytes } else { 0 };
-            trace.push(Operation::new(handle, kind, bytes));
-        }
-        for (h, is_open) in open.iter().enumerate() {
-            if *is_open {
-                trace.push(Operation::control(HandleId::new(h as u32), OpKind::Close));
+            for (h, is_open) in open.iter().enumerate() {
+                if *is_open {
+                    trace.push(Operation::control(HandleId::new(h as u32), OpKind::Close));
+                }
             }
-        }
-        trace
-    })
+            trace
+        })
 }
 
 fn substantive_ops(trace: &Trace) -> u64 {
-    trace
-        .iter()
-        .filter(|o| !o.kind.is_negligible() && !o.kind.is_block_delimiter())
-        .count() as u64
+    trace.iter().filter(|o| !o.kind.is_negligible() && !o.kind.is_block_delimiter()).count() as u64
 }
 
 fn intern_pair(ta: &Trace, tb: &Trace, mode: ByteMode) -> (IdString, IdString) {
