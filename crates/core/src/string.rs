@@ -128,6 +128,18 @@ impl fmt::Display for TokenId {
 /// practice a dataset only ever contains a few hundred distinct literals,
 /// so a dense `u32` id space makes kernel comparisons cheap.
 ///
+/// # Invariant: one interner per comparison universe
+///
+/// Ids are assigned in first-seen order, so the same literal receives
+/// *different* ids in different interners. Two [`IdString`]s are therefore
+/// only comparable (by a kernel, or by eye in diagnostic output) when they
+/// were interned by the **same** interner. Everything that compares many
+/// strings — `kastio compare`, the Gram-matrix builders, the corpus index
+/// — holds exactly one `TokenInterner` and runs every input through it.
+/// Kernel *values* are unaffected by id numbering (only id equality
+/// matters), but mixing interners silently turns equal literals into
+/// unequal ids and vice versa, which corrupts results.
+///
 /// # Examples
 ///
 /// ```

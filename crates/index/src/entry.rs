@@ -1,0 +1,58 @@
+//! Corpus entries: one ingested, fully preprocessed labelled trace.
+
+use kastio_core::IdString;
+use kastio_trace::{PatternSignature, Trace};
+
+/// Dense identifier of an entry inside one [`crate::PatternIndex`].
+///
+/// Ids are assigned in ingestion order and never reused; they are only
+/// meaningful within the index that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(pub u32);
+
+impl std::fmt::Display for EntryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One indexed example: the original trace plus everything the expensive
+/// part of the pipeline produces, computed once at ingestion time.
+///
+/// Queries never re-run trace→tree→string conversion, interning or the
+/// self-kernel for corpus members — that is the whole point of the index.
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// Identifier assigned at ingestion.
+    pub id: EntryId,
+    /// Human-readable name (unique within the index; used by persistence).
+    pub name: String,
+    /// Ground-truth / user-supplied label, e.g. a workload category.
+    pub label: String,
+    /// The original trace, kept so the index can be saved back to disk in
+    /// the plain-text trace format.
+    pub trace: Trace,
+    /// The interned weighted string (interned by the index's shared
+    /// [`kastio_core::TokenInterner`], so it is comparable with every other
+    /// entry and with interned queries).
+    pub string: IdString,
+    /// Precomputed raw self-kernel `k(e, e)` under the index's options —
+    /// the denominator half of cosine normalisation.
+    pub self_kernel: f64,
+    /// Precomputed `weight_{w≥cut}(e)` — the denominator half of the
+    /// paper's weight-product normalisation.
+    pub cut_mass: u64,
+    /// Scalar pattern signature used by the candidate prefilter.
+    pub signature: PatternSignature,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_id_displays_densely() {
+        assert_eq!(EntryId(7).to_string(), "e7");
+        assert!(EntryId(1) > EntryId(0));
+    }
+}

@@ -1,0 +1,701 @@
+//! The in-memory pattern corpus index.
+//!
+//! [`PatternIndex`] amortises the batch pipeline (trace → pattern tree →
+//! weighted string → interning → self-kernel) across queries: every
+//! ingested trace is preprocessed exactly once, and a k-NN query against a
+//! corpus of `n` entries costs one pipeline run for the query trace plus
+//! full Kast kernel evaluations for only the prefiltered candidate subset
+//! (minus whatever the LRU cache already knows).
+//!
+//! Exactness contract: for every neighbour the index returns, the reported
+//! similarity is **bit-identical** to calling
+//! [`KastKernel::normalized`] directly on the same pair of interned
+//! strings — the index changes *which* pairs are evaluated (prefilter) and
+//! *how often* (cache), never the arithmetic.
+
+use std::collections::HashMap;
+
+use kastio_core::{
+    ByteMode, IdString, KastKernel, KastOptions, Normalization, PatternPipeline, StringKernel,
+    TokenId, TokenInterner,
+};
+use kastio_trace::{PatternSignature, SignatureConfig, Trace};
+
+use crate::entry::{EntryId, IndexEntry};
+use crate::lru::KernelCache;
+use crate::prefilter::{select_candidates, PrefilterConfig};
+
+/// Below this many cache misses a query scores sequentially — spawning
+/// scoped threads costs more than a handful of kernel evaluations.
+const MIN_PARALLEL_MISSES: usize = 8;
+
+/// Configuration of a [`PatternIndex`].
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::IndexOptions;
+///
+/// let opts = IndexOptions::default();
+/// assert_eq!(opts.kast.cut_weight, 2);
+/// assert!(opts.prefilter.enabled);
+/// assert_eq!(opts.cache_capacity, 4096);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// Kast kernel options (cut weight, cut rule, normalisation) applied to
+    /// every pair the index evaluates.
+    pub kast: KastOptions,
+    /// Byte mode of the trace → string conversion.
+    pub byte_mode: ByteMode,
+    /// Windowing of the scalar signature used by the prefilter.
+    pub signature: SignatureConfig,
+    /// Candidate prefilter configuration.
+    pub prefilter: PrefilterConfig,
+    /// Capacity of the pairwise kernel LRU (pairs; 0 disables caching).
+    pub cache_capacity: usize,
+    /// OS threads for batch scoring (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            kast: KastOptions::default(),
+            byte_mode: ByteMode::Preserve,
+            signature: SignatureConfig::default(),
+            prefilter: PrefilterConfig::default(),
+            cache_capacity: 4096,
+            threads: 0,
+        }
+    }
+}
+
+/// Monotonic counters describing the work an index has done.
+///
+/// `kernel_evals` counts *query-time* pairwise Kast evaluations (cache
+/// misses); self-kernels are reported separately — one per ingested trace
+/// in `ingest_evals`, and one per *distinct* cosine query in
+/// `query_self_evals` (repeats of a known query reuse the memoised
+/// value). `kernel_evals + cache_hits` is the total number of
+/// (query, entry) pairs scored, and `prefilter_pruned` the pairs never
+/// scored at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Pairwise kernel evaluations performed while answering queries.
+    pub kernel_evals: u64,
+    /// Query pairs answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Entries skipped by the signature prefilter, summed over queries.
+    pub prefilter_pruned: u64,
+    /// Self-kernel evaluations performed at ingestion.
+    pub ingest_evals: u64,
+    /// Self-kernel evaluations performed for (distinct) queries.
+    pub query_self_evals: u64,
+}
+
+/// One returned neighbour of a k-NN query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The entry's id.
+    pub id: EntryId,
+    /// The entry's name.
+    pub name: String,
+    /// The entry's label.
+    pub label: String,
+    /// Normalised Kast similarity to the query — bit-identical to a direct
+    /// [`KastKernel::normalized`] evaluation of the pair.
+    pub similarity: f64,
+}
+
+/// The result of one k-NN query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Up to `k` nearest entries, descending by similarity (ties broken by
+    /// ingestion order, so results are deterministic).
+    pub neighbors: Vec<Neighbor>,
+    /// Majority-vote label over the returned neighbours; ties are broken
+    /// by summed similarity, then lexicographically. `None` on an empty
+    /// corpus.
+    pub label: Option<String>,
+    /// Candidates that survived the prefilter for this query.
+    pub candidates: usize,
+    /// Full kernel evaluations this query performed (cache misses).
+    pub evaluated: usize,
+    /// Pairs this query answered from the cache.
+    pub cache_hits: usize,
+}
+
+/// The online pattern corpus index.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::{IndexOptions, PatternIndex};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut index = PatternIndex::new(IndexOptions::default());
+/// let writes = parse_trace(&"h0 write 1048576\n".repeat(32))?;
+/// let reads = parse_trace(&"h0 read 4096\n".repeat(32))?;
+/// index.ingest("ckpt", "checkpoint", writes.clone());
+/// index.ingest("scan", "analysis", reads);
+///
+/// let result = index.query(&writes, 1);
+/// assert_eq!(result.neighbors[0].name, "ckpt");
+/// assert_eq!(result.label.as_deref(), Some("checkpoint"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PatternIndex {
+    opts: IndexOptions,
+    pipeline: PatternPipeline,
+    kernel: KastKernel,
+    interner: TokenInterner,
+    entries: Vec<IndexEntry>,
+    signatures: Vec<PatternSignature>,
+    cache: KernelCache,
+    queries: QueryRegistry,
+    stats: IndexStats,
+}
+
+/// Full-content identity of a query string: its exact id and weight
+/// vectors. Used instead of a content *hash* so two distinct queries can
+/// never alias a cache entry — a collision would silently serve the wrong
+/// kernel value and break the bit-identical contract.
+type QueryKey = (Vec<TokenId>, Vec<u64>);
+
+/// What the index remembers about a distinct query: its dense id (the
+/// query half of pair-cache keys) and its memoised self-kernel.
+#[derive(Debug, Clone, Copy)]
+struct QueryInfo {
+    id: u64,
+    self_kernel: Option<f64>,
+}
+
+/// Maps distinct query strings to [`QueryInfo`]. Bounded: when it
+/// outgrows its capacity it resets together with the pair cache (the
+/// dense ids keep increasing, so even a racy mix of old and new entries
+/// could not alias — the reset just keeps memory flat).
+#[derive(Debug, Default)]
+struct QueryRegistry {
+    map: HashMap<QueryKey, QueryInfo>,
+    next_id: u64,
+}
+
+impl PatternIndex {
+    /// Creates an empty index.
+    pub fn new(opts: IndexOptions) -> Self {
+        PatternIndex {
+            opts,
+            pipeline: PatternPipeline::new(opts.byte_mode),
+            kernel: KastKernel::new(opts.kast),
+            interner: TokenInterner::new(),
+            entries: Vec::new(),
+            signatures: Vec::new(),
+            cache: KernelCache::new(opts.cache_capacity),
+            queries: QueryRegistry::default(),
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// The index configuration.
+    pub fn options(&self) -> &IndexOptions {
+        &self.opts
+    }
+
+    /// Number of ingested entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ingested entries, in ingestion order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Number of pairs currently cached.
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Runs the trace → weighted string pipeline and interns the result
+    /// with the index's shared interner, making the returned string
+    /// comparable with every indexed entry (see the [`TokenInterner`]
+    /// same-interner invariant).
+    pub fn intern_trace(&mut self, trace: &Trace) -> IdString {
+        self.interner.intern_string(&self.pipeline.string_of_trace(trace))
+    }
+
+    /// The kernel the index evaluates (for direct cross-checks).
+    pub fn kernel(&self) -> &KastKernel {
+        &self.kernel
+    }
+
+    /// Ingests one labelled trace, running the full preprocessing pipeline
+    /// once: pattern string, interning, self-kernel, cut mass, signature.
+    ///
+    /// Names should be unique within an index — persistence writes one
+    /// file per name, and later duplicates overwrite earlier ones there.
+    pub fn ingest(
+        &mut self,
+        name: impl Into<String>,
+        label: impl Into<String>,
+        trace: Trace,
+    ) -> EntryId {
+        let id = EntryId(self.entries.len() as u32);
+        let string = self.intern_trace(&trace);
+        let self_kernel = self.kernel.raw(&string, &string);
+        self.stats.ingest_evals += 1;
+        let entry = IndexEntry {
+            id,
+            name: name.into(),
+            label: label.into(),
+            signature: PatternSignature::of(&trace, self.opts.signature),
+            cut_mass: string.weight_at_least(self.opts.kast.cut_weight),
+            trace,
+            string,
+            self_kernel,
+        };
+        self.signatures.push(entry.signature);
+        self.entries.push(entry);
+        id
+    }
+
+    /// Answers a k-NN query: the up-to-`k` most similar corpus entries and
+    /// the majority-vote label.
+    ///
+    /// Pipeline: convert + intern the query once, prefilter the corpus by
+    /// signature distance, serve cached pairs from the LRU, score the
+    /// remaining candidates in parallel, merge and rank.
+    pub fn query(&mut self, trace: &Trace, k: usize) -> QueryResult {
+        let query_string = self.intern_trace(trace);
+        let query_signature = PatternSignature::of(trace, self.opts.signature);
+        self.query_interned(&query_string, &query_signature, k)
+    }
+
+    /// [`PatternIndex::query`] for a query that is already converted and
+    /// interned (by [`PatternIndex::intern_trace`]) with its signature.
+    pub fn query_interned(
+        &mut self,
+        query: &IdString,
+        signature: &PatternSignature,
+        k: usize,
+    ) -> QueryResult {
+        self.stats.queries += 1;
+        let budget = self.opts.prefilter.budget_for(k, self.entries.len());
+        let candidates = if budget >= self.entries.len() {
+            (0..self.entries.len()).collect()
+        } else {
+            select_candidates(signature, &self.signatures, budget)
+        };
+        self.stats.prefilter_pruned += (self.entries.len() - candidates.len()) as u64;
+
+        // Resolve the query's exact identity (and memoised self-kernel).
+        let (query_key, query_self) = self.query_identity(query);
+
+        // Serve what the LRU already knows; collect the rest for scoring.
+        let mut raw_values: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for &idx in &candidates {
+            match self.cache.get((query_key, self.entries[idx].id.0)) {
+                Some(value) => raw_values.push((idx, value)),
+                None => misses.push(idx),
+            }
+        }
+        let cache_hits = raw_values.len();
+        let evaluated = misses.len();
+        self.stats.cache_hits += cache_hits as u64;
+        self.stats.kernel_evals += evaluated as u64;
+
+        let scored = self.score_batch(query, &misses);
+        for &(idx, value) in &scored {
+            self.cache.insert((query_key, self.entries[idx].id.0), value);
+        }
+        raw_values.extend(scored);
+
+        // Normalise with the precomputed denominators, replicating
+        // `KastKernel::normalized(query, entry)` bit for bit.
+        let query_mass = query.weight_at_least(self.opts.kast.cut_weight);
+        let mut neighbors: Vec<Neighbor> = raw_values
+            .into_iter()
+            .map(|(idx, kab)| {
+                let entry = &self.entries[idx];
+                let similarity = match self.opts.kast.normalization {
+                    Normalization::Cosine => {
+                        if kab == 0.0 || query_self <= 0.0 || entry.self_kernel <= 0.0 {
+                            0.0
+                        } else {
+                            kab / (query_self * entry.self_kernel).sqrt()
+                        }
+                    }
+                    Normalization::WeightProduct => {
+                        let denom = query_mass as f64 * entry.cut_mass as f64;
+                        if denom <= 0.0 {
+                            0.0
+                        } else {
+                            kab / denom
+                        }
+                    }
+                };
+                Neighbor {
+                    id: entry.id,
+                    name: entry.name.clone(),
+                    label: entry.label.clone(),
+                    similarity,
+                }
+            })
+            .collect();
+        neighbors.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        neighbors.truncate(k);
+        let label = majority_label(&neighbors);
+        QueryResult { neighbors, label, candidates: candidates.len(), evaluated, cache_hits }
+    }
+
+    /// Resolves the query half of pair-cache keys (a dense id assigned to
+    /// the exact string content — never a hash, so distinct queries can
+    /// never alias) and the query self-kernel, memoised per distinct
+    /// query so repeated queries skip the quadratic `raw(q, q)`.
+    ///
+    /// With caching disabled (`cache_capacity == 0`) nothing is
+    /// remembered: the self-kernel is recomputed per query, matching the
+    /// uncached pair path.
+    fn query_identity(&mut self, query: &IdString) -> (u64, f64) {
+        let need_self = self.opts.kast.normalization == Normalization::Cosine;
+        if self.opts.cache_capacity == 0 {
+            let query_self = if need_self {
+                self.stats.query_self_evals += 1;
+                self.kernel.raw(query, query)
+            } else {
+                0.0
+            };
+            return (0, query_self);
+        }
+        // Bound the registry by the cache capacity: past it, reset both
+        // (the pair cache is keyed by these ids, so they retire together).
+        let key: QueryKey = (query.ids().to_vec(), query.weights().to_vec());
+        if self.queries.map.len() >= self.opts.cache_capacity
+            && !self.queries.map.contains_key(&key)
+        {
+            self.queries.map.clear();
+            self.cache.clear();
+        }
+        let next_id = self.queries.next_id;
+        let info =
+            self.queries.map.entry(key).or_insert(QueryInfo { id: next_id, self_kernel: None });
+        if info.id == next_id {
+            self.queries.next_id += 1;
+        }
+        let query_self = if need_self {
+            match info.self_kernel {
+                Some(value) => value,
+                None => {
+                    let value = self.kernel.raw(query, query);
+                    self.stats.query_self_evals += 1;
+                    info.self_kernel = Some(value);
+                    value
+                }
+            }
+        } else {
+            0.0
+        };
+        (info.id, query_self)
+    }
+
+    /// Scores `query` against the entries at `misses`, striping the batch
+    /// across scoped OS threads when it is large enough to pay for them.
+    fn score_batch(&self, query: &IdString, misses: &[usize]) -> Vec<(usize, f64)> {
+        let entries = &self.entries;
+        let kernel = &self.kernel;
+        let threads = effective_threads(self.opts.threads, misses.len());
+        if threads <= 1 || misses.len() < MIN_PARALLEL_MISSES {
+            return misses.iter().map(|&i| (i, kernel.raw(query, &entries[i].string))).collect();
+        }
+        let mut scored: Vec<(usize, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut acc = Vec::new();
+                        let mut at = t;
+                        while at < misses.len() {
+                            let i = misses[at];
+                            acc.push((i, kernel.raw(query, &entries[i].string)));
+                            at += threads;
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("index scorer thread panicked"))
+                .collect()
+        });
+        // Deterministic merge order regardless of thread count.
+        scored.sort_by_key(|&(i, _)| i);
+        scored
+    }
+}
+
+fn effective_threads(requested: usize, work: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.min(work).max(1)
+}
+
+fn majority_label(neighbors: &[Neighbor]) -> Option<String> {
+    let mut tally: Vec<(&str, usize, f64)> = Vec::new();
+    for n in neighbors {
+        match tally.iter_mut().find(|(label, _, _)| *label == n.label) {
+            Some((_, votes, mass)) => {
+                *votes += 1;
+                *mass += n.similarity;
+            }
+            None => tally.push((&n.label, 1, n.similarity)),
+        }
+    }
+    tally
+        .into_iter()
+        .max_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then(b.0.cmp(a.0))
+        })
+        .map(|(label, _, _)| label.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_trace::parse_trace;
+
+    fn checkpoint(blocks: usize) -> Trace {
+        parse_trace(&"h0 write 1048576\n".repeat(blocks)).unwrap()
+    }
+
+    fn scan(blocks: usize) -> Trace {
+        parse_trace(&"h0 read 4096\nh0 lseek 0\n".repeat(blocks)).unwrap()
+    }
+
+    fn small_index() -> PatternIndex {
+        let mut index = PatternIndex::new(IndexOptions::default());
+        for i in 0..4 {
+            index.ingest(format!("w{i}"), "write-heavy", checkpoint(16 + i));
+            index.ingest(format!("r{i}"), "read-heavy", scan(16 + i));
+        }
+        index
+    }
+
+    #[test]
+    fn nearest_neighbor_is_exact() {
+        let mut index = small_index();
+        let result = index.query(&checkpoint(16), 3);
+        assert_eq!(result.neighbors.len(), 3);
+        assert_eq!(result.neighbors[0].name, "w0");
+        assert!((result.neighbors[0].similarity - 1.0).abs() < 1e-12);
+        assert_eq!(result.label.as_deref(), Some("write-heavy"));
+    }
+
+    #[test]
+    fn similarity_matches_direct_kernel_evaluation_bitwise() {
+        let mut index = small_index();
+        let query_trace = checkpoint(40);
+        let query = index.intern_trace(&query_trace);
+        let direct: Vec<(String, f64)> = index
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), index.kernel().normalized(&query, &e.string)))
+            .collect();
+        let result = index.query(&query_trace, index.len());
+        for n in &result.neighbors {
+            let (_, expected) =
+                direct.iter().find(|(name, _)| *name == n.name).expect("entry known");
+            assert_eq!(
+                n.similarity.to_bits(),
+                expected.to_bits(),
+                "{}: index similarity must be bit-identical to direct evaluation",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_reduces_kernel_evaluations() {
+        let mut index = PatternIndex::new(IndexOptions {
+            prefilter: PrefilterConfig { enabled: true, min_candidates: 2, per_k: 1 },
+            ..IndexOptions::default()
+        });
+        for i in 0..6 {
+            index.ingest(format!("w{i}"), "w", checkpoint(12 + i));
+            index.ingest(format!("r{i}"), "r", scan(12 + i));
+        }
+        let result = index.query(&checkpoint(12), 1);
+        assert_eq!(result.candidates, 2);
+        assert_eq!(result.evaluated, 2);
+        assert_eq!(index.stats().prefilter_pruned, 10);
+        // The signature space separates the two families, so the true
+        // nearest neighbour survives the aggressive budget.
+        assert_eq!(result.neighbors[0].name, "w0");
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_cache() {
+        let mut index = small_index();
+        let first = index.query(&scan(20), 4);
+        assert!(first.evaluated > 0);
+        assert_eq!(first.cache_hits, 0);
+        let second = index.query(&scan(20), 4);
+        assert_eq!(second.evaluated, 0, "all pairs cached");
+        assert_eq!(second.cache_hits, first.evaluated + first.cache_hits);
+        assert_eq!(first.neighbors, second.neighbors);
+        let stats = index.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.kernel_evals, first.evaluated as u64);
+        assert_eq!(stats.query_self_evals, 1, "repeat query reuses the memoised self-kernel");
+    }
+
+    #[test]
+    fn cache_capacity_zero_always_reevaluates() {
+        let mut index =
+            PatternIndex::new(IndexOptions { cache_capacity: 0, ..IndexOptions::default() });
+        index.ingest("w", "w", checkpoint(8));
+        let a = index.query(&checkpoint(8), 1);
+        let b = index.query(&checkpoint(8), 1);
+        assert_eq!(a.evaluated, 1);
+        assert_eq!(b.evaluated, 1);
+        assert_eq!(b.cache_hits, 0);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(
+            index.stats().query_self_evals,
+            2,
+            "no caching → the self-kernel is recomputed per query"
+        );
+    }
+
+    #[test]
+    fn query_registry_reset_preserves_correctness() {
+        // Capacity 2: the third distinct query forces a registry + cache
+        // reset; results must stay identical to an unbounded index.
+        let mut bounded =
+            PatternIndex::new(IndexOptions { cache_capacity: 2, ..IndexOptions::default() });
+        let mut unbounded = PatternIndex::new(IndexOptions::default());
+        for i in 0..3 {
+            bounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+            unbounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+        }
+        let probes =
+            [checkpoint(10), scan(10), checkpoint(20), checkpoint(10), scan(10), checkpoint(20)];
+        for probe in &probes {
+            let a = bounded.query(probe, 3);
+            let b = unbounded.query(probe, 3);
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.label, b.label);
+        }
+        assert!(
+            bounded.stats().query_self_evals > unbounded.stats().query_self_evals,
+            "the reset forgot some memoised self-kernels (bounded {} vs unbounded {})",
+            bounded.stats().query_self_evals,
+            unbounded.stats().query_self_evals
+        );
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_result() {
+        let mut index = PatternIndex::new(IndexOptions::default());
+        let result = index.query(&checkpoint(4), 3);
+        assert!(result.neighbors.is_empty());
+        assert_eq!(result.label, None);
+        assert_eq!(result.candidates, 0);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_everything() {
+        let mut index = small_index();
+        let result = index.query(&checkpoint(16), 100);
+        assert_eq!(result.neighbors.len(), index.len());
+    }
+
+    #[test]
+    fn majority_vote_breaks_ties_by_similarity_mass() {
+        let neighbors = vec![
+            Neighbor { id: EntryId(0), name: "a".into(), label: "x".into(), similarity: 0.9 },
+            Neighbor { id: EntryId(1), name: "b".into(), label: "y".into(), similarity: 0.2 },
+            Neighbor { id: EntryId(2), name: "c".into(), label: "y".into(), similarity: 0.3 },
+            Neighbor { id: EntryId(3), name: "d".into(), label: "x".into(), similarity: 0.1 },
+        ];
+        // Two votes each; x has mass 1.0, y has 0.5.
+        assert_eq!(majority_label(&neighbors).as_deref(), Some("x"));
+        assert_eq!(majority_label(&[]), None);
+    }
+
+    #[test]
+    fn parallel_and_sequential_scoring_agree_bitwise() {
+        let mut sequential = PatternIndex::new(IndexOptions {
+            threads: 1,
+            prefilter: PrefilterConfig { enabled: false, ..PrefilterConfig::default() },
+            cache_capacity: 0,
+            ..IndexOptions::default()
+        });
+        let mut parallel = PatternIndex::new(IndexOptions {
+            threads: 4,
+            prefilter: PrefilterConfig { enabled: false, ..PrefilterConfig::default() },
+            cache_capacity: 0,
+            ..IndexOptions::default()
+        });
+        for i in 0..MIN_PARALLEL_MISSES + 4 {
+            sequential.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+            parallel.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+        }
+        let q = scan(10);
+        let a = sequential.query(&q, 20);
+        let b = parallel.query(&q, 20);
+        assert_eq!(a.neighbors.len(), b.neighbors.len());
+        for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.similarity.to_bits(), y.similarity.to_bits());
+        }
+    }
+
+    #[test]
+    fn weight_product_normalisation_matches_direct_evaluation() {
+        let mut index = PatternIndex::new(IndexOptions {
+            kast: KastOptions {
+                normalization: Normalization::WeightProduct,
+                ..KastOptions::with_cut_weight(2)
+            },
+            ..IndexOptions::default()
+        });
+        index.ingest("w", "w", checkpoint(16));
+        index.ingest("r", "r", scan(16));
+        let query_trace = checkpoint(12);
+        let query = index.intern_trace(&query_trace);
+        let direct: Vec<f64> =
+            index.entries().iter().map(|e| index.kernel().normalized(&query, &e.string)).collect();
+        let result = index.query(&query_trace, 2);
+        for n in &result.neighbors {
+            let expected = direct[n.id.0 as usize];
+            assert_eq!(n.similarity.to_bits(), expected.to_bits());
+        }
+    }
+}

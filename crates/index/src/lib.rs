@@ -1,0 +1,65 @@
+//! # kastio-index
+//!
+//! An **online pattern-corpus index** over the paper's pipeline, turning
+//! the batch tool into a long-running service. The batch flow re-parses,
+//! re-interns and re-evaluates everything per invocation; the index
+//! ingests each labelled trace once — precomputing its interned
+//! [`kastio_core::IdString`] (shared [`kastio_core::TokenInterner`]), its
+//! raw self-kernel, its cut-weight mass and its scalar
+//! [`kastio_trace::PatternSignature`] — and then answers k-NN similarity
+//! and majority-vote classification queries with three accelerations:
+//!
+//! 1. a **signature prefilter** ([`prefilter`]) that ranks the corpus by
+//!    cheap scalar distance and hands only a budgeted candidate subset to
+//!    the kernel stage;
+//! 2. an **LRU cache** ([`lru`]) of pairwise raw kernel values, so
+//!    repeated or neighbouring queries stop paying for the quadratic
+//!    string comparison;
+//! 3. **scoped-thread batch scoring** — the surviving candidates are
+//!    striped across OS threads (`std::thread::scope`, no async runtime).
+//!
+//! Accuracy contract: the similarity reported for every returned
+//! neighbour is bit-identical to a direct [`kastio_core::KastKernel`]
+//! evaluation of the same pair; prefilter and cache change which pairs
+//! are evaluated and how often, never the arithmetic.
+//!
+//! [`persist`] stores a corpus as plain-text trace files (+ `MANIFEST`),
+//! the same layout `kastio generate` emits, so an index survives restarts
+//! and datasets load directly. [`server`] wraps the index in a
+//! `TcpListener` daemon speaking the line protocol of [`protocol`]
+//! (`INGEST` / `QUERY` / `STATS` / `SHUTDOWN`), and the `kastio serve` /
+//! `kastio query` subcommands front it on the command line.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kastio_index::{IndexOptions, PatternIndex};
+//! use kastio_trace::parse_trace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut index = PatternIndex::new(IndexOptions::default());
+//! index.ingest("ckpt", "checkpoint", parse_trace(&"h0 write 1048576\n".repeat(32))?);
+//! index.ingest("scan", "analysis", parse_trace(&"h0 read 4096\n".repeat(32))?);
+//!
+//! let result = index.query(&parse_trace(&"h0 write 1048576\n".repeat(24))?, 1);
+//! assert_eq!(result.label.as_deref(), Some("checkpoint"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod entry;
+pub mod index;
+pub mod lru;
+pub mod persist;
+pub mod prefilter;
+pub mod protocol;
+pub mod server;
+
+pub use entry::{EntryId, IndexEntry};
+pub use index::{IndexOptions, IndexStats, Neighbor, PatternIndex, QueryResult};
+pub use kastio_trace::CorpusIoError;
+pub use lru::KernelCache;
+pub use persist::{load_index, save_index};
+pub use prefilter::PrefilterConfig;
+pub use protocol::{decode_trace_inline, encode_trace_inline, parse_request, read_reply, Request};
+pub use server::Server;

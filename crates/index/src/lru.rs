@@ -1,0 +1,242 @@
+//! A small fixed-capacity LRU map for pairwise kernel values.
+//!
+//! The Kast kernel is by far the most expensive operation in the serving
+//! path (quadratic in string length per pair). Query traffic is heavily
+//! repetitive — monitoring systems re-submit the same workload, batch
+//! classifiers probe the same neighbourhoods — so an LRU over
+//! `(query, entry) → raw kernel value` turns the second occurrence of a
+//! pair into a hash lookup.
+//!
+//! Implemented as a `HashMap` into a slab of doubly-linked nodes, giving
+//! O(1) get/insert/evict without any external dependency.
+
+use std::collections::HashMap;
+
+/// Cache key: the query's dense content id (assigned by the index's query
+/// registry — deliberately *not* a hash, since a collision would silently
+/// serve the wrong kernel value) plus the entry id.
+pub type PairKey = (u64, u32);
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: PairKey,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU map `PairKey → f64`.
+///
+/// Capacity 0 disables caching entirely (every lookup misses, inserts are
+/// dropped) — useful for measuring the uncached path.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::lru::KernelCache;
+///
+/// let mut cache = KernelCache::new(2);
+/// cache.insert((1, 0), 0.5);
+/// cache.insert((2, 0), 0.25);
+/// assert_eq!(cache.get((1, 0)), Some(0.5)); // (1,0) is now most recent
+/// cache.insert((3, 0), 0.125);              // evicts (2,0)
+/// assert_eq!(cache.get((2, 0)), None);
+/// assert_eq!(cache.get((1, 0)), Some(0.5));
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelCache {
+    capacity: usize,
+    map: HashMap<PairKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl KernelCache {
+    /// Creates a cache holding at most `capacity` pairs.
+    pub fn new(capacity: usize) -> Self {
+        KernelCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a pair, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: PairKey) -> Option<f64> {
+        let &slot = self.map.get(&key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.nodes[slot].value)
+    }
+
+    /// Inserts (or refreshes) a pair, evicting the least-recently used
+    /// pair when full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: PairKey, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.nodes[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.nodes[lru].key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Node { key, value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.nodes.push(Node { key, value, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Drops every cached pair, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_on_empty_misses() {
+        let mut c = KernelCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.get((0, 0)), None);
+    }
+
+    #[test]
+    fn insert_then_get_hits() {
+        let mut c = KernelCache::new(4);
+        c.insert((9, 3), 1.25);
+        assert_eq!(c.get((9, 3)), Some(1.25));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = KernelCache::new(3);
+        for i in 0..3u32 {
+            c.insert((i as u64, i), i as f64);
+        }
+        // Touch (0,0) so (1,1) becomes the LRU.
+        assert!(c.get((0, 0)).is_some());
+        c.insert((3, 3), 3.0);
+        assert_eq!(c.get((1, 1)), None, "the untouched pair is evicted");
+        assert!(c.get((0, 0)).is_some());
+        assert!(c.get((2, 2)).is_some());
+        assert!(c.get((3, 3)).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = KernelCache::new(2);
+        c.insert((1, 1), 1.0);
+        c.insert((2, 2), 2.0);
+        c.insert((1, 1), 10.0); // refresh: (2,2) is now LRU
+        c.insert((3, 3), 3.0);
+        assert_eq!(c.get((2, 2)), None);
+        assert_eq!(c.get((1, 1)), Some(10.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = KernelCache::new(0);
+        c.insert((1, 1), 1.0);
+        assert_eq!(c.get((1, 1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut c = KernelCache::new(2);
+        c.insert((1, 1), 1.0);
+        c.clear();
+        assert!(c.is_empty());
+        c.insert((2, 2), 2.0);
+        assert_eq!(c.get((2, 2)), Some(2.0));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = KernelCache::new(16);
+        for i in 0..1000u32 {
+            c.insert((i as u64, i), i as f64);
+            assert!(c.len() <= 16);
+        }
+        // The 16 most recent survive.
+        for i in 984..1000u32 {
+            assert_eq!(c.get((i as u64, i)), Some(i as f64));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Saving and loading an index corpus as plain-text trace files.
+//!
+//! The on-disk layout is [`kastio_trace::corpus`]'s — the same one the
+//! batch tools speak: a directory of `<name>.trace` files plus a
+//! `MANIFEST` of `<name> <label>` lines. A dataset exported by `kastio
+//! generate` therefore loads directly into an index (the category tags
+//! become labels), and a corpus built up over a serving session survives
+//! restarts.
+
+use std::path::Path;
+
+use kastio_trace::{read_corpus, write_corpus, CorpusIoError};
+
+use crate::index::{IndexOptions, PatternIndex};
+
+/// Writes every entry of `index` into `dir` as `<name>.trace` plus a
+/// `MANIFEST` of `<name> <label>` lines, creating the directory if needed.
+///
+/// # Errors
+///
+/// Returns [`CorpusIoError::Io`] on any filesystem failure.
+pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<(), CorpusIoError> {
+    write_corpus(dir, index.entries().iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
+}
+
+/// Loads a corpus directory (written by [`save_index`] or by the dataset
+/// exporter) into a fresh index with the given options, ingesting entries
+/// in manifest order.
+///
+/// # Errors
+///
+/// Propagates [`CorpusIoError`] from the directory walk (missing or
+/// malformed manifest entries and trace files).
+pub fn load_index(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, CorpusIoError> {
+    let mut index = PatternIndex::new(opts);
+    for entry in read_corpus(dir)? {
+        index.ingest(entry.name, entry.tag, entry.trace);
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kastio_trace::parse_trace;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kastio-index-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_index() -> PatternIndex {
+        let mut index = PatternIndex::new(IndexOptions::default());
+        index.ingest("ckpt", "flash", parse_trace(&"h0 write 1048576\n".repeat(8)).unwrap());
+        index.ingest("scan", "posix", parse_trace(&"h0 read 4096\n".repeat(8)).unwrap());
+        index
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_results() {
+        let dir = tmpdir("roundtrip");
+        let mut original = sample_index();
+        save_index(&original, &dir).unwrap();
+        let mut restored = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(restored.len(), original.len());
+        let q = parse_trace(&"h0 write 1048576\n".repeat(6)).unwrap();
+        let a = original.query(&q, 2);
+        let b = restored.query(&q, 2);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.label, b.label);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loads_generated_dataset_layout() {
+        // The dataset MANIFEST (`<name> <category-tag>`) is a valid index
+        // manifest: tags become labels.
+        let dir = tmpdir("dataset");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("MANIFEST"), "A00 A\nB00 B\n").unwrap();
+        fs::write(dir.join("A00.trace"), "h0 write 64\n").unwrap();
+        fs::write(dir.join("B00.trace"), "h0 lseek 0\nh0 read 8\n").unwrap();
+        let index = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.entries()[0].label, "A");
+        assert_eq!(index.entries()[1].name, "B00");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_errors_propagate() {
+        let dir = tmpdir("badline");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("MANIFEST"), "only-one-field\n").unwrap();
+        let err = load_index(&dir, IndexOptions::default()).unwrap_err();
+        assert!(matches!(err, CorpusIoError::BadManifest { line: 1 }), "{err}");
+
+        fs::write(dir.join("MANIFEST"), "ghost X\n").unwrap();
+        let err = load_index(&dir, IndexOptions::default()).unwrap_err();
+        assert!(matches!(err, CorpusIoError::MissingTrace { .. }), "{err}");
+        assert!(err.to_string().contains("ghost"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,291 @@
+//! The line-oriented text protocol spoken by `kastio serve`.
+//!
+//! One request per line, one reply per request. Traces travel inline with
+//! operations separated by `;` (each operation is the plain-text trace
+//! line format, `<handle> <op> <bytes>`):
+//!
+//! ```text
+//! INGEST <label> <op>;<op>;…           → OK id=<id> name=<name> entries=<n>
+//! QUERY k=<k> <op>;<op>;…              → OK matches=<m> label=<label|->
+//!                                        MATCH <rank> <name> <label> <similarity>
+//!                                        … (m lines) …
+//!                                        END
+//! STATS                                → STAT <key> <value> … END
+//! SHUTDOWN                             → OK bye (server stops accepting)
+//! ```
+//!
+//! Errors are a single `ERR <message>` line; the connection stays open.
+//! Similarities are rendered with Rust's shortest-round-trip float
+//! formatting, so parsing the decimal text back with `f64::from_str`
+//! reconstructs the bit-identical kernel value.
+
+use kastio_trace::{parse_trace, write_trace, Trace};
+
+use crate::index::{IndexStats, QueryResult};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Add one labelled trace to the corpus.
+    Ingest {
+        /// Label recorded for the new entry.
+        label: String,
+        /// The decoded trace.
+        trace: Trace,
+    },
+    /// k-NN query over the corpus.
+    Query {
+        /// Number of neighbours requested.
+        k: usize,
+        /// The decoded query trace.
+        trace: Trace,
+    },
+    /// Report index counters.
+    Stats,
+    /// Stop the server after replying.
+    Shutdown,
+}
+
+/// Renders a trace in the single-line wire form (`;`-separated ops).
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::protocol::{decode_trace_inline, encode_trace_inline};
+/// use kastio_trace::parse_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("h0 open 0\nh0 write 64\nh0 close 0\n")?;
+/// let wire = encode_trace_inline(&trace);
+/// assert_eq!(wire, "h0 open 0;h0 write 64;h0 close 0");
+/// assert_eq!(decode_trace_inline(&wire)?, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_trace_inline(trace: &Trace) -> String {
+    write_trace(trace).trim_end().replace('\n', ";")
+}
+
+/// Decodes the single-line wire form back into a trace.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending operation if any
+/// `;`-separated segment is not a valid trace line.
+pub fn decode_trace_inline(wire: &str) -> Result<Trace, String> {
+    let text: String = wire.split(';').map(str::trim).collect::<Vec<_>>().join("\n");
+    parse_trace(&text).map_err(|e| format!("bad inline trace: {e}"))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message (sent back as `ERR …`) when the line
+/// is not a well-formed request.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "INGEST" => {
+            let (label, wire) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "INGEST needs `<label> <trace>`".to_string())?;
+            Ok(Request::Ingest { label: label.to_string(), trace: decode_trace_inline(wire)? })
+        }
+        "QUERY" => {
+            let (kspec, wire) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "QUERY needs `k=<k> <trace>`".to_string())?;
+            let k: usize = kspec
+                .strip_prefix("k=")
+                .and_then(|v| v.parse().ok())
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("bad k spec `{kspec}` (expected k=<positive int>)"))?;
+            Ok(Request::Query { k, trace: decode_trace_inline(wire)? })
+        }
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
+        "" => Err("empty request".to_string()),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+/// Renders a query result as the multi-line `OK … MATCH … END` reply.
+pub fn render_query_reply(result: &QueryResult) -> String {
+    let mut out = format!(
+        "OK matches={} label={}\n",
+        result.neighbors.len(),
+        result.label.as_deref().unwrap_or("-")
+    );
+    for (rank, n) in result.neighbors.iter().enumerate() {
+        // `{}` on f64 prints the shortest string that round-trips, so the
+        // client recovers the exact bits.
+        out.push_str(&format!("MATCH {} {} {} {}\n", rank + 1, n.name, n.label, n.similarity));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Renders index counters as the multi-line `STAT … END` reply.
+pub fn render_stats_reply(entries: usize, cached_pairs: usize, stats: &IndexStats) -> String {
+    format!(
+        "STAT entries {entries}\n\
+         STAT queries {}\n\
+         STAT kernel_evals {}\n\
+         STAT cache_hits {}\n\
+         STAT cached_pairs {cached_pairs}\n\
+         STAT prefilter_pruned {}\n\
+         STAT ingest_evals {}\n\
+         STAT query_self_evals {}\n\
+         END\n",
+        stats.queries,
+        stats.kernel_evals,
+        stats.cache_hits,
+        stats.prefilter_pruned,
+        stats.ingest_evals,
+        stats.query_self_evals
+    )
+}
+
+/// Reads one complete server reply — a single `OK …`/`ERR …` line, or a
+/// multi-line `OK matches=…`/`STAT …` block terminated by `END` — so every
+/// client (the `kastio query` subcommand, tests, examples) shares one
+/// definition of the reply framing.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::UnexpectedEof`] if the connection closes
+/// mid-reply, or the underlying read error.
+pub fn read_reply<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<String> {
+    let mut read_line = |reply: &mut String| -> std::io::Result<usize> {
+        let start = reply.len();
+        if reader.read_line(reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-reply",
+            ));
+        }
+        Ok(start)
+    };
+    let mut reply = String::new();
+    read_line(&mut reply)?;
+    if reply.starts_with("OK matches=") || reply.starts_with("STAT") {
+        loop {
+            let start = read_line(&mut reply)?;
+            if &reply[start..] == "END\n" {
+                break;
+            }
+        }
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryId;
+    use crate::index::Neighbor;
+
+    #[test]
+    fn trace_inline_roundtrip() {
+        let trace = parse_trace("h0 open 0\nh1 write 8\nh0 close 0\n").unwrap();
+        let wire = encode_trace_inline(&trace);
+        assert!(!wire.contains('\n'));
+        assert_eq!(decode_trace_inline(&wire).unwrap(), trace);
+    }
+
+    #[test]
+    fn parses_ingest() {
+        let req = parse_request("INGEST flash h0 write 64;h0 write 64").unwrap();
+        match req {
+            Request::Ingest { label, trace } => {
+                assert_eq!(label, "flash");
+                assert_eq!(trace.len(), 2);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_with_k() {
+        let req = parse_request("QUERY k=3 h0 read 8").unwrap();
+        assert!(matches!(req, Request::Query { k: 3, .. }));
+    }
+
+    #[test]
+    fn parses_bare_verbs() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("  SHUTDOWN  ").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").unwrap_err().contains("empty"));
+        assert!(parse_request("FROB x").unwrap_err().contains("FROB"));
+        assert!(parse_request("INGEST onlylabel").unwrap_err().contains("INGEST"));
+        assert!(parse_request("QUERY k=0 h0 read 8").unwrap_err().contains("k spec"));
+        assert!(parse_request("QUERY k=x h0 read 8").unwrap_err().contains("k spec"));
+        assert!(parse_request("QUERY k=2 h0 read").unwrap_err().contains("bad inline trace"));
+    }
+
+    #[test]
+    fn query_reply_roundtrips_similarity_bits() {
+        // A value whose decimal form needs all 17 significant digits.
+        let sim = std::f64::consts::PI / 3.0;
+        let result = QueryResult {
+            neighbors: vec![Neighbor {
+                id: EntryId(0),
+                name: "A00".to_string(),
+                label: "A".to_string(),
+                similarity: sim,
+            }],
+            label: Some("A".to_string()),
+            candidates: 1,
+            evaluated: 1,
+            cache_hits: 0,
+        };
+        let reply = render_query_reply(&result);
+        let match_line = reply.lines().nth(1).unwrap();
+        let rendered = match_line.split_whitespace().last().unwrap();
+        let parsed: f64 = rendered.parse().unwrap();
+        assert_eq!(parsed.to_bits(), sim.to_bits());
+        assert!(reply.starts_with("OK matches=1 label=A\n"));
+        assert!(reply.ends_with("END\n"));
+    }
+
+    #[test]
+    fn stats_reply_lists_counters() {
+        let stats = IndexStats {
+            queries: 2,
+            kernel_evals: 5,
+            cache_hits: 3,
+            prefilter_pruned: 7,
+            ingest_evals: 4,
+            query_self_evals: 2,
+        };
+        let reply = render_stats_reply(4, 5, &stats);
+        assert!(reply.contains("STAT entries 4\n"));
+        assert!(reply.contains("STAT kernel_evals 5\n"));
+        assert!(reply.contains("STAT prefilter_pruned 7\n"));
+        assert!(reply.contains("STAT query_self_evals 2\n"));
+        assert!(reply.ends_with("END\n"));
+    }
+
+    #[test]
+    fn read_reply_frames_single_and_multi_line_replies() {
+        use std::io::BufReader;
+        let wire = "OK id=0 name=e0 entries=1\nOK matches=1 label=x\nMATCH 1 e0 x 1\nEND\n\
+                    STAT entries 1\nEND\nERR nope\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert_eq!(read_reply(&mut reader).unwrap(), "OK id=0 name=e0 entries=1\n");
+        assert_eq!(read_reply(&mut reader).unwrap(), "OK matches=1 label=x\nMATCH 1 e0 x 1\nEND\n");
+        assert_eq!(read_reply(&mut reader).unwrap(), "STAT entries 1\nEND\n");
+        assert_eq!(read_reply(&mut reader).unwrap(), "ERR nope\n");
+        let err = read_reply(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

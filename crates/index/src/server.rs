@@ -1,0 +1,329 @@
+//! The `serve` daemon: a [`TcpListener`] loop around a [`PatternIndex`].
+//!
+//! Deliberately dependency-free (no async runtime — the build environment
+//! is offline, and blocking I/O is entirely adequate for a line-oriented
+//! request/reply protocol whose unit of work is a kernel batch). Each
+//! connection gets its own OS thread so an idle client never blocks the
+//! others; the index sits behind a [`Mutex`] locked per *request*, and
+//! *within* a query the index fans the kernel batch out across scoped
+//! threads, which is where the actual CPU time goes.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::index::PatternIndex;
+use crate::protocol::{parse_request, render_query_reply, render_stats_reply, Request};
+
+/// What handling one connection concluded.
+enum Disposition {
+    /// The client went away; accept the next connection.
+    ClientDone,
+    /// A `SHUTDOWN` request was honoured; stop the server.
+    Shutdown,
+}
+
+/// A running (not yet serving) daemon: a bound listener plus the index it
+/// will serve.
+///
+/// Binding is separated from serving so callers can learn the actual
+/// address before the blocking accept loop starts — essential with an
+/// ephemeral port (`:0`), which is how the integration tests and the
+/// in-process example run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use kastio_index::{IndexOptions, PatternIndex, Server};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let index = PatternIndex::new(IndexOptions::default());
+/// let server = Server::bind("127.0.0.1:0", index)?;
+/// println!("listening on {}", server.local_addr()?);
+/// let _index_back = server.serve()?; // blocks until SHUTDOWN
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    index: PatternIndex,
+}
+
+impl Server {
+    /// Binds a listener on `addr` (e.g. `127.0.0.1:0` for an ephemeral
+    /// port) around the given index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`TcpListener::bind`] failure.
+    pub fn bind(addr: &str, index: PatternIndex) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, index })
+    }
+
+    /// The address the listener actually bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections — each on its own thread — until a
+    /// client sends `SHUTDOWN`, then joins the handlers and returns the
+    /// index (so the caller can persist it).
+    ///
+    /// Accept errors are treated as transient (EMFILE under fd pressure,
+    /// ECONNABORTED, …): the loop backs off briefly and retries, so the
+    /// in-memory corpus is never lost to a hiccup. Only a long unbroken
+    /// run of failures abandons accepting — and even then the index is
+    /// returned intact so the caller's save path still runs.
+    ///
+    /// # Errors
+    ///
+    /// Currently none after a successful bind; the `io::Result` is kept
+    /// for callers that treat serving uniformly with binding.
+    pub fn serve(self) -> io::Result<PatternIndex> {
+        let addr = self.listener.local_addr()?;
+        let index = Arc::new(Mutex::new(self.index));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Registry of live client sockets, keyed by connection id. Each
+        // handler removes its own entry on exit, so finished connections
+        // release their file descriptors immediately; whatever is left at
+        // shutdown is force-closed below to wake blocked readers.
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut consecutive_errors: u32 = 0;
+        for (connection_id, stream) in (0_u64..).zip(self.listener.incoming()) {
+            let stream = match stream {
+                Ok(stream) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(_) if stop.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors > 100 {
+                        break; // listener looks permanently broken
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if stop.load(Ordering::SeqCst) {
+                break; // woken by the shutdown nudge below
+            }
+            // Reap finished handlers so the handle list tracks live
+            // connections, not total connections served.
+            let (done, live): (Vec<_>, Vec<_>) =
+                handlers.into_iter().partition(|handler| handler.is_finished());
+            for handler in done {
+                let _ = handler.join();
+            }
+            handlers = live;
+
+            match stream.try_clone() {
+                Ok(clone) => {
+                    lock_registry(&connections).insert(connection_id, clone);
+                }
+                // Without a registered clone the socket could not be
+                // force-closed at shutdown and its handler would block
+                // serve() in join() forever — refuse the connection
+                // instead (try_clone only fails under fd exhaustion).
+                Err(_) => continue,
+            }
+            let (index, stop, connections) =
+                (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
+            handlers.push(std::thread::spawn(move || {
+                let disposition = handle_connection(stream, &index);
+                lock_registry(&connections).remove(&connection_id);
+                if let Ok(Disposition::Shutdown) = disposition {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        // Close the remaining client sockets so handlers blocked in
+        // read_line wake up and exit, making the joins below finite.
+        for (_, connection) in lock_registry(&connections).drain() {
+            let _ = connection.shutdown(std::net::Shutdown::Both);
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let mutex = Arc::try_unwrap(index).expect("all connection handlers joined");
+        Ok(mutex.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+}
+
+fn lock_registry(
+    connections: &Mutex<HashMap<u64, TcpStream>>,
+) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+    connections.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn lock(index: &Mutex<PatternIndex>) -> MutexGuard<'_, PatternIndex> {
+    // A panicking handler thread cannot leave the index in a torn state
+    // (&mut methods either finish or unwind before publishing), so a
+    // poisoned lock is still safe to reuse.
+    index.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Upper bound on one request line. A client streaming data with no
+/// newline would otherwise grow the line buffer without limit and OOM the
+/// daemon; 16 MiB comfortably fits any realistic inline trace.
+const MAX_REQUEST_BYTES: u64 = 16 << 20;
+
+/// Serves one client: one reply per request line until EOF or `SHUTDOWN`.
+/// The index lock is held per request, never across client think time.
+fn handle_connection(stream: TcpStream, index: &Mutex<PatternIndex>) -> io::Result<Disposition> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.by_ref().take(MAX_REQUEST_BYTES).read_line(&mut line)? == 0 {
+            return Ok(Disposition::ClientDone); // EOF
+        }
+        if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
+            // The limit truncated the line mid-request; the rest of the
+            // stream is unframed garbage, so reply and hang up.
+            writer.write_all(b"ERR request line too long\n")?;
+            writer.flush()?;
+            return Ok(Disposition::ClientDone);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(&line) {
+            Err(message) => format!("ERR {message}\n"),
+            Ok(Request::Ingest { label, trace }) => {
+                let mut index = lock(index);
+                let name = format!("e{}", index.len());
+                let id = index.ingest(name, label, trace);
+                format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
+            }
+            Ok(Request::Query { k, trace }) => render_query_reply(&lock(index).query(&trace, k)),
+            Ok(Request::Stats) => {
+                let index = lock(index);
+                render_stats_reply(index.len(), index.cached_pairs(), &index.stats())
+            }
+            Ok(Request::Shutdown) => {
+                writer.write_all(b"OK bye\n")?;
+                writer.flush()?;
+                return Ok(Disposition::Shutdown);
+            }
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexOptions;
+
+    fn start() -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
+        let server =
+            Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+        (addr, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        // One outstanding request at a time, so a throwaway BufReader
+        // cannot buffer past the reply it is framing.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        crate::protocol::read_reply(&mut reader).expect("server replied")
+    }
+
+    #[test]
+    fn ingest_query_stats_shutdown_lifecycle() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        let reply = roundtrip(&mut stream, "INGEST w h0 write 64;h0 write 64\n");
+        assert_eq!(reply, "OK id=0 name=e0 entries=1\n");
+        let reply = roundtrip(&mut stream, "INGEST r h0 read 8;h0 read 8\n");
+        assert_eq!(reply, "OK id=1 name=e1 entries=2\n");
+
+        let reply = roundtrip(&mut stream, "QUERY k=1 h0 write 64;h0 write 64\n");
+        assert!(reply.starts_with("OK matches=1 label=w\n"), "{reply}");
+        assert!(reply.contains("MATCH 1 e0 w "), "{reply}");
+        assert!(reply.ends_with("END\n"));
+
+        let reply = roundtrip(&mut stream, "STATS\n");
+        assert!(reply.contains("STAT entries 2\n"), "{reply}");
+        assert!(reply.contains("STAT queries 1\n"), "{reply}");
+
+        let reply = roundtrip(&mut stream, "BOGUS\n");
+        assert!(reply.starts_with("ERR unknown verb"), "{reply}");
+
+        let reply = roundtrip(&mut stream, "SHUTDOWN\n");
+        assert_eq!(reply, "OK bye\n");
+        let index = handle.join().unwrap();
+        assert_eq!(index.len(), 2, "server hands the corpus back on shutdown");
+    }
+
+    #[test]
+    fn idle_connection_does_not_block_other_clients() {
+        let (addr, handle) = start();
+        // An idle client holds its connection open the whole time.
+        let idle = TcpStream::connect(addr).unwrap();
+        let mut active = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut active, "INGEST w h0 write 64\n");
+        assert_eq!(reply, "OK id=0 name=e0 entries=1\n");
+        let reply = roundtrip(&mut active, "SHUTDOWN\n");
+        assert_eq!(reply, "OK bye\n");
+        // Shutdown must complete even though `idle` never disconnected.
+        let index = handle.join().unwrap();
+        assert_eq!(index.len(), 1);
+        drop(idle);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Stream past the cap without ever sending a newline.
+        let chunk = vec![b'a'; 1 << 20];
+        for _ in 0..17 {
+            if stream.write_all(&chunk).is_err() {
+                break; // server already hung up mid-write — acceptable
+            }
+        }
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        let _ = reader.read_line(&mut reply);
+        if !reply.is_empty() {
+            assert!(reply.starts_with("ERR request line too long"), "{reply}");
+        }
+        // Either way the daemon is still alive and shuts down cleanly.
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut fresh, "SHUTDOWN\n");
+        assert_eq!(reply, "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn survives_client_disconnect() {
+        let (addr, handle) = start();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"INGEST w h0 write 64\n").unwrap();
+            // Drop without reading the reply: the server must accept the
+            // next connection regardless.
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut stream, "SHUTDOWN\n");
+        assert_eq!(reply, "OK bye\n");
+        handle.join().unwrap();
+    }
+}

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod corpus;
 pub mod op;
 pub mod parallel;
 pub mod signature;
@@ -52,6 +53,10 @@ pub mod stats;
 pub mod text;
 pub mod trace;
 
+pub use corpus::{
+    load_manifest_trace, read_corpus, read_manifest, write_corpus, CorpusEntry, CorpusIoError,
+    ManifestEntry,
+};
 pub use op::{HandleId, OpKind, Operation};
 pub use parallel::{HandleMerge, ParallelTrace};
 pub use signature::{PatternSignature, SignatureConfig};

@@ -6,14 +6,19 @@
 //! mapping names to categories — so external tooling (or a sceptical
 //! reader) can inspect the corpus, and so the pipeline can be run on
 //! traces that never came from the generators.
+//!
+//! The directory walk itself lives in [`kastio_trace::corpus`] (the
+//! corpus index persists through the same layout); this module only adds
+//! the category interpretation of the manifest tag.
 
 use std::error::Error;
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::Path;
 
-use kastio_trace::{parse_trace, write_trace, ParseTraceError};
+use kastio_trace::{
+    load_manifest_trace, read_manifest, write_corpus, CorpusIoError, ParseTraceError,
+};
 
 use crate::category::Category;
 use crate::dataset::{Dataset, Example};
@@ -30,7 +35,8 @@ pub enum DatasetIoError {
         /// The underlying parse error.
         source: ParseTraceError,
     },
-    /// The manifest was malformed at the given line.
+    /// The manifest was malformed at the given line (wrong field count or
+    /// an unknown category tag).
     BadManifest {
         /// 1-based manifest line number.
         line: usize,
@@ -75,6 +81,22 @@ impl From<io::Error> for DatasetIoError {
     }
 }
 
+impl From<CorpusIoError> for DatasetIoError {
+    fn from(e: CorpusIoError) -> Self {
+        match e {
+            CorpusIoError::Io(e) => DatasetIoError::Io(e),
+            CorpusIoError::Parse { file, source } => DatasetIoError::Parse { file, source },
+            CorpusIoError::BadManifest { line } => DatasetIoError::BadManifest { line },
+            CorpusIoError::MissingTrace { name } => DatasetIoError::MissingTrace { name },
+            // Generated example names/tags are always writable; surface
+            // the (hand-crafted-dataset) edge as an invalid-input IO error.
+            e @ CorpusIoError::BadEntry { .. } => {
+                DatasetIoError::Io(io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
+            }
+        }
+    }
+}
+
 fn category_from_tag(tag: &str) -> Option<Category> {
     match tag {
         "A" => Some(Category::FlashIo),
@@ -94,14 +116,11 @@ fn category_from_tag(tag: &str) -> Option<Category> {
 ///
 /// Returns [`DatasetIoError::Io`] on any filesystem failure.
 pub fn export_dataset(dataset: &Dataset, dir: &Path) -> Result<(), DatasetIoError> {
-    fs::create_dir_all(dir)?;
-    let mut manifest = String::new();
-    for example in dataset.iter() {
-        let file = dir.join(format!("{}.trace", example.name));
-        fs::write(&file, write_trace(&example.trace))?;
-        manifest.push_str(&format!("{} {}\n", example.name, example.category.tag()));
-    }
-    fs::write(dir.join("MANIFEST"), manifest)?;
+    let tags: Vec<String> = dataset.iter().map(|e| e.category.tag().to_string()).collect();
+    write_corpus(
+        dir,
+        dataset.iter().zip(&tags).map(|(e, tag)| (e.name.as_str(), tag.as_str(), &e.trace)),
+    )?;
     Ok(())
 }
 
@@ -111,35 +130,24 @@ pub fn export_dataset(dataset: &Dataset, dir: &Path) -> Result<(), DatasetIoErro
 /// # Errors
 ///
 /// * [`DatasetIoError::Io`] on filesystem failures;
-/// * [`DatasetIoError::BadManifest`] for malformed manifest lines;
+/// * [`DatasetIoError::BadManifest`] for malformed manifest lines and
+///   unknown category tags;
 /// * [`DatasetIoError::MissingTrace`] if a manifest entry has no file;
 /// * [`DatasetIoError::Parse`] if a trace file is malformed.
 pub fn import_dataset(dir: &Path) -> Result<Dataset, DatasetIoError> {
-    let manifest = fs::read_to_string(dir.join("MANIFEST"))?;
+    // Validate every manifest line (shape and category tag) before any
+    // trace file is read, so a bad manifest fails fast as BadManifest.
+    let manifest = read_manifest(dir)?;
+    let categories = manifest
+        .iter()
+        .map(|entry| {
+            category_from_tag(&entry.tag).ok_or(DatasetIoError::BadManifest { line: entry.line })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let mut examples = Vec::new();
-    for (idx, raw) in manifest.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (name, tag) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(name), Some(tag), None) => (name, tag),
-            _ => return Err(DatasetIoError::BadManifest { line: idx + 1 }),
-        };
-        let category =
-            category_from_tag(tag).ok_or(DatasetIoError::BadManifest { line: idx + 1 })?;
-        let file = dir.join(format!("{name}.trace"));
-        let text = fs::read_to_string(&file).map_err(|e| {
-            if e.kind() == io::ErrorKind::NotFound {
-                DatasetIoError::MissingTrace { name: name.to_string() }
-            } else {
-                DatasetIoError::Io(e)
-            }
-        })?;
-        let trace = parse_trace(&text)
-            .map_err(|source| DatasetIoError::Parse { file: file.display().to_string(), source })?;
-        examples.push(Example { name: name.to_string(), category, trace });
+    for (entry, category) in manifest.into_iter().zip(categories) {
+        let trace = load_manifest_trace(dir, &entry.name)?;
+        examples.push(Example { name: entry.name, category, trace });
     }
     Ok(Dataset::from_examples(examples))
 }
@@ -148,6 +156,7 @@ pub fn import_dataset(dir: &Path) -> Result<Dataset, DatasetIoError> {
 mod tests {
     use super::*;
     use crate::dataset::DatasetShape;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("kastio-export-{tag}-{}", std::process::id()));
@@ -188,12 +197,14 @@ mod tests {
 
     #[test]
     fn unknown_category_tag_is_reported() {
+        // No trace file on disk: the tag must be rejected before any
+        // trace read is attempted.
         let dir = tmpdir("badtag");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("MANIFEST"), "X00 Z\n").unwrap();
+        fs::write(dir.join("MANIFEST"), "# header\nX00 Z\n").unwrap();
         assert!(matches!(
             import_dataset(&dir).unwrap_err(),
-            DatasetIoError::BadManifest { line: 1 }
+            DatasetIoError::BadManifest { line: 2 }
         ));
         fs::remove_dir_all(&dir).unwrap();
     }

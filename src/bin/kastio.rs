@@ -1,27 +1,39 @@
 //! `kastio` — command-line front end for the trace → string → kernel →
-//! clustering pipeline.
+//! clustering pipeline, plus the online index daemon.
 //!
 //! ```text
 //! kastio convert  <trace-file> [--ignore-bytes]
 //! kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
 //! kastio generate <dir> [--seed N]
 //! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
+//! kastio serve    [--port N] [--corpus <dir>] [--save <dir>] [--cut N]
+//!                 [--ignore-bytes] [--candidates N]
+//! kastio query    <addr> <trace-file> [--k N]
+//! kastio query    <addr> --stats
+//! kastio help     [command]
+//! kastio --version
 //! ```
 //!
 //! `generate` writes the paper's 110-example dataset as plain trace files
 //! (plus a MANIFEST); `cluster` reads any directory in that layout,
 //! builds the Kast similarity matrix, repairs it and prints the flat
-//! clustering with purity/ARI against the manifest categories.
+//! clustering with purity/ARI against the manifest categories. `serve`
+//! keeps a corpus in memory behind a TCP line protocol and `query` is its
+//! client — see the `kastio_index` crate.
 
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::path::Path;
 use std::process::ExitCode;
 
+use kastio::index::protocol::{encode_trace_inline, read_reply};
 use kastio::pattern::explain::explain_similarity;
 use kastio::workloads::{export_dataset, import_dataset};
 use kastio::{
-    adjusted_rand_index, gram_matrix, hierarchical, parse_trace, pattern_string, psd_repair,
-    purity, ByteMode, Dataset, DistanceMatrix, GramMode, KastKernel, KastOptions, Linkage,
-    SquareMatrix, StringKernel, TokenInterner,
+    adjusted_rand_index, gram_matrix, hierarchical, load_index, parse_trace, pattern_string,
+    psd_repair, purity, save_index, ByteMode, Dataset, DistanceMatrix, GramMode, IndexOptions,
+    KastKernel, KastOptions, Linkage, PatternIndex, PrefilterConfig, Server, SquareMatrix,
+    StringKernel, TokenInterner,
 };
 
 const USAGE: &str = "\
@@ -30,15 +42,81 @@ usage:
   kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
   kastio generate <dir> [--seed N]
   kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
+  kastio serve    [--port N] [--corpus <dir>] [--save <dir>] [--cut N]
+                  [--ignore-bytes] [--candidates N]
+  kastio query    <addr> <trace-file> [--k N]
+  kastio query    <addr> --stats
+  kastio help     [command]
+  kastio --version
 ";
+
+/// Per-command help texts for `kastio help <command>`.
+const HELP_TOPICS: &[(&str, &str)] = &[
+    (
+        "convert",
+        "kastio convert <trace-file> [--ignore-bytes]\n\n\
+         Converts one plain-text trace to its weighted pattern string and\n\
+         prints it. --ignore-bytes zeroes byte values before tokenisation\n\
+         (the paper's no-byte-information variant).\n",
+    ),
+    (
+        "compare",
+        "kastio compare <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]\n\n\
+         Compares two traces with the Kast Spectrum Kernel at cut weight N\n\
+         (default 2) and prints the raw and normalised similarity. Both\n\
+         traces are interned by a single shared TokenInterner, so the token\n\
+         ids in --explain output are directly comparable across the pair.\n",
+    ),
+    (
+        "generate",
+        "kastio generate <dir> [--seed N]\n\n\
+         Writes the paper's 110-example IOR/FLASH-IO dataset (deterministic\n\
+         in the seed) into <dir> as <name>.trace files plus a MANIFEST.\n",
+    ),
+    (
+        "cluster",
+        "kastio cluster <dir> [--cut N] [--ignore-bytes] [--groups K]\n\n\
+         Loads a dataset directory, builds the normalised Kast similarity\n\
+         matrix, repairs it to PSD, runs single-linkage clustering and\n\
+         prints the K-group cut with purity/ARI against the manifest.\n",
+    ),
+    (
+        "serve",
+        "kastio serve [--port N] [--corpus <dir>] [--save <dir>] [--cut N]\n\
+         \u{20}            [--ignore-bytes] [--candidates N]\n\n\
+         Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
+         0 picks an ephemeral port). Prints `listening on <addr>` once\n\
+         bound. --corpus preloads a dataset/index directory; --save writes\n\
+         the corpus back to a directory on SHUTDOWN. --candidates floors\n\
+         the signature-prefilter budget. The wire protocol is line based:\n\n\
+         \u{20} INGEST <label> <op>;<op>;...\n\
+         \u{20} QUERY k=<k> <op>;<op>;...\n\
+         \u{20} STATS\n\
+         \u{20} SHUTDOWN\n",
+    ),
+    (
+        "query",
+        "kastio query <addr> <trace-file> [--k N]\n\
+         kastio query <addr> --stats\n\n\
+         Client for `kastio serve`. Sends the trace file as a k-NN QUERY\n\
+         (default k=5) — or, with --stats, asks for the server's counters —\n\
+         and prints the server's reply.\n",
+    ),
+];
 
 struct Flags {
     positional: Vec<String>,
     cut: u64,
     seed: u64,
     groups: usize,
+    k: usize,
+    port: u16,
+    candidates: usize,
+    corpus: Option<String>,
+    save: Option<String>,
     ignore_bytes: bool,
     explain: bool,
+    stats: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -47,22 +125,43 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         cut: 2,
         seed: 20170904,
         groups: 3,
+        k: 5,
+        port: 7878,
+        candidates: PrefilterConfig::default().min_candidates,
+        corpus: None,
+        save: None,
         ignore_bytes: false,
         explain: false,
+        stats: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ignore-bytes" => flags.ignore_bytes = true,
             "--explain" => flags.explain = true,
-            "--cut" | "--seed" | "--groups" => {
+            "--stats" => flags.stats = true,
+            "--corpus" | "--save" => {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                match arg.as_str() {
+                    "--corpus" => flags.corpus = Some(value.clone()),
+                    _ => flags.save = Some(value.clone()),
+                }
+            }
+            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--candidates" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
                 match arg.as_str() {
                     "--cut" => flags.cut = parsed.max(1),
                     "--seed" => flags.seed = parsed,
-                    _ => flags.groups = (parsed as usize).max(1),
+                    "--groups" => flags.groups = (parsed as usize).max(1),
+                    "--k" => flags.k = (parsed as usize).max(1),
+                    "--candidates" => flags.candidates = (parsed as usize).max(1),
+                    _ => {
+                        flags.port = u16::try_from(parsed).map_err(|_| {
+                            format!("--port needs a value in 0..=65535, got `{value}`")
+                        })?
+                    }
                 }
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -101,6 +200,8 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     };
     let (ta, tb) = (load_trace(pa)?, load_trace(pb)?);
     let mode = byte_mode(flags);
+    // One interner across both inputs: token ids in diagnostic output are
+    // only comparable when minted by the same TokenInterner.
     let mut interner = TokenInterner::new();
     let a = interner.intern_string(&pattern_string(&ta, mode));
     let b = interner.intern_string(&pattern_string(&tb, mode));
@@ -169,12 +270,96 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    if !flags.positional.is_empty() {
+        return Err("serve takes no positional arguments".to_string());
+    }
+    let opts = IndexOptions {
+        kast: KastOptions::with_cut_weight(flags.cut),
+        byte_mode: byte_mode(flags),
+        prefilter: PrefilterConfig {
+            min_candidates: flags.candidates,
+            ..PrefilterConfig::default()
+        },
+        ..IndexOptions::default()
+    };
+    let index = match &flags.corpus {
+        Some(dir) => {
+            let index = load_index(Path::new(dir), opts).map_err(|e| e.to_string())?;
+            eprintln!("loaded {} entries from {dir}", index.len());
+            index
+        }
+        None => PatternIndex::new(opts),
+    };
+    let server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let index = server.serve().map_err(|e| format!("serve failed: {e}"))?;
+    if let Some(dir) = &flags.save {
+        save_index(&index, Path::new(dir)).map_err(|e| e.to_string())?;
+        println!("saved {} entries to {dir}", index.len());
+    }
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let (addr, request) = match flags.positional.as_slice() {
+        [addr] if flags.stats => (addr, "STATS\n".to_string()),
+        [addr, trace_file] if !flags.stats => {
+            let trace = load_trace(trace_file)?;
+            if trace.is_empty() {
+                return Err(format!("{trace_file} contains no operations"));
+            }
+            (addr, format!("QUERY k={} {}\n", flags.k, encode_trace_inline(&trace)))
+        }
+        _ => return Err("query needs `<addr> <trace-file>` or `<addr> --stats`".to_string()),
+    };
+    let stream =
+        TcpStream::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    let reply = read_reply(&mut reader).map_err(|e| e.to_string())?;
+    print!("{reply}");
+    if reply.starts_with("ERR ") {
+        return Err("server rejected the request".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_help(flags: &Flags) -> Result<(), String> {
+    match flags.positional.as_slice() {
+        [] => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        [topic] => match HELP_TOPICS.iter().find(|(name, _)| name == topic) {
+            Some((_, text)) => {
+                print!("{text}");
+                Ok(())
+            }
+            None => Err(format!(
+                "no help for `{topic}` (topics: convert compare generate cluster serve query)"
+            )),
+        },
+        _ => Err("help takes at most one command name".to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if matches!(command.as_str(), "--version" | "-V" | "version") {
+        println!("kastio {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let flags = match parse_flags(rest) {
         Ok(flags) => flags,
         Err(e) => {
@@ -187,7 +372,10 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "generate" => cmd_generate(&flags),
         "cluster" => cmd_cluster(&flags),
-        "--help" | "-h" | "help" => {
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
+        "help" => cmd_help(&flags),
+        "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }

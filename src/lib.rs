@@ -24,6 +24,7 @@
 //! | [`linalg`] | `kastio-linalg` | Jacobi eigensolver, PSD repair, Kernel PCA |
 //! | [`cluster`] | `kastio-cluster` | hierarchical clustering, dendrograms, metrics |
 //! | [`workloads`] | `kastio-workloads` | IOR/FLASH-IO-style generators, the 110-example dataset |
+//! | [`index`] | `kastio-index` | online corpus index: k-NN queries, LRU kernel cache, signature prefilter, serve/query daemon |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -64,6 +65,7 @@
 
 pub use kastio_cluster as cluster;
 pub use kastio_core as pattern;
+pub use kastio_index as index;
 pub use kastio_kernels as kernels;
 pub use kastio_linalg as linalg;
 pub use kastio_trace as trace;
@@ -76,6 +78,10 @@ pub use kastio_core::{
     build_tree, compress_tree, flatten_tree, pattern_string, ByteMode, CompressOptions, CutRule,
     IdString, KastKernel, KastOptions, Normalization, PatternPipeline, PatternTree, StringKernel,
     TokenInterner, WeightedString,
+};
+pub use kastio_index::{
+    load_index, save_index, IndexOptions, IndexStats, Neighbor, PatternIndex, PrefilterConfig,
+    QueryResult, Server,
 };
 pub use kastio_kernels::{
     gram_matrix, BagOfTokensKernel, BagOfWordsKernel, BlendedSpectrumKernel, GramMode,

@@ -119,3 +119,59 @@ fn bad_flag_value_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("needs an integer"));
 }
+
+#[test]
+fn version_flag_prints_version() {
+    for arg in ["--version", "-V", "version"] {
+        let out = bin().arg(arg).output().expect("binary runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout.trim(), format!("kastio {}", env!("CARGO_PKG_VERSION")));
+    }
+}
+
+#[test]
+fn help_subcommand_covers_all_commands() {
+    let out = bin().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for command in ["convert", "compare", "generate", "cluster", "serve", "query", "help"] {
+        assert!(stdout.contains(command), "usage mentions {command}:\n{stdout}");
+    }
+}
+
+#[test]
+fn help_topic_is_detailed() {
+    let out = bin().args(["help", "serve"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INGEST"), "serve help documents the protocol:\n{stdout}");
+    assert!(stdout.contains("SHUTDOWN"));
+
+    let out = bin().args(["help", "frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+}
+
+#[test]
+fn unknown_flag_error_names_the_flag() {
+    let out = bin().args(["convert", "x.trace", "--frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--frobnicate"), "error names the offending flag:\n{stderr}");
+}
+
+#[test]
+fn query_with_unreachable_server_fails_cleanly() {
+    let dir = tmpdir("query-unreachable");
+    let trace = dir.join("q.trace");
+    write(&trace, "h0 write 8\n");
+    // Port 1 on loopback refuses immediately (nothing listens there).
+    let out = bin()
+        .args(["query", "127.0.0.1:1", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot connect"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -15,8 +15,10 @@ const EXAMPLES: &[&str] = &[
     "cluster_dataset",
     "cut_weight_sweep",
     "explain_similarity",
+    "index_knn",
     "parallel_io",
     "quickstart",
+    "serve_query",
     "trace_inspect",
 ];
 
