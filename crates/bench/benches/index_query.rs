@@ -36,7 +36,7 @@ fn query_trace() -> Trace {
 }
 
 fn build_index(opts: IndexOptions) -> PatternIndex {
-    let mut index = PatternIndex::new(opts);
+    let index = PatternIndex::new(opts);
     for (name, label, trace) in corpus() {
         index.ingest(name, label, trace);
     }
@@ -67,7 +67,7 @@ fn bench_index_vs_naive(c: &mut Criterion) {
     });
 
     // Cold index: prefilter only (cache off), fresh trace each time.
-    let mut cold = build_index(IndexOptions {
+    let cold = build_index(IndexOptions {
         cache_capacity: 0,
         prefilter: PrefilterConfig { min_candidates: 8, per_k: 2, ..PrefilterConfig::default() },
         ..IndexOptions::default()
@@ -78,7 +78,7 @@ fn bench_index_vs_naive(c: &mut Criterion) {
     });
 
     // Warm index: defaults, repeated query → LRU hits.
-    let mut warm = build_index(IndexOptions {
+    let warm = build_index(IndexOptions {
         prefilter: PrefilterConfig { min_candidates: 8, per_k: 2, ..PrefilterConfig::default() },
         ..IndexOptions::default()
     });

@@ -6,7 +6,10 @@ use kastio_trace::{PatternSignature, Trace};
 /// Dense identifier of an entry inside one [`crate::PatternIndex`].
 ///
 /// Ids are assigned in ingestion order and never reused; they are only
-/// meaningful within the index that issued them.
+/// meaningful within the index that issued them. The id also fixes the
+/// entry's placement in a sharded index — entry `i` lives in shard
+/// `i % shards` (see the [`crate::PatternIndex`] shard-assignment
+/// invariant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EntryId(pub u32);
 

@@ -7,13 +7,38 @@
 //! full Kast kernel evaluations for only the prefiltered candidate subset
 //! (minus whatever the LRU cache already knows).
 //!
-//! Exactness contract: for every neighbour the index returns, the reported
-//! similarity is **bit-identical** to calling
-//! [`KastKernel::normalized`] directly on the same pair of interned
-//! strings — the index changes *which* pairs are evaluated (prefilter) and
-//! *how often* (cache), never the arithmetic.
+//! # Sharding and concurrency
+//!
+//! The corpus is split across `S` shards (configured by
+//! [`IndexOptions::shards`]). Every mutable accelerator — the shared
+//! [`TokenInterner`], the per-shard pairwise-kernel LRU, the per-query
+//! self-kernel memo and the work counters — sits behind interior
+//! mutability, so both [`PatternIndex::query`] and
+//! [`PatternIndex::ingest`] take `&self`: any number of threads can share
+//! one index behind a plain `Arc` with no external lock. A query takes
+//! *read* locks on every shard (so concurrent queries never serialise on
+//! each other); an ingest write-locks only the one shard that owns the new
+//! entry, leaving queries on the other `S − 1` shards untouched.
+//!
+//! ## Shard-assignment invariant
+//!
+//! An entry with [`EntryId`] `i` always lives in shard `i % S`. Ids are
+//! allocated from a monotonic counter in ingestion order, so a corpus
+//! saved with [`crate::save_index`] and reloaded with the same entry order
+//! lands every entry in the same shard again — placement is a pure
+//! function of ingestion order and shard count, never of timing.
+//!
+//! # Exactness contract
+//!
+//! For every neighbour the index returns, the reported similarity is
+//! **bit-identical** to calling [`KastKernel::normalized`] directly on the
+//! same pair of interned strings — the index changes *which* pairs are
+//! evaluated (prefilter), *how often* (cache) and *where the entries live*
+//! (shards), never the arithmetic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use kastio_core::{
     ByteMode, IdString, KastKernel, KastOptions, Normalization, PatternPipeline, StringKernel,
@@ -23,11 +48,16 @@ use kastio_trace::{PatternSignature, SignatureConfig, Trace};
 
 use crate::entry::{EntryId, IndexEntry};
 use crate::lru::KernelCache;
-use crate::prefilter::{select_candidates, PrefilterConfig};
+use crate::prefilter::{select_candidates_ranked, PrefilterConfig};
 
 /// Below this many cache misses a query scores sequentially — spawning
 /// scoped threads costs more than a handful of kernel evaluations.
 const MIN_PARALLEL_MISSES: usize = 8;
+
+/// Below this many corpus entries the per-shard prefilter fan-out runs
+/// inline — a signature distance is three subtractions and three
+/// multiplications, so small corpora never pay for thread spawns.
+const MIN_PARALLEL_PREFILTER: usize = 1024;
 
 /// Configuration of a [`PatternIndex`].
 ///
@@ -40,6 +70,7 @@ const MIN_PARALLEL_MISSES: usize = 8;
 /// assert_eq!(opts.kast.cut_weight, 2);
 /// assert!(opts.prefilter.enabled);
 /// assert_eq!(opts.cache_capacity, 4096);
+/// assert_eq!(opts.shards, 1);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct IndexOptions {
@@ -52,10 +83,18 @@ pub struct IndexOptions {
     pub signature: SignatureConfig,
     /// Candidate prefilter configuration.
     pub prefilter: PrefilterConfig,
-    /// Capacity of the pairwise kernel LRU (pairs; 0 disables caching).
+    /// Capacity of each shard's pairwise kernel LRU (pairs; 0 disables
+    /// caching).
     pub cache_capacity: usize,
     /// OS threads for batch scoring (0 = available parallelism).
     pub threads: usize,
+    /// Number of shards the corpus is split across (0 is treated as 1).
+    ///
+    /// Sharding never changes query results — it changes which lock an
+    /// ingest takes and how the prefilter fans out. One shard is the right
+    /// choice for single-threaded/embedded use; the serve daemon defaults
+    /// to several so ingests stop blocking unrelated queries.
+    pub shards: usize,
 }
 
 impl Default for IndexOptions {
@@ -67,6 +106,7 @@ impl Default for IndexOptions {
             prefilter: PrefilterConfig::default(),
             cache_capacity: 4096,
             threads: 0,
+            shards: 1,
         }
     }
 }
@@ -94,6 +134,31 @@ pub struct IndexStats {
     pub ingest_evals: u64,
     /// Self-kernel evaluations performed for (distinct) queries.
     pub query_self_evals: u64,
+}
+
+/// [`IndexStats`] as atomics, so concurrent queries can count work while
+/// holding only shard *read* locks.
+#[derive(Debug, Default)]
+struct SharedStats {
+    queries: AtomicU64,
+    kernel_evals: AtomicU64,
+    cache_hits: AtomicU64,
+    prefilter_pruned: AtomicU64,
+    ingest_evals: AtomicU64,
+    query_self_evals: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> IndexStats {
+        IndexStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            kernel_evals: self.kernel_evals.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            prefilter_pruned: self.prefilter_pruned.load(Ordering::Relaxed),
+            ingest_evals: self.ingest_evals.load(Ordering::Relaxed),
+            query_self_evals: self.query_self_evals.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One returned neighbour of a k-NN query.
@@ -128,7 +193,43 @@ pub struct QueryResult {
     pub cache_hits: usize,
 }
 
+/// One shard of the corpus: a contiguous id-ordered slice of the entries
+/// assigned to it, plus that shard's pairwise-kernel LRU.
+///
+/// The entry vectors are only mutated under the shard's *write* lock
+/// (ingest); the cache has its own mutex so queries can hit and fill it
+/// while holding only the shard's *read* lock.
+#[derive(Debug)]
+struct Shard {
+    entries: Vec<IndexEntry>,
+    signatures: Vec<PatternSignature>,
+    cache: Mutex<KernelCache>,
+}
+
+impl Shard {
+    fn new(cache_capacity: usize) -> Self {
+        Shard {
+            entries: Vec::new(),
+            signatures: Vec::new(),
+            cache: Mutex::new(KernelCache::new(cache_capacity)),
+        }
+    }
+}
+
 /// The online pattern corpus index.
+///
+/// All methods take `&self`: the index is internally synchronised (see the
+/// [module docs](crate::index) for the sharding and locking model), so a
+/// multi-threaded server shares it behind a plain `Arc` with no external
+/// lock, queries running concurrently with each other and with ingests
+/// into other shards.
+///
+/// # Shard-assignment invariant
+///
+/// The entry with [`EntryId`] `i` lives in shard `i % shard_count()`, and
+/// ids are allocated contiguously in ingestion order. Placement is
+/// therefore deterministic: re-ingesting the same entries in the same
+/// order (as [`crate::load_index`] does) reproduces the same shard layout.
 ///
 /// # Examples
 ///
@@ -137,7 +238,7 @@ pub struct QueryResult {
 /// use kastio_trace::parse_trace;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut index = PatternIndex::new(IndexOptions::default());
+/// let index = PatternIndex::new(IndexOptions::default());
 /// let writes = parse_trace(&"h0 write 1048576\n".repeat(32))?;
 /// let reads = parse_trace(&"h0 read 4096\n".repeat(32))?;
 /// index.ingest("ckpt", "checkpoint", writes.clone());
@@ -154,12 +255,11 @@ pub struct PatternIndex {
     opts: IndexOptions,
     pipeline: PatternPipeline,
     kernel: KastKernel,
-    interner: TokenInterner,
-    entries: Vec<IndexEntry>,
-    signatures: Vec<PatternSignature>,
-    cache: KernelCache,
-    queries: QueryRegistry,
-    stats: IndexStats,
+    interner: Mutex<TokenInterner>,
+    shards: Vec<RwLock<Shard>>,
+    next_id: AtomicU32,
+    queries: Mutex<QueryRegistry>,
+    stats: SharedStats,
 }
 
 /// Full-content identity of a query string: its exact id and weight
@@ -177,28 +277,34 @@ struct QueryInfo {
 }
 
 /// Maps distinct query strings to [`QueryInfo`]. Bounded: when it
-/// outgrows its capacity it resets together with the pair cache (the
-/// dense ids keep increasing, so even a racy mix of old and new entries
-/// could not alias — the reset just keeps memory flat).
+/// outgrows its capacity it resets together with the per-shard pair
+/// caches (the dense ids keep increasing, so even a racy mix of old and
+/// new entries could not alias — the reset just keeps memory flat).
 #[derive(Debug, Default)]
 struct QueryRegistry {
     map: HashMap<QueryKey, QueryInfo>,
     next_id: u64,
 }
 
+/// A candidate surviving the prefilter: which shard holds it and its
+/// position inside that shard's entry vector.
+type Candidate = (usize, usize);
+
 impl PatternIndex {
     /// Creates an empty index.
     pub fn new(opts: IndexOptions) -> Self {
+        let shard_count = opts.shards.max(1);
         PatternIndex {
             opts,
             pipeline: PatternPipeline::new(opts.byte_mode),
             kernel: KastKernel::new(opts.kast),
-            interner: TokenInterner::new(),
-            entries: Vec::new(),
-            signatures: Vec::new(),
-            cache: KernelCache::new(opts.cache_capacity),
-            queries: QueryRegistry::default(),
-            stats: IndexStats::default(),
+            interner: Mutex::new(TokenInterner::new()),
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(Shard::new(opts.cache_capacity)))
+                .collect(),
+            next_id: AtomicU32::new(0),
+            queries: Mutex::new(QueryRegistry::default()),
+            stats: SharedStats::default(),
         }
     }
 
@@ -207,37 +313,93 @@ impl PatternIndex {
         &self.opts
     }
 
+    /// Number of shards the corpus is split across.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kastio_index::{IndexOptions, PatternIndex};
+    ///
+    /// let index = PatternIndex::new(IndexOptions { shards: 4, ..IndexOptions::default() });
+    /// assert_eq!(index.shard_count(), 4);
+    /// // 0 is normalised to a single shard.
+    /// let single = PatternIndex::new(IndexOptions { shards: 0, ..IndexOptions::default() });
+    /// assert_eq!(single.shard_count(), 1);
+    /// ```
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of entries in each shard, in shard order. The sum equals
+    /// [`PatternIndex::len`], and by the shard-assignment invariant entry
+    /// `i` is counted by shard `i % shard_count()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kastio_index::{IndexOptions, PatternIndex};
+    /// use kastio_trace::parse_trace;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let index = PatternIndex::new(IndexOptions { shards: 2, ..IndexOptions::default() });
+    /// for i in 0..5 {
+    ///     index.ingest(format!("e{i}"), "label", parse_trace("h0 write 64\n")?);
+    /// }
+    /// assert_eq!(index.shard_sizes(), vec![3, 2]); // ids 0,2,4 and 1,3
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|shard| read_shard(shard).entries.len()).collect()
+    }
+
+    /// The shard that owns (or will own) the entry with the given id —
+    /// `id % shard_count()`, the shard-assignment invariant.
+    pub fn shard_of(&self, id: EntryId) -> usize {
+        id.0 as usize % self.shards.len()
+    }
+
     /// Number of ingested entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|shard| read_shard(shard).entries.len()).sum()
     }
 
     /// Whether the corpus is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// The ingested entries, in ingestion order.
-    pub fn entries(&self) -> &[IndexEntry] {
-        &self.entries
+    /// A snapshot of the ingested entries in ingestion (id) order.
+    ///
+    /// Entries are cloned out of their shards so the snapshot is
+    /// self-contained — it stays valid while other threads keep ingesting.
+    pub fn entries(&self) -> Vec<IndexEntry> {
+        let mut entries: Vec<IndexEntry> =
+            self.shards.iter().flat_map(|shard| read_shard(shard).entries.clone()).collect();
+        entries.sort_by_key(|e| e.id);
+        entries
     }
 
     /// Work counters accumulated so far.
     pub fn stats(&self) -> IndexStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    /// Number of pairs currently cached.
+    /// Number of pairs currently cached, summed over the shards.
     pub fn cached_pairs(&self) -> usize {
-        self.cache.len()
+        self.shards
+            .iter()
+            .map(|shard| read_shard(shard).cache.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
     }
 
     /// Runs the trace → weighted string pipeline and interns the result
     /// with the index's shared interner, making the returned string
     /// comparable with every indexed entry (see the [`TokenInterner`]
     /// same-interner invariant).
-    pub fn intern_trace(&mut self, trace: &Trace) -> IdString {
-        self.interner.intern_string(&self.pipeline.string_of_trace(trace))
+    pub fn intern_trace(&self, trace: &Trace) -> IdString {
+        let string = self.pipeline.string_of_trace(trace);
+        self.interner.lock().unwrap_or_else(|p| p.into_inner()).intern_string(&string)
     }
 
     /// The kernel the index evaluates (for direct cross-checks).
@@ -247,31 +409,70 @@ impl PatternIndex {
 
     /// Ingests one labelled trace, running the full preprocessing pipeline
     /// once: pattern string, interning, self-kernel, cut mass, signature.
+    /// Only the owning shard is write-locked, and only for the final
+    /// insertion — queries touching other shards proceed undisturbed.
     ///
     /// Names should be unique within an index — persistence writes one
     /// file per name, and later duplicates overwrite earlier ones there.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kastio_index::{IndexOptions, PatternIndex};
+    /// use kastio_trace::parse_trace;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let index = PatternIndex::new(IndexOptions::default());
+    /// let id = index.ingest("ckpt", "checkpoint", parse_trace("h0 write 64\n")?);
+    /// assert_eq!(id.0, 0);
+    /// assert_eq!(index.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn ingest(
-        &mut self,
+        &self,
         name: impl Into<String>,
         label: impl Into<String>,
         trace: Trace,
     ) -> EntryId {
-        let id = EntryId(self.entries.len() as u32);
+        let id = self.allocate_id();
+        self.ingest_with_id(id, name.into(), label.into(), trace)
+    }
+
+    /// [`PatternIndex::ingest`] with the name derived from the allocated
+    /// id (`e<id>`), for callers — like the serve daemon — that do not
+    /// name entries themselves. Unlike naming by [`PatternIndex::len`],
+    /// this is race-free under concurrent ingestion: the id is unique by
+    /// construction.
+    pub fn ingest_auto(&self, label: impl Into<String>, trace: Trace) -> EntryId {
+        let id = self.allocate_id();
+        self.ingest_with_id(id, format!("e{}", id.0), label.into(), trace)
+    }
+
+    fn allocate_id(&self) -> EntryId {
+        EntryId(self.next_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    fn ingest_with_id(&self, id: EntryId, name: String, label: String, trace: Trace) -> EntryId {
         let string = self.intern_trace(&trace);
         let self_kernel = self.kernel.raw(&string, &string);
-        self.stats.ingest_evals += 1;
+        self.stats.ingest_evals.fetch_add(1, Ordering::Relaxed);
         let entry = IndexEntry {
             id,
-            name: name.into(),
-            label: label.into(),
+            name,
+            label,
             signature: PatternSignature::of(&trace, self.opts.signature),
             cut_mass: string.weight_at_least(self.opts.kast.cut_weight),
             trace,
             string,
             self_kernel,
         };
-        self.signatures.push(entry.signature);
-        self.entries.push(entry);
+        let mut shard = write_shard(&self.shards[self.shard_of(id)]);
+        // Concurrent ingests into one shard can reach this point out of id
+        // order; insert by id so shard contents are deterministic.
+        let at = shard.entries.partition_point(|e| e.id < id);
+        shard.signatures.insert(at, entry.signature);
+        shard.entries.insert(at, entry);
         id
     }
 
@@ -279,51 +480,102 @@ impl PatternIndex {
     /// the majority-vote label.
     ///
     /// Pipeline: convert + intern the query once, prefilter the corpus by
-    /// signature distance, serve cached pairs from the LRU, score the
-    /// remaining candidates in parallel, merge and rank.
-    pub fn query(&mut self, trace: &Trace, k: usize) -> QueryResult {
+    /// signature distance (fanned across shards), serve cached pairs from
+    /// the per-shard LRUs, score the remaining candidates in parallel,
+    /// merge and rank. Holds *read* locks on the shards, so any number of
+    /// queries run concurrently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kastio_index::{IndexOptions, PatternIndex};
+    /// use kastio_trace::parse_trace;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let index = PatternIndex::new(IndexOptions { shards: 2, ..IndexOptions::default() });
+    /// index.ingest("ckpt", "checkpoint", parse_trace(&"h0 write 1048576\n".repeat(16))?);
+    /// index.ingest("scan", "analysis", parse_trace(&"h0 read 4096\n".repeat(16))?);
+    ///
+    /// let result = index.query(&parse_trace(&"h0 read 4096\n".repeat(12))?, 1);
+    /// assert_eq!(result.neighbors.len(), 1);
+    /// assert_eq!(result.label.as_deref(), Some("analysis"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn query(&self, trace: &Trace, k: usize) -> QueryResult {
         let query_string = self.intern_trace(trace);
         let query_signature = PatternSignature::of(trace, self.opts.signature);
         self.query_interned(&query_string, &query_signature, k)
     }
 
+    /// Answers one query per trace, in order. Each query parallelises
+    /// internally; this is the library half of the wire protocol's
+    /// `MQUERY` batching, which amortises framing and round-trips rather
+    /// than computation.
+    pub fn query_batch(&self, traces: &[Trace], k: usize) -> Vec<QueryResult> {
+        traces.iter().map(|trace| self.query(trace, k)).collect()
+    }
+
     /// [`PatternIndex::query`] for a query that is already converted and
     /// interned (by [`PatternIndex::intern_trace`]) with its signature.
     pub fn query_interned(
-        &mut self,
+        &self,
         query: &IdString,
         signature: &PatternSignature,
         k: usize,
     ) -> QueryResult {
-        self.stats.queries += 1;
-        let budget = self.opts.prefilter.budget_for(k, self.entries.len());
-        let candidates = if budget >= self.entries.len() {
-            (0..self.entries.len()).collect()
-        } else {
-            select_candidates(signature, &self.signatures, budget)
-        };
-        self.stats.prefilter_pruned += (self.entries.len() - candidates.len()) as u64;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
 
-        // Resolve the query's exact identity (and memoised self-kernel).
+        // Resolve the query's exact identity (and memoised self-kernel)
+        // before taking any shard lock. Lock order: the registry mutex
+        // may be acquired *before* shard/cache locks (its reset path
+        // clears the per-shard caches while holding it), never after —
+        // no code path may take the registry while holding a shard lock
+        // or a cache mutex, or the order would cycle.
         let (query_key, query_self) = self.query_identity(query);
 
-        // Serve what the LRU already knows; collect the rest for scoring.
-        let mut raw_values: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
-        let mut misses: Vec<usize> = Vec::new();
-        for &idx in &candidates {
-            match self.cache.get((query_key, self.entries[idx].id.0)) {
-                Some(value) => raw_values.push((idx, value)),
-                None => misses.push(idx),
+        // Read-lock every shard for the duration of the query. Shards are
+        // always locked in index order, and writers only ever hold one
+        // shard lock, so this cannot deadlock.
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.shards.iter().map(read_shard).collect();
+        let shards: Vec<&Shard> = guards.iter().map(|guard| &**guard).collect();
+        let total: usize = shards.iter().map(|shard| shard.entries.len()).sum();
+
+        let budget = self.opts.prefilter.budget_for(k, total);
+        let candidates = self.select_candidates_sharded(&shards, signature, budget, total);
+        self.stats.prefilter_pruned.fetch_add((total - candidates.len()) as u64, Ordering::Relaxed);
+
+        // Serve what the per-shard LRUs already know; collect the rest.
+        let mut raw_values: Vec<(Candidate, f64)> = Vec::with_capacity(candidates.len());
+        let mut misses: Vec<Candidate> = Vec::new();
+        for shard_idx in 0..shards.len() {
+            let mut in_shard = candidates.iter().filter(|&&(s, _)| s == shard_idx).peekable();
+            if in_shard.peek().is_none() {
+                continue;
+            }
+            let mut cache = shards[shard_idx].cache.lock().unwrap_or_else(|p| p.into_inner());
+            for &(s, pos) in in_shard {
+                match cache.get((query_key, shards[s].entries[pos].id.0)) {
+                    Some(value) => raw_values.push(((s, pos), value)),
+                    None => misses.push((s, pos)),
+                }
             }
         }
         let cache_hits = raw_values.len();
         let evaluated = misses.len();
-        self.stats.cache_hits += cache_hits as u64;
-        self.stats.kernel_evals += evaluated as u64;
+        self.stats.cache_hits.fetch_add(cache_hits as u64, Ordering::Relaxed);
+        self.stats.kernel_evals.fetch_add(evaluated as u64, Ordering::Relaxed);
 
-        let scored = self.score_batch(query, &misses);
-        for &(idx, value) in &scored {
-            self.cache.insert((query_key, self.entries[idx].id.0), value);
+        let scored = self.score_batch(&shards, query, &misses);
+        for shard_idx in 0..shards.len() {
+            let mut in_shard = scored.iter().filter(|&&((s, _), _)| s == shard_idx).peekable();
+            if in_shard.peek().is_none() {
+                continue;
+            }
+            let mut cache = shards[shard_idx].cache.lock().unwrap_or_else(|p| p.into_inner());
+            for &((s, pos), value) in in_shard {
+                cache.insert((query_key, shards[s].entries[pos].id.0), value);
+            }
         }
         raw_values.extend(scored);
 
@@ -332,8 +584,8 @@ impl PatternIndex {
         let query_mass = query.weight_at_least(self.opts.kast.cut_weight);
         let mut neighbors: Vec<Neighbor> = raw_values
             .into_iter()
-            .map(|(idx, kab)| {
-                let entry = &self.entries[idx];
+            .map(|((s, pos), kab)| {
+                let entry = &shards[s].entries[pos];
                 let similarity = match self.opts.kast.normalization {
                     Normalization::Cosine => {
                         if kab == 0.0 || query_self <= 0.0 || entry.self_kernel <= 0.0 {
@@ -370,74 +622,147 @@ impl PatternIndex {
         QueryResult { neighbors, label, candidates: candidates.len(), evaluated, cache_hits }
     }
 
+    /// Ranks every entry by signature distance and keeps the global
+    /// `budget` closest, fanning the per-shard distance scans across
+    /// scoped threads when the corpus is large enough to pay for them.
+    ///
+    /// Ties break by global entry id, so the selected candidate *set* is
+    /// identical for every shard count (and identical to the historic
+    /// unsharded selection).
+    fn select_candidates_sharded(
+        &self,
+        shards: &[&Shard],
+        signature: &PatternSignature,
+        budget: usize,
+        total: usize,
+    ) -> Vec<Candidate> {
+        if budget >= total {
+            return (0..shards.len())
+                .flat_map(|s| (0..shards[s].entries.len()).map(move |pos| (s, pos)))
+                .collect();
+        }
+        // Per-shard: rank the shard's entries, keep at most `budget` (the
+        // global winners are a subset of every shard's local winners).
+        let rank_shard = |s: usize| -> Vec<(f64, u32, Candidate)> {
+            select_candidates_ranked(signature, &shards[s].signatures, budget)
+                .into_iter()
+                .map(|(dist, pos)| (dist, shards[s].entries[pos].id.0, (s, pos)))
+                .collect()
+        };
+        let mut ranked: Vec<(f64, u32, Candidate)> =
+            if shards.len() > 1 && total >= MIN_PARALLEL_PREFILTER {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> =
+                        (0..shards.len()).map(|s| scope.spawn(move || rank_shard(s))).collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("prefilter shard thread panicked"))
+                        .collect()
+                })
+            } else {
+                (0..shards.len()).flat_map(rank_shard).collect()
+            };
+        // Global top-`budget` by (distance, id) — the same order the
+        // unsharded index used, with ids standing in for corpus position.
+        let order = |a: &(f64, u32, Candidate), b: &(f64, u32, Candidate)| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        };
+        if budget < ranked.len() {
+            ranked.select_nth_unstable_by(budget, order);
+            ranked.truncate(budget);
+        }
+        ranked.sort_by(order);
+        ranked.into_iter().map(|(_, _, candidate)| candidate).collect()
+    }
+
     /// Resolves the query half of pair-cache keys (a dense id assigned to
     /// the exact string content — never a hash, so distinct queries can
     /// never alias) and the query self-kernel, memoised per distinct
     /// query so repeated queries skip the quadratic `raw(q, q)`.
     ///
+    /// The registry mutex is *not* held while the self-kernel is computed
+    /// — a concurrent identical query may race to compute the same value,
+    /// which is benign (the kernel is deterministic, so both arrive at the
+    /// same bits) and keeps a slow first-time query from serialising every
+    /// other query behind the registry lock.
+    ///
     /// With caching disabled (`cache_capacity == 0`) nothing is
     /// remembered: the self-kernel is recomputed per query, matching the
     /// uncached pair path.
-    fn query_identity(&mut self, query: &IdString) -> (u64, f64) {
+    fn query_identity(&self, query: &IdString) -> (u64, f64) {
         let need_self = self.opts.kast.normalization == Normalization::Cosine;
+        let compute_self = || {
+            self.stats.query_self_evals.fetch_add(1, Ordering::Relaxed);
+            self.kernel.raw(query, query)
+        };
         if self.opts.cache_capacity == 0 {
-            let query_self = if need_self {
-                self.stats.query_self_evals += 1;
-                self.kernel.raw(query, query)
-            } else {
-                0.0
-            };
+            let query_self = if need_self { compute_self() } else { 0.0 };
             return (0, query_self);
         }
-        // Bound the registry by the cache capacity: past it, reset both
-        // (the pair cache is keyed by these ids, so they retire together).
         let key: QueryKey = (query.ids().to_vec(), query.weights().to_vec());
-        if self.queries.map.len() >= self.opts.cache_capacity
-            && !self.queries.map.contains_key(&key)
-        {
-            self.queries.map.clear();
-            self.cache.clear();
-        }
-        let next_id = self.queries.next_id;
-        let info =
-            self.queries.map.entry(key).or_insert(QueryInfo { id: next_id, self_kernel: None });
-        if info.id == next_id {
-            self.queries.next_id += 1;
-        }
-        let query_self = if need_self {
-            match info.self_kernel {
-                Some(value) => value,
-                None => {
-                    let value = self.kernel.raw(query, query);
-                    self.stats.query_self_evals += 1;
-                    info.self_kernel = Some(value);
-                    value
+        let id = {
+            let mut registry = self.lock_registry();
+            // Bound the registry by the cache capacity: past it, reset it
+            // together with the per-shard pair caches (the caches are
+            // keyed by these ids, so they retire together).
+            if registry.map.len() >= self.opts.cache_capacity && !registry.map.contains_key(&key) {
+                registry.map.clear();
+                for shard in &self.shards {
+                    read_shard(shard).cache.lock().unwrap_or_else(|p| p.into_inner()).clear();
                 }
             }
-        } else {
-            0.0
+            let QueryRegistry { map, next_id } = &mut *registry;
+            let fresh_id = *next_id;
+            let info =
+                map.entry(key.clone()).or_insert(QueryInfo { id: fresh_id, self_kernel: None });
+            if info.id == fresh_id {
+                *next_id += 1;
+            }
+            if !need_self {
+                return (info.id, 0.0);
+            }
+            if let Some(value) = info.self_kernel {
+                return (info.id, value);
+            }
+            info.id
         };
-        (info.id, query_self)
+        // Compute outside the lock, then publish.
+        let value = compute_self();
+        let mut registry = self.lock_registry();
+        if let Some(info) = registry.map.get_mut(&key) {
+            info.self_kernel = Some(value);
+        }
+        (id, value)
     }
 
-    /// Scores `query` against the entries at `misses`, striping the batch
-    /// across scoped OS threads when it is large enough to pay for them.
-    fn score_batch(&self, query: &IdString, misses: &[usize]) -> Vec<(usize, f64)> {
-        let entries = &self.entries;
+    fn lock_registry(&self) -> MutexGuard<'_, QueryRegistry> {
+        self.queries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Scores `query` against the candidates at `misses` (across all
+    /// shards), striping the batch over scoped OS threads when it is
+    /// large enough to pay for them.
+    fn score_batch(
+        &self,
+        shards: &[&Shard],
+        query: &IdString,
+        misses: &[Candidate],
+    ) -> Vec<(Candidate, f64)> {
         let kernel = &self.kernel;
+        let eval =
+            |&(s, pos): &Candidate| ((s, pos), kernel.raw(query, &shards[s].entries[pos].string));
         let threads = effective_threads(self.opts.threads, misses.len());
         if threads <= 1 || misses.len() < MIN_PARALLEL_MISSES {
-            return misses.iter().map(|&i| (i, kernel.raw(query, &entries[i].string))).collect();
+            return misses.iter().map(eval).collect();
         }
-        let mut scored: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let mut scored: Vec<(Candidate, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     scope.spawn(move || {
                         let mut acc = Vec::new();
                         let mut at = t;
                         while at < misses.len() {
-                            let i = misses[at];
-                            acc.push((i, kernel.raw(query, &entries[i].string)));
+                            acc.push(eval(&misses[at]));
                             at += threads;
                         }
                         acc
@@ -450,9 +775,20 @@ impl PatternIndex {
                 .collect()
         });
         // Deterministic merge order regardless of thread count.
-        scored.sort_by_key(|&(i, _)| i);
+        scored.sort_by_key(|&((s, pos), _)| (s, pos));
         scored
     }
+}
+
+fn read_shard(shard: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {
+    // A panicking query thread cannot leave a shard torn (it holds only
+    // read access; cache mutations are LRU-internal and unwind-safe), so a
+    // poisoned lock is still safe to reuse.
+    shard.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_shard(shard: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
+    shard.write().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn effective_threads(requested: usize, work: usize) -> usize {
@@ -499,7 +835,7 @@ mod tests {
     }
 
     fn small_index() -> PatternIndex {
-        let mut index = PatternIndex::new(IndexOptions::default());
+        let index = PatternIndex::new(IndexOptions::default());
         for i in 0..4 {
             index.ingest(format!("w{i}"), "write-heavy", checkpoint(16 + i));
             index.ingest(format!("r{i}"), "read-heavy", scan(16 + i));
@@ -509,7 +845,7 @@ mod tests {
 
     #[test]
     fn nearest_neighbor_is_exact() {
-        let mut index = small_index();
+        let index = small_index();
         let result = index.query(&checkpoint(16), 3);
         assert_eq!(result.neighbors.len(), 3);
         assert_eq!(result.neighbors[0].name, "w0");
@@ -519,7 +855,7 @@ mod tests {
 
     #[test]
     fn similarity_matches_direct_kernel_evaluation_bitwise() {
-        let mut index = small_index();
+        let index = small_index();
         let query_trace = checkpoint(40);
         let query = index.intern_trace(&query_trace);
         let direct: Vec<(String, f64)> = index
@@ -542,7 +878,7 @@ mod tests {
 
     #[test]
     fn prefilter_reduces_kernel_evaluations() {
-        let mut index = PatternIndex::new(IndexOptions {
+        let index = PatternIndex::new(IndexOptions {
             prefilter: PrefilterConfig { enabled: true, min_candidates: 2, per_k: 1 },
             ..IndexOptions::default()
         });
@@ -561,7 +897,7 @@ mod tests {
 
     #[test]
     fn repeated_query_is_served_from_cache() {
-        let mut index = small_index();
+        let index = small_index();
         let first = index.query(&scan(20), 4);
         assert!(first.evaluated > 0);
         assert_eq!(first.cache_hits, 0);
@@ -577,7 +913,7 @@ mod tests {
 
     #[test]
     fn cache_capacity_zero_always_reevaluates() {
-        let mut index =
+        let index =
             PatternIndex::new(IndexOptions { cache_capacity: 0, ..IndexOptions::default() });
         index.ingest("w", "w", checkpoint(8));
         let a = index.query(&checkpoint(8), 1);
@@ -597,9 +933,9 @@ mod tests {
     fn query_registry_reset_preserves_correctness() {
         // Capacity 2: the third distinct query forces a registry + cache
         // reset; results must stay identical to an unbounded index.
-        let mut bounded =
+        let bounded =
             PatternIndex::new(IndexOptions { cache_capacity: 2, ..IndexOptions::default() });
-        let mut unbounded = PatternIndex::new(IndexOptions::default());
+        let unbounded = PatternIndex::new(IndexOptions::default());
         for i in 0..3 {
             bounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
             unbounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
@@ -622,7 +958,7 @@ mod tests {
 
     #[test]
     fn empty_corpus_yields_empty_result() {
-        let mut index = PatternIndex::new(IndexOptions::default());
+        let index = PatternIndex::new(IndexOptions::default());
         let result = index.query(&checkpoint(4), 3);
         assert!(result.neighbors.is_empty());
         assert_eq!(result.label, None);
@@ -631,7 +967,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_corpus_returns_everything() {
-        let mut index = small_index();
+        let index = small_index();
         let result = index.query(&checkpoint(16), 100);
         assert_eq!(result.neighbors.len(), index.len());
     }
@@ -651,13 +987,13 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_scoring_agree_bitwise() {
-        let mut sequential = PatternIndex::new(IndexOptions {
+        let sequential = PatternIndex::new(IndexOptions {
             threads: 1,
             prefilter: PrefilterConfig { enabled: false, ..PrefilterConfig::default() },
             cache_capacity: 0,
             ..IndexOptions::default()
         });
-        let mut parallel = PatternIndex::new(IndexOptions {
+        let parallel = PatternIndex::new(IndexOptions {
             threads: 4,
             prefilter: PrefilterConfig { enabled: false, ..PrefilterConfig::default() },
             cache_capacity: 0,
@@ -679,7 +1015,7 @@ mod tests {
 
     #[test]
     fn weight_product_normalisation_matches_direct_evaluation() {
-        let mut index = PatternIndex::new(IndexOptions {
+        let index = PatternIndex::new(IndexOptions {
             kast: KastOptions {
                 normalization: Normalization::WeightProduct,
                 ..KastOptions::with_cut_weight(2)
@@ -697,5 +1033,111 @@ mod tests {
             let expected = direct[n.id.0 as usize];
             assert_eq!(n.similarity.to_bits(), expected.to_bits());
         }
+    }
+
+    #[test]
+    fn shard_assignment_follows_id_modulo_invariant() {
+        let index = PatternIndex::new(IndexOptions { shards: 3, ..IndexOptions::default() });
+        for i in 0..8 {
+            let id = index.ingest(format!("w{i}"), "w", checkpoint(4 + i));
+            assert_eq!(id.0 as usize, i);
+            assert_eq!(index.shard_of(id), i % 3);
+        }
+        assert_eq!(index.shard_sizes(), vec![3, 3, 2]);
+        assert_eq!(index.shard_sizes().iter().sum::<usize>(), index.len());
+        // The snapshot is globally id-ordered despite the shard split.
+        let names: Vec<String> = index.entries().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"]);
+    }
+
+    #[test]
+    fn sharded_results_are_bit_identical_to_single_shard() {
+        let single = PatternIndex::new(IndexOptions::default());
+        let sharded = PatternIndex::new(IndexOptions { shards: 4, ..IndexOptions::default() });
+        for i in 0..6 {
+            single.ingest(format!("w{i}"), "w", checkpoint(10 + i));
+            single.ingest(format!("r{i}"), "r", scan(10 + i));
+            sharded.ingest(format!("w{i}"), "w", checkpoint(10 + i));
+            sharded.ingest(format!("r{i}"), "r", scan(10 + i));
+        }
+        for probe in [checkpoint(11), scan(13), checkpoint(30)] {
+            let a = single.query(&probe, 5);
+            let b = sharded.query(&probe, 5);
+            assert_eq!(a.candidates, b.candidates, "prefilter selection is shard-independent");
+            assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(
+                    x.similarity.to_bits(),
+                    y.similarity.to_bits(),
+                    "sharding must not change kernel values"
+                );
+            }
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn ingest_auto_names_by_id() {
+        let index = PatternIndex::new(IndexOptions { shards: 2, ..IndexOptions::default() });
+        index.ingest_auto("w", checkpoint(4));
+        index.ingest_auto("r", scan(4));
+        let entries = index.entries();
+        assert_eq!(entries[0].name, "e0");
+        assert_eq!(entries[1].name, "e1");
+    }
+
+    #[test]
+    fn concurrent_queries_and_ingests_stay_exact() {
+        // One writer keeps ingesting new entries while readers hammer the
+        // index with queries; every similarity a reader sees must still be
+        // the exact kernel value for that (query, entry) pair.
+        let index = std::sync::Arc::new(PatternIndex::new(IndexOptions {
+            shards: 4,
+            ..IndexOptions::default()
+        }));
+        for i in 0..6 {
+            index.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+            index.ingest(format!("r{i}"), "r", scan(8 + i));
+        }
+        let expected: Vec<(String, f64)> = {
+            let probe = index.intern_trace(&checkpoint(9));
+            index
+                .entries()
+                .iter()
+                .map(|e| (e.name.clone(), index.kernel().normalized(&probe, &e.string)))
+                .collect()
+        };
+        std::thread::scope(|scope| {
+            let writer_index = std::sync::Arc::clone(&index);
+            scope.spawn(move || {
+                for i in 0..8 {
+                    writer_index.ingest(format!("x{i}"), "x", checkpoint(40 + i));
+                }
+            });
+            for _ in 0..3 {
+                let reader_index = std::sync::Arc::clone(&index);
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let result = reader_index.query(&checkpoint(9), 4);
+                        for n in &result.neighbors {
+                            if let Some((_, want)) =
+                                expected.iter().find(|(name, _)| *name == n.name)
+                            {
+                                assert_eq!(
+                                    n.similarity.to_bits(),
+                                    want.to_bits(),
+                                    "{}: concurrent query drifted from direct evaluation",
+                                    n.name
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), 20);
+        assert_eq!(index.shard_sizes().iter().sum::<usize>(), 20);
     }
 }

@@ -18,17 +18,28 @@
 //! 3. **scoped-thread batch scoring** — the surviving candidates are
 //!    striped across OS threads (`std::thread::scope`, no async runtime).
 //!
+//! The corpus is **sharded** ([`IndexOptions::shards`]): entries are
+//! assigned to shard `id % S`, every mutable accelerator sits behind
+//! per-shard interior mutability, and [`PatternIndex::query`] /
+//! [`PatternIndex::ingest`] take `&self` — a server shares one index
+//! across threads behind a plain `Arc`, queries holding shard *read*
+//! locks (so they run concurrently) and ingests write-locking only the
+//! owning shard. See `docs/ARCHITECTURE.md` for the full locking model.
+//!
 //! Accuracy contract: the similarity reported for every returned
 //! neighbour is bit-identical to a direct [`kastio_core::KastKernel`]
-//! evaluation of the same pair; prefilter and cache change which pairs
-//! are evaluated and how often, never the arithmetic.
+//! evaluation of the same pair; prefilter, cache and sharding change
+//! which pairs are evaluated, how often and where the entries live,
+//! never the arithmetic.
 //!
 //! [`persist`] stores a corpus as plain-text trace files (+ `MANIFEST`),
 //! the same layout `kastio generate` emits, so an index survives restarts
-//! and datasets load directly. [`server`] wraps the index in a
+//! and datasets load directly (and shard placement, a pure function of
+//! ingestion order, survives with it). [`server`] wraps the index in a
 //! `TcpListener` daemon speaking the line protocol of [`protocol`]
-//! (`INGEST` / `QUERY` / `STATS` / `SHUTDOWN`), and the `kastio serve` /
-//! `kastio query` subcommands front it on the command line.
+//! (`INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` /
+//! `SHUTDOWN` — specified in `docs/PROTOCOL.md`), and the `kastio serve`
+//! / `kastio query` subcommands front it on the command line.
 //!
 //! # Quickstart
 //!
@@ -37,7 +48,7 @@
 //! use kastio_trace::parse_trace;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut index = PatternIndex::new(IndexOptions::default());
+//! let index = PatternIndex::new(IndexOptions { shards: 2, ..IndexOptions::default() });
 //! index.ingest("ckpt", "checkpoint", parse_trace(&"h0 write 1048576\n".repeat(32))?);
 //! index.ingest("scan", "analysis", parse_trace(&"h0 read 4096\n".repeat(32))?);
 //!
@@ -61,5 +72,8 @@ pub use kastio_trace::CorpusIoError;
 pub use lru::KernelCache;
 pub use persist::{load_index, save_index};
 pub use prefilter::PrefilterConfig;
-pub use protocol::{decode_trace_inline, encode_trace_inline, parse_request, read_reply, Request};
+pub use protocol::{
+    decode_trace_inline, encode_trace_inline, parse_batch_ingest_item, parse_request, read_reply,
+    Request, MAX_BATCH_ITEMS,
+};
 pub use server::Server;

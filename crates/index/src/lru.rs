@@ -9,6 +9,14 @@
 //!
 //! Implemented as a `HashMap` into a slab of doubly-linked nodes, giving
 //! O(1) get/insert/evict without any external dependency.
+//!
+//! In a sharded [`crate::PatternIndex`] every shard owns one
+//! `KernelCache` behind its own mutex, sized by
+//! [`crate::IndexOptions::cache_capacity`] each: a query holding only
+//! shard *read* locks can still hit and fill the caches, and eviction
+//! pressure in one shard never disturbs another. The cache itself is
+//! single-threaded by design — concurrency is the caller's lock layout,
+//! kept out of this data structure.
 
 use std::collections::HashMap;
 
@@ -126,6 +134,18 @@ impl KernelCache {
     }
 
     /// Drops every cached pair, keeping the allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kastio_index::lru::KernelCache;
+    ///
+    /// let mut cache = KernelCache::new(4);
+    /// cache.insert((1, 0), 0.5);
+    /// cache.clear();
+    /// assert!(cache.is_empty());
+    /// assert_eq!(cache.capacity(), 4, "capacity survives a clear");
+    /// ```
     pub fn clear(&mut self) {
         self.map.clear();
         self.nodes.clear();

@@ -6,6 +6,14 @@
 //! generate` therefore loads directly into an index (the category tags
 //! become labels), and a corpus built up over a serving session survives
 //! restarts.
+//!
+//! Sharding round-trips deterministically without being written to disk
+//! at all: entries are saved in id (ingestion) order, the manifest
+//! preserves that order, and shard placement is the pure function
+//! `id % shards` — so reloading with the same shard count reproduces the
+//! exact shard layout, and reloading with a *different* shard count is
+//! also fine (placement is a serving-time detail; query results are
+//! shard-independent).
 
 use std::path::Path;
 
@@ -14,13 +22,15 @@ use kastio_trace::{read_corpus, write_corpus, CorpusIoError};
 use crate::index::{IndexOptions, PatternIndex};
 
 /// Writes every entry of `index` into `dir` as `<name>.trace` plus a
-/// `MANIFEST` of `<name> <label>` lines, creating the directory if needed.
+/// `MANIFEST` of `<name> <label>` lines (in ingestion order, so a reload
+/// reproduces ids and shard placement), creating the directory if needed.
 ///
 /// # Errors
 ///
 /// Returns [`CorpusIoError::Io`] on any filesystem failure.
 pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<(), CorpusIoError> {
-    write_corpus(dir, index.entries().iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
+    let entries = index.entries();
+    write_corpus(dir, entries.iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
 }
 
 /// Loads a corpus directory (written by [`save_index`] or by the dataset
@@ -32,7 +42,7 @@ pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<(), CorpusIoError>
 /// Propagates [`CorpusIoError`] from the directory walk (missing or
 /// malformed manifest entries and trace files).
 pub fn load_index(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, CorpusIoError> {
-    let mut index = PatternIndex::new(opts);
+    let index = PatternIndex::new(opts);
     for entry in read_corpus(dir)? {
         index.ingest(entry.name, entry.tag, entry.trace);
     }
@@ -51,8 +61,8 @@ mod tests {
         dir
     }
 
-    fn sample_index() -> PatternIndex {
-        let mut index = PatternIndex::new(IndexOptions::default());
+    fn sample_index(opts: IndexOptions) -> PatternIndex {
+        let index = PatternIndex::new(opts);
         index.ingest("ckpt", "flash", parse_trace(&"h0 write 1048576\n".repeat(8)).unwrap());
         index.ingest("scan", "posix", parse_trace(&"h0 read 4096\n".repeat(8)).unwrap());
         index
@@ -61,15 +71,44 @@ mod tests {
     #[test]
     fn roundtrip_preserves_entries_and_results() {
         let dir = tmpdir("roundtrip");
-        let mut original = sample_index();
+        let original = sample_index(IndexOptions::default());
         save_index(&original, &dir).unwrap();
-        let mut restored = load_index(&dir, IndexOptions::default()).unwrap();
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
         assert_eq!(restored.len(), original.len());
         let q = parse_trace(&"h0 write 1048576\n".repeat(6)).unwrap();
         let a = original.query(&q, 2);
         let b = restored.query(&q, 2);
         assert_eq!(a.neighbors, b.neighbors);
         assert_eq!(a.label, b.label);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_reproduces_shard_placement() {
+        let dir = tmpdir("shards");
+        let opts = IndexOptions { shards: 3, ..IndexOptions::default() };
+        let original = sample_index(opts);
+        original.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap());
+        save_index(&original, &dir).unwrap();
+
+        // Same shard count → identical placement, entry for entry.
+        let restored = load_index(&dir, opts).unwrap();
+        assert_eq!(restored.shard_sizes(), original.shard_sizes());
+        let (a, b) = (original.entries(), restored.entries());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.label, y.label);
+        }
+
+        // Different shard count → same corpus, same query answers.
+        let reshaped =
+            load_index(&dir, IndexOptions { shards: 2, ..IndexOptions::default() }).unwrap();
+        let q = parse_trace(&"h0 write 1048576\n".repeat(6)).unwrap();
+        let want = original.query(&q, 3);
+        let got = reshaped.query(&q, 3);
+        assert_eq!(want.neighbors, got.neighbors);
         fs::remove_dir_all(&dir).unwrap();
     }
 

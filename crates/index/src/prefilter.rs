@@ -60,6 +60,18 @@ impl PrefilterConfig {
 
 /// Squared Euclidean distance between two signatures in
 /// (burstiness, periodicity, repeatability) space.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::prefilter::signature_distance2;
+/// use kastio_trace::PatternSignature;
+///
+/// let a = PatternSignature { burstiness: 1.0, periodicity: 0.0, repeatability: 0.0 };
+/// let b = PatternSignature { burstiness: 0.0, periodicity: 2.0, repeatability: 0.0 };
+/// assert_eq!(signature_distance2(&a, &a), 0.0);
+/// assert_eq!(signature_distance2(&a, &b), 5.0); // 1² + 2²
+/// ```
 pub fn signature_distance2(a: &PatternSignature, b: &PatternSignature) -> f64 {
     let db = a.burstiness - b.burstiness;
     let dp = a.periodicity - b.periodicity;
@@ -73,11 +85,36 @@ pub fn signature_distance2(a: &PatternSignature, b: &PatternSignature) -> f64 {
 ///
 /// O(n) partition around the budget boundary plus an O(budget log budget)
 /// sort of the kept prefix — the corpus is never fully sorted.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_index::prefilter::select_candidates;
+/// use kastio_trace::PatternSignature;
+///
+/// let sig = |b: f64| PatternSignature { burstiness: b, periodicity: 0.0, repeatability: 0.0 };
+/// let corpus = [sig(0.9), sig(0.1), sig(0.5)];
+/// assert_eq!(select_candidates(&sig(0.0), &corpus, 2), vec![1, 2]);
+/// ```
 pub fn select_candidates(
     query: &PatternSignature,
     signatures: &[PatternSignature],
     budget: usize,
 ) -> Vec<usize> {
+    select_candidates_ranked(query, signatures, budget).into_iter().map(|(_, i)| i).collect()
+}
+
+/// [`select_candidates`] keeping the squared distances alongside the
+/// indices — the form the sharded index merges across shards (a shard's
+/// local top-`budget` is a superset of its contribution to the global
+/// top-`budget`, so per-shard calls to this function followed by a global
+/// `(distance, id)` selection reproduce the unsharded candidate set
+/// exactly).
+pub fn select_candidates_ranked(
+    query: &PatternSignature,
+    signatures: &[PatternSignature],
+    budget: usize,
+) -> Vec<(f64, usize)> {
     let mut ranked: Vec<(f64, usize)> = signatures
         .iter()
         .enumerate()
@@ -91,7 +128,7 @@ pub fn select_candidates(
         ranked.truncate(budget);
     }
     ranked.sort_by(order);
-    ranked.into_iter().map(|(_, i)| i).collect()
+    ranked
 }
 
 #[cfg(test)]
@@ -121,6 +158,19 @@ mod tests {
         let q = sig(0.0, 0.0, 0.0);
         let corpus = vec![sig(0.5, 0.0, 0.0), sig(-0.5, 0.0, 0.0), sig(0.0, 0.5, 0.0)];
         assert_eq!(select_candidates(&q, &corpus, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ranked_selection_carries_distances() {
+        let q = sig(0.0, 0.0, 0.0);
+        let corpus = vec![sig(0.3, 0.0, 0.0), sig(0.1, 0.0, 0.0)];
+        let ranked = select_candidates_ranked(&q, &corpus, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].1, 1);
+        assert!((ranked[0].0 - 0.01).abs() < 1e-12);
+        assert!((ranked[1].0 - 0.09).abs() < 1e-12);
+        // The index-only form is the same selection, distances dropped.
+        assert_eq!(select_candidates(&q, &corpus, 2), vec![1, 0]);
     }
 
     #[test]

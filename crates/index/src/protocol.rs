@@ -1,29 +1,54 @@
 //! The line-oriented text protocol spoken by `kastio serve`.
 //!
-//! One request per line, one reply per request. Traces travel inline with
-//! operations separated by `;` (each operation is the plain-text trace
-//! line format, `<handle> <op> <bytes>`):
+//! One request per line, one reply per request — except for the batched
+//! forms, whose *items* follow the header line, one per line. Traces
+//! travel inline with operations separated by `;` (each operation is the
+//! plain-text trace line format, `<handle> <op> <bytes>`):
 //!
 //! ```text
 //! INGEST <label> <op>;<op>;…           → OK id=<id> name=<name> entries=<n>
+//! BATCH INGEST <count>                 → OK batch=<count> entries=<n>
+//! <label> <op>;<op>;…   (count lines)
 //! QUERY k=<k> <op>;<op>;…              → OK matches=<m> label=<label|->
 //!                                        MATCH <rank> <name> <label> <similarity>
 //!                                        … (m lines) …
+//!                                        END
+//! MQUERY k=<k> <count>                 → OK queries=<count>
+//! <op>;<op>;…           (count lines)    RESULT <i> matches=<m> label=<label|->
+//!                                        MATCH … (m lines per result) …
 //!                                        END
 //! STATS                                → STAT <key> <value> … END
 //! SHUTDOWN                             → OK bye (server stops accepting)
 //! ```
 //!
-//! Errors are a single `ERR <message>` line; the connection stays open.
-//! Similarities are rendered with Rust's shortest-round-trip float
-//! formatting, so parsing the decimal text back with `f64::from_str`
-//! reconstructs the bit-identical kernel value.
+//! Errors are a single `ERR <message>` line; the connection stays open
+//! (for the batched forms, all `<count>` item lines are consumed before
+//! the `ERR` reply, so the stream stays framed). Similarities are
+//! rendered with Rust's shortest-round-trip float formatting, so parsing
+//! the decimal text back with `f64::from_str` reconstructs the
+//! bit-identical kernel value.
+//!
+//! The full specification — framing, size caps, error catalogue and a
+//! worked transcript — lives in `docs/PROTOCOL.md`.
 
 use kastio_trace::{parse_trace, write_trace, Trace};
 
 use crate::index::{IndexStats, QueryResult};
 
+/// Upper bound on the item count a `BATCH INGEST`/`MQUERY` header may
+/// announce; clients with more items issue several batches. Memory is
+/// bounded separately: the server also caps a batch's *cumulative* item
+/// bytes at the single-request limit (16 MiB), so a maximal item count
+/// cannot multiply the per-line cap.
+pub const MAX_BATCH_ITEMS: usize = 4096;
+
 /// A parsed protocol request.
+///
+/// The batched forms ([`Request::BatchIngest`], [`Request::MultiQuery`])
+/// are *headers*: they announce how many item lines follow on the
+/// connection. [`parse_request`] parses only the header; the server reads
+/// and parses the item lines (via [`parse_batch_ingest_item`] /
+/// [`decode_trace_inline`]) before acting.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Add one labelled trace to the corpus.
@@ -33,12 +58,25 @@ pub enum Request {
         /// The decoded trace.
         trace: Trace,
     },
+    /// Header: `count` ingest item lines (`<label> <trace>`) follow.
+    BatchIngest {
+        /// Number of item lines the client will send next.
+        count: usize,
+    },
     /// k-NN query over the corpus.
     Query {
         /// Number of neighbours requested.
         k: usize,
         /// The decoded query trace.
         trace: Trace,
+    },
+    /// Header: `count` query trace lines follow; each is answered with a
+    /// `RESULT` block inside one framed reply.
+    MultiQuery {
+        /// Number of neighbours requested per query.
+        k: usize,
+        /// Number of query trace lines the client will send next.
+        count: usize,
     },
     /// Report index counters.
     Stats,
@@ -77,7 +115,41 @@ pub fn decode_trace_inline(wire: &str) -> Result<Trace, String> {
     parse_trace(&text).map_err(|e| format!("bad inline trace: {e}"))
 }
 
-/// Parses one request line.
+/// Parses one `BATCH INGEST` item line: `<label> <trace>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the label or trace is missing or
+/// the trace is malformed.
+pub fn parse_batch_ingest_item(line: &str) -> Result<(String, Trace), String> {
+    let (label, wire) = line
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "batch item needs `<label> <trace>`".to_string())?;
+    Ok((label.to_string(), decode_trace_inline(wire)?))
+}
+
+fn parse_count(spec: &str) -> Result<usize, String> {
+    let count: usize = spec
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("bad count `{spec}` (expected a positive int)"))?;
+    if count > MAX_BATCH_ITEMS {
+        return Err(format!("count {count} exceeds the batch cap of {MAX_BATCH_ITEMS}"));
+    }
+    Ok(count)
+}
+
+fn parse_k(spec: &str) -> Result<usize, String> {
+    spec.strip_prefix("k=")
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k > 0)
+        .ok_or_else(|| format!("bad k spec `{spec}` (expected k=<positive int>)"))
+}
+
+/// Parses one request line. For the batched forms this parses only the
+/// header; the announced item lines follow on the connection.
 ///
 /// # Errors
 ///
@@ -96,16 +168,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "INGEST needs `<label> <trace>`".to_string())?;
             Ok(Request::Ingest { label: label.to_string(), trace: decode_trace_inline(wire)? })
         }
+        "BATCH" => {
+            let count_spec = rest
+                .strip_prefix("INGEST")
+                .map(str::trim)
+                .filter(|spec| !spec.is_empty())
+                .ok_or_else(|| "BATCH needs `INGEST <count>`".to_string())?;
+            Ok(Request::BatchIngest { count: parse_count(count_spec)? })
+        }
         "QUERY" => {
             let (kspec, wire) = rest
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| "QUERY needs `k=<k> <trace>`".to_string())?;
-            let k: usize = kspec
-                .strip_prefix("k=")
-                .and_then(|v| v.parse().ok())
-                .filter(|&k| k > 0)
-                .ok_or_else(|| format!("bad k spec `{kspec}` (expected k=<positive int>)"))?;
-            Ok(Request::Query { k, trace: decode_trace_inline(wire)? })
+            Ok(Request::Query { k: parse_k(kspec)?, trace: decode_trace_inline(wire)? })
+        }
+        "MQUERY" => {
+            let (kspec, count_spec) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "MQUERY needs `k=<k> <count>`".to_string())?;
+            Ok(Request::MultiQuery { k: parse_k(kspec)?, count: parse_count(count_spec.trim())? })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
@@ -121,20 +202,52 @@ pub fn render_query_reply(result: &QueryResult) -> String {
         result.neighbors.len(),
         result.label.as_deref().unwrap_or("-")
     );
-    for (rank, n) in result.neighbors.iter().enumerate() {
-        // `{}` on f64 prints the shortest string that round-trips, so the
-        // client recovers the exact bits.
-        out.push_str(&format!("MATCH {} {} {} {}\n", rank + 1, n.name, n.label, n.similarity));
+    render_match_lines(&mut out, result);
+    out.push_str("END\n");
+    out
+}
+
+/// Renders the replies to an `MQUERY` batch: one framed `OK queries=…`
+/// block holding a `RESULT` sub-block (1-based, in request order) per
+/// query, terminated by a single `END`.
+pub fn render_mquery_reply(results: &[QueryResult]) -> String {
+    let mut out = format!("OK queries={}\n", results.len());
+    for (i, result) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "RESULT {} matches={} label={}\n",
+            i + 1,
+            result.neighbors.len(),
+            result.label.as_deref().unwrap_or("-")
+        ));
+        render_match_lines(&mut out, result);
     }
     out.push_str("END\n");
     out
 }
 
-/// Renders index counters as the multi-line `STAT … END` reply.
-pub fn render_stats_reply(entries: usize, cached_pairs: usize, stats: &IndexStats) -> String {
-    format!(
-        "STAT entries {entries}\n\
-         STAT queries {}\n\
+fn render_match_lines(out: &mut String, result: &QueryResult) {
+    for (rank, n) in result.neighbors.iter().enumerate() {
+        // `{}` on f64 prints the shortest string that round-trips, so the
+        // client recovers the exact bits.
+        out.push_str(&format!("MATCH {} {} {} {}\n", rank + 1, n.name, n.label, n.similarity));
+    }
+}
+
+/// Renders index counters as the multi-line `STAT … END` reply, including
+/// the shard count and one `STAT shard<i>_entries` line per shard (their
+/// sum always equals `STAT entries`).
+pub fn render_stats_reply(
+    entries: usize,
+    cached_pairs: usize,
+    shard_sizes: &[usize],
+    stats: &IndexStats,
+) -> String {
+    let mut out = format!("STAT entries {entries}\nSTAT shards {}\n", shard_sizes.len());
+    for (i, size) in shard_sizes.iter().enumerate() {
+        out.push_str(&format!("STAT shard{i}_entries {size}\n"));
+    }
+    out.push_str(&format!(
+        "STAT queries {}\n\
          STAT kernel_evals {}\n\
          STAT cache_hits {}\n\
          STAT cached_pairs {cached_pairs}\n\
@@ -148,13 +261,14 @@ pub fn render_stats_reply(entries: usize, cached_pairs: usize, stats: &IndexStat
         stats.prefilter_pruned,
         stats.ingest_evals,
         stats.query_self_evals
-    )
+    ));
+    out
 }
 
 /// Reads one complete server reply — a single `OK …`/`ERR …` line, or a
-/// multi-line `OK matches=…`/`STAT …` block terminated by `END` — so every
-/// client (the `kastio query` subcommand, tests, examples) shares one
-/// definition of the reply framing.
+/// multi-line `OK matches=…`/`OK queries=…`/`STAT …` block terminated by
+/// `END` — so every client (the `kastio query` subcommand, tests,
+/// examples) shares one definition of the reply framing.
 ///
 /// # Errors
 ///
@@ -173,7 +287,10 @@ pub fn read_reply<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<String
     };
     let mut reply = String::new();
     read_line(&mut reply)?;
-    if reply.starts_with("OK matches=") || reply.starts_with("STAT") {
+    if reply.starts_with("OK matches=")
+        || reply.starts_with("OK queries=")
+        || reply.starts_with("STAT")
+    {
         loop {
             let start = read_line(&mut reply)?;
             if &reply[start..] == "END\n" {
@@ -217,6 +334,12 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_headers() {
+        assert_eq!(parse_request("BATCH INGEST 3").unwrap(), Request::BatchIngest { count: 3 });
+        assert_eq!(parse_request("MQUERY k=2 4").unwrap(), Request::MultiQuery { k: 2, count: 4 });
+    }
+
+    #[test]
     fn parses_bare_verbs() {
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("  SHUTDOWN  ").unwrap(), Request::Shutdown);
@@ -230,13 +353,29 @@ mod tests {
         assert!(parse_request("QUERY k=0 h0 read 8").unwrap_err().contains("k spec"));
         assert!(parse_request("QUERY k=x h0 read 8").unwrap_err().contains("k spec"));
         assert!(parse_request("QUERY k=2 h0 read").unwrap_err().contains("bad inline trace"));
+        assert!(parse_request("BATCH").unwrap_err().contains("BATCH"));
+        assert!(parse_request("BATCH INGEST").unwrap_err().contains("BATCH"));
+        assert!(parse_request("BATCH INGEST 0").unwrap_err().contains("count"));
+        assert!(parse_request("BATCH INGEST x").unwrap_err().contains("count"));
+        assert!(parse_request("BATCH QUERY 2").unwrap_err().contains("BATCH"));
+        assert!(parse_request("MQUERY k=2").unwrap_err().contains("MQUERY"));
+        assert!(parse_request("MQUERY k=0 2").unwrap_err().contains("k spec"));
+        assert!(parse_request(&format!("MQUERY k=1 {}", MAX_BATCH_ITEMS + 1))
+            .unwrap_err()
+            .contains("cap"));
     }
 
     #[test]
-    fn query_reply_roundtrips_similarity_bits() {
-        // A value whose decimal form needs all 17 significant digits.
-        let sim = std::f64::consts::PI / 3.0;
-        let result = QueryResult {
+    fn parses_batch_ingest_items() {
+        let (label, trace) = parse_batch_ingest_item("flash h0 write 64;h0 write 64").unwrap();
+        assert_eq!(label, "flash");
+        assert_eq!(trace.len(), 2);
+        assert!(parse_batch_ingest_item("onlylabel").unwrap_err().contains("batch item"));
+        assert!(parse_batch_ingest_item("flash h0 write").unwrap_err().contains("bad inline"));
+    }
+
+    fn sample_result(sim: f64) -> QueryResult {
+        QueryResult {
             neighbors: vec![Neighbor {
                 id: EntryId(0),
                 name: "A00".to_string(),
@@ -247,8 +386,14 @@ mod tests {
             candidates: 1,
             evaluated: 1,
             cache_hits: 0,
-        };
-        let reply = render_query_reply(&result);
+        }
+    }
+
+    #[test]
+    fn query_reply_roundtrips_similarity_bits() {
+        // A value whose decimal form needs all 17 significant digits.
+        let sim = std::f64::consts::PI / 3.0;
+        let reply = render_query_reply(&sample_result(sim));
         let match_line = reply.lines().nth(1).unwrap();
         let rendered = match_line.split_whitespace().last().unwrap();
         let parsed: f64 = rendered.parse().unwrap();
@@ -258,7 +403,20 @@ mod tests {
     }
 
     #[test]
-    fn stats_reply_lists_counters() {
+    fn mquery_reply_frames_every_result() {
+        let reply = render_mquery_reply(&[sample_result(1.0), sample_result(0.5)]);
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "OK queries=2");
+        assert_eq!(lines[1], "RESULT 1 matches=1 label=A");
+        assert_eq!(lines[2], "MATCH 1 A00 A 1");
+        assert_eq!(lines[3], "RESULT 2 matches=1 label=A");
+        assert_eq!(lines[4], "MATCH 1 A00 A 0.5");
+        assert_eq!(lines[5], "END");
+        assert_eq!(lines.len(), 6, "one END for the whole block");
+    }
+
+    #[test]
+    fn stats_reply_lists_counters_and_shards() {
         let stats = IndexStats {
             queries: 2,
             kernel_evals: 5,
@@ -267,8 +425,12 @@ mod tests {
             ingest_evals: 4,
             query_self_evals: 2,
         };
-        let reply = render_stats_reply(4, 5, &stats);
-        assert!(reply.contains("STAT entries 4\n"));
+        let reply = render_stats_reply(4, 5, &[2, 1, 1], &stats);
+        assert!(reply.starts_with("STAT entries 4\n"));
+        assert!(reply.contains("STAT shards 3\n"));
+        assert!(reply.contains("STAT shard0_entries 2\n"));
+        assert!(reply.contains("STAT shard1_entries 1\n"));
+        assert!(reply.contains("STAT shard2_entries 1\n"));
         assert!(reply.contains("STAT kernel_evals 5\n"));
         assert!(reply.contains("STAT prefilter_pruned 7\n"));
         assert!(reply.contains("STAT query_self_evals 2\n"));
@@ -279,11 +441,16 @@ mod tests {
     fn read_reply_frames_single_and_multi_line_replies() {
         use std::io::BufReader;
         let wire = "OK id=0 name=e0 entries=1\nOK matches=1 label=x\nMATCH 1 e0 x 1\nEND\n\
-                    STAT entries 1\nEND\nERR nope\n";
+                    STAT entries 1\nEND\n\
+                    OK queries=1\nRESULT 1 matches=0 label=-\nEND\nERR nope\n";
         let mut reader = BufReader::new(wire.as_bytes());
         assert_eq!(read_reply(&mut reader).unwrap(), "OK id=0 name=e0 entries=1\n");
         assert_eq!(read_reply(&mut reader).unwrap(), "OK matches=1 label=x\nMATCH 1 e0 x 1\nEND\n");
         assert_eq!(read_reply(&mut reader).unwrap(), "STAT entries 1\nEND\n");
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            "OK queries=1\nRESULT 1 matches=0 label=-\nEND\n"
+        );
         assert_eq!(read_reply(&mut reader).unwrap(), "ERR nope\n");
         let err = read_reply(&mut reader).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);

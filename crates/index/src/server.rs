@@ -4,9 +4,16 @@
 //! is offline, and blocking I/O is entirely adequate for a line-oriented
 //! request/reply protocol whose unit of work is a kernel batch). Each
 //! connection gets its own OS thread so an idle client never blocks the
-//! others; the index sits behind a [`Mutex`] locked per *request*, and
-//! *within* a query the index fans the kernel batch out across scoped
-//! threads, which is where the actual CPU time goes.
+//! others.
+//!
+//! There is **no server-side lock**: the index is internally sharded and
+//! synchronised (see [`crate::index`]), so handler threads share it behind
+//! a plain [`Arc`]. `QUERY`/`MQUERY` take shard *read* locks and run
+//! concurrently with each other; `INGEST`/`BATCH INGEST` write-lock only
+//! the shard that owns each new entry, so writers never stall queries on
+//! the other shards. Within a query the index additionally fans the
+//! kernel batch out across scoped threads, which is where the actual CPU
+//! time goes.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -15,7 +22,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::index::PatternIndex;
-use crate::protocol::{parse_request, render_query_reply, render_stats_reply, Request};
+use crate::protocol::{
+    parse_batch_ingest_item, parse_request, render_mquery_reply, render_query_reply,
+    render_stats_reply, Request,
+};
 
 /// What handling one connection concluded.
 enum Disposition {
@@ -39,7 +49,7 @@ enum Disposition {
 /// use kastio_index::{IndexOptions, PatternIndex, Server};
 ///
 /// # fn main() -> std::io::Result<()> {
-/// let index = PatternIndex::new(IndexOptions::default());
+/// let index = PatternIndex::new(IndexOptions { shards: 4, ..IndexOptions::default() });
 /// let server = Server::bind("127.0.0.1:0", index)?;
 /// println!("listening on {}", server.local_addr()?);
 /// let _index_back = server.serve()?; // blocks until SHUTDOWN
@@ -87,7 +97,7 @@ impl Server {
     /// for callers that treat serving uniformly with binding.
     pub fn serve(self) -> io::Result<PatternIndex> {
         let addr = self.listener.local_addr()?;
-        let index = Arc::new(Mutex::new(self.index));
+        let index = Arc::new(self.index);
         let stop = Arc::new(AtomicBool::new(false));
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
@@ -154,8 +164,7 @@ impl Server {
         for handler in handlers {
             let _ = handler.join();
         }
-        let mutex = Arc::try_unwrap(index).expect("all connection handlers joined");
-        Ok(mutex.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner()))
+        Ok(Arc::try_unwrap(index).unwrap_or_else(|_| panic!("all connection handlers joined")))
     }
 }
 
@@ -165,35 +174,50 @@ fn lock_registry(
     connections.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn lock(index: &Mutex<PatternIndex>) -> MutexGuard<'_, PatternIndex> {
-    // A panicking handler thread cannot leave the index in a torn state
-    // (&mut methods either finish or unwind before publishing), so a
-    // poisoned lock is still safe to reuse.
-    index.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// Upper bound on one request line. A client streaming data with no
 /// newline would otherwise grow the line buffer without limit and OOM the
 /// daemon; 16 MiB comfortably fits any realistic inline trace.
 const MAX_REQUEST_BYTES: u64 = 16 << 20;
 
-/// Serves one client: one reply per request line until EOF or `SHUTDOWN`.
-/// The index lock is held per request, never across client think time.
-fn handle_connection(stream: TcpStream, index: &Mutex<PatternIndex>) -> io::Result<Disposition> {
+/// What reading one request (or batch item) line produced.
+enum Line {
+    /// A complete newline-terminated line is in the buffer.
+    Full,
+    /// The peer closed the connection.
+    Eof,
+    /// The line hit [`MAX_REQUEST_BYTES`] without a newline — the rest of
+    /// the stream is unframed garbage.
+    TooLong,
+}
+
+fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Result<Line> {
+    line.clear();
+    if reader.by_ref().take(MAX_REQUEST_BYTES).read_line(line)? == 0 {
+        return Ok(Line::Eof);
+    }
+    if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
+        return Ok(Line::TooLong);
+    }
+    Ok(Line::Full)
+}
+
+/// Serves one client: one reply per request until EOF or `SHUTDOWN`. For
+/// the batched forms (`BATCH INGEST`, `MQUERY`) the announced item lines
+/// are consumed — even when an item is malformed — before the single
+/// reply, so one bad item never desyncs the connection's framing.
+fn handle_connection(stream: TcpStream, index: &PatternIndex) -> io::Result<Disposition> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.by_ref().take(MAX_REQUEST_BYTES).read_line(&mut line)? == 0 {
-            return Ok(Disposition::ClientDone); // EOF
-        }
-        if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
-            // The limit truncated the line mid-request; the rest of the
-            // stream is unframed garbage, so reply and hang up.
-            writer.write_all(b"ERR request line too long\n")?;
-            writer.flush()?;
-            return Ok(Disposition::ClientDone);
+        match read_request_line(&mut reader, &mut line)? {
+            Line::Eof => return Ok(Disposition::ClientDone),
+            Line::TooLong => {
+                writer.write_all(b"ERR request line too long\n")?;
+                writer.flush()?;
+                return Ok(Disposition::ClientDone);
+            }
+            Line::Full => {}
         }
         if line.trim().is_empty() {
             continue;
@@ -201,15 +225,39 @@ fn handle_connection(stream: TcpStream, index: &Mutex<PatternIndex>) -> io::Resu
         let reply = match parse_request(&line) {
             Err(message) => format!("ERR {message}\n"),
             Ok(Request::Ingest { label, trace }) => {
-                let mut index = lock(index);
-                let name = format!("e{}", index.len());
-                let id = index.ingest(name, label, trace);
+                let id = index.ingest_auto(label, trace);
                 format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
             }
-            Ok(Request::Query { k, trace }) => render_query_reply(&lock(index).query(&trace, k)),
+            Ok(Request::BatchIngest { count }) => {
+                match read_items(&mut reader, &mut writer, count, parse_batch_ingest_item)? {
+                    Items::Hangup => return Ok(Disposition::ClientDone),
+                    Items::Bad(message) => message,
+                    Items::Parsed(items) => {
+                        for (label, trace) in items {
+                            index.ingest_auto(label, trace);
+                        }
+                        format!("OK batch={count} entries={}\n", index.len())
+                    }
+                }
+            }
+            Ok(Request::Query { k, trace }) => render_query_reply(&index.query(&trace, k)),
+            Ok(Request::MultiQuery { k, count }) => {
+                match read_items(&mut reader, &mut writer, count, |item| {
+                    crate::protocol::decode_trace_inline(item.trim())
+                })? {
+                    Items::Hangup => return Ok(Disposition::ClientDone),
+                    Items::Bad(message) => message,
+                    Items::Parsed(traces) => render_mquery_reply(&index.query_batch(&traces, k)),
+                }
+            }
             Ok(Request::Stats) => {
-                let index = lock(index);
-                render_stats_reply(index.len(), index.cached_pairs(), &index.stats())
+                // One shard-size snapshot, with `entries` derived from it:
+                // a concurrent ingest between two separate scans could
+                // otherwise make the reply violate the documented
+                // invariant that the shard counts sum to `entries`.
+                let shard_sizes = index.shard_sizes();
+                let entries = shard_sizes.iter().sum();
+                render_stats_reply(entries, index.cached_pairs(), &shard_sizes, &index.stats())
             }
             Ok(Request::Shutdown) => {
                 writer.write_all(b"OK bye\n")?;
@@ -222,17 +270,80 @@ fn handle_connection(stream: TcpStream, index: &Mutex<PatternIndex>) -> io::Resu
     }
 }
 
+/// Outcome of reading a batch's item lines.
+enum Items<T> {
+    /// All items read and parsed.
+    Parsed(Vec<T>),
+    /// An item failed to parse; the `ERR` reply to send (every announced
+    /// line was still consumed, so the connection stays framed).
+    Bad(String),
+    /// EOF or an unframed over-long line; hang up (an `ERR` was already
+    /// written for the over-long case).
+    Hangup,
+}
+
+/// Upper bound on the *cumulative* item bytes of one batched request.
+/// The per-line cap alone would let a 4096-item batch buffer gigabytes of
+/// parsed items before replying; this keeps a whole `BATCH INGEST` /
+/// `MQUERY` within the same 16 MiB envelope as a single request line
+/// (the remaining announced lines are still consumed — without being
+/// stored — so the connection stays framed).
+const MAX_BATCH_TOTAL_BYTES: u64 = MAX_REQUEST_BYTES;
+
+fn read_items<R: BufRead, T>(
+    reader: &mut R,
+    writer: &mut impl Write,
+    count: usize,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> io::Result<Items<T>> {
+    let mut items: Vec<T> = Vec::new();
+    let mut first_error: Option<String> = None;
+    let mut total_bytes: u64 = 0;
+    let mut line = String::new();
+    for i in 1..=count {
+        match read_request_line(reader, &mut line)? {
+            Line::Eof => return Ok(Items::Hangup),
+            Line::TooLong => {
+                writer.write_all(b"ERR request line too long\n")?;
+                writer.flush()?;
+                return Ok(Items::Hangup);
+            }
+            Line::Full => {}
+        }
+        if first_error.is_some() {
+            continue; // keep consuming announced lines to stay framed
+        }
+        total_bytes += line.len() as u64;
+        if total_bytes > MAX_BATCH_TOTAL_BYTES {
+            items = Vec::new(); // release what was buffered
+            first_error = Some(format!("ERR batch exceeds {MAX_BATCH_TOTAL_BYTES} total bytes\n"));
+            continue;
+        }
+        match parse(&line) {
+            Ok(item) => items.push(item),
+            Err(message) => first_error = Some(format!("ERR item {i}/{count}: {message}\n")),
+        }
+    }
+    Ok(match first_error {
+        Some(message) => Items::Bad(message),
+        None => Items::Parsed(items),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::IndexOptions;
 
-    fn start() -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
-        let server =
-            Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+    fn start_with(opts: IndexOptions) -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(opts)).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
         (addr, handle)
+    }
+
+    fn start() -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
+        start_with(IndexOptions::default())
     }
 
     fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
@@ -261,6 +372,8 @@ mod tests {
 
         let reply = roundtrip(&mut stream, "STATS\n");
         assert!(reply.contains("STAT entries 2\n"), "{reply}");
+        assert!(reply.contains("STAT shards 1\n"), "{reply}");
+        assert!(reply.contains("STAT shard0_entries 2\n"), "{reply}");
         assert!(reply.contains("STAT queries 1\n"), "{reply}");
 
         let reply = roundtrip(&mut stream, "BOGUS\n");
@@ -270,6 +383,111 @@ mod tests {
         assert_eq!(reply, "OK bye\n");
         let index = handle.join().unwrap();
         assert_eq!(index.len(), 2, "server hands the corpus back on shutdown");
+    }
+
+    #[test]
+    fn batch_ingest_and_mquery_lifecycle() {
+        let (addr, handle) = start_with(IndexOptions { shards: 2, ..IndexOptions::default() });
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        let reply = roundtrip(
+            &mut stream,
+            "BATCH INGEST 3\nw h0 write 64;h0 write 64\nr h0 read 8;h0 read 8\nw h0 write 64\n",
+        );
+        assert_eq!(reply, "OK batch=3 entries=3\n");
+
+        let reply = roundtrip(&mut stream, "MQUERY k=1 2\nh0 write 64;h0 write 64\nh0 read 8\n");
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "OK queries=2");
+        assert_eq!(lines[1], "RESULT 1 matches=1 label=w");
+        assert!(lines[2].starts_with("MATCH 1 e0 w "), "{reply}");
+        assert_eq!(lines[3], "RESULT 2 matches=1 label=r");
+        assert!(lines[4].starts_with("MATCH 1 e1 r "), "{reply}");
+        assert_eq!(*lines.last().unwrap(), "END");
+
+        let reply = roundtrip(&mut stream, "STATS\n");
+        assert!(reply.contains("STAT entries 3\n"), "{reply}");
+        assert!(reply.contains("STAT shards 2\n"), "{reply}");
+        assert!(reply.contains("STAT shard0_entries 2\n"), "{reply}");
+        assert!(reply.contains("STAT shard1_entries 1\n"), "{reply}");
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        let index = handle.join().unwrap();
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.shard_sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn bad_batch_item_keeps_the_connection_framed() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        // Item 2 is malformed; the server must consume item 3 anyway and
+        // reject the whole batch without ingesting anything.
+        let reply = roundtrip(
+            &mut stream,
+            "BATCH INGEST 3\nw h0 write 64\nbroken-no-trace\nw h0 write 32\n",
+        );
+        assert!(reply.starts_with("ERR item 2/3:"), "{reply}");
+
+        // The connection is still usable and nothing was ingested.
+        let reply = roundtrip(&mut stream, "STATS\n");
+        assert!(reply.contains("STAT entries 0\n"), "{reply}");
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn batch_cumulative_bytes_are_capped() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Three individually legal ~6 MiB items; the third crosses the
+        // 16 MiB cumulative cap, so the batch is rejected as a whole and
+        // nothing is ingested — but the connection stays framed.
+        let item = format!("w {}", "h0 write 64;".repeat(500_000));
+        let batch = format!("BATCH INGEST 3\n{item}\n{item}\n{item}\n");
+        let reply = roundtrip(&mut stream, &batch);
+        assert!(reply.starts_with("ERR batch exceeds"), "{reply}");
+        let reply = roundtrip(&mut stream, "STATS\n");
+        assert!(reply.contains("STAT entries 0\n"), "{reply}");
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_index_without_a_global_lock() {
+        let (addr, handle) = start_with(IndexOptions { shards: 4, ..IndexOptions::default() });
+        let mut seed = TcpStream::connect(addr).unwrap();
+        for i in 0..8 {
+            let reply =
+                roundtrip(&mut seed, &format!("INGEST w{i} h0 write {};h0 write {0}\n", 64 << i));
+            assert!(reply.starts_with("OK id="), "{reply}");
+        }
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    for i in 0..5 {
+                        let bytes = 64 << ((r + i) % 8);
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        stream
+                            .write_all(
+                                format!("QUERY k=2 h0 write {bytes};h0 write {bytes}\n").as_bytes(),
+                            )
+                            .unwrap();
+                        let reply = crate::protocol::read_reply(&mut reader).unwrap();
+                        assert!(reply.starts_with("OK matches=2"), "{reply}");
+                        assert!(reply.ends_with("END\n"), "{reply}");
+                    }
+                })
+            })
+            .collect();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        assert_eq!(roundtrip(&mut seed, "SHUTDOWN\n"), "OK bye\n");
+        let index = handle.join().unwrap();
+        assert_eq!(index.stats().queries, 20);
     }
 
     #[test]
@@ -325,5 +543,19 @@ mod tests {
         let reply = roundtrip(&mut stream, "SHUTDOWN\n");
         assert_eq!(reply, "OK bye\n");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn batch_header_eof_before_items_closes_cleanly() {
+        let (addr, handle) = start();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Announce 2 items but hang up after the header.
+            stream.write_all(b"BATCH INGEST 2\n").unwrap();
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        let index = handle.join().unwrap();
+        assert_eq!(index.len(), 0, "a truncated batch ingests nothing");
     }
 }

@@ -38,8 +38,8 @@ proptest! {
     /// answering from cache all return bit-identical neighbour lists.
     #[test]
     fn cached_lookups_equal_uncached(corpus in arb_corpus(), query in arb_trace()) {
-        let mut cached = PatternIndex::new(IndexOptions::default());
-        let mut uncached = PatternIndex::new(IndexOptions {
+        let cached = PatternIndex::new(IndexOptions::default());
+        let uncached = PatternIndex::new(IndexOptions {
             cache_capacity: 0,
             ..IndexOptions::default()
         });
@@ -92,7 +92,7 @@ proptest! {
         let saa = kernel.normalized(&ia, &ia);
         prop_assert_eq!(saa.to_bits(), 1.0f64.to_bits(), "self-similarity {} != 1", saa);
 
-        let mut index = PatternIndex::new(IndexOptions::default());
+        let index = PatternIndex::new(IndexOptions::default());
         index.ingest("b", "label", b.clone());
         let result = index.query(&a, 1);
         prop_assert_eq!(result.neighbors.len(), 1);

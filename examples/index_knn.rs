@@ -13,7 +13,10 @@ use kastio::workloads::generators::{flash_io, random_posix, FlashIoParams, Rando
 use kastio::{IndexOptions, PatternIndex, PrefilterConfig};
 
 fn main() {
-    let mut index = PatternIndex::new(IndexOptions {
+    // `query`/`ingest` take `&self` (the index is internally sharded and
+    // synchronised), so no `mut` binding is needed even single-threaded.
+    let index = PatternIndex::new(IndexOptions {
+        shards: 2,
         prefilter: PrefilterConfig { min_candidates: 4, per_k: 2, ..PrefilterConfig::default() },
         ..IndexOptions::default()
     });
@@ -35,7 +38,13 @@ fn main() {
         };
         index.ingest(format!("posix-{i}"), "random-posix", random_posix(&params, 97 + i as u64));
     }
-    println!("corpus: {} entries, {:?} ingest evals", index.len(), index.stats().ingest_evals);
+    println!(
+        "corpus: {} entries across {} shards {:?}, {} ingest evals",
+        index.len(),
+        index.shard_count(),
+        index.shard_sizes(),
+        index.stats().ingest_evals
+    );
 
     // Classify two probes the index has never seen.
     let probes = [

@@ -6,8 +6,8 @@
 //! kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
 //! kastio generate <dir> [--seed N]
 //! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
-//! kastio serve    [--port N] [--corpus <dir>] [--save <dir>] [--cut N]
-//!                 [--ignore-bytes] [--candidates N]
+//! kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
+//!                 [--cut N] [--ignore-bytes] [--candidates N]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio help     [command]
@@ -42,8 +42,8 @@ usage:
   kastio compare  <a.trace> <b.trace> [--cut N] [--ignore-bytes] [--explain]
   kastio generate <dir> [--seed N]
   kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
-  kastio serve    [--port N] [--corpus <dir>] [--save <dir>] [--cut N]
-                  [--ignore-bytes] [--candidates N]
+  kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
+                  [--cut N] [--ignore-bytes] [--candidates N]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio help     [command]
@@ -82,15 +82,21 @@ const HELP_TOPICS: &[(&str, &str)] = &[
     ),
     (
         "serve",
-        "kastio serve [--port N] [--corpus <dir>] [--save <dir>] [--cut N]\n\
-         \u{20}            [--ignore-bytes] [--candidates N]\n\n\
+        "kastio serve [--port N] [--shards N] [--corpus <dir>] [--save <dir>]\n\
+         \u{20}            [--cut N] [--ignore-bytes] [--candidates N]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
-         bound. --corpus preloads a dataset/index directory; --save writes\n\
-         the corpus back to a directory on SHUTDOWN. --candidates floors\n\
-         the signature-prefilter budget. The wire protocol is line based:\n\n\
+         bound. --shards splits the corpus across N read-concurrent\n\
+         shards (default 4): queries take shard read locks and run in\n\
+         parallel, ingests write-lock only the owning shard. --corpus\n\
+         preloads a dataset/index directory; --save writes the corpus\n\
+         back to a directory on SHUTDOWN. --candidates floors the\n\
+         signature-prefilter budget. The wire protocol is line based\n\
+         (full spec in docs/PROTOCOL.md):\n\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
+         \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
          \u{20} QUERY k=<k> <op>;<op>;...\n\
+         \u{20} MQUERY k=<k> <count>   (then <count> trace lines)\n\
          \u{20} STATS\n\
          \u{20} SHUTDOWN\n",
     ),
@@ -111,6 +117,7 @@ struct Flags {
     groups: usize,
     k: usize,
     port: u16,
+    shards: usize,
     candidates: usize,
     corpus: Option<String>,
     save: Option<String>,
@@ -127,6 +134,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         groups: 3,
         k: 5,
         port: 7878,
+        shards: 4,
         candidates: PrefilterConfig::default().min_candidates,
         corpus: None,
         save: None,
@@ -147,7 +155,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => flags.save = Some(value.clone()),
                 }
             }
-            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--candidates" => {
+            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--shards" | "--candidates" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
@@ -156,6 +164,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--seed" => flags.seed = parsed,
                     "--groups" => flags.groups = (parsed as usize).max(1),
                     "--k" => flags.k = (parsed as usize).max(1),
+                    "--shards" => flags.shards = (parsed as usize).max(1),
                     "--candidates" => flags.candidates = (parsed as usize).max(1),
                     _ => {
                         flags.port = u16::try_from(parsed).map_err(|_| {
@@ -277,6 +286,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let opts = IndexOptions {
         kast: KastOptions::with_cut_weight(flags.cut),
         byte_mode: byte_mode(flags),
+        shards: flags.shards,
         prefilter: PrefilterConfig {
             min_candidates: flags.candidates,
             ..PrefilterConfig::default()

@@ -24,7 +24,7 @@
 //! | [`linalg`] | `kastio-linalg` | Jacobi eigensolver, PSD repair, Kernel PCA |
 //! | [`cluster`] | `kastio-cluster` | hierarchical clustering, dendrograms, metrics |
 //! | [`workloads`] | `kastio-workloads` | IOR/FLASH-IO-style generators, the 110-example dataset |
-//! | [`index`] | `kastio-index` | online corpus index: k-NN queries, LRU kernel cache, signature prefilter, serve/query daemon |
+//! | [`index`] | `kastio-index` | sharded, read-concurrent corpus index: k-NN queries, signature prefilter, per-shard LRU kernel caches, serve/query daemon |
 //!
 //! The most common items are re-exported at the crate root.
 //!
