@@ -1,7 +1,7 @@
 //! Hierarchical clustering over the paper-sized distance matrix, for all
 //! three linkage rules, plus the flat-cut and metric helpers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kastio_bench::{prepare, PAPER_SEED};
@@ -62,4 +62,7 @@ fn bench_hac(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_hac);
-criterion_main!(benches);
+fn main() {
+    kastio_bench::print_parallelism_banner("cluster");
+    benches();
+}

@@ -18,7 +18,7 @@
 //! finish instantly; with intra-query fan-out on, the single-lock holder
 //! would soak every core and hide the serialisation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use std::sync::Mutex;
 
@@ -121,4 +121,7 @@ fn bench_concurrent_query(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_concurrent_query);
-criterion_main!(benches);
+fn main() {
+    kastio_bench::print_parallelism_banner("concurrent_query");
+    benches();
+}

@@ -1,7 +1,7 @@
 //! Eigendecomposition, PSD repair and Kernel PCA on the paper-sized
 //! (110×110) similarity matrix.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use kastio_bench::{prepare, PAPER_SEED};
@@ -42,4 +42,7 @@ fn bench_eigen(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_eigen);
-criterion_main!(benches);
+fn main() {
+    kastio_bench::print_parallelism_banner("eigen");
+    benches();
+}

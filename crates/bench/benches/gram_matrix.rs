@@ -2,7 +2,7 @@
 //! the Kast kernel at several cut weights and for the blended baseline —
 //! sequential vs parallel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kastio_bench::{prepare, PAPER_SEED};
@@ -52,4 +52,7 @@ fn bench_parallelism(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_gram, bench_parallelism);
-criterion_main!(benches);
+fn main() {
+    kastio_bench::print_parallelism_banner("gram_matrix");
+    benches();
+}

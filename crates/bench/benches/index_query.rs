@@ -11,7 +11,7 @@
 //! * `index_warm` — default index answering a repeated query: prefilter
 //!   plus LRU cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use kastio_core::{pattern_string, ByteMode, KastKernel, KastOptions, StringKernel, TokenInterner};
@@ -91,4 +91,7 @@ fn bench_index_vs_naive(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_index_vs_naive);
-criterion_main!(benches);
+fn main() {
+    kastio_bench::print_parallelism_banner("index_query");
+    benches();
+}

@@ -5,24 +5,19 @@
 //! computation became" — see the `kast_cut_weight` group — plus a
 //! kernel-vs-kernel comparison and scaling in string length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use kastio_bench::microbench::{corpus_strings, example_pair};
 use kastio_core::{
-    pattern_string, ByteMode, IdString, KastKernel, KastOptions, StringKernel, TokenInterner,
+    pattern_string, ByteMode, IdString, KastEvaluator, KastKernel, KastOptions, StringKernel,
+    TokenInterner,
 };
-use kastio_kernels::{BagOfTokensKernel, BlendedSpectrumKernel, KSpectrumKernel, WeightingMode};
-use kastio_workloads::generators::{flash_io, random_posix, FlashIoParams, RandomPosixParams};
-
-fn example_pair() -> (IdString, IdString) {
-    let mut interner = TokenInterner::new();
-    let a = flash_io(&FlashIoParams { files: 6, ..FlashIoParams::default() });
-    let b = flash_io(&FlashIoParams { files: 8, blocks: 30, ..FlashIoParams::default() });
-    (
-        interner.intern_string(&pattern_string(&a, ByteMode::Preserve)),
-        interner.intern_string(&pattern_string(&b, ByteMode::Preserve)),
-    )
-}
+use kastio_kernels::{
+    gram_matrix, BagOfTokensKernel, BlendedSpectrumKernel, GramMode, KSpectrumKernel, KernelMatrix,
+    WeightingMode,
+};
+use kastio_workloads::generators::{random_posix, RandomPosixParams};
 
 fn long_pair(iters: usize) -> (IdString, IdString) {
     let mut interner = TokenInterner::new();
@@ -38,6 +33,45 @@ fn long_pair(iters: usize) -> (IdString, IdString) {
         interner.intern_string(&pattern_string(&a, ByteMode::Preserve)),
         interner.intern_string(&pattern_string(&b, ByteMode::Preserve)),
     )
+}
+
+/// The evaluator fast path vs. the retained naive pipeline
+/// (`KastKernel::{raw,normalized}_reference`) — the numbers
+/// `kastio-bench` records in BENCH_kernel.json.
+fn bench_evaluator_paths(c: &mut Criterion) {
+    let (a, b) = example_pair();
+    let opts = KastOptions::with_cut_weight(2);
+    let kernel = KastKernel::new(opts);
+    let mut group = c.benchmark_group("kast_raw");
+    group.bench_function("reference_naive", |bencher| {
+        bencher.iter(|| black_box(kernel.raw_reference(black_box(&a), black_box(&b))));
+    });
+    group.bench_function("optimized_cold", |bencher| {
+        bencher.iter(|| {
+            let mut evaluator = KastEvaluator::new(opts);
+            black_box(evaluator.raw(black_box(&a), black_box(&b)))
+        });
+    });
+    group.bench_function("optimized_warm", |bencher| {
+        let mut evaluator = KastEvaluator::new(opts);
+        bencher.iter(|| black_box(evaluator.raw(black_box(&a), black_box(&b))));
+    });
+    group.finish();
+
+    let strings = corpus_strings(64);
+    let mut group = c.benchmark_group("gram_normalized_64");
+    group.sample_size(10);
+    group.bench_function("naive_per_pair", |bencher| {
+        bencher.iter(|| {
+            black_box(KernelMatrix::from_fn(strings.len(), |i, j| {
+                kernel.normalized_reference(&strings[i], &strings[j])
+            }))
+        });
+    });
+    group.bench_function("memoized_diagonal", |bencher| {
+        bencher.iter(|| black_box(gram_matrix(&kernel, &strings, GramMode::Normalized, 1)));
+    });
+    group.finish();
 }
 
 fn bench_cut_weight(c: &mut Criterion) {
@@ -91,5 +125,14 @@ fn bench_string_length(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cut_weight, bench_kernels, bench_string_length);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_evaluator_paths,
+    bench_cut_weight,
+    bench_kernels,
+    bench_string_length
+);
+fn main() {
+    kastio_bench::print_parallelism_banner("kernel_eval");
+    benches();
+}

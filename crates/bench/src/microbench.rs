@@ -1,0 +1,37 @@
+//! Shared fixtures for the kernel microbenchmarks — one definition used
+//! by both `benches/kernel_eval.rs` and the `kastio-bench` binary, so
+//! the criterion numbers and the checked-in `BENCH_kernel.json` always
+//! measure the same inputs.
+
+use kastio_core::{pattern_string, ByteMode, IdString, TokenInterner};
+use kastio_workloads::generators::{flash_io, random_posix, FlashIoParams, RandomPosixParams};
+
+/// The pairwise-evaluation fixture: two flash-io pattern strings of
+/// different shapes, interned together.
+pub fn example_pair() -> (IdString, IdString) {
+    let mut interner = TokenInterner::new();
+    let a = flash_io(&FlashIoParams { files: 6, ..FlashIoParams::default() });
+    let b = flash_io(&FlashIoParams { files: 8, blocks: 30, ..FlashIoParams::default() });
+    (
+        interner.intern_string(&pattern_string(&a, ByteMode::Preserve)),
+        interner.intern_string(&pattern_string(&b, ByteMode::Preserve)),
+    )
+}
+
+/// The Gram-matrix fixture: `n` random-posix pattern strings interned
+/// together (seeded per index, so the corpus is deterministic).
+pub fn corpus_strings(n: usize) -> Vec<IdString> {
+    let mut interner = TokenInterner::new();
+    let params = RandomPosixParams {
+        write_iterations: 24,
+        read_iterations: 24,
+        read_bursts: 4,
+        ..RandomPosixParams::default()
+    };
+    (0..n)
+        .map(|i| {
+            let trace = random_posix(&params, i as u64 + 1);
+            interner.intern_string(&pattern_string(&trace, ByteMode::Preserve))
+        })
+        .collect()
+}

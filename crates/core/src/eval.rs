@@ -1,0 +1,712 @@
+//! The zero-allocation Kast kernel evaluation core.
+//!
+//! [`KastKernel::raw`](crate::KastKernel) is the innermost loop of every
+//! layer above it — pairwise compares, Gram matrices, the index's k-NN
+//! scoring — so this module provides a **weight-only fast path** that
+//! computes the same value as the feature-materialising pipeline of
+//! [`crate::kast`] without allocating per evaluation:
+//!
+//! * candidates are spans `(start, len)` into the first string, never
+//!   cloned token vectors;
+//! * the DP rows, the candidate dedup table, the occurrence buffers and
+//!   the independence interval lists all live in a reusable
+//!   [`KastScratch`], so a warm evaluator performs no heap allocation at
+//!   all (buffers only ever grow);
+//! * occurrences are collected from a first-token position index built
+//!   once per string pair instead of rescanning both strings per
+//!   candidate;
+//! * occurrence weights come from the prefix sums precomputed by
+//!   [`IdString`], O(1) per occurrence.
+//!
+//! The result is **bit-identical** to the naive pipeline: every stage
+//! preserves the naive candidate order (first-seen DP order, then a
+//! stable longest-first sort), all weight arithmetic is exact integer
+//! arithmetic, and the final inner product accumulates per-feature terms
+//! in the same order the naive `features()` walk does. The equivalence is
+//! asserted by a property test against the retained reference
+//! implementation (`KastKernel::raw_reference`).
+//!
+//! # Per-stage complexity
+//!
+//! For strings of length `n` and `m` with `C` distinct candidates and `O`
+//! total occurrences:
+//!
+//! | stage                 | cost                                        |
+//! |-----------------------|---------------------------------------------|
+//! | matching DP           | O(n·m)                                      |
+//! | candidate dedup       | O(total match length) expected (hash table) |
+//! | position index        | O(n + m + alphabet)                         |
+//! | occurrence collection | O(Σ bucket size · candidate length)         |
+//! | independence filter   | O(O · kept intervals)                       |
+//! | cut + inner product   | O(O)                                        |
+
+use crate::kast::{CutRule, KastOptions, Normalization};
+use crate::string::{IdString, TokenId};
+
+/// Sentinel for an empty dedup-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// A candidate shared substring, stored as a span into the first string.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: u32,
+    len: u32,
+    /// FNV-1a hash of the span's token ids (cached for table growth).
+    hash: u64,
+}
+
+/// Occurrence ranges of one candidate inside the start-position arenas.
+#[derive(Debug, Clone, Copy, Default)]
+struct OccRange {
+    a_start: u32,
+    a_end: u32,
+    b_start: u32,
+    b_end: u32,
+}
+
+/// A kept appearance interval `(start, end, len)` used by the
+/// independence filter.
+type Interval = (u32, u32, u32);
+
+/// First-token position index: a CSR map from [`TokenId`] to the sorted
+/// positions where it occurs in one string.
+///
+/// The bucket array is sized by the largest id *present in the string*,
+/// so a build costs O(len + max id). That leans on the
+/// [`crate::TokenInterner`] design contract that the id space is small
+/// and dense ("a dataset only ever contains a few hundred distinct
+/// literals"); if a workload ever interned an unbounded vocabulary, this
+/// would want a local id remap instead.
+#[derive(Debug, Clone, Default)]
+struct PosIndex {
+    /// `head[t] .. head[t + 1]` is the bucket of token `t`.
+    head: Vec<u32>,
+    cursor: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl PosIndex {
+    fn build(&mut self, ids: &[TokenId]) {
+        let buckets = ids.iter().map(|t| t.0 as usize + 1).max().unwrap_or(0);
+        self.head.clear();
+        self.head.resize(buckets + 1, 0);
+        for t in ids {
+            self.head[t.0 as usize + 1] += 1;
+        }
+        for k in 1..self.head.len() {
+            self.head[k] += self.head[k - 1];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.head);
+        self.pos.clear();
+        self.pos.resize(ids.len(), 0);
+        for (p, t) in ids.iter().enumerate() {
+            let slot = self.cursor[t.0 as usize];
+            self.pos[slot as usize] = p as u32;
+            self.cursor[t.0 as usize] += 1;
+        }
+    }
+
+    /// The ascending positions of token `t`; empty for unseen tokens.
+    fn bucket(&self, t: TokenId) -> &[u32] {
+        let t = t.0 as usize;
+        if t + 1 >= self.head.len() {
+            return &[];
+        }
+        &self.pos[self.head[t] as usize..self.head[t + 1] as usize]
+    }
+}
+
+/// Reusable buffers for Kast kernel evaluation.
+///
+/// A fresh scratch is cheap (empty vectors); a *warm* scratch makes
+/// evaluation allocation-free. One scratch serves any number of
+/// evaluations under any [`KastOptions`] — it carries no result state
+/// across calls, only capacity.
+#[derive(Debug, Clone, Default)]
+pub struct KastScratch {
+    /// Common-suffix DP rows.
+    prev: Vec<u32>,
+    curr: Vec<u32>,
+    /// Deduplicated candidates in first-seen order.
+    spans: Vec<Span>,
+    /// Open-addressing hash table over `spans` (content-keyed).
+    table: Vec<u32>,
+    index_a: PosIndex,
+    index_b: PosIndex,
+    /// Candidate occurrence ranges, parallel to `spans`.
+    occs: Vec<OccRange>,
+    /// Occurrence start arenas (all candidates, concatenated).
+    starts_a: Vec<u32>,
+    starts_b: Vec<u32>,
+    /// Candidate indices sorted longest-first (ties by first-seen order).
+    order: Vec<u32>,
+    /// Independence-filter interval lists.
+    kept_a: Vec<Interval>,
+    kept_b: Vec<Interval>,
+    staged_a: Vec<Interval>,
+    staged_b: Vec<Interval>,
+}
+
+fn hash_ids(ids: &[TokenId]) -> u64 {
+    // FNV-1a over the id words: deterministic and collision-checked (the
+    // table compares full content on every probe hit).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in ids {
+        h ^= u64::from(t.0);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Inserts the candidate span `xa[start .. start + len]` unless an
+/// equal-content span is already present (first-seen dedup, exactly
+/// like the naive pipeline's `HashMap<Vec<TokenId>, ()>`).
+///
+/// Free function over the individual buffers (rather than a `&mut self`
+/// method) so the DP loop can hold iterator borrows of the row buffers
+/// while inserting.
+fn insert_candidate(
+    spans: &mut Vec<Span>,
+    table: &mut Vec<u32>,
+    xa: &[TokenId],
+    start: usize,
+    len: usize,
+) {
+    let content = &xa[start..start + len];
+    let hash = hash_ids(content);
+    debug_assert!(table.len().is_power_of_two());
+    let mask = table.len() - 1;
+    let mut at = hash as usize & mask;
+    loop {
+        let slot = table[at];
+        if slot == EMPTY {
+            break;
+        }
+        let other = spans[slot as usize];
+        if other.hash == hash
+            && other.len as usize == len
+            && xa[other.start as usize..other.start as usize + len] == *content
+        {
+            return; // duplicate literal sequence
+        }
+        at = (at + 1) & mask;
+    }
+    let idx = spans.len() as u32;
+    spans.push(Span { start: start as u32, len: len as u32, hash });
+    table[at] = idx;
+    // Keep the load factor below 1/2.
+    if (spans.len() + 1) * 2 > table.len() {
+        grow_table(spans, table);
+    }
+}
+
+fn grow_table(spans: &[Span], table: &mut Vec<u32>) {
+    let new_len = (table.len() * 2).max(16);
+    table.clear();
+    table.resize(new_len, EMPTY);
+    let mask = new_len - 1;
+    for (idx, span) in spans.iter().enumerate() {
+        let mut at = span.hash as usize & mask;
+        while table[at] != EMPTY {
+            at = (at + 1) & mask;
+        }
+        table[at] = idx as u32;
+    }
+}
+
+impl KastScratch {
+    fn reset(&mut self, m: usize) {
+        self.prev.clear();
+        self.prev.resize(m, 0);
+        self.curr.clear();
+        self.curr.resize(m, 0);
+        // Shrink a dedup table inflated by an earlier outlier pair: the
+        // per-evaluation `fill(EMPTY)` costs O(table), so a long-lived
+        // scratch must not stay at its historical maximum forever. The
+        // previous evaluation's candidate count (at load factor ≤ 1/2,
+        // with slack for growth) bounds what the table needs; shrinking
+        // lags one evaluation behind, which keeps steady workloads at a
+        // stable size.
+        let target = (self.spans.len() * 4).next_power_of_two().max(16);
+        self.spans.clear();
+        if self.table.len() < 16 {
+            self.table.resize(16, EMPTY);
+        } else {
+            if self.table.len() > target {
+                self.table.truncate(target);
+            }
+            self.table.fill(EMPTY);
+        }
+        self.occs.clear();
+        self.starts_a.clear();
+        self.starts_b.clear();
+        self.order.clear();
+        self.kept_a.clear();
+        self.kept_b.clear();
+        self.staged_a.clear();
+        self.staged_b.clear();
+    }
+}
+
+thread_local! {
+    /// One warm scratch per thread, shared by every [`crate::KastKernel`]
+    /// on it — so even callers that never see [`KastEvaluator`] (the Gram
+    /// matrix workers, one-off compares) reuse buffers across
+    /// evaluations.
+    static THREAD_SCRATCH: std::cell::RefCell<KastScratch> =
+        std::cell::RefCell::new(KastScratch::default());
+}
+
+/// Runs `f` with this thread's shared scratch; falls back to a fresh
+/// scratch if the thread-local is unavailable (re-entrancy, thread
+/// teardown) rather than panicking.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut KastScratch) -> R) -> R {
+    let mut f = Some(f);
+    let ran = THREAD_SCRATCH.try_with(|cell| {
+        let f = f.take().expect("with_thread_scratch closure consumed twice");
+        match cell.try_borrow_mut() {
+            Ok(mut scratch) => f(&mut scratch),
+            Err(_) => f(&mut KastScratch::default()),
+        }
+    });
+    match ran {
+        Ok(value) => value,
+        Err(_) => {
+            let f = f.take().expect("try_with dropped without running the closure");
+            f(&mut KastScratch::default())
+        }
+    }
+}
+
+/// Evaluates the raw Kast kernel through `scratch`, bit-identically to
+/// the naive `features()`-based pipeline.
+pub(crate) fn raw_with_scratch(
+    opts: &KastOptions,
+    scratch: &mut KastScratch,
+    a: &IdString,
+    b: &IdString,
+) -> f64 {
+    // The naive pipeline computes `features().iter().map(..).sum::<f64>()`;
+    // bit-identity therefore requires the exact additive identity std's
+    // float `Sum` uses (it is `-0.0` on current toolchains, so an empty
+    // feature set sums to `-0.0`, not `+0.0`).
+    let zero: f64 = std::iter::empty::<f64>().sum();
+    let (xa, xb) = (a.ids(), b.ids());
+    let (n, m) = (xa.len(), xb.len());
+    if n == 0 || m == 0 {
+        return zero;
+    }
+    scratch.reset(m);
+
+    // Stage 1 — maximal matching pairs via the common-suffix DP, with
+    // candidates deduped into spans as they are found (the naive code
+    // collects clones first and dedups after; first-seen order is the
+    // same either way). `prev_left` carries `prev[j - 1]` through the
+    // inner loop (0 at row start, matching the naive `i > 0 && j > 0`
+    // guard: the previous row is all zeros when `i == 0`).
+    let KastScratch { prev, curr, spans, table, .. } = &mut *scratch;
+    for i in 0..n {
+        let ai = xa[i];
+        let a_next = if i + 1 < n { Some(xa[i + 1]) } else { None };
+        let mut prev_left = 0u32;
+        for ((j, &bj), (&pj, cj)) in xb.iter().enumerate().zip(prev.iter().zip(curr.iter_mut())) {
+            if ai == bj {
+                let l = prev_left + 1;
+                *cj = l;
+                // Right-maximal: the match cannot be extended past (i, j).
+                let extendable = match a_next {
+                    Some(an) => j + 1 < m && an == xb[j + 1],
+                    None => false,
+                };
+                if !extendable {
+                    insert_candidate(spans, table, xa, i + 1 - l as usize, l as usize);
+                }
+            } else {
+                *cj = 0;
+            }
+            prev_left = pj;
+        }
+        std::mem::swap(prev, curr);
+    }
+    if scratch.spans.is_empty() {
+        return zero;
+    }
+
+    // Stage 2 — collect every appearance of every candidate, walking only
+    // the positions where the candidate's first token occurs.
+    scratch.index_a.build(xa);
+    scratch.index_b.build(xb);
+    for c in 0..scratch.spans.len() {
+        let span = scratch.spans[c];
+        let (st, len) = (span.start as usize, span.len as usize);
+        let content = &xa[st..st + len];
+        let first = content[0];
+        let a_start = scratch.starts_a.len() as u32;
+        if len == 1 {
+            // A single-token candidate occurs at exactly its bucket.
+            scratch.starts_a.extend_from_slice(scratch.index_a.bucket(first));
+        } else {
+            for &p in scratch.index_a.bucket(first) {
+                let p = p as usize;
+                if p + len <= n && xa[p + 1..p + len] == content[1..] {
+                    scratch.starts_a.push(p as u32);
+                }
+            }
+        }
+        let b_start = scratch.starts_b.len() as u32;
+        if len == 1 {
+            scratch.starts_b.extend_from_slice(scratch.index_b.bucket(first));
+        } else {
+            for &p in scratch.index_b.bucket(first) {
+                let p = p as usize;
+                if p + len <= m && xb[p + 1..p + len] == content[1..] {
+                    scratch.starts_b.push(p as u32);
+                }
+            }
+        }
+        scratch.occs.push(OccRange {
+            a_start,
+            a_end: scratch.starts_a.len() as u32,
+            b_start,
+            b_end: scratch.starts_b.len() as u32,
+        });
+    }
+
+    // Stage 3 — longest-first order; the first-seen index as tiebreak
+    // reproduces the naive pipeline's *stable* sort exactly.
+    scratch.order.extend(0..scratch.spans.len() as u32);
+    let spans = &scratch.spans;
+    scratch.order.sort_unstable_by_key(|&c| (std::cmp::Reverse(spans[c as usize].len), c));
+
+    // Stage 4 — independence filter, cut rule and inner product in one
+    // pass, accumulating per-feature terms in naive feature order.
+    let cut = opts.cut_weight;
+    let mut current_len = u32::MAX;
+    let mut acc = zero;
+    for &c in &scratch.order {
+        let span = scratch.spans[c as usize];
+        let len = span.len;
+        if len < current_len {
+            // Entering a shorter length group: commit the staged intervals
+            // so equal-length candidates never suppress each other.
+            scratch.kept_a.append(&mut scratch.staged_a);
+            scratch.kept_b.append(&mut scratch.staged_b);
+            current_len = len;
+        }
+        let occ = scratch.occs[c as usize];
+        let starts_a = &scratch.starts_a[occ.a_start as usize..occ.a_end as usize];
+        let starts_b = &scratch.starts_b[occ.b_start as usize..occ.b_end as usize];
+        let contained = |intervals: &[Interval], s: u32| {
+            intervals.iter().any(|&(ks, ke, kl)| kl > len && ks <= s && s + len <= ke)
+        };
+        let independent_a = starts_a.iter().any(|&s| !contained(&scratch.kept_a, s));
+        let independent_b = starts_b.iter().any(|&s| !contained(&scratch.kept_b, s));
+        if !(independent_a || independent_b) {
+            continue;
+        }
+        for &s in starts_a {
+            scratch.staged_a.push((s, s + len, len));
+        }
+        for &s in starts_b {
+            scratch.staged_b.push((s, s + len, len));
+        }
+        // One fused pass per string computes each occurrence weight once
+        // (O(1) via the prefix sums): the sums for the inner product and
+        // the any/all cut predicates. `any` over no occurrences is false
+        // and `all` is true, exactly like the naive iterator chains.
+        let weigh = |string: &IdString, starts: &[u32]| -> (u64, bool, bool) {
+            let (mut sum, mut any, mut all) = (0u64, false, true);
+            for &s in starts {
+                let w = string.range_weight(s as usize, len as usize);
+                sum += w;
+                any |= w >= cut;
+                all &= w >= cut;
+            }
+            (sum, any, all)
+        };
+        let (weight_a, any_a, all_a) = weigh(a, starts_a);
+        let (weight_b, any_b, all_b) = weigh(b, starts_b);
+        let passes = match opts.cut_rule {
+            CutRule::AnyOccurrence => any_a || any_b,
+            CutRule::AllOccurrences => all_a && all_b,
+            CutRule::PerStringSum => weight_a >= cut && weight_b >= cut,
+        };
+        if passes {
+            acc += weight_a as f64 * weight_b as f64;
+        }
+    }
+    acc
+}
+
+/// Replicates [`crate::KastKernel::normalized`] given a way to compute
+/// raw values (shared by the kernel facade and [`KastEvaluator`]).
+pub(crate) fn normalized_with_raw(
+    opts: &KastOptions,
+    a: &IdString,
+    b: &IdString,
+    mut raw: impl FnMut(&IdString, &IdString) -> f64,
+) -> f64 {
+    match opts.normalization {
+        Normalization::Cosine => {
+            let kab = raw(a, b);
+            if kab == 0.0 {
+                return 0.0;
+            }
+            let kaa = raw(a, a);
+            let kbb = raw(b, b);
+            normalized_cosine(kab, kaa, kbb)
+        }
+        Normalization::WeightProduct => normalized_weight_product(opts, a, b, raw(a, b)),
+    }
+}
+
+/// The cosine combination `kab / √(kaa·kbb)` with the zero guards of
+/// [`crate::StringKernel::normalized`].
+pub(crate) fn normalized_cosine(kab: f64, kaa: f64, kbb: f64) -> f64 {
+    if kab == 0.0 || kaa <= 0.0 || kbb <= 0.0 {
+        0.0
+    } else {
+        kab / (kaa * kbb).sqrt()
+    }
+}
+
+/// The paper's Eq. (13) weight-product normalisation of a raw value.
+pub(crate) fn normalized_weight_product(
+    opts: &KastOptions,
+    a: &IdString,
+    b: &IdString,
+    kab: f64,
+) -> f64 {
+    let denom =
+        a.weight_at_least(opts.cut_weight) as f64 * b.weight_at_least(opts.cut_weight) as f64;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        kab / denom
+    }
+}
+
+/// A reusable Kast kernel evaluator: [`KastOptions`] plus caller-owned
+/// scratch state.
+///
+/// Use one evaluator per thread (it is `Send`, not `Sync`) and feed it
+/// any number of string pairs; after the first few evaluations the
+/// buffers have warmed up and evaluation allocates nothing. Results are
+/// bit-identical to [`crate::KastKernel`] under the same options.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_core::{KastEvaluator, KastKernel, KastOptions, StringKernel, TokenInterner,
+///                   WeightedString};
+/// use kastio_core::token::{TokenLiteral, WeightedToken};
+///
+/// fn sym(name: &str, w: u64) -> WeightedToken {
+///     WeightedToken::new(TokenLiteral::Sym(name.into()), w)
+/// }
+///
+/// let mut interner = TokenInterner::new();
+/// let a: WeightedString = [sym("x", 6), sym("y", 6), sym("z", 7)].into_iter().collect();
+/// let b: WeightedString = [sym("x", 5), sym("y", 6), sym("z", 6)].into_iter().collect();
+/// let (ia, ib) = (interner.intern_string(&a), interner.intern_string(&b));
+///
+/// let opts = KastOptions::with_cut_weight(4);
+/// let mut evaluator = KastEvaluator::new(opts);
+/// let kernel = KastKernel::new(opts);
+/// assert_eq!(evaluator.raw(&ia, &ib).to_bits(), kernel.raw(&ia, &ib).to_bits());
+/// assert_eq!(
+///     evaluator.normalized(&ia, &ib).to_bits(),
+///     kernel.normalized(&ia, &ib).to_bits(),
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KastEvaluator {
+    opts: KastOptions,
+    scratch: KastScratch,
+}
+
+impl KastEvaluator {
+    /// Creates an evaluator with cold (empty) scratch buffers.
+    pub fn new(opts: KastOptions) -> Self {
+        KastEvaluator::with_scratch(opts, KastScratch::default())
+    }
+
+    /// Creates an evaluator around an existing (possibly warm) scratch —
+    /// the hand-off for callers that evaluate under several option sets
+    /// but want one set of buffers: take the scratch back with
+    /// [`KastEvaluator::into_scratch`] and re-wrap it.
+    pub fn with_scratch(opts: KastOptions, scratch: KastScratch) -> Self {
+        KastEvaluator { opts, scratch }
+    }
+
+    /// Consumes the evaluator, returning its scratch with whatever
+    /// capacity the evaluations grew (results never persist in scratch,
+    /// only capacity).
+    pub fn into_scratch(self) -> KastScratch {
+        self.scratch
+    }
+
+    /// The evaluator's kernel options.
+    pub fn options(&self) -> &KastOptions {
+        &self.opts
+    }
+
+    /// The raw kernel value — bit-identical to
+    /// [`StringKernel::raw`](crate::StringKernel::raw) on a
+    /// [`crate::KastKernel`] under the same options.
+    pub fn raw(&mut self, a: &IdString, b: &IdString) -> f64 {
+        raw_with_scratch(&self.opts, &mut self.scratch, a, b)
+    }
+
+    /// The raw self-kernel `k(a, a)`, the denominator half of cosine
+    /// normalisation. Callers building Gram matrices should compute each
+    /// string's self-kernel **once** and use
+    /// [`KastEvaluator::normalized_with_self_kernels`] for the pairs.
+    pub fn self_kernel(&mut self, a: &IdString) -> f64 {
+        self.raw(a, a)
+    }
+
+    /// The normalised kernel value — bit-identical to
+    /// [`StringKernel::normalized`](crate::StringKernel::normalized) on a
+    /// [`crate::KastKernel`] under the same options.
+    ///
+    /// Under [`Normalization::Cosine`] this evaluates both self-kernels
+    /// per call; batch callers should memoise them via
+    /// [`KastEvaluator::self_kernel`] and use
+    /// [`KastEvaluator::normalized_with_self_kernels`] instead.
+    pub fn normalized(&mut self, a: &IdString, b: &IdString) -> f64 {
+        let (opts, scratch) = (&self.opts, &mut self.scratch);
+        normalized_with_raw(opts, a, b, |x, y| raw_with_scratch(opts, scratch, x, y))
+    }
+
+    /// [`KastEvaluator::normalized`] with the self-kernels `k(a, a)` and
+    /// `k(b, b)` supplied by the caller (memoised self-kernel path).
+    ///
+    /// Under [`Normalization::WeightProduct`] the self-kernels are not
+    /// part of the formula and the arguments are ignored. Passing values
+    /// other than the true self-kernels under [`Normalization::Cosine`]
+    /// breaks the bit-identity contract.
+    pub fn normalized_with_self_kernels(
+        &mut self,
+        a: &IdString,
+        b: &IdString,
+        kaa: f64,
+        kbb: f64,
+    ) -> f64 {
+        match self.opts.normalization {
+            Normalization::Cosine => normalized_cosine(self.raw(a, b), kaa, kbb),
+            Normalization::WeightProduct => {
+                let kab = self.raw(a, b);
+                normalized_weight_product(&self.opts, a, b, kab)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kast::{KastKernel, KastOptions};
+    use crate::string::TokenInterner;
+    use crate::token::{TokenLiteral, WeightedToken};
+    use crate::{StringKernel, WeightedString};
+
+    fn sym(name: &str, w: u64) -> WeightedToken {
+        WeightedToken::new(TokenLiteral::Sym(name.to_string()), w)
+    }
+
+    fn intern_pair(a: &[WeightedToken], b: &[WeightedToken]) -> (IdString, IdString) {
+        let mut interner = TokenInterner::new();
+        let sa: WeightedString = a.iter().cloned().collect();
+        let sb: WeightedString = b.iter().cloned().collect();
+        (interner.intern_string(&sa), interner.intern_string(&sb))
+    }
+
+    #[test]
+    fn warm_evaluator_matches_kernel_across_pairs() {
+        // One evaluator, many pairs: scratch reuse must not leak state
+        // between evaluations.
+        let pairs = [
+            (vec![sym("p", 2), sym("q", 2), sym("r", 2)], vec![sym("p", 3), sym("q", 3)]),
+            (vec![sym("t", 2); 5], vec![sym("t", 2); 3]),
+            (vec![sym("a", 9)], vec![sym("b", 9)]),
+            (vec![], vec![sym("p", 3)]),
+            (
+                vec![sym("p", 2), sym("q", 2), sym("r", 2), sym("q", 8)],
+                vec![sym("p", 2), sym("q", 2), sym("r", 2), sym("zz", 1), sym("q", 9)],
+            ),
+        ];
+        for cut in [1, 2, 4, 8] {
+            let opts = KastOptions::with_cut_weight(cut);
+            let kernel = KastKernel::new(opts);
+            let mut evaluator = KastEvaluator::new(opts);
+            for (ta, tb) in &pairs {
+                let (a, b) = intern_pair(ta, tb);
+                assert_eq!(evaluator.raw(&a, &b).to_bits(), kernel.raw(&a, &b).to_bits());
+                assert_eq!(evaluator.raw(&b, &a).to_bits(), kernel.raw(&b, &a).to_bits());
+                assert_eq!(
+                    evaluator.normalized(&a, &b).to_bits(),
+                    kernel.normalized(&a, &b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoised_self_kernels_reproduce_normalized() {
+        let (a, b) = intern_pair(
+            &[sym("x", 6), sym("y", 6), sym("z", 7), sym("u", 3)],
+            &[sym("x", 5), sym("y", 6), sym("z", 6), sym("u", 2)],
+        );
+        for normalization in [Normalization::Cosine, Normalization::WeightProduct] {
+            let opts = KastOptions { normalization, ..KastOptions::with_cut_weight(2) };
+            let kernel = KastKernel::new(opts);
+            let mut evaluator = KastEvaluator::new(opts);
+            let kaa = evaluator.self_kernel(&a);
+            let kbb = evaluator.self_kernel(&b);
+            assert_eq!(
+                evaluator.normalized_with_self_kernels(&a, &b, kaa, kbb).to_bits(),
+                kernel.normalized(&a, &b).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_hands_off_between_option_sets() {
+        let (a, b) =
+            intern_pair(&[sym("p", 2), sym("q", 2)], &[sym("p", 3), sym("q", 3), sym("p", 9)]);
+        let first = KastOptions::with_cut_weight(1);
+        let second = KastOptions::with_cut_weight(4);
+        let mut evaluator = KastEvaluator::new(first);
+        assert_eq!(evaluator.raw(&a, &b).to_bits(), KastKernel::new(first).raw(&a, &b).to_bits());
+        // Re-wrap the warm scratch under different options: capacity
+        // carries over, results stay bit-identical to a fresh kernel.
+        let mut evaluator = KastEvaluator::with_scratch(second, evaluator.into_scratch());
+        assert_eq!(evaluator.raw(&a, &b).to_bits(), KastKernel::new(second).raw(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn position_index_handles_foreign_tokens() {
+        let mut index = PosIndex::default();
+        index.build(&[TokenId(3), TokenId(1), TokenId(3)]);
+        assert_eq!(index.bucket(TokenId(3)), &[0, 2]);
+        assert_eq!(index.bucket(TokenId(1)), &[1]);
+        assert_eq!(index.bucket(TokenId(2)), &[] as &[u32]);
+        assert_eq!(index.bucket(TokenId(99)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dedup_table_grows_past_initial_capacity() {
+        // A pair with many distinct single-token candidates forces table
+        // growth (> 8 with the initial 16-slot table at load 1/2): 40
+        // distinct tokens shared one by one, never as longer runs.
+        let tokens: Vec<WeightedToken> = (0..40).map(|i| sym(&format!("t{i}"), 2)).collect();
+        let reversed: Vec<WeightedToken> = tokens.iter().rev().cloned().collect();
+        let (a, b) = intern_pair(&tokens, &reversed);
+        let opts = KastOptions::with_cut_weight(1);
+        let mut evaluator = KastEvaluator::new(opts);
+        let kernel = KastKernel::new(opts);
+        assert_eq!(evaluator.raw(&a, &b).to_bits(), kernel.raw(&a, &b).to_bits());
+    }
+}

@@ -30,6 +30,12 @@
 //! appearances (step 4 counts every appearance, not just maximal ones),
 //! filtered longest-first by the independence condition, and finally gated
 //! by the cut weight.
+//!
+//! [`KastKernel::features`] materialises that pipeline for inspection;
+//! [`KastKernel::raw`] and [`KastKernel::normalized`] run the
+//! bit-identical weight-only fast path of [`crate::eval`] (batch callers
+//! should hold a [`crate::KastEvaluator`] for explicit scratch reuse and
+//! self-kernel memoisation).
 
 use std::collections::HashMap;
 
@@ -234,25 +240,31 @@ impl KastKernel {
     }
 }
 
-impl StringKernel for KastKernel {
-    fn name(&self) -> &'static str {
-        "kast"
-    }
-
-    fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+/// Reference implementations of the naive, feature-materialising kernel
+/// pipeline, retained as the oracle the optimized evaluator is checked
+/// against (see the `kast_evaluator_is_bit_identical_to_reference`
+/// property test). Enable the `reference` feature to use them outside
+/// tests.
+#[cfg(any(test, feature = "reference"))]
+impl KastKernel {
+    /// [`KastKernel::raw`] computed by the naive pipeline: materialise
+    /// every [`SharedFeature`] via [`KastKernel::features`], then take the
+    /// inner product.
+    pub fn raw_reference(&self, a: &IdString, b: &IdString) -> f64 {
         self.features(a, b).iter().map(|f| f.weight_a as f64 * f.weight_b as f64).sum()
     }
 
-    fn normalized(&self, a: &IdString, b: &IdString) -> f64 {
+    /// [`KastKernel::normalized`] computed by the naive pipeline,
+    /// including naive (rescan) `weight_{w≥n}` sums.
+    pub fn normalized_reference(&self, a: &IdString, b: &IdString) -> f64 {
         match self.opts.normalization {
             Normalization::Cosine => {
-                // Fall back to the trait's cosine default.
-                let kab = self.raw(a, b);
+                let kab = self.raw_reference(a, b);
                 if kab == 0.0 {
                     return 0.0;
                 }
-                let kaa = self.raw(a, a);
-                let kbb = self.raw(b, b);
+                let kaa = self.raw_reference(a, a);
+                let kbb = self.raw_reference(b, b);
                 if kaa <= 0.0 || kbb <= 0.0 {
                     0.0
                 } else {
@@ -260,13 +272,53 @@ impl StringKernel for KastKernel {
                 }
             }
             Normalization::WeightProduct => {
-                let denom = a.weight_at_least(self.opts.cut_weight) as f64
-                    * b.weight_at_least(self.opts.cut_weight) as f64;
+                let naive_mass = |s: &IdString| -> u64 {
+                    s.weights().iter().filter(|&&w| w >= self.opts.cut_weight).sum()
+                };
+                let denom = naive_mass(a) as f64 * naive_mass(b) as f64;
                 if denom <= 0.0 {
                     0.0
                 } else {
-                    self.raw(a, b) / denom
+                    self.raw_reference(a, b) / denom
                 }
+            }
+        }
+    }
+}
+
+impl StringKernel for KastKernel {
+    fn name(&self) -> &'static str {
+        "kast"
+    }
+
+    /// The weight-only fast path: evaluated through the zero-allocation
+    /// core of [`crate::eval`] (via a per-thread scratch), bit-identical
+    /// to the naive [`KastKernel::features`]-based inner product.
+    fn raw(&self, a: &IdString, b: &IdString) -> f64 {
+        crate::eval::with_thread_scratch(|scratch| {
+            crate::eval::raw_with_scratch(&self.opts, scratch, a, b)
+        })
+    }
+
+    fn normalized(&self, a: &IdString, b: &IdString) -> f64 {
+        crate::eval::with_thread_scratch(|scratch| {
+            crate::eval::normalized_with_raw(&self.opts, a, b, |x, y| {
+                crate::eval::raw_with_scratch(&self.opts, scratch, x, y)
+            })
+        })
+    }
+
+    /// The Kast kernel respects its configured [`Normalization`]: under
+    /// [`Normalization::Cosine`] the supplied self-kernels replace the
+    /// two `raw(a, a)`/`raw(b, b)` evaluations; under
+    /// [`Normalization::WeightProduct`] they are not part of the formula
+    /// and are ignored.
+    fn normalized_with_self(&self, a: &IdString, b: &IdString, kaa: f64, kbb: f64) -> f64 {
+        let kab = self.raw(a, b);
+        match self.opts.normalization {
+            Normalization::Cosine => crate::eval::normalized_cosine(kab, kaa, kbb),
+            Normalization::WeightProduct => {
+                crate::eval::normalized_weight_product(&self.opts, a, b, kab)
             }
         }
     }

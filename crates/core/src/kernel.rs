@@ -50,6 +50,26 @@ pub trait StringKernel {
         }
         kab / (kaa * kbb).sqrt()
     }
+
+    /// [`StringKernel::normalized`] with the self-kernels `k(a, a)` and
+    /// `k(b, b)` supplied by the caller.
+    ///
+    /// This is the memoised-diagonal entry point used by Gram-matrix
+    /// builders: an `n×n` normalised Gram matrix needs each self-kernel
+    /// once (`n` evaluations), not once per pair (`O(n²)`). The default
+    /// replicates the default [`StringKernel::normalized`] bit for bit
+    /// when given the true self-kernels — including the `k(a, b) == 0`
+    /// early-out, which fires *before* the self-kernels are consulted.
+    /// Kernels with a domain-specific normalisation override this
+    /// consistently with their [`StringKernel::normalized`] (the Kast
+    /// kernel ignores the arguments under its weight-product mode, where
+    /// self-kernels are not part of the formula).
+    ///
+    /// Supplying values other than `raw(a, a)` and `raw(b, b)` breaks the
+    /// bit-identity contract with [`StringKernel::normalized`].
+    fn normalized_with_self(&self, a: &IdString, b: &IdString, kaa: f64, kbb: f64) -> f64 {
+        crate::eval::normalized_cosine(self.raw(a, b), kaa, kbb)
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +126,18 @@ mod tests {
         let k = CountKernel;
         let a = ids(&[]);
         assert_eq!(k.normalized(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn normalized_with_true_self_kernels_matches_normalized() {
+        let k = CountKernel;
+        let pairs = [(ids(&[0, 1]), ids(&[0, 2])), (ids(&[0]), ids(&[1])), (ids(&[]), ids(&[0]))];
+        for (a, b) in &pairs {
+            let (kaa, kbb) = (k.raw(a, a), k.raw(b, b));
+            assert_eq!(
+                k.normalized_with_self(a, b, kaa, kbb).to_bits(),
+                k.normalized(a, b).to_bits()
+            );
+        }
     }
 }

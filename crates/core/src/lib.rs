@@ -40,6 +40,7 @@
 pub mod ast;
 pub mod build;
 pub mod compress;
+pub mod eval;
 pub mod explain;
 pub mod flatten;
 pub mod kast;
@@ -51,6 +52,7 @@ pub mod tree;
 
 pub use build::{build_tree, ByteMode};
 pub use compress::{compress_block, compress_tree, CompressOptions, CompressionRules};
+pub use eval::{KastEvaluator, KastScratch};
 pub use explain::{explain_similarity, SimilarityReport};
 pub use flatten::flatten_tree;
 pub use kast::{CutRule, KastKernel, KastOptions, Normalization, SharedFeature};

@@ -199,7 +199,7 @@ impl TokenInterner {
             ids.push(self.intern(&token.literal));
             weights.push(token.weight);
         }
-        IdString { ids, weights }
+        IdString::from_parts(ids, weights)
     }
 }
 
@@ -207,11 +207,44 @@ impl TokenInterner {
 ///
 /// This is the type every kernel consumes. Two `IdString`s are only
 /// comparable when produced by the *same* interner.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Construction precomputes two weight accelerators so the kernel hot
+/// path never rescans the weight vector:
+///
+/// * a prefix-sum array, making [`IdString::range_weight`] and
+///   [`IdString::total_weight`] O(1);
+/// * the weights sorted ascending with suffix sums, making
+///   [`IdString::weight_at_least`] O(log n).
+///
+/// Both are integer sums, so the returned values are exactly the naive
+/// rescan values (u64 addition is associative) — equality and identity of
+/// an `IdString` are defined by `ids` and `weights` alone.
+#[derive(Debug, Clone)]
 pub struct IdString {
     ids: Vec<TokenId>,
     weights: Vec<u64>,
+    /// `prefix[i]` = sum of `weights[..i]`; length `len() + 1`.
+    prefix: Vec<u64>,
+    /// The weights sorted ascending.
+    sorted: Vec<u64>,
+    /// `suffix[k]` = sum of `sorted[k..]`; length `len() + 1`.
+    suffix: Vec<u64>,
 }
+
+impl Default for IdString {
+    fn default() -> Self {
+        IdString::from_parts(Vec::new(), Vec::new())
+    }
+}
+
+impl PartialEq for IdString {
+    fn eq(&self, other: &Self) -> bool {
+        // The accelerator arrays are pure functions of `weights`.
+        self.ids == other.ids && self.weights == other.weights
+    }
+}
+
+impl Eq for IdString {}
 
 impl IdString {
     /// Builds an id string directly from ids and weights.
@@ -221,7 +254,20 @@ impl IdString {
     /// Panics if the two vectors differ in length.
     pub fn from_parts(ids: Vec<TokenId>, weights: Vec<u64>) -> Self {
         assert_eq!(ids.len(), weights.len(), "ids and weights must align");
-        IdString { ids, weights }
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &w in &weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        let mut sorted = weights.clone();
+        sorted.sort_unstable();
+        let mut suffix = vec![0u64; sorted.len() + 1];
+        for k in (0..sorted.len()).rev() {
+            suffix[k] = suffix[k + 1] + sorted[k];
+        }
+        IdString { ids, weights, prefix, sorted, suffix }
     }
 
     /// Number of tokens.
@@ -244,23 +290,29 @@ impl IdString {
         &self.weights
     }
 
-    /// The weight of the string: the sum of all token weights.
+    /// The weight of the string: the sum of all token weights. O(1).
     pub fn total_weight(&self) -> u64 {
-        self.weights.iter().sum()
+        *self.prefix.last().expect("prefix array is never empty")
     }
 
     /// `weight_{w≥n}`: sum of the weights of tokens whose weight ≥ `n`.
+    ///
+    /// O(log n) via the precomputed sorted-weight suffix sums; exactly
+    /// equal to the naive filtered sum (integer addition is associative).
     pub fn weight_at_least(&self, n: u64) -> u64 {
-        self.weights.iter().filter(|&&w| w >= n).sum()
+        let from = self.sorted.partition_point(|&w| w < n);
+        self.suffix[from]
     }
 
     /// Sum of the weights over the token range `[start, start + len)`.
+    ///
+    /// O(1) via the precomputed prefix sums.
     ///
     /// # Panics
     ///
     /// Panics if the range exceeds the string length.
     pub fn range_weight(&self, start: usize, len: usize) -> u64 {
-        self.weights[start..start + len].iter().sum()
+        self.prefix[start + len] - self.prefix[start]
     }
 }
 
@@ -318,6 +370,27 @@ mod tests {
         let b = i.intern_string(&s2);
         assert_eq!(a.ids()[0], b.ids()[0]);
         assert_ne!(a.weights()[0], b.weights()[0]);
+    }
+
+    #[test]
+    fn weight_accelerators_match_naive_rescan() {
+        let mut i = TokenInterner::new();
+        let s: WeightedString =
+            [op("a", 8, 5), op("b", 4, 1), op("a", 8, 3), op("c", 2, 7)].into_iter().collect();
+        let ids = i.intern_string(&s);
+        for n in 0..=9u64 {
+            let naive: u64 = ids.weights().iter().filter(|&&w| w >= n).sum();
+            assert_eq!(ids.weight_at_least(n), naive, "weight_at_least({n})");
+        }
+        for start in 0..=ids.len() {
+            for len in 0..=ids.len() - start {
+                let naive: u64 = ids.weights()[start..start + len].iter().sum();
+                assert_eq!(ids.range_weight(start, len), naive, "range_weight({start},{len})");
+            }
+        }
+        assert_eq!(IdString::default().total_weight(), 0);
+        assert_eq!(IdString::default().weight_at_least(1), 0);
+        assert_eq!(IdString::default().range_weight(0, 0), 0);
     }
 
     #[test]

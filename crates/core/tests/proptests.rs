@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use kastio_core::token::{ByteSig, OpLiteral, TokenLiteral, WeightedToken};
 use kastio_core::tree::{BlockNode, HandleNode, OpNode, PatternTree};
 use kastio_core::{
-    compress_block, flatten_tree, CompressOptions, KastKernel, KastOptions, StringKernel,
-    TokenInterner, WeightedString,
+    compress_block, flatten_tree, CompressOptions, CutRule, KastEvaluator, KastKernel, KastOptions,
+    Normalization, StringKernel, TokenInterner, WeightedString,
 };
 
 fn arb_bytesig() -> impl Strategy<Value = ByteSig> {
@@ -184,6 +184,76 @@ proptest! {
             .map(|f| f.weight_a as f64 * f.weight_b as f64)
             .sum();
         prop_assert_eq!(kernel.raw(&a, &b), from_features);
+    }
+
+    #[test]
+    fn kast_evaluator_is_bit_identical_to_reference(
+        spec_a in proptest::collection::vec((0u32..6, 1u64..20), 0..40),
+        spec_b in proptest::collection::vec((0u32..6, 1u64..20), 0..40),
+        cut in 1u64..12,
+    ) {
+        // Random weighted strings over a small alphabet (so shared
+        // substrings are common), every CutRule × Normalization combination:
+        // the optimized evaluator must reproduce the retained naive
+        // reference pipeline bit for bit. One warm evaluator serves all
+        // combinations and directions, so scratch reuse is exercised too.
+        let mut interner = TokenInterner::new();
+        let to_string = |spec: &[(u32, u64)]| -> WeightedString {
+            spec.iter()
+                .map(|&(t, w)| WeightedToken::new(TokenLiteral::Sym(format!("t{t}")), w))
+                .collect()
+        };
+        let a = interner.intern_string(&to_string(&spec_a));
+        let b = interner.intern_string(&to_string(&spec_b));
+        for cut_rule in [CutRule::AnyOccurrence, CutRule::AllOccurrences, CutRule::PerStringSum] {
+            for normalization in [Normalization::Cosine, Normalization::WeightProduct] {
+                let opts = KastOptions { cut_weight: cut, cut_rule, normalization };
+                let kernel = KastKernel::new(opts);
+                let mut evaluator = KastEvaluator::new(opts);
+                for (x, y) in [(&a, &b), (&b, &a), (&a, &a), (&b, &b)] {
+                    let want_raw = kernel.raw_reference(x, y);
+                    prop_assert_eq!(
+                        kernel.raw(x, y).to_bits(),
+                        want_raw.to_bits(),
+                        "raw drifted from reference ({:?})",
+                        opts
+                    );
+                    prop_assert_eq!(
+                        evaluator.raw(x, y).to_bits(),
+                        want_raw.to_bits(),
+                        "evaluator raw drifted from reference ({:?})",
+                        opts
+                    );
+                    let want_norm = kernel.normalized_reference(x, y);
+                    prop_assert_eq!(
+                        kernel.normalized(x, y).to_bits(),
+                        want_norm.to_bits(),
+                        "normalized drifted from reference ({:?})",
+                        opts
+                    );
+                    prop_assert_eq!(
+                        evaluator.normalized(x, y).to_bits(),
+                        want_norm.to_bits(),
+                        "evaluator normalized drifted from reference ({:?})",
+                        opts
+                    );
+                }
+                // The memoised-self path must agree with the one-shot path.
+                let (kaa, kbb) = (evaluator.self_kernel(&a), evaluator.self_kernel(&b));
+                prop_assert_eq!(
+                    evaluator.normalized_with_self_kernels(&a, &b, kaa, kbb).to_bits(),
+                    kernel.normalized_reference(&a, &b).to_bits(),
+                    "memoised self-kernel path drifted from reference ({:?})",
+                    opts
+                );
+                prop_assert_eq!(
+                    kernel.normalized_with_self(&a, &b, kaa, kbb).to_bits(),
+                    kernel.normalized_reference(&a, &b).to_bits(),
+                    "kernel normalized_with_self drifted from reference ({:?})",
+                    opts
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct IndexEntry {
     /// entry and with interned queries).
     pub string: IdString,
     /// Precomputed raw self-kernel `k(e, e)` under the index's options —
-    /// the denominator half of cosine normalisation.
+    /// the denominator half of cosine normalisation, memoised here so a
+    /// query against `n` entries costs `n` pairwise evaluations plus one
+    /// query self-kernel, never `O(n)` *additional* self-kernels (the
+    /// same diagonal memoisation `gram_matrix` applies in normalised
+    /// mode).
     pub self_kernel: f64,
     /// Precomputed `weight_{w≥cut}(e)` — the denominator half of the
     /// paper's weight-product normalisation.

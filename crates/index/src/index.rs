@@ -41,8 +41,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use kastio_core::{
-    ByteMode, IdString, KastKernel, KastOptions, Normalization, PatternPipeline, StringKernel,
-    TokenId, TokenInterner,
+    ByteMode, IdString, KastEvaluator, KastKernel, KastOptions, Normalization, PatternPipeline,
+    StringKernel, TokenId, TokenInterner,
 };
 use kastio_trace::{PatternSignature, SignatureConfig, Trace};
 
@@ -742,27 +742,39 @@ impl PatternIndex {
     /// Scores `query` against the candidates at `misses` (across all
     /// shards), striping the batch over scoped OS threads when it is
     /// large enough to pay for them.
+    ///
+    /// Each spawned scoring thread owns one warm [`KastEvaluator`], so a
+    /// batch of `k` kernel evaluations reuses one set of scratch buffers
+    /// instead of allocating per pair; small batches stay on the calling
+    /// thread and go through [`KastKernel::raw`], whose per-*thread*
+    /// scratch stays warm across queries on a persistent connection
+    /// thread. Values are bit-identical either way.
     fn score_batch(
         &self,
         shards: &[&Shard],
         query: &IdString,
         misses: &[Candidate],
     ) -> Vec<(Candidate, f64)> {
-        let kernel = &self.kernel;
-        let eval =
-            |&(s, pos): &Candidate| ((s, pos), kernel.raw(query, &shards[s].entries[pos].string));
+        let eval = |evaluator: &mut KastEvaluator, &(s, pos): &Candidate| {
+            ((s, pos), evaluator.raw(query, &shards[s].entries[pos].string))
+        };
         let threads = effective_threads(self.opts.threads, misses.len());
         if threads <= 1 || misses.len() < MIN_PARALLEL_MISSES {
-            return misses.iter().map(eval).collect();
+            let kernel = &self.kernel;
+            return misses
+                .iter()
+                .map(|&(s, pos)| ((s, pos), kernel.raw(query, &shards[s].entries[pos].string)))
+                .collect();
         }
         let mut scored: Vec<(Candidate, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     scope.spawn(move || {
+                        let mut evaluator = KastEvaluator::new(self.opts.kast);
                         let mut acc = Vec::new();
                         let mut at = t;
                         while at < misses.len() {
-                            acc.push(eval(&misses[at]));
+                            acc.push(eval(&mut evaluator, &misses[at]));
                             at += threads;
                         }
                         acc

@@ -90,6 +90,9 @@ impl StringKernel for BlendedSpectrumKernel {
                 break; // longer grams cannot exist either
             }
             let fb = kgram_features(b, p, self.mode);
+            if fb.is_empty() {
+                break; // symmetric early-exit: only zero terms remain
+            }
             total += scale * dot(&fa, &fb);
         }
         total
@@ -149,6 +152,39 @@ mod tests {
         let n = k.normalized(&a, &b);
         assert!((0.0..=1.0 + 1e-12).contains(&n));
         assert!((k.normalized(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_second_string_exits_early_without_changing_the_value() {
+        use crate::spectrum::KSpectrumKernel;
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 1), sym("p", 2), sym("q", 1)], &mut i);
+        let b = intern(&[sym("q", 3)], &mut i);
+        let blended = BlendedSpectrumKernel::new(4).raw(&a, &b);
+        let summed: f64 = (1..=4).map(|k| KSpectrumKernel::new(k).raw(&a, &b)).sum();
+        assert_eq!(blended.to_bits(), summed.to_bits());
+    }
+
+    #[test]
+    fn normalized_with_memoised_self_kernels_is_bit_identical() {
+        // The Gram-matrix builder normalises baselines through
+        // `normalized_with_self` with a memoised diagonal; the blended
+        // kernel uses the trait default, which must agree bitwise. The
+        // fixtures are small enough that every k-gram sum is exactly
+        // representable, so HashMap iteration order cannot perturb the
+        // raw values this comparison relies on.
+        let mut i = TokenInterner::new();
+        let a = intern(&[sym("p", 2), sym("q", 3), sym("r", 5)], &mut i);
+        let b = intern(&[sym("r", 1), sym("p", 2)], &mut i);
+        let empty = intern(&[], &mut i);
+        let k = BlendedSpectrumKernel::new(3);
+        for (x, y) in [(&a, &b), (&a, &a), (&a, &empty), (&empty, &empty)] {
+            let (kxx, kyy) = (k.raw(x, x), k.raw(y, y));
+            assert_eq!(
+                k.normalized_with_self(x, y, kxx, kyy).to_bits(),
+                k.normalized(x, y).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl KernelMatrix {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GramMode {
     /// Normalised values (the paper's similarity matrices).
+    ///
+    /// The diagonal self-kernels are **memoised**: `raw(s_i, s_i)` is
+    /// evaluated once per string (`n` evaluations for an `n×n` matrix,
+    /// not once per pair) and every entry is normalised through
+    /// [`StringKernel::normalized_with_self`]. For kernels whose `raw`
+    /// is call-to-call deterministic — the Kast kernel is, by its
+    /// bit-identity contract — the values are bit-identical to calling
+    /// [`StringKernel::normalized`] per pair. (The HashMap-based
+    /// spectrum baselines sum features in map iteration order, so their
+    /// raw values may already wobble in the last ULP between calls;
+    /// memoisation neither adds to nor removes that.) The diagonal is
+    /// exactly `1.0` wherever the self-kernel is positive (and `0.0`
+    /// where it vanishes, e.g. empty strings).
     #[default]
     Normalized,
     /// Raw kernel values.
@@ -119,6 +132,9 @@ pub enum GramMode {
 ///
 /// Work is split by rows of the upper triangle across `threads` OS threads
 /// (clamped to the number of rows; 0 means "use available parallelism").
+/// In [`GramMode::Normalized`] the self-kernel diagonal is computed first
+/// (once per string) and shared by every pair evaluation — see
+/// [`GramMode::Normalized`] for the memoisation contract.
 ///
 /// # Examples
 ///
@@ -156,10 +172,18 @@ where
         return matrix;
     }
     let threads = effective_threads(threads, n);
+    // Memoised diagonal: in normalised mode every pair shares the n
+    // self-kernels instead of recomputing them per entry (O(n) instead of
+    // O(n²) self-kernel evaluations).
+    let diag: Option<Vec<f64>> = match mode {
+        GramMode::Raw => None,
+        GramMode::Normalized => Some(self_kernels(kernel, strings, threads)),
+    };
+    let diag = diag.as_deref();
     if threads <= 1 {
         for i in 0..n {
             for j in i..n {
-                matrix.set(i, j, eval(kernel, strings, i, j, mode));
+                matrix.set(i, j, eval(kernel, strings, i, j, diag));
             }
         }
         return matrix;
@@ -175,7 +199,7 @@ where
                     let mut i = t;
                     while i < n {
                         let row: Vec<f64> =
-                            (i..n).map(|j| eval(kernel, strings, i, j, mode)).collect();
+                            (i..n).map(|j| eval(kernel, strings, i, j, diag)).collect();
                         acc.push((i, row));
                         i += threads;
                     }
@@ -196,22 +220,57 @@ where
     matrix
 }
 
+/// The raw self-kernel of every string, striped across `threads` workers.
+fn self_kernels<K>(kernel: &K, strings: &[IdString], threads: usize) -> Vec<f64>
+where
+    K: StringKernel + Sync,
+{
+    let n = strings.len();
+    if threads <= 1 || n < 2 {
+        return strings.iter().map(|s| kernel.raw(s, s)).collect();
+    }
+    let mut diag = vec![0.0; n];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        acc.push((i, kernel.raw(&strings[i], &strings[i])));
+                        i += threads;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, v) in handle.join().expect("self-kernel worker panicked") {
+                diag[i] = v;
+            }
+        }
+    });
+    diag
+}
+
 fn effective_threads(requested: usize, n: usize) -> usize {
     let available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let t = if requested == 0 { available } else { requested };
     t.clamp(1, n.max(1))
 }
 
+/// One Gram entry: raw when `diag` is `None`, otherwise normalised
+/// through the memoised self-kernel diagonal.
 fn eval<K: StringKernel>(
     kernel: &K,
     strings: &[IdString],
     i: usize,
     j: usize,
-    mode: GramMode,
+    diag: Option<&[f64]>,
 ) -> f64 {
-    match mode {
-        GramMode::Raw => kernel.raw(&strings[i], &strings[j]),
-        GramMode::Normalized => kernel.normalized(&strings[i], &strings[j]),
+    match diag {
+        None => kernel.raw(&strings[i], &strings[j]),
+        Some(diag) => kernel.normalized_with_self(&strings[i], &strings[j], diag[i], diag[j]),
     }
 }
 
@@ -274,6 +333,49 @@ mod tests {
         let g = gram_matrix(&KSpectrumKernel::new(1), &[], GramMode::Raw, 0);
         assert_eq!(g.n(), 0);
         assert!(g.off_diagonal_range().is_none());
+    }
+
+    #[test]
+    fn normalized_mode_memoised_diagonal_is_bit_identical_to_per_pair() {
+        use kastio_core::{KastKernel, KastOptions, Normalization};
+        let ss = strings(&[
+            &[("p", 2), ("q", 3), ("r", 5)],
+            &[("q", 3), ("r", 5)],
+            &[("p", 2), ("q", 3), ("r", 5), ("p", 2), ("q", 3)],
+            &[("z", 9)],
+            &[], // degenerate: zero self-kernel
+        ]);
+        for normalization in [Normalization::Cosine, Normalization::WeightProduct] {
+            let kernel =
+                KastKernel::new(KastOptions { normalization, ..KastOptions::with_cut_weight(2) });
+            for threads in [1, 3] {
+                let g = gram_matrix(&kernel, &ss, GramMode::Normalized, threads);
+                for i in 0..ss.len() {
+                    for j in 0..ss.len() {
+                        let direct = kernel.normalized(&ss[i], &ss[j]);
+                        assert_eq!(
+                            g.get(i, j).to_bits(),
+                            direct.to_bits(),
+                            "({i},{j}) with {normalization:?}, {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_mode_unit_diagonal_where_defined() {
+        use kastio_core::{KastKernel, KastOptions};
+        // Cosine-normalised Kast: the diagonal is exactly 1.0 wherever the
+        // self-kernel is positive, and 0.0 where it vanishes — the memoised
+        // diagonal must preserve both.
+        let ss = strings(&[&[("p", 2), ("q", 3)], &[("r", 9)], &[]]);
+        let kernel = KastKernel::new(KastOptions::with_cut_weight(2));
+        let g = gram_matrix(&kernel, &ss, GramMode::Normalized, 0);
+        assert_eq!(g.get(0, 0), 1.0);
+        assert_eq!(g.get(1, 1), 1.0);
+        assert_eq!(g.get(2, 2), 0.0, "empty string has no self-kernel");
     }
 
     #[test]
