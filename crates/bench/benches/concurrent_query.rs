@@ -62,7 +62,7 @@ fn build_index(shards: usize) -> PatternIndex {
         ..IndexOptions::default()
     });
     for (name, label, trace) in corpus() {
-        index.ingest(name, label, trace);
+        index.ingest(name, label, trace).unwrap();
     }
     index
 }

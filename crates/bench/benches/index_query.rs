@@ -38,7 +38,7 @@ fn query_trace() -> Trace {
 fn build_index(opts: IndexOptions) -> PatternIndex {
     let index = PatternIndex::new(opts);
     for (name, label, trace) in corpus() {
-        index.ingest(name, label, trace);
+        index.ingest(name, label, trace).unwrap();
     }
     index
 }

@@ -44,7 +44,7 @@ use kastio_core::{
     ByteMode, IdString, KastEvaluator, KastKernel, KastOptions, Normalization, PatternPipeline,
     StringKernel, TokenId, TokenInterner,
 };
-use kastio_trace::{PatternSignature, SignatureConfig, Trace};
+use kastio_trace::{valid_entry_name, valid_entry_tag, PatternSignature, SignatureConfig, Trace};
 
 use crate::entry::{EntryId, IndexEntry};
 use crate::lru::KernelCache;
@@ -161,6 +161,74 @@ impl SharedStats {
     }
 }
 
+/// Why an entry was rejected at ingestion: its name or label cannot
+/// survive the persistence round trip (`<name>.trace` files plus a
+/// whitespace-delimited `<name> <label>` manifest line), so accepting it
+/// would poison every later [`crate::save_index`] of the whole corpus.
+///
+/// Validation happens *at ingest* — not at save time — so a `--save`
+/// daemon can never accumulate an entry whose *format* makes its final
+/// snapshot fail and lose everything else with it. The guarantee is
+/// format-level: environmental limits (a filesystem's file-name length
+/// cap on an extreme library-supplied name, disk space, permissions)
+/// still surface at save time — loudly (wire `ERR`, `STATS` counters,
+/// non-zero daemon exit) and with the previous snapshot left intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The entry name is empty, contains whitespace or a path separator,
+    /// or starts with a dot (names become file names on disk).
+    InvalidName(String),
+    /// The label is empty or contains whitespace (the manifest line
+    /// format is whitespace-delimited).
+    InvalidLabel(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::InvalidName(name) => write!(
+                f,
+                "entry name `{}` cannot be persisted \
+                 (empty, whitespace, path separator or leading dot)",
+                name.escape_debug()
+            ),
+            IngestError::InvalidLabel(label) => write!(
+                f,
+                "label `{}` cannot be persisted (empty or whitespace)",
+                label.escape_debug()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Health of the index's persistence, maintained by [`crate::save_index`]
+/// and reported over the wire by `STATS`.
+///
+/// `last_ok == None` means no snapshot has been attempted yet.
+/// `last_generation`/`last_entries` describe the most recent *successful*
+/// snapshot; comparing `last_generation` with [`PatternIndex::generation`]
+/// tells whether the on-disk snapshot is current (the skip test
+/// [`crate::save_index_if_changed`] performs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotStatus {
+    /// Successful snapshots so far.
+    pub snapshots: u64,
+    /// Failed snapshot attempts so far.
+    pub errors: u64,
+    /// Whether the most recent attempt succeeded (`None`: never tried).
+    pub last_ok: Option<bool>,
+    /// Corpus generation captured by the last successful snapshot.
+    pub last_generation: u64,
+    /// Entry count written by the last successful snapshot.
+    pub last_entries: usize,
+    /// Directory the last successful snapshot went to — the skip test
+    /// compares it so a save to one directory never masks a needed save
+    /// to another.
+    pub last_dir: Option<std::path::PathBuf>,
+}
+
 /// One returned neighbour of a k-NN query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Neighbor {
@@ -241,8 +309,8 @@ impl Shard {
 /// let index = PatternIndex::new(IndexOptions::default());
 /// let writes = parse_trace(&"h0 write 1048576\n".repeat(32))?;
 /// let reads = parse_trace(&"h0 read 4096\n".repeat(32))?;
-/// index.ingest("ckpt", "checkpoint", writes.clone());
-/// index.ingest("scan", "analysis", reads);
+/// index.ingest("ckpt", "checkpoint", writes.clone())?;
+/// index.ingest("scan", "analysis", reads)?;
 ///
 /// let result = index.query(&writes, 1);
 /// assert_eq!(result.neighbors[0].name, "ckpt");
@@ -260,6 +328,17 @@ pub struct PatternIndex {
     next_id: AtomicU32,
     queries: Mutex<QueryRegistry>,
     stats: SharedStats,
+    /// Bumped once per *completed* ingest (after the shard insertion), so
+    /// a snapshot that read generation `g` before scanning the shards is
+    /// guaranteed to contain every ingest whose bump it observed.
+    generation: AtomicU64,
+    /// Snapshot health. Locked only for brief reads/updates, so `STATS`
+    /// never waits on a save's disk I/O.
+    snapshot: Mutex<SnapshotStatus>,
+    /// Serialises whole saves (periodic snapshotter vs `SAVE` vs
+    /// shutdown) so their directory swaps cannot interleave. Separate
+    /// from the status mutex above on purpose.
+    save_lock: Mutex<()>,
 }
 
 /// Full-content identity of a query string: its exact id and weight
@@ -305,6 +384,9 @@ impl PatternIndex {
             next_id: AtomicU32::new(0),
             queries: Mutex::new(QueryRegistry::default()),
             stats: SharedStats::default(),
+            generation: AtomicU64::new(0),
+            snapshot: Mutex::new(SnapshotStatus::default()),
+            save_lock: Mutex::new(()),
         }
     }
 
@@ -385,6 +467,36 @@ impl PatternIndex {
         self.stats.snapshot()
     }
 
+    /// The corpus generation: the number of completed ingests. A snapshot
+    /// taken at generation `g` contains at least every entry whose ingest
+    /// completed before `g` was read — the skip test periodic snapshots
+    /// use ("unchanged since the last save?") compares this counter with
+    /// [`SnapshotStatus::last_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot health: attempt counters and what the last successful
+    /// snapshot covered. Maintained by [`crate::save_index`]. Never
+    /// blocks on an in-flight save (the status has its own short-lived
+    /// lock), so `STATS` stays responsive while a snapshot writes.
+    pub fn snapshot_status(&self) -> SnapshotStatus {
+        self.lock_snapshot().clone()
+    }
+
+    /// The snapshot-status lock. Held only for brief reads and updates —
+    /// never across disk I/O.
+    pub(crate) fn lock_snapshot(&self) -> MutexGuard<'_, SnapshotStatus> {
+        self.snapshot.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The save serialisation lock: [`crate::save_index`] holds it for
+    /// the whole temp-dir-write plus rename dance so two concurrent
+    /// saves cannot interleave their directory swaps.
+    pub(crate) fn lock_save(&self) -> MutexGuard<'_, ()> {
+        self.save_lock.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Number of pairs currently cached, summed over the shards.
     pub fn cached_pairs(&self) -> usize {
         self.shards
@@ -415,6 +527,14 @@ impl PatternIndex {
     /// Names should be unique within an index — persistence writes one
     /// file per name, and later duplicates overwrite earlier ones there.
     ///
+    /// # Errors
+    ///
+    /// [`IngestError`] when the name or label could not survive the
+    /// persistence round trip (whitespace, path separators, …); rejecting
+    /// such entries *here* keeps every later [`crate::save_index`] of the
+    /// corpus saveable. Validation happens before any id is allocated, so
+    /// a rejected ingest leaves no gap in the id sequence.
+    ///
     /// # Examples
     ///
     /// ```
@@ -423,9 +543,10 @@ impl PatternIndex {
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let index = PatternIndex::new(IndexOptions::default());
-    /// let id = index.ingest("ckpt", "checkpoint", parse_trace("h0 write 64\n")?);
+    /// let id = index.ingest("ckpt", "checkpoint", parse_trace("h0 write 64\n")?)?;
     /// assert_eq!(id.0, 0);
     /// assert_eq!(index.len(), 1);
+    /// assert!(index.ingest("bad name", "checkpoint", parse_trace("h0 write 64\n")?).is_err());
     /// # Ok(())
     /// # }
     /// ```
@@ -434,19 +555,40 @@ impl PatternIndex {
         name: impl Into<String>,
         label: impl Into<String>,
         trace: Trace,
-    ) -> EntryId {
+    ) -> Result<EntryId, IngestError> {
+        let (name, label) = (name.into(), label.into());
+        if !valid_entry_name(&name) {
+            return Err(IngestError::InvalidName(name));
+        }
+        if !valid_entry_tag(&label) {
+            return Err(IngestError::InvalidLabel(label));
+        }
         let id = self.allocate_id();
-        self.ingest_with_id(id, name.into(), label.into(), trace)
+        Ok(self.ingest_with_id(id, name, label, trace))
     }
 
     /// [`PatternIndex::ingest`] with the name derived from the allocated
     /// id (`e<id>`), for callers — like the serve daemon — that do not
     /// name entries themselves. Unlike naming by [`PatternIndex::len`],
     /// this is race-free under concurrent ingestion: the id is unique by
-    /// construction.
-    pub fn ingest_auto(&self, label: impl Into<String>, trace: Trace) -> EntryId {
+    /// construction (and always persistence-safe, so only the label is
+    /// validated).
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::InvalidLabel`] when the label could not survive the
+    /// persistence round trip.
+    pub fn ingest_auto(
+        &self,
+        label: impl Into<String>,
+        trace: Trace,
+    ) -> Result<EntryId, IngestError> {
+        let label = label.into();
+        if !valid_entry_tag(&label) {
+            return Err(IngestError::InvalidLabel(label));
+        }
         let id = self.allocate_id();
-        self.ingest_with_id(id, format!("e{}", id.0), label.into(), trace)
+        Ok(self.ingest_with_id(id, format!("e{}", id.0), label, trace))
     }
 
     fn allocate_id(&self) -> EntryId {
@@ -467,12 +609,19 @@ impl PatternIndex {
             string,
             self_kernel,
         };
-        let mut shard = write_shard(&self.shards[self.shard_of(id)]);
-        // Concurrent ingests into one shard can reach this point out of id
-        // order; insert by id so shard contents are deterministic.
-        let at = shard.entries.partition_point(|e| e.id < id);
-        shard.signatures.insert(at, entry.signature);
-        shard.entries.insert(at, entry);
+        {
+            let mut shard = write_shard(&self.shards[self.shard_of(id)]);
+            // Concurrent ingests into one shard can reach this point out
+            // of id order; insert by id so shard contents are
+            // deterministic.
+            let at = shard.entries.partition_point(|e| e.id < id);
+            shard.signatures.insert(at, entry.signature);
+            shard.entries.insert(at, entry);
+        }
+        // Bumped strictly after the insertion (and after the shard lock is
+        // released): a snapshot that observes generation g therefore sees
+        // every entry of the g completed ingests in its shard scan.
+        self.generation.fetch_add(1, Ordering::SeqCst);
         id
     }
 
@@ -849,8 +998,8 @@ mod tests {
     fn small_index() -> PatternIndex {
         let index = PatternIndex::new(IndexOptions::default());
         for i in 0..4 {
-            index.ingest(format!("w{i}"), "write-heavy", checkpoint(16 + i));
-            index.ingest(format!("r{i}"), "read-heavy", scan(16 + i));
+            index.ingest(format!("w{i}"), "write-heavy", checkpoint(16 + i)).unwrap();
+            index.ingest(format!("r{i}"), "read-heavy", scan(16 + i)).unwrap();
         }
         index
     }
@@ -895,8 +1044,8 @@ mod tests {
             ..IndexOptions::default()
         });
         for i in 0..6 {
-            index.ingest(format!("w{i}"), "w", checkpoint(12 + i));
-            index.ingest(format!("r{i}"), "r", scan(12 + i));
+            index.ingest(format!("w{i}"), "w", checkpoint(12 + i)).unwrap();
+            index.ingest(format!("r{i}"), "r", scan(12 + i)).unwrap();
         }
         let result = index.query(&checkpoint(12), 1);
         assert_eq!(result.candidates, 2);
@@ -927,7 +1076,7 @@ mod tests {
     fn cache_capacity_zero_always_reevaluates() {
         let index =
             PatternIndex::new(IndexOptions { cache_capacity: 0, ..IndexOptions::default() });
-        index.ingest("w", "w", checkpoint(8));
+        index.ingest("w", "w", checkpoint(8)).unwrap();
         let a = index.query(&checkpoint(8), 1);
         let b = index.query(&checkpoint(8), 1);
         assert_eq!(a.evaluated, 1);
@@ -949,8 +1098,8 @@ mod tests {
             PatternIndex::new(IndexOptions { cache_capacity: 2, ..IndexOptions::default() });
         let unbounded = PatternIndex::new(IndexOptions::default());
         for i in 0..3 {
-            bounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
-            unbounded.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+            bounded.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
+            unbounded.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
         }
         let probes =
             [checkpoint(10), scan(10), checkpoint(20), checkpoint(10), scan(10), checkpoint(20)];
@@ -1012,8 +1161,8 @@ mod tests {
             ..IndexOptions::default()
         });
         for i in 0..MIN_PARALLEL_MISSES + 4 {
-            sequential.ingest(format!("w{i}"), "w", checkpoint(8 + i));
-            parallel.ingest(format!("w{i}"), "w", checkpoint(8 + i));
+            sequential.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
+            parallel.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
         }
         let q = scan(10);
         let a = sequential.query(&q, 20);
@@ -1034,8 +1183,8 @@ mod tests {
             },
             ..IndexOptions::default()
         });
-        index.ingest("w", "w", checkpoint(16));
-        index.ingest("r", "r", scan(16));
+        index.ingest("w", "w", checkpoint(16)).unwrap();
+        index.ingest("r", "r", scan(16)).unwrap();
         let query_trace = checkpoint(12);
         let query = index.intern_trace(&query_trace);
         let direct: Vec<f64> =
@@ -1051,7 +1200,7 @@ mod tests {
     fn shard_assignment_follows_id_modulo_invariant() {
         let index = PatternIndex::new(IndexOptions { shards: 3, ..IndexOptions::default() });
         for i in 0..8 {
-            let id = index.ingest(format!("w{i}"), "w", checkpoint(4 + i));
+            let id = index.ingest(format!("w{i}"), "w", checkpoint(4 + i)).unwrap();
             assert_eq!(id.0 as usize, i);
             assert_eq!(index.shard_of(id), i % 3);
         }
@@ -1067,10 +1216,10 @@ mod tests {
         let single = PatternIndex::new(IndexOptions::default());
         let sharded = PatternIndex::new(IndexOptions { shards: 4, ..IndexOptions::default() });
         for i in 0..6 {
-            single.ingest(format!("w{i}"), "w", checkpoint(10 + i));
-            single.ingest(format!("r{i}"), "r", scan(10 + i));
-            sharded.ingest(format!("w{i}"), "w", checkpoint(10 + i));
-            sharded.ingest(format!("r{i}"), "r", scan(10 + i));
+            single.ingest(format!("w{i}"), "w", checkpoint(10 + i)).unwrap();
+            single.ingest(format!("r{i}"), "r", scan(10 + i)).unwrap();
+            sharded.ingest(format!("w{i}"), "w", checkpoint(10 + i)).unwrap();
+            sharded.ingest(format!("r{i}"), "r", scan(10 + i)).unwrap();
         }
         for probe in [checkpoint(11), scan(13), checkpoint(30)] {
             let a = single.query(&probe, 5);
@@ -1092,8 +1241,8 @@ mod tests {
     #[test]
     fn ingest_auto_names_by_id() {
         let index = PatternIndex::new(IndexOptions { shards: 2, ..IndexOptions::default() });
-        index.ingest_auto("w", checkpoint(4));
-        index.ingest_auto("r", scan(4));
+        index.ingest_auto("w", checkpoint(4)).unwrap();
+        index.ingest_auto("r", scan(4)).unwrap();
         let entries = index.entries();
         assert_eq!(entries[0].name, "e0");
         assert_eq!(entries[1].name, "e1");
@@ -1109,8 +1258,8 @@ mod tests {
             ..IndexOptions::default()
         }));
         for i in 0..6 {
-            index.ingest(format!("w{i}"), "w", checkpoint(8 + i));
-            index.ingest(format!("r{i}"), "r", scan(8 + i));
+            index.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
+            index.ingest(format!("r{i}"), "r", scan(8 + i)).unwrap();
         }
         let expected: Vec<(String, f64)> = {
             let probe = index.intern_trace(&checkpoint(9));
@@ -1124,7 +1273,7 @@ mod tests {
             let writer_index = std::sync::Arc::clone(&index);
             scope.spawn(move || {
                 for i in 0..8 {
-                    writer_index.ingest(format!("x{i}"), "x", checkpoint(40 + i));
+                    writer_index.ingest(format!("x{i}"), "x", checkpoint(40 + i)).unwrap();
                 }
             });
             for _ in 0..3 {

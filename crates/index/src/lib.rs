@@ -35,9 +35,14 @@
 //! [`persist`] stores a corpus as plain-text trace files (+ `MANIFEST`),
 //! the same layout `kastio generate` emits, so an index survives restarts
 //! and datasets load directly (and shard placement, a pure function of
-//! ingestion order, survives with it). [`server`] wraps the index in a
+//! ingestion order, survives with it). Saves are **atomic snapshots**
+//! (fresh temp directory renamed into place, previous snapshot preserved
+//! until the new one is complete) that run from shard *read* locks, and a
+//! [`Snapshotter`] thread can write them periodically; [`signal`] turns
+//! `SIGTERM`/`SIGINT` into a final snapshot plus clean listener shutdown,
+//! making the daemon crash-tolerant. [`server`] wraps the index in a
 //! `TcpListener` daemon speaking the line protocol of [`protocol`]
-//! (`INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` /
+//! (`INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` / `SAVE` /
 //! `SHUTDOWN` — specified in `docs/PROTOCOL.md`), and the `kastio serve`
 //! / `kastio query` subcommands front it on the command line.
 //!
@@ -65,15 +70,19 @@ pub mod persist;
 pub mod prefilter;
 pub mod protocol;
 pub mod server;
+pub mod signal;
 
 pub use entry::{EntryId, IndexEntry};
-pub use index::{IndexOptions, IndexStats, Neighbor, PatternIndex, QueryResult};
+pub use index::{
+    IndexOptions, IndexStats, IngestError, Neighbor, PatternIndex, QueryResult, SnapshotStatus,
+};
 pub use kastio_trace::CorpusIoError;
 pub use lru::KernelCache;
-pub use persist::{load_index, save_index};
+pub use persist::{load_index, save_index, save_index_if_changed, SnapshotInfo, Snapshotter};
 pub use prefilter::PrefilterConfig;
 pub use protocol::{
     decode_trace_inline, encode_trace_inline, parse_batch_ingest_item, parse_request, read_reply,
     Request, MAX_BATCH_ITEMS,
 };
-pub use server::Server;
+pub use server::{Server, ShutdownHandle};
+pub use signal::{watch_termination, SignalWatcher, TermSignal};

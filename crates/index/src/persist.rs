@@ -1,4 +1,5 @@
-//! Saving and loading an index corpus as plain-text trace files.
+//! Crash-tolerant persistence: atomic snapshots of an index corpus as
+//! plain-text trace files.
 //!
 //! The on-disk layout is [`kastio_trace::corpus`]'s — the same one the
 //! batch tools speak: a directory of `<name>.trace` files plus a
@@ -6,6 +7,34 @@
 //! generate` therefore loads directly into an index (the category tags
 //! become labels), and a corpus built up over a serving session survives
 //! restarts.
+//!
+//! # Atomicity protocol
+//!
+//! [`save_index`] never modifies the last good snapshot in place. A save
+//! of corpus directory `corpus/` runs:
+//!
+//! ```text
+//! 1. write the full corpus into a fresh sibling   corpus.tmp/
+//!    (per-file temp+rename inside, MANIFEST last — write_corpus)
+//! 2. rename corpus/      → corpus.prev/           (if corpus/ exists)
+//! 3. rename corpus.tmp/  → corpus/
+//! 4. remove corpus.prev/                          (best effort)
+//! ```
+//!
+//! A crash at any point leaves a loadable state: before step 2 the old
+//! `corpus/` is untouched; between steps 2 and 3 the old snapshot sits
+//! complete in `corpus.prev/`, which [`load_index`] renames back; after
+//! step 3 the new snapshot is in place (a leftover `corpus.prev/` is
+//! ignored and cleaned by the next save). The sibling names
+//! `corpus.tmp` and `corpus.prev` are **reserved** — a save deletes
+//! whatever occupies them. A directory that rename cannot swap (a mount
+//! point, `.`, a path ending in `..`) falls back to the in-place
+//! per-file-atomic writer instead of failing every save. Saves are
+//! serialised on the index's save lock (separate from the briefly-held
+//! status lock, so `STATS` never waits on a snapshot's disk I/O), so
+//! concurrent `SAVE` requests and the periodic [`Snapshotter`] cannot
+//! interleave their directory swaps. This protects against *process*
+//! crashes; power-loss durability (fsync ordering) is out of scope.
 //!
 //! Sharding round-trips deterministically without being written to disk
 //! at all: entries are saved in id (ingestion) order, the manifest
@@ -15,66 +44,331 @@
 //! also fine (placement is a serving-time detail; query results are
 //! shard-independent).
 
-use std::path::Path;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use kastio_trace::{read_corpus, write_corpus, CorpusIoError};
 
 use crate::index::{IndexOptions, PatternIndex};
 
-/// Writes every entry of `index` into `dir` as `<name>.trace` plus a
-/// `MANIFEST` of `<name> <label>` lines (in ingestion order, so a reload
-/// reproduces ids and shard placement), creating the directory if needed.
+/// What a successful [`save_index`] wrote: the entry count and the corpus
+/// generation the snapshot covers (the `SAVE` verb reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Entries written to the snapshot.
+    pub entries: usize,
+    /// The corpus generation the snapshot equals: the snapshot is
+    /// exactly the corpus as it stood after this many completed ingests
+    /// (a contiguous id prefix — see [`save_index`] on id gaps).
+    pub generation: u64,
+}
+
+/// `<dir>.<suffix>` as a sibling of `dir` (same parent directory, so the
+/// final rename into place cannot cross filesystems).
+fn sibling(dir: &Path, suffix: &str) -> PathBuf {
+    let mut name = dir.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".{suffix}"));
+    dir.with_file_name(name)
+}
+
+/// Removes whatever sits at `path` — file, directory, or nothing.
+fn remove_artifact(path: &Path) -> io::Result<()> {
+    match fs::symlink_metadata(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+        Ok(meta) if meta.is_dir() => fs::remove_dir_all(path),
+        Ok(_) => fs::remove_file(path),
+    }
+}
+
+/// Writes every entry of `index` into `dir` as an **atomic snapshot**:
+/// `<name>.trace` files plus a `MANIFEST` of `<name> <label>` lines (in
+/// ingestion order, so a reload reproduces ids and shard placement),
+/// written into a fresh `<dir>.tmp` sibling and renamed into place — the
+/// previous snapshot is preserved (as `<dir>.prev` during the swap) until
+/// the new one is complete, so a crash or IO error mid-save can never
+/// corrupt the last good snapshot (see the [module docs](self) for the
+/// full protocol). The sibling paths `<dir>.tmp` and `<dir>.prev` are
+/// **reserved**: whatever sits at them is deleted by a save, so do not
+/// keep unrelated data there.
+///
+/// A directory that cannot be swapped by rename — a mount point, `.`, a
+/// path ending in `..` — falls back to the in-place writer (still
+/// per-file atomic with `MANIFEST` written last), so such a target keeps
+/// saving instead of failing forever; only the whole-directory atomicity
+/// is reduced for it.
+///
+/// The entry scan runs under shard *read* locks only, so a daemon keeps
+/// answering queries while it snapshots. The index's
+/// [`crate::index::SnapshotStatus`] is updated on both success and
+/// failure (under its own short-lived lock, so `STATS` never waits on
+/// disk I/O), and concurrent saves are serialised on a separate save
+/// lock.
 ///
 /// # Errors
 ///
-/// Returns [`CorpusIoError::Io`] on any filesystem failure.
-pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<(), CorpusIoError> {
-    let entries = index.entries();
-    write_corpus(dir, entries.iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
+/// Returns [`CorpusIoError`] on any filesystem failure; the previous
+/// snapshot (if any) is still intact and loadable in that case.
+pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<SnapshotInfo, CorpusIoError> {
+    // Held for the whole swap: serialises concurrent saves (periodic
+    // snapshotter vs SAVE vs shutdown) so their directory swaps cannot
+    // interleave. Shard read locks nest inside it; no ingest or query
+    // path takes it, so no cycle. Status is NOT guarded by this lock —
+    // it has its own mutex, locked only briefly below, so STATS readers
+    // never stall behind a slow disk.
+    let _save_guard = index.lock_save();
+    // Persist only the contiguous id prefix of the scan. Concurrent
+    // ingests can leave an id *gap* (id 5 allocated but not yet inserted
+    // while id 6 already is); saving the gapped set would renumber
+    // entries on reload and let a later `ingest_auto` reuse an existing
+    // `e<id>` name, silently aliasing two entries onto one trace file.
+    // The prefix `0..k` is exactly the corpus as of generation `k`
+    // (ids are dense and entries immutable once ingested), so recording
+    // `last_generation = k` keeps the skip test sound — and any entry
+    // beyond a gap was ingested after generation `k`, so a later save
+    // (the exit-path one runs with all handlers joined, hence gap-free)
+    // necessarily picks it up.
+    let mut entries = index.entries();
+    entries.truncate(contiguous_prefix(&entries));
+    let generation = entries.len() as u64;
+    let result = write_snapshot(dir, &entries);
+    let mut status = index.lock_snapshot();
+    match result {
+        Ok(()) => {
+            status.snapshots += 1;
+            status.last_ok = Some(true);
+            status.last_generation = generation;
+            status.last_entries = entries.len();
+            status.last_dir = Some(dir.to_path_buf());
+            Ok(SnapshotInfo { entries: entries.len(), generation })
+        }
+        Err(e) => {
+            status.errors += 1;
+            status.last_ok = Some(false);
+            Err(e)
+        }
+    }
+}
+
+/// Length of the leading run of entries whose ids are exactly
+/// `0, 1, 2, …` — the longest prefix that is guaranteed to reload with
+/// identical ids (and therefore identical shard placement and no
+/// `e<id>` name collisions for future auto-named ingests).
+fn contiguous_prefix(entries: &[crate::entry::IndexEntry]) -> usize {
+    entries.iter().enumerate().take_while(|(i, e)| e.id.0 as usize == *i).count()
+}
+
+/// The directory-level atomic write: fresh temp dir, double rename, with
+/// an in-place fallback for directories rename cannot swap.
+fn write_snapshot(dir: &Path, entries: &[crate::entry::IndexEntry]) -> Result<(), CorpusIoError> {
+    let corpus = |target: &Path| {
+        write_corpus(target, entries.iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
+    };
+    let tmp = sibling(dir, "tmp");
+    // A stale temp dir from a crashed save is dead weight; clear it so
+    // this save starts from an empty directory.
+    remove_artifact(&tmp)?;
+    corpus(&tmp)?;
+    match swap_into_place(dir, &tmp) {
+        Ok(()) => Ok(()),
+        // `dir` itself cannot be renamed (mount point, `.`, `..`, cross-
+        // device edge cases). It is still intact — swap_into_place restores
+        // it on a half-failed swap — so degrade to the in-place per-file-
+        // atomic writer rather than never saving at all.
+        Err(_) => {
+            let _ = remove_artifact(&tmp);
+            corpus(dir)
+        }
+    }
+}
+
+/// Steps 2–4 of the atomicity protocol: move the old snapshot aside,
+/// move the new one into place, drop the old one. If the second rename
+/// fails the old snapshot is restored, so the caller always finds `dir`
+/// in a complete state afterwards, success or failure.
+fn swap_into_place(dir: &Path, tmp: &Path) -> io::Result<()> {
+    let prev = sibling(dir, "prev");
+    if dir.exists() {
+        remove_artifact(&prev)?;
+        fs::rename(dir, &prev)?;
+        if let Err(e) = fs::rename(tmp, dir) {
+            let _ = fs::rename(&prev, dir); // put the old snapshot back
+            return Err(e);
+        }
+        // The new snapshot is in place; failing to clean the old one up
+        // is not a save failure (load_index ignores `.prev` when `dir`
+        // exists).
+        let _ = remove_artifact(&prev);
+        Ok(())
+    } else {
+        fs::rename(tmp, dir)
+    }
+}
+
+/// [`save_index`], skipped when the on-disk snapshot is already current:
+/// the last save succeeded, it went to this same `dir` (a save to one
+/// directory never suppresses a needed save to another), the corpus
+/// generation has not moved since, and the snapshot directory still has
+/// its `MANIFEST`. Returns `Ok(None)` on a skip. This is the idle-cycle
+/// test the periodic [`Snapshotter`] and the daemon's exit path use.
+///
+/// # Errors
+///
+/// Whatever [`save_index`] reports.
+pub fn save_index_if_changed(
+    index: &PatternIndex,
+    dir: &Path,
+) -> Result<Option<SnapshotInfo>, CorpusIoError> {
+    let status = index.snapshot_status();
+    if status.last_ok == Some(true)
+        && status.last_dir.as_deref() == Some(dir)
+        && status.last_generation == index.generation()
+        && dir.join("MANIFEST").exists()
+    {
+        return Ok(None);
+    }
+    save_index(index, dir).map(Some)
 }
 
 /// Loads a corpus directory (written by [`save_index`] or by the dataset
 /// exporter) into a fresh index with the given options, ingesting entries
 /// in manifest order.
 ///
+/// If `dir` itself is missing but a `<dir>.prev` sibling exists, the load
+/// first renames `.prev` back into place: that is exactly the state a
+/// crash between the two renames of an atomic save leaves behind, and the
+/// `.prev` directory holds the complete previous snapshot.
+///
 /// # Errors
 ///
 /// Propagates [`CorpusIoError`] from the directory walk (missing or
-/// malformed manifest entries and trace files).
+/// malformed manifest entries and trace files), including
+/// [`CorpusIoError::BadEntry`] for manifest names or tags the index
+/// rejects at ingestion (for example path-traversing names) — rejecting
+/// them here keeps the loaded corpus saveable.
 pub fn load_index(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, CorpusIoError> {
+    let prev = sibling(dir, "prev");
+    if !dir.exists() && prev.is_dir() {
+        // Complete the interrupted swap of a crashed save.
+        fs::rename(&prev, dir)?;
+    }
     let index = PatternIndex::new(opts);
     for entry in read_corpus(dir)? {
-        index.ingest(entry.name, entry.tag, entry.trace);
+        index
+            .ingest(entry.name, entry.tag, entry.trace)
+            .map_err(|e| CorpusIoError::BadEntry { field: e.to_string() })?;
     }
     Ok(index)
+}
+
+/// A background thread that snapshots an index every `interval`, skipping
+/// cycles where the corpus generation has not moved (via
+/// [`save_index_if_changed`]). Snapshots run from shard *read* locks, so
+/// queries keep flowing while one is written; failures are reported on
+/// stderr and counted in the index's [`crate::index::SnapshotStatus`]
+/// (visible over the wire in `STATS`).
+///
+/// Dropping the handle stops the thread promptly (it does not wait out
+/// the interval) and joins it; an in-flight snapshot completes first.
+#[derive(Debug)]
+pub struct Snapshotter {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Snapshotter {
+    /// Starts the snapshot daemon thread for `index`, writing to `dir`
+    /// every `interval` (when the corpus changed).
+    pub fn start(index: Arc<PatternIndex>, dir: PathBuf, interval: Duration) -> Snapshotter {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("kastio-snapshot".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().unwrap_or_else(|p| p.into_inner());
+                while !*stopped {
+                    let (guard, timeout) =
+                        cvar.wait_timeout(stopped, interval).unwrap_or_else(|p| p.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        // Save without holding the stop mutex, so stop()
+                        // only ever waits for an in-flight save, never
+                        // for a full interval.
+                        drop(stopped);
+                        if let Err(e) = save_index_if_changed(&index, &dir) {
+                            eprintln!("kastio snapshot: save to {} failed: {e}", dir.display());
+                        }
+                        stopped = lock.lock().unwrap_or_else(|p| p.into_inner());
+                    }
+                }
+            })
+            .expect("snapshot thread spawns");
+        Snapshotter { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use kastio_trace::parse_trace;
-    use std::fs;
+    use std::collections::BTreeMap;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("kastio-index-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(sibling(&dir, "tmp"));
+        let _ = fs::remove_dir_all(sibling(&dir, "prev"));
         dir
     }
 
     fn sample_index(opts: IndexOptions) -> PatternIndex {
         let index = PatternIndex::new(opts);
-        index.ingest("ckpt", "flash", parse_trace(&"h0 write 1048576\n".repeat(8)).unwrap());
-        index.ingest("scan", "posix", parse_trace(&"h0 read 4096\n".repeat(8)).unwrap());
         index
+            .ingest("ckpt", "flash", parse_trace(&"h0 write 1048576\n".repeat(8)).unwrap())
+            .unwrap();
+        index.ingest("scan", "posix", parse_trace(&"h0 read 4096\n".repeat(8)).unwrap()).unwrap();
+        index
+    }
+
+    /// Every regular file in `dir` with its exact bytes, for bit-for-bit
+    /// before/after comparisons.
+    fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.file_name().to_string_lossy().into_owned(), fs::read(e.path()).unwrap())
+            })
+            .collect()
     }
 
     #[test]
     fn roundtrip_preserves_entries_and_results() {
         let dir = tmpdir("roundtrip");
         let original = sample_index(IndexOptions::default());
-        save_index(&original, &dir).unwrap();
+        let info = save_index(&original, &dir).unwrap();
+        assert_eq!(info, SnapshotInfo { entries: 2, generation: 2 });
         let restored = load_index(&dir, IndexOptions::default()).unwrap();
         assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.generation(), 2, "reload replays every ingest");
         let q = parse_trace(&"h0 write 1048576\n".repeat(6)).unwrap();
         let a = original.query(&q, 2);
         let b = restored.query(&q, 2);
@@ -88,7 +382,7 @@ mod tests {
         let dir = tmpdir("shards");
         let opts = IndexOptions { shards: 3, ..IndexOptions::default() };
         let original = sample_index(opts);
-        original.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap());
+        original.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
         save_index(&original, &dir).unwrap();
 
         // Same shard count → identical placement, entry for entry.
@@ -140,6 +434,199 @@ mod tests {
         let err = load_index(&dir, IndexOptions::default()).unwrap_err();
         assert!(matches!(err, CorpusIoError::MissingTrace { .. }), "{err}");
         assert!(err.to_string().contains("ghost"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsafe_manifest_names_are_rejected_at_load() {
+        // A hand-edited (or malicious) manifest can smuggle names the
+        // wire protocol never could — path traversal here. Loading must
+        // reject them, not ingest an entry that poisons every later save.
+        let dir = tmpdir("evil-manifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("MANIFEST"), "../escape A\n").unwrap();
+        fs::write(dir.join("../escape.trace"), "h0 write 64\n").unwrap();
+        let err = load_index(&dir, IndexOptions::default()).unwrap_err();
+        assert!(matches!(&err, CorpusIoError::BadEntry { field } if field.contains("escape")));
+        let _ = fs::remove_file(dir.join("../escape.trace"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_save_leaves_previous_snapshot_bit_for_bit() {
+        let dir = tmpdir("fault");
+        let index = sample_index(IndexOptions::default());
+        save_index(&index, &dir).unwrap();
+        let before = dir_bytes(&dir);
+
+        // A 300-byte name passes manifest validation but exceeds the
+        // filesystem's file-name limit: the temp-dir write fails with a
+        // real IO error mid-snapshot, exactly like a torn save.
+        index.ingest("x".repeat(300), "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        let err = save_index(&index, &dir).unwrap_err();
+        assert!(matches!(err, CorpusIoError::Io(_)), "{err}");
+
+        // The previous snapshot is untouched, bit for bit, and loadable.
+        assert_eq!(dir_bytes(&dir), before);
+        assert_eq!(load_index(&dir, IndexOptions::default()).unwrap().len(), 2);
+
+        // The failure is visible in the status counters.
+        let status = index.snapshot_status();
+        assert_eq!(status.errors, 1);
+        assert_eq!(status.last_ok, Some(false));
+        assert_eq!(status.snapshots, 1);
+        let _ = fs::remove_dir_all(sibling(&dir, "tmp"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_swap_is_recovered_on_load() {
+        let dir = tmpdir("swap");
+        let index = sample_index(IndexOptions::default());
+        save_index(&index, &dir).unwrap();
+        let saved = dir_bytes(&dir);
+
+        // Simulate a crash between the two renames of the next save: the
+        // old snapshot has moved to `.prev`, the new one never landed.
+        let prev = sibling(&dir, "prev");
+        fs::rename(&dir, &prev).unwrap();
+        let half = sibling(&dir, "tmp");
+        fs::create_dir_all(&half).unwrap();
+        fs::write(half.join("e9.trace"), "h0 write 1\n").unwrap(); // no MANIFEST: torn
+
+        let recovered = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 2, "the previous snapshot is recovered");
+        assert_eq!(dir_bytes(&dir), saved, "recovery restores the old bytes untouched");
+        assert!(!prev.exists(), "recovery completes the rename");
+
+        // The next save clears the stale temp dir and lands normally.
+        index.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        save_index(&index, &dir).unwrap();
+        assert!(!half.exists(), "stale temp dir cleared by the next save");
+        assert_eq!(load_index(&dir, IndexOptions::default()).unwrap().len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_persist_only_the_contiguous_id_prefix() {
+        // A concurrent-ingest id gap (id 2 allocated but not yet
+        // inserted while id 3 already is) must not be persisted: on
+        // reload the entries would renumber and a later auto-named
+        // ingest would reuse an existing `e<id>` name, aliasing two
+        // entries onto one trace file.
+        let index = sample_index(IndexOptions::default());
+        index.ingest("third", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        index.ingest("fourth", "flash", parse_trace("h0 write 32\n").unwrap()).unwrap();
+        let mut entries = index.entries();
+        assert_eq!(contiguous_prefix(&entries), 4, "dense ids: whole corpus");
+        entries.remove(2); // simulate the in-flight gap at id 2
+        assert_eq!(contiguous_prefix(&entries), 2, "stop at the first gap");
+        assert_eq!(contiguous_prefix(&entries[..0]), 0, "empty corpus");
+
+        // End to end: a gap-free save reports generation == entries and
+        // reloads with identical ids (the identity renumbering).
+        let dir = tmpdir("prefix");
+        let info = save_index(&index, &dir).unwrap();
+        assert_eq!(info, SnapshotInfo { entries: 4, generation: 4 });
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
+        for (i, e) in restored.entries().iter().enumerate() {
+            assert_eq!(e.id.0 as usize, i);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unswappable_directory_falls_back_to_in_place_saves() {
+        // A target whose final component is `..` cannot be renamed
+        // (EBUSY/EINVAL) — the same failure mode as a mount point or `.`.
+        // The save must degrade to the in-place writer, not fail forever.
+        let base = tmpdir("fallback");
+        fs::create_dir_all(base.join("sub")).unwrap();
+        let target = base.join("sub").join("..");
+        let index = sample_index(IndexOptions::default());
+        let info = save_index(&index, &target).expect("fallback save succeeds");
+        assert_eq!(info.entries, 2);
+        assert_eq!(index.snapshot_status().last_ok, Some(true));
+        // The corpus landed in place (target resolves to `base`) and the
+        // temp sibling was cleaned up.
+        assert_eq!(load_index(&base, IndexOptions::default()).unwrap().len(), 2);
+        assert!(!base.join(".tmp").exists(), "fallback cleans the temp dir");
+
+        // Repeat saves keep working (the old failure mode was *every*
+        // save erroring once the target could not be renamed).
+        index.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        save_index(&index, &target).expect("second fallback save succeeds");
+        assert_eq!(load_index(&base, IndexOptions::default()).unwrap().len(), 3);
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn save_to_one_directory_never_masks_a_save_to_another() {
+        let dir_a = tmpdir("skip-a");
+        let dir_b = tmpdir("skip-b");
+        let index = sample_index(IndexOptions::default());
+        save_index(&index, &dir_a).unwrap();
+        // dir_b holds a stale corpus from some earlier run.
+        fs::create_dir_all(&dir_b).unwrap();
+        fs::write(dir_b.join("MANIFEST"), "stale X\n").unwrap();
+        fs::write(dir_b.join("stale.trace"), "h0 write 1\n").unwrap();
+        // Same generation, last save ok — but to a *different* directory,
+        // so this must save, not skip.
+        let info = save_index_if_changed(&index, &dir_b).unwrap();
+        assert!(info.is_some(), "a save to dir_a must not suppress the save to dir_b");
+        assert_eq!(load_index(&dir_b, IndexOptions::default()).unwrap().len(), 2);
+        // And now dir_b *is* current, so the skip applies to it.
+        assert!(save_index_if_changed(&index, &dir_b).unwrap().is_none());
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn save_if_changed_skips_when_generation_is_stable() {
+        let dir = tmpdir("skip");
+        let index = sample_index(IndexOptions::default());
+        assert!(save_index_if_changed(&index, &dir).unwrap().is_some(), "first save runs");
+        assert!(save_index_if_changed(&index, &dir).unwrap().is_none(), "unchanged → skipped");
+        assert_eq!(index.snapshot_status().snapshots, 1);
+
+        index.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        let info = save_index_if_changed(&index, &dir).unwrap().expect("changed → saved");
+        assert_eq!(info.entries, 3);
+        assert_eq!(index.snapshot_status().snapshots, 2);
+
+        // A vanished snapshot (operator deleted the dir) is re-created
+        // even though the generation is unchanged.
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(save_index_if_changed(&index, &dir).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshotter_saves_periodically_and_skips_idle_cycles() {
+        let dir = tmpdir("daemon");
+        let index = Arc::new(sample_index(IndexOptions::default()));
+        let snapshotter =
+            Snapshotter::start(Arc::clone(&index), dir.clone(), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while index.snapshot_status().snapshots == 0 {
+            assert!(std::time::Instant::now() < deadline, "first periodic snapshot never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Idle: the generation is unchanged, so further cycles skip.
+        let after_first = index.snapshot_status().snapshots;
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(index.snapshot_status().snapshots, after_first, "idle cycles are skipped");
+        assert_eq!(index.snapshot_status().last_generation, index.generation());
+
+        // New ingest → next cycle saves again.
+        index.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        while index.snapshot_status().snapshots == after_first {
+            assert!(std::time::Instant::now() < deadline, "change was never re-snapshotted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(snapshotter); // stops promptly and joins
+        assert_eq!(load_index(&dir, IndexOptions::default()).unwrap().len(), 3);
+        assert_eq!(index.snapshot_status().errors, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

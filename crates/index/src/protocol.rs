@@ -18,7 +18,10 @@
 //!                                        MATCH … (m lines per result) …
 //!                                        END
 //! STATS                                → STAT <key> <value> … END
-//! SHUTDOWN                             → OK bye (server stops accepting)
+//! SAVE                                 → OK saved entries=<n> generation=<g>
+//! SHUTDOWN                             → OK bye (server stops accepting;
+//!                                        `OK bye saved=<n> generation=<g>`
+//!                                        when a save directory is set)
 //! ```
 //!
 //! Errors are a single `ERR <message>` line; the connection stays open
@@ -33,7 +36,7 @@
 
 use kastio_trace::{parse_trace, write_trace, Trace};
 
-use crate::index::{IndexStats, QueryResult};
+use crate::index::{IndexStats, QueryResult, SnapshotStatus};
 
 /// Upper bound on the item count a `BATCH INGEST`/`MQUERY` header may
 /// announce; clients with more items issue several batches. Memory is
@@ -80,7 +83,10 @@ pub enum Request {
     },
     /// Report index counters.
     Stats,
-    /// Stop the server after replying.
+    /// Snapshot the corpus to the server's save directory now.
+    Save,
+    /// Stop the server after replying (saving first when a save directory
+    /// is configured).
     Shutdown,
 }
 
@@ -189,6 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::MultiQuery { k: parse_k(kspec)?, count: parse_count(count_spec.trim())? })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "SAVE" if rest.is_empty() => Ok(Request::Save),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
         other => Err(format!("unknown verb `{other}`")),
@@ -235,32 +242,50 @@ fn render_match_lines(out: &mut String, result: &QueryResult) {
 
 /// Renders index counters as the multi-line `STAT … END` reply, including
 /// the shard count and one `STAT shard<i>_entries` line per shard (their
-/// sum always equals `STAT entries`).
+/// sum always equals `STAT entries`), the corpus `generation`, and the
+/// snapshot health block (`snapshots`, `snapshot_errors`,
+/// `last_snapshot_ok` — `1`/`0`, or `-` before any snapshot attempt —
+/// and `last_snapshot_generation`), so a client can tell whether the
+/// on-disk snapshot is current and whether saves have been failing.
 pub fn render_stats_reply(
     entries: usize,
     cached_pairs: usize,
     shard_sizes: &[usize],
     stats: &IndexStats,
+    generation: u64,
+    snapshot: &SnapshotStatus,
 ) -> String {
     let mut out = format!("STAT entries {entries}\nSTAT shards {}\n", shard_sizes.len());
     for (i, size) in shard_sizes.iter().enumerate() {
         out.push_str(&format!("STAT shard{i}_entries {size}\n"));
     }
     out.push_str(&format!(
-        "STAT queries {}\n\
+        "STAT generation {generation}\n\
+         STAT queries {}\n\
          STAT kernel_evals {}\n\
          STAT cache_hits {}\n\
          STAT cached_pairs {cached_pairs}\n\
          STAT prefilter_pruned {}\n\
          STAT ingest_evals {}\n\
          STAT query_self_evals {}\n\
+         STAT snapshots {}\n\
+         STAT snapshot_errors {}\n\
+         STAT last_snapshot_ok {}\n\
+         STAT last_snapshot_generation {}\n\
          END\n",
         stats.queries,
         stats.kernel_evals,
         stats.cache_hits,
         stats.prefilter_pruned,
         stats.ingest_evals,
-        stats.query_self_evals
+        stats.query_self_evals,
+        snapshot.snapshots,
+        snapshot.errors,
+        match snapshot.last_ok {
+            None => "-".to_string(),
+            Some(ok) => u64::from(ok).to_string(),
+        },
+        snapshot.last_generation
     ));
     out
 }
@@ -342,7 +367,11 @@ mod tests {
     #[test]
     fn parses_bare_verbs() {
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SAVE").unwrap(), Request::Save);
+        assert_eq!(parse_request("  SAVE  ").unwrap(), Request::Save);
         assert_eq!(parse_request("  SHUTDOWN  ").unwrap(), Request::Shutdown);
+        // SAVE takes no arguments — trailing tokens are a verb error.
+        assert!(parse_request("SAVE now").unwrap_err().contains("SAVE"));
     }
 
     #[test]
@@ -425,16 +454,38 @@ mod tests {
             ingest_evals: 4,
             query_self_evals: 2,
         };
-        let reply = render_stats_reply(4, 5, &[2, 1, 1], &stats);
+        let reply = render_stats_reply(4, 5, &[2, 1, 1], &stats, 4, &SnapshotStatus::default());
         assert!(reply.starts_with("STAT entries 4\n"));
         assert!(reply.contains("STAT shards 3\n"));
         assert!(reply.contains("STAT shard0_entries 2\n"));
         assert!(reply.contains("STAT shard1_entries 1\n"));
         assert!(reply.contains("STAT shard2_entries 1\n"));
+        assert!(reply.contains("STAT generation 4\n"));
         assert!(reply.contains("STAT kernel_evals 5\n"));
         assert!(reply.contains("STAT prefilter_pruned 7\n"));
         assert!(reply.contains("STAT query_self_evals 2\n"));
+        assert!(reply.contains("STAT snapshots 0\n"));
+        assert!(reply.contains("STAT snapshot_errors 0\n"));
+        assert!(reply.contains("STAT last_snapshot_ok -\n"), "never attempted renders as `-`");
         assert!(reply.ends_with("END\n"));
+    }
+
+    #[test]
+    fn stats_reply_reports_snapshot_health() {
+        let snapshot = SnapshotStatus {
+            snapshots: 3,
+            errors: 1,
+            last_ok: Some(false),
+            last_generation: 9,
+            last_entries: 9,
+            ..SnapshotStatus::default()
+        };
+        let reply = render_stats_reply(9, 0, &[9], &IndexStats::default(), 11, &snapshot);
+        assert!(reply.contains("STAT generation 11\n"));
+        assert!(reply.contains("STAT snapshots 3\n"));
+        assert!(reply.contains("STAT snapshot_errors 1\n"));
+        assert!(reply.contains("STAT last_snapshot_ok 0\n"));
+        assert!(reply.contains("STAT last_snapshot_generation 9\n"));
     }
 
     #[test]

@@ -18,10 +18,12 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::index::PatternIndex;
+use crate::persist::save_index;
 use crate::protocol::{
     parse_batch_ingest_item, parse_request, render_mquery_reply, render_query_reply,
     render_stats_reply, Request,
@@ -58,7 +60,28 @@ enum Disposition {
 /// ```
 pub struct Server {
     listener: TcpListener,
-    index: PatternIndex,
+    index: Arc<PatternIndex>,
+    stop: Arc<AtomicBool>,
+    save_dir: Option<PathBuf>,
+}
+
+/// A clonable handle that stops a running [`Server::serve`] loop from
+/// another thread — the signal monitor uses one to turn `SIGTERM` into
+/// the same clean shutdown a `SHUTDOWN` request performs (handlers
+/// joined, corpus intact and saveable).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: raises the stop flag and nudges the accept loop
+    /// awake with a throwaway connection so it observes the flag.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
 }
 
 impl Server {
@@ -69,7 +92,39 @@ impl Server {
     ///
     /// Propagates the [`TcpListener::bind`] failure.
     pub fn bind(addr: &str, index: PatternIndex) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, index })
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            index: Arc::new(index),
+            stop: Arc::new(AtomicBool::new(false)),
+            save_dir: None,
+        })
+    }
+
+    /// Configures the snapshot directory: `SAVE` requests write there,
+    /// and `SHUTDOWN` snapshots there *before* replying, so the
+    /// requesting client sees the save outcome (`OK bye saved=…` or
+    /// `ERR save failed: …`) instead of a silent post-reply failure.
+    #[must_use]
+    pub fn with_save_dir(mut self, dir: Option<PathBuf>) -> Server {
+        self.save_dir = dir;
+        self
+    }
+
+    /// The served index, shared. Lets a periodic
+    /// [`crate::persist::Snapshotter`] or a signal monitor observe and
+    /// snapshot the corpus while [`Server::serve`] blocks.
+    pub fn index(&self) -> Arc<PatternIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// A handle that stops the serve loop from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure (the handle needs the
+    /// bound address for its wake-up nudge).
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle { stop: Arc::clone(&self.stop), addr: self.local_addr()? })
     }
 
     /// The address the listener actually bound.
@@ -82,8 +137,9 @@ impl Server {
     }
 
     /// Accepts and serves connections — each on its own thread — until a
-    /// client sends `SHUTDOWN`, then joins the handlers and returns the
-    /// index (so the caller can persist it).
+    /// client sends `SHUTDOWN` (or a [`ShutdownHandle`] fires), then
+    /// joins the handlers and returns the shared index (so the caller can
+    /// persist it or inspect its [`crate::index::SnapshotStatus`]).
     ///
     /// Accept errors are treated as transient (EMFILE under fd pressure,
     /// ECONNABORTED, …): the loop backs off briefly and retries, so the
@@ -95,10 +151,11 @@ impl Server {
     ///
     /// Currently none after a successful bind; the `io::Result` is kept
     /// for callers that treat serving uniformly with binding.
-    pub fn serve(self) -> io::Result<PatternIndex> {
+    pub fn serve(self) -> io::Result<Arc<PatternIndex>> {
         let addr = self.listener.local_addr()?;
-        let index = Arc::new(self.index);
-        let stop = Arc::new(AtomicBool::new(false));
+        let index = self.index;
+        let stop = self.stop;
+        let save_dir = self.save_dir.map(Arc::new);
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
         // release their file descriptors immediately; whatever is left at
@@ -146,8 +203,10 @@ impl Server {
             }
             let (index, stop, connections) =
                 (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
+            let save_dir = save_dir.clone();
             handlers.push(std::thread::spawn(move || {
-                let disposition = handle_connection(stream, &index);
+                let disposition =
+                    handle_connection(stream, &index, save_dir.as_deref().map(PathBuf::as_path));
                 lock_registry(&connections).remove(&connection_id);
                 if let Ok(Disposition::Shutdown) = disposition {
                     stop.store(true, Ordering::SeqCst);
@@ -164,7 +223,7 @@ impl Server {
         for handler in handlers {
             let _ = handler.join();
         }
-        Ok(Arc::try_unwrap(index).unwrap_or_else(|_| panic!("all connection handlers joined")))
+        Ok(index)
     }
 }
 
@@ -205,7 +264,13 @@ fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Resul
 /// the batched forms (`BATCH INGEST`, `MQUERY`) the announced item lines
 /// are consumed — even when an item is malformed — before the single
 /// reply, so one bad item never desyncs the connection's framing.
-fn handle_connection(stream: TcpStream, index: &PatternIndex) -> io::Result<Disposition> {
+/// `save_dir` is the snapshot target for `SAVE` (and the pre-reply save
+/// of `SHUTDOWN`); without one, `SAVE` is answered with an `ERR`.
+fn handle_connection(
+    stream: TcpStream,
+    index: &PatternIndex,
+    save_dir: Option<&Path>,
+) -> io::Result<Disposition> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -224,20 +289,15 @@ fn handle_connection(stream: TcpStream, index: &PatternIndex) -> io::Result<Disp
         }
         let reply = match parse_request(&line) {
             Err(message) => format!("ERR {message}\n"),
-            Ok(Request::Ingest { label, trace }) => {
-                let id = index.ingest_auto(label, trace);
-                format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
-            }
+            Ok(Request::Ingest { label, trace }) => match index.ingest_auto(label, trace) {
+                Ok(id) => format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len()),
+                Err(e) => format!("ERR {e}\n"),
+            },
             Ok(Request::BatchIngest { count }) => {
                 match read_items(&mut reader, &mut writer, count, parse_batch_ingest_item)? {
                     Items::Hangup => return Ok(Disposition::ClientDone),
                     Items::Bad(message) => message,
-                    Items::Parsed(items) => {
-                        for (label, trace) in items {
-                            index.ingest_auto(label, trace);
-                        }
-                        format!("OK batch={count} entries={}\n", index.len())
-                    }
+                    Items::Parsed(items) => batch_ingest_reply(index, count, items),
                 }
             }
             Ok(Request::Query { k, trace }) => render_query_reply(&index.query(&trace, k)),
@@ -257,10 +317,44 @@ fn handle_connection(stream: TcpStream, index: &PatternIndex) -> io::Result<Disp
                 // invariant that the shard counts sum to `entries`.
                 let shard_sizes = index.shard_sizes();
                 let entries = shard_sizes.iter().sum();
-                render_stats_reply(entries, index.cached_pairs(), &shard_sizes, &index.stats())
+                render_stats_reply(
+                    entries,
+                    index.cached_pairs(),
+                    &shard_sizes,
+                    &index.stats(),
+                    index.generation(),
+                    &index.snapshot_status(),
+                )
             }
+            Ok(Request::Save) => match save_dir {
+                None => "ERR no save directory (start the server with --save)\n".to_string(),
+                Some(dir) => match save_index(index, dir) {
+                    Ok(info) => {
+                        format!(
+                            "OK saved entries={} generation={}\n",
+                            info.entries, info.generation
+                        )
+                    }
+                    Err(e) => format!("ERR save failed: {e}\n"),
+                },
+            },
             Ok(Request::Shutdown) => {
-                writer.write_all(b"OK bye\n")?;
+                // Save *before* replying, so the client that requested
+                // the shutdown learns whether the corpus actually made it
+                // to disk. The server shuts down either way — the caller
+                // of serve() re-checks the snapshot status and surfaces
+                // the failure in its exit code.
+                let reply = match save_dir {
+                    None => "OK bye\n".to_string(),
+                    Some(dir) => match save_index(index, dir) {
+                        Ok(info) => format!(
+                            "OK bye saved={} generation={}\n",
+                            info.entries, info.generation
+                        ),
+                        Err(e) => format!("ERR save failed: {e} (shutting down anyway)\n"),
+                    },
+                };
+                writer.write_all(reply.as_bytes())?;
                 writer.flush()?;
                 return Ok(Disposition::Shutdown);
             }
@@ -268,6 +362,24 @@ fn handle_connection(stream: TcpStream, index: &PatternIndex) -> io::Result<Disp
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
     }
+}
+
+/// Applies a fully parsed `BATCH INGEST` item list. Labels were validated
+/// line by line during parsing, so ingestion cannot fail mid-batch today;
+/// the error arm is kept so a future validation added to
+/// [`PatternIndex::ingest_auto`] degrades to a reported `ERR` (with the
+/// already-applied prefix kept, as the reply says) instead of a panic.
+fn batch_ingest_reply(
+    index: &PatternIndex,
+    count: usize,
+    items: Vec<(String, kastio_trace::Trace)>,
+) -> String {
+    for (i, (label, trace)) in items.into_iter().enumerate() {
+        if let Err(e) = index.ingest_auto(label, trace) {
+            return format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1);
+        }
+    }
+    format!("OK batch={count} entries={}\n", index.len())
 }
 
 /// Outcome of reading a batch's item lines.
@@ -335,14 +447,14 @@ mod tests {
     use super::*;
     use crate::index::IndexOptions;
 
-    fn start_with(opts: IndexOptions) -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
+    fn start_with(opts: IndexOptions) -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
         let server = Server::bind("127.0.0.1:0", PatternIndex::new(opts)).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
         (addr, handle)
     }
 
-    fn start() -> (SocketAddr, std::thread::JoinHandle<PatternIndex>) {
+    fn start() -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
         start_with(IndexOptions::default())
     }
 
@@ -543,6 +655,91 @@ mod tests {
         let reply = roundtrip(&mut stream, "SHUTDOWN\n");
         assert_eq!(reply, "OK bye\n");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn save_without_save_dir_is_a_clean_error() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut stream, "SAVE\n");
+        assert!(reply.starts_with("ERR no save directory"), "{reply}");
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn save_verb_snapshots_and_shutdown_reports_the_save() {
+        let dir = std::env::temp_dir().join(format!("kastio-server-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
+            .unwrap()
+            .with_save_dir(Some(dir.clone()));
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        roundtrip(&mut stream, "INGEST w h0 write 64;h0 write 64\n");
+        let reply = roundtrip(&mut stream, "SAVE\n");
+        assert_eq!(reply, "OK saved entries=1 generation=1\n");
+        assert!(dir.join("MANIFEST").exists());
+
+        let stats = roundtrip(&mut stream, "STATS\n");
+        assert!(stats.contains("STAT snapshots 1\n"), "{stats}");
+        assert!(stats.contains("STAT snapshot_errors 0\n"), "{stats}");
+        assert!(stats.contains("STAT last_snapshot_ok 1\n"), "{stats}");
+        assert!(stats.contains("STAT last_snapshot_generation 1\n"), "{stats}");
+
+        roundtrip(&mut stream, "INGEST r h0 read 8\n");
+        let reply = roundtrip(&mut stream, "SHUTDOWN\n");
+        assert_eq!(reply, "OK bye saved=2 generation=2\n", "shutdown reports its save");
+        let index = handle.join().unwrap();
+        assert_eq!(index.snapshot_status().snapshots, 2);
+
+        let restored =
+            crate::persist::load_index(&dir, IndexOptions::default()).expect("snapshot loads");
+        assert_eq!(restored.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_shutdown_save_is_reported_to_the_requesting_client() {
+        // /dev/null is a file, so creating a snapshot directory under it
+        // fails with a real IO error even when running as root.
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
+            .unwrap()
+            .with_save_dir(Some(std::path::PathBuf::from("/dev/null/corpus")));
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut stream, "INGEST w h0 write 64\n");
+        let reply = roundtrip(&mut stream, "SAVE\n");
+        assert!(reply.starts_with("ERR save failed:"), "{reply}");
+        let reply = roundtrip(&mut stream, "SHUTDOWN\n");
+        assert!(reply.starts_with("ERR save failed:"), "{reply}");
+        assert!(reply.contains("shutting down anyway"), "{reply}");
+        let index = handle.join().unwrap();
+        let status = index.snapshot_status();
+        assert_eq!(status.errors, 2);
+        assert_eq!(status.last_ok, Some(false));
+        assert_eq!(index.len(), 1, "the corpus itself is intact in memory");
+    }
+
+    #[test]
+    fn shutdown_handle_stops_the_server_without_a_client() {
+        let (addr, handle, shutdown) = {
+            let server =
+                Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+            let addr = server.local_addr().unwrap();
+            let shutdown = server.shutdown_handle().unwrap();
+            let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+            (addr, handle, shutdown)
+        };
+        // An idle client is connected; the handle must still stop serve().
+        let idle = TcpStream::connect(addr).unwrap();
+        shutdown.shutdown();
+        let index = handle.join().unwrap();
+        assert_eq!(index.len(), 0);
+        drop(idle);
     }
 
     #[test]

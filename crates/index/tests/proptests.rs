@@ -44,8 +44,8 @@ proptest! {
             ..IndexOptions::default()
         });
         for (i, trace) in corpus.iter().enumerate() {
-            cached.ingest(format!("e{i}"), format!("l{}", i % 2), trace.clone());
-            uncached.ingest(format!("e{i}"), format!("l{}", i % 2), trace.clone());
+            cached.ingest(format!("e{i}"), format!("l{}", i % 2), trace.clone()).unwrap();
+            uncached.ingest(format!("e{i}"), format!("l{}", i % 2), trace.clone()).unwrap();
         }
         let first = cached.query(&query, corpus.len());
         let second = cached.query(&query, corpus.len());
@@ -93,7 +93,7 @@ proptest! {
         prop_assert_eq!(saa.to_bits(), 1.0f64.to_bits(), "self-similarity {} != 1", saa);
 
         let index = PatternIndex::new(IndexOptions::default());
-        index.ingest("b", "label", b.clone());
+        index.ingest("b", "label", b.clone()).unwrap();
         let result = index.query(&a, 1);
         prop_assert_eq!(result.neighbors.len(), 1);
         let served = result.neighbors[0].similarity;

@@ -101,18 +101,80 @@ impl From<io::Error> for CorpusIoError {
     }
 }
 
-/// Whether a name or tag survives the manifest round trip: non-empty, no
+/// Whether a string can serve as a corpus entry *name*: non-empty, no
 /// whitespace (the manifest is whitespace-delimited), no path separators
-/// and no leading dot (names become file names inside `dir`).
-fn writable_field(field: &str, is_name: bool) -> bool {
-    !field.is_empty()
-        && !field.contains(char::is_whitespace)
-        && (!is_name || (!field.contains(['/', '\\']) && !field.starts_with('.')))
+/// and no leading dot (names become file names inside the corpus
+/// directory).
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::valid_entry_name;
+///
+/// assert!(valid_entry_name("checkpoint-03"));
+/// assert!(!valid_entry_name("has space"));
+/// assert!(!valid_entry_name("../escape"));
+/// assert!(!valid_entry_name(".hidden"));
+/// assert!(!valid_entry_name(""));
+/// ```
+pub fn valid_entry_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.contains(char::is_whitespace)
+        && !name.contains(['/', '\\'])
+        && !name.starts_with('.')
+}
+
+/// Whether a string can serve as a corpus entry *tag* (label): non-empty
+/// and whitespace-free, so the `<name> <tag>` manifest line round-trips.
+///
+/// # Examples
+///
+/// ```
+/// use kastio_trace::valid_entry_tag;
+///
+/// assert!(valid_entry_tag("flash-io"));
+/// assert!(valid_entry_tag("a/b.c")); // tags never become file names
+/// assert!(!valid_entry_tag("two words"));
+/// assert!(!valid_entry_tag("line\nbreak"));
+/// assert!(!valid_entry_tag(""));
+/// ```
+pub fn valid_entry_tag(tag: &str) -> bool {
+    !tag.is_empty() && !tag.contains(char::is_whitespace)
+}
+
+/// Writes `bytes` to `path` atomically with respect to process crashes:
+/// the content goes to a `.tmp` sibling first and is renamed into place,
+/// so a reader (or a reload after a crash mid-write) sees either the old
+/// complete file or the new complete file, never a torn prefix.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = fs::write(&tmp, bytes) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Writes `(name, tag, trace)` entries into `dir` as `<name>.trace` files
 /// plus a `MANIFEST`, creating the directory if missing and overwriting
 /// existing files.
+///
+/// Every file is written via a temp-file-plus-rename (a `.tmp` sibling
+/// renamed into place), and the `MANIFEST` is written **last**: a crash mid-write
+/// can therefore never leave a torn trace file or a manifest that
+/// references files which were not fully written. When overwriting an
+/// existing corpus the old `MANIFEST` stays in place (and loadable) until
+/// every trace file of the new corpus is on disk. Note this is *per-file*
+/// atomicity against process crashes — whole-*directory* atomicity (old
+/// corpus preserved until the new one is complete) is layered on top by
+/// the index's snapshot writer, and power-loss durability (fsync) is out
+/// of scope.
 ///
 /// # Errors
 ///
@@ -126,20 +188,20 @@ where
 {
     let entries: Vec<_> = entries.into_iter().collect();
     for &(name, tag, _) in &entries {
-        if !writable_field(name, true) {
+        if !valid_entry_name(name) {
             return Err(CorpusIoError::BadEntry { field: name.to_string() });
         }
-        if !writable_field(tag, false) {
+        if !valid_entry_tag(tag) {
             return Err(CorpusIoError::BadEntry { field: tag.to_string() });
         }
     }
     fs::create_dir_all(dir)?;
     let mut manifest = String::new();
     for (name, tag, trace) in entries {
-        fs::write(dir.join(format!("{name}.trace")), write_trace(trace))?;
+        write_file_atomic(&dir.join(format!("{name}.trace")), write_trace(trace).as_bytes())?;
         manifest.push_str(&format!("{name} {tag}\n"));
     }
-    fs::write(dir.join("MANIFEST"), manifest)?;
+    write_file_atomic(&dir.join("MANIFEST"), manifest.as_bytes())?;
     Ok(())
 }
 
@@ -271,6 +333,52 @@ mod tests {
         write_corpus(&dir, [("ok", "label-1", &t)]).unwrap();
         assert_eq!(read_corpus(&dir).unwrap().len(), 1);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_leave_no_temp_files_behind() {
+        let dir = tmpdir("notmp");
+        let t = parse_trace("h0 write 1\n").unwrap();
+        write_corpus(&dir, [("a", "X", &t), ("b", "Y", &t)]).unwrap();
+        let stray: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files were left behind: {stray:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_overwrite_keeps_the_old_manifest_loadable() {
+        let dir = tmpdir("failed-overwrite");
+        let t = parse_trace("h0 write 1\n").unwrap();
+        write_corpus(&dir, [("a", "X", &t), ("b", "Y", &t)]).unwrap();
+
+        // A 300-byte name passes manifest validation but exceeds the
+        // filesystem's name limit, so the second save fails with an IO
+        // error *after* validation — mid-write, like a crash would.
+        let long = "x".repeat(300);
+        let err = write_corpus(&dir, [("a", "X", &t), (long.as_str(), "Y", &t)]).unwrap_err();
+        assert!(matches!(err, CorpusIoError::Io(_)), "{err}");
+
+        // MANIFEST is written last, so the old corpus is still loadable.
+        let back = read_corpus(&dir).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].name, "b");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validators_are_exported_and_consistent_with_write_corpus() {
+        assert!(valid_entry_name("ok-1"));
+        for bad in ["has space", "../up", "a\\b", ".dot", "", "nl\n"] {
+            assert!(!valid_entry_name(bad), "{bad:?}");
+        }
+        assert!(valid_entry_tag("label.with/odd-chars"));
+        for bad in ["two words", "", "tab\there", "nl\nhere"] {
+            assert!(!valid_entry_tag(bad), "{bad:?}");
+        }
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod text;
 pub mod trace;
 
 pub use corpus::{
-    load_manifest_trace, read_corpus, read_manifest, write_corpus, CorpusEntry, CorpusIoError,
-    ManifestEntry,
+    load_manifest_trace, read_corpus, read_manifest, valid_entry_name, valid_entry_tag,
+    write_corpus, CorpusEntry, CorpusIoError, ManifestEntry,
 };
 pub use op::{HandleId, OpKind, Operation};
 pub use parallel::{HandleMerge, ParallelTrace};

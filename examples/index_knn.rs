@@ -28,7 +28,7 @@ fn main() {
             blocks: 12 + 3 * i,
             ..FlashIoParams::default()
         });
-        index.ingest(format!("flash-{i}"), "flash-io", trace);
+        index.ingest(format!("flash-{i}"), "flash-io", trace).unwrap();
     }
     for i in 0..8 {
         let params = RandomPosixParams {
@@ -36,7 +36,9 @@ fn main() {
             read_iterations: 10 + 2 * i,
             ..RandomPosixParams::default()
         };
-        index.ingest(format!("posix-{i}"), "random-posix", random_posix(&params, 97 + i as u64));
+        index
+            .ingest(format!("posix-{i}"), "random-posix", random_posix(&params, 97 + i as u64))
+            .unwrap();
     }
     println!(
         "corpus: {} entries across {} shards {:?}, {} ingest evals",

@@ -7,9 +7,11 @@
 //! kastio generate <dir> [--seed N]
 //! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
 //! kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
-//!                 [--cut N] [--ignore-bytes] [--candidates N]
+//!                 [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
+//!                 [--candidates N]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
+//! kastio query    <addr> --snapshot
 //! kastio help     [command]
 //! kastio --version
 //! ```
@@ -23,7 +25,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use kastio::index::protocol::{encode_trace_inline, read_reply};
@@ -31,9 +33,9 @@ use kastio::pattern::explain::explain_similarity;
 use kastio::workloads::{export_dataset, import_dataset};
 use kastio::{
     adjusted_rand_index, gram_matrix, hierarchical, load_index, parse_trace, pattern_string,
-    psd_repair, purity, save_index, ByteMode, Dataset, DistanceMatrix, GramMode, IndexOptions,
-    KastKernel, KastOptions, Linkage, PatternIndex, PrefilterConfig, Server, SquareMatrix,
-    StringKernel, TokenInterner,
+    psd_repair, purity, save_index_if_changed, watch_termination, ByteMode, Dataset,
+    DistanceMatrix, GramMode, IndexOptions, KastKernel, KastOptions, Linkage, PatternIndex,
+    PrefilterConfig, Server, Snapshotter, SquareMatrix, StringKernel, TokenInterner,
 };
 
 const USAGE: &str = "\
@@ -43,9 +45,11 @@ usage:
   kastio generate <dir> [--seed N]
   kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
   kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
-                  [--cut N] [--ignore-bytes] [--candidates N]
+                  [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
+                  [--candidates N]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
+  kastio query    <addr> --snapshot
   kastio help     [command]
   kastio --version
 ";
@@ -83,30 +87,38 @@ const HELP_TOPICS: &[(&str, &str)] = &[
     (
         "serve",
         "kastio serve [--port N] [--shards N] [--corpus <dir>] [--save <dir>]\n\
-         \u{20}            [--cut N] [--ignore-bytes] [--candidates N]\n\n\
+         \u{20}            [--snapshot-every <secs>] [--cut N] [--ignore-bytes]\n\
+         \u{20}            [--candidates N]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
          bound. --shards splits the corpus across N read-concurrent\n\
          shards (default 4): queries take shard read locks and run in\n\
          parallel, ingests write-lock only the owning shard. --corpus\n\
-         preloads a dataset/index directory; --save writes the corpus\n\
-         back to a directory on SHUTDOWN. --candidates floors the\n\
-         signature-prefilter budget. The wire protocol is line based\n\
-         (full spec in docs/PROTOCOL.md):\n\n\
+         preloads a dataset/index directory; --save makes the daemon\n\
+         durable: the corpus is snapshotted atomically to that directory\n\
+         on SHUTDOWN, on SAVE requests, on SIGTERM/SIGINT, and (with\n\
+         --snapshot-every N) every N seconds in the background while\n\
+         queries keep flowing (idle cycles are skipped). A failed final\n\
+         save exits non-zero. --candidates floors the signature-prefilter\n\
+         budget. The wire protocol is line based (full spec in\n\
+         docs/PROTOCOL.md):\n\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
          \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
          \u{20} QUERY k=<k> <op>;<op>;...\n\
          \u{20} MQUERY k=<k> <count>   (then <count> trace lines)\n\
          \u{20} STATS\n\
+         \u{20} SAVE\n\
          \u{20} SHUTDOWN\n",
     ),
     (
         "query",
         "kastio query <addr> <trace-file> [--k N]\n\
-         kastio query <addr> --stats\n\n\
+         kastio query <addr> --stats\n\
+         kastio query <addr> --snapshot\n\n\
          Client for `kastio serve`. Sends the trace file as a k-NN QUERY\n\
-         (default k=5) — or, with --stats, asks for the server's counters —\n\
-         and prints the server's reply.\n",
+         (default k=5) — or, with --stats, asks for the server's counters;\n\
+         with --snapshot, asks the server to SAVE its corpus now — and\n\
+         prints the server's reply.\n",
     ),
 ];
 
@@ -119,11 +131,13 @@ struct Flags {
     port: u16,
     shards: usize,
     candidates: usize,
+    snapshot_every: u64,
     corpus: Option<String>,
     save: Option<String>,
     ignore_bytes: bool,
     explain: bool,
     stats: bool,
+    snapshot: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -136,11 +150,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         port: 7878,
         shards: 4,
         candidates: PrefilterConfig::default().min_candidates,
+        snapshot_every: 0,
         corpus: None,
         save: None,
         ignore_bytes: false,
         explain: false,
         stats: false,
+        snapshot: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -148,6 +164,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--ignore-bytes" => flags.ignore_bytes = true,
             "--explain" => flags.explain = true,
             "--stats" => flags.stats = true,
+            "--snapshot" => flags.snapshot = true,
             "--corpus" | "--save" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 match arg.as_str() {
@@ -155,7 +172,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => flags.save = Some(value.clone()),
                 }
             }
-            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--shards" | "--candidates" => {
+            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--shards" | "--candidates"
+            | "--snapshot-every" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
@@ -166,6 +184,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--k" => flags.k = (parsed as usize).max(1),
                     "--shards" => flags.shards = (parsed as usize).max(1),
                     "--candidates" => flags.candidates = (parsed as usize).max(1),
+                    "--snapshot-every" => flags.snapshot_every = parsed,
                     _ => {
                         flags.port = u16::try_from(parsed).map_err(|_| {
                             format!("--port needs a value in 0..=65535, got `{value}`")
@@ -283,6 +302,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if !flags.positional.is_empty() {
         return Err("serve takes no positional arguments".to_string());
     }
+    if flags.snapshot_every > 0 && flags.save.is_none() {
+        return Err("--snapshot-every needs --save <dir> (the snapshot target)".to_string());
+    }
     let opts = IndexOptions {
         kast: KastOptions::with_cut_weight(flags.cut),
         byte_mode: byte_mode(flags),
@@ -301,30 +323,107 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
         None => PatternIndex::new(opts),
     };
+    let save_dir = flags.save.as_ref().map(PathBuf::from);
     let server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
-        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?;
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?
+        .with_save_dir(save_dir.clone());
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+
+    // Signal-triggered shutdown: SIGTERM/SIGINT snapshot the corpus (when
+    // --save is set) and then stop the listener exactly like a SHUTDOWN
+    // request would — the daemon is crash-tolerant under orchestrators
+    // that only ever send signals.
+    let shutdown = server.shutdown_handle().map_err(|e| e.to_string())?;
+    let signal_index = server.index();
+    let signal_save = save_dir.clone();
+    match watch_termination() {
+        Ok(watcher) => {
+            std::thread::Builder::new()
+                .name("kastio-signal".to_string())
+                .spawn(move || {
+                    let Ok(signal) = watcher.wait() else { return };
+                    eprintln!("received {signal}, snapshotting and shutting down");
+                    if let Some(dir) = &signal_save {
+                        if let Err(e) = save_index_if_changed(&signal_index, dir) {
+                            eprintln!("snapshot on {signal} failed: {e}");
+                        }
+                    }
+                    shutdown.shutdown();
+                })
+                .map_err(|e| format!("cannot spawn the signal monitor: {e}"))?;
+        }
+        Err(e) => eprintln!("warning: signal handling unavailable ({e}); use SHUTDOWN"),
+    }
+
+    // Periodic background snapshots, skipped while the generation counter
+    // is unchanged. Dropped (stopped and joined) before the final save.
+    let snapshotter = match (&save_dir, flags.snapshot_every) {
+        (Some(dir), secs) if secs > 0 => Some(Snapshotter::start(
+            server.index(),
+            dir.clone(),
+            std::time::Duration::from_secs(secs),
+        )),
+        _ => None,
+    };
+
     println!("listening on {addr}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     let index = server.serve().map_err(|e| format!("serve failed: {e}"))?;
-    if let Some(dir) = &flags.save {
-        save_index(&index, Path::new(dir)).map_err(|e| e.to_string())?;
-        println!("saved {} entries to {dir}", index.len());
+    drop(snapshotter);
+
+    // Final save. Usually a no-op: SHUTDOWN and the signal path have
+    // already snapshotted, so this only runs when the corpus changed
+    // after that snapshot (or when every earlier save failed) — and a
+    // failure here must be loud: stderr + non-zero exit.
+    if let Some(dir) = &save_dir {
+        match save_index_if_changed(&index, dir) {
+            Ok(Some(info)) => println!(
+                "saved {} entries to {} (generation {})",
+                info.entries,
+                dir.display(),
+                info.generation
+            ),
+            Ok(None) => {
+                let status = index.snapshot_status();
+                println!(
+                    "corpus already saved to {} ({} entries, generation {})",
+                    dir.display(),
+                    status.last_entries,
+                    status.last_generation
+                );
+            }
+            Err(e) => {
+                return Err(format!(
+                    "failed to save {} entries to {}: {e}",
+                    index.len(),
+                    dir.display()
+                ));
+            }
+        }
     }
     Ok(())
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {
+    if flags.stats && flags.snapshot {
+        return Err("--stats and --snapshot are mutually exclusive".to_string());
+    }
     let (addr, request) = match flags.positional.as_slice() {
         [addr] if flags.stats => (addr, "STATS\n".to_string()),
-        [addr, trace_file] if !flags.stats => {
+        [addr] if flags.snapshot => (addr, "SAVE\n".to_string()),
+        [addr, trace_file] if !flags.stats && !flags.snapshot => {
             let trace = load_trace(trace_file)?;
             if trace.is_empty() {
                 return Err(format!("{trace_file} contains no operations"));
             }
             (addr, format!("QUERY k={} {}\n", flags.k, encode_trace_inline(&trace)))
         }
-        _ => return Err("query needs `<addr> <trace-file>` or `<addr> --stats`".to_string()),
+        _ => {
+            return Err(
+                "query needs `<addr> <trace-file>`, `<addr> --stats` or `<addr> --snapshot`"
+                    .to_string(),
+            )
+        }
     };
     let stream =
         TcpStream::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;

@@ -80,8 +80,9 @@ pub use kastio_core::{
     TokenInterner, WeightedString,
 };
 pub use kastio_index::{
-    load_index, save_index, IndexOptions, IndexStats, Neighbor, PatternIndex, PrefilterConfig,
-    QueryResult, Server,
+    load_index, save_index, save_index_if_changed, watch_termination, IndexOptions, IndexStats,
+    IngestError, Neighbor, PatternIndex, PrefilterConfig, QueryResult, Server, ShutdownHandle,
+    SignalWatcher, SnapshotInfo, SnapshotStatus, Snapshotter, TermSignal,
 };
 pub use kastio_kernels::{
     gram_matrix, BagOfTokensKernel, BagOfWordsKernel, BlendedSpectrumKernel, GramMode,

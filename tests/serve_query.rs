@@ -250,7 +250,9 @@ fn serve_persists_corpus_on_shutdown_and_reloads_it() {
     let mut conn = Connection::open(&server.addr);
     conn.roundtrip("INGEST flash h0 open 0;h0 write 64;h0 write 64;h0 close 0\n");
     conn.roundtrip("INGEST posix h0 lseek 0;h0 read 8;h0 lseek 0;h0 read 8\n");
-    conn.roundtrip("SHUTDOWN\n");
+    // The save happens *before* the reply, and the reply reports it.
+    let bye = conn.roundtrip("SHUTDOWN\n");
+    assert_eq!(bye, vec!["OK bye saved=2 generation=2"]);
     let status = server.child.wait().expect("server exits");
     assert!(status.success());
 
@@ -262,6 +264,7 @@ fn serve_persists_corpus_on_shutdown_and_reloads_it() {
     let mut conn = Connection::open(&server.addr);
     let stats = conn.roundtrip("STATS\n");
     assert_eq!(stat_value(&stats, "entries"), 2);
+    assert_eq!(stat_value(&stats, "generation"), 2, "the reload replays both ingests");
     let reply = conn.roundtrip("QUERY k=1 h0 open 0;h0 write 64;h0 write 64;h0 close 0\n");
     assert_eq!(reply[0], "OK matches=1 label=flash");
     conn.roundtrip("SHUTDOWN\n");
