@@ -42,9 +42,13 @@
 //! `SIGTERM`/`SIGINT` into a final snapshot plus clean listener shutdown,
 //! making the daemon crash-tolerant. [`server`] wraps the index in a
 //! `TcpListener` daemon speaking the line protocol of [`protocol`]
-//! (`INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` / `SAVE` /
-//! `SHUTDOWN` — specified in `docs/PROTOCOL.md`), and the `kastio serve`
-//! / `kastio query` subcommands front it on the command line.
+//! (`HELLO` / `INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` /
+//! `SAVE` / `SHUTDOWN` — specified in `docs/PROTOCOL.md`), and the
+//! `kastio serve` / `kastio query` subcommands front it on the command
+//! line. The daemon keeps live [`ServerMetrics`] (uptime, connections,
+//! per-verb request counters), reported by `STATS`, so a load harness
+//! like `kastio loadgen` can correlate client-side latency with
+//! server-side cache and snapshot behaviour.
 //!
 //! # Quickstart
 //!
@@ -82,7 +86,7 @@ pub use persist::{load_index, save_index, save_index_if_changed, SnapshotInfo, S
 pub use prefilter::PrefilterConfig;
 pub use protocol::{
     decode_trace_inline, encode_trace_inline, parse_batch_ingest_item, parse_request, read_reply,
-    Request, MAX_BATCH_ITEMS,
+    MetricsSnapshot, Request, MAX_BATCH_ITEMS, PROTOCOL_VERBS, PROTOCOL_VERSION,
 };
-pub use server::{Server, ShutdownHandle};
+pub use server::{Server, ServerMetrics, ShutdownHandle};
 pub use signal::{watch_termination, SignalWatcher, TermSignal};

@@ -6,6 +6,7 @@
 //! plain-text trace line format, `<handle> <op> <bytes>`):
 //!
 //! ```text
+//! HELLO <proto-version> [client]       → OK kastio proto=1 verbs=…
 //! INGEST <label> <op>;<op>;…           → OK id=<id> name=<name> entries=<n>
 //! BATCH INGEST <count>                 → OK batch=<count> entries=<n>
 //! <label> <op>;<op>;…   (count lines)
@@ -45,6 +46,14 @@ use crate::index::{IndexStats, QueryResult, SnapshotStatus};
 /// cannot multiply the per-line cap.
 pub const MAX_BATCH_ITEMS: usize = 4096;
 
+/// The protocol version this implementation speaks, negotiated by the
+/// `HELLO` verb. Additive changes (new verbs, new `STAT` keys) do not
+/// bump it; a breaking change (renamed verb, reshaped reply) must.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The verb list advertised in the `HELLO` reply, in documentation order.
+pub const PROTOCOL_VERBS: &str = "HELLO,INGEST,BATCH,QUERY,MQUERY,STATS,SAVE,SHUTDOWN";
+
 /// A parsed protocol request.
 ///
 /// The batched forms ([`Request::BatchIngest`], [`Request::MultiQuery`])
@@ -54,6 +63,20 @@ pub const MAX_BATCH_ITEMS: usize = 4096;
 /// [`decode_trace_inline`]) before acting.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version handshake. Optional — every other verb works without it
+    /// (the protocol is still additive) — but new clients send it first
+    /// so a future breaking change can be negotiated instead of
+    /// discovered via garbled replies.
+    Hello {
+        /// The protocol version the client speaks. Parsing accepts any
+        /// positive version; the *server* decides whether it is
+        /// supported (so the rejection is a structured `ERR`, not a
+        /// parse error).
+        version: u32,
+        /// Optional client identifier (a single token, e.g.
+        /// `kastio-loadgen/0.1.0`), for server-side logging only.
+        client: Option<String>,
+    },
     /// Add one labelled trace to the corpus.
     Ingest {
         /// Label recorded for the new entry.
@@ -168,6 +191,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None => (line, ""),
     };
     match verb {
+        "HELLO" => {
+            let (version_spec, client) = match rest.split_once(char::is_whitespace) {
+                Some((version, client)) => (version, client.trim()),
+                None => (rest, ""),
+            };
+            let version: u32 =
+                version_spec.parse().ok().filter(|&v| v > 0).ok_or_else(|| match version_spec {
+                    "" => "HELLO needs `<proto-version> [client]`".to_string(),
+                    spec => format!("bad proto version `{spec}` (expected a positive int)"),
+                })?;
+            if client.contains(char::is_whitespace) {
+                return Err("HELLO takes at most `<proto-version> [client]`".to_string());
+            }
+            let client = (!client.is_empty()).then(|| client.to_string());
+            Ok(Request::Hello { version, client })
+        }
         "INGEST" => {
             let (label, wire) = rest
                 .split_once(char::is_whitespace)
@@ -240,6 +279,56 @@ fn render_match_lines(out: &mut String, result: &QueryResult) {
     }
 }
 
+/// Renders the reply to a supported `HELLO`: the server identity, the
+/// negotiated protocol version and the verb list, on one `OK` line.
+pub fn render_hello_reply() -> String {
+    format!("OK kastio proto={PROTOCOL_VERSION} verbs={PROTOCOL_VERBS}\n")
+}
+
+/// Renders the structured rejection of a `HELLO` whose version the server
+/// does not speak. The reply names the supported version so the client
+/// can downgrade (or give up) without guessing.
+pub fn render_hello_unsupported(version: u32) -> String {
+    format!("ERR unsupported proto {version} (server speaks {PROTOCOL_VERSION})\n")
+}
+
+/// A point-in-time copy of the serve daemon's connection/request
+/// counters, rendered into the `STATS` reply so load runs can be
+/// correlated with server-side behaviour.
+///
+/// All counters are monotonic over the daemon's lifetime (uptime aside,
+/// which is monotonic by definition), so a client can difference two
+/// snapshots to get per-interval rates — exactly what `kastio loadgen`
+/// does around each scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Whole seconds since the listener was bound.
+    pub uptime_secs: u64,
+    /// Connections accepted (shutdown wake-up nudges excluded).
+    pub connections: u64,
+    /// Non-blank request lines received, whether or not they parsed.
+    pub requests: u64,
+    /// `ERR` replies sent (parse failures, bad batch items, failed
+    /// saves, unsupported HELLOs, over-long lines).
+    pub errors: u64,
+    /// Successfully parsed `HELLO` requests.
+    pub hello: u64,
+    /// Successfully parsed `INGEST` requests.
+    pub ingest: u64,
+    /// Successfully parsed `BATCH INGEST` headers.
+    pub batch_ingest: u64,
+    /// Successfully parsed `QUERY` requests.
+    pub query: u64,
+    /// Successfully parsed `MQUERY` headers.
+    pub mquery: u64,
+    /// Successfully parsed `STATS` requests.
+    pub stats: u64,
+    /// Successfully parsed `SAVE` requests.
+    pub save: u64,
+    /// Successfully parsed `SHUTDOWN` requests.
+    pub shutdown: u64,
+}
+
 /// Renders index counters as the multi-line `STAT … END` reply, including
 /// the shard count and one `STAT shard<i>_entries` line per shard (their
 /// sum always equals `STAT entries`), the corpus `generation`, and the
@@ -247,6 +336,9 @@ fn render_match_lines(out: &mut String, result: &QueryResult) {
 /// `last_snapshot_ok` — `1`/`0`, or `-` before any snapshot attempt —
 /// and `last_snapshot_generation`), so a client can tell whether the
 /// on-disk snapshot is current and whether saves have been failing.
+/// The trailing block renders the daemon's [`MetricsSnapshot`]: uptime,
+/// connections accepted, total/erroneous request counts and one
+/// `STAT verb_<name>` line per verb.
 pub fn render_stats_reply(
     entries: usize,
     cached_pairs: usize,
@@ -254,6 +346,7 @@ pub fn render_stats_reply(
     stats: &IndexStats,
     generation: u64,
     snapshot: &SnapshotStatus,
+    metrics: &MetricsSnapshot,
 ) -> String {
     let mut out = format!("STAT entries {entries}\nSTAT shards {}\n", shard_sizes.len());
     for (i, size) in shard_sizes.iter().enumerate() {
@@ -271,8 +364,7 @@ pub fn render_stats_reply(
          STAT snapshots {}\n\
          STAT snapshot_errors {}\n\
          STAT last_snapshot_ok {}\n\
-         STAT last_snapshot_generation {}\n\
-         END\n",
+         STAT last_snapshot_generation {}\n",
         stats.queries,
         stats.kernel_evals,
         stats.cache_hits,
@@ -286,6 +378,33 @@ pub fn render_stats_reply(
             Some(ok) => u64::from(ok).to_string(),
         },
         snapshot.last_generation
+    ));
+    out.push_str(&format!(
+        "STAT uptime_secs {}\n\
+         STAT connections {}\n\
+         STAT requests_total {}\n\
+         STAT request_errors {}\n\
+         STAT verb_hello {}\n\
+         STAT verb_ingest {}\n\
+         STAT verb_batch_ingest {}\n\
+         STAT verb_query {}\n\
+         STAT verb_mquery {}\n\
+         STAT verb_stats {}\n\
+         STAT verb_save {}\n\
+         STAT verb_shutdown {}\n\
+         END\n",
+        metrics.uptime_secs,
+        metrics.connections,
+        metrics.requests,
+        metrics.errors,
+        metrics.hello,
+        metrics.ingest,
+        metrics.batch_ingest,
+        metrics.query,
+        metrics.mquery,
+        metrics.stats,
+        metrics.save,
+        metrics.shutdown,
     ));
     out
 }
@@ -306,6 +425,15 @@ pub fn read_reply<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<String
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection mid-reply",
+            ));
+        }
+        // read_line also returns at EOF without a terminator: a reply
+        // line cut mid-byte-stream must be an error, never silently
+        // returned as if complete.
+        if !reply.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-line",
             ));
         }
         Ok(start)
@@ -362,6 +490,27 @@ mod tests {
     fn parses_batch_headers() {
         assert_eq!(parse_request("BATCH INGEST 3").unwrap(), Request::BatchIngest { count: 3 });
         assert_eq!(parse_request("MQUERY k=2 4").unwrap(), Request::MultiQuery { k: 2, count: 4 });
+    }
+
+    #[test]
+    fn parses_hello() {
+        assert_eq!(parse_request("HELLO 1").unwrap(), Request::Hello { version: 1, client: None });
+        assert_eq!(
+            parse_request("HELLO 2 kastio-loadgen/0.1.0").unwrap(),
+            Request::Hello { version: 2, client: Some("kastio-loadgen/0.1.0".to_string()) }
+        );
+        assert!(parse_request("HELLO").unwrap_err().contains("HELLO needs"));
+        assert!(parse_request("HELLO 0").unwrap_err().contains("bad proto version"));
+        assert!(parse_request("HELLO x").unwrap_err().contains("bad proto version"));
+        assert!(parse_request("HELLO 1 two tokens").unwrap_err().contains("at most"));
+    }
+
+    #[test]
+    fn hello_replies_name_the_version() {
+        let ok = render_hello_reply();
+        assert_eq!(ok, format!("OK kastio proto=1 verbs={PROTOCOL_VERBS}\n"));
+        let err = render_hello_unsupported(9);
+        assert_eq!(err, "ERR unsupported proto 9 (server speaks 1)\n");
     }
 
     #[test]
@@ -454,7 +603,17 @@ mod tests {
             ingest_evals: 4,
             query_self_evals: 2,
         };
-        let reply = render_stats_reply(4, 5, &[2, 1, 1], &stats, 4, &SnapshotStatus::default());
+        let metrics = MetricsSnapshot {
+            uptime_secs: 7,
+            connections: 3,
+            requests: 11,
+            errors: 1,
+            query: 2,
+            stats: 1,
+            ..MetricsSnapshot::default()
+        };
+        let reply =
+            render_stats_reply(4, 5, &[2, 1, 1], &stats, 4, &SnapshotStatus::default(), &metrics);
         assert!(reply.starts_with("STAT entries 4\n"));
         assert!(reply.contains("STAT shards 3\n"));
         assert!(reply.contains("STAT shard0_entries 2\n"));
@@ -467,6 +626,13 @@ mod tests {
         assert!(reply.contains("STAT snapshots 0\n"));
         assert!(reply.contains("STAT snapshot_errors 0\n"));
         assert!(reply.contains("STAT last_snapshot_ok -\n"), "never attempted renders as `-`");
+        assert!(reply.contains("STAT uptime_secs 7\n"));
+        assert!(reply.contains("STAT connections 3\n"));
+        assert!(reply.contains("STAT requests_total 11\n"));
+        assert!(reply.contains("STAT request_errors 1\n"));
+        assert!(reply.contains("STAT verb_query 2\n"));
+        assert!(reply.contains("STAT verb_stats 1\n"));
+        assert!(reply.contains("STAT verb_ingest 0\n"));
         assert!(reply.ends_with("END\n"));
     }
 
@@ -480,7 +646,15 @@ mod tests {
             last_entries: 9,
             ..SnapshotStatus::default()
         };
-        let reply = render_stats_reply(9, 0, &[9], &IndexStats::default(), 11, &snapshot);
+        let reply = render_stats_reply(
+            9,
+            0,
+            &[9],
+            &IndexStats::default(),
+            11,
+            &snapshot,
+            &MetricsSnapshot::default(),
+        );
         assert!(reply.contains("STAT generation 11\n"));
         assert!(reply.contains("STAT snapshots 3\n"));
         assert!(reply.contains("STAT snapshot_errors 1\n"));

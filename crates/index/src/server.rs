@@ -19,15 +19,107 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use crate::index::PatternIndex;
 use crate::persist::save_index;
 use crate::protocol::{
-    parse_batch_ingest_item, parse_request, render_mquery_reply, render_query_reply,
-    render_stats_reply, Request,
+    parse_batch_ingest_item, parse_request, render_hello_reply, render_hello_unsupported,
+    render_mquery_reply, render_query_reply, render_stats_reply, MetricsSnapshot, Request,
+    PROTOCOL_VERSION,
 };
+
+/// Live connection/request counters of a running daemon, shared by every
+/// handler thread and reported in the `STATS` reply.
+///
+/// Counters are plain relaxed atomics: they are observability data with
+/// no ordering relationship to the index's own synchronisation, so the
+/// cheapest increment is the right one. Semantics: `requests` counts
+/// every non-blank request line received (parsed or not); the per-verb
+/// counters count *successfully parsed* requests (a batched form counts
+/// once, on its header); `errors` counts `ERR` replies sent, whatever
+/// their cause (parse failure, bad batch item, unsupported `HELLO`,
+/// failed save, over-long line).
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    hello: AtomicU64,
+    ingest: AtomicU64,
+    batch_ingest: AtomicU64,
+    query: AtomicU64,
+    mquery: AtomicU64,
+    stats: AtomicU64,
+    save: AtomicU64,
+    shutdown: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        ServerMetrics {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            hello: AtomicU64::new(0),
+            ingest: AtomicU64::new(0),
+            batch_ingest: AtomicU64::new(0),
+            query: AtomicU64::new(0),
+            mquery: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            save: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+        }
+    }
+
+    fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one received request line; `parsed` selects the per-verb
+    /// counter (`None` for a line that failed to parse).
+    fn record_request(&self, parsed: Option<&Request>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let verb = match parsed {
+            None => return,
+            Some(Request::Hello { .. }) => &self.hello,
+            Some(Request::Ingest { .. }) => &self.ingest,
+            Some(Request::BatchIngest { .. }) => &self.batch_ingest,
+            Some(Request::Query { .. }) => &self.query,
+            Some(Request::MultiQuery { .. }) => &self.mquery,
+            Some(Request::Stats) => &self.stats,
+            Some(Request::Save) => &self.save,
+            Some(Request::Shutdown) => &self.shutdown,
+        };
+        verb.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, for rendering or testing.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs(),
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            hello: self.hello.load(Ordering::Relaxed),
+            ingest: self.ingest.load(Ordering::Relaxed),
+            batch_ingest: self.batch_ingest.load(Ordering::Relaxed),
+            query: self.query.load(Ordering::Relaxed),
+            mquery: self.mquery.load(Ordering::Relaxed),
+            stats: self.stats.load(Ordering::Relaxed),
+            save: self.save.load(Ordering::Relaxed),
+            shutdown: self.shutdown.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// What handling one connection concluded.
 enum Disposition {
@@ -63,6 +155,7 @@ pub struct Server {
     index: Arc<PatternIndex>,
     stop: Arc<AtomicBool>,
     save_dir: Option<PathBuf>,
+    metrics: Arc<ServerMetrics>,
 }
 
 /// A clonable handle that stops a running [`Server::serve`] loop from
@@ -97,6 +190,7 @@ impl Server {
             index: Arc::new(index),
             stop: Arc::new(AtomicBool::new(false)),
             save_dir: None,
+            metrics: Arc::new(ServerMetrics::new()),
         })
     }
 
@@ -115,6 +209,13 @@ impl Server {
     /// snapshot the corpus while [`Server::serve`] blocks.
     pub fn index(&self) -> Arc<PatternIndex> {
         Arc::clone(&self.index)
+    }
+
+    /// The daemon's connection/request counters, shared. Lets a caller
+    /// (tests, an embedding process) observe traffic while
+    /// [`Server::serve`] blocks.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// A handle that stops the serve loop from another thread.
@@ -155,6 +256,7 @@ impl Server {
         let addr = self.listener.local_addr()?;
         let index = self.index;
         let stop = self.stop;
+        let metrics = self.metrics;
         let save_dir = self.save_dir.map(Arc::new);
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
@@ -201,12 +303,17 @@ impl Server {
                 // instead (try_clone only fails under fd exhaustion).
                 Err(_) => continue,
             }
+            metrics.record_connection();
             let (index, stop, connections) =
                 (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
-            let save_dir = save_dir.clone();
+            let (save_dir, metrics) = (save_dir.clone(), Arc::clone(&metrics));
             handlers.push(std::thread::spawn(move || {
-                let disposition =
-                    handle_connection(stream, &index, save_dir.as_deref().map(PathBuf::as_path));
+                let disposition = handle_connection(
+                    stream,
+                    &index,
+                    save_dir.as_deref().map(PathBuf::as_path),
+                    &metrics,
+                );
                 lock_registry(&connections).remove(&connection_id);
                 if let Ok(Disposition::Shutdown) = disposition {
                     stop.store(true, Ordering::SeqCst);
@@ -270,6 +377,7 @@ fn handle_connection(
     stream: TcpStream,
     index: &PatternIndex,
     save_dir: Option<&Path>,
+    metrics: &ServerMetrics,
 ) -> io::Result<Disposition> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -278,6 +386,7 @@ fn handle_connection(
         match read_request_line(&mut reader, &mut line)? {
             Line::Eof => return Ok(Disposition::ClientDone),
             Line::TooLong => {
+                metrics.record_error();
                 writer.write_all(b"ERR request line too long\n")?;
                 writer.flush()?;
                 return Ok(Disposition::ClientDone);
@@ -287,14 +396,28 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match parse_request(&line) {
+        let request = parse_request(&line);
+        metrics.record_request(request.as_ref().ok());
+        let reply = match request {
             Err(message) => format!("ERR {message}\n"),
+            Ok(Request::Hello { version, client: _ }) => {
+                // Version negotiation: the handshake succeeds only on an
+                // exact match today (there is one version). Every other
+                // verb keeps working without a HELLO, so old clients are
+                // unaffected.
+                if version == PROTOCOL_VERSION {
+                    render_hello_reply()
+                } else {
+                    render_hello_unsupported(version)
+                }
+            }
             Ok(Request::Ingest { label, trace }) => match index.ingest_auto(label, trace) {
                 Ok(id) => format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len()),
                 Err(e) => format!("ERR {e}\n"),
             },
             Ok(Request::BatchIngest { count }) => {
-                match read_items(&mut reader, &mut writer, count, parse_batch_ingest_item)? {
+                match read_items(&mut reader, &mut writer, count, metrics, parse_batch_ingest_item)?
+                {
                     Items::Hangup => return Ok(Disposition::ClientDone),
                     Items::Bad(message) => message,
                     Items::Parsed(items) => batch_ingest_reply(index, count, items),
@@ -302,7 +425,7 @@ fn handle_connection(
             }
             Ok(Request::Query { k, trace }) => render_query_reply(&index.query(&trace, k)),
             Ok(Request::MultiQuery { k, count }) => {
-                match read_items(&mut reader, &mut writer, count, |item| {
+                match read_items(&mut reader, &mut writer, count, metrics, |item| {
                     crate::protocol::decode_trace_inline(item.trim())
                 })? {
                     Items::Hangup => return Ok(Disposition::ClientDone),
@@ -324,6 +447,7 @@ fn handle_connection(
                     &index.stats(),
                     index.generation(),
                     &index.snapshot_status(),
+                    &metrics.snapshot(),
                 )
             }
             Ok(Request::Save) => match save_dir {
@@ -354,11 +478,17 @@ fn handle_connection(
                         Err(e) => format!("ERR save failed: {e} (shutting down anyway)\n"),
                     },
                 };
+                if reply.starts_with("ERR") {
+                    metrics.record_error();
+                }
                 writer.write_all(reply.as_bytes())?;
                 writer.flush()?;
                 return Ok(Disposition::Shutdown);
             }
         };
+        if reply.starts_with("ERR") {
+            metrics.record_error();
+        }
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
     }
@@ -406,6 +536,7 @@ fn read_items<R: BufRead, T>(
     reader: &mut R,
     writer: &mut impl Write,
     count: usize,
+    metrics: &ServerMetrics,
     parse: impl Fn(&str) -> Result<T, String>,
 ) -> io::Result<Items<T>> {
     let mut items: Vec<T> = Vec::new();
@@ -416,6 +547,7 @@ fn read_items<R: BufRead, T>(
         match read_request_line(reader, &mut line)? {
             Line::Eof => return Ok(Items::Hangup),
             Line::TooLong => {
+                metrics.record_error();
                 writer.write_all(b"ERR request line too long\n")?;
                 writer.flush()?;
                 return Ok(Items::Hangup);
@@ -740,6 +872,68 @@ mod tests {
         let index = handle.join().unwrap();
         assert_eq!(index.len(), 0);
         drop(idle);
+    }
+
+    #[test]
+    fn hello_negotiates_and_other_verbs_work_without_it() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        // A client that never sends HELLO keeps working (back-compat)…
+        let reply = roundtrip(&mut stream, "INGEST w h0 write 64\n");
+        assert_eq!(reply, "OK id=0 name=e0 entries=1\n");
+
+        // …and the handshake itself round-trips, with and without the
+        // optional client token.
+        let reply = roundtrip(&mut stream, "HELLO 1\n");
+        assert_eq!(reply, crate::protocol::render_hello_reply());
+        let reply = roundtrip(&mut stream, "HELLO 1 test-suite\n");
+        assert!(reply.starts_with("OK kastio proto=1 "), "{reply}");
+
+        // Unknown versions get the structured rejection, and the
+        // connection stays usable.
+        let reply = roundtrip(&mut stream, "HELLO 7\n");
+        assert_eq!(reply, "ERR unsupported proto 7 (server speaks 1)\n");
+        let reply = roundtrip(&mut stream, "QUERY k=1 h0 write 64\n");
+        assert!(reply.starts_with("OK matches=1"), "{reply}");
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_reports_connection_and_verb_counters() {
+        let server =
+            Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+        let addr = server.local_addr().unwrap();
+        let metrics = server.metrics();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+
+        let mut first = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut first, "HELLO 1 counter-test\n");
+        roundtrip(&mut first, "INGEST w h0 write 64\n");
+        roundtrip(&mut first, "BOGUS\n"); // parse error → requests+1, errors+1
+        drop(first);
+
+        let mut second = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut second, "QUERY k=1 h0 write 64\n");
+        let stats = roundtrip(&mut second, "STATS\n");
+        assert!(stats.contains("STAT connections 2\n"), "{stats}");
+        assert!(stats.contains("STAT requests_total 5\n"), "{stats}");
+        assert!(stats.contains("STAT request_errors 1\n"), "{stats}");
+        assert!(stats.contains("STAT verb_hello 1\n"), "{stats}");
+        assert!(stats.contains("STAT verb_ingest 1\n"), "{stats}");
+        assert!(stats.contains("STAT verb_query 1\n"), "{stats}");
+        assert!(stats.contains("STAT verb_stats 1\n"), "{stats}");
+        assert!(stats.contains("STAT uptime_secs "), "{stats}");
+
+        assert_eq!(roundtrip(&mut second, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.connections, 2);
+        assert_eq!(snapshot.shutdown, 1);
+        assert_eq!(snapshot.requests, 6);
+        assert_eq!(snapshot.errors, 1);
     }
 
     #[test]

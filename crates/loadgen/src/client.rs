@@ -1,0 +1,145 @@
+//! The concurrent client pool: N OS threads, one TCP connection each,
+//! every client driving its own deterministic [`ScenarioGen`] stream
+//! against the daemon until the deadline, timing each request from first
+//! write to complete framed reply.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use kastio_index::protocol::read_reply;
+
+use crate::histogram::Histogram;
+use crate::scenario::{ScenarioGen, ScenarioKind};
+
+/// Accumulated measurements for one verb.
+#[derive(Debug, Clone, Default)]
+pub struct VerbStats {
+    /// Requests sent (a batched form counts once).
+    pub count: u64,
+    /// Requests answered with `ERR`.
+    pub errors: u64,
+    /// Request→full-reply latency samples, in nanoseconds.
+    pub histogram: Histogram,
+}
+
+/// The merged outcome of one scenario run.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRun {
+    /// Per-verb measurements, keyed by wire verb.
+    pub per_verb: BTreeMap<&'static str, VerbStats>,
+    /// Wall-clock time from first request to last reply across the pool.
+    pub elapsed: Duration,
+    /// Total requests across all verbs and clients.
+    pub requests: u64,
+    /// Total `ERR` replies across all verbs and clients.
+    pub errors: u64,
+}
+
+fn merge_runs(
+    into: &mut BTreeMap<&'static str, VerbStats>,
+    from: BTreeMap<&'static str, VerbStats>,
+) {
+    for (verb, stats) in from {
+        let entry = into.entry(verb).or_default();
+        entry.count += stats.count;
+        entry.errors += stats.errors;
+        entry.histogram.merge(&stats.histogram);
+    }
+}
+
+fn drive_client(
+    addr: &str,
+    kind: ScenarioKind,
+    seed: u64,
+    client: u64,
+    deadline: Instant,
+) -> Result<BTreeMap<&'static str, VerbStats>, String> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("client {client}: cannot connect to {addr}: {e}"))?;
+    let mut writer =
+        stream.try_clone().map_err(|e| format!("client {client}: clone failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    // Handshake first: the harness refuses to benchmark a server whose
+    // protocol it might be misreading.
+    writer
+        .write_all(b"HELLO 1 kastio-loadgen\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("client {client}: handshake write failed: {e}"))?;
+    let hello = read_reply(&mut reader)
+        .map_err(|e| format!("client {client}: handshake read failed: {e}"))?;
+    if !hello.starts_with("OK kastio proto=") {
+        return Err(format!("client {client}: server rejected the handshake: {hello}"));
+    }
+
+    let mut gen = ScenarioGen::new(kind, seed, client);
+    let mut per_verb: BTreeMap<&'static str, VerbStats> = BTreeMap::new();
+    while Instant::now() < deadline {
+        let op = gen.next_op();
+        let wire = op.render();
+        let start = Instant::now();
+        writer
+            .write_all(wire.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("client {client}: write failed: {e}"))?;
+        let reply =
+            read_reply(&mut reader).map_err(|e| format!("client {client}: read failed: {e}"))?;
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = per_verb.entry(op.verb()).or_default();
+        stats.count += 1;
+        stats.histogram.record(nanos);
+        if reply.starts_with("ERR") {
+            stats.errors += 1;
+        }
+    }
+    Ok(per_verb)
+}
+
+/// Runs `clients` concurrent connections of scenario `kind` against the
+/// daemon at `addr` for `duration`, and merges their measurements.
+///
+/// Client `c` sends the deterministic stream `ScenarioGen::new(kind,
+/// seed, c)`; the run length only decides how much of each stream is
+/// consumed.
+///
+/// # Errors
+///
+/// Returns the first client error (connect failure, handshake rejection,
+/// mid-run IO error). Protocol-level `ERR` replies are *not* errors —
+/// they are counted per verb and reported.
+pub fn run_scenario(
+    addr: &str,
+    kind: ScenarioKind,
+    seed: u64,
+    clients: usize,
+    duration: Duration,
+) -> Result<ScenarioRun, String> {
+    assert!(clients > 0, "at least one client");
+    let started = Instant::now();
+    let deadline = started + duration;
+    let results: Vec<Result<BTreeMap<&'static str, VerbStats>, String>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    scope.spawn(move || drive_client(addr, kind, seed, client as u64, deadline))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| Err("client thread panicked".to_string()))
+                })
+                .collect()
+        });
+    let elapsed = started.elapsed();
+
+    let mut run = ScenarioRun { elapsed, ..ScenarioRun::default() };
+    for result in results {
+        merge_runs(&mut run.per_verb, result?);
+    }
+    run.requests = run.per_verb.values().map(|v| v.count).sum();
+    run.errors = run.per_verb.values().map(|v| v.errors).sum();
+    Ok(run)
+}

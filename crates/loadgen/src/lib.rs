@@ -1,0 +1,281 @@
+//! # kastio-loadgen
+//!
+//! An end-to-end load harness for the `kastio serve` daemon. It drives N
+//! concurrent TCP clients through seeded, reproducible scenario mixes —
+//! [`ScenarioKind::ReadHeavy`], [`ScenarioKind::WriteHeavy`] and the
+//! zipf-skewed [`ScenarioKind::HotKey`] — measuring per-verb throughput
+//! and p50/p95/p99 latency with a constant-memory log-bucketed
+//! [`Histogram`], and bracketing every scenario with `STATS` snapshots so
+//! the report correlates client-side latency with server-side cache,
+//! kernel and snapshot counters.
+//!
+//! The harness either targets a running daemon (`addr`) or self-spawns an
+//! in-process [`kastio_index::Server`] on an ephemeral port. Every client
+//! opens with the `HELLO` handshake and refuses to run against a server
+//! speaking a different protocol version. `kastio loadgen` fronts [`run`]
+//! on the command line and writes the [`Report`] to `BENCH_serve.json`.
+//!
+//! Reproducibility: client `c`'s request stream is the pure function
+//! `ScenarioGen::new(kind, seed, c)` of the configuration — wall-clock
+//! time only decides how much of the stream is consumed. [`dry_run_trace`]
+//! renders those streams as text without touching the network.
+
+pub mod client;
+pub mod histogram;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use kastio_index::protocol::read_reply;
+use kastio_index::{IndexOptions, PatternIndex, Server};
+
+pub use client::{run_scenario, ScenarioRun, VerbStats};
+pub use histogram::Histogram;
+pub use report::{Report, ScenarioReport, VerbReport};
+pub use scenario::{dry_run_trace, Op, ScenarioGen, ScenarioKind, TracePool};
+pub use stats::{parse_stats, stats_delta};
+
+/// Everything a load run needs; `kastio loadgen` builds one from flags.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Scenarios to run, in order.
+    pub scenarios: Vec<ScenarioKind>,
+    /// Concurrent client connections per scenario.
+    pub clients: usize,
+    /// Wall-clock duration of each scenario.
+    pub duration: Duration,
+    /// RNG seed: same seed, same request streams.
+    pub seed: u64,
+    /// Target an already-running daemon instead of self-spawning one.
+    pub addr: Option<String>,
+    /// Shards of the self-spawned server (ignored with `addr`).
+    pub shards: usize,
+    /// Traces ingested up-front so read-heavy scenarios query a
+    /// non-trivial corpus from the first request.
+    pub seed_corpus: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            scenarios: ScenarioKind::ALL.to_vec(),
+            clients: 4,
+            duration: Duration::from_secs(2),
+            seed: 20170904,
+            addr: None,
+            shards: 4,
+            seed_corpus: 48,
+        }
+    }
+}
+
+/// A control-plane connection: handshakes on connect, then runs one
+/// framed request/reply exchange at a time (corpus seeding, STATS
+/// fences, final SHUTDOWN).
+struct Control {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Control {
+    fn connect(addr: &str) -> Result<Control, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("clone failed: {e}"))?;
+        let mut control = Control { writer, reader: BufReader::new(stream) };
+        let hello = control.exchange("HELLO 1 kastio-loadgen\n")?;
+        if !hello.starts_with("OK kastio proto=") {
+            return Err(format!("server rejected the handshake: {}", hello.trim_end()));
+        }
+        Ok(control)
+    }
+
+    fn exchange(&mut self, wire: &str) -> Result<String, String> {
+        self.writer
+            .write_all(wire.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("control write failed: {e}"))?;
+        read_reply(&mut self.reader).map_err(|e| format!("control read failed: {e}"))
+    }
+
+    fn fetch_stats(&mut self) -> Result<BTreeMap<String, u64>, String> {
+        parse_stats(&self.exchange("STATS\n")?)
+    }
+}
+
+/// Ingests `count` pool traces over `control` so every scenario starts
+/// against the same seeded corpus. Uses `BATCH INGEST` — the bulk path a
+/// real loader would use.
+fn seed_corpus(control: &mut Control, seed: u64, count: usize) -> Result<(), String> {
+    if count == 0 {
+        return Ok(());
+    }
+    let pool = TracePool::new(seed);
+    let mut wire = format!("BATCH INGEST {count}\n");
+    for i in 0..count {
+        let (label, trace) = pool.entry(i);
+        wire.push_str(&format!("{label} {trace}\n"));
+    }
+    let reply = control.exchange(&wire)?;
+    if reply.starts_with("ERR") {
+        return Err(format!("corpus seeding failed: {}", reply.trim_end()));
+    }
+    Ok(())
+}
+
+/// Runs the configured scenarios and assembles the report.
+///
+/// With `addr` unset, an in-process [`Server`] is bound to an ephemeral
+/// `127.0.0.1` port, served on a background thread, and shut down (via
+/// its own `SHUTDOWN` verb) when the run completes. With `addr` set, the
+/// target daemon is left running — the harness only sends requests.
+///
+/// # Errors
+///
+/// Returns the first failure: bind/connect errors, handshake rejection
+/// (version-mismatched or pre-`HELLO` server), corpus-seeding `ERR`, or
+/// a client IO error mid-run. Protocol `ERR` replies during a scenario
+/// are measurements, not errors.
+pub fn run(config: &LoadConfig) -> Result<Report, String> {
+    if config.scenarios.is_empty() {
+        return Err("no scenarios selected".to_string());
+    }
+    if config.clients == 0 {
+        return Err("need at least one client".to_string());
+    }
+
+    // Self-spawn unless pointed at a live daemon.
+    let (addr, server_label, server_thread) = match &config.addr {
+        Some(addr) => (addr.clone(), addr.clone(), None),
+        None => {
+            let index = PatternIndex::new(IndexOptions {
+                shards: config.shards,
+                ..IndexOptions::default()
+            });
+            let server = Server::bind("127.0.0.1:0", index)
+                .map_err(|e| format!("cannot bind load server: {e}"))?;
+            let addr = server.local_addr().map_err(|e| format!("no local addr: {e}"))?.to_string();
+            let thread = std::thread::spawn(move || server.serve());
+            (addr, "self-spawned".to_string(), Some(thread))
+        }
+    };
+
+    let result = drive(config, &addr, &server_label);
+
+    // Stop a self-spawned server even when the run failed; a SHUTDOWN on
+    // a fresh connection is the daemon's own clean-exit path.
+    if let Some(thread) = server_thread {
+        if let Ok(mut control) = Control::connect(&addr) {
+            let _ = control.exchange("SHUTDOWN\n");
+        }
+        thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server failed: {e}"))?;
+    }
+    result
+}
+
+fn drive(config: &LoadConfig, addr: &str, server_label: &str) -> Result<Report, String> {
+    let mut control = Control::connect(addr)?;
+    seed_corpus(&mut control, config.seed, config.seed_corpus)?;
+
+    let mut scenarios = Vec::with_capacity(config.scenarios.len());
+    for &kind in &config.scenarios {
+        let before = control.fetch_stats()?;
+        let run = run_scenario(addr, kind, config.seed, config.clients, config.duration)?;
+        let after = control.fetch_stats()?;
+        scenarios.push(ScenarioReport::new(kind.name(), &run, &before, &after));
+    }
+
+    Ok(Report {
+        seed: config.seed,
+        clients: config.clients,
+        duration_secs: config.duration.as_secs_f64(),
+        server: server_label.to_string(),
+        shards: if config.addr.is_none() { config.shards } else { 0 },
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        scenarios,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A whole self-spawned run, kept tiny so the suite stays fast: the
+    /// full path (bind, handshake, corpus, three scenarios, STATS
+    /// fences, shutdown) in well under a second.
+    #[test]
+    fn self_spawned_run_produces_a_complete_report() {
+        let config = LoadConfig {
+            clients: 2,
+            duration: Duration::from_millis(60),
+            seed_corpus: 8,
+            shards: 2,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("load run succeeds");
+        assert_eq!(report.server, "self-spawned");
+        assert_eq!(report.scenarios.len(), 3);
+        for scenario in &report.scenarios {
+            assert!(scenario.requests > 0, "{} sent requests", scenario.name);
+            assert_eq!(scenario.errors, 0, "{} had ERR replies", scenario.name);
+            assert!(scenario.throughput_rps > 0.0);
+            let delta_requests = scenario.stats_delta.get("requests_total").copied().unwrap_or(0);
+            // Server-side counter moved by at least the client-side count
+            // (the fences themselves add a couple of STATS requests).
+            assert!(
+                delta_requests >= scenario.requests as i64,
+                "{}: server saw {} requests, clients sent {}",
+                scenario.name,
+                delta_requests,
+                scenario.requests
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"serve_load\""));
+        assert!(json.contains("\"hot-key\""));
+    }
+
+    #[test]
+    fn run_against_an_external_server_leaves_it_up() {
+        let index = PatternIndex::new(IndexOptions::default());
+        let server = Server::bind("127.0.0.1:0", index).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.shutdown_handle().unwrap();
+        let thread = std::thread::spawn(move || server.serve());
+
+        let config = LoadConfig {
+            scenarios: vec![ScenarioKind::ReadHeavy],
+            clients: 2,
+            duration: Duration::from_millis(40),
+            addr: Some(addr.clone()),
+            seed_corpus: 4,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("external run succeeds");
+        assert_eq!(report.server, addr);
+        assert_eq!(report.shards, 0, "external shard count is unknown");
+
+        // The server must still answer after the harness detaches.
+        let mut control = Control::connect(&addr).expect("server still up");
+        assert!(control.fetch_stats().is_ok());
+        drop(control);
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn empty_configs_are_rejected() {
+        let no_scenarios = LoadConfig { scenarios: vec![], ..LoadConfig::default() };
+        assert!(run(&no_scenarios).unwrap_err().contains("no scenarios"));
+        let no_clients = LoadConfig { clients: 0, ..LoadConfig::default() };
+        assert!(run(&no_clients).unwrap_err().contains("at least one client"));
+    }
+}

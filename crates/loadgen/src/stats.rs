@@ -1,0 +1,86 @@
+//! Parsing the daemon's `STATS` reply and differencing two snapshots, so
+//! a load run can attribute cache hits, kernel evaluations and snapshot
+//! activity to the scenario that ran between them.
+
+use std::collections::BTreeMap;
+
+/// Parses a framed `STAT <key> <value> … END` reply into a key → value
+/// map. Non-numeric values (`last_snapshot_ok -` before any snapshot)
+/// are skipped — they carry no deltable information.
+///
+/// # Errors
+///
+/// Returns a message when the reply is not a `STAT` block (e.g. an
+/// `ERR …` line), so callers surface protocol drift instead of reporting
+/// an empty delta.
+pub fn parse_stats(reply: &str) -> Result<BTreeMap<String, u64>, String> {
+    if !reply.starts_with("STAT ") {
+        return Err(format!("not a STATS reply: {}", reply.lines().next().unwrap_or("")));
+    }
+    let mut map = BTreeMap::new();
+    for line in reply.lines() {
+        if line == "END" {
+            return Ok(map);
+        }
+        let mut fields = line.split_whitespace();
+        let (stat, key, value) = (fields.next(), fields.next(), fields.next());
+        match (stat, key, value) {
+            (Some("STAT"), Some(key), Some(value)) => {
+                if let Ok(number) = value.parse::<u64>() {
+                    map.insert(key.to_string(), number);
+                }
+            }
+            _ => return Err(format!("malformed STAT line: {line}")),
+        }
+    }
+    Err("STATS reply not terminated by END".to_string())
+}
+
+/// Per-key `after - before` (signed: a key can shrink, e.g. `uptime`
+/// never but `cached_pairs` can on eviction). Keys present on only one
+/// side are treated as 0 on the other.
+pub fn stats_delta(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+) -> BTreeMap<String, i64> {
+    let mut delta = BTreeMap::new();
+    for key in before.keys().chain(after.keys()) {
+        let b = before.get(key).copied().unwrap_or(0) as i64;
+        let a = after.get(key).copied().unwrap_or(0) as i64;
+        delta.entry(key.clone()).or_insert(a - b);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPLY: &str = "STAT entries 3\nSTAT shards 2\nSTAT cache_hits 7\n\
+                         STAT last_snapshot_ok -\nEND\n";
+
+    #[test]
+    fn parses_a_stats_block_skipping_non_numeric_values() {
+        let map = parse_stats(REPLY).unwrap();
+        assert_eq!(map.get("entries"), Some(&3));
+        assert_eq!(map.get("cache_hits"), Some(&7));
+        assert!(!map.contains_key("last_snapshot_ok"), "`-` is skipped");
+    }
+
+    #[test]
+    fn rejects_non_stats_replies() {
+        assert!(parse_stats("ERR nope\n").unwrap_err().contains("not a STATS reply"));
+        assert!(parse_stats("STAT entries 3\n").unwrap_err().contains("END"));
+        assert!(parse_stats("STAT entries\nEND\n").unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn deltas_are_signed_and_total() {
+        let before = parse_stats("STAT a 5\nSTAT b 10\nEND\n").unwrap();
+        let after = parse_stats("STAT a 8\nSTAT b 4\nSTAT c 2\nEND\n").unwrap();
+        let delta = stats_delta(&before, &after);
+        assert_eq!(delta.get("a"), Some(&3));
+        assert_eq!(delta.get("b"), Some(&-6));
+        assert_eq!(delta.get("c"), Some(&2));
+    }
+}

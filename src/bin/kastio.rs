@@ -12,6 +12,9 @@
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio query    <addr> --snapshot
+//! kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
+//!                 [--seed N] [--addr HOST:PORT] [--out FILE]
+//!                 [--shards N] [--dry-run] [--ops N]
 //! kastio help     [command]
 //! kastio --version
 //! ```
@@ -21,14 +24,19 @@
 //! builds the Kast similarity matrix, repairs it and prints the flat
 //! clustering with purity/ARI against the manifest categories. `serve`
 //! keeps a corpus in memory behind a TCP line protocol and `query` is its
-//! client — see the `kastio_index` crate.
+//! client — see the `kastio_index` crate. `loadgen` drives seeded,
+//! reproducible request mixes against the daemon (self-spawned unless
+//! `--addr` points at one) and writes per-verb throughput/latency plus
+//! server-side STATS deltas to `BENCH_serve.json` — see `kastio_loadgen`.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use kastio::index::protocol::{encode_trace_inline, read_reply};
+use kastio::index::protocol::{encode_trace_inline, read_reply, PROTOCOL_VERSION};
+use kastio::loadgen::{dry_run_trace, LoadConfig, ScenarioKind};
 use kastio::pattern::explain::explain_similarity;
 use kastio::workloads::{export_dataset, import_dataset};
 use kastio::{
@@ -50,6 +58,9 @@ usage:
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio query    <addr> --snapshot
+  kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
+                  [--seed N] [--addr HOST:PORT] [--out FILE]
+                  [--shards N] [--dry-run] [--ops N]
   kastio help     [command]
   kastio --version
 ";
@@ -102,6 +113,7 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          save exits non-zero. --candidates floors the signature-prefilter\n\
          budget. The wire protocol is line based (full spec in\n\
          docs/PROTOCOL.md):\n\n\
+         \u{20} HELLO <proto-version> [client]\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
          \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
          \u{20} QUERY k=<k> <op>;<op>;...\n\
@@ -118,7 +130,28 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          Client for `kastio serve`. Sends the trace file as a k-NN QUERY\n\
          (default k=5) — or, with --stats, asks for the server's counters;\n\
          with --snapshot, asks the server to SAVE its corpus now — and\n\
-         prints the server's reply.\n",
+         prints the server's reply. Opens with a HELLO handshake; servers\n\
+         predating HELLO answer `ERR unknown verb`, which is tolerated\n\
+         (the request still runs), but a version mismatch is fatal.\n",
+    ),
+    (
+        "loadgen",
+        "kastio loadgen [--scenario NAME] [--clients N] [--duration 2s]\n\
+         \u{20}              [--seed N] [--addr HOST:PORT] [--out FILE]\n\
+         \u{20}              [--shards N] [--dry-run] [--ops N]\n\n\
+         End-to-end load harness for the daemon. Runs the named scenario\n\
+         (read-heavy | write-heavy | hot-key; default: all three in that\n\
+         order) with N concurrent clients (default 4) for the given\n\
+         duration each (default 2s; accepts `500ms`, `2s` or plain\n\
+         seconds), then writes per-verb throughput, p50/p95/p99 latency\n\
+         and the server-side STATS delta to --out (default\n\
+         BENCH_serve.json). Without --addr a server is spawned in-process\n\
+         on an ephemeral port (--shards controls its sharding) and shut\n\
+         down afterwards; with --addr the target daemon is left running.\n\
+         The request streams are a pure function of --seed and the client\n\
+         id — identical runs send identical requests. --dry-run prints\n\
+         the first --ops operations (default 20) of every client's stream\n\
+         instead of touching the network.\n",
     ),
 ];
 
@@ -132,12 +165,35 @@ struct Flags {
     shards: usize,
     candidates: usize,
     snapshot_every: u64,
+    clients: usize,
+    ops: usize,
+    duration: Duration,
+    scenario: Option<String>,
+    addr: Option<String>,
+    out: Option<String>,
     corpus: Option<String>,
     save: Option<String>,
     ignore_bytes: bool,
     explain: bool,
     stats: bool,
     snapshot: bool,
+    dry_run: bool,
+}
+
+/// Parses `2s`, `500ms` or a plain number of seconds.
+fn parse_duration(value: &str) -> Result<Duration, String> {
+    let (digits, unit): (&str, fn(u64) -> Duration) = match value {
+        v if v.ends_with("ms") => (&v[..v.len() - 2], Duration::from_millis),
+        v if v.ends_with('s') => (&v[..v.len() - 1], Duration::from_secs),
+        v => (v, Duration::from_secs),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration `{value}` (expected e.g. `2s`, `500ms`)"))?;
+    if n == 0 {
+        return Err(format!("duration `{value}` must be positive"));
+    }
+    Ok(unit(n))
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -151,12 +207,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         shards: 4,
         candidates: PrefilterConfig::default().min_candidates,
         snapshot_every: 0,
+        clients: 4,
+        ops: 20,
+        duration: Duration::from_secs(2),
+        scenario: None,
+        addr: None,
+        out: None,
         corpus: None,
         save: None,
         ignore_bytes: false,
         explain: false,
         stats: false,
         snapshot: false,
+        dry_run: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -165,15 +228,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--explain" => flags.explain = true,
             "--stats" => flags.stats = true,
             "--snapshot" => flags.snapshot = true,
-            "--corpus" | "--save" => {
+            "--dry-run" => flags.dry_run = true,
+            "--duration" => {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                flags.duration = parse_duration(value)?;
+            }
+            "--corpus" | "--save" | "--scenario" | "--addr" | "--out" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 match arg.as_str() {
                     "--corpus" => flags.corpus = Some(value.clone()),
+                    "--scenario" => flags.scenario = Some(value.clone()),
+                    "--addr" => flags.addr = Some(value.clone()),
+                    "--out" => flags.out = Some(value.clone()),
                     _ => flags.save = Some(value.clone()),
                 }
             }
             "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--shards" | "--candidates"
-            | "--snapshot-every" => {
+            | "--snapshot-every" | "--clients" | "--ops" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
@@ -185,6 +256,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--shards" => flags.shards = (parsed as usize).max(1),
                     "--candidates" => flags.candidates = (parsed as usize).max(1),
                     "--snapshot-every" => flags.snapshot_every = parsed,
+                    "--clients" => flags.clients = (parsed as usize).max(1),
+                    "--ops" => flags.ops = (parsed as usize).max(1),
                     _ => {
                         flags.port = u16::try_from(parsed).map_err(|_| {
                             format!("--port needs a value in 0..=65535, got `{value}`")
@@ -428,15 +501,78 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let stream =
         TcpStream::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    // Version handshake first. Servers predating HELLO answer `ERR
+    // unknown verb` — tolerated, the connection stays usable. An explicit
+    // version rejection is fatal: the reply framing may differ.
+    writer
+        .write_all(format!("HELLO {PROTOCOL_VERSION} kastio-query\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let hello = read_reply(&mut reader).map_err(|e| e.to_string())?;
+    if hello.starts_with("ERR unsupported proto") {
+        return Err(format!("protocol version mismatch: {}", hello.trim_end()));
+    }
+
     writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
-
-    let mut reader = BufReader::new(stream);
     let reply = read_reply(&mut reader).map_err(|e| e.to_string())?;
     print!("{reply}");
     if reply.starts_with("ERR ") {
         return Err("server rejected the request".to_string());
     }
+    Ok(())
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    if !flags.positional.is_empty() {
+        return Err("loadgen takes no positional arguments".to_string());
+    }
+    let scenarios = match flags.scenario.as_deref() {
+        None | Some("all") => ScenarioKind::ALL.to_vec(),
+        Some(name) => vec![ScenarioKind::parse(name).ok_or_else(|| {
+            format!("unknown scenario `{name}` (read-heavy | write-heavy | hot-key | all)")
+        })?],
+    };
+
+    if flags.dry_run {
+        for &kind in &scenarios {
+            print!("{}", dry_run_trace(kind, flags.seed, flags.clients, flags.ops));
+        }
+        return Ok(());
+    }
+
+    let config = LoadConfig {
+        scenarios,
+        clients: flags.clients,
+        duration: flags.duration,
+        seed: flags.seed,
+        addr: flags.addr.clone(),
+        shards: flags.shards,
+        ..LoadConfig::default()
+    };
+    let report = kastio::loadgen::run(&config)?;
+
+    for scenario in &report.scenarios {
+        println!(
+            "{}: {} requests in {:.2}s ({:.0} req/s, {} ERR)",
+            scenario.name,
+            scenario.requests,
+            scenario.elapsed_secs,
+            scenario.throughput_rps,
+            scenario.errors
+        );
+        for verb in &scenario.per_verb {
+            println!(
+                "  {:<7} n={:<6} {:>7.0} req/s  p50={:.0}us p95={:.0}us p99={:.0}us",
+                verb.verb, verb.count, verb.throughput_rps, verb.p50_us, verb.p95_us, verb.p99_us
+            );
+        }
+    }
+    let out = flags.out.as_deref().unwrap_or("BENCH_serve.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 
@@ -452,7 +588,8 @@ fn cmd_help(flags: &Flags) -> Result<(), String> {
                 Ok(())
             }
             None => Err(format!(
-                "no help for `{topic}` (topics: convert compare generate cluster serve query)"
+                "no help for `{topic}` (topics: convert compare generate cluster serve query \
+                 loadgen)"
             )),
         },
         _ => Err("help takes at most one command name".to_string()),
@@ -483,6 +620,7 @@ fn main() -> ExitCode {
         "cluster" => cmd_cluster(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" => cmd_help(&flags),
         "--help" | "-h" => {
             print!("{USAGE}");

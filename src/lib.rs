@@ -25,6 +25,7 @@
 //! | [`cluster`] | `kastio-cluster` | hierarchical clustering, dendrograms, metrics |
 //! | [`workloads`] | `kastio-workloads` | IOR/FLASH-IO-style generators, the 110-example dataset |
 //! | [`index`] | `kastio-index` | sharded, read-concurrent corpus index: k-NN queries, signature prefilter, per-shard LRU kernel caches, serve/query daemon |
+//! | [`loadgen`] | `kastio-loadgen` | end-to-end load harness: seeded scenario mixes, concurrent client pool, latency histograms, STATS-delta reports |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -68,6 +69,7 @@ pub use kastio_core as pattern;
 pub use kastio_index as index;
 pub use kastio_kernels as kernels;
 pub use kastio_linalg as linalg;
+pub use kastio_loadgen as loadgen;
 pub use kastio_trace as trace;
 pub use kastio_workloads as workloads;
 

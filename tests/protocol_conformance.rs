@@ -1,0 +1,305 @@
+//! Protocol conformance suite: every verb in docs/PROTOCOL.md exercised
+//! against a live `kastio serve` process, asserting the exact reply
+//! bytes — happy paths, the documented error catalogue, size caps,
+//! trailing garbage, blank lines and the HELLO handshake (including the
+//! guarantee that every verb keeps working *without* one).
+//!
+//! The table entries are wire bytes, not parser calls: a rewording of an
+//! error message or a reframed reply is a protocol change and must show
+//! up here (and in docs/PROTOCOL.md) to land.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use kastio::index::protocol::{read_reply, MAX_BATCH_ITEMS, PROTOCOL_VERBS, PROTOCOL_VERSION};
+
+struct ServerGuard {
+    child: Child,
+    addr: String,
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn start_server(extra_args: &[&str]) -> ServerGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kastio"))
+        .args(["serve", "--port", "0"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("serve announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_string();
+    ServerGuard { child, addr, _stdout: stdout }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Connection {
+        let stream = TcpStream::connect(addr).expect("client connects");
+        Connection { reader: BufReader::new(stream.try_clone().expect("clone")), writer: stream }
+    }
+
+    fn send(&mut self, wire: &str) {
+        self.writer.write_all(wire.as_bytes()).expect("request sent");
+        self.writer.flush().expect("request flushed");
+    }
+
+    /// One request (possibly multi-line), one framed reply, exact bytes.
+    fn roundtrip(&mut self, wire: &str) -> String {
+        self.send(wire);
+        read_reply(&mut self.reader).expect("reply read")
+    }
+}
+
+/// The single-request table: each entry is sent on a fresh exchange of
+/// one shared connection and must produce exactly the listed reply
+/// bytes. The server has no --save directory and an empty corpus.
+#[test]
+fn request_reply_table_matches_the_spec_bytes() {
+    let hello_ok = format!("OK kastio proto={PROTOCOL_VERSION} verbs={PROTOCOL_VERBS}\n");
+    let over_cap = MAX_BATCH_ITEMS + 1;
+    let table: Vec<(String, String)> = vec![
+        // HELLO: negotiation, rejection, malformed forms.
+        ("HELLO 1\n".into(), hello_ok.clone()),
+        ("HELLO 1 kastio-conformance/0.1\n".into(), hello_ok.clone()),
+        ("HELLO 7\n".into(), "ERR unsupported proto 7 (server speaks 1)\n".into()),
+        ("HELLO\n".into(), "ERR HELLO needs `<proto-version> [client]`\n".into()),
+        ("HELLO 0\n".into(), "ERR bad proto version `0` (expected a positive int)\n".into()),
+        ("HELLO x\n".into(), "ERR bad proto version `x` (expected a positive int)\n".into()),
+        (
+            "HELLO 1 two tokens\n".into(),
+            "ERR HELLO takes at most `<proto-version> [client]`\n".into(),
+        ),
+        // A repeated HELLO is fine: the handshake is stateless.
+        ("HELLO 1\n".into(), hello_ok.clone()),
+        // Unknown verbs and trailing garbage on the bare verbs. A bare
+        // verb followed by tokens fails the `rest.is_empty()` guard and
+        // is reported as an unknown verb — pinned here on purpose.
+        ("FROB x\n".into(), "ERR unknown verb `FROB`\n".into()),
+        ("STATS extra\n".into(), "ERR unknown verb `STATS`\n".into()),
+        ("SAVE now\n".into(), "ERR unknown verb `SAVE`\n".into()),
+        ("SHUTDOWN please\n".into(), "ERR unknown verb `SHUTDOWN`\n".into()),
+        ("hello 1\n".into(), "ERR unknown verb `hello`\n".into()),
+        // INGEST / QUERY argument errors.
+        ("INGEST onlylabel\n".into(), "ERR INGEST needs `<label> <trace>`\n".into()),
+        ("QUERY k=2\n".into(), "ERR QUERY needs `k=<k> <trace>`\n".into()),
+        (
+            "QUERY k=0 h0 read 8\n".into(),
+            "ERR bad k spec `k=0` (expected k=<positive int>)\n".into(),
+        ),
+        (
+            "QUERY k=x h0 read 8\n".into(),
+            "ERR bad k spec `k=x` (expected k=<positive int>)\n".into(),
+        ),
+        ("QUERY 3 h0 read 8\n".into(), "ERR bad k spec `3` (expected k=<positive int>)\n".into()),
+        // Batch headers: malformed counts and the documented 4096 cap.
+        ("BATCH\n".into(), "ERR BATCH needs `INGEST <count>`\n".into()),
+        ("BATCH INGEST\n".into(), "ERR BATCH needs `INGEST <count>`\n".into()),
+        ("BATCH QUERY 2\n".into(), "ERR BATCH needs `INGEST <count>`\n".into()),
+        ("BATCH INGEST 0\n".into(), "ERR bad count `0` (expected a positive int)\n".into()),
+        ("BATCH INGEST x\n".into(), "ERR bad count `x` (expected a positive int)\n".into()),
+        (
+            format!("BATCH INGEST {over_cap}\n"),
+            format!("ERR count {over_cap} exceeds the batch cap of {MAX_BATCH_ITEMS}\n"),
+        ),
+        ("MQUERY k=2\n".into(), "ERR MQUERY needs `k=<k> <count>`\n".into()),
+        ("MQUERY k=0 2\n".into(), "ERR bad k spec `k=0` (expected k=<positive int>)\n".into()),
+        (
+            format!("MQUERY k=1 {over_cap}\n"),
+            format!("ERR count {over_cap} exceeds the batch cap of {MAX_BATCH_ITEMS}\n"),
+        ),
+        // SAVE without a configured save directory.
+        ("SAVE\n".into(), "ERR no save directory (start the server with --save)\n".into()),
+        // MQUERY against the empty corpus: zero matches, not an error.
+        (
+            "MQUERY k=1 1\nh0 read 8\n".into(),
+            "OK queries=1\nRESULT 1 matches=0 label=-\nEND\n".into(),
+        ),
+    ];
+
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+    for (request, expected) in &table {
+        let reply = conn.roundtrip(request);
+        assert_eq!(&reply, expected, "request {request:?}");
+    }
+    // One connection survived the whole table: errors never hang up.
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+/// The malformed-trace errors come from the trace parser; the table pins
+/// the framing (`ERR ` + message + newline), deriving the message from
+/// the same library call the server makes.
+#[test]
+fn malformed_trace_errors_carry_the_parser_message() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+
+    let trace_err = kastio::index::protocol::decode_trace_inline("h0 read").unwrap_err();
+    assert_eq!(conn.roundtrip("QUERY k=2 h0 read\n"), format!("ERR {trace_err}\n"));
+    assert_eq!(conn.roundtrip("INGEST flash h0 read\n"), format!("ERR {trace_err}\n"));
+
+    let bad_bytes = kastio::index::protocol::decode_trace_inline("h0 read lots").unwrap_err();
+    assert_eq!(conn.roundtrip("QUERY k=1 h0 read lots\n"), format!("ERR {bad_bytes}\n"));
+    conn.roundtrip("SHUTDOWN\n");
+}
+
+#[test]
+fn ingest_query_and_batches_round_trip_without_hello() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+
+    // Old-client compatibility: no HELLO anywhere on this connection.
+    assert_eq!(
+        conn.roundtrip("INGEST flash h0 open 0;h0 write 64;h0 write 64;h0 close 0\n"),
+        "OK id=0 name=e0 entries=1\n"
+    );
+    assert_eq!(
+        conn.roundtrip(
+            "BATCH INGEST 2\nflash h0 write 64;h0 write 64\nposix h0 read 8;h0 read 8\n"
+        ),
+        "OK batch=2 entries=3\n"
+    );
+
+    // Querying an exact copy of e0: the self-match normalises to 1.
+    let query = conn.roundtrip("QUERY k=1 h0 open 0;h0 write 64;h0 write 64;h0 close 0\n");
+    assert_eq!(query, "OK matches=1 label=flash\nMATCH 1 e0 flash 1\nEND\n");
+
+    let mquery = conn.roundtrip("MQUERY k=1 2\nh0 write 64;h0 write 64\nh0 read 8;h0 read 8\n");
+    let lines: Vec<&str> = mquery.lines().collect();
+    assert_eq!(lines[0], "OK queries=2");
+    assert!(lines[1].starts_with("RESULT 1 matches=1 label="), "{mquery}");
+    assert_eq!(*lines.last().unwrap(), "END");
+
+    let stats = conn.roundtrip("STATS\n");
+    assert!(stats.starts_with("STAT entries 3\n"), "{stats}");
+    assert!(stats.ends_with("END\n"), "{stats}");
+    // The whole exchange ran without a handshake — and the server's
+    // verb counters saw none.
+    assert!(stats.contains("STAT verb_hello 0\n"), "{stats}");
+
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+#[test]
+fn bad_batch_items_consume_the_frame_and_report_position() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+
+    // Item 1 is malformed; item 2 is valid but must NOT be ingested (the
+    // batch already failed) — and both announced lines are consumed, so
+    // the connection stays framed for the next request.
+    assert_eq!(
+        conn.roundtrip("BATCH INGEST 2\nonlylabel\nposix h0 read 8\n"),
+        "ERR item 1/2: batch item needs `<label> <trace>`\n"
+    );
+    let stats = conn.roundtrip("STATS\n");
+    assert!(stats.starts_with("STAT entries 0\n"), "nothing ingested: {stats}");
+
+    // Same for MQUERY: a bad trace line mid-batch.
+    assert_eq!(
+        conn.roundtrip("MQUERY k=1 2\nh0 read 8\nh0 read\n"),
+        format!(
+            "ERR item 2/2: {}\n",
+            kastio::index::protocol::decode_trace_inline("h0 read").unwrap_err()
+        )
+    );
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+#[test]
+fn blank_lines_are_skipped_not_answered() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+
+    // Empty and whitespace-only lines produce no reply at all: the next
+    // reply on the connection belongs to the next real request.
+    conn.send("\n\n   \n\t\nSTATS\n");
+    let reply = read_reply(&mut conn.reader).expect("one reply");
+    assert!(reply.starts_with("STAT entries 0\n"), "{reply}");
+
+    // And requests keep their own replies afterwards (no desync).
+    assert!(conn.roundtrip("HELLO 1\n").contains("proto=1"));
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+#[test]
+fn hello_then_work_then_shutdown_with_save_dir() {
+    let dir = std::env::temp_dir().join(format!("kastio-conformance-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let save_dir = dir.join("corpus");
+    let mut server = start_server(&["--save", save_dir.to_str().unwrap()]);
+    let mut conn = Connection::open(&server.addr);
+
+    assert!(conn.roundtrip("HELLO 1 conformance\n").starts_with("OK kastio proto=1 "));
+    assert_eq!(
+        conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n"),
+        "OK id=0 name=e0 entries=1\n"
+    );
+    assert_eq!(conn.roundtrip("SAVE\n"), "OK saved entries=1 generation=1\n");
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye saved=1 generation=1\n");
+    assert!(server.child.wait().expect("server exits").success());
+    assert!(save_dir.join("MANIFEST").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_reports_metrics_counters_in_documented_order() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+    conn.roundtrip("HELLO 1\n");
+    conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n");
+    conn.roundtrip("FROB\n");
+    let stats = conn.roundtrip("STATS\n");
+
+    // The metrics block keys, in the exact order PROTOCOL.md documents.
+    let keys: Vec<&str> = stats
+        .lines()
+        .filter_map(|l| l.strip_prefix("STAT "))
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    let metrics_keys = [
+        "uptime_secs",
+        "connections",
+        "requests_total",
+        "request_errors",
+        "verb_hello",
+        "verb_ingest",
+        "verb_batch_ingest",
+        "verb_query",
+        "verb_mquery",
+        "verb_stats",
+        "verb_save",
+        "verb_shutdown",
+    ];
+    let start = keys.iter().position(|&k| k == "uptime_secs").expect("metrics block present");
+    assert_eq!(&keys[start..start + metrics_keys.len()], &metrics_keys);
+
+    // And the counters reflect this connection's traffic exactly:
+    // HELLO + INGEST + FROB + STATS = 4 requests, 1 error.
+    assert!(stats.contains("STAT connections 1\n"), "{stats}");
+    assert!(stats.contains("STAT requests_total 4\n"), "{stats}");
+    assert!(stats.contains("STAT request_errors 1\n"), "{stats}");
+    assert!(stats.contains("STAT verb_hello 1\n"), "{stats}");
+    assert!(stats.contains("STAT verb_ingest 1\n"), "{stats}");
+    assert!(stats.contains("STAT verb_stats 1\n"), "{stats}");
+    conn.roundtrip("SHUTDOWN\n");
+}
