@@ -39,6 +39,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use kastio_core::{
     ByteMode, IdString, KastEvaluator, KastKernel, KastOptions, Normalization, PatternPipeline,
@@ -227,6 +228,13 @@ pub struct SnapshotStatus {
     /// compares it so a save to one directory never masks a needed save
     /// to another.
     pub last_dir: Option<std::path::PathBuf>,
+    /// Wall-clock duration of the last *successful* snapshot write, in
+    /// microseconds (0 until one succeeds) — makes `--snapshot-every`
+    /// stalls visible through `STATS`/`METRICS`.
+    pub last_duration_micros: u64,
+    /// Bytes written by the last successful snapshot (trace files plus
+    /// the manifest).
+    pub last_bytes: u64,
 }
 
 /// One returned neighbour of a k-NN query.
@@ -241,6 +249,35 @@ pub struct Neighbor {
     /// Normalised Kast similarity to the query — bit-identical to a direct
     /// [`KastKernel::normalized`] evaluation of the pair.
     pub similarity: f64,
+}
+
+/// Monotonic-clock spans measured inside one query, nanoseconds per
+/// pipeline stage. Returned on every [`QueryResult`] so the serve
+/// daemon can aggregate per-stage histograms and answer
+/// `QUERY … trace=1` without a second timing pass; [`merge`] folds the
+/// per-item timings of an `MQUERY` batch into one breakdown.
+///
+/// The stages are disjoint sub-intervals of the query's total wall
+/// time, so their sum never exceeds it.
+///
+/// [`merge`]: QueryTimings::merge
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTimings {
+    /// Signature prefilter scan (candidate selection across shards).
+    pub prefilter_ns: u64,
+    /// Per-shard LRU lookups plus the post-scoring cache fills.
+    pub cache_ns: u64,
+    /// Kernel scoring of the cache misses.
+    pub kernel_ns: u64,
+}
+
+impl QueryTimings {
+    /// Accumulates another query's spans into this one.
+    pub fn merge(&mut self, other: &QueryTimings) {
+        self.prefilter_ns += other.prefilter_ns;
+        self.cache_ns += other.cache_ns;
+        self.kernel_ns += other.kernel_ns;
+    }
 }
 
 /// The result of one k-NN query.
@@ -259,6 +296,8 @@ pub struct QueryResult {
     pub evaluated: usize,
     /// Pairs this query answered from the cache.
     pub cache_hits: usize,
+    /// Per-stage monotonic-clock spans measured while answering.
+    pub timings: QueryTimings,
 }
 
 /// One shard of the corpus: a contiguous id-ordered slice of the entries
@@ -690,11 +729,16 @@ impl PatternIndex {
         let shards: Vec<&Shard> = guards.iter().map(|guard| &**guard).collect();
         let total: usize = shards.iter().map(|shard| shard.entries.len()).sum();
 
+        let mut timings = QueryTimings::default();
+
         let budget = self.opts.prefilter.budget_for(k, total);
+        let stage = Instant::now();
         let candidates = self.select_candidates_sharded(&shards, signature, budget, total);
+        timings.prefilter_ns = span_ns(stage);
         self.stats.prefilter_pruned.fetch_add((total - candidates.len()) as u64, Ordering::Relaxed);
 
         // Serve what the per-shard LRUs already know; collect the rest.
+        let stage = Instant::now();
         let mut raw_values: Vec<(Candidate, f64)> = Vec::with_capacity(candidates.len());
         let mut misses: Vec<Candidate> = Vec::new();
         for shard_idx in 0..shards.len() {
@@ -710,12 +754,16 @@ impl PatternIndex {
                 }
             }
         }
+        timings.cache_ns += span_ns(stage);
         let cache_hits = raw_values.len();
         let evaluated = misses.len();
         self.stats.cache_hits.fetch_add(cache_hits as u64, Ordering::Relaxed);
         self.stats.kernel_evals.fetch_add(evaluated as u64, Ordering::Relaxed);
 
+        let stage = Instant::now();
         let scored = self.score_batch(&shards, query, &misses);
+        timings.kernel_ns = span_ns(stage);
+        let stage = Instant::now();
         for shard_idx in 0..shards.len() {
             let mut in_shard = scored.iter().filter(|&&((s, _), _)| s == shard_idx).peekable();
             if in_shard.peek().is_none() {
@@ -726,6 +774,7 @@ impl PatternIndex {
                 cache.insert((query_key, shards[s].entries[pos].id.0), value);
             }
         }
+        timings.cache_ns += span_ns(stage);
         raw_values.extend(scored);
 
         // Normalise with the precomputed denominators, replicating
@@ -768,7 +817,14 @@ impl PatternIndex {
         });
         neighbors.truncate(k);
         let label = majority_label(&neighbors);
-        QueryResult { neighbors, label, candidates: candidates.len(), evaluated, cache_hits }
+        QueryResult {
+            neighbors,
+            label,
+            candidates: candidates.len(),
+            evaluated,
+            cache_hits,
+            timings,
+        }
     }
 
     /// Ranks every entry by signature distance and keeps the global
@@ -939,6 +995,12 @@ impl PatternIndex {
         scored.sort_by_key(|&((s, pos), _)| (s, pos));
         scored
     }
+}
+
+/// Nanoseconds since `start`, saturating at `u64::MAX` (a span that
+/// long means the clock is broken anyway).
+fn span_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn read_shard(shard: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {

@@ -134,15 +134,19 @@ pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<SnapshotInfo, Corp
     let mut entries = index.entries();
     entries.truncate(contiguous_prefix(&entries));
     let generation = entries.len() as u64;
+    let started = std::time::Instant::now();
     let result = write_snapshot(dir, &entries);
+    let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     let mut status = index.lock_snapshot();
     match result {
-        Ok(()) => {
+        Ok(bytes) => {
             status.snapshots += 1;
             status.last_ok = Some(true);
             status.last_generation = generation;
             status.last_entries = entries.len();
             status.last_dir = Some(dir.to_path_buf());
+            status.last_duration_micros = duration_micros;
+            status.last_bytes = bytes;
             Ok(SnapshotInfo { entries: entries.len(), generation })
         }
         Err(e) => {
@@ -162,8 +166,9 @@ fn contiguous_prefix(entries: &[crate::entry::IndexEntry]) -> usize {
 }
 
 /// The directory-level atomic write: fresh temp dir, double rename, with
-/// an in-place fallback for directories rename cannot swap.
-fn write_snapshot(dir: &Path, entries: &[crate::entry::IndexEntry]) -> Result<(), CorpusIoError> {
+/// an in-place fallback for directories rename cannot swap. Returns the
+/// bytes the snapshot wrote.
+fn write_snapshot(dir: &Path, entries: &[crate::entry::IndexEntry]) -> Result<u64, CorpusIoError> {
     let corpus = |target: &Path| {
         write_corpus(target, entries.iter().map(|e| (e.name.as_str(), e.label.as_str(), &e.trace)))
     };
@@ -171,9 +176,9 @@ fn write_snapshot(dir: &Path, entries: &[crate::entry::IndexEntry]) -> Result<()
     // A stale temp dir from a crashed save is dead weight; clear it so
     // this save starts from an empty directory.
     remove_artifact(&tmp)?;
-    corpus(&tmp)?;
+    let bytes = corpus(&tmp)?;
     match swap_into_place(dir, &tmp) {
-        Ok(()) => Ok(()),
+        Ok(()) => Ok(bytes),
         // `dir` itself cannot be renamed (mount point, `.`, `..`, cross-
         // device edge cases). It is still intact — swap_into_place restores
         // it on a half-failed swap — so degrade to the in-place per-file-
@@ -366,6 +371,10 @@ mod tests {
         let original = sample_index(IndexOptions::default());
         let info = save_index(&original, &dir).unwrap();
         assert_eq!(info, SnapshotInfo { entries: 2, generation: 2 });
+        let status = original.snapshot_status();
+        let on_disk: u64 =
+            fs::read_dir(&dir).unwrap().map(|e| e.unwrap().metadata().unwrap().len()).sum();
+        assert_eq!(status.last_bytes, on_disk, "snapshot bytes are what landed on disk");
         let restored = load_index(&dir, IndexOptions::default()).unwrap();
         assert_eq!(restored.len(), original.len());
         assert_eq!(restored.generation(), 2, "reload replays every ingest");

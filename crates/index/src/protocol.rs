@@ -19,11 +19,23 @@
 //!                                        MATCH … (m lines per result) …
 //!                                        END
 //! STATS                                → STAT <key> <value> … END
+//! METRICS                              → OK metrics
+//!                                        <Prometheus-style exposition>
+//!                                        END
+//! SLOWLOG GET|RESET|LEN                → OK slowlog entries=<n> … END /
+//!                                        OK slowlog reset /
+//!                                        OK slowlog len=<n>
 //! SAVE                                 → OK saved entries=<n> generation=<g>
 //! SHUTDOWN                             → OK bye (server stops accepting;
 //!                                        `OK bye saved=<n> generation=<g>`
 //!                                        when a save directory is set)
 //! ```
+//!
+//! `QUERY` and `MQUERY` accept an optional `trace=1` token between the
+//! `k=` spec and the payload (`QUERY k=3 trace=1 <trace>`); when present
+//! the reply carries one `TRACE total_us=… <stage>_us=…` line before
+//! `END` with the server-side per-stage breakdown. The flag is off by
+//! default, so untraced replies are byte-identical to protocol v1.
 //!
 //! Errors are a single `ERR <message>` line; the connection stays open
 //! (for the batched forms, all `<count>` item lines are consumed before
@@ -35,6 +47,7 @@
 //! The full specification — framing, size caps, error catalogue and a
 //! worked transcript — lives in `docs/PROTOCOL.md`.
 
+use kastio_obs::{Exposition, Histogram, SlowEntry};
 use kastio_trace::{parse_trace, write_trace, Trace};
 
 use crate::index::{IndexStats, QueryResult, SnapshotStatus};
@@ -52,7 +65,8 @@ pub const MAX_BATCH_ITEMS: usize = 4096;
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// The verb list advertised in the `HELLO` reply, in documentation order.
-pub const PROTOCOL_VERBS: &str = "HELLO,INGEST,BATCH,QUERY,MQUERY,STATS,SAVE,SHUTDOWN";
+pub const PROTOCOL_VERBS: &str =
+    "HELLO,INGEST,BATCH,QUERY,MQUERY,STATS,METRICS,SLOWLOG,SAVE,SHUTDOWN";
 
 /// A parsed protocol request.
 ///
@@ -95,6 +109,9 @@ pub enum Request {
         k: usize,
         /// The decoded query trace.
         trace: Trace,
+        /// Whether the client sent `trace=1`: the reply carries a
+        /// `TRACE` stage-breakdown line before `END`.
+        timed: bool,
     },
     /// Header: `count` query trace lines follow; each is answered with a
     /// `RESULT` block inside one framed reply.
@@ -103,14 +120,33 @@ pub enum Request {
         k: usize,
         /// Number of query trace lines the client will send next.
         count: usize,
+        /// Whether the client sent `trace=1` (one `TRACE` line for the
+        /// whole batch, before `END`).
+        timed: bool,
     },
     /// Report index counters.
     Stats,
+    /// Render the observability state as a Prometheus-style text
+    /// exposition.
+    Metrics,
+    /// Inspect or clear the slow-query log.
+    Slowlog(SlowlogCmd),
     /// Snapshot the corpus to the server's save directory now.
     Save,
     /// Stop the server after replying (saving first when a save directory
     /// is configured).
     Shutdown,
+}
+
+/// The `SLOWLOG` sub-commands, mirroring Redis's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowlogCmd {
+    /// List the held entries, newest first.
+    Get,
+    /// Clear the entries (ids keep counting).
+    Reset,
+    /// Report how many entries are held.
+    Len,
 }
 
 /// Renders a trace in the single-line wire form (`;`-separated ops).
@@ -177,6 +213,17 @@ fn parse_k(spec: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("bad k spec `{spec}` (expected k=<positive int>)"))
 }
 
+/// Strips an optional leading `trace=1` token, returning whether it was
+/// present and the remainder. Only the exact token (followed by
+/// whitespace) is recognised; anything else is left for the payload
+/// parser to reject with its own message.
+fn parse_trace_flag(rest: &str) -> (bool, &str) {
+    match rest.strip_prefix("trace=1") {
+        Some(after) if after.starts_with(char::is_whitespace) => (true, after.trim_start()),
+        _ => (false, rest),
+    }
+}
+
 /// Parses one request line. For the batched forms this parses only the
 /// header; the announced item lines follow on the connection.
 ///
@@ -225,15 +272,28 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let (kspec, wire) = rest
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| "QUERY needs `k=<k> <trace>`".to_string())?;
-            Ok(Request::Query { k: parse_k(kspec)?, trace: decode_trace_inline(wire)? })
+            let (timed, wire) = parse_trace_flag(wire.trim_start());
+            Ok(Request::Query { k: parse_k(kspec)?, trace: decode_trace_inline(wire)?, timed })
         }
         "MQUERY" => {
             let (kspec, count_spec) = rest
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| "MQUERY needs `k=<k> <count>`".to_string())?;
-            Ok(Request::MultiQuery { k: parse_k(kspec)?, count: parse_count(count_spec.trim())? })
+            let (timed, count_spec) = parse_trace_flag(count_spec.trim());
+            Ok(Request::MultiQuery {
+                k: parse_k(kspec)?,
+                count: parse_count(count_spec.trim())?,
+                timed,
+            })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+        "SLOWLOG" => match rest {
+            "GET" => Ok(Request::Slowlog(SlowlogCmd::Get)),
+            "RESET" => Ok(Request::Slowlog(SlowlogCmd::Reset)),
+            "LEN" => Ok(Request::Slowlog(SlowlogCmd::Len)),
+            _ => Err("SLOWLOG needs `GET|RESET|LEN`".to_string()),
+        },
         "SAVE" if rest.is_empty() => Ok(Request::Save),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
@@ -327,6 +387,30 @@ pub struct MetricsSnapshot {
     pub save: u64,
     /// Successfully parsed `SHUTDOWN` requests.
     pub shutdown: u64,
+    /// Successfully parsed `METRICS` requests.
+    pub metrics: u64,
+    /// Successfully parsed `SLOWLOG` requests (any sub-command).
+    pub slowlog: u64,
+}
+
+impl MetricsSnapshot {
+    /// The per-verb counters as `(name, count)` pairs, in the `STATS`
+    /// documentation order (new verbs append — existing positions are
+    /// part of the wire contract).
+    pub fn verb_counts(&self) -> [(&'static str, u64); 10] {
+        [
+            ("hello", self.hello),
+            ("ingest", self.ingest),
+            ("batch_ingest", self.batch_ingest),
+            ("query", self.query),
+            ("mquery", self.mquery),
+            ("stats", self.stats),
+            ("save", self.save),
+            ("shutdown", self.shutdown),
+            ("metrics", self.metrics),
+            ("slowlog", self.slowlog),
+        ]
+    }
 }
 
 /// Renders index counters as the multi-line `STAT … END` reply, including
@@ -338,7 +422,11 @@ pub struct MetricsSnapshot {
 /// on-disk snapshot is current and whether saves have been failing.
 /// The trailing block renders the daemon's [`MetricsSnapshot`]: uptime,
 /// connections accepted, total/erroneous request counts and one
-/// `STAT verb_<name>` line per verb.
+/// `STAT verb_<name>` line per verb, then one
+/// `STAT latency_<verb>_{p50,p95,p99}_us` triple per verb in `latency`
+/// (the server passes only verbs that have recorded samples, so a fresh
+/// daemon renders no latency lines).
+#[allow(clippy::too_many_arguments)] // one reply, one flat row of sources; a struct would outlive its single call site
 pub fn render_stats_reply(
     entries: usize,
     cached_pairs: usize,
@@ -347,6 +435,7 @@ pub fn render_stats_reply(
     generation: u64,
     snapshot: &SnapshotStatus,
     metrics: &MetricsSnapshot,
+    latency: &[(&str, [u64; 3])],
 ) -> String {
     let mut out = format!("STAT entries {entries}\nSTAT shards {}\n", shard_sizes.len());
     for (i, size) in shard_sizes.iter().enumerate() {
@@ -364,7 +453,9 @@ pub fn render_stats_reply(
          STAT snapshots {}\n\
          STAT snapshot_errors {}\n\
          STAT last_snapshot_ok {}\n\
-         STAT last_snapshot_generation {}\n",
+         STAT last_snapshot_generation {}\n\
+         STAT last_snapshot_duration_us {}\n\
+         STAT last_snapshot_bytes {}\n",
         stats.queries,
         stats.kernel_evals,
         stats.cache_hits,
@@ -377,36 +468,140 @@ pub fn render_stats_reply(
             None => "-".to_string(),
             Some(ok) => u64::from(ok).to_string(),
         },
-        snapshot.last_generation
+        snapshot.last_generation,
+        snapshot.last_duration_micros,
+        snapshot.last_bytes,
     ));
     out.push_str(&format!(
         "STAT uptime_secs {}\n\
          STAT connections {}\n\
          STAT requests_total {}\n\
-         STAT request_errors {}\n\
-         STAT verb_hello {}\n\
-         STAT verb_ingest {}\n\
-         STAT verb_batch_ingest {}\n\
-         STAT verb_query {}\n\
-         STAT verb_mquery {}\n\
-         STAT verb_stats {}\n\
-         STAT verb_save {}\n\
-         STAT verb_shutdown {}\n\
-         END\n",
-        metrics.uptime_secs,
-        metrics.connections,
-        metrics.requests,
-        metrics.errors,
-        metrics.hello,
-        metrics.ingest,
-        metrics.batch_ingest,
-        metrics.query,
-        metrics.mquery,
-        metrics.stats,
-        metrics.save,
-        metrics.shutdown,
+         STAT request_errors {}\n",
+        metrics.uptime_secs, metrics.connections, metrics.requests, metrics.errors,
     ));
+    for (verb, count) in metrics.verb_counts() {
+        out.push_str(&format!("STAT verb_{verb} {count}\n"));
+    }
+    for (verb, [p50, p95, p99]) in latency {
+        out.push_str(&format!(
+            "STAT latency_{verb}_p50_us {p50}\n\
+             STAT latency_{verb}_p95_us {p95}\n\
+             STAT latency_{verb}_p99_us {p99}\n"
+        ));
+    }
+    out.push_str("END\n");
     out
+}
+
+/// Renders the `METRICS` reply: an `OK metrics` header, a
+/// Prometheus-style text exposition of the daemon's observability state,
+/// and the framing `END`.
+///
+/// `verb_latency` and `stage_latency` are `(name, histogram)` pairs in
+/// nanoseconds; the server passes only series with recorded samples.
+/// Bucket bounds are exact nanosecond integers, so a scraper can rebuild
+/// each histogram loss-free from the cumulative `_bucket` series (this is
+/// what `kastio loadgen` does to report server-side latency). Quantile
+/// gauges are also rendered in microseconds under
+/// `kastio_request_latency_us` for dashboards that want digests instead
+/// of buckets.
+pub fn render_metrics_reply(
+    metrics: &MetricsSnapshot,
+    verb_latency: &[(&str, Histogram)],
+    stage_latency: &[(&str, Histogram)],
+    snapshot: &SnapshotStatus,
+    slowlog_len: usize,
+) -> String {
+    let mut exp = Exposition::new();
+    exp.type_line("kastio_uptime_seconds", "gauge");
+    exp.sample("kastio_uptime_seconds", "", metrics.uptime_secs);
+    exp.type_line("kastio_connections_total", "counter");
+    exp.sample("kastio_connections_total", "", metrics.connections);
+    exp.type_line("kastio_requests_total", "counter");
+    exp.sample("kastio_requests_total", "", metrics.requests);
+    exp.type_line("kastio_request_errors_total", "counter");
+    exp.sample("kastio_request_errors_total", "", metrics.errors);
+    exp.type_line("kastio_verb_requests_total", "counter");
+    for (verb, count) in metrics.verb_counts() {
+        exp.sample("kastio_verb_requests_total", &format!("verb=\"{verb}\""), count);
+    }
+    exp.type_line("kastio_request_latency_ns", "histogram");
+    for (verb, histogram) in verb_latency {
+        exp.histogram("kastio_request_latency_ns", &format!("verb=\"{verb}\""), histogram);
+    }
+    exp.type_line("kastio_request_latency_us", "gauge");
+    for (verb, histogram) in verb_latency {
+        for (quantile, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+            exp.sample(
+                "kastio_request_latency_us",
+                &format!("verb=\"{verb}\",quantile=\"{quantile}\""),
+                histogram.percentile(p) / 1_000,
+            );
+        }
+    }
+    exp.type_line("kastio_stage_latency_ns", "histogram");
+    for (stage, histogram) in stage_latency {
+        exp.histogram("kastio_stage_latency_ns", &format!("stage=\"{stage}\""), histogram);
+    }
+    exp.type_line("kastio_snapshots_total", "counter");
+    exp.sample("kastio_snapshots_total", "", snapshot.snapshots);
+    exp.type_line("kastio_snapshot_errors_total", "counter");
+    exp.sample("kastio_snapshot_errors_total", "", snapshot.errors);
+    exp.type_line("kastio_last_snapshot_duration_us", "gauge");
+    exp.sample("kastio_last_snapshot_duration_us", "", snapshot.last_duration_micros);
+    exp.type_line("kastio_last_snapshot_bytes", "gauge");
+    exp.sample("kastio_last_snapshot_bytes", "", snapshot.last_bytes);
+    exp.type_line("kastio_slowlog_entries", "gauge");
+    exp.sample("kastio_slowlog_entries", "", slowlog_len);
+    format!("OK metrics\n{}END\n", exp.finish())
+}
+
+/// Renders the `SLOWLOG GET` reply: one `SLOW` line per entry (newest
+/// first), each carrying the stage breakdown as comma-joined
+/// `<stage>:<us>` pairs and the compact argument summary. Empty stage
+/// lists and argument summaries render as `-` so every line has the same
+/// token count.
+pub fn render_slowlog_get(entries: &[SlowEntry]) -> String {
+    let mut out = format!("OK slowlog entries={}\n", entries.len());
+    for entry in entries {
+        let stages = if entry.stages.is_empty() {
+            "-".to_string()
+        } else {
+            let pairs: Vec<String> =
+                entry.stages.iter().map(|(stage, us)| format!("{stage}:{us}")).collect();
+            pairs.join(",")
+        };
+        let args = if entry.args.is_empty() { "-" } else { entry.args.as_str() };
+        out.push_str(&format!(
+            "SLOW {} at_us={} verb={} total_us={} stages={stages} args={args}\n",
+            entry.id, entry.at_micros, entry.verb, entry.total_micros
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Renders the `SLOWLOG LEN` reply.
+pub fn render_slowlog_len(len: usize) -> String {
+    format!("OK slowlog len={len}\n")
+}
+
+/// Renders the `SLOWLOG RESET` acknowledgement.
+pub fn render_slowlog_reset() -> String {
+    "OK slowlog reset\n".to_string()
+}
+
+/// Renders the `TRACE` line appended (before `END`) to a `trace=1` query
+/// reply. Nanosecond inputs are floored to microseconds per field, so
+/// the rendered stage values always sum to at most the rendered total
+/// (`⌊a⌋ + ⌊b⌋ ≤ ⌊a + b⌋`).
+pub fn render_trace_line(total_ns: u64, stages: &[(&str, u64)]) -> String {
+    let mut line = format!("TRACE total_us={}", total_ns / 1_000);
+    for (stage, ns) in stages {
+        line.push_str(&format!(" {stage}_us={}", ns / 1_000));
+    }
+    line.push('\n');
+    line
 }
 
 /// Reads one complete server reply — a single `OK …`/`ERR …` line, or a
@@ -442,6 +637,8 @@ pub fn read_reply<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<String
     read_line(&mut reply)?;
     if reply.starts_with("OK matches=")
         || reply.starts_with("OK queries=")
+        || reply.starts_with("OK metrics")
+        || reply.starts_with("OK slowlog entries=")
         || reply.starts_with("STAT")
     {
         loop {
@@ -489,7 +686,43 @@ mod tests {
     #[test]
     fn parses_batch_headers() {
         assert_eq!(parse_request("BATCH INGEST 3").unwrap(), Request::BatchIngest { count: 3 });
-        assert_eq!(parse_request("MQUERY k=2 4").unwrap(), Request::MultiQuery { k: 2, count: 4 });
+        assert_eq!(
+            parse_request("MQUERY k=2 4").unwrap(),
+            Request::MultiQuery { k: 2, count: 4, timed: false }
+        );
+    }
+
+    #[test]
+    fn parses_the_optional_trace_flag() {
+        assert!(matches!(
+            parse_request("QUERY k=3 h0 read 8").unwrap(),
+            Request::Query { timed: false, .. }
+        ));
+        assert!(matches!(
+            parse_request("QUERY k=3 trace=1 h0 read 8").unwrap(),
+            Request::Query { k: 3, timed: true, .. }
+        ));
+        assert_eq!(
+            parse_request("MQUERY k=2 trace=1 4").unwrap(),
+            Request::MultiQuery { k: 2, count: 4, timed: true }
+        );
+        // Only the exact token is the flag; near-misses fall through to
+        // the payload parser's own error.
+        assert!(parse_request("QUERY k=3 trace=2 h0 read 8")
+            .unwrap_err()
+            .contains("bad inline trace"));
+        assert!(parse_request("MQUERY k=2 trace=1").unwrap_err().contains("bad count"));
+    }
+
+    #[test]
+    fn parses_metrics_and_slowlog() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("  METRICS  ").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("SLOWLOG GET").unwrap(), Request::Slowlog(SlowlogCmd::Get));
+        assert_eq!(parse_request("SLOWLOG RESET").unwrap(), Request::Slowlog(SlowlogCmd::Reset));
+        assert_eq!(parse_request("SLOWLOG LEN").unwrap(), Request::Slowlog(SlowlogCmd::Len));
+        assert!(parse_request("SLOWLOG").unwrap_err().contains("GET|RESET|LEN"));
+        assert!(parse_request("SLOWLOG TRIM").unwrap_err().contains("GET|RESET|LEN"));
     }
 
     #[test]
@@ -564,6 +797,7 @@ mod tests {
             candidates: 1,
             evaluated: 1,
             cache_hits: 0,
+            timings: crate::index::QueryTimings::default(),
         }
     }
 
@@ -612,8 +846,16 @@ mod tests {
             stats: 1,
             ..MetricsSnapshot::default()
         };
-        let reply =
-            render_stats_reply(4, 5, &[2, 1, 1], &stats, 4, &SnapshotStatus::default(), &metrics);
+        let reply = render_stats_reply(
+            4,
+            5,
+            &[2, 1, 1],
+            &stats,
+            4,
+            &SnapshotStatus::default(),
+            &metrics,
+            &[("query", [10, 90, 120])],
+        );
         assert!(reply.starts_with("STAT entries 4\n"));
         assert!(reply.contains("STAT shards 3\n"));
         assert!(reply.contains("STAT shard0_entries 2\n"));
@@ -633,6 +875,11 @@ mod tests {
         assert!(reply.contains("STAT verb_query 2\n"));
         assert!(reply.contains("STAT verb_stats 1\n"));
         assert!(reply.contains("STAT verb_ingest 0\n"));
+        assert!(reply.contains("STAT verb_metrics 0\n"));
+        assert!(reply.contains("STAT verb_slowlog 0\n"));
+        assert!(reply.contains("STAT latency_query_p50_us 10\n"));
+        assert!(reply.contains("STAT latency_query_p95_us 90\n"));
+        assert!(reply.contains("STAT latency_query_p99_us 120\n"));
         assert!(reply.ends_with("END\n"));
     }
 
@@ -644,6 +891,8 @@ mod tests {
             last_ok: Some(false),
             last_generation: 9,
             last_entries: 9,
+            last_duration_micros: 1234,
+            last_bytes: 4096,
             ..SnapshotStatus::default()
         };
         let reply = render_stats_reply(
@@ -654,12 +903,91 @@ mod tests {
             11,
             &snapshot,
             &MetricsSnapshot::default(),
+            &[],
         );
         assert!(reply.contains("STAT generation 11\n"));
         assert!(reply.contains("STAT snapshots 3\n"));
         assert!(reply.contains("STAT snapshot_errors 1\n"));
         assert!(reply.contains("STAT last_snapshot_ok 0\n"));
         assert!(reply.contains("STAT last_snapshot_generation 9\n"));
+        assert!(reply.contains("STAT last_snapshot_duration_us 1234\n"));
+        assert!(reply.contains("STAT last_snapshot_bytes 4096\n"));
+    }
+
+    #[test]
+    fn metrics_reply_renders_a_framed_exposition() {
+        let metrics = MetricsSnapshot { requests: 9, query: 4, ..MetricsSnapshot::default() };
+        let mut query_latency = Histogram::new();
+        query_latency.record_n(2_000, 4);
+        let mut kernel = Histogram::new();
+        kernel.record(1_500);
+        let snapshot = SnapshotStatus {
+            last_duration_micros: 77,
+            last_bytes: 512,
+            ..SnapshotStatus::default()
+        };
+        let reply = render_metrics_reply(
+            &metrics,
+            &[("query", query_latency)],
+            &[("kernel", kernel)],
+            &snapshot,
+            3,
+        );
+        assert!(reply.starts_with("OK metrics\n"));
+        assert!(reply.ends_with("END\n"));
+        assert!(reply.contains("# TYPE kastio_requests_total counter\n"));
+        assert!(reply.contains("kastio_requests_total 9\n"));
+        assert!(reply.contains("kastio_verb_requests_total{verb=\"query\"} 4\n"));
+        assert!(reply.contains("kastio_request_latency_ns_bucket{verb=\"query\",le=\"+Inf\"} 4\n"));
+        assert!(reply.contains("kastio_request_latency_ns_count{verb=\"query\"} 4\n"));
+        assert!(reply.contains("kastio_request_latency_us{verb=\"query\",quantile=\"0.99\"} 2\n"));
+        assert!(reply.contains("kastio_stage_latency_ns_count{stage=\"kernel\"} 1\n"));
+        assert!(reply.contains("kastio_last_snapshot_duration_us 77\n"));
+        assert!(reply.contains("kastio_last_snapshot_bytes 512\n"));
+        assert!(reply.contains("kastio_slowlog_entries 3\n"));
+        // No exposition line can alias the frame terminator.
+        let inner = &reply["OK metrics\n".len()..reply.len() - "END\n".len()];
+        assert!(inner.lines().all(|line| line != "END"));
+    }
+
+    #[test]
+    fn slowlog_replies_render_entries_and_acks() {
+        let entries = vec![
+            SlowEntry {
+                id: 7,
+                at_micros: 900,
+                verb: "QUERY",
+                args: "k=3,ops=12".to_string(),
+                total_micros: 450,
+                stages: vec![("parse", 10), ("kernel", 400)],
+            },
+            SlowEntry {
+                id: 6,
+                at_micros: 800,
+                verb: "SAVE",
+                args: String::new(),
+                total_micros: 300,
+                stages: vec![],
+            },
+        ];
+        let reply = render_slowlog_get(&entries);
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "OK slowlog entries=2");
+        assert_eq!(
+            lines[1],
+            "SLOW 7 at_us=900 verb=QUERY total_us=450 stages=parse:10,kernel:400 args=k=3,ops=12"
+        );
+        assert_eq!(lines[2], "SLOW 6 at_us=800 verb=SAVE total_us=300 stages=- args=-");
+        assert_eq!(lines[3], "END");
+        assert_eq!(render_slowlog_get(&[]), "OK slowlog entries=0\nEND\n");
+        assert_eq!(render_slowlog_len(5), "OK slowlog len=5\n");
+        assert_eq!(render_slowlog_reset(), "OK slowlog reset\n");
+    }
+
+    #[test]
+    fn trace_line_floors_stage_sums_under_the_total() {
+        let line = render_trace_line(10_999, &[("parse", 1_999), ("kernel", 8_999)]);
+        assert_eq!(line, "TRACE total_us=10 parse_us=1 kernel_us=8\n");
     }
 
     #[test]
@@ -679,5 +1007,18 @@ mod tests {
         assert_eq!(read_reply(&mut reader).unwrap(), "ERR nope\n");
         let err = read_reply(&mut reader).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn read_reply_frames_metrics_and_slowlog_blocks() {
+        use std::io::BufReader;
+        let wire = "OK metrics\n# TYPE kastio_requests_total counter\nkastio_requests_total 1\nEND\n\
+                    OK slowlog entries=1\nSLOW 0 at_us=1 verb=QUERY total_us=9 stages=- args=-\nEND\n\
+                    OK slowlog len=0\nOK slowlog reset\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert!(read_reply(&mut reader).unwrap().ends_with("kastio_requests_total 1\nEND\n"));
+        assert!(read_reply(&mut reader).unwrap().starts_with("OK slowlog entries=1\nSLOW 0 "));
+        assert_eq!(read_reply(&mut reader).unwrap(), "OK slowlog len=0\n");
+        assert_eq!(read_reply(&mut reader).unwrap(), "OK slowlog reset\n");
     }
 }

@@ -23,13 +23,79 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use crate::index::PatternIndex;
+use kastio_obs::{Histogram, SlowLog, StripedHistogram};
+
+use crate::index::{PatternIndex, QueryTimings};
 use crate::persist::save_index;
 use crate::protocol::{
     parse_batch_ingest_item, parse_request, render_hello_reply, render_hello_unsupported,
-    render_mquery_reply, render_query_reply, render_stats_reply, MetricsSnapshot, Request,
-    PROTOCOL_VERSION,
+    render_metrics_reply, render_mquery_reply, render_query_reply, render_slowlog_get,
+    render_slowlog_len, render_slowlog_reset, render_stats_reply, render_trace_line,
+    MetricsSnapshot, Request, SlowlogCmd, PROTOCOL_VERSION,
 };
+
+/// Per-verb histogram slots, in [`MetricsSnapshot::verb_counts`] order.
+const VERB_NAMES: [&str; 10] = [
+    "hello",
+    "ingest",
+    "batch_ingest",
+    "query",
+    "mquery",
+    "stats",
+    "save",
+    "shutdown",
+    "metrics",
+    "slowlog",
+];
+
+/// Pipeline stage histogram slots, in request order. `parse` covers
+/// request-line parsing (plus item-line reads for the batched forms);
+/// `prefilter`/`cache`/`kernel` come from the index's [`QueryTimings`];
+/// `reply` is the reply write + flush.
+const STAGE_NAMES: [&str; 5] = ["parse", "prefilter", "cache", "kernel", "reply"];
+
+const STAGE_PARSE: usize = 0;
+const STAGE_PREFILTER: usize = 1;
+const STAGE_CACHE: usize = 2;
+const STAGE_KERNEL: usize = 3;
+const STAGE_REPLY: usize = 4;
+
+/// The histogram slot a parsed request records into.
+fn verb_slot(request: &Request) -> usize {
+    match request {
+        Request::Hello { .. } => 0,
+        Request::Ingest { .. } => 1,
+        Request::BatchIngest { .. } => 2,
+        Request::Query { .. } => 3,
+        Request::MultiQuery { .. } => 4,
+        Request::Stats => 5,
+        Request::Save => 6,
+        Request::Shutdown => 7,
+        Request::Metrics => 8,
+        Request::Slowlog(_) => 9,
+    }
+}
+
+/// The slow-log presentation of a request: its wire verb (space-free, so
+/// `SLOW` lines stay token-aligned) and a compact argument summary.
+fn request_summary(request: &Request) -> (&'static str, String) {
+    match request {
+        Request::Hello { version, .. } => ("HELLO", format!("proto={version}")),
+        Request::Ingest { label, trace } => {
+            ("INGEST", format!("label={label},ops={}", trace.len()))
+        }
+        Request::BatchIngest { count } => ("BATCH_INGEST", format!("count={count}")),
+        Request::Query { k, trace, .. } => ("QUERY", format!("k={k},ops={}", trace.len())),
+        Request::MultiQuery { k, count, .. } => ("MQUERY", format!("k={k},count={count}")),
+        Request::Stats => ("STATS", String::new()),
+        Request::Metrics => ("METRICS", String::new()),
+        Request::Slowlog(SlowlogCmd::Get) => ("SLOWLOG", "GET".to_string()),
+        Request::Slowlog(SlowlogCmd::Reset) => ("SLOWLOG", "RESET".to_string()),
+        Request::Slowlog(SlowlogCmd::Len) => ("SLOWLOG", "LEN".to_string()),
+        Request::Save => ("SAVE", String::new()),
+        Request::Shutdown => ("SHUTDOWN", String::new()),
+    }
+}
 
 /// Live connection/request counters of a running daemon, shared by every
 /// handler thread and reported in the `STATS` reply.
@@ -42,20 +108,22 @@ use crate::protocol::{
 /// once, on its header); `errors` counts `ERR` replies sent, whatever
 /// their cause (parse failure, bad batch item, unsupported `HELLO`,
 /// failed save, over-long line).
+///
+/// Latency is recorded into [`StripedHistogram`]s — one per verb for
+/// total request latency, one per pipeline stage — so concurrent handler
+/// threads rarely contend; `METRICS` and `STATS` merge the stripes into
+/// point-in-time [`Histogram`] snapshots.
 #[derive(Debug)]
 pub struct ServerMetrics {
     started: Instant,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
-    hello: AtomicU64,
-    ingest: AtomicU64,
-    batch_ingest: AtomicU64,
-    query: AtomicU64,
-    mquery: AtomicU64,
-    stats: AtomicU64,
-    save: AtomicU64,
-    shutdown: AtomicU64,
+    verbs: [AtomicU64; VERB_NAMES.len()],
+    /// Per-verb request latency (read → reply flushed), nanoseconds.
+    verb_latency: [StripedHistogram; VERB_NAMES.len()],
+    /// Per-stage latency across all requests, nanoseconds.
+    stage_latency: [StripedHistogram; STAGE_NAMES.len()],
 }
 
 impl ServerMetrics {
@@ -65,14 +133,9 @@ impl ServerMetrics {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            hello: AtomicU64::new(0),
-            ingest: AtomicU64::new(0),
-            batch_ingest: AtomicU64::new(0),
-            query: AtomicU64::new(0),
-            mquery: AtomicU64::new(0),
-            stats: AtomicU64::new(0),
-            save: AtomicU64::new(0),
-            shutdown: AtomicU64::new(0),
+            verbs: std::array::from_fn(|_| AtomicU64::new(0)),
+            verb_latency: std::array::from_fn(|_| StripedHistogram::new()),
+            stage_latency: std::array::from_fn(|_| StripedHistogram::new()),
         }
     }
 
@@ -84,39 +147,85 @@ impl ServerMetrics {
     /// counter (`None` for a line that failed to parse).
     fn record_request(&self, parsed: Option<&Request>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let verb = match parsed {
-            None => return,
-            Some(Request::Hello { .. }) => &self.hello,
-            Some(Request::Ingest { .. }) => &self.ingest,
-            Some(Request::BatchIngest { .. }) => &self.batch_ingest,
-            Some(Request::Query { .. }) => &self.query,
-            Some(Request::MultiQuery { .. }) => &self.mquery,
-            Some(Request::Stats) => &self.stats,
-            Some(Request::Save) => &self.save,
-            Some(Request::Shutdown) => &self.shutdown,
-        };
-        verb.fetch_add(1, Ordering::Relaxed);
+        if let Some(request) = parsed {
+            self.verbs[verb_slot(request)].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one completed request's total latency into its verb's
+    /// histogram.
+    fn record_latency(&self, slot: usize, total_ns: u64) {
+        self.verb_latency[slot].record(total_ns);
+    }
+
+    /// Records one pipeline stage span.
+    fn record_stage(&self, stage: usize, ns: u64) {
+        self.stage_latency[stage].record(ns);
+    }
+
+    /// Microseconds since the listener was bound — the slow log's
+    /// timestamp base.
+    fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Merged per-verb latency histograms for verbs with at least one
+    /// sample, in documentation order.
+    pub fn verb_latency_snapshots(&self) -> Vec<(&'static str, Histogram)> {
+        VERB_NAMES
+            .iter()
+            .zip(&self.verb_latency)
+            .filter(|(_, striped)| striped.count() > 0)
+            .map(|(name, striped)| (*name, striped.snapshot()))
+            .collect()
+    }
+
+    /// Merged per-stage latency histograms for stages with at least one
+    /// sample, in pipeline order.
+    pub fn stage_latency_snapshots(&self) -> Vec<(&'static str, Histogram)> {
+        STAGE_NAMES
+            .iter()
+            .zip(&self.stage_latency)
+            .filter(|(_, striped)| striped.count() > 0)
+            .map(|(name, striped)| (*name, striped.snapshot()))
+            .collect()
+    }
+
+    /// Per-verb `[p50, p95, p99]` total-latency quantiles in
+    /// microseconds, for verbs with at least one sample — the `STATS`
+    /// latency block.
+    pub fn latency_quantiles(&self) -> Vec<(&'static str, [u64; 3])> {
+        self.verb_latency_snapshots()
+            .into_iter()
+            .map(|(name, histogram)| {
+                let us = |p: f64| histogram.percentile(p) / 1_000;
+                (name, [us(50.0), us(95.0), us(99.0)])
+            })
+            .collect()
+    }
+
     /// A point-in-time copy of every counter, for rendering or testing.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let verb = |slot: usize| self.verbs[slot].load(Ordering::Relaxed);
         MetricsSnapshot {
             uptime_secs: self.started.elapsed().as_secs(),
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            hello: self.hello.load(Ordering::Relaxed),
-            ingest: self.ingest.load(Ordering::Relaxed),
-            batch_ingest: self.batch_ingest.load(Ordering::Relaxed),
-            query: self.query.load(Ordering::Relaxed),
-            mquery: self.mquery.load(Ordering::Relaxed),
-            stats: self.stats.load(Ordering::Relaxed),
-            save: self.save.load(Ordering::Relaxed),
-            shutdown: self.shutdown.load(Ordering::Relaxed),
+            hello: verb(0),
+            ingest: verb(1),
+            batch_ingest: verb(2),
+            query: verb(3),
+            mquery: verb(4),
+            stats: verb(5),
+            save: verb(6),
+            shutdown: verb(7),
+            metrics: verb(8),
+            slowlog: verb(9),
         }
     }
 }
@@ -156,6 +265,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     save_dir: Option<PathBuf>,
     metrics: Arc<ServerMetrics>,
+    slow_log: Arc<SlowLog>,
 }
 
 /// A clonable handle that stops a running [`Server::serve`] loop from
@@ -191,7 +301,20 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             save_dir: None,
             metrics: Arc::new(ServerMetrics::new()),
+            slow_log: Arc::new(SlowLog::disabled()),
         })
+    }
+
+    /// Configures the slow-query log threshold: requests whose total
+    /// latency reaches `threshold_micros` are recorded (newest
+    /// [`SlowLog::DEFAULT_CAPACITY`] kept) and exposed through the
+    /// `SLOWLOG` verb. `None` (the default) disables recording — the
+    /// verb still answers, with an empty log. Threshold 0 logs every
+    /// request, mirroring Redis's `slowlog-log-slower-than 0` test hook.
+    #[must_use]
+    pub fn with_slow_log(mut self, threshold_micros: Option<u64>) -> Server {
+        self.slow_log = Arc::new(SlowLog::new(SlowLog::DEFAULT_CAPACITY, threshold_micros));
+        self
     }
 
     /// Configures the snapshot directory: `SAVE` requests write there,
@@ -257,6 +380,7 @@ impl Server {
         let index = self.index;
         let stop = self.stop;
         let metrics = self.metrics;
+        let slow_log = self.slow_log;
         let save_dir = self.save_dir.map(Arc::new);
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
@@ -307,12 +431,14 @@ impl Server {
             let (index, stop, connections) =
                 (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
             let (save_dir, metrics) = (save_dir.clone(), Arc::clone(&metrics));
+            let slow_log = Arc::clone(&slow_log);
             handlers.push(std::thread::spawn(move || {
                 let disposition = handle_connection(
                     stream,
                     &index,
                     save_dir.as_deref().map(PathBuf::as_path),
                     &metrics,
+                    &slow_log,
                 );
                 lock_registry(&connections).remove(&connection_id);
                 if let Ok(Disposition::Shutdown) = disposition {
@@ -367,17 +493,28 @@ fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Resul
     Ok(Line::Full)
 }
 
+/// Nanoseconds elapsed since `start`, saturating.
+fn span_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Serves one client: one reply per request until EOF or `SHUTDOWN`. For
 /// the batched forms (`BATCH INGEST`, `MQUERY`) the announced item lines
 /// are consumed — even when an item is malformed — before the single
 /// reply, so one bad item never desyncs the connection's framing.
 /// `save_dir` is the snapshot target for `SAVE` (and the pre-reply save
 /// of `SHUTDOWN`); without one, `SAVE` is answered with an `ERR`.
+///
+/// Every request is timed from the end of its request-line read to the
+/// reply flush; the total lands in the verb's latency histogram, the
+/// stage spans in the per-stage histograms, and — when the slow-log
+/// threshold is crossed — a summary in the [`SlowLog`].
 fn handle_connection(
     stream: TcpStream,
     index: &PatternIndex,
     save_dir: Option<&Path>,
     metrics: &ServerMetrics,
+    slow_log: &SlowLog,
 ) -> io::Result<Disposition> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -396,9 +533,20 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         let request = parse_request(&line);
         metrics.record_request(request.as_ref().ok());
-        let reply = match request {
+        let slot = request.as_ref().ok().map(verb_slot);
+        // The argument summary allocates, so it is only built when the
+        // slow log could actually keep it.
+        let summary =
+            slow_log.threshold_micros().and_then(|_| request.as_ref().ok().map(request_summary));
+        let mut parse_ns = span_ns(started);
+        let mut query_timings = QueryTimings::default();
+        let mut ran_query = false;
+        let mut timed = false;
+        let mut shutting_down = false;
+        let mut reply = match request {
             Err(message) => format!("ERR {message}\n"),
             Ok(Request::Hello { version, client: _ }) => {
                 // Version negotiation: the handshake succeeds only on an
@@ -416,21 +564,41 @@ fn handle_connection(
                 Err(e) => format!("ERR {e}\n"),
             },
             Ok(Request::BatchIngest { count }) => {
-                match read_items(&mut reader, &mut writer, count, metrics, parse_batch_ingest_item)?
-                {
+                let items_started = Instant::now();
+                let items =
+                    read_items(&mut reader, &mut writer, count, metrics, parse_batch_ingest_item)?;
+                parse_ns += span_ns(items_started);
+                match items {
                     Items::Hangup => return Ok(Disposition::ClientDone),
                     Items::Bad(message) => message,
                     Items::Parsed(items) => batch_ingest_reply(index, count, items),
                 }
             }
-            Ok(Request::Query { k, trace }) => render_query_reply(&index.query(&trace, k)),
-            Ok(Request::MultiQuery { k, count }) => {
-                match read_items(&mut reader, &mut writer, count, metrics, |item| {
+            Ok(Request::Query { k, trace, timed: t }) => {
+                let result = index.query(&trace, k);
+                query_timings = result.timings;
+                ran_query = true;
+                timed = t;
+                render_query_reply(&result)
+            }
+            Ok(Request::MultiQuery { k, count, timed: t }) => {
+                let items_started = Instant::now();
+                let items = read_items(&mut reader, &mut writer, count, metrics, |item| {
                     crate::protocol::decode_trace_inline(item.trim())
-                })? {
+                })?;
+                parse_ns += span_ns(items_started);
+                match items {
                     Items::Hangup => return Ok(Disposition::ClientDone),
                     Items::Bad(message) => message,
-                    Items::Parsed(traces) => render_mquery_reply(&index.query_batch(&traces, k)),
+                    Items::Parsed(traces) => {
+                        let results = index.query_batch(&traces, k);
+                        for result in &results {
+                            query_timings.merge(&result.timings);
+                        }
+                        ran_query = true;
+                        timed = t;
+                        render_mquery_reply(&results)
+                    }
                 }
             }
             Ok(Request::Stats) => {
@@ -448,7 +616,21 @@ fn handle_connection(
                     index.generation(),
                     &index.snapshot_status(),
                     &metrics.snapshot(),
+                    &metrics.latency_quantiles(),
                 )
+            }
+            Ok(Request::Metrics) => render_metrics_reply(
+                &metrics.snapshot(),
+                &metrics.verb_latency_snapshots(),
+                &metrics.stage_latency_snapshots(),
+                &index.snapshot_status(),
+                slow_log.len(),
+            ),
+            Ok(Request::Slowlog(SlowlogCmd::Get)) => render_slowlog_get(&slow_log.entries()),
+            Ok(Request::Slowlog(SlowlogCmd::Len)) => render_slowlog_len(slow_log.len()),
+            Ok(Request::Slowlog(SlowlogCmd::Reset)) => {
+                slow_log.reset();
+                render_slowlog_reset()
             }
             Ok(Request::Save) => match save_dir {
                 None => "ERR no save directory (start the server with --save)\n".to_string(),
@@ -468,7 +650,8 @@ fn handle_connection(
                 // to disk. The server shuts down either way — the caller
                 // of serve() re-checks the snapshot status and surfaces
                 // the failure in its exit code.
-                let reply = match save_dir {
+                shutting_down = true;
+                match save_dir {
                     None => "OK bye\n".to_string(),
                     Some(dir) => match save_index(index, dir) {
                         Ok(info) => format!(
@@ -477,20 +660,57 @@ fn handle_connection(
                         ),
                         Err(e) => format!("ERR save failed: {e} (shutting down anyway)\n"),
                     },
-                };
-                if reply.starts_with("ERR") {
-                    metrics.record_error();
                 }
-                writer.write_all(reply.as_bytes())?;
-                writer.flush()?;
-                return Ok(Disposition::Shutdown);
             }
         };
         if reply.starts_with("ERR") {
             metrics.record_error();
         }
+        if timed && reply.ends_with("END\n") {
+            // The reply-write span cannot be known before the reply is
+            // written, so the inline TRACE total covers read → render;
+            // `reply` still shows up in the stage histograms and the
+            // slow log. Per-field flooring to µs keeps the rendered
+            // stage sum at or under the rendered total.
+            let trace_line = render_trace_line(
+                span_ns(started),
+                &[
+                    ("parse", parse_ns),
+                    ("prefilter", query_timings.prefilter_ns),
+                    ("cache", query_timings.cache_ns),
+                    ("kernel", query_timings.kernel_ns),
+                ],
+            );
+            reply.insert_str(reply.len() - "END\n".len(), &trace_line);
+        }
+        let write_started = Instant::now();
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
+        let reply_ns = span_ns(write_started);
+        let total_ns = span_ns(started);
+        metrics.record_stage(STAGE_PARSE, parse_ns);
+        if ran_query {
+            metrics.record_stage(STAGE_PREFILTER, query_timings.prefilter_ns);
+            metrics.record_stage(STAGE_CACHE, query_timings.cache_ns);
+            metrics.record_stage(STAGE_KERNEL, query_timings.kernel_ns);
+        }
+        metrics.record_stage(STAGE_REPLY, reply_ns);
+        if let Some(slot) = slot {
+            metrics.record_latency(slot, total_ns);
+        }
+        if let Some((verb, args)) = summary {
+            let mut stages = vec![("parse", parse_ns / 1_000)];
+            if ran_query {
+                stages.push(("prefilter", query_timings.prefilter_ns / 1_000));
+                stages.push(("cache", query_timings.cache_ns / 1_000));
+                stages.push(("kernel", query_timings.kernel_ns / 1_000));
+            }
+            stages.push(("reply", reply_ns / 1_000));
+            slow_log.record(metrics.uptime_micros(), verb, args, total_ns / 1_000, stages);
+        }
+        if shutting_down {
+            return Ok(Disposition::Shutdown);
+        }
     }
 }
 
@@ -934,6 +1154,124 @@ mod tests {
         assert_eq!(snapshot.shutdown, 1);
         assert_eq!(snapshot.requests, 6);
         assert_eq!(snapshot.errors, 1);
+    }
+
+    #[test]
+    fn metrics_verb_exposes_latency_histograms() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut stream, "INGEST w h0 write 64;h0 write 64\n");
+        for _ in 0..3 {
+            roundtrip(&mut stream, "QUERY k=1 h0 write 64\n");
+        }
+        let reply = roundtrip(&mut stream, "METRICS\n");
+        assert!(reply.starts_with("OK metrics\n"), "{reply}");
+        assert!(reply.ends_with("END\n"), "{reply}");
+        assert!(reply.contains("# TYPE kastio_request_latency_ns histogram\n"), "{reply}");
+        assert!(reply.contains("kastio_verb_requests_total{verb=\"query\"} 3\n"), "{reply}");
+        assert!(
+            reply.contains("kastio_request_latency_ns_count{verb=\"query\"} 3\n"),
+            "every query lands in the histogram: {reply}"
+        );
+        assert!(
+            reply.contains("kastio_request_latency_ns_bucket{verb=\"query\",le=\"+Inf\"} 3\n"),
+            "{reply}"
+        );
+        assert!(reply.contains("kastio_stage_latency_ns_count{stage=\"kernel\"} 3\n"), "{reply}");
+        assert!(reply.contains("kastio_stage_latency_ns_count{stage=\"parse\"} "), "{reply}");
+        assert!(reply.contains("kastio_slowlog_entries 0\n"), "{reply}");
+
+        // The quantiles surface in STATS too, now that query has samples.
+        let stats = roundtrip(&mut stream, "STATS\n");
+        assert!(stats.contains("STAT latency_query_p50_us "), "{stats}");
+        assert!(stats.contains("STAT latency_query_p99_us "), "{stats}");
+        assert!(stats.contains("STAT verb_metrics 1\n"), "{stats}");
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn traced_query_carries_a_stage_breakdown_line() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut stream, "INGEST w h0 write 64;h0 write 64\n");
+
+        let reply = roundtrip(&mut stream, "QUERY k=1 trace=1 h0 write 64\n");
+        assert!(reply.starts_with("OK matches=1 label=w\n"), "{reply}");
+        let lines: Vec<&str> = reply.lines().collect();
+        let trace = lines[lines.len() - 2];
+        assert!(trace.starts_with("TRACE total_us="), "{reply}");
+        assert_eq!(*lines.last().unwrap(), "END");
+        let fields: std::collections::HashMap<&str, u64> = trace
+            .split_whitespace()
+            .skip(1)
+            .map(|kv| kv.split_once('=').unwrap())
+            .map(|(k, v)| (k, v.parse().unwrap()))
+            .collect();
+        let total = fields["total_us"];
+        let stage_sum =
+            fields["parse_us"] + fields["prefilter_us"] + fields["cache_us"] + fields["kernel_us"];
+        assert!(stage_sum <= total, "stages {stage_sum}µs exceed total {total}µs: {trace}");
+
+        // An untraced query on the same connection stays byte-compatible.
+        let reply = roundtrip(&mut stream, "QUERY k=1 h0 write 64\n");
+        assert!(!reply.contains("TRACE"), "{reply}");
+
+        // MQUERY gets one TRACE line for the whole batch.
+        let reply = roundtrip(&mut stream, "MQUERY k=1 trace=1 2\nh0 write 64\nh0 write 64\n");
+        assert!(reply.contains("\nTRACE total_us="), "{reply}");
+        assert!(reply.ends_with("END\n"), "{reply}");
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_log_records_and_serves_over_threshold_requests() {
+        // Threshold 0 logs everything — the deterministic test hook.
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
+            .unwrap()
+            .with_slow_log(Some(0));
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        roundtrip(&mut stream, "INGEST w h0 write 64;h0 write 64\n");
+        roundtrip(&mut stream, "QUERY k=1 h0 write 64\n");
+        let reply = roundtrip(&mut stream, "SLOWLOG LEN\n");
+        assert_eq!(reply, "OK slowlog len=2\n");
+
+        let reply = roundtrip(&mut stream, "SLOWLOG GET\n");
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "OK slowlog entries=3", "LEN itself was logged too: {reply}");
+        // Newest first: the LEN request, then the query, then the ingest.
+        assert!(lines[1].contains("verb=SLOWLOG") && lines[1].contains("args=LEN"), "{reply}");
+        assert!(lines[2].contains("verb=QUERY"), "{reply}");
+        assert!(lines[2].contains("args=k=1,ops=1"), "{reply}");
+        assert!(lines[2].contains("kernel:"), "query entries carry stage spans: {reply}");
+        assert!(lines[3].contains("verb=INGEST") && lines[3].contains("label=w"), "{reply}");
+        assert!(*lines.last().unwrap() == "END", "{reply}");
+
+        let reply = roundtrip(&mut stream, "SLOWLOG RESET\n");
+        assert_eq!(reply, "OK slowlog reset\n");
+        let reply = roundtrip(&mut stream, "SLOWLOG GET\n");
+        assert!(reply.starts_with("OK slowlog entries=1\n"), "only the RESET itself: {reply}");
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_log_is_disabled_by_default() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut stream, "INGEST w h0 write 64\n");
+        roundtrip(&mut stream, "QUERY k=1 h0 write 64\n");
+        assert_eq!(roundtrip(&mut stream, "SLOWLOG LEN\n"), "OK slowlog len=0\n");
+        assert_eq!(roundtrip(&mut stream, "SLOWLOG GET\n"), "OK slowlog entries=0\nEND\n");
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
     }
 
     #[test]

@@ -1,203 +1,8 @@
-//! A log-bucketed latency histogram (HDR-style, base-2 with 16 linear
-//! sub-buckets per octave), so a load run records any number of samples
-//! in constant memory with a bounded ~3% relative quantile error.
+//! The load harness's latency histogram — re-exported from
+//! [`kastio_obs`], where the implementation lives since the serve
+//! daemon started recording server-side latencies into the very same
+//! buckets. `kastio_loadgen::Histogram` keeps its full public API
+//! (`new`/`record`/`merge`/`percentile`/`mean`/`min`/`max`/`count`),
+//! so existing callers and the determinism tests are unaffected.
 
-/// Exact buckets for values below 16; above that, 16 sub-buckets per
-/// power of two up to `u64::MAX`.
-const LINEAR_CUTOFF: u64 = 16;
-const SUB_BUCKETS: usize = 16;
-const N_BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - 4) * SUB_BUCKETS;
-
-fn bucket_index(value: u64) -> usize {
-    if value < LINEAR_CUTOFF {
-        return value as usize;
-    }
-    let exponent = 63 - value.leading_zeros() as usize; // >= 4
-    let sub = ((value >> (exponent - 4)) & 0xF) as usize;
-    LINEAR_CUTOFF as usize + (exponent - 4) * SUB_BUCKETS + sub
-}
-
-/// The largest value mapping to bucket `index` — the conservative
-/// (upper-bound) representative reported for quantiles.
-fn bucket_upper(index: usize) -> u64 {
-    if index < LINEAR_CUTOFF as usize {
-        return index as u64;
-    }
-    let offset = index - LINEAR_CUTOFF as usize;
-    let exponent = offset / SUB_BUCKETS + 4;
-    let sub = (offset % SUB_BUCKETS) as u64;
-    let width = 1u64 << (exponent - 4);
-    let lower = (1u64 << exponent) + sub * width;
-    lower + (width - 1)
-}
-
-/// Fixed-size latency histogram over `u64` nanosecond samples.
-///
-/// # Examples
-///
-/// ```
-/// use kastio_loadgen::Histogram;
-///
-/// let mut h = Histogram::new();
-/// for ns in 1..=1000u64 {
-///     h.record(ns * 1000);
-/// }
-/// let p50 = h.percentile(50.0);
-/// assert!((480_000..=530_000).contains(&p50), "p50 was {p50}");
-/// assert_eq!(h.count(), 1000);
-/// ```
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-    total: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Histogram {
-        Histogram { buckets: vec![0; N_BUCKETS], count: 0, total: 0, min: u64::MAX, max: 0 }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_index(value)] += 1;
-        self.count += 1;
-        self.total += u128::from(value);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.total += other.total;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The value at or below which `p` percent of samples fall, within
-    /// the bucket resolution (`p` in `[0, 100]`; exact `min`/`max` are
-    /// used at the extremes). Returns 0 on an empty histogram.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (index, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Clamp to observed bounds so p0/p100 are exact.
-                return bucket_upper(index).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Arithmetic mean of all samples (exact, not bucketed).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.total as f64 / self.count as f64
-    }
-
-    /// Largest sample recorded (exact). 0 when empty.
-    pub fn max(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.max
-        }
-    }
-
-    /// Smallest sample recorded (exact). 0 when empty.
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn buckets_cover_the_domain_in_order() {
-        let mut last = 0;
-        for value in [0u64, 1, 15, 16, 17, 100, 1_000, 65_536, 1 << 40, u64::MAX] {
-            let index = bucket_index(value);
-            assert!(index >= last, "indices are monotonic in the value");
-            assert!(index < N_BUCKETS);
-            assert!(bucket_upper(index) >= value, "upper bound holds for {value}");
-            last = index;
-        }
-    }
-
-    #[test]
-    fn percentiles_track_exact_quantiles_within_resolution() {
-        let mut h = Histogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v);
-        }
-        for (p, exact) in [(50.0, 5_000u64), (95.0, 9_500), (99.0, 9_900)] {
-            let got = h.percentile(p);
-            let err = (got as f64 - exact as f64).abs() / exact as f64;
-            assert!(err < 0.04, "p{p}: got {got}, exact {exact}, err {err:.3}");
-        }
-        assert_eq!(h.percentile(100.0), 10_000);
-        assert_eq!(h.min(), 1);
-        assert_eq!(h.max(), 10_000);
-        assert!((h.mean() - 5_000.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn merge_is_equivalent_to_recording_everything_once() {
-        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
-        for v in 0..500u64 {
-            a.record(v * 7);
-            all.record(v * 7);
-        }
-        for v in 0..300u64 {
-            b.record(v * 1000 + 3);
-            all.record(v * 1000 + 3);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.max(), all.max());
-        assert_eq!(a.min(), all.min());
-        for p in [10.0, 50.0, 90.0, 99.0] {
-            assert_eq!(a.percentile(p), all.percentile(p));
-        }
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zeros() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 0);
-    }
-}
+pub use kastio_obs::Histogram;

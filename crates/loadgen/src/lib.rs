@@ -21,9 +21,11 @@
 //! renders those streams as text without touching the network.
 
 pub mod client;
+pub mod diff;
 pub mod histogram;
 pub mod report;
 pub mod scenario;
+pub mod scrape;
 pub mod stats;
 
 use std::collections::BTreeMap;
@@ -35,9 +37,11 @@ use kastio_index::protocol::read_reply;
 use kastio_index::{IndexOptions, PatternIndex, Server};
 
 pub use client::{run_scenario, ScenarioRun, VerbStats};
+pub use diff::{diff_reports, parse_json, DiffReport, DiffRow, Json};
 pub use histogram::Histogram;
-pub use report::{Report, ScenarioReport, VerbReport};
+pub use report::{Report, ScenarioReport, ServerLatency, VerbReport};
 pub use scenario::{dry_run_trace, Op, ScenarioGen, ScenarioKind, TracePool};
+pub use scrape::{latency_delta, parse_latency_buckets, LatencyBuckets};
 pub use stats::{parse_stats, stats_delta};
 
 /// Everything a load run needs; `kastio loadgen` builds one from flags.
@@ -188,9 +192,18 @@ fn drive(config: &LoadConfig, addr: &str, server_label: &str) -> Result<Report, 
     let mut scenarios = Vec::with_capacity(config.scenarios.len());
     for &kind in &config.scenarios {
         let before = control.fetch_stats()?;
+        // METRICS fences bracket the scenario so the report can carry the
+        // server-side latency distribution of exactly this run. An `ERR`
+        // from a pre-METRICS daemon parses to an empty map — the report
+        // simply omits `server_latency` entries in that case.
+        let metrics_before = parse_latency_buckets(&control.exchange("METRICS\n")?);
         let run = run_scenario(addr, kind, config.seed, config.clients, config.duration)?;
         let after = control.fetch_stats()?;
-        scenarios.push(ScenarioReport::new(kind.name(), &run, &before, &after));
+        let metrics_after = parse_latency_buckets(&control.exchange("METRICS\n")?);
+        scenarios.push(
+            ScenarioReport::new(kind.name(), &run, &before, &after)
+                .with_server_latency(&latency_delta(&metrics_before, &metrics_after)),
+        );
     }
 
     Ok(Report {
@@ -241,6 +254,51 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"suite\": \"serve_load\""));
         assert!(json.contains("\"hot-key\""));
+
+        // Server-side observability: the METRICS fences must have caught
+        // the scenario's queries, and the server's view of QUERY latency
+        // must be consistent with the clients'. The server times a subset
+        // of each request's life (no connect, no client-side read), so
+        // server quantiles sit at or under client quantiles — but the
+        // server's clock stops after `flush()`, so a deschedule at that
+        // exact point inflates individual samples, which on a contended
+        // one-core CI box makes the *tail* noisy. The median is robust
+        // (only rare samples are inflated); assert tightly there and only
+        // loosely at p99. Scrape reconstruction adds ≤ one bucket (~6%).
+        for scenario in &report.scenarios {
+            let server = scenario
+                .server_latency
+                .get("query")
+                .unwrap_or_else(|| panic!("{}: no server-side QUERY latency", scenario.name));
+            let client = scenario
+                .per_verb
+                .iter()
+                .find(|verb| verb.verb == "QUERY")
+                .expect("clients sent QUERYs");
+            // Every client QUERY lands between the fences, modulo at most
+            // one in-flight request per client at each fence boundary.
+            assert!(
+                server.count.abs_diff(client.count) <= config.clients as u64,
+                "{}: server timed {} QUERYs, clients sent {}",
+                scenario.name,
+                server.count,
+                client.count
+            );
+            assert!(
+                server.p50_us <= client.p50_us * 2.0,
+                "{}: server QUERY p50 {}us vs client p50 {}us",
+                scenario.name,
+                server.p50_us,
+                client.p50_us
+            );
+            assert!(
+                server.p99_us <= client.p99_us * 5.0,
+                "{}: server QUERY p99 {}us wildly exceeds client p99 {}us",
+                scenario.name,
+                server.p99_us,
+                client.p99_us
+            );
+        }
     }
 
     #[test]

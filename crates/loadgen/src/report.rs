@@ -30,6 +30,32 @@ pub struct VerbReport {
     pub max_us: f64,
 }
 
+/// Server-side latency for one verb over one scenario, rebuilt from the
+/// `METRICS` bucket series scraped before and after the run.
+#[derive(Debug, Clone)]
+pub struct ServerLatency {
+    /// Requests the server timed during the scenario.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl ServerLatency {
+    /// Digests one scraped histogram (nanoseconds) into the report row.
+    pub fn from_histogram(histogram: &crate::histogram::Histogram) -> ServerLatency {
+        ServerLatency {
+            count: histogram.count(),
+            p50_us: histogram.percentile(50.0) as f64 / 1e3,
+            p95_us: histogram.percentile(95.0) as f64 / 1e3,
+            p99_us: histogram.percentile(99.0) as f64 / 1e3,
+        }
+    }
+}
+
 /// One scenario's results: client-side measurements and the server-side
 /// STATS movement attributable to the run.
 #[derive(Debug, Clone)]
@@ -49,6 +75,10 @@ pub struct ScenarioReport {
     /// `STATS` after − before, per key (cache hits, kernel evals, shard
     /// entries, snapshot counters, connection/verb counters, …).
     pub stats_delta: BTreeMap<String, i64>,
+    /// Server-side latency per verb (lowercase server names), scraped
+    /// from the `METRICS` fences. Empty against a server without the
+    /// `METRICS` verb.
+    pub server_latency: BTreeMap<String, ServerLatency>,
 }
 
 impl ScenarioReport {
@@ -83,7 +113,21 @@ impl ScenarioReport {
             throughput_rps: run.requests as f64 / secs,
             per_verb,
             stats_delta: stats_delta(before, after),
+            server_latency: BTreeMap::new(),
         }
+    }
+
+    /// Attaches the server-side latency scraped around this scenario.
+    #[must_use]
+    pub fn with_server_latency(
+        mut self,
+        latency: &BTreeMap<String, crate::histogram::Histogram>,
+    ) -> ScenarioReport {
+        self.server_latency = latency
+            .iter()
+            .map(|(verb, histogram)| (verb.clone(), ServerLatency::from_histogram(histogram)))
+            .collect();
+        self
     }
 }
 
@@ -166,6 +210,21 @@ impl Report {
                 ));
             }
             out.push_str("      },\n");
+            out.push_str("      \"server_latency\": {\n");
+            let server: Vec<_> = scenario.server_latency.iter().collect();
+            for (j, (verb, latency)) in server.iter().enumerate() {
+                out.push_str(&format!(
+                    "        \"{}\": {{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+                     \"p99_us\": {}}}{}\n",
+                    escape(verb),
+                    latency.count,
+                    num(latency.p50_us),
+                    num(latency.p95_us),
+                    num(latency.p99_us),
+                    if j + 1 < server.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("      },\n");
             out.push_str("      \"stats_delta\": {\n");
             let deltas: Vec<_> = scenario.stats_delta.iter().collect();
             for (j, (key, delta)) in deltas.iter().enumerate() {
@@ -205,6 +264,9 @@ mod tests {
             ScenarioRun { per_verb, elapsed: Duration::from_secs(2), requests: 100, errors: 2 };
         let before = crate::stats::parse_stats("STAT cache_hits 5\nEND\n").unwrap();
         let after = crate::stats::parse_stats("STAT cache_hits 25\nEND\n").unwrap();
+        let mut server_hist = Histogram::new();
+        server_hist.record_n(500_000, 50);
+        let server_latency = BTreeMap::from([("query".to_string(), server_hist)]);
         Report {
             seed: 42,
             clients: 4,
@@ -212,7 +274,8 @@ mod tests {
             server: "self-spawned".to_string(),
             shards: 4,
             available_parallelism: 1,
-            scenarios: vec![ScenarioReport::new("read-heavy", &run, &before, &after)],
+            scenarios: vec![ScenarioReport::new("read-heavy", &run, &before, &after)
+                .with_server_latency(&server_latency)],
         }
     }
 
@@ -229,6 +292,8 @@ mod tests {
             "\"p95_us\":",
             "\"p99_us\":",
             "\"cache_hits\": 20",
+            "\"server_latency\": {",
+            "\"query\": {\"count\": 50,",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -1,0 +1,115 @@
+//! Scraping the server's `METRICS` exposition back into [`Histogram`]s.
+//!
+//! The daemon renders its per-verb latency histograms as cumulative
+//! Prometheus `_bucket` series whose `le` bounds are the histogram's own
+//! bucket uppers in exact nanoseconds. Because every bucket upper maps
+//! back into its own bucket, replaying `record_n(le, count)` rebuilds the
+//! occupancy loss-free — so the harness can fence a scenario with two
+//! scrapes and report the *server-side* latency distribution of exactly
+//! the requests in between, alongside its own client-side measurements.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+
+/// Per-verb, per-bucket occupancy parsed from one `METRICS` reply:
+/// `verb -> bucket_upper_ns -> count` (de-cumulated, `+Inf` dropped).
+pub type LatencyBuckets = BTreeMap<String, BTreeMap<u64, u64>>;
+
+/// Parses the `kastio_request_latency_ns_bucket` series out of a
+/// `METRICS` reply. Unrelated lines are skipped, so the parser survives
+/// new metric families. Returns an empty map for a reply that carries no
+/// latency series (e.g. an `ERR unknown verb` from an old server).
+pub fn parse_latency_buckets(reply: &str) -> LatencyBuckets {
+    let mut buckets = LatencyBuckets::new();
+    for line in reply.lines() {
+        let Some(rest) = line.strip_prefix("kastio_request_latency_ns_bucket{verb=\"") else {
+            continue;
+        };
+        let Some((verb, rest)) = rest.split_once("\",le=\"") else { continue };
+        let Some((le, count)) = rest.split_once("\"} ") else { continue };
+        let Ok(le) = le.parse::<u64>() else { continue }; // drops +Inf
+        let Ok(cumulative) = count.parse::<u64>() else { continue };
+        buckets.entry(verb.to_string()).or_default().insert(le, cumulative);
+    }
+    // The wire series is cumulative; store per-bucket occupancy so two
+    // scrapes subtract bucket-wise.
+    for counts in buckets.values_mut() {
+        let mut previous = 0;
+        for count in counts.values_mut() {
+            let occupancy = count.saturating_sub(previous);
+            previous = *count;
+            *count = occupancy;
+        }
+    }
+    buckets
+}
+
+/// `after − before`, rebuilt into one [`Histogram`] per verb (verbs whose
+/// counts did not move are omitted). Counters are monotonic, so a
+/// negative movement can only mean a server restart between the fences;
+/// it is clamped to zero rather than reported as data.
+pub fn latency_delta(
+    before: &LatencyBuckets,
+    after: &LatencyBuckets,
+) -> BTreeMap<String, Histogram> {
+    let empty = BTreeMap::new();
+    let mut delta = BTreeMap::new();
+    for (verb, counts) in after {
+        let prior = before.get(verb).unwrap_or(&empty);
+        let mut histogram = Histogram::new();
+        for (&le, &count) in counts {
+            histogram.record_n(le, count.saturating_sub(prior.get(&le).copied().unwrap_or(0)));
+        }
+        if histogram.count() > 0 {
+            delta.insert(verb.clone(), histogram);
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = "OK metrics\n\
+        # TYPE kastio_request_latency_ns histogram\n\
+        kastio_request_latency_ns_bucket{verb=\"query\",le=\"1000\"} 2\n\
+        kastio_request_latency_ns_bucket{verb=\"query\",le=\"4096\"} 5\n\
+        kastio_request_latency_ns_bucket{verb=\"query\",le=\"+Inf\"} 5\n\
+        kastio_request_latency_ns_sum{verb=\"query\"} 9000\n\
+        kastio_request_latency_ns_count{verb=\"query\"} 5\n\
+        kastio_stage_latency_ns_bucket{stage=\"kernel\",le=\"512\"} 9\n\
+        END\n";
+
+    #[test]
+    fn parses_and_decumulates_verb_buckets() {
+        let buckets = parse_latency_buckets(SCRAPE);
+        assert_eq!(buckets.len(), 1, "stage series are not request latency");
+        let query = &buckets["query"];
+        assert_eq!(query.get(&1000), Some(&2));
+        assert_eq!(query.get(&4096), Some(&3), "de-cumulated");
+        assert!(!query.contains_key(&u64::MAX), "+Inf dropped");
+    }
+
+    #[test]
+    fn err_replies_scrape_as_empty() {
+        assert!(parse_latency_buckets("ERR unknown verb `METRICS`\n").is_empty());
+    }
+
+    #[test]
+    fn delta_rebuilds_only_the_moved_requests() {
+        let before = parse_latency_buckets(SCRAPE);
+        let after_wire = SCRAPE
+            .replace("le=\"1000\"} 2", "le=\"1000\"} 6")
+            .replace("le=\"4096\"} 5", "le=\"4096\"} 9");
+        let after = parse_latency_buckets(&after_wire);
+        let delta = latency_delta(&before, &after);
+        let query = &delta["query"];
+        assert_eq!(query.count(), 4, "only the four new sub-1000ns samples");
+        assert_eq!(query.max(), 1000);
+        // A verb that did not move is absent entirely.
+        assert_eq!(delta.len(), 1);
+        assert!(latency_delta(&before, &before).is_empty());
+    }
+}

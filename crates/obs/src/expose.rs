@@ -1,0 +1,112 @@
+//! A Prometheus-style text exposition builder: `# TYPE` lines, counter
+//! and gauge samples, and cumulative `_bucket`/`_sum`/`_count` series
+//! rendered from a [`Histogram`]. The server's `METRICS` verb renders
+//! its whole state through one [`Exposition`].
+
+use crate::histogram::Histogram;
+
+/// Accumulates exposition lines in emission order.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Emits `# TYPE <name> <kind>` — once per metric family, before
+    /// its samples.
+    pub fn type_line(&mut self, name: &str, kind: &str) {
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emits one sample line; `labels` is either empty or the inner
+    /// label list (`verb="QUERY"`), braces added here.
+    pub fn sample(&mut self, name: &str, labels: &str, value: impl std::fmt::Display) {
+        if labels.is_empty() {
+            self.out.push_str(&format!("{name} {value}\n"));
+        } else {
+            self.out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+
+    /// Emits the cumulative `_bucket{le=…}` series (occupied buckets
+    /// plus `+Inf`), `_sum` and `_count` for one histogram. Bucket
+    /// bounds are the histogram's native unit (nanoseconds in this
+    /// workspace), exposed as exact integers so a scraper can rebuild
+    /// the occupancy loss-free.
+    pub fn histogram(&mut self, name: &str, labels: &str, histogram: &Histogram) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (upper, count) in histogram.nonzero_buckets() {
+            cumulative += count;
+            self.sample(
+                &format!("{name}_bucket"),
+                &format!("{labels}{sep}le=\"{upper}\""),
+                cumulative,
+            );
+        }
+        self.sample(
+            &format!("{name}_bucket"),
+            &format!("{labels}{sep}le=\"+Inf\""),
+            histogram.count(),
+        );
+        self.sample(&format!("{name}_sum"), labels, histogram.sum());
+        self.sample(&format!("{name}_count"), labels, histogram.count());
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_render_with_and_without_labels() {
+        let mut exp = Exposition::new();
+        exp.type_line("kastio_requests_total", "counter");
+        exp.sample("kastio_requests_total", "", 42u64);
+        exp.sample("kastio_verb_requests_total", "verb=\"QUERY\"", 7u64);
+        let text = exp.finish();
+        assert_eq!(
+            text,
+            "# TYPE kastio_requests_total counter\n\
+             kastio_requests_total 42\n\
+             kastio_verb_requests_total{verb=\"QUERY\"} 7\n"
+        );
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_capped_by_inf() {
+        let mut h = Histogram::new();
+        h.record_n(10, 3);
+        h.record_n(1_000, 2);
+        let mut exp = Exposition::new();
+        exp.histogram("kastio_latency_ns", "verb=\"QUERY\"", &h);
+        let text = exp.finish();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "kastio_latency_ns_bucket{verb=\"QUERY\",le=\"10\"} 3");
+        assert!(lines[1].starts_with("kastio_latency_ns_bucket{verb=\"QUERY\",le=\"1"), "{text}");
+        assert!(lines[1].ends_with("} 5"), "cumulative count: {text}");
+        assert_eq!(lines[2], "kastio_latency_ns_bucket{verb=\"QUERY\",le=\"+Inf\"} 5");
+        assert_eq!(lines[3], "kastio_latency_ns_sum{verb=\"QUERY\"} 2030");
+        assert_eq!(lines[4], "kastio_latency_ns_count{verb=\"QUERY\"} 5");
+    }
+
+    #[test]
+    fn unlabelled_histogram_needs_no_leading_comma() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let mut exp = Exposition::new();
+        exp.histogram("kastio_snapshot_us", "", &h);
+        let text = exp.finish();
+        assert!(text.starts_with("kastio_snapshot_us_bucket{le=\"5\"} 1\n"), "{text}");
+    }
+}

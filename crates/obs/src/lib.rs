@@ -1,0 +1,32 @@
+//! # kastio-obs
+//!
+//! Shared observability primitives for the kastio workspace — the
+//! measurement vocabulary used on both sides of the wire:
+//!
+//! * [`Histogram`] — a constant-memory, mergeable, log-bucketed
+//!   (HDR-style) latency histogram with ~3% bounded quantile error.
+//!   The load harness records client-side round trips into it, and the
+//!   serve daemon records per-verb and per-stage latencies into the
+//!   same buckets, so the two sides are directly comparable.
+//! * [`StripedHistogram`] — a concurrent recorder: per-thread stripes
+//!   behind independent mutexes, merged on demand into a [`Histogram`]
+//!   snapshot. The server's request hot path records through this.
+//! * [`SlowLog`] — a Redis-style bounded ring buffer of over-threshold
+//!   requests with per-stage breakdowns, behind the `SLOWLOG` verb.
+//! * [`Exposition`] — a Prometheus-style text exposition builder
+//!   (`# TYPE` lines, labelled samples, cumulative `_bucket`/`_sum`/
+//!   `_count` series), behind the `METRICS` verb.
+//!
+//! This crate deliberately has no dependencies: it sits below
+//! `kastio-index` (the server records into it) and `kastio-loadgen`
+//! (the harness records into it and re-exports [`Histogram`]).
+
+pub mod expose;
+pub mod histogram;
+pub mod slowlog;
+pub mod striped;
+
+pub use expose::Exposition;
+pub use histogram::Histogram;
+pub use slowlog::{SlowEntry, SlowLog};
+pub use striped::StripedHistogram;

@@ -1,0 +1,161 @@
+//! A Redis-style slow-query log: a bounded in-memory ring buffer of the
+//! requests whose total latency crossed a configured threshold, each
+//! entry carrying the verb, a compact argument summary and a per-stage
+//! timing breakdown. The server keeps one and exposes it through the
+//! `SLOWLOG` verb.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One over-threshold request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Monotonic entry id, never reused — survives `RESET` so log
+    /// readers can tell a truncated log from a quiet one.
+    pub id: u64,
+    /// Microseconds since the server started, at request completion.
+    pub at_micros: u64,
+    /// Wire verb (`QUERY`, `BATCH INGEST`, …).
+    pub verb: &'static str,
+    /// Compact, space-free argument summary (`k=3,trace_ops=420`).
+    pub args: String,
+    /// Full request latency in microseconds (read → reply flushed).
+    pub total_micros: u64,
+    /// Per-stage breakdown as `(stage, micros)` pairs, request order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: VecDeque<SlowEntry>,
+    next_id: u64,
+}
+
+/// Bounded ring buffer of slow requests.
+///
+/// A `SlowLog` is always constructed (the `SLOWLOG` verb answers even
+/// when logging is off); recording only happens when a threshold is
+/// configured and the request's total latency reaches it. Threshold 0
+/// logs every request — the test hook, mirroring Redis's
+/// `slowlog-log-slower-than 0`.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    threshold_micros: Option<u64>,
+    state: Mutex<State>,
+}
+
+impl SlowLog {
+    /// Ring capacity used by the server.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// A log that never records; `len` stays 0.
+    pub fn disabled() -> SlowLog {
+        SlowLog::new(SlowLog::DEFAULT_CAPACITY, None)
+    }
+
+    /// A log keeping the most recent `capacity` entries at or over
+    /// `threshold_micros` (when `Some`).
+    pub fn new(capacity: usize, threshold_micros: Option<u64>) -> SlowLog {
+        assert!(capacity > 0, "slow log capacity must be positive");
+        SlowLog { capacity, threshold_micros, state: Mutex::new(State::default()) }
+    }
+
+    /// The configured threshold, `None` when logging is off.
+    pub fn threshold_micros(&self) -> Option<u64> {
+        self.threshold_micros
+    }
+
+    /// Records the request if it crossed the threshold; returns whether
+    /// it was kept. The oldest entry is evicted at capacity.
+    pub fn record(
+        &self,
+        at_micros: u64,
+        verb: &'static str,
+        args: String,
+        total_micros: u64,
+        stages: Vec<(&'static str, u64)>,
+    ) -> bool {
+        let Some(threshold) = self.threshold_micros else {
+            return false;
+        };
+        if total_micros < threshold {
+            return false;
+        }
+        let mut state = self.state.lock().expect("slow log lock poisoned");
+        let id = state.next_id;
+        state.next_id += 1;
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(SlowEntry { id, at_micros, verb, args, total_micros, stages });
+        true
+    }
+
+    /// Entries, newest first (the Redis `SLOWLOG GET` order).
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        let state = self.state.lock().expect("slow log lock poisoned");
+        state.entries.iter().rev().cloned().collect()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("slow log lock poisoned").entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the entries; ids keep counting from where they were.
+    pub fn reset(&self) {
+        self.state.lock().expect("slow log lock poisoned").entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(us: u64) -> Vec<(&'static str, u64)> {
+        vec![("parse", 1), ("reply", us)]
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = SlowLog::disabled();
+        assert!(!log.record(0, "QUERY", "k=1".into(), u64::MAX, stage(1)));
+        assert!(log.is_empty());
+        assert_eq!(log.threshold_micros(), None);
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowLog::new(8, Some(100));
+        assert!(!log.record(10, "QUERY", "k=1".into(), 99, stage(1)));
+        assert!(log.record(20, "QUERY", "k=1".into(), 100, stage(2)));
+        assert!(log.record(30, "STATS", String::new(), 2000, stage(3)));
+        assert_eq!(log.len(), 2);
+        let entries = log.entries();
+        // Newest first, ids monotonic in record order.
+        assert_eq!(entries[0].verb, "STATS");
+        assert_eq!(entries[1].verb, "QUERY");
+        assert!(entries[0].id > entries[1].id);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_reset_keeps_ids() {
+        let log = SlowLog::new(3, Some(0));
+        for i in 0..5u64 {
+            log.record(i, "QUERY", format!("n={i}"), i, vec![]);
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.iter().map(|e| e.id).collect::<Vec<_>>(), vec![4, 3, 2]);
+        log.reset();
+        assert!(log.is_empty());
+        log.record(9, "SAVE", String::new(), 1, vec![]);
+        assert_eq!(log.entries()[0].id, 5, "ids survive RESET");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the observability primitives: histogram merge is
+//! associative/commutative (the contract that lets stripes, clients and
+//! scrapes all fold into one histogram in any order) and the bucketed
+//! quantiles stay within the documented relative error bound.
+
+use kastio_obs::Histogram;
+use proptest::prelude::*;
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix the tiny linear range, realistic latencies and huge outliers.
+    proptest::collection::vec(
+        prop_oneof![0u64..16, 16u64..100_000, 100_000u64..4_000_000_000, Just(u64::MAX)],
+        0..=200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        // c ⊕ b ⊕ a
+        let mut reversed = build(&c);
+        reversed.merge(&build(&b));
+        reversed.merge(&build(&a));
+
+        for h in [&right, &reversed] {
+            prop_assert_eq!(left.count(), h.count());
+            prop_assert_eq!(left.sum(), h.sum());
+            prop_assert_eq!(left.min(), h.min());
+            prop_assert_eq!(left.max(), h.max());
+            prop_assert_eq!(left.nonzero_buckets(), h.nonzero_buckets());
+        }
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(left.percentile(p), right.percentile(p));
+            prop_assert_eq!(left.percentile(p), reversed.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(a in samples(), b in samples()) {
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let together = build(&both);
+        prop_assert_eq!(merged.count(), together.count());
+        prop_assert_eq!(merged.nonzero_buckets(), together.nonzero_buckets());
+        for p in [10.0, 50.0, 90.0, 99.9] {
+            prop_assert_eq!(merged.percentile(p), together.percentile(p));
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_within_the_bucket_resolution(
+        mut values in proptest::collection::vec(1u64..2_000_000_000, 1..=300),
+        p in 1u32..=100,
+    ) {
+        let h = build(&values);
+        values.sort_unstable();
+        let p = f64::from(p);
+        let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+        let exact = values[rank - 1];
+        let got = h.percentile(p);
+        // The bucketed answer is an upper bound on the exact quantile,
+        // at most one sub-bucket (1/16 of an octave ⇒ < 6.25%) above —
+        // and exact at the observed extremes thanks to min/max clamping.
+        prop_assert!(got >= exact, "p{p}: got {got} < exact {exact}");
+        let bound = exact as f64 * (1.0 + 1.0 / 16.0) + 1.0;
+        prop_assert!(
+            (got as f64) <= bound,
+            "p{}: got {} exceeds {:.1} (exact {})", p, got, bound, exact
+        );
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record(value in 0u64..=u64::MAX, n in 1u64..=64) {
+        let mut bulk = Histogram::new();
+        bulk.record_n(value, n);
+        let mut single = Histogram::new();
+        for _ in 0..n {
+            single.record(value);
+        }
+        prop_assert_eq!(bulk.count(), single.count());
+        prop_assert_eq!(bulk.sum(), single.sum());
+        prop_assert_eq!(bulk.nonzero_buckets(), single.nonzero_buckets());
+    }
+}

@@ -176,13 +176,16 @@ fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// the index's snapshot writer, and power-loss durability (fsync) is out
 /// of scope.
 ///
+/// Returns the total bytes written (trace files plus the manifest), so
+/// snapshot observability can report the size of a save.
+///
 /// # Errors
 ///
 /// * [`CorpusIoError::BadEntry`] for a name or tag the layout cannot
 ///   represent (checked *before* anything is written, so a save never
 ///   half-succeeds into an unloadable corpus);
 /// * [`CorpusIoError::Io`] on any filesystem failure.
-pub fn write_corpus<'a, I>(dir: &Path, entries: I) -> Result<(), CorpusIoError>
+pub fn write_corpus<'a, I>(dir: &Path, entries: I) -> Result<u64, CorpusIoError>
 where
     I: IntoIterator<Item = (&'a str, &'a str, &'a Trace)>,
 {
@@ -196,13 +199,16 @@ where
         }
     }
     fs::create_dir_all(dir)?;
+    let mut bytes = 0u64;
     let mut manifest = String::new();
     for (name, tag, trace) in entries {
-        write_file_atomic(&dir.join(format!("{name}.trace")), write_trace(trace).as_bytes())?;
+        let body = write_trace(trace);
+        write_file_atomic(&dir.join(format!("{name}.trace")), body.as_bytes())?;
+        bytes += body.len() as u64;
         manifest.push_str(&format!("{name} {tag}\n"));
     }
     write_file_atomic(&dir.join("MANIFEST"), manifest.as_bytes())?;
-    Ok(())
+    Ok(bytes + manifest.len() as u64)
 }
 
 /// One `MANIFEST` line, before its trace file is touched.
@@ -296,7 +302,10 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let a = parse_trace("h0 write 64\n").unwrap();
         let b = parse_trace("h0 read 8\nh0 read 8\n").unwrap();
-        write_corpus(&dir, [("one", "X", &a), ("two", "label-y", &b)]).unwrap();
+        let bytes = write_corpus(&dir, [("one", "X", &a), ("two", "label-y", &b)]).unwrap();
+        let on_disk: u64 =
+            fs::read_dir(&dir).unwrap().map(|e| e.unwrap().metadata().unwrap().len()).sum();
+        assert_eq!(bytes, on_disk, "reported bytes match what landed on disk");
         let back = read_corpus(&dir).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!((back[0].name.as_str(), back[0].tag.as_str()), ("one", "X"));

@@ -8,13 +8,14 @@
 //! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
 //! kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
 //!                 [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
-//!                 [--candidates N]
+//!                 [--candidates N] [--slow-query-micros N]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio query    <addr> --snapshot
 //! kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
 //!                 [--seed N] [--addr HOST:PORT] [--out FILE]
 //!                 [--shards N] [--dry-run] [--ops N]
+//! kastio bench-diff <new.json> <baseline.json> [--band PCT]
 //! kastio help     [command]
 //! kastio --version
 //! ```
@@ -26,8 +27,10 @@
 //! keeps a corpus in memory behind a TCP line protocol and `query` is its
 //! client — see the `kastio_index` crate. `loadgen` drives seeded,
 //! reproducible request mixes against the daemon (self-spawned unless
-//! `--addr` points at one) and writes per-verb throughput/latency plus
-//! server-side STATS deltas to `BENCH_serve.json` — see `kastio_loadgen`.
+//! `--addr` points at one) and writes per-verb throughput/latency —
+//! client-side and, via `METRICS` scrapes, server-side — plus STATS
+//! deltas to `BENCH_serve.json`; `bench-diff` compares two such
+//! artifacts and fails beyond a noise band — see `kastio_loadgen`.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -54,13 +57,14 @@ usage:
   kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
   kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
                   [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
-                  [--candidates N]
+                  [--candidates N] [--slow-query-micros N]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio query    <addr> --snapshot
   kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
                   [--seed N] [--addr HOST:PORT] [--out FILE]
                   [--shards N] [--dry-run] [--ops N]
+  kastio bench-diff <new.json> <baseline.json> [--band PCT]
   kastio help     [command]
   kastio --version
 ";
@@ -99,7 +103,7 @@ const HELP_TOPICS: &[(&str, &str)] = &[
         "serve",
         "kastio serve [--port N] [--shards N] [--corpus <dir>] [--save <dir>]\n\
          \u{20}            [--snapshot-every <secs>] [--cut N] [--ignore-bytes]\n\
-         \u{20}            [--candidates N]\n\n\
+         \u{20}            [--candidates N] [--slow-query-micros N]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
          bound. --shards splits the corpus across N read-concurrent\n\
@@ -111,14 +115,21 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          --snapshot-every N) every N seconds in the background while\n\
          queries keep flowing (idle cycles are skipped). A failed final\n\
          save exits non-zero. --candidates floors the signature-prefilter\n\
-         budget. The wire protocol is line based (full spec in\n\
-         docs/PROTOCOL.md):\n\n\
+         budget. --slow-query-micros enables the slow-query log: requests\n\
+         slower than N microseconds end-to-end are kept in a bounded\n\
+         in-memory ring (newest 128) readable over SLOWLOG. The daemon\n\
+         always records per-verb and per-stage latency histograms,\n\
+         exposed by METRICS (Prometheus text format) and summarised as\n\
+         p50/p95/p99 in STATS. The wire protocol is line based (full\n\
+         spec in docs/PROTOCOL.md):\n\n\
          \u{20} HELLO <proto-version> [client]\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
          \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
-         \u{20} QUERY k=<k> <op>;<op>;...\n\
-         \u{20} MQUERY k=<k> <count>   (then <count> trace lines)\n\
+         \u{20} QUERY k=<k> [trace=1] <op>;<op>;...\n\
+         \u{20} MQUERY k=<k> [trace=1] <count>   (then <count> trace lines)\n\
          \u{20} STATS\n\
+         \u{20} METRICS\n\
+         \u{20} SLOWLOG GET|RESET|LEN\n\
          \u{20} SAVE\n\
          \u{20} SHUTDOWN\n",
     ),
@@ -144,14 +155,27 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          order) with N concurrent clients (default 4) for the given\n\
          duration each (default 2s; accepts `500ms`, `2s` or plain\n\
          seconds), then writes per-verb throughput, p50/p95/p99 latency\n\
-         and the server-side STATS delta to --out (default\n\
-         BENCH_serve.json). Without --addr a server is spawned in-process\n\
+         (client-side and, scraped from METRICS fences around each\n\
+         scenario, server-side) and the server-side STATS delta to --out\n\
+         (default BENCH_serve.json). Without --addr a server is spawned in-process\n\
          on an ephemeral port (--shards controls its sharding) and shut\n\
          down afterwards; with --addr the target daemon is left running.\n\
          The request streams are a pure function of --seed and the client\n\
          id — identical runs send identical requests. --dry-run prints\n\
          the first --ops operations (default 20) of every client's stream\n\
          instead of touching the network.\n",
+    ),
+    (
+        "bench-diff",
+        "kastio bench-diff <new.json> <baseline.json> [--band PCT]\n\n\
+         Compares two `kastio loadgen` artifacts. For every (scenario,\n\
+         verb) pair present in both, throughput must not drop — and\n\
+         client-observed p99 latency must not grow — by more than the\n\
+         noise band (default 25%, i.e. --band 25). Prints one line per\n\
+         compared metric and exits non-zero when anything regressed\n\
+         beyond the band, so CI can gate on it. Pairs present in only\n\
+         one artifact are ignored; artifacts with no overlap at all are\n\
+         an error.\n",
     ),
 ];
 
@@ -167,6 +191,8 @@ struct Flags {
     snapshot_every: u64,
     clients: usize,
     ops: usize,
+    band: u64,
+    slow_query_micros: Option<u64>,
     duration: Duration,
     scenario: Option<String>,
     addr: Option<String>,
@@ -209,6 +235,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         snapshot_every: 0,
         clients: 4,
         ops: 20,
+        band: 25,
+        slow_query_micros: None,
         duration: Duration::from_secs(2),
         scenario: None,
         addr: None,
@@ -243,8 +271,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => flags.save = Some(value.clone()),
                 }
             }
-            "--cut" | "--seed" | "--groups" | "--k" | "--port" | "--shards" | "--candidates"
-            | "--snapshot-every" | "--clients" | "--ops" => {
+            "--cut"
+            | "--seed"
+            | "--groups"
+            | "--k"
+            | "--port"
+            | "--shards"
+            | "--candidates"
+            | "--snapshot-every"
+            | "--clients"
+            | "--ops"
+            | "--band"
+            | "--slow-query-micros" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
@@ -258,6 +296,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--snapshot-every" => flags.snapshot_every = parsed,
                     "--clients" => flags.clients = (parsed as usize).max(1),
                     "--ops" => flags.ops = (parsed as usize).max(1),
+                    "--band" => flags.band = parsed,
+                    // 0 is meaningful: log every request.
+                    "--slow-query-micros" => flags.slow_query_micros = Some(parsed),
                     _ => {
                         flags.port = u16::try_from(parsed).map_err(|_| {
                             format!("--port needs a value in 0..=65535, got `{value}`")
@@ -399,7 +440,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let save_dir = flags.save.as_ref().map(PathBuf::from);
     let server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?
-        .with_save_dir(save_dir.clone());
+        .with_save_dir(save_dir.clone())
+        .with_slow_log(flags.slow_query_micros);
     let addr = server.local_addr().map_err(|e| e.to_string())?;
 
     // Signal-triggered shutdown: SIGTERM/SIGINT snapshot the corpus (when
@@ -576,6 +618,34 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_diff(flags: &Flags) -> Result<(), String> {
+    let [new_path, baseline_path] = flags.positional.as_slice() else {
+        return Err("bench-diff needs exactly `<new.json> <baseline.json>`".to_string());
+    };
+    let read = |path: &str| -> Result<kastio::loadgen::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        kastio::loadgen::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let diff = kastio::loadgen::diff_reports(
+        &read(new_path)?,
+        &read(baseline_path)?,
+        flags.band as f64 / 100.0,
+    )?;
+    print!("{}", diff.render());
+    let regressions = diff.regressions();
+    if regressions.is_empty() {
+        println!("ok: {} metrics within ±{}% of {baseline_path}", diff.rows.len(), flags.band);
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} metrics regressed beyond ±{}% (new: {new_path}, baseline: {baseline_path})",
+            regressions.len(),
+            diff.rows.len(),
+            flags.band
+        ))
+    }
+}
+
 fn cmd_help(flags: &Flags) -> Result<(), String> {
     match flags.positional.as_slice() {
         [] => {
@@ -589,7 +659,7 @@ fn cmd_help(flags: &Flags) -> Result<(), String> {
             }
             None => Err(format!(
                 "no help for `{topic}` (topics: convert compare generate cluster serve query \
-                 loadgen)"
+                 loadgen bench-diff)"
             )),
         },
         _ => Err("help takes at most one command name".to_string()),
@@ -621,6 +691,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
         "loadgen" => cmd_loadgen(&flags),
+        "bench-diff" => cmd_bench_diff(&flags),
         "help" => cmd_help(&flags),
         "--help" | "-h" => {
             print!("{USAGE}");

@@ -24,8 +24,9 @@
 //! | [`linalg`] | `kastio-linalg` | Jacobi eigensolver, PSD repair, Kernel PCA |
 //! | [`cluster`] | `kastio-cluster` | hierarchical clustering, dendrograms, metrics |
 //! | [`workloads`] | `kastio-workloads` | IOR/FLASH-IO-style generators, the 110-example dataset |
+//! | [`obs`] | `kastio-obs` | observability primitives: log-bucketed latency histograms, striped concurrent recording, slow-query log, metrics exposition |
 //! | [`index`] | `kastio-index` | sharded, read-concurrent corpus index: k-NN queries, signature prefilter, per-shard LRU kernel caches, serve/query daemon |
-//! | [`loadgen`] | `kastio-loadgen` | end-to-end load harness: seeded scenario mixes, concurrent client pool, latency histograms, STATS-delta reports |
+//! | [`loadgen`] | `kastio-loadgen` | end-to-end load harness: seeded scenario mixes, concurrent client pool, latency histograms, METRICS scrapes, STATS-delta reports, bench-diff |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -70,6 +71,7 @@ pub use kastio_index as index;
 pub use kastio_kernels as kernels;
 pub use kastio_linalg as linalg;
 pub use kastio_loadgen as loadgen;
+pub use kastio_obs as obs;
 pub use kastio_trace as trace;
 pub use kastio_workloads as workloads;
 

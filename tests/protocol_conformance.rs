@@ -95,6 +95,7 @@ fn request_reply_table_matches_the_spec_bytes() {
         // is reported as an unknown verb — pinned here on purpose.
         ("FROB x\n".into(), "ERR unknown verb `FROB`\n".into()),
         ("STATS extra\n".into(), "ERR unknown verb `STATS`\n".into()),
+        ("METRICS extra\n".into(), "ERR unknown verb `METRICS`\n".into()),
         ("SAVE now\n".into(), "ERR unknown verb `SAVE`\n".into()),
         ("SHUTDOWN please\n".into(), "ERR unknown verb `SHUTDOWN`\n".into()),
         ("hello 1\n".into(), "ERR unknown verb `hello`\n".into()),
@@ -128,6 +129,15 @@ fn request_reply_table_matches_the_spec_bytes() {
         ),
         // SAVE without a configured save directory.
         ("SAVE\n".into(), "ERR no save directory (start the server with --save)\n".into()),
+        // SLOWLOG: subcommand catalogue, exact empty-state replies. The
+        // verb answers even without --slow-query-micros (the log is just
+        // permanently empty then), so clients can always introspect.
+        ("SLOWLOG\n".into(), "ERR SLOWLOG needs `GET|RESET|LEN`\n".into()),
+        ("SLOWLOG FLUSH\n".into(), "ERR SLOWLOG needs `GET|RESET|LEN`\n".into()),
+        ("SLOWLOG get\n".into(), "ERR SLOWLOG needs `GET|RESET|LEN`\n".into()),
+        ("SLOWLOG LEN\n".into(), "OK slowlog len=0\n".into()),
+        ("SLOWLOG GET\n".into(), "OK slowlog entries=0\nEND\n".into()),
+        ("SLOWLOG RESET\n".into(), "OK slowlog reset\n".into()),
         // MQUERY against the empty corpus: zero matches, not an error.
         (
             "MQUERY k=1 1\nh0 read 8\n".into(),
@@ -289,6 +299,8 @@ fn stats_reports_metrics_counters_in_documented_order() {
         "verb_stats",
         "verb_save",
         "verb_shutdown",
+        "verb_metrics",
+        "verb_slowlog",
     ];
     let start = keys.iter().position(|&k| k == "uptime_secs").expect("metrics block present");
     assert_eq!(&keys[start..start + metrics_keys.len()], &metrics_keys);
@@ -301,5 +313,131 @@ fn stats_reports_metrics_counters_in_documented_order() {
     assert!(stats.contains("STAT verb_hello 1\n"), "{stats}");
     assert!(stats.contains("STAT verb_ingest 1\n"), "{stats}");
     assert!(stats.contains("STAT verb_stats 1\n"), "{stats}");
+    conn.roundtrip("SHUTDOWN\n");
+}
+
+/// METRICS: framed Prometheus-style text exposition whose counters match
+/// the connection's traffic and whose latency buckets are cumulative.
+#[test]
+fn metrics_exposition_is_framed_and_internally_consistent() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+    conn.roundtrip("HELLO 1\n");
+    conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n");
+    conn.roundtrip("QUERY k=1 h0 write 64;h0 write 64\n");
+    conn.roundtrip("QUERY k=1 h0 write 64\n");
+    let reply = conn.roundtrip("METRICS\n");
+
+    // Framing: header line, END terminator, and no interior line that
+    // could be mistaken for the terminator.
+    assert!(reply.starts_with("OK metrics\n"), "{reply}");
+    assert!(reply.ends_with("END\n"), "{reply}");
+    let body: Vec<&str> = reply.lines().collect();
+    assert_eq!(*body.last().unwrap(), "END");
+    assert!(!body[1..body.len() - 1].contains(&"END"), "END only terminates");
+
+    // Counters reflect this connection: HELLO + INGEST + 2x QUERY, plus
+    // METRICS itself (counted at dispatch, before its reply renders).
+    assert!(reply.contains("kastio_connections_total 1\n"), "{reply}");
+    assert!(reply.contains("kastio_requests_total 5\n"), "{reply}");
+    assert!(reply.contains("kastio_verb_requests_total{verb=\"metrics\"} 1\n"), "{reply}");
+    assert!(reply.contains("kastio_verb_requests_total{verb=\"query\"} 2\n"), "{reply}");
+    assert!(reply.contains("kastio_verb_requests_total{verb=\"ingest\"} 1\n"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_request_latency_ns histogram"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_stage_latency_ns histogram"), "{reply}");
+    assert!(reply.contains("kastio_slowlog_entries 0\n"), "{reply}");
+
+    // The QUERY latency series: cumulative buckets ending in `+Inf`,
+    // whose final count equals the _count sample and the verb counter.
+    let query_buckets: Vec<u64> = body
+        .iter()
+        .filter_map(|l| l.strip_prefix("kastio_request_latency_ns_bucket{verb=\"query\",le=\""))
+        .map(|rest| {
+            let (_, count) = rest.split_once("\"} ").expect("bucket sample shape");
+            count.parse().expect("bucket count")
+        })
+        .collect();
+    assert!(!query_buckets.is_empty(), "QUERY histogram exposed: {reply}");
+    assert!(query_buckets.windows(2).all(|w| w[0] <= w[1]), "cumulative: {query_buckets:?}");
+    assert_eq!(*query_buckets.last().unwrap(), 2, "both queries counted");
+    assert!(
+        reply.contains("kastio_request_latency_ns_bucket{verb=\"query\",le=\"+Inf\"} 2\n"),
+        "{reply}"
+    );
+    assert!(reply.contains("kastio_request_latency_ns_count{verb=\"query\"} 2\n"), "{reply}");
+    assert!(
+        reply.contains("kastio_request_latency_us{verb=\"query\",quantile=\"0.99\"}"),
+        "{reply}"
+    );
+    conn.roundtrip("SHUTDOWN\n");
+}
+
+/// `trace=1`: the reply gains exactly one TRACE line before END whose
+/// stage sum never exceeds its total — and the flag changes nothing else.
+#[test]
+fn traced_queries_report_a_consistent_stage_breakdown() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+    conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n");
+
+    let plain = conn.roundtrip("QUERY k=1 h0 write 64;h0 write 64\n");
+    assert!(!plain.contains("TRACE"), "untraced replies are unchanged: {plain}");
+
+    let traced = conn.roundtrip("QUERY k=1 trace=1 h0 write 64;h0 write 64\n");
+    let trace_line = traced
+        .lines()
+        .find(|l| l.starts_with("TRACE "))
+        .unwrap_or_else(|| panic!("no TRACE line in {traced:?}"));
+    // Same reply minus the TRACE line — the flag only adds the line.
+    assert_eq!(traced.replace(&format!("{trace_line}\n"), ""), plain);
+    assert!(traced.ends_with(&format!("{trace_line}\nEND\n")), "TRACE sits before END");
+
+    let mut total = None;
+    let mut stage_sum = 0u64;
+    for field in trace_line.trim_start_matches("TRACE ").split(' ') {
+        let (key, value) = field.split_once('=').expect("key=value fields");
+        let value: u64 = value.parse().expect("integer microseconds");
+        match key {
+            "total_us" => total = Some(value),
+            "parse_us" | "prefilter_us" | "cache_us" | "kernel_us" => stage_sum += value,
+            other => panic!("unexpected TRACE field {other}"),
+        }
+    }
+    assert!(stage_sum <= total.expect("total_us present"), "{trace_line}");
+
+    // MQUERY takes the same flag.
+    let mtraced = conn.roundtrip("MQUERY k=1 trace=1 2\nh0 write 64\nh0 read 8\n");
+    assert_eq!(mtraced.lines().filter(|l| l.starts_with("TRACE ")).count(), 1, "{mtraced}");
+    conn.roundtrip("SHUTDOWN\n");
+}
+
+/// The slow-query log over the wire, enabled via --slow-query-micros.
+/// Threshold 0 logs every request — deterministic for a conformance run.
+#[test]
+fn slowlog_records_and_resets_over_the_wire() {
+    let server = start_server(&["--slow-query-micros", "0"]);
+    let mut conn = Connection::open(&server.addr);
+    conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n");
+    conn.roundtrip("QUERY k=3 h0 write 64\n");
+
+    assert_eq!(conn.roundtrip("SLOWLOG LEN\n"), "OK slowlog len=2\n");
+    let log = conn.roundtrip("SLOWLOG GET\n");
+    let lines: Vec<&str> = log.lines().collect();
+    // Newest first: the LEN request itself, then QUERY, then INGEST.
+    assert_eq!(lines[0], "OK slowlog entries=3");
+    assert!(lines[1].contains(" verb=SLOWLOG ") && lines[1].contains(" args=LEN"), "{log}");
+    assert!(lines[2].contains(" verb=QUERY ") && lines[2].contains(" args=k=3"), "{log}");
+    assert!(lines[3].contains(" verb=INGEST ") && lines[3].contains(" args=label=flash"), "{log}");
+    assert_eq!(*lines.last().unwrap(), "END");
+    // Every entry carries id, timestamp, duration and a stage breakdown.
+    for entry in &lines[1..4] {
+        assert!(entry.starts_with("SLOW "), "{entry}");
+        assert!(entry.contains(" at_us=") && entry.contains(" total_us="), "{entry}");
+        assert!(entry.contains(" stages=parse:"), "{entry}");
+    }
+
+    assert_eq!(conn.roundtrip("SLOWLOG RESET\n"), "OK slowlog reset\n");
+    // Only the RESET itself (logged after it answered) remains.
+    assert_eq!(conn.roundtrip("SLOWLOG LEN\n"), "OK slowlog len=1\n");
     conn.roundtrip("SHUTDOWN\n");
 }
