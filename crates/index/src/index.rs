@@ -235,6 +235,21 @@ pub struct SnapshotStatus {
     /// Bytes written by the last successful snapshot (trace files plus
     /// the manifest).
     pub last_bytes: u64,
+    /// WAL records appended since startup. Maintained live by the
+    /// serving layer (overlaid from [`crate::WalManager`] into the copy
+    /// `STATS`/`METRICS` render); 0 when the daemon runs without
+    /// `--wal`.
+    pub wal_records: u64,
+    /// WAL bytes appended since startup (frames included). Overlaid like
+    /// `wal_records`.
+    pub wal_bytes: u64,
+    /// WAL group-commit fsyncs since startup (one per dirty shard per
+    /// commit pass). Overlaid like `wal_records`.
+    pub wal_fsyncs: u64,
+    /// WAL records replayed by the last [`crate::load_index`] recovery
+    /// (0 for a legacy-layout or snapshot-only load). Set at load time,
+    /// not overlaid.
+    pub last_replay_records: u64,
 }
 
 /// One returned neighbour of a k-NN query.

@@ -40,7 +40,13 @@
 //! until the new one is complete) that run from shard *read* locks, and a
 //! [`Snapshotter`] thread can write them periodically; [`signal`] turns
 //! `SIGTERM`/`SIGINT` into a final snapshot plus clean listener shutdown,
-//! making the daemon crash-tolerant. [`server`] wraps the index in a
+//! making the daemon crash-tolerant. With `--wal`, [`wal`] closes the
+//! window *between* snapshots too: every acked ingest is appended to a
+//! per-shard write-ahead log and fsync'd (group commit) before the ack
+//! goes out, recovery replays the log over the last good snapshot, and
+//! [`fault`] provides the crash-point injection the durability suite
+//! (`tests/wal_recovery.rs`) uses to prove no acked `INGEST` is ever
+//! lost — even to `kill -9` mid-write. [`server`] wraps the index in a
 //! `TcpListener` daemon speaking the line protocol of [`protocol`]
 //! (`HELLO` / `INGEST` / `BATCH INGEST` / `QUERY` / `MQUERY` / `STATS` /
 //! `SAVE` / `SHUTDOWN` — specified in `docs/PROTOCOL.md`), and the
@@ -68,6 +74,7 @@
 //! ```
 
 pub mod entry;
+pub mod fault;
 pub mod index;
 pub mod lru;
 pub mod persist;
@@ -75,6 +82,7 @@ pub mod prefilter;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+pub mod wal;
 
 pub use entry::{EntryId, IndexEntry};
 pub use index::{
@@ -82,7 +90,10 @@ pub use index::{
 };
 pub use kastio_trace::CorpusIoError;
 pub use lru::KernelCache;
-pub use persist::{load_index, save_index, save_index_if_changed, SnapshotInfo, Snapshotter};
+pub use persist::{
+    load_index, save_index, save_index_if_changed, save_index_if_changed_wal, save_index_wal,
+    SnapshotInfo, Snapshotter,
+};
 pub use prefilter::PrefilterConfig;
 pub use protocol::{
     decode_trace_inline, encode_trace_inline, parse_batch_ingest_item, parse_request, read_reply,
@@ -90,3 +101,4 @@ pub use protocol::{
 };
 pub use server::{Server, ServerMetrics, ShutdownHandle};
 pub use signal::{watch_termination, SignalWatcher, TermSignal};
+pub use wal::WalManager;

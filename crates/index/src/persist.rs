@@ -33,8 +33,32 @@
 //! serialised on the index's save lock (separate from the briefly-held
 //! status lock, so `STATS` never waits on a snapshot's disk I/O), so
 //! concurrent `SAVE` requests and the periodic [`Snapshotter`] cannot
-//! interleave their directory swaps. This protects against *process*
-//! crashes; power-loss durability (fsync ordering) is out of scope.
+//! interleave their directory swaps. On its own this protects against
+//! *process* crashes; pairing it with the write-ahead log
+//! ([`crate::WalManager`], the daemon's `--wal` flag) closes the
+//! remaining power-loss window between saves.
+//!
+//! # The WAL layout
+//!
+//! With a WAL attached, `<dir>` is no longer the snapshot — it is the
+//! *durable root*, holding two fixed children:
+//!
+//! ```text
+//! <dir>/snapshot/        the swapped corpus (same protocol, one level down)
+//! <dir>/wal/shard<i>.log append-only logs at stable paths
+//! ```
+//!
+//! The snapshot must move down a level because the atomic save is a
+//! whole-directory swap: swapping `<dir>` itself would unlink the live
+//! log files and lose every acked-but-unsnapshotted ingest on a crash.
+//! [`save_index_wal`] snapshots `<dir>/snapshot` and then compacts the
+//! logs; [`load_index`] auto-detects the layout (a `snapshot/` or `wal/`
+//! child marks the durable root) and recovers as *last good snapshot +
+//! WAL replay*, truncating a torn log tail at the first bad CRC instead
+//! of failing. Replay applies records in id order starting at the
+//! snapshot's generation and stops at the first id gap: group commit
+//! orders fsyncs, so nothing past a missing record was ever
+//! acknowledged.
 //!
 //! Sharding round-trips deterministically without being written to disk
 //! at all: entries are saved in id (ingestion) order, the manifest
@@ -50,9 +74,12 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use kastio_trace::wal::{scan_wal, snapshot_dir, wal_dir};
 use kastio_trace::{read_corpus, write_corpus, CorpusIoError};
 
+use crate::fault::{crash_point, CRASH_AFTER_SNAPSHOT_RENAME};
 use crate::index::{IndexOptions, PatternIndex};
+use crate::wal::WalManager;
 
 /// What a successful [`save_index`] wrote: the entry count and the corpus
 /// generation the snapshot covers (the `SAVE` verb reports both).
@@ -113,6 +140,36 @@ fn remove_artifact(path: &Path) -> io::Result<()> {
 /// Returns [`CorpusIoError`] on any filesystem failure; the previous
 /// snapshot (if any) is still intact and loadable in that case.
 pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<SnapshotInfo, CorpusIoError> {
+    save_index_with(index, dir, None)
+}
+
+/// [`save_index`] for a WAL-attached daemon: the snapshot goes to
+/// `<dir>/snapshot` (the durable-root layout — see the [module
+/// docs](self)) and, once it has landed, the shard logs are compacted to
+/// the records the snapshot does not cover (`id ≥ generation`).
+///
+/// Compaction failure is deliberately *not* a save failure: the snapshot
+/// is complete and the uncompacted records are redundant but harmless
+/// (replay skips ids below the snapshot's generation), so the daemon
+/// reports success and retries compaction at the next save. With
+/// `wal == None` this is exactly [`save_index`].
+///
+/// # Errors
+///
+/// Whatever [`save_index`] reports.
+pub fn save_index_wal(
+    index: &PatternIndex,
+    dir: &Path,
+    wal: Option<&WalManager>,
+) -> Result<SnapshotInfo, CorpusIoError> {
+    save_index_with(index, dir, wal)
+}
+
+fn save_index_with(
+    index: &PatternIndex,
+    dir: &Path,
+    wal: Option<&WalManager>,
+) -> Result<SnapshotInfo, CorpusIoError> {
     // Held for the whole swap: serialises concurrent saves (periodic
     // snapshotter vs SAVE vs shutdown) so their directory swaps cannot
     // interleave. Shard read locks nest inside it; no ingest or query
@@ -135,7 +192,31 @@ pub fn save_index(index: &PatternIndex, dir: &Path) -> Result<SnapshotInfo, Corp
     entries.truncate(contiguous_prefix(&entries));
     let generation = entries.len() as u64;
     let started = std::time::Instant::now();
-    let result = write_snapshot(dir, &entries);
+    // Durable-root layout: the swapped unit is `<dir>/snapshot`, so the
+    // live logs under `<dir>/wal` keep their paths across the swap.
+    let target = match wal {
+        Some(_) => {
+            if let Err(e) = fs::create_dir_all(dir) {
+                let mut status = index.lock_snapshot();
+                status.errors += 1;
+                status.last_ok = Some(false);
+                return Err(e.into());
+            }
+            snapshot_dir(dir)
+        }
+        None => dir.to_path_buf(),
+    };
+    let result = write_snapshot(&target, &entries);
+    if result.is_ok() {
+        if let Some(wal) = wal {
+            crash_point(CRASH_AFTER_SNAPSHOT_RENAME);
+            // Non-fatal (see save_index_wal): the snapshot is already
+            // durable; stale records merely wait for the next pass.
+            if let Err(e) = wal.compact(generation) {
+                eprintln!("kastio snapshot: WAL compaction in {} failed: {e}", dir.display());
+            }
+        }
+    }
     let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     let mut status = index.lock_snapshot();
     match result {
@@ -227,15 +308,35 @@ pub fn save_index_if_changed(
     index: &PatternIndex,
     dir: &Path,
 ) -> Result<Option<SnapshotInfo>, CorpusIoError> {
+    save_index_if_changed_wal(index, dir, None)
+}
+
+/// [`save_index_if_changed`] for a WAL-attached daemon: the currency
+/// check looks for the manifest under `<dir>/snapshot` (the durable-root
+/// layout) and a run that does save goes through [`save_index_wal`], so
+/// it also compacts the logs.
+///
+/// # Errors
+///
+/// Whatever [`save_index`] reports.
+pub fn save_index_if_changed_wal(
+    index: &PatternIndex,
+    dir: &Path,
+    wal: Option<&WalManager>,
+) -> Result<Option<SnapshotInfo>, CorpusIoError> {
+    let manifest = match wal {
+        Some(_) => snapshot_dir(dir).join("MANIFEST"),
+        None => dir.join("MANIFEST"),
+    };
     let status = index.snapshot_status();
     if status.last_ok == Some(true)
         && status.last_dir.as_deref() == Some(dir)
         && status.last_generation == index.generation()
-        && dir.join("MANIFEST").exists()
+        && manifest.exists()
     {
         return Ok(None);
     }
-    save_index(index, dir).map(Some)
+    save_index_with(index, dir, wal).map(Some)
 }
 
 /// Loads a corpus directory (written by [`save_index`] or by the dataset
@@ -247,6 +348,17 @@ pub fn save_index_if_changed(
 /// crash between the two renames of an atomic save leaves behind, and the
 /// `.prev` directory holds the complete previous snapshot.
 ///
+/// A directory with a `snapshot/` or `wal/` child is recognised as a
+/// **durable root** written by a `--wal` daemon and recovered as *last
+/// good snapshot + WAL replay*: the interrupted-swap repair applies to
+/// the `snapshot/` child, every `wal/shard<i>.log` is scanned for its
+/// longest valid record prefix (a torn tail is truncated in place, never
+/// an error), and the records are applied in id order from the
+/// snapshot's generation up to the first id gap — group commit orders
+/// fsyncs, so nothing past a gap was ever acknowledged. The count of
+/// replayed records lands in
+/// [`crate::index::SnapshotStatus::last_replay_records`].
+///
 /// # Errors
 ///
 /// Propagates [`CorpusIoError`] from the directory walk (missing or
@@ -255,6 +367,10 @@ pub fn save_index_if_changed(
 /// rejects at ingestion (for example path-traversing names) — rejecting
 /// them here keeps the loaded corpus saveable.
 pub fn load_index(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, CorpusIoError> {
+    let snapshot = snapshot_dir(dir);
+    if snapshot.exists() || sibling(&snapshot, "prev").is_dir() || wal_dir(dir).is_dir() {
+        return load_durable_root(dir, opts);
+    }
     let prev = sibling(dir, "prev");
     if !dir.exists() && prev.is_dir() {
         // Complete the interrupted swap of a crashed save.
@@ -267,6 +383,75 @@ pub fn load_index(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, Corpus
             .map_err(|e| CorpusIoError::BadEntry { field: e.to_string() })?;
     }
     Ok(index)
+}
+
+/// Recovery for the `--wal` durable-root layout: last good snapshot +
+/// WAL replay (see [`load_index`]).
+fn load_durable_root(dir: &Path, opts: IndexOptions) -> Result<PatternIndex, CorpusIoError> {
+    let snapshot = snapshot_dir(dir);
+    let prev = sibling(&snapshot, "prev");
+    if !snapshot.exists() && prev.is_dir() {
+        fs::rename(&prev, &snapshot)?;
+    }
+    let index = PatternIndex::new(opts);
+    if snapshot.is_dir() {
+        for entry in read_corpus(&snapshot)? {
+            index
+                .ingest(entry.name, entry.tag, entry.trace)
+                .map_err(|e| CorpusIoError::BadEntry { field: e.to_string() })?;
+        }
+    }
+    let replayed = replay_wal(&index, dir)?;
+    index.lock_snapshot().last_replay_records = replayed;
+    Ok(index)
+}
+
+/// Scans every shard log under `<dir>/wal`, truncates torn tails, and
+/// applies the durable records the snapshot does not already contain.
+/// Returns how many records were applied.
+fn replay_wal(index: &PatternIndex, dir: &Path) -> Result<u64, CorpusIoError> {
+    let wal = wal_dir(dir);
+    let entries = match fs::read_dir(&wal) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let mut records = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if !name.starts_with("shard") || !name.ends_with(".log") {
+            continue;
+        }
+        let scan = scan_wal(&fs::read(&path)?);
+        if scan.truncated {
+            // Cut the torn tail so the next daemon appends after the
+            // durable prefix, not after garbage. Best effort: recovery
+            // itself must succeed even on a read-only filesystem.
+            if let Ok(file) = fs::OpenOptions::new().write(true).open(&path) {
+                let _ = file.set_len(scan.durable_bytes);
+            }
+        }
+        records.extend(scan.records);
+    }
+    // Records arrive per shard; globally they are one id sequence.
+    records.sort_by_key(|r| r.id);
+    let mut expected = u32::try_from(index.len()).unwrap_or(u32::MAX);
+    let mut replayed = 0u64;
+    for record in records {
+        if record.id < expected {
+            continue; // already covered by the snapshot
+        }
+        if record.id > expected {
+            break; // id gap: nothing past it was ever acked
+        }
+        index
+            .ingest(record.name, record.label, record.trace)
+            .map_err(|e| CorpusIoError::BadEntry { field: e.to_string() })?;
+        expected += 1;
+        replayed += 1;
+    }
+    Ok(replayed)
 }
 
 /// A background thread that snapshots an index every `interval`, skipping
@@ -288,6 +473,18 @@ impl Snapshotter {
     /// Starts the snapshot daemon thread for `index`, writing to `dir`
     /// every `interval` (when the corpus changed).
     pub fn start(index: Arc<PatternIndex>, dir: PathBuf, interval: Duration) -> Snapshotter {
+        Snapshotter::start_with_wal(index, dir, interval, None)
+    }
+
+    /// [`Snapshotter::start`] for a WAL-attached daemon: periodic saves
+    /// go through [`save_index_if_changed_wal`], so each one also
+    /// compacts the shard logs.
+    pub fn start_with_wal(
+        index: Arc<PatternIndex>,
+        dir: PathBuf,
+        interval: Duration,
+        wal: Option<Arc<WalManager>>,
+    ) -> Snapshotter {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -307,7 +504,7 @@ impl Snapshotter {
                         // only ever waits for an in-flight save, never
                         // for a full interval.
                         drop(stopped);
-                        if let Err(e) = save_index_if_changed(&index, &dir) {
+                        if let Err(e) = save_index_if_changed_wal(&index, &dir, wal.as_deref()) {
                             eprintln!("kastio snapshot: save to {} failed: {e}", dir.display());
                         }
                         stopped = lock.lock().unwrap_or_else(|p| p.into_inner());
@@ -636,6 +833,124 @@ mod tests {
         drop(snapshotter); // stops promptly and joins
         assert_eq!(load_index(&dir, IndexOptions::default()).unwrap().len(), 3);
         assert_eq!(index.snapshot_status().errors, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use kastio_trace::wal::{encode_wal_record, wal_shard_path, WalRecord};
+
+    /// Appends `entry`'s WAL record exactly as the server would and
+    /// waits for the covering group commit.
+    fn append_acked(wal: &WalManager, id: u32, name: &str, label: &str, trace_text: &str) {
+        let record = WalRecord {
+            id,
+            name: name.to_string(),
+            label: label.to_string(),
+            trace: parse_trace(trace_text).unwrap(),
+        };
+        let seq = wal.append(&record).unwrap();
+        wal.wait_durable(seq).unwrap();
+    }
+
+    #[test]
+    fn durable_root_recovers_snapshot_plus_wal_replay() {
+        let dir = tmpdir("walroot");
+        let index = sample_index(IndexOptions::default());
+        let wal = WalManager::open(&dir, 2, Duration::from_micros(500)).unwrap();
+        append_acked(&wal, 0, "ckpt", "flash", &"h0 write 1048576\n".repeat(8));
+        append_acked(&wal, 1, "scan", "posix", &"h0 read 4096\n".repeat(8));
+
+        // Snapshot at generation 2: lands under <dir>/snapshot and
+        // compacts both records away.
+        let info = save_index_wal(&index, &dir, Some(&wal)).unwrap();
+        assert_eq!(info, SnapshotInfo { entries: 2, generation: 2 });
+        assert!(snapshot_dir(&dir).join("MANIFEST").exists(), "snapshot in the subdir");
+        assert!(!dir.join("MANIFEST").exists(), "durable root holds no manifest itself");
+        assert_eq!(scan_wal(&fs::read(wal_shard_path(&dir, 0)).unwrap()).records.len(), 0);
+
+        // One more acked ingest after the snapshot — WAL only.
+        index.ingest("extra", "flash", parse_trace("h0 write 64\n").unwrap()).unwrap();
+        append_acked(&wal, 2, "extra", "flash", "h0 write 64\n");
+        drop(wal);
+
+        // Recovery = snapshot + replay; bit-for-bit entry identity.
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.snapshot_status().last_replay_records, 1);
+        let (a, b) = (index.entries(), restored.entries());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, &x.name, &x.label), (y.id, &y.name, &y.label));
+        }
+
+        // Replay is idempotent: loading again changes nothing.
+        let again = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(again.snapshot_status().last_replay_records, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_not_fatal() {
+        use std::io::Write as _;
+        let dir = tmpdir("waltear");
+        let index = sample_index(IndexOptions::default());
+        let wal = WalManager::open(&dir, 1, Duration::from_micros(500)).unwrap();
+        save_index_wal(&index, &dir, Some(&wal)).unwrap();
+        append_acked(&wal, 2, "extra", "flash", "h0 write 64\n");
+        drop(wal);
+
+        // Tear the tail: half of a record the crash interrupted.
+        let torn = encode_wal_record(&WalRecord {
+            id: 3,
+            name: "torn".to_string(),
+            label: "flash".to_string(),
+            trace: parse_trace("h0 write 32\n").unwrap(),
+        });
+        let path = wal_shard_path(&dir, 0);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(file);
+
+        // Recovery applies exactly the durable prefix and repairs the file.
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(restored.len(), 3, "acked entry survives, torn one is dropped");
+        assert_eq!(restored.snapshot_status().last_replay_records, 1);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len, "tail truncated in place");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_stops_at_an_id_gap() {
+        let dir = tmpdir("walgap");
+        let index = sample_index(IndexOptions::default());
+        let wal = WalManager::open(&dir, 1, Duration::from_micros(500)).unwrap();
+        save_index_wal(&index, &dir, Some(&wal)).unwrap();
+        // Record id 2 never made it to disk; id 3 did (its group commit
+        // covered a different shard first in some interleaving). Nothing
+        // at or past the gap was ever acked, so replay must stop.
+        append_acked(&wal, 3, "orphan", "flash", "h0 write 64\n");
+        drop(wal);
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(restored.len(), 2, "the post-gap record is not applied");
+        assert_eq!(restored.snapshot_status().last_replay_records, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_snapshot_swap_under_wal_is_recovered() {
+        let dir = tmpdir("walswap");
+        let index = sample_index(IndexOptions::default());
+        let wal = WalManager::open(&dir, 1, Duration::from_micros(500)).unwrap();
+        save_index_wal(&index, &dir, Some(&wal)).unwrap();
+        append_acked(&wal, 2, "extra", "flash", "h0 write 64\n");
+        drop(wal);
+
+        // Crash between the snapshot subdir's two renames.
+        let snap = snapshot_dir(&dir);
+        fs::rename(&snap, sibling(&snap, "prev")).unwrap();
+        let restored = load_index(&dir, IndexOptions::default()).unwrap();
+        assert_eq!(restored.len(), 3, "prev snapshot restored, then WAL replayed");
+        assert!(snap.is_dir(), "swap completed by recovery");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

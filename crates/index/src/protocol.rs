@@ -472,6 +472,15 @@ pub fn render_stats_reply(
         snapshot.last_duration_micros,
         snapshot.last_bytes,
     ));
+    // WAL counters: always rendered (zeros without --wal), so parsers
+    // never have to branch on the daemon's configuration.
+    out.push_str(&format!(
+        "STAT wal_records {}\n\
+         STAT wal_bytes {}\n\
+         STAT wal_fsyncs {}\n\
+         STAT last_replay_records {}\n",
+        snapshot.wal_records, snapshot.wal_bytes, snapshot.wal_fsyncs, snapshot.last_replay_records,
+    ));
     out.push_str(&format!(
         "STAT uptime_secs {}\n\
          STAT connections {}\n\
@@ -551,6 +560,14 @@ pub fn render_metrics_reply(
     exp.sample("kastio_last_snapshot_duration_us", "", snapshot.last_duration_micros);
     exp.type_line("kastio_last_snapshot_bytes", "gauge");
     exp.sample("kastio_last_snapshot_bytes", "", snapshot.last_bytes);
+    exp.type_line("kastio_wal_records_total", "counter");
+    exp.sample("kastio_wal_records_total", "", snapshot.wal_records);
+    exp.type_line("kastio_wal_bytes_total", "counter");
+    exp.sample("kastio_wal_bytes_total", "", snapshot.wal_bytes);
+    exp.type_line("kastio_wal_fsyncs_total", "counter");
+    exp.sample("kastio_wal_fsyncs_total", "", snapshot.wal_fsyncs);
+    exp.type_line("kastio_wal_replay_records", "gauge");
+    exp.sample("kastio_wal_replay_records", "", snapshot.last_replay_records);
     exp.type_line("kastio_slowlog_entries", "gauge");
     exp.sample("kastio_slowlog_entries", "", slowlog_len);
     format!("OK metrics\n{}END\n", exp.finish())
@@ -868,6 +885,10 @@ mod tests {
         assert!(reply.contains("STAT snapshots 0\n"));
         assert!(reply.contains("STAT snapshot_errors 0\n"));
         assert!(reply.contains("STAT last_snapshot_ok -\n"), "never attempted renders as `-`");
+        assert!(reply.contains("STAT wal_records 0\n"), "wal keys render even without --wal");
+        assert!(reply.contains("STAT wal_bytes 0\n"));
+        assert!(reply.contains("STAT wal_fsyncs 0\n"));
+        assert!(reply.contains("STAT last_replay_records 0\n"));
         assert!(reply.contains("STAT uptime_secs 7\n"));
         assert!(reply.contains("STAT connections 3\n"));
         assert!(reply.contains("STAT requests_total 11\n"));
@@ -893,6 +914,10 @@ mod tests {
             last_entries: 9,
             last_duration_micros: 1234,
             last_bytes: 4096,
+            wal_records: 17,
+            wal_bytes: 2048,
+            wal_fsyncs: 5,
+            last_replay_records: 6,
             ..SnapshotStatus::default()
         };
         let reply = render_stats_reply(
@@ -912,6 +937,10 @@ mod tests {
         assert!(reply.contains("STAT last_snapshot_generation 9\n"));
         assert!(reply.contains("STAT last_snapshot_duration_us 1234\n"));
         assert!(reply.contains("STAT last_snapshot_bytes 4096\n"));
+        assert!(reply.contains("STAT wal_records 17\n"));
+        assert!(reply.contains("STAT wal_bytes 2048\n"));
+        assert!(reply.contains("STAT wal_fsyncs 5\n"));
+        assert!(reply.contains("STAT last_replay_records 6\n"));
     }
 
     #[test]
@@ -924,6 +953,10 @@ mod tests {
         let snapshot = SnapshotStatus {
             last_duration_micros: 77,
             last_bytes: 512,
+            wal_records: 21,
+            wal_bytes: 9000,
+            wal_fsyncs: 4,
+            last_replay_records: 2,
             ..SnapshotStatus::default()
         };
         let reply = render_metrics_reply(
@@ -944,6 +977,11 @@ mod tests {
         assert!(reply.contains("kastio_stage_latency_ns_count{stage=\"kernel\"} 1\n"));
         assert!(reply.contains("kastio_last_snapshot_duration_us 77\n"));
         assert!(reply.contains("kastio_last_snapshot_bytes 512\n"));
+        assert!(reply.contains("# TYPE kastio_wal_records_total counter\n"));
+        assert!(reply.contains("kastio_wal_records_total 21\n"));
+        assert!(reply.contains("kastio_wal_bytes_total 9000\n"));
+        assert!(reply.contains("kastio_wal_fsyncs_total 4\n"));
+        assert!(reply.contains("kastio_wal_replay_records 2\n"));
         assert!(reply.contains("kastio_slowlog_entries 3\n"));
         // No exposition line can alias the frame terminator.
         let inner = &reply["OK metrics\n".len()..reply.len() - "END\n".len()];

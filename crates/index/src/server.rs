@@ -25,14 +25,18 @@ use std::time::Instant;
 
 use kastio_obs::{Histogram, SlowLog, StripedHistogram};
 
+use kastio_trace::wal::WalRecord;
+
+use crate::fault::{crash_point, CRASH_AFTER_ACK};
 use crate::index::{PatternIndex, QueryTimings};
-use crate::persist::save_index;
+use crate::persist::save_index_wal;
 use crate::protocol::{
     parse_batch_ingest_item, parse_request, render_hello_reply, render_hello_unsupported,
     render_metrics_reply, render_mquery_reply, render_query_reply, render_slowlog_get,
     render_slowlog_len, render_slowlog_reset, render_stats_reply, render_trace_line,
     MetricsSnapshot, Request, SlowlogCmd, PROTOCOL_VERSION,
 };
+use crate::wal::WalManager;
 
 /// Per-verb histogram slots, in [`MetricsSnapshot::verb_counts`] order.
 const VERB_NAMES: [&str; 10] = [
@@ -264,6 +268,7 @@ pub struct Server {
     index: Arc<PatternIndex>,
     stop: Arc<AtomicBool>,
     save_dir: Option<PathBuf>,
+    wal: Option<Arc<WalManager>>,
     metrics: Arc<ServerMetrics>,
     slow_log: Arc<SlowLog>,
 }
@@ -300,6 +305,7 @@ impl Server {
             index: Arc::new(index),
             stop: Arc::new(AtomicBool::new(false)),
             save_dir: None,
+            wal: None,
             metrics: Arc::new(ServerMetrics::new()),
             slow_log: Arc::new(SlowLog::disabled()),
         })
@@ -324,6 +330,19 @@ impl Server {
     #[must_use]
     pub fn with_save_dir(mut self, dir: Option<PathBuf>) -> Server {
         self.save_dir = dir;
+        self
+    }
+
+    /// Attaches a write-ahead log: every `INGEST` / `BATCH INGEST` is
+    /// appended and group-commit-fsync'd *before* its `OK` reply is
+    /// written (ack-after-fsync), `SAVE` compacts the log against the
+    /// snapshot generation (and says so: `… wal=truncated`), and the
+    /// `STATS` / `METRICS` wal counters go live. `None` (the default)
+    /// keeps the snapshot-only durability story and every reply byte
+    /// unchanged.
+    #[must_use]
+    pub fn with_wal(mut self, wal: Option<Arc<WalManager>>) -> Server {
+        self.wal = wal;
         self
     }
 
@@ -382,6 +401,7 @@ impl Server {
         let metrics = self.metrics;
         let slow_log = self.slow_log;
         let save_dir = self.save_dir.map(Arc::new);
+        let wal = self.wal;
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
         // release their file descriptors immediately; whatever is left at
@@ -431,12 +451,13 @@ impl Server {
             let (index, stop, connections) =
                 (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
             let (save_dir, metrics) = (save_dir.clone(), Arc::clone(&metrics));
-            let slow_log = Arc::clone(&slow_log);
+            let (slow_log, wal) = (Arc::clone(&slow_log), wal.clone());
             handlers.push(std::thread::spawn(move || {
                 let disposition = handle_connection(
                     stream,
                     &index,
                     save_dir.as_deref().map(PathBuf::as_path),
+                    wal.as_deref(),
                     &metrics,
                     &slow_log,
                 );
@@ -503,7 +524,10 @@ fn span_ns(start: Instant) -> u64 {
 /// are consumed — even when an item is malformed — before the single
 /// reply, so one bad item never desyncs the connection's framing.
 /// `save_dir` is the snapshot target for `SAVE` (and the pre-reply save
-/// of `SHUTDOWN`); without one, `SAVE` is answered with an `ERR`.
+/// of `SHUTDOWN`); without one, `SAVE` is answered with an `ERR`. With a
+/// `wal`, ingest replies are written only after the covering fsync — an
+/// `OK` a client reads is a durability promise, proven by
+/// `tests/wal_recovery.rs` against `kill -9` at injected crash points.
 ///
 /// Every request is timed from the end of its request-line read to the
 /// reply flush; the total lands in the verb's latency histogram, the
@@ -513,6 +537,7 @@ fn handle_connection(
     stream: TcpStream,
     index: &PatternIndex,
     save_dir: Option<&Path>,
+    wal: Option<&WalManager>,
     metrics: &ServerMetrics,
     slow_log: &SlowLog,
 ) -> io::Result<Disposition> {
@@ -559,10 +584,34 @@ fn handle_connection(
                     render_hello_unsupported(version)
                 }
             }
-            Ok(Request::Ingest { label, trace }) => match index.ingest_auto(label, trace) {
-                Ok(id) => format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len()),
-                Err(e) => format!("ERR {e}\n"),
-            },
+            Ok(Request::Ingest { label, trace }) => {
+                // `ingest_auto` consumes the label and trace, but the WAL
+                // record needs them too — and only exists on the success
+                // path, so the clone is taken up front.
+                let journal = wal.map(|wal| (wal, label.clone(), trace.clone()));
+                match index.ingest_auto(label, trace) {
+                    Ok(id) => {
+                        let durable = journal.map_or(Ok(()), |(wal, label, trace)| {
+                            wal_commit(
+                                wal,
+                                vec![WalRecord {
+                                    id: id.0,
+                                    name: format!("e{}", id.0),
+                                    label,
+                                    trace,
+                                }],
+                            )
+                        });
+                        match durable {
+                            Ok(()) => {
+                                format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
+                            }
+                            Err(e) => format!("ERR wal: {e}\n"),
+                        }
+                    }
+                    Err(e) => format!("ERR {e}\n"),
+                }
+            }
             Ok(Request::BatchIngest { count }) => {
                 let items_started = Instant::now();
                 let items =
@@ -571,7 +620,7 @@ fn handle_connection(
                 match items {
                     Items::Hangup => return Ok(Disposition::ClientDone),
                     Items::Bad(message) => message,
-                    Items::Parsed(items) => batch_ingest_reply(index, count, items),
+                    Items::Parsed(items) => batch_ingest_reply(index, count, items, wal),
                 }
             }
             Ok(Request::Query { k, trace, timed: t }) => {
@@ -614,7 +663,7 @@ fn handle_connection(
                     &shard_sizes,
                     &index.stats(),
                     index.generation(),
-                    &index.snapshot_status(),
+                    &snapshot_status_with_wal(index, wal),
                     &metrics.snapshot(),
                     &metrics.latency_quantiles(),
                 )
@@ -623,7 +672,7 @@ fn handle_connection(
                 &metrics.snapshot(),
                 &metrics.verb_latency_snapshots(),
                 &metrics.stage_latency_snapshots(),
-                &index.snapshot_status(),
+                &snapshot_status_with_wal(index, wal),
                 slow_log.len(),
             ),
             Ok(Request::Slowlog(SlowlogCmd::Get)) => render_slowlog_get(&slow_log.entries()),
@@ -634,10 +683,15 @@ fn handle_connection(
             }
             Ok(Request::Save) => match save_dir {
                 None => "ERR no save directory (start the server with --save)\n".to_string(),
-                Some(dir) => match save_index(index, dir) {
+                Some(dir) => match save_index_wal(index, dir, wal) {
                     Ok(info) => {
+                        // Under --wal a snapshot is a compaction point:
+                        // the reply says the log was trimmed too, so a
+                        // client (and the conformance suite) can tell the
+                        // two durability modes apart on the wire.
+                        let wal_note = if wal.is_some() { " wal=truncated" } else { "" };
                         format!(
-                            "OK saved entries={} generation={}\n",
+                            "OK saved entries={} generation={}{wal_note}\n",
                             info.entries, info.generation
                         )
                     }
@@ -653,7 +707,7 @@ fn handle_connection(
                 shutting_down = true;
                 match save_dir {
                     None => "OK bye\n".to_string(),
-                    Some(dir) => match save_index(index, dir) {
+                    Some(dir) => match save_index_wal(index, dir, wal) {
                         Ok(info) => format!(
                             "OK bye saved={} generation={}\n",
                             info.entries, info.generation
@@ -686,6 +740,15 @@ fn handle_connection(
         let write_started = Instant::now();
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
+        if reply.starts_with("OK")
+            && matches!(slot.map(|s| VERB_NAMES[s]), Some("ingest" | "batch_ingest"))
+        {
+            // Fault injection: with ack-after-fsync ordering, a crash
+            // *after* the ack has left the socket must already find the
+            // record durable — tests/wal_recovery.rs aborts here and
+            // asserts exactly that.
+            crash_point(CRASH_AFTER_ACK);
+        }
         let reply_ns = span_ns(write_started);
         let total_ns = span_ns(started);
         metrics.record_stage(STAGE_PARSE, parse_ns);
@@ -723,13 +786,58 @@ fn batch_ingest_reply(
     index: &PatternIndex,
     count: usize,
     items: Vec<(String, kastio_trace::Trace)>,
+    wal: Option<&WalManager>,
 ) -> String {
+    let mut records = Vec::new();
     for (i, (label, trace)) in items.into_iter().enumerate() {
-        if let Err(e) = index.ingest_auto(label, trace) {
-            return format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1);
+        let journal = wal.map(|_| (label.clone(), trace.clone()));
+        match index.ingest_auto(label, trace) {
+            Ok(id) => {
+                if let Some((label, trace)) = journal {
+                    records.push(WalRecord { id: id.0, name: format!("e{}", id.0), label, trace });
+                }
+            }
+            Err(e) => {
+                // The applied prefix is in memory either way; with a WAL
+                // it must also be logged, or a *later* acked ingest would
+                // sit past an id gap and be dropped at replay. The ERR
+                // still means this batch as a whole was not acked.
+                if let Some(wal) = wal {
+                    let _ = wal_commit(wal, records);
+                }
+                return format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1);
+            }
+        }
+    }
+    if let Some(wal) = wal {
+        if let Err(e) = wal_commit(wal, records) {
+            return format!("ERR wal: {e}\n");
         }
     }
     format!("OK batch={count} entries={}\n", index.len())
+}
+
+/// Appends `records` to the log and blocks until one group-commit fsync
+/// covers them all — the gate an ingest reply waits behind.
+fn wal_commit(wal: &WalManager, records: Vec<WalRecord>) -> io::Result<()> {
+    let mut last = 0;
+    for record in &records {
+        last = wal.append(record)?;
+    }
+    wal.wait_durable(last)
+}
+
+/// The index's snapshot status with the live WAL counters overlaid (when
+/// a WAL is attached) — the form `STATS` / `METRICS` report.
+fn snapshot_status_with_wal(
+    index: &PatternIndex,
+    wal: Option<&WalManager>,
+) -> crate::index::SnapshotStatus {
+    let mut status = index.snapshot_status();
+    if let Some(wal) = wal {
+        wal.overlay(&mut status);
+    }
+    status
 }
 
 /// Outcome of reading a batch's item lines.

@@ -2,15 +2,20 @@
 //!
 //! An end-to-end load harness for the `kastio serve` daemon. It drives N
 //! concurrent TCP clients through seeded, reproducible scenario mixes —
-//! [`ScenarioKind::ReadHeavy`], [`ScenarioKind::WriteHeavy`] and the
-//! zipf-skewed [`ScenarioKind::HotKey`] — measuring per-verb throughput
+//! [`ScenarioKind::ReadHeavy`], [`ScenarioKind::WriteHeavy`], the
+//! zipf-skewed [`ScenarioKind::HotKey`] and the snapshot-punctuated
+//! [`ScenarioKind::SaveStorm`] — measuring per-verb throughput
 //! and p50/p95/p99 latency with a constant-memory log-bucketed
 //! [`Histogram`], and bracketing every scenario with `STATS` snapshots so
 //! the report correlates client-side latency with server-side cache,
 //! kernel and snapshot counters.
 //!
 //! The harness either targets a running daemon (`addr`) or self-spawns an
-//! in-process [`kastio_index::Server`] on an ephemeral port. Every client
+//! in-process [`kastio_index::Server`] on an ephemeral port — with a
+//! scratch save directory and a write-ahead log attached, so `SAVE` is a
+//! servable verb and every ingest pays the real ack-after-fsync price
+//! (the report's `wal_records`/`wal_fsyncs` STATS deltas come from
+//! there). Every client
 //! opens with the `HELLO` handshake and refuses to run against a server
 //! speaking a different protocol version. `kastio loadgen` fronts [`run`]
 //! on the command line and writes the [`Report`] to `BENCH_serve.json`.
@@ -31,10 +36,11 @@ pub mod stats;
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use kastio_index::protocol::read_reply;
-use kastio_index::{IndexOptions, PatternIndex, Server};
+use kastio_index::{IndexOptions, PatternIndex, Server, WalManager};
 
 pub use client::{run_scenario, ScenarioRun, VerbStats};
 pub use diff::{diff_reports, parse_json, DiffReport, DiffRow, Json};
@@ -154,18 +160,32 @@ pub fn run(config: &LoadConfig) -> Result<Report, String> {
     }
 
     // Self-spawn unless pointed at a live daemon.
-    let (addr, server_label, server_thread) = match &config.addr {
-        Some(addr) => (addr.clone(), addr.clone(), None),
+    let (addr, server_label, server_thread, scratch) = match &config.addr {
+        Some(addr) => (addr.clone(), addr.clone(), None, None),
         None => {
             let index = PatternIndex::new(IndexOptions {
                 shards: config.shards,
                 ..IndexOptions::default()
             });
+            // A durable scratch root: SAVE is a first-class verb in the
+            // op mixes (save-storm), so the self-spawned server needs a
+            // snapshot target — and a WAL, so ingests pay the real
+            // ack-after-fsync price the daemon pays under `--wal`.
+            static SCRATCH_ID: AtomicU64 = AtomicU64::new(0);
+            let scratch = std::env::temp_dir().join(format!(
+                "kastio-loadgen-{}-{}",
+                std::process::id(),
+                SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+            ));
+            let wal = WalManager::open(&scratch, config.shards, Duration::from_millis(2))
+                .map_err(|e| format!("cannot open the load server's WAL: {e}"))?;
             let server = Server::bind("127.0.0.1:0", index)
-                .map_err(|e| format!("cannot bind load server: {e}"))?;
+                .map_err(|e| format!("cannot bind load server: {e}"))?
+                .with_save_dir(Some(scratch.clone()))
+                .with_wal(Some(wal));
             let addr = server.local_addr().map_err(|e| format!("no local addr: {e}"))?.to_string();
             let thread = std::thread::spawn(move || server.serve());
-            (addr, "self-spawned".to_string(), Some(thread))
+            (addr, "self-spawned".to_string(), Some(thread), Some(scratch))
         }
     };
 
@@ -181,6 +201,9 @@ pub fn run(config: &LoadConfig) -> Result<Report, String> {
             .join()
             .map_err(|_| "server thread panicked".to_string())?
             .map_err(|e| format!("server failed: {e}"))?;
+    }
+    if let Some(scratch) = scratch {
+        let _ = std::fs::remove_dir_all(&scratch);
     }
     result
 }
@@ -222,8 +245,8 @@ mod tests {
     use super::*;
 
     /// A whole self-spawned run, kept tiny so the suite stays fast: the
-    /// full path (bind, handshake, corpus, three scenarios, STATS
-    /// fences, shutdown) in well under a second.
+    /// full path (bind, handshake, corpus, four scenarios, STATS
+    /// fences, shutdown) in around a second.
     #[test]
     fn self_spawned_run_produces_a_complete_report() {
         let config = LoadConfig {
@@ -235,7 +258,7 @@ mod tests {
         };
         let report = run(&config).expect("load run succeeds");
         assert_eq!(report.server, "self-spawned");
-        assert_eq!(report.scenarios.len(), 3);
+        assert_eq!(report.scenarios.len(), 4);
         for scenario in &report.scenarios {
             assert!(scenario.requests > 0, "{} sent requests", scenario.name);
             assert_eq!(scenario.errors, 0, "{} had ERR replies", scenario.name);
@@ -254,6 +277,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"suite\": \"serve_load\""));
         assert!(json.contains("\"hot-key\""));
+        assert!(json.contains("\"save-storm\""));
 
         // Server-side observability: the METRICS fences must have caught
         // the scenario's queries, and the server's view of QUERY latency
@@ -299,6 +323,52 @@ mod tests {
                 client.p99_us
             );
         }
+    }
+
+    /// The save-storm contract: snapshots (with WAL compaction) land in
+    /// the middle of hot QUERY traffic, and the per-verb histograms let
+    /// us assert they do not stall readers — snapshots run from shard
+    /// *read* locks, so QUERY p99 stays bounded even while SAVE rewrites
+    /// the corpus directory and compacts the logs.
+    #[test]
+    fn save_storm_snapshots_do_not_stall_queries() {
+        let config = LoadConfig {
+            scenarios: vec![ScenarioKind::SaveStorm],
+            clients: 2,
+            duration: Duration::from_millis(150),
+            seed_corpus: 24,
+            shards: 2,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("save-storm run succeeds");
+        let scenario = &report.scenarios[0];
+        assert_eq!(scenario.errors, 0, "every SAVE (and everything else) was served");
+
+        let verb = |name: &str| {
+            scenario
+                .per_verb
+                .iter()
+                .find(|v| v.verb == name)
+                .unwrap_or_else(|| panic!("save-storm recorded no {name} ops"))
+        };
+        let (save, query) = (verb("SAVE"), verb("QUERY"));
+        assert!(save.count >= 1, "the storm actually snapshotted");
+        assert!(query.count > save.count, "queries dominate the mix");
+        // Bounded tail: a QUERY that waited behind a snapshot would cost
+        // ~a SAVE; allow generous CI noise but not serialization.
+        assert!(
+            query.p99_us <= (3.0 * save.p99_us).max(50_000.0),
+            "QUERY p99 {}us vs SAVE p99 {}us — snapshots are stalling readers",
+            query.p99_us,
+            save.p99_us
+        );
+
+        // The WAL counters moved: ingests were logged and group-commits
+        // ran, and each SAVE compacted (visible as a non-negative delta
+        // computed against a log that keeps shrinking back).
+        let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
+        assert!(delta("wal_records") > 0, "ingests were journalled: {:?}", scenario.stats_delta);
+        assert!(delta("wal_fsyncs") > 0, "group commits ran: {:?}", scenario.stats_delta);
     }
 
     #[test]

@@ -28,12 +28,21 @@ pub enum ScenarioKind {
     /// hot queries dominate, so cache hit rates and memoised
     /// self-kernels should climb — visible in the STATS delta.
     HotKey,
+    /// ~88% `QUERY`, ~10% `INGEST`, ~2% `SAVE`: hot read traffic with
+    /// snapshots (and, under `--wal`, log compactions) landing in the
+    /// middle of it. The per-verb SAVE histogram shows what a snapshot
+    /// costs; the QUERY histogram shows whether it stalls readers.
+    SaveStorm,
 }
 
 impl ScenarioKind {
     /// Every scenario, in the order `kastio loadgen` runs them.
-    pub const ALL: [ScenarioKind; 3] =
-        [ScenarioKind::ReadHeavy, ScenarioKind::WriteHeavy, ScenarioKind::HotKey];
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::ReadHeavy,
+        ScenarioKind::WriteHeavy,
+        ScenarioKind::HotKey,
+        ScenarioKind::SaveStorm,
+    ];
 
     /// The scenario's CLI/report name.
     pub fn name(self) -> &'static str {
@@ -41,6 +50,7 @@ impl ScenarioKind {
             ScenarioKind::ReadHeavy => "read-heavy",
             ScenarioKind::WriteHeavy => "write-heavy",
             ScenarioKind::HotKey => "hot-key",
+            ScenarioKind::SaveStorm => "save-storm",
         }
     }
 
@@ -50,6 +60,7 @@ impl ScenarioKind {
             "read-heavy" => Some(ScenarioKind::ReadHeavy),
             "write-heavy" => Some(ScenarioKind::WriteHeavy),
             "hot-key" | "skewed-hot-key" => Some(ScenarioKind::HotKey),
+            "save-storm" => Some(ScenarioKind::SaveStorm),
             _ => None,
         }
     }
@@ -168,6 +179,8 @@ pub enum Op {
     },
     /// `STATS`.
     Stats,
+    /// `SAVE`.
+    Save,
 }
 
 impl Op {
@@ -179,6 +192,7 @@ impl Op {
             Op::Query { .. } => "QUERY",
             Op::MQuery { .. } => "MQUERY",
             Op::Stats => "STATS",
+            Op::Save => "SAVE",
         }
     }
 
@@ -204,6 +218,7 @@ impl Op {
                 out
             }
             Op::Stats => "STATS\n".to_string(),
+            Op::Save => "SAVE\n".to_string(),
         }
     }
 }
@@ -305,6 +320,17 @@ impl ScenarioGen {
                     Op::Query { k: 3, trace: self.pool.entry(idx).1.to_string() }
                 }
                 _ => Op::Stats,
+            },
+            ScenarioKind::SaveStorm => match draw {
+                0..=87 => {
+                    let idx = self.uniform_pick();
+                    Op::Query { k: 3, trace: self.pool.entry(idx).1.to_string() }
+                }
+                88..=97 => {
+                    let (label, trace) = self.fresh_ingest();
+                    Op::Ingest { label, trace }
+                }
+                _ => Op::Save,
             },
             ScenarioKind::HotKey => match draw {
                 0..=79 => {

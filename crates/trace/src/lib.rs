@@ -52,6 +52,7 @@ pub mod simfs;
 pub mod stats;
 pub mod text;
 pub mod trace;
+pub mod wal;
 
 pub use corpus::{
     load_manifest_trace, read_corpus, read_manifest, valid_entry_name, valid_entry_tag,
@@ -64,3 +65,7 @@ pub use simfs::{Fd, SeekWhence, SimFs, SimFsError};
 pub use stats::TraceStats;
 pub use text::{parse_trace, write_trace, ParseTraceError};
 pub use trace::Trace;
+pub use wal::{
+    crc32, encode_wal_record, scan_wal, snapshot_dir, wal_dir, wal_shard_path, WalRecord, WalScan,
+    MAX_WAL_RECORD_BYTES, WAL_HEADER_BYTES,
+};

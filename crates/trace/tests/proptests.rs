@@ -1,8 +1,10 @@
-//! Property tests for the trace substrate: text-format robustness and
-//! simulated-POSIX model invariants.
+//! Property tests for the trace substrate: text-format robustness,
+//! simulated-POSIX model invariants, and the WAL record format (encode /
+//! scan round trips, corruption and truncation tolerance).
 
 use proptest::prelude::*;
 
+use kastio_trace::wal::{encode_wal_record, scan_wal, WalRecord};
 use kastio_trace::{
     parse_trace, write_trace, HandleId, OpKind, Operation, SeekWhence, SimFs, Trace, TraceStats,
 };
@@ -28,6 +30,27 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
             .map(|(h, kind, bytes)| Operation::new(HandleId::new(h), kind, bytes))
             .collect()
     })
+}
+
+/// A small WAL record: whitespace-free name/label (the payload header is
+/// space-delimited) and a short trace, so the exhaustive per-byte
+/// corruption and truncation sweeps below stay cheap.
+fn arb_wal_record() -> impl Strategy<Value = WalRecord> {
+    (
+        0u32..u32::MAX,
+        "[a-z][a-z0-9_.-]{0,8}",
+        "[a-z][a-z0-9_.-]{0,8}",
+        proptest::collection::vec((0u32..8, arb_opkind(), 0u64..1 << 24), 0..8),
+    )
+        .prop_map(|(id, name, label, ops)| WalRecord {
+            id,
+            name,
+            label,
+            trace: ops
+                .into_iter()
+                .map(|(h, kind, bytes)| Operation::new(HandleId::new(h), kind, bytes))
+                .collect(),
+        })
 }
 
 /// One step of a random SimFs "program".
@@ -87,6 +110,73 @@ proptest! {
         let once = trace.without_negligible();
         prop_assert_eq!(once.without_negligible(), once.clone());
         prop_assert!(once.len() <= trace.len());
+    }
+
+    #[test]
+    fn wal_records_encode_then_scan_losslessly(records in proptest::collection::vec(arb_wal_record(), 0..6)) {
+        let mut log = Vec::new();
+        for record in &records {
+            log.extend_from_slice(&encode_wal_record(record));
+        }
+        let scan = scan_wal(&log);
+        prop_assert_eq!(&scan.records, &records);
+        prop_assert_eq!(scan.durable_bytes, log.len() as u64);
+        prop_assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn corruption_at_every_byte_offset_never_panics_or_yields_past_it(
+        records in proptest::collection::vec(arb_wal_record(), 1..4),
+        mask in 1u8..=255,
+    ) {
+        let encoded: Vec<Vec<u8>> = records.iter().map(encode_wal_record).collect();
+        let log: Vec<u8> = encoded.iter().flatten().copied().collect();
+        // Which record owns each byte: the scanner must never yield that
+        // record, nor anything after it, once the byte is corrupted.
+        let mut owner = Vec::with_capacity(log.len());
+        for (i, bytes) in encoded.iter().enumerate() {
+            owner.extend(std::iter::repeat(i).take(bytes.len()));
+        }
+        for offset in 0..log.len() {
+            let mut corrupt = log.clone();
+            corrupt[offset] ^= mask;
+            let scan = scan_wal(&corrupt); // must not panic, whatever the bytes say
+            prop_assert!(
+                scan.records.len() <= owner[offset],
+                "offset {offset}^{mask:#04x}: {} records survive a corruption inside record {}",
+                scan.records.len(),
+                owner[offset]
+            );
+            for (i, record) in scan.records.iter().enumerate() {
+                prop_assert_eq!(record, &records[i], "surviving records are the untouched prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_recovers_exactly_the_durable_prefix(
+        records in proptest::collection::vec(arb_wal_record(), 1..4),
+    ) {
+        let encoded: Vec<Vec<u8>> = records.iter().map(encode_wal_record).collect();
+        let log: Vec<u8> = encoded.iter().flatten().copied().collect();
+        for cut in 0..=log.len() {
+            let scan = scan_wal(&log[..cut]);
+            // The durable prefix: every record that fits entirely below
+            // the cut — no more (no partial record applied), no fewer
+            // (nothing durable is dropped).
+            let mut fit = 0usize;
+            let mut fit_bytes = 0usize;
+            while fit < encoded.len() && fit_bytes + encoded[fit].len() <= cut {
+                fit_bytes += encoded[fit].len();
+                fit += 1;
+            }
+            prop_assert_eq!(scan.records.len(), fit, "cut at {}", cut);
+            for (i, record) in scan.records.iter().enumerate() {
+                prop_assert_eq!(record, &records[i]);
+            }
+            prop_assert_eq!(scan.durable_bytes, fit_bytes as u64);
+            prop_assert_eq!(scan.truncated, cut != fit_bytes, "cut at {}", cut);
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! kastio generate <dir> [--seed N]
 //! kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
 //! kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
-//!                 [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
-//!                 [--candidates N] [--slow-query-micros N]
+//!                 [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]
+//!                 [--cut N] [--ignore-bytes] [--candidates N]
+//!                 [--slow-query-micros N]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio query    <addr> --snapshot
@@ -44,9 +45,9 @@ use kastio::pattern::explain::explain_similarity;
 use kastio::workloads::{export_dataset, import_dataset};
 use kastio::{
     adjusted_rand_index, gram_matrix, hierarchical, load_index, parse_trace, pattern_string,
-    psd_repair, purity, save_index_if_changed, watch_termination, ByteMode, Dataset,
-    DistanceMatrix, GramMode, IndexOptions, KastKernel, KastOptions, Linkage, PatternIndex,
-    PrefilterConfig, Server, Snapshotter, SquareMatrix, StringKernel, TokenInterner,
+    psd_repair, purity, watch_termination, ByteMode, Dataset, DistanceMatrix, GramMode,
+    IndexOptions, KastKernel, KastOptions, Linkage, PatternIndex, PrefilterConfig, Server,
+    Snapshotter, SquareMatrix, StringKernel, TokenInterner,
 };
 
 const USAGE: &str = "\
@@ -56,8 +57,9 @@ usage:
   kastio generate <dir> [--seed N]
   kastio cluster  <dir> [--cut N] [--ignore-bytes] [--groups K]
   kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
-                  [--snapshot-every <secs>] [--cut N] [--ignore-bytes]
-                  [--candidates N] [--slow-query-micros N]
+                  [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]
+                  [--cut N] [--ignore-bytes] [--candidates N]
+                  [--slow-query-micros N]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio query    <addr> --snapshot
@@ -102,8 +104,9 @@ const HELP_TOPICS: &[(&str, &str)] = &[
     (
         "serve",
         "kastio serve [--port N] [--shards N] [--corpus <dir>] [--save <dir>]\n\
-         \u{20}            [--snapshot-every <secs>] [--cut N] [--ignore-bytes]\n\
-         \u{20}            [--candidates N] [--slow-query-micros N]\n\n\
+         \u{20}            [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]\n\
+         \u{20}            [--cut N] [--ignore-bytes] [--candidates N]\n\
+         \u{20}            [--slow-query-micros N]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
          bound. --shards splits the corpus across N read-concurrent\n\
@@ -114,7 +117,12 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          on SHUTDOWN, on SAVE requests, on SIGTERM/SIGINT, and (with\n\
          --snapshot-every N) every N seconds in the background while\n\
          queries keep flowing (idle cycles are skipped). A failed final\n\
-         save exits non-zero. --candidates floors the signature-prefilter\n\
+         save exits non-zero. --wal (requires --save) adds a per-shard\n\
+         write-ahead log under <save-dir>/wal: every INGEST/BATCH INGEST\n\
+         is fsync'd (group commit every --wal-sync-micros microseconds,\n\
+         default 2000) before its OK reply, so an acked ingest survives\n\
+         kill -9; snapshots compact the log and restarts recover as\n\
+         last snapshot + WAL replay (point --corpus at the save dir). --candidates floors the signature-prefilter\n\
          budget. --slow-query-micros enables the slow-query log: requests\n\
          slower than N microseconds end-to-end are kept in a bounded\n\
          in-memory ring (newest 128) readable over SLOWLOG. The daemon\n\
@@ -151,8 +159,8 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          \u{20}              [--seed N] [--addr HOST:PORT] [--out FILE]\n\
          \u{20}              [--shards N] [--dry-run] [--ops N]\n\n\
          End-to-end load harness for the daemon. Runs the named scenario\n\
-         (read-heavy | write-heavy | hot-key; default: all three in that\n\
-         order) with N concurrent clients (default 4) for the given\n\
+         (read-heavy | write-heavy | hot-key | save-storm; default: all\n\
+         four in that order) with N concurrent clients (default 4) for the\n\
          duration each (default 2s; accepts `500ms`, `2s` or plain\n\
          seconds), then writes per-verb throughput, p50/p95/p99 latency\n\
          (client-side and, scraped from METRICS fences around each\n\
@@ -189,6 +197,7 @@ struct Flags {
     shards: usize,
     candidates: usize,
     snapshot_every: u64,
+    wal_sync_micros: u64,
     clients: usize,
     ops: usize,
     band: u64,
@@ -199,6 +208,7 @@ struct Flags {
     out: Option<String>,
     corpus: Option<String>,
     save: Option<String>,
+    wal: bool,
     ignore_bytes: bool,
     explain: bool,
     stats: bool,
@@ -233,6 +243,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         shards: 4,
         candidates: PrefilterConfig::default().min_candidates,
         snapshot_every: 0,
+        wal_sync_micros: 2000,
         clients: 4,
         ops: 20,
         band: 25,
@@ -243,6 +254,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         corpus: None,
         save: None,
+        wal: false,
         ignore_bytes: false,
         explain: false,
         stats: false,
@@ -253,6 +265,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ignore-bytes" => flags.ignore_bytes = true,
+            "--wal" => flags.wal = true,
             "--explain" => flags.explain = true,
             "--stats" => flags.stats = true,
             "--snapshot" => flags.snapshot = true,
@@ -279,6 +292,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             | "--shards"
             | "--candidates"
             | "--snapshot-every"
+            | "--wal-sync-micros"
             | "--clients"
             | "--ops"
             | "--band"
@@ -294,6 +308,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--shards" => flags.shards = (parsed as usize).max(1),
                     "--candidates" => flags.candidates = (parsed as usize).max(1),
                     "--snapshot-every" => flags.snapshot_every = parsed,
+                    "--wal-sync-micros" => flags.wal_sync_micros = parsed.max(1),
                     "--clients" => flags.clients = (parsed as usize).max(1),
                     "--ops" => flags.ops = (parsed as usize).max(1),
                     "--band" => flags.band = parsed,
@@ -419,6 +434,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if flags.snapshot_every > 0 && flags.save.is_none() {
         return Err("--snapshot-every needs --save <dir> (the snapshot target)".to_string());
     }
+    if flags.wal && flags.save.is_none() {
+        return Err(
+            "--wal needs --save <dir> (the durable root for snapshot/ and wal/)".to_string()
+        );
+    }
     let opts = IndexOptions {
         kast: KastOptions::with_cut_weight(flags.cut),
         byte_mode: byte_mode(flags),
@@ -438,9 +458,35 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         None => PatternIndex::new(opts),
     };
     let save_dir = flags.save.as_ref().map(PathBuf::from);
+
+    // The establish sequence for --wal: open the logs, fold whatever is
+    // already in memory (a --corpus preload — possibly itself recovered
+    // via WAL replay — or nothing) into a fresh establishing snapshot,
+    // then empty the logs. Blunt truncation is safe here and only here:
+    // the listener is not up yet, so no ingest can be in flight — and it
+    // neutralises stale or foreign records that would otherwise alias
+    // the ids this run is about to assign.
+    let wal = match (&save_dir, flags.wal) {
+        (Some(dir), true) => {
+            let wal = kastio::WalManager::open(
+                dir,
+                flags.shards,
+                Duration::from_micros(flags.wal_sync_micros),
+            )
+            .map_err(|e| format!("cannot open the WAL under {}: {e}", dir.display()))?;
+            kastio::save_index_wal(&index, dir, Some(&wal))
+                .map_err(|e| format!("establishing snapshot in {} failed: {e}", dir.display()))?;
+            wal.truncate_all()
+                .map_err(|e| format!("cannot reset the WAL under {}: {e}", dir.display()))?;
+            Some(wal)
+        }
+        _ => None,
+    };
+
     let server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?
         .with_save_dir(save_dir.clone())
+        .with_wal(wal.clone())
         .with_slow_log(flags.slow_query_micros);
     let addr = server.local_addr().map_err(|e| e.to_string())?;
 
@@ -451,6 +497,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let shutdown = server.shutdown_handle().map_err(|e| e.to_string())?;
     let signal_index = server.index();
     let signal_save = save_dir.clone();
+    let signal_wal = wal.clone();
     match watch_termination() {
         Ok(watcher) => {
             std::thread::Builder::new()
@@ -459,7 +506,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                     let Ok(signal) = watcher.wait() else { return };
                     eprintln!("received {signal}, snapshotting and shutting down");
                     if let Some(dir) = &signal_save {
-                        if let Err(e) = save_index_if_changed(&signal_index, dir) {
+                        if let Err(e) = kastio::save_index_if_changed_wal(
+                            &signal_index,
+                            dir,
+                            signal_wal.as_deref(),
+                        ) {
                             eprintln!("snapshot on {signal} failed: {e}");
                         }
                     }
@@ -473,10 +524,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // Periodic background snapshots, skipped while the generation counter
     // is unchanged. Dropped (stopped and joined) before the final save.
     let snapshotter = match (&save_dir, flags.snapshot_every) {
-        (Some(dir), secs) if secs > 0 => Some(Snapshotter::start(
+        (Some(dir), secs) if secs > 0 => Some(Snapshotter::start_with_wal(
             server.index(),
             dir.clone(),
             std::time::Duration::from_secs(secs),
+            wal.clone(),
         )),
         _ => None,
     };
@@ -491,7 +543,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // after that snapshot (or when every earlier save failed) — and a
     // failure here must be loud: stderr + non-zero exit.
     if let Some(dir) = &save_dir {
-        match save_index_if_changed(&index, dir) {
+        match kastio::save_index_if_changed_wal(&index, dir, wal.as_deref()) {
             Ok(Some(info)) => println!(
                 "saved {} entries to {} (generation {})",
                 info.entries,
@@ -574,7 +626,9 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
     let scenarios = match flags.scenario.as_deref() {
         None | Some("all") => ScenarioKind::ALL.to_vec(),
         Some(name) => vec![ScenarioKind::parse(name).ok_or_else(|| {
-            format!("unknown scenario `{name}` (read-heavy | write-heavy | hot-key | all)")
+            format!(
+                "unknown scenario `{name}` (read-heavy | write-heavy | hot-key | save-storm | all)"
+            )
         })?],
     };
 

@@ -62,11 +62,16 @@ fn dry_run_subcommand_is_reproducible_end_to_end() {
     assert_eq!(first, second, "identical CLI invocations must print identical traces");
     assert_ne!(first, run("100"), "the CLI seed flag must reach the generators");
 
-    // The trace covers all three scenarios and every client.
-    for header in ["# scenario=read-heavy", "# scenario=write-heavy", "# scenario=hot-key"] {
+    // The trace covers every scenario and every client.
+    for header in [
+        "# scenario=read-heavy",
+        "# scenario=write-heavy",
+        "# scenario=hot-key",
+        "# scenario=save-storm",
+    ] {
         assert!(first.contains(header), "missing {header}");
     }
     for client in ["--- client 0 ---", "--- client 1 ---", "--- client 2 ---"] {
-        assert_eq!(first.matches(client).count(), 3, "{client} appears once per scenario");
+        assert_eq!(first.matches(client).count(), 4, "{client} appears once per scenario");
     }
 }

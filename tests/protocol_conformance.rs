@@ -271,6 +271,58 @@ fn hello_then_work_then_shutdown_with_save_dir() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Under `--wal` the wire changes in exactly two observable ways: the
+/// SAVE reply gains a ` wal=truncated` note and the STATS / METRICS WAL
+/// counters go live. Everything else stays byte-identical.
+#[test]
+fn wal_mode_counters_and_save_reply_match_the_spec_bytes() {
+    let dir = std::env::temp_dir().join(format!("kastio-conformance-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let save_dir = dir.join("corpus");
+    let mut server = start_server(&["--save", save_dir.to_str().unwrap(), "--wal"]);
+    let mut conn = Connection::open(&server.addr);
+
+    // Ingest replies are unchanged by --wal (only their timing moves:
+    // the OK is written after the covering fsync).
+    assert_eq!(
+        conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n"),
+        "OK id=0 name=e0 entries=1\n"
+    );
+
+    // The acked record is on the log and fsync'd; STATS says so.
+    let stats = conn.roundtrip("STATS\n");
+    assert!(stats.contains("STAT wal_records 1\n"), "{stats}");
+    assert!(
+        stats.contains("STAT last_replay_records 0\n"),
+        "fresh start replayed nothing: {stats}"
+    );
+    let stat_value = |reply: &str, key: &str| -> u64 {
+        reply
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("STAT {key} ")))
+            .unwrap_or_else(|| panic!("no {key} in {reply}"))
+            .parse()
+            .expect("integer stat")
+    };
+    assert!(stat_value(&stats, "wal_bytes") > 0, "{stats}");
+    assert!(stat_value(&stats, "wal_fsyncs") >= 1, "the ack waited for a covering fsync: {stats}");
+
+    // SAVE is a compaction point and the reply says so — exact bytes.
+    // The generation is the corpus size the snapshot covers.
+    assert_eq!(conn.roundtrip("SAVE\n"), "OK saved entries=1 generation=1 wal=truncated\n");
+
+    // METRICS exposes the same counters as Prometheus families.
+    let metrics = conn.roundtrip("METRICS\n");
+    assert!(metrics.contains("kastio_wal_records_total 1\n"), "{metrics}");
+    assert!(metrics.contains("kastio_wal_replay_records 0\n"), "{metrics}");
+
+    // SHUTDOWN's own save re-covers the same corpus — its reply shape
+    // is unchanged by --wal.
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye saved=1 generation=1\n");
+    assert!(server.child.wait().expect("server exits").success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn stats_reports_metrics_counters_in_documented_order() {
     let server = start_server(&[]);
@@ -304,6 +356,17 @@ fn stats_reports_metrics_counters_in_documented_order() {
     ];
     let start = keys.iter().position(|&k| k == "uptime_secs").expect("metrics block present");
     assert_eq!(&keys[start..start + metrics_keys.len()], &metrics_keys);
+
+    // The WAL block sits immediately before the metrics block and is
+    // rendered even without --wal (all zeros), so parsers never branch
+    // on the daemon's configuration.
+    let wal_keys = ["wal_records", "wal_bytes", "wal_fsyncs", "last_replay_records"];
+    let wal_start = keys.iter().position(|&k| k == "wal_records").expect("wal block present");
+    assert_eq!(&keys[wal_start..wal_start + wal_keys.len()], &wal_keys);
+    assert_eq!(wal_start + wal_keys.len(), start, "wal block directly precedes uptime_secs");
+    for key in wal_keys {
+        assert!(stats.contains(&format!("STAT {key} 0\n")), "{key} is zero without --wal: {stats}");
+    }
 
     // And the counters reflect this connection's traffic exactly:
     // HELLO + INGEST + FROB + STATS = 4 requests, 1 error.
@@ -346,6 +409,14 @@ fn metrics_exposition_is_framed_and_internally_consistent() {
     assert!(reply.contains("# TYPE kastio_request_latency_ns histogram"), "{reply}");
     assert!(reply.contains("# TYPE kastio_stage_latency_ns histogram"), "{reply}");
     assert!(reply.contains("kastio_slowlog_entries 0\n"), "{reply}");
+
+    // The WAL families are exposed (as zeros) even without --wal.
+    assert!(reply.contains("# TYPE kastio_wal_records_total counter\n"), "{reply}");
+    assert!(reply.contains("kastio_wal_records_total 0\n"), "{reply}");
+    assert!(reply.contains("kastio_wal_bytes_total 0\n"), "{reply}");
+    assert!(reply.contains("kastio_wal_fsyncs_total 0\n"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_wal_replay_records gauge\n"), "{reply}");
+    assert!(reply.contains("kastio_wal_replay_records 0\n"), "{reply}");
 
     // The QUERY latency series: cumulative buckets ending in `+Inf`,
     // whose final count equals the _count sample and the verb counter.

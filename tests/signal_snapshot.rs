@@ -153,6 +153,75 @@ fn sigterm_mid_traffic_snapshots_every_acknowledged_ingest() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// `SIGKILL` in the middle of a `BATCH INGEST` burst under `--wal`,
+/// with exact acked-vs-lost accounting: the client records which batch
+/// replies it actually read, and after reload every entry of every
+/// *acked* batch must be present while nothing asserts about the batch
+/// in flight (it may have partially committed — it was never acked).
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_batch_ingest_burst_keeps_every_acked_batch() {
+    let dir = tmpdir("wal-batch-kill");
+    let save = dir.join("corpus");
+    let mut server = start_server(
+        &["--save", save.to_str().unwrap(), "--wal", "--wal-sync-micros", "500"],
+        false,
+    );
+
+    const BATCH: usize = 4;
+    let addr = server.addr.clone();
+    let (min_acked_tx, min_acked_rx) = std::sync::mpsc::channel::<()>();
+    let writer = std::thread::spawn(move || {
+        let mut conn = Connection::open(&addr);
+        let mut acked_batches = 0usize;
+        loop {
+            let base = acked_batches * BATCH;
+            let items: Vec<String> =
+                (base..base + BATCH).map(|i| format!("flash {}", wire_trace(i))).collect();
+            let request = format!("BATCH INGEST {BATCH}\n{}\n", items.join("\n"));
+            match conn.try_roundtrip(&request) {
+                Some(reply) if reply[0].starts_with("OK batch=") => {
+                    assert_eq!(
+                        reply[0],
+                        format!("OK batch={BATCH} entries={}", base + BATCH),
+                        "batches land in order, so the entry count is exact"
+                    );
+                    acked_batches += 1;
+                    if acked_batches == 6 {
+                        min_acked_tx.send(()).expect("signal main thread");
+                    }
+                }
+                _ => return acked_batches, // daemon died under us
+            }
+        }
+    });
+    min_acked_rx.recv_timeout(Duration::from_secs(120)).expect("6 batches acknowledged");
+    send_signal(&server.child, "-KILL");
+    let acked_batches = writer.join().expect("writer joins");
+    let _ = server.child.wait();
+    assert!(acked_batches >= 6);
+
+    let restored = load_index(&save, IndexOptions::default()).expect("durable root loads");
+    let acked_entries = acked_batches * BATCH;
+    assert!(
+        restored.len() >= acked_entries,
+        "every entry of every acked batch survives ({} < {acked_entries})",
+        restored.len()
+    );
+    // The in-flight batch was never acked: anything beyond the acked
+    // count is a permitted partial tail, bounded by one batch.
+    assert!(
+        restored.len() <= acked_entries + BATCH,
+        "at most the one unacked batch may appear ({} > {acked_entries} + {BATCH})",
+        restored.len()
+    );
+    let names: Vec<String> = restored.entries().iter().map(|e| e.name.clone()).collect();
+    for i in 0..acked_entries {
+        assert!(names.contains(&format!("e{i}")), "acked e{i} missing after reload");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[cfg(unix)]
 #[test]
 fn sigint_without_save_still_shuts_down_cleanly() {
