@@ -1,6 +1,7 @@
 //! Corpus entries: one ingested, fully preprocessed labelled trace.
 
 use kastio_core::IdString;
+use kastio_quota::ApproxSize;
 use kastio_trace::{PatternSignature, Trace};
 
 /// Dense identifier of an entry inside one [`crate::PatternIndex`].
@@ -53,6 +54,33 @@ pub struct IndexEntry {
     pub signature: PatternSignature,
 }
 
+/// Approximate per-operation cost of keeping a trace resident in the
+/// corpus: the operation itself plus the interned token/weight pair and
+/// the prefix-sum slot derived from it.
+const OP_COST_BYTES: usize = 48;
+
+/// Fixed per-entry overhead: the [`IndexEntry`] struct, string headers,
+/// signature, vector headers, and the shard's sorted-insert slot.
+const ENTRY_BASE_BYTES: usize = 192;
+
+/// Approximate resident bytes an entry built from `name`, `label` and
+/// `trace` will occupy once ingested.
+///
+/// Deliberately computable *before* the preprocessing pipeline runs, so
+/// memory admission can refuse an ingest before an entry id is allocated
+/// (a refused ingest must leave no id gap). [`ApproxSize`] for a built
+/// [`IndexEntry`] reports the same figure, so corpus charges taken at
+/// admission always match what a later accounting walk would measure.
+pub fn entry_footprint_bytes(name: &str, label: &str, trace: &Trace) -> u64 {
+    (ENTRY_BASE_BYTES + name.len() + label.len() + trace.len() * OP_COST_BYTES) as u64
+}
+
+impl ApproxSize for IndexEntry {
+    fn approx_size_bytes(&self) -> usize {
+        entry_footprint_bytes(&self.name, &self.label, &self.trace) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +89,14 @@ mod tests {
     fn entry_id_displays_densely() {
         assert_eq!(EntryId(7).to_string(), "e7");
         assert!(EntryId(1) > EntryId(0));
+    }
+
+    #[test]
+    fn footprint_grows_with_trace_length_and_names() {
+        let short = Trace::new();
+        let base = entry_footprint_bytes("a", "b", &short);
+        assert!(base >= ENTRY_BASE_BYTES as u64);
+        let longer = entry_footprint_bytes("a-much-longer-name", "b", &short);
+        assert!(longer > base);
     }
 }

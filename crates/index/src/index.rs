@@ -11,14 +11,18 @@
 //!
 //! The corpus is split across `S` shards (configured by
 //! [`IndexOptions::shards`]). Every mutable accelerator — the shared
-//! [`TokenInterner`], the per-shard pairwise-kernel LRU, the per-query
-//! self-kernel memo and the work counters — sits behind interior
-//! mutability, so both [`PatternIndex::query`] and
-//! [`PatternIndex::ingest`] take `&self`: any number of threads can share
-//! one index behind a plain `Arc` with no external lock. A query takes
-//! *read* locks on every shard (so concurrent queries never serialise on
-//! each other); an ingest write-locks only the one shard that owns the new
-//! entry, leaving queries on the other `S − 1` shards untouched.
+//! [`TokenInterner`], the index-wide striped pairwise-kernel cache
+//! ([`crate::lru::SharedKernelCache`]), the per-query self-kernel memo
+//! and the work counters — sits behind interior mutability, so both
+//! [`PatternIndex::query`] and [`PatternIndex::ingest`] take `&self`: any
+//! number of threads can share one index behind a plain `Arc` with no
+//! external lock. A query takes *read* locks on every shard (so
+//! concurrent queries never serialise on each other); an ingest
+//! write-locks only the one shard that owns the new entry, leaving
+//! queries on the other `S − 1` shards untouched. The kernel cache is
+//! shared by all shards (striped internally to keep contention low), so
+//! a hot query warms it once — not once per shard — and a single byte
+//! budget bounds it regardless of the shard count.
 //!
 //! ## Shard-assignment invariant
 //!
@@ -38,17 +42,18 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use kastio_core::{
     ByteMode, IdString, KastEvaluator, KastKernel, KastOptions, Normalization, PatternPipeline,
     StringKernel, TokenId, TokenInterner,
 };
+use kastio_quota::{Account, MemoryQuota};
 use kastio_trace::{valid_entry_name, valid_entry_tag, PatternSignature, SignatureConfig, Trace};
 
-use crate::entry::{EntryId, IndexEntry};
-use crate::lru::KernelCache;
+use crate::entry::{entry_footprint_bytes, EntryId, IndexEntry};
+use crate::lru::SharedKernelCache;
 use crate::prefilter::{select_candidates_ranked, PrefilterConfig};
 
 /// Below this many cache misses a query scores sequentially — spawning
@@ -84,8 +89,8 @@ pub struct IndexOptions {
     pub signature: SignatureConfig,
     /// Candidate prefilter configuration.
     pub prefilter: PrefilterConfig,
-    /// Capacity of each shard's pairwise kernel LRU (pairs; 0 disables
-    /// caching).
+    /// Total capacity of the index-wide pairwise kernel cache (pairs,
+    /// shared by all shards; 0 disables caching).
     pub cache_capacity: usize,
     /// OS threads for batch scoring (0 = available parallelism).
     pub threads: usize,
@@ -182,6 +187,13 @@ pub enum IngestError {
     /// The label is empty or contains whitespace (the manifest line
     /// format is whitespace-delimited).
     InvalidLabel(String),
+    /// Admitting the entry would push the corpus past the attached memory
+    /// budget (see [`PatternIndex::attach_quota`]). Transient, not a
+    /// validation failure: the entry itself is fine, the index is full.
+    /// The `Display` form is the wire shed message, so the serve daemon's
+    /// generic `ERR {error}` rendering produces exactly
+    /// `ERR busy reason=memory`.
+    OverMemoryBudget,
 }
 
 impl std::fmt::Display for IngestError {
@@ -198,6 +210,7 @@ impl std::fmt::Display for IngestError {
                 "label `{}` cannot be persisted (empty or whitespace)",
                 label.escape_debug()
             ),
+            IngestError::OverMemoryBudget => write!(f, "busy reason=memory"),
         }
     }
 }
@@ -280,7 +293,7 @@ pub struct Neighbor {
 pub struct QueryTimings {
     /// Signature prefilter scan (candidate selection across shards).
     pub prefilter_ns: u64,
-    /// Per-shard LRU lookups plus the post-scoring cache fills.
+    /// Shared kernel-cache lookups plus the post-scoring cache fills.
     pub cache_ns: u64,
     /// Kernel scoring of the cache misses.
     pub kernel_ns: u64,
@@ -316,26 +329,16 @@ pub struct QueryResult {
 }
 
 /// One shard of the corpus: a contiguous id-ordered slice of the entries
-/// assigned to it, plus that shard's pairwise-kernel LRU.
+/// assigned to it.
 ///
 /// The entry vectors are only mutated under the shard's *write* lock
-/// (ingest); the cache has its own mutex so queries can hit and fill it
-/// while holding only the shard's *read* lock.
-#[derive(Debug)]
+/// (ingest). Pairwise kernel values live in the index-wide
+/// [`SharedKernelCache`], not here — queries hit and fill that cache
+/// while holding only shard *read* locks.
+#[derive(Debug, Default)]
 struct Shard {
     entries: Vec<IndexEntry>,
     signatures: Vec<PatternSignature>,
-    cache: Mutex<KernelCache>,
-}
-
-impl Shard {
-    fn new(cache_capacity: usize) -> Self {
-        Shard {
-            entries: Vec::new(),
-            signatures: Vec::new(),
-            cache: Mutex::new(KernelCache::new(cache_capacity)),
-        }
-    }
 }
 
 /// The online pattern corpus index.
@@ -379,6 +382,12 @@ pub struct PatternIndex {
     kernel: KastKernel,
     interner: Mutex<TokenInterner>,
     shards: Vec<RwLock<Shard>>,
+    /// The index-wide pairwise kernel cache, shared by all shards.
+    cache: Arc<SharedKernelCache>,
+    /// Byte account the resident corpus is charged against. Unset until
+    /// [`PatternIndex::attach_quota`] — an unattached index does no
+    /// memory admission at all.
+    corpus_account: OnceLock<Account>,
     next_id: AtomicU32,
     queries: Mutex<QueryRegistry>,
     stats: SharedStats,
@@ -432,9 +441,9 @@ impl PatternIndex {
             pipeline: PatternPipeline::new(opts.byte_mode),
             kernel: KastKernel::new(opts.kast),
             interner: Mutex::new(TokenInterner::new()),
-            shards: (0..shard_count)
-                .map(|_| RwLock::new(Shard::new(opts.cache_capacity)))
-                .collect(),
+            shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
+            cache: Arc::new(SharedKernelCache::new(opts.cache_capacity, shard_count)),
+            corpus_account: OnceLock::new(),
             next_id: AtomicU32::new(0),
             queries: Mutex::new(QueryRegistry::default()),
             stats: SharedStats::default(),
@@ -551,12 +560,51 @@ impl PatternIndex {
         self.save_lock.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Number of pairs currently cached, summed over the shards.
+    /// Number of pairs currently held by the shared kernel cache.
     pub fn cached_pairs(&self) -> usize {
-        self.shards
+        self.cache.len()
+    }
+
+    /// Wires the index into a memory budget: charges the resident corpus
+    /// to a `corpus` account, the kernel cache to a `cache` account, and
+    /// registers the cache as the budget's reclaim target (under
+    /// pressure the quota clears it, the cheapest memory the index can
+    /// give back). After attachment every ingest is *admission
+    /// controlled*: an entry whose footprint no longer fits is refused
+    /// with [`IngestError::OverMemoryBudget`] instead of growing past
+    /// the budget.
+    ///
+    /// Entries already resident (a corpus preloaded before attachment)
+    /// are charged unconditionally — a corpus bigger than the budget
+    /// still loads, it just sheds all further ingests.
+    ///
+    /// At most one attachment sticks; later calls are ignored.
+    pub fn attach_quota(&self, quota: &MemoryQuota) {
+        let corpus = quota.account("corpus");
+        let preloaded: u64 = self
+            .shards
             .iter()
-            .map(|shard| read_shard(shard).cache.lock().unwrap_or_else(|p| p.into_inner()).len())
-            .sum()
+            .map(|shard| {
+                read_shard(shard)
+                    .entries
+                    .iter()
+                    .map(|e| entry_footprint_bytes(&e.name, &e.label, &e.trace))
+                    .sum::<u64>()
+            })
+            .sum();
+        if self.corpus_account.set(corpus).is_err() {
+            return;
+        }
+        if preloaded > 0 {
+            if let Some(account) = self.corpus_account.get() {
+                account.charge(preloaded);
+            }
+        }
+        self.cache.attach_account(quota.account("cache"));
+        let cache = Arc::downgrade(&self.cache);
+        quota.set_reclaimer("cache", move |_wanted| {
+            cache.upgrade().map_or(0, |cache| cache.clear())
+        });
     }
 
     /// Runs the trace → weighted string pipeline and interns the result
@@ -586,8 +634,11 @@ impl PatternIndex {
     /// [`IngestError`] when the name or label could not survive the
     /// persistence round trip (whitespace, path separators, …); rejecting
     /// such entries *here* keeps every later [`crate::save_index`] of the
-    /// corpus saveable. Validation happens before any id is allocated, so
-    /// a rejected ingest leaves no gap in the id sequence.
+    /// corpus saveable. With a quota attached,
+    /// [`IngestError::OverMemoryBudget`] when the entry's footprint no
+    /// longer fits the budget. Validation and admission both happen
+    /// before any id is allocated, so a rejected ingest leaves no gap in
+    /// the id sequence.
     ///
     /// # Examples
     ///
@@ -617,6 +668,7 @@ impl PatternIndex {
         if !valid_entry_tag(&label) {
             return Err(IngestError::InvalidLabel(label));
         }
+        self.admit_entry(&name, &label, &trace)?;
         let id = self.allocate_id();
         Ok(self.ingest_with_id(id, name, label, trace))
     }
@@ -641,8 +693,25 @@ impl PatternIndex {
         if !valid_entry_tag(&label) {
             return Err(IngestError::InvalidLabel(label));
         }
+        // Admission estimates with the widest name the id could render
+        // to ("e" + u32) so the estimate never depends on the id value.
+        self.admit_entry("e4294967295", &label, &trace)?;
         let id = self.allocate_id();
         Ok(self.ingest_with_id(id, format!("e{}", id.0), label, trace))
+    }
+
+    /// Memory admission for one prospective entry: with a quota attached,
+    /// charges its estimated footprint against the corpus account —
+    /// refusing (without allocating an id) when it no longer fits. The
+    /// `try_charge` under the hood reclaims (clears the kernel cache)
+    /// before giving up, so a refusal means the corpus truly cannot grow.
+    fn admit_entry(&self, name: &str, label: &str, trace: &Trace) -> Result<(), IngestError> {
+        let Some(account) = self.corpus_account.get() else { return Ok(()) };
+        if account.try_charge(entry_footprint_bytes(name, label, trace)) {
+            Ok(())
+        } else {
+            Err(IngestError::OverMemoryBudget)
+        }
     }
 
     fn allocate_id(&self) -> EntryId {
@@ -684,9 +753,9 @@ impl PatternIndex {
     ///
     /// Pipeline: convert + intern the query once, prefilter the corpus by
     /// signature distance (fanned across shards), serve cached pairs from
-    /// the per-shard LRUs, score the remaining candidates in parallel,
-    /// merge and rank. Holds *read* locks on the shards, so any number of
-    /// queries run concurrently.
+    /// the shared kernel cache, score the remaining candidates in
+    /// parallel, merge and rank. Holds *read* locks on the shards, so any
+    /// number of queries run concurrently.
     ///
     /// # Examples
     ///
@@ -731,10 +800,10 @@ impl PatternIndex {
 
         // Resolve the query's exact identity (and memoised self-kernel)
         // before taking any shard lock. Lock order: the registry mutex
-        // may be acquired *before* shard/cache locks (its reset path
-        // clears the per-shard caches while holding it), never after —
-        // no code path may take the registry while holding a shard lock
-        // or a cache mutex, or the order would cycle.
+        // may be acquired *before* shard locks and cache stripe locks
+        // (its reset path clears the shared cache while holding it),
+        // never after — no code path may take the registry while holding
+        // a shard lock or a cache stripe, or the order would cycle.
         let (query_key, query_self) = self.query_identity(query);
 
         // Read-lock every shard for the duration of the query. Shards are
@@ -752,21 +821,17 @@ impl PatternIndex {
         timings.prefilter_ns = span_ns(stage);
         self.stats.prefilter_pruned.fetch_add((total - candidates.len()) as u64, Ordering::Relaxed);
 
-        // Serve what the per-shard LRUs already know; collect the rest.
+        // Serve what the shared kernel cache already knows; collect the
+        // rest. The cache is keyed by (query, entry) — which shard owns
+        // an entry never matters, so a pair warmed by any earlier query
+        // hits here regardless of sharding.
         let stage = Instant::now();
         let mut raw_values: Vec<(Candidate, f64)> = Vec::with_capacity(candidates.len());
         let mut misses: Vec<Candidate> = Vec::new();
-        for shard_idx in 0..shards.len() {
-            let mut in_shard = candidates.iter().filter(|&&(s, _)| s == shard_idx).peekable();
-            if in_shard.peek().is_none() {
-                continue;
-            }
-            let mut cache = shards[shard_idx].cache.lock().unwrap_or_else(|p| p.into_inner());
-            for &(s, pos) in in_shard {
-                match cache.get((query_key, shards[s].entries[pos].id.0)) {
-                    Some(value) => raw_values.push(((s, pos), value)),
-                    None => misses.push((s, pos)),
-                }
+        for &(s, pos) in &candidates {
+            match self.cache.get((query_key, shards[s].entries[pos].id.0)) {
+                Some(value) => raw_values.push(((s, pos), value)),
+                None => misses.push((s, pos)),
             }
         }
         timings.cache_ns += span_ns(stage);
@@ -779,15 +844,8 @@ impl PatternIndex {
         let scored = self.score_batch(&shards, query, &misses);
         timings.kernel_ns = span_ns(stage);
         let stage = Instant::now();
-        for shard_idx in 0..shards.len() {
-            let mut in_shard = scored.iter().filter(|&&((s, _), _)| s == shard_idx).peekable();
-            if in_shard.peek().is_none() {
-                continue;
-            }
-            let mut cache = shards[shard_idx].cache.lock().unwrap_or_else(|p| p.into_inner());
-            for &((s, pos), value) in in_shard {
-                cache.insert((query_key, shards[s].entries[pos].id.0), value);
-            }
+        for &((s, pos), value) in &scored {
+            self.cache.insert((query_key, shards[s].entries[pos].id.0), value);
         }
         timings.cache_ns += span_ns(stage);
         raw_values.extend(scored);
@@ -923,13 +981,11 @@ impl PatternIndex {
         let id = {
             let mut registry = self.lock_registry();
             // Bound the registry by the cache capacity: past it, reset it
-            // together with the per-shard pair caches (the caches are
-            // keyed by these ids, so they retire together).
+            // together with the shared pair cache (the cache is keyed by
+            // these ids, so they retire together).
             if registry.map.len() >= self.opts.cache_capacity && !registry.map.contains_key(&key) {
                 registry.map.clear();
-                for shard in &self.shards {
-                    read_shard(shard).cache.lock().unwrap_or_else(|p| p.into_inner()).clear();
-                }
+                self.cache.clear();
             }
             let QueryRegistry { map, next_id } = &mut *registry;
             let fresh_id = *next_id;
@@ -1192,6 +1248,66 @@ mod tests {
             bounded.stats().query_self_evals,
             unbounded.stats().query_self_evals
         );
+    }
+
+    #[test]
+    fn cross_shard_hot_query_warms_the_cache_once() {
+        // One shared cache: repeating a query that touches entries in
+        // every shard re-evaluates nothing — the warm pairs hit no matter
+        // which shard owns them.
+        let index = PatternIndex::new(IndexOptions { shards: 4, ..IndexOptions::default() });
+        for i in 0..8 {
+            index.ingest(format!("w{i}"), "w", checkpoint(8 + i)).unwrap();
+        }
+        let first = index.query(&checkpoint(10), 8);
+        assert!(first.evaluated > 0);
+        assert_eq!(first.cache_hits, 0);
+        let second = index.query(&checkpoint(10), 8);
+        assert_eq!(second.evaluated, 0, "every cross-shard pair was warmed by the first query");
+        assert_eq!(second.cache_hits, first.evaluated);
+        assert_eq!(first.neighbors, second.neighbors);
+        assert_eq!(index.stats().kernel_evals, first.evaluated as u64);
+    }
+
+    #[test]
+    fn memory_admission_sheds_ingests_once_the_budget_is_full() {
+        let quota = MemoryQuota::new(Some(4096));
+        let index = PatternIndex::new(IndexOptions::default());
+        index.attach_quota(&quota);
+        let mut admitted = 0usize;
+        let mut shed = false;
+        for i in 0..64 {
+            match index.ingest(format!("w{i}"), "w", checkpoint(16)) {
+                Ok(_) => admitted += 1,
+                Err(IngestError::OverMemoryBudget) => {
+                    shed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected ingest error: {other}"),
+            }
+        }
+        assert!(shed, "a 4 KiB budget must fill up");
+        assert!(admitted >= 1, "the first entry fits");
+        assert_eq!(index.len(), admitted, "a refused ingest leaves no entry and no id gap");
+        assert!(quota.used() <= 4096, "admission never exceeds the limit");
+        // The index still answers queries after shedding.
+        let result = index.query(&checkpoint(16), 1);
+        assert_eq!(result.neighbors.len(), 1);
+        // The next id is contiguous with the admitted entries.
+        assert_eq!(index.entries().last().unwrap().id.0 as usize, admitted - 1);
+    }
+
+    #[test]
+    fn attach_quota_charges_a_preloaded_corpus() {
+        let index = PatternIndex::new(IndexOptions::default());
+        index.ingest("w0", "w", checkpoint(16)).unwrap();
+        index.ingest("w1", "w", checkpoint(17)).unwrap();
+        let quota = MemoryQuota::new(Some(1 << 20));
+        index.attach_quota(&quota);
+        assert!(quota.used() > 0, "the resident corpus is charged at attachment");
+        let before = quota.used();
+        index.ingest("w2", "w", checkpoint(18)).unwrap();
+        assert!(quota.used() > before, "later ingests keep charging");
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //! 1. a **signature prefilter** ([`prefilter`]) that ranks the corpus by
 //!    cheap scalar distance and hands only a budgeted candidate subset to
 //!    the kernel stage;
-//! 2. an **LRU cache** ([`lru`]) of pairwise raw kernel values, so
-//!    repeated or neighbouring queries stop paying for the quadratic
-//!    string comparison;
+//! 2. a **shared, byte-accounted LRU cache** ([`lru`]) of pairwise raw
+//!    kernel values — one striped pool for all shards, so repeated or
+//!    neighbouring queries stop paying for the quadratic string
+//!    comparison and a hot query warms the cache once, not per shard;
 //! 3. **scoped-thread batch scoring** — the surviving candidates are
 //!    striped across OS threads (`std::thread::scope`, no async runtime).
 //!
@@ -89,7 +90,7 @@ pub use index::{
     IndexOptions, IndexStats, IngestError, Neighbor, PatternIndex, QueryResult, SnapshotStatus,
 };
 pub use kastio_trace::CorpusIoError;
-pub use lru::KernelCache;
+pub use lru::{KernelCache, SharedKernelCache};
 pub use persist::{
     load_index, save_index, save_index_if_changed, save_index_if_changed_wal, save_index_wal,
     SnapshotInfo, Snapshotter,

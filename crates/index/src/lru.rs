@@ -10,15 +10,23 @@
 //! Implemented as a `HashMap` into a slab of doubly-linked nodes, giving
 //! O(1) get/insert/evict without any external dependency.
 //!
-//! In a sharded [`crate::PatternIndex`] every shard owns one
-//! `KernelCache` behind its own mutex, sized by
-//! [`crate::IndexOptions::cache_capacity`] each: a query holding only
-//! shard *read* locks can still hit and fill the caches, and eviction
-//! pressure in one shard never disturbs another. The cache itself is
-//! single-threaded by design — concurrency is the caller's lock layout,
-//! kept out of this data structure.
+//! A sharded [`crate::PatternIndex`] owns **one** [`SharedKernelCache`]:
+//! a byte-accounted pool of `KernelCache` stripes shared by every shard,
+//! sized by [`crate::IndexOptions::cache_capacity`] in total. Keys are
+//! `(query id, entry id)`, so which stripe holds a pair is a pure
+//! function of the pair — never of the shard that owns the entry — and a
+//! hot query that touches entries in all `S` shards warms the cache
+//! *once*, not `S` times. Striping (the stripe count tracks the shard
+//! count, capped) keeps concurrent queries from serialising on one
+//! mutex; the single-threaded `KernelCache` underneath stays free of any
+//! synchronisation of its own. Byte usage is charged to an optional
+//! [`kastio_quota::Account`], making the cache the natural reclaim
+//! target when the daemon's memory budget comes under pressure.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use kastio_quota::Account;
 
 /// Cache key: the query's dense content id (assigned by the index's query
 /// registry — deliberately *not* a hash, since a collision would silently
@@ -64,12 +72,23 @@ pub struct KernelCache {
     tail: usize,
 }
 
+/// Approximate bytes one cached pair occupies: the `HashMap` entry
+/// (key + slot index + bucket overhead) plus the slab node. Used to
+/// charge cache growth against a [`kastio_quota::Account`] and to bound
+/// the up-front `HashMap` pre-allocation.
+pub const PAIR_COST_BYTES: usize = 64;
+
+/// Upper bound on bytes [`KernelCache::new`] pre-reserves for its map.
+/// Larger configured capacities still work — the map just grows on
+/// demand instead of being reserved before a single pair is cached.
+const PREALLOC_BUDGET_BYTES: usize = 1 << 20;
+
 impl KernelCache {
     /// Creates a cache holding at most `capacity` pairs.
     pub fn new(capacity: usize) -> Self {
         KernelCache {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity.min(PREALLOC_BUDGET_BYTES / PAIR_COST_BYTES)),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -183,6 +202,134 @@ impl KernelCache {
     }
 }
 
+/// One byte-accounted kernel cache shared by every shard of a
+/// [`crate::PatternIndex`].
+///
+/// The total pair capacity is split across a small power-of-two number
+/// of mutex-guarded [`KernelCache`] stripes so concurrent queries rarely
+/// contend on the same lock. A pair's stripe is a pure function of its
+/// `(query id, entry id)` key, so every shard's candidates for one query
+/// land in the same shared pool: a cross-shard hot query warms the cache
+/// once instead of once per shard.
+///
+/// When an [`Account`] is attached, each newly cached pair charges
+/// [`PAIR_COST_BYTES`] against it and [`clear`](SharedKernelCache::clear)
+/// releases what it frees — which is exactly what makes the cache a
+/// useful reclaim target under memory pressure. Charging happens *after*
+/// the stripe lock is released, so a charge that triggers quota reclaim
+/// (which clears these very stripes) can never deadlock.
+#[derive(Debug)]
+pub struct SharedKernelCache {
+    stripes: Vec<Mutex<KernelCache>>,
+    /// `stripes.len() - 1`; stripe count is always a power of two.
+    stripe_mask: usize,
+    total_capacity: usize,
+    account: OnceLock<Account>,
+}
+
+/// Most stripes a cache will ever be split into: enough to keep a
+/// 16-shard index from serialising, without fragmenting tiny capacities.
+const MAX_STRIPES: usize = 16;
+
+impl SharedKernelCache {
+    /// Creates a cache holding at most `capacity` pairs in total, striped
+    /// to suit an index with `shards` shards. Capacity 0 disables caching.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let stripes = shards.max(1).next_power_of_two().min(MAX_STRIPES);
+        let per_stripe = if capacity == 0 { 0 } else { capacity.div_ceil(stripes) };
+        SharedKernelCache {
+            stripes: (0..stripes).map(|_| Mutex::new(KernelCache::new(per_stripe))).collect(),
+            stripe_mask: stripes - 1,
+            total_capacity: capacity,
+            account: OnceLock::new(),
+        }
+    }
+
+    /// Attaches the byte account cache growth is charged against. At most
+    /// one account sticks; later calls are ignored.
+    pub fn attach_account(&self, account: Account) {
+        let _ = self.account.set(account);
+    }
+
+    /// Total configured pair capacity across all stripes.
+    pub fn capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Number of pairs currently cached across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock_stripe(s).len()).sum()
+    }
+
+    /// Whether no stripe holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes the cached pairs occupy.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.len() * PAIR_COST_BYTES) as u64
+    }
+
+    fn stripe_of(&self, (query, entry): PairKey) -> usize {
+        // Fibonacci mixing over both halves of the key; the high bits are
+        // the well-mixed ones, so take the stripe index from the top.
+        let mixed = (query.rotate_left(32) ^ u64::from(entry)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 48) as usize & self.stripe_mask
+    }
+
+    /// Looks up a pair, marking it most-recently used within its stripe.
+    pub fn get(&self, key: PairKey) -> Option<f64> {
+        lock_stripe(&self.stripes[self.stripe_of(key)]).get(key)
+    }
+
+    /// Inserts (or refreshes) a pair, evicting within the stripe when
+    /// full, and charges any net growth to the attached account.
+    pub fn insert(&self, key: PairKey, value: f64) {
+        if self.total_capacity == 0 {
+            return;
+        }
+        let grew = {
+            let mut stripe = lock_stripe(&self.stripes[self.stripe_of(key)]);
+            let before = stripe.len();
+            stripe.insert(key, value);
+            stripe.len() > before
+        };
+        // Charged outside the stripe lock: a reclaim triggered here may
+        // clear the stripes, and must be able to lock them.
+        if grew {
+            if let Some(account) = self.account.get() {
+                account.charge(PAIR_COST_BYTES as u64);
+            }
+        }
+    }
+
+    /// Drops every cached pair, releasing the freed bytes from the
+    /// attached account. Returns the number of bytes freed — the shape
+    /// quota reclaimers report back.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0usize;
+        for stripe in &self.stripes {
+            let mut guard = lock_stripe(stripe);
+            removed += guard.len();
+            guard.clear();
+        }
+        let bytes = (removed * PAIR_COST_BYTES) as u64;
+        if bytes > 0 {
+            if let Some(account) = self.account.get() {
+                account.release(bytes);
+            }
+        }
+        bytes
+    }
+}
+
+/// Stripe locks guard a plain cache — a panic mid-operation cannot leave
+/// it logically corrupt, so a poisoned lock is safe to keep using.
+fn lock_stripe(stripe: &Mutex<KernelCache>) -> MutexGuard<'_, KernelCache> {
+    stripe.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +405,89 @@ mod tests {
         for i in 984..1000u32 {
             assert_eq!(c.get((i as u64, i)), Some(i as f64));
         }
+    }
+
+    #[test]
+    fn shared_cache_roundtrips_across_stripes() {
+        let cache = SharedKernelCache::new(256, 8);
+        for i in 0..100u32 {
+            cache.insert((u64::from(i) * 37, i), f64::from(i));
+        }
+        assert_eq!(cache.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(cache.get((u64::from(i) * 37, i)), Some(f64::from(i)));
+        }
+    }
+
+    #[test]
+    fn shared_cache_single_shard_uses_one_stripe() {
+        let cache = SharedKernelCache::new(2, 1);
+        assert_eq!(cache.stripes.len(), 1, "one shard keeps exact LRU order");
+        cache.insert((1, 1), 1.0);
+        cache.insert((2, 2), 2.0);
+        cache.insert((3, 3), 3.0); // evicts (1,1)
+        assert_eq!(cache.get((1, 1)), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_zero_capacity_disables_caching() {
+        let cache = SharedKernelCache::new(0, 4);
+        cache.insert((1, 1), 1.0);
+        assert_eq!(cache.get((1, 1)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_charges_and_releases_its_account() {
+        let quota = kastio_quota::MemoryQuota::unlimited();
+        let cache = SharedKernelCache::new(64, 4);
+        cache.attach_account(quota.account("cache"));
+        for i in 0..10u32 {
+            cache.insert((u64::from(i), i), 0.5);
+        }
+        assert_eq!(quota.used(), 10 * PAIR_COST_BYTES as u64);
+        // Refreshing an existing pair grows nothing.
+        cache.insert((0, 0), 0.75);
+        assert_eq!(quota.used(), 10 * PAIR_COST_BYTES as u64);
+        let freed = cache.clear();
+        assert_eq!(freed, 10 * PAIR_COST_BYTES as u64);
+        assert_eq!(quota.used(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_eviction_does_not_leak_charges() {
+        let quota = kastio_quota::MemoryQuota::unlimited();
+        let cache = SharedKernelCache::new(16, 1);
+        cache.attach_account(quota.account("cache"));
+        for i in 0..1000u32 {
+            cache.insert((u64::from(i), i), f64::from(i));
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(quota.used(), 16 * PAIR_COST_BYTES as u64);
+    }
+
+    #[test]
+    fn shared_cache_is_usable_from_many_threads() {
+        use std::sync::Arc;
+
+        let cache = Arc::new(SharedKernelCache::new(4096, 8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let key = (t * 10_000 + u64::from(i), i);
+                        cache.insert(key, f64::from(i));
+                        assert_eq!(cache.get(key), Some(f64::from(i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 4096 + MAX_STRIPES); // per-stripe rounding slack
     }
 }

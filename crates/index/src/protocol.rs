@@ -391,6 +391,23 @@ pub struct MetricsSnapshot {
     pub metrics: u64,
     /// Successfully parsed `SLOWLOG` requests (any sub-command).
     pub slowlog: u64,
+    /// Bytes currently charged against the daemon's memory budget
+    /// (corpus + kernel cache + in-flight request buffers).
+    pub mem_used_bytes: u64,
+    /// The configured `--max-memory-bytes` budget; 0 when unlimited.
+    pub mem_limit_bytes: u64,
+    /// Reclaim passes that actually freed memory (cache clears under
+    /// pressure).
+    pub mem_reclaims: u64,
+    /// `ERR busy reason=memory` replies sent — requests shed by memory
+    /// admission. Matches the busy replies clients observed, one for
+    /// one.
+    pub shed_memory: u64,
+    /// Connections refused with `ERR busy reason=connections` at the
+    /// accept loop (`--max-connections`).
+    pub shed_connections: u64,
+    /// Connections closed by the `--idle-timeout-secs` read deadline.
+    pub timeouts: u64,
 }
 
 impl MetricsSnapshot {
@@ -422,7 +439,9 @@ impl MetricsSnapshot {
 /// on-disk snapshot is current and whether saves have been failing.
 /// The trailing block renders the daemon's [`MetricsSnapshot`]: uptime,
 /// connections accepted, total/erroneous request counts and one
-/// `STAT verb_<name>` line per verb, then one
+/// `STAT verb_<name>` line per verb, then the memory-governance block
+/// (`mem_used_bytes`, `mem_limit_bytes`, `mem_reclaims`, `shed_memory`,
+/// `shed_connections`, `timeouts` — zeros when ungoverned), then one
 /// `STAT latency_<verb>_{p50,p95,p99}_us` triple per verb in `latency`
 /// (the server passes only verbs that have recorded samples, so a fresh
 /// daemon renders no latency lines).
@@ -491,6 +510,22 @@ pub fn render_stats_reply(
     for (verb, count) in metrics.verb_counts() {
         out.push_str(&format!("STAT verb_{verb} {count}\n"));
     }
+    // Memory governance block: always rendered (zeros without
+    // --max-memory-bytes), like the WAL block above.
+    out.push_str(&format!(
+        "STAT mem_used_bytes {}\n\
+         STAT mem_limit_bytes {}\n\
+         STAT mem_reclaims {}\n\
+         STAT shed_memory {}\n\
+         STAT shed_connections {}\n\
+         STAT timeouts {}\n",
+        metrics.mem_used_bytes,
+        metrics.mem_limit_bytes,
+        metrics.mem_reclaims,
+        metrics.shed_memory,
+        metrics.shed_connections,
+        metrics.timeouts,
+    ));
     for (verb, [p50, p95, p99]) in latency {
         out.push_str(&format!(
             "STAT latency_{verb}_p50_us {p50}\n\
@@ -570,6 +605,17 @@ pub fn render_metrics_reply(
     exp.sample("kastio_wal_replay_records", "", snapshot.last_replay_records);
     exp.type_line("kastio_slowlog_entries", "gauge");
     exp.sample("kastio_slowlog_entries", "", slowlog_len);
+    exp.type_line("kastio_mem_used_bytes", "gauge");
+    exp.sample("kastio_mem_used_bytes", "", metrics.mem_used_bytes);
+    exp.type_line("kastio_mem_limit_bytes", "gauge");
+    exp.sample("kastio_mem_limit_bytes", "", metrics.mem_limit_bytes);
+    exp.type_line("kastio_mem_reclaims_total", "counter");
+    exp.sample("kastio_mem_reclaims_total", "", metrics.mem_reclaims);
+    exp.type_line("kastio_shed_total", "counter");
+    exp.sample("kastio_shed_total", "reason=\"memory\"", metrics.shed_memory);
+    exp.sample("kastio_shed_total", "reason=\"connections\"", metrics.shed_connections);
+    exp.type_line("kastio_timeouts_total", "counter");
+    exp.sample("kastio_timeouts_total", "", metrics.timeouts);
     format!("OK metrics\n{}END\n", exp.finish())
 }
 

@@ -21,14 +21,15 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kastio_obs::{Histogram, SlowLog, StripedHistogram};
+use kastio_quota::{Account, MemoryQuota};
 
 use kastio_trace::wal::WalRecord;
 
 use crate::fault::{crash_point, CRASH_AFTER_ACK};
-use crate::index::{PatternIndex, QueryTimings};
+use crate::index::{IngestError, PatternIndex, QueryTimings};
 use crate::persist::save_index_wal;
 use crate::protocol::{
     parse_batch_ingest_item, parse_request, render_hello_reply, render_hello_unsupported,
@@ -111,7 +112,12 @@ fn request_summary(request: &Request) -> (&'static str, String) {
 /// counters count *successfully parsed* requests (a batched form counts
 /// once, on its header); `errors` counts `ERR` replies sent, whatever
 /// their cause (parse failure, bad batch item, unsupported `HELLO`,
-/// failed save, over-long line).
+/// failed save, over-long line, memory shed). The governance counters
+/// count load deliberately refused: `shed_memory` is `ERR busy
+/// reason=memory` replies (each one a client-visible shed, so the two
+/// tallies match exactly), `shed_connections` is connections refused at
+/// the accept loop with `ERR busy reason=connections`, and `timeouts` is
+/// connections closed by the `--idle-timeout-secs` read deadline.
 ///
 /// Latency is recorded into [`StripedHistogram`]s — one per verb for
 /// total request latency, one per pipeline stage — so concurrent handler
@@ -123,6 +129,13 @@ pub struct ServerMetrics {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// `ERR busy reason=memory` replies sent (ingest admission or
+    /// request-buffer admission refused).
+    shed_memory: AtomicU64,
+    /// Connections refused at the accept loop (`--max-connections`).
+    shed_connections: AtomicU64,
+    /// Connections closed by the idle-read deadline.
+    timeouts: AtomicU64,
     verbs: [AtomicU64; VERB_NAMES.len()],
     /// Per-verb request latency (read → reply flushed), nanoseconds.
     verb_latency: [StripedHistogram; VERB_NAMES.len()],
@@ -137,6 +150,9 @@ impl ServerMetrics {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed_memory: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             verbs: std::array::from_fn(|_| AtomicU64::new(0)),
             verb_latency: std::array::from_fn(|_| StripedHistogram::new()),
             stage_latency: std::array::from_fn(|_| StripedHistogram::new()),
@@ -158,6 +174,18 @@ impl ServerMetrics {
 
     fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_shed_memory(&self) {
+        self.shed_memory.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_shed_connection(&self) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed request's total latency into its verb's
@@ -213,6 +241,9 @@ impl ServerMetrics {
     }
 
     /// A point-in-time copy of every counter, for rendering or testing.
+    /// The memory gauges (`mem_*`) are zero here — they live on the
+    /// [`MemoryQuota`], overlaid by
+    /// [`ServerMetrics::snapshot_with_quota`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let verb = |slot: usize| self.verbs[slot].load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -220,6 +251,9 @@ impl ServerMetrics {
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed_memory: self.shed_memory.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             hello: verb(0),
             ingest: verb(1),
             batch_ingest: verb(2),
@@ -230,7 +264,19 @@ impl ServerMetrics {
             shutdown: verb(7),
             metrics: verb(8),
             slowlog: verb(9),
+            ..MetricsSnapshot::default()
         }
+    }
+
+    /// [`ServerMetrics::snapshot`] with the memory-governance gauges of
+    /// the daemon's [`MemoryQuota`] overlaid — the form `STATS` and
+    /// `METRICS` report.
+    pub fn snapshot_with_quota(&self, quota: &MemoryQuota) -> MetricsSnapshot {
+        let mut snapshot = self.snapshot();
+        snapshot.mem_used_bytes = quota.used();
+        snapshot.mem_limit_bytes = quota.limit().unwrap_or(0);
+        snapshot.mem_reclaims = quota.reclaims();
+        snapshot
     }
 }
 
@@ -271,7 +317,17 @@ pub struct Server {
     wal: Option<Arc<WalManager>>,
     metrics: Arc<ServerMetrics>,
     slow_log: Arc<SlowLog>,
+    /// The daemon's memory budget (unlimited by default). Shared with
+    /// the index once [`Server::with_memory_limit`] attaches a limit.
+    quota: MemoryQuota,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
 }
+
+/// Default `--max-connections`: generous enough that only a runaway
+/// client fleet (or a fd leak) ever hits it, small enough that the
+/// thread-per-connection model cannot be driven into thread exhaustion.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
 /// A clonable handle that stops a running [`Server::serve`] loop from
 /// another thread — the signal monitor uses one to turn `SIGTERM` into
@@ -308,7 +364,52 @@ impl Server {
             wal: None,
             metrics: Arc::new(ServerMetrics::new()),
             slow_log: Arc::new(SlowLog::disabled()),
+            quota: MemoryQuota::unlimited(),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout: None,
         })
+    }
+
+    /// Attaches a memory budget of `limit` bytes (`None`: unlimited, the
+    /// default). With a limit, the corpus and the kernel cache are
+    /// charged against it (the cache doubles as the reclaim target), and
+    /// requests that would grow past it are shed with
+    /// `ERR busy reason=memory` — the connection stays open, the daemon
+    /// stays up, and the shed is counted in `STATS` / `METRICS`.
+    #[must_use]
+    pub fn with_memory_limit(mut self, limit: Option<u64>) -> Server {
+        self.quota = MemoryQuota::new(limit);
+        if limit.is_some() {
+            self.index.attach_quota(&self.quota);
+        }
+        self
+    }
+
+    /// Caps concurrently served connections (default
+    /// [`DEFAULT_MAX_CONNECTIONS`]). Past the cap the accept loop sheds:
+    /// it replies `ERR busy reason=connections` and closes the socket
+    /// *without* spawning a handler thread, so overload cannot exhaust
+    /// threads or memory. Clamped to at least 1.
+    #[must_use]
+    pub fn with_max_connections(mut self, max: usize) -> Server {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Arms a per-connection read deadline (`None`, the default, waits
+    /// forever). A connection idle past the deadline is closed and
+    /// counted in the `timeouts` counter, so abandoned sockets release
+    /// their threads and registry slots.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Server {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// The daemon's memory quota (shared, clonable handle) — lets tests
+    /// and embedding processes observe `used()` while serving.
+    pub fn quota(&self) -> MemoryQuota {
+        self.quota.clone()
     }
 
     /// Configures the slow-query log threshold: requests whose total
@@ -402,6 +503,12 @@ impl Server {
         let slow_log = self.slow_log;
         let save_dir = self.save_dir.map(Arc::new);
         let wal = self.wal;
+        let quota = self.quota;
+        // One account for every connection's in-flight request buffers:
+        // admission is against the *root* budget anyway, and a shared
+        // account keeps the STATS story simple.
+        let buffers = quota.account("buffers");
+        let (max_connections, idle_timeout) = (self.max_connections, self.idle_timeout);
         // Registry of live client sockets, keyed by connection id. Each
         // handler removes its own entry on exit, so finished connections
         // release their file descriptors immediately; whatever is left at
@@ -437,6 +544,23 @@ impl Server {
             }
             handlers = live;
 
+            // Connection admission: past the cap, shed loudly — one
+            // readable reply line, then close — instead of spawning a
+            // thread the box cannot afford. The write is best-effort (a
+            // peer that already hung up gets nothing, which is fine).
+            if handlers.len() >= max_connections {
+                metrics.record_shed_connection();
+                let mut stream = stream;
+                let _ = stream.write_all(b"ERR busy reason=connections\n");
+                let _ = stream.flush();
+                continue;
+            }
+            if let Some(timeout) = idle_timeout {
+                // Best-effort: a socket that refuses the deadline just
+                // keeps blocking reads, as without the flag.
+                let _ = stream.set_read_timeout(Some(timeout));
+            }
+
             match stream.try_clone() {
                 Ok(clone) => {
                     lock_registry(&connections).insert(connection_id, clone);
@@ -452,6 +576,7 @@ impl Server {
                 (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
             let (save_dir, metrics) = (save_dir.clone(), Arc::clone(&metrics));
             let (slow_log, wal) = (Arc::clone(&slow_log), wal.clone());
+            let (quota, buffers) = (quota.clone(), buffers.clone());
             handlers.push(std::thread::spawn(move || {
                 let disposition = handle_connection(
                     stream,
@@ -460,6 +585,8 @@ impl Server {
                     wal.as_deref(),
                     &metrics,
                     &slow_log,
+                    &quota,
+                    &buffers,
                 );
                 lock_registry(&connections).remove(&connection_id);
                 if let Ok(Disposition::Shutdown) = disposition {
@@ -487,10 +614,14 @@ fn lock_registry(
     connections.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Upper bound on one request line. A client streaming data with no
-/// newline would otherwise grow the line buffer without limit and OOM the
-/// daemon; 16 MiB comfortably fits any realistic inline trace.
-const MAX_REQUEST_BYTES: u64 = 16 << 20;
+/// Upper bound on one request (or batch item) line: 1 MiB. A client
+/// streaming data with no newline would otherwise grow the line buffer
+/// without limit and OOM the daemon; 1 MiB comfortably fits any
+/// realistic inline trace (a trace line of `n` operations is well under
+/// 16 bytes per op). An over-long line is answered with
+/// `ERR line too long` and *drained to its newline* — the connection
+/// stays framed and usable.
+const MAX_REQUEST_LINE_BYTES: u64 = 1 << 20;
 
 /// What reading one request (or batch item) line produced.
 enum Line {
@@ -498,20 +629,89 @@ enum Line {
     Full,
     /// The peer closed the connection.
     Eof,
-    /// The line hit [`MAX_REQUEST_BYTES`] without a newline — the rest of
-    /// the stream is unframed garbage.
+    /// The line hit [`MAX_REQUEST_LINE_BYTES`] without a newline; the
+    /// remainder (up to the next newline) is still unread — drain it
+    /// with [`drain_line`] to keep the connection framed.
     TooLong,
 }
 
 fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Result<Line> {
     line.clear();
-    if reader.by_ref().take(MAX_REQUEST_BYTES).read_line(line)? == 0 {
+    if reader.by_ref().take(MAX_REQUEST_LINE_BYTES).read_line(line)? == 0 {
         return Ok(Line::Eof);
     }
-    if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
+    if line.len() as u64 >= MAX_REQUEST_LINE_BYTES && !line.ends_with('\n') {
         return Ok(Line::TooLong);
     }
     Ok(Line::Full)
+}
+
+/// Discards the unread remainder of an over-long line — everything up to
+/// and including the next newline — without buffering it, so the
+/// connection can keep serving requests after an `ERR line too long`.
+/// Returns `false` when the stream ends first (nothing left to serve).
+fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<bool> {
+    loop {
+        let buffered = reader.fill_buf()?;
+        if buffered.is_empty() {
+            return Ok(false); // EOF mid-line
+        }
+        match buffered.iter().position(|&byte| byte == b'\n') {
+            Some(at) => {
+                reader.consume(at + 1);
+                return Ok(true);
+            }
+            None => {
+                let len = buffered.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Whether a read error is the per-connection idle deadline firing
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(error: &io::Error) -> bool {
+    matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Bytes of one in-flight batched request charged against the `buffers`
+/// account, released when the request's reply has been rendered (drop).
+/// Admission is all-or-nothing per line: a line that no longer fits
+/// sheds the whole request.
+struct BufferCharge<'a> {
+    account: &'a Account,
+    bytes: u64,
+}
+
+impl<'a> BufferCharge<'a> {
+    fn new(account: &'a Account) -> BufferCharge<'a> {
+        BufferCharge { account, bytes: 0 }
+    }
+
+    /// Tries to admit `bytes` more buffered request bytes; on refusal
+    /// (budget exhausted even after reclaim) nothing is charged.
+    #[must_use]
+    fn add(&mut self, bytes: u64) -> bool {
+        if self.account.try_charge(bytes) {
+            self.bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases everything charged so far (the request was shed).
+    fn release_all(&mut self) {
+        self.account.release(self.bytes);
+        self.bytes = 0;
+    }
+}
+
+impl Drop for BufferCharge<'_> {
+    fn drop(&mut self) {
+        self.account.release(self.bytes);
+    }
 }
 
 /// Nanoseconds elapsed since `start`, saturating.
@@ -533,6 +733,7 @@ fn span_ns(start: Instant) -> u64 {
 /// reply flush; the total lands in the verb's latency histogram, the
 /// stage spans in the per-stage histograms, and — when the slow-log
 /// threshold is crossed — a summary in the [`SlowLog`].
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     index: &PatternIndex,
@@ -540,18 +741,35 @@ fn handle_connection(
     wal: Option<&WalManager>,
     metrics: &ServerMetrics,
     slow_log: &SlowLog,
+    quota: &MemoryQuota,
+    buffers: &Account,
 ) -> io::Result<Disposition> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        match read_request_line(&mut reader, &mut line)? {
+        let status = match read_request_line(&mut reader, &mut line) {
+            Ok(status) => status,
+            // The idle deadline fired between requests: count it and
+            // close cleanly — an abandoned socket is not an I/O error.
+            Err(error) if is_timeout(&error) => {
+                metrics.record_timeout();
+                return Ok(Disposition::ClientDone);
+            }
+            Err(error) => return Err(error),
+        };
+        match status {
             Line::Eof => return Ok(Disposition::ClientDone),
             Line::TooLong => {
                 metrics.record_error();
-                writer.write_all(b"ERR request line too long\n")?;
+                writer.write_all(b"ERR line too long\n")?;
                 writer.flush()?;
-                return Ok(Disposition::ClientDone);
+                // Skip to the next newline: the over-long line is the
+                // client's mistake, not a reason to hang up on it.
+                if !drain_line(&mut reader)? {
+                    return Ok(Disposition::ClientDone);
+                }
+                continue;
             }
             Line::Full => {}
         }
@@ -614,8 +832,9 @@ fn handle_connection(
             }
             Ok(Request::BatchIngest { count }) => {
                 let items_started = Instant::now();
+                let mut charge = BufferCharge::new(buffers);
                 let items =
-                    read_items(&mut reader, &mut writer, count, metrics, parse_batch_ingest_item)?;
+                    read_items(&mut reader, count, metrics, &mut charge, parse_batch_ingest_item)?;
                 parse_ns += span_ns(items_started);
                 match items {
                     Items::Hangup => return Ok(Disposition::ClientDone),
@@ -632,7 +851,8 @@ fn handle_connection(
             }
             Ok(Request::MultiQuery { k, count, timed: t }) => {
                 let items_started = Instant::now();
-                let items = read_items(&mut reader, &mut writer, count, metrics, |item| {
+                let mut charge = BufferCharge::new(buffers);
+                let items = read_items(&mut reader, count, metrics, &mut charge, |item| {
                     crate::protocol::decode_trace_inline(item.trim())
                 })?;
                 parse_ns += span_ns(items_started);
@@ -664,12 +884,12 @@ fn handle_connection(
                     &index.stats(),
                     index.generation(),
                     &snapshot_status_with_wal(index, wal),
-                    &metrics.snapshot(),
+                    &metrics.snapshot_with_quota(quota),
                     &metrics.latency_quantiles(),
                 )
             }
             Ok(Request::Metrics) => render_metrics_reply(
-                &metrics.snapshot(),
+                &metrics.snapshot_with_quota(quota),
                 &metrics.verb_latency_snapshots(),
                 &metrics.stage_latency_snapshots(),
                 &snapshot_status_with_wal(index, wal),
@@ -719,6 +939,12 @@ fn handle_connection(
         };
         if reply.starts_with("ERR") {
             metrics.record_error();
+        }
+        // Every memory shed reply — whatever path produced it (ingest
+        // admission, batch item, request buffers) — is counted here, so
+        // the STATS tally equals the ERR busy replies clients observed.
+        if reply.starts_with("ERR busy reason=memory") {
+            metrics.record_shed_memory();
         }
         if timed && reply.ends_with("END\n") {
             // The reply-write span cannot be known before the reply is
@@ -778,10 +1004,11 @@ fn handle_connection(
 }
 
 /// Applies a fully parsed `BATCH INGEST` item list. Labels were validated
-/// line by line during parsing, so ingestion cannot fail mid-batch today;
-/// the error arm is kept so a future validation added to
-/// [`PatternIndex::ingest_auto`] degrades to a reported `ERR` (with the
-/// already-applied prefix kept, as the reply says) instead of a panic.
+/// line by line during parsing; the remaining mid-batch failure is memory
+/// admission — with a budget attached, the first item that no longer fits
+/// sheds the rest of the batch with `ERR busy reason=memory` (the
+/// already-applied prefix is kept, as the reply says, and logged to the
+/// WAL so later acked ingests never sit past an id gap at replay).
 fn batch_ingest_reply(
     index: &PatternIndex,
     count: usize,
@@ -805,7 +1032,18 @@ fn batch_ingest_reply(
                 if let Some(wal) = wal {
                     let _ = wal_commit(wal, records);
                 }
-                return format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1);
+                // A memory shed keeps the canonical busy prefix so
+                // clients (and the shed counter) recognise it.
+                return match e {
+                    IngestError::OverMemoryBudget => {
+                        format!(
+                            "ERR busy reason=memory (first {i} of {count} items were ingested)\n"
+                        )
+                    }
+                    e => {
+                        format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1)
+                    }
+                };
             }
         }
     }
@@ -844,27 +1082,33 @@ fn snapshot_status_with_wal(
 enum Items<T> {
     /// All items read and parsed.
     Parsed(Vec<T>),
-    /// An item failed to parse; the `ERR` reply to send (every announced
-    /// line was still consumed, so the connection stays framed).
+    /// An item failed to parse, ran over a size cap or was shed by memory
+    /// admission; the `ERR` reply to send (every announced line was still
+    /// consumed or drained, so the connection stays framed).
     Bad(String),
-    /// EOF or an unframed over-long line; hang up (an `ERR` was already
-    /// written for the over-long case).
+    /// EOF (or the idle deadline) mid-batch; hang up.
     Hangup,
 }
 
 /// Upper bound on the *cumulative* item bytes of one batched request.
 /// The per-line cap alone would let a 4096-item batch buffer gigabytes of
 /// parsed items before replying; this keeps a whole `BATCH INGEST` /
-/// `MQUERY` within the same 16 MiB envelope as a single request line
-/// (the remaining announced lines are still consumed — without being
-/// stored — so the connection stays framed).
-const MAX_BATCH_TOTAL_BYTES: u64 = MAX_REQUEST_BYTES;
+/// `MQUERY` within a 16 MiB envelope even without a `--max-memory-bytes`
+/// budget (the remaining announced lines are still consumed — without
+/// being stored — so the connection stays framed).
+const MAX_BATCH_TOTAL_BYTES: u64 = 16 << 20;
 
+/// Reads the `count` announced item lines of a batched request. Every
+/// accepted line's bytes are first admitted against the memory budget
+/// through `charge`; the first line that no longer fits sheds the whole
+/// request with `ERR busy reason=memory` (buffered items and their
+/// charges are dropped), while the remaining announced lines are still
+/// consumed so the connection stays framed.
 fn read_items<R: BufRead, T>(
     reader: &mut R,
-    writer: &mut impl Write,
     count: usize,
     metrics: &ServerMetrics,
+    charge: &mut BufferCharge<'_>,
     parse: impl Fn(&str) -> Result<T, String>,
 ) -> io::Result<Items<T>> {
     let mut items: Vec<T> = Vec::new();
@@ -872,13 +1116,28 @@ fn read_items<R: BufRead, T>(
     let mut total_bytes: u64 = 0;
     let mut line = String::new();
     for i in 1..=count {
-        match read_request_line(reader, &mut line)? {
+        let status = match read_request_line(reader, &mut line) {
+            Ok(status) => status,
+            Err(error) if is_timeout(&error) => {
+                metrics.record_timeout();
+                return Ok(Items::Hangup);
+            }
+            Err(error) => return Err(error),
+        };
+        match status {
             Line::Eof => return Ok(Items::Hangup),
             Line::TooLong => {
-                metrics.record_error();
-                writer.write_all(b"ERR request line too long\n")?;
-                writer.flush()?;
-                return Ok(Items::Hangup);
+                // Drain to the newline and keep the connection framed;
+                // the batch as a whole is refused.
+                if first_error.is_none() {
+                    items = Vec::new();
+                    charge.release_all();
+                    first_error = Some("ERR line too long\n".to_string());
+                }
+                if !drain_line(reader)? {
+                    return Ok(Items::Hangup);
+                }
+                continue;
             }
             Line::Full => {}
         }
@@ -888,7 +1147,14 @@ fn read_items<R: BufRead, T>(
         total_bytes += line.len() as u64;
         if total_bytes > MAX_BATCH_TOTAL_BYTES {
             items = Vec::new(); // release what was buffered
+            charge.release_all();
             first_error = Some(format!("ERR batch exceeds {MAX_BATCH_TOTAL_BYTES} total bytes\n"));
+            continue;
+        }
+        if !charge.add(line.len() as u64) {
+            items = Vec::new();
+            charge.release_all();
+            first_error = Some("ERR busy reason=memory\n".to_string());
             continue;
         }
         match parse(&line) {
@@ -916,6 +1182,29 @@ mod tests {
 
     fn start() -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
         start_with(IndexOptions::default())
+    }
+
+    /// Like [`start_with`] but lets the test apply governance builders
+    /// (`with_memory_limit`, `with_max_connections`, ...) before serving.
+    fn start_configured(
+        opts: IndexOptions,
+        configure: impl FnOnce(Server) -> Server,
+    ) -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
+        let server = configure(Server::bind("127.0.0.1:0", PatternIndex::new(opts)).unwrap());
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("server runs"));
+        (addr, handle)
+    }
+
+    /// Extract `STAT <key> <value>` from a STATS reply.
+    fn stat_value(stats: &str, key: &str) -> u64 {
+        let prefix = format!("STAT {key} ");
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .unwrap_or_else(|| panic!("missing {key} in {stats}"))
+            .parse()
+            .unwrap()
     }
 
     fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
@@ -1013,11 +1302,17 @@ mod tests {
     fn batch_cumulative_bytes_are_capped() {
         let (addr, handle) = start();
         let mut stream = TcpStream::connect(addr).unwrap();
-        // Three individually legal ~6 MiB items; the third crosses the
-        // 16 MiB cumulative cap, so the batch is rejected as a whole and
-        // nothing is ingested — but the connection stays framed.
-        let item = format!("w {}", "h0 write 64;".repeat(500_000));
-        let batch = format!("BATCH INGEST 3\n{item}\n{item}\n{item}\n");
+        // Twenty individually legal ~0.9 MiB items (each under the 1 MiB
+        // per-line cap) that together cross the 16 MiB cumulative cap, so
+        // the batch is rejected as a whole and nothing is ingested — but
+        // the connection stays framed.
+        let item = format!("w {}", "h0 write 64;".repeat(75_000));
+        assert!(item.len() < 1 << 20, "item must stay under the line cap");
+        let mut batch = String::from("BATCH INGEST 20\n");
+        for _ in 0..20 {
+            batch.push_str(&item);
+            batch.push('\n');
+        }
         let reply = roundtrip(&mut stream, &batch);
         assert!(reply.starts_with("ERR batch exceeds"), "{reply}");
         let reply = roundtrip(&mut stream, "STATS\n");
@@ -1079,26 +1374,125 @@ mod tests {
     }
 
     #[test]
-    fn oversized_request_line_is_rejected() {
+    fn oversized_request_line_is_rejected_and_drained() {
         let (addr, handle) = start();
         let mut stream = TcpStream::connect(addr).unwrap();
-        // Stream past the cap without ever sending a newline.
-        let chunk = vec![b'a'; 1 << 20];
-        for _ in 0..17 {
-            if stream.write_all(&chunk).is_err() {
-                break; // server already hung up mid-write — acceptable
-            }
-        }
+        // Stream 2 MiB — double the cap — before the newline. The server
+        // must answer with a bounded error, drain the rest of the line,
+        // and keep the connection framed for the next request.
+        let mut line = vec![b'a'; 2 << 20];
+        line.push(b'\n');
+        stream.write_all(&line).unwrap();
+        stream.flush().unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut reply = String::new();
-        let _ = reader.read_line(&mut reply);
-        if !reply.is_empty() {
-            assert!(reply.starts_with("ERR request line too long"), "{reply}");
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "ERR line too long\n");
+        // Same connection, next request: fully usable.
+        let reply = roundtrip(&mut stream, "INGEST w h0 write 64\n");
+        assert_eq!(reply, "OK id=0 name=e0 entries=1\n");
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_sheds_ingests_but_keeps_serving() {
+        let (addr, handle) =
+            start_configured(IndexOptions::default(), |s| s.with_memory_limit(Some(4096)));
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        // A small ingest fits the 4 KiB budget.
+        let reply = roundtrip(&mut stream, "INGEST small h0 write 64;h0 write 64\n");
+        assert!(reply.starts_with("OK id=0"), "{reply}");
+
+        // Each of these would add ~5 KiB of corpus; all three must be
+        // shed with the busy error, and the connection must stay open.
+        let fat = format!("INGEST fat{{}} {}\n", "h0 write 64;".repeat(100));
+        let mut busy_seen = 0u64;
+        for i in 0..3 {
+            let reply = roundtrip(&mut stream, &fat.replace("{}", &i.to_string()));
+            assert_eq!(reply, "ERR busy reason=memory\n");
+            busy_seen += 1;
         }
-        // Either way the daemon is still alive and shuts down cleanly.
+
+        // A batch whose first item is over budget sheds the same way
+        // (and counts once, like the single busy reply the client saw).
+        let batch = format!("BATCH INGEST 1\nw {}\n", "h0 write 64;".repeat(100));
+        let reply = roundtrip(&mut stream, &batch);
+        assert!(reply.starts_with("ERR busy reason=memory"), "{reply}");
+        busy_seen += 1;
+
+        // Reads still work under pressure and the books balance: the shed
+        // tally equals the busy replies the client observed, and usage
+        // never exceeds the configured limit.
+        let reply = roundtrip(&mut stream, "QUERY k=1 h0 write 64;h0 write 64\n");
+        assert!(reply.starts_with("OK matches=1"), "{reply}");
+        let stats = roundtrip(&mut stream, "STATS\n");
+        assert_eq!(stat_value(&stats, "shed_memory"), busy_seen);
+        assert_eq!(stat_value(&stats, "mem_limit_bytes"), 4096);
+        assert!(stat_value(&stats, "mem_used_bytes") <= 4096, "{stats}");
+        assert_eq!(stat_value(&stats, "entries"), 1);
+
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connection_admission_sheds_with_busy_reply() {
+        let (addr, handle) =
+            start_configured(IndexOptions::default(), |s| s.with_max_connections(1));
+        let mut first = TcpStream::connect(addr).unwrap();
+        // Roundtrip guarantees the first handler thread is registered
+        // before the second connection races the accept loop.
+        let reply = roundtrip(&mut first, "INGEST w h0 write 64\n");
+        assert!(reply.starts_with("OK id=0"), "{reply}");
+
+        let second = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(second);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "ERR busy reason=connections\n");
+        // The shed connection is closed immediately after the error.
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+
+        let stats = roundtrip(&mut first, "STATS\n");
+        assert_eq!(stat_value(&stats, "shed_connections"), 1);
+        // No request was ever read from the shed connection.
+        assert_eq!(stat_value(&stats, "request_errors"), 0);
+
+        assert_eq!(roundtrip(&mut first, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_timeout_closes_silent_connections() {
+        let (addr, handle) = start_configured(IndexOptions::default(), |s| {
+            s.with_idle_timeout(Some(Duration::from_millis(50)))
+        });
+        let idle = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(idle);
+        // Say nothing: the server must hang up on us, not the reverse.
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "{line}");
+
         let mut fresh = TcpStream::connect(addr).unwrap();
-        let reply = roundtrip(&mut fresh, "SHUTDOWN\n");
-        assert_eq!(reply, "OK bye\n");
+        let stats = roundtrip(&mut fresh, "STATS\n");
+        assert_eq!(stat_value(&stats, "timeouts"), 1);
+        assert_eq!(roundtrip(&mut fresh, "SHUTDOWN\n"), "OK bye\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ungoverned_stats_report_zeroed_governance_keys() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let stats = roundtrip(&mut stream, "STATS\n");
+        for key in ["mem_used_bytes", "mem_limit_bytes", "mem_reclaims", "shed_memory", "timeouts"]
+        {
+            assert_eq!(stat_value(&stats, key), 0, "{key}");
+        }
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
         handle.join().unwrap();
     }
 

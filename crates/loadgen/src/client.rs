@@ -20,6 +20,11 @@ pub struct VerbStats {
     pub count: u64,
     /// Requests answered with `ERR`.
     pub errors: u64,
+    /// The subset of `errors` that were `ERR busy …` load sheds — the
+    /// server protecting itself, not a broken request. The overload
+    /// scenario asserts these, one for one, against the server's shed
+    /// counters.
+    pub busy: u64,
     /// Request→full-reply latency samples, in nanoseconds.
     pub histogram: Histogram,
 }
@@ -35,6 +40,8 @@ pub struct ScenarioRun {
     pub requests: u64,
     /// Total `ERR` replies across all verbs and clients.
     pub errors: u64,
+    /// Total `ERR busy …` sheds across all verbs and clients.
+    pub busy: u64,
 }
 
 fn merge_runs(
@@ -45,6 +52,7 @@ fn merge_runs(
         let entry = into.entry(verb).or_default();
         entry.count += stats.count;
         entry.errors += stats.errors;
+        entry.busy += stats.busy;
         entry.histogram.merge(&stats.histogram);
     }
 }
@@ -92,6 +100,9 @@ fn drive_client(
         stats.histogram.record(nanos);
         if reply.starts_with("ERR") {
             stats.errors += 1;
+            if reply.starts_with("ERR busy") {
+                stats.busy += 1;
+            }
         }
     }
     Ok(per_verb)
@@ -141,5 +152,6 @@ pub fn run_scenario(
     }
     run.requests = run.per_verb.values().map(|v| v.count).sum();
     run.errors = run.per_verb.values().map(|v| v.errors).sum();
+    run.busy = run.per_verb.values().map(|v| v.busy).sum();
     Ok(run)
 }

@@ -411,12 +411,13 @@ mod tests {
         let mut histogram = Histogram::new();
         histogram.record(1_000_000);
         let mut per_verb = BTreeMap::new();
-        per_verb.insert("QUERY", VerbStats { count: 1, errors: 0, histogram });
+        per_verb.insert("QUERY", VerbStats { count: 1, errors: 0, busy: 0, histogram });
         let run = ScenarioRun {
             per_verb,
             elapsed: std::time::Duration::from_secs(1),
             requests: 1,
             errors: 0,
+            busy: 0,
         };
         let fences = BTreeMap::new();
         let report = crate::report::Report {

@@ -65,6 +65,10 @@ pub struct LoadConfig {
     pub addr: Option<String>,
     /// Shards of the self-spawned server (ignored with `addr`).
     pub shards: usize,
+    /// Memory budget of the self-spawned server (ignored with `addr`) —
+    /// the overload scenario pairs a small budget with its write flood
+    /// to measure load shedding. `None` (the default) means unlimited.
+    pub max_memory_bytes: Option<u64>,
     /// Traces ingested up-front so read-heavy scenarios query a
     /// non-trivial corpus from the first request.
     pub seed_corpus: usize,
@@ -79,6 +83,7 @@ impl Default for LoadConfig {
             seed: 20170904,
             addr: None,
             shards: 4,
+            max_memory_bytes: None,
             seed_corpus: 48,
         }
     }
@@ -182,7 +187,8 @@ pub fn run(config: &LoadConfig) -> Result<Report, String> {
             let server = Server::bind("127.0.0.1:0", index)
                 .map_err(|e| format!("cannot bind load server: {e}"))?
                 .with_save_dir(Some(scratch.clone()))
-                .with_wal(Some(wal));
+                .with_wal(Some(wal))
+                .with_memory_limit(config.max_memory_bytes);
             let addr = server.local_addr().map_err(|e| format!("no local addr: {e}"))?.to_string();
             let thread = std::thread::spawn(move || server.serve());
             (addr, "self-spawned".to_string(), Some(thread), Some(scratch))
@@ -369,6 +375,55 @@ mod tests {
         let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
         assert!(delta("wal_records") > 0, "ingests were journalled: {:?}", scenario.stats_delta);
         assert!(delta("wal_fsyncs") > 0, "group commits ran: {:?}", scenario.stats_delta);
+    }
+
+    /// The overload contract: against a deliberately tiny memory budget
+    /// the server sheds loudly (`ERR busy`) instead of growing, stays up
+    /// for the whole storm, keeps answering reads — and its shed
+    /// counters agree, one for one, with the busy replies the clients
+    /// actually saw.
+    #[test]
+    fn overload_run_sheds_loudly_and_counts_every_shed() {
+        let config = LoadConfig {
+            scenarios: vec![ScenarioKind::Overload],
+            clients: 2,
+            duration: Duration::from_millis(250),
+            seed_corpus: 8,
+            shards: 2,
+            max_memory_bytes: Some(1 << 20), // 1 MiB: a few fat batches fill it
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("overload run completes cleanly");
+        let scenario = &report.scenarios[0];
+        assert!(scenario.requests > 0, "the storm sent traffic");
+        assert!(scenario.busy > 0, "a 1 MiB budget must shed under this mix");
+        // Every ERR the clients saw was a deliberate shed, not a broken
+        // request or a panic.
+        assert_eq!(
+            scenario.errors, scenario.busy,
+            "non-busy errors under overload: {:?}",
+            scenario.per_verb
+        );
+        // One-for-one accounting: the server's shed counter moved by
+        // exactly the number of busy replies the clients received (the
+        // control fences bracket the scenario and nothing else runs).
+        let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
+        assert_eq!(
+            delta("shed_memory"),
+            scenario.busy as i64,
+            "server-side sheds vs client-observed busy replies: {:?}",
+            scenario.stats_delta
+        );
+        // Reads kept working under pressure: queries ran and none errored.
+        let query = scenario
+            .per_verb
+            .iter()
+            .find(|v| v.verb == "QUERY")
+            .expect("overload mixes in queries");
+        assert!(query.count > 0);
+        assert_eq!(query.errors, query.busy, "queries failed for a non-memory reason");
+        let json = report.to_json();
+        assert!(json.contains("\"overload\""), "{json}");
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub struct VerbReport {
     pub count: u64,
     /// `ERR` replies received.
     pub errors: u64,
+    /// The subset of `errors` that were `ERR busy …` load sheds.
+    pub busy: u64,
     /// Requests per second over the scenario's wall clock.
     pub throughput_rps: f64,
     /// Median latency, microseconds.
@@ -68,6 +70,9 @@ pub struct ScenarioReport {
     pub requests: u64,
     /// Total `ERR` replies.
     pub errors: u64,
+    /// Total `ERR busy …` sheds (a subset of `errors`) — what an
+    /// overload run compares against the server's `shed_*` counters.
+    pub busy: u64,
     /// Aggregate requests per second.
     pub throughput_rps: f64,
     /// Per-verb breakdown, in verb order.
@@ -97,6 +102,7 @@ impl ScenarioReport {
                 verb: (*verb).to_string(),
                 count: stats.count,
                 errors: stats.errors,
+                busy: stats.busy,
                 throughput_rps: stats.count as f64 / secs,
                 p50_us: stats.histogram.percentile(50.0) as f64 / 1e3,
                 p95_us: stats.histogram.percentile(95.0) as f64 / 1e3,
@@ -110,6 +116,7 @@ impl ScenarioReport {
             elapsed_secs: secs,
             requests: run.requests,
             errors: run.errors,
+            busy: run.busy,
             throughput_rps: run.requests as f64 / secs,
             per_verb,
             stats_delta: stats_delta(before, after),
@@ -190,16 +197,18 @@ impl Report {
             out.push_str(&format!("      \"elapsed_secs\": {},\n", num(scenario.elapsed_secs)));
             out.push_str(&format!("      \"requests\": {},\n", scenario.requests));
             out.push_str(&format!("      \"errors\": {},\n", scenario.errors));
+            out.push_str(&format!("      \"busy\": {},\n", scenario.busy));
             out.push_str(&format!("      \"throughput_rps\": {},\n", num(scenario.throughput_rps)));
             out.push_str("      \"per_verb\": {\n");
             for (j, verb) in scenario.per_verb.iter().enumerate() {
                 out.push_str(&format!(
-                    "        \"{}\": {{\"count\": {}, \"errors\": {}, \
+                    "        \"{}\": {{\"count\": {}, \"errors\": {}, \"busy\": {}, \
                      \"throughput_rps\": {}, \"p50_us\": {}, \"p95_us\": {}, \
                      \"p99_us\": {}, \"mean_us\": {}, \"max_us\": {}}}{}\n",
                     escape(&verb.verb),
                     verb.count,
                     verb.errors,
+                    verb.busy,
                     num(verb.throughput_rps),
                     num(verb.p50_us),
                     num(verb.p95_us),
@@ -259,9 +268,14 @@ mod tests {
             histogram.record(v * 10_000);
         }
         let mut per_verb = BTreeMap::new();
-        per_verb.insert("QUERY", VerbStats { count: 100, errors: 2, histogram });
-        let run =
-            ScenarioRun { per_verb, elapsed: Duration::from_secs(2), requests: 100, errors: 2 };
+        per_verb.insert("QUERY", VerbStats { count: 100, errors: 2, busy: 1, histogram });
+        let run = ScenarioRun {
+            per_verb,
+            elapsed: Duration::from_secs(2),
+            requests: 100,
+            errors: 2,
+            busy: 1,
+        };
         let before = crate::stats::parse_stats("STAT cache_hits 5\nEND\n").unwrap();
         let after = crate::stats::parse_stats("STAT cache_hits 25\nEND\n").unwrap();
         let mut server_hist = Histogram::new();
@@ -287,7 +301,8 @@ mod tests {
             "\"seed\": 42",
             "\"name\": \"read-heavy\"",
             "\"requests\": 100",
-            "\"QUERY\": {\"count\": 100, \"errors\": 2",
+            "\"QUERY\": {\"count\": 100, \"errors\": 2, \"busy\": 1",
+            "\"busy\": 1,",
             "\"p50_us\":",
             "\"p95_us\":",
             "\"p99_us\":",

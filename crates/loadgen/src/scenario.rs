@@ -33,10 +33,21 @@ pub enum ScenarioKind {
     /// middle of it. The per-verb SAVE histogram shows what a snapshot
     /// costs; the QUERY histogram shows whether it stalls readers.
     SaveStorm,
+    /// ~45% fat `BATCH INGEST` (big items), ~25% `MQUERY`, ~20% `QUERY`,
+    /// ~5% `INGEST`, ~5% `STATS`: a memory-pressure storm, meant to run
+    /// against a server with a small `--max-memory-bytes` budget. The
+    /// interesting measurement is the shed counters — the server must
+    /// answer `ERR busy` instead of growing. **Not** part of
+    /// [`ScenarioKind::ALL`]: against an ungoverned server it is just a
+    /// write flood, and bench baselines should not contain it.
+    Overload,
 }
 
 impl ScenarioKind {
-    /// Every scenario, in the order `kastio loadgen` runs them.
+    /// Every *default* scenario, in the order `kastio loadgen` runs
+    /// them. [`ScenarioKind::Overload`] is opt-in (`--scenario
+    /// overload`) because it only measures something against a
+    /// memory-governed server.
     pub const ALL: [ScenarioKind; 4] = [
         ScenarioKind::ReadHeavy,
         ScenarioKind::WriteHeavy,
@@ -51,6 +62,7 @@ impl ScenarioKind {
             ScenarioKind::WriteHeavy => "write-heavy",
             ScenarioKind::HotKey => "hot-key",
             ScenarioKind::SaveStorm => "save-storm",
+            ScenarioKind::Overload => "overload",
         }
     }
 
@@ -61,6 +73,7 @@ impl ScenarioKind {
             "write-heavy" => Some(ScenarioKind::WriteHeavy),
             "hot-key" | "skewed-hot-key" => Some(ScenarioKind::HotKey),
             "save-storm" => Some(ScenarioKind::SaveStorm),
+            "overload" => Some(ScenarioKind::Overload),
             _ => None,
         }
     }
@@ -285,6 +298,17 @@ impl ScenarioGen {
         (FAMILIES[family].to_string(), trace)
     }
 
+    /// A deliberately heavy checkpoint-like ingest (~200 operations,
+    /// ~10 KiB of corpus footprint) — the overload scenario's pressure
+    /// source. Big enough that a small budget fills within a few
+    /// batches, small enough to stay far under the per-line cap.
+    fn fat_ingest(&mut self) -> (String, String) {
+        let size = 1u64 << self.rng.gen_range(12..=20u32);
+        let ops: Vec<String> =
+            (0..self.rng.gen_range(192..=256usize)).map(|_| format!("h0 write {size}")).collect();
+        ("ckpt".to_string(), ops.join(";"))
+    }
+
     /// The next operation in this client's stream.
     pub fn next_op(&mut self) -> Op {
         let draw = self.rng.gen_range(0..100u32);
@@ -331,6 +355,27 @@ impl ScenarioGen {
                     Op::Ingest { label, trace }
                 }
                 _ => Op::Save,
+            },
+            ScenarioKind::Overload => match draw {
+                0..=44 => Op::BatchIngest { items: (0..8).map(|_| self.fat_ingest()).collect() },
+                45..=69 => {
+                    let traces = (0..6)
+                        .map(|_| {
+                            let idx = self.uniform_pick();
+                            self.pool.entry(idx).1.to_string()
+                        })
+                        .collect();
+                    Op::MQuery { k: 2, traces }
+                }
+                70..=89 => {
+                    let idx = self.uniform_pick();
+                    Op::Query { k: 2, trace: self.pool.entry(idx).1.to_string() }
+                }
+                90..=94 => {
+                    let (label, trace) = self.fat_ingest();
+                    Op::Ingest { label, trace }
+                }
+                _ => Op::Stats,
             },
             ScenarioKind::HotKey => match draw {
                 0..=79 => {
@@ -398,7 +443,7 @@ mod tests {
     #[test]
     fn every_rendered_op_is_valid_protocol() {
         use kastio_index::protocol::{decode_trace_inline, parse_batch_ingest_item, parse_request};
-        for kind in ScenarioKind::ALL {
+        for kind in ScenarioKind::ALL.into_iter().chain([ScenarioKind::Overload]) {
             let mut gen = ScenarioGen::new(kind, 42, 0);
             for _ in 0..200 {
                 let op = gen.next_op();
@@ -464,10 +509,14 @@ mod tests {
 
     #[test]
     fn scenario_names_round_trip() {
-        for kind in ScenarioKind::ALL {
+        for kind in ScenarioKind::ALL.into_iter().chain([ScenarioKind::Overload]) {
             assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(ScenarioKind::parse("skewed-hot-key"), Some(ScenarioKind::HotKey));
         assert_eq!(ScenarioKind::parse("nope"), None);
+        assert!(
+            !ScenarioKind::ALL.contains(&ScenarioKind::Overload),
+            "overload is opt-in, never part of a default (baseline) run"
+        );
     }
 }

@@ -9,13 +9,15 @@
 //! kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
 //!                 [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]
 //!                 [--cut N] [--ignore-bytes] [--candidates N]
-//!                 [--slow-query-micros N]
+//!                 [--slow-query-micros N] [--max-memory-bytes N]
+//!                 [--max-connections N] [--idle-timeout-secs N]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio query    <addr> --snapshot
 //! kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
 //!                 [--seed N] [--addr HOST:PORT] [--out FILE]
 //!                 [--shards N] [--dry-run] [--ops N]
+//!                 [--max-memory-bytes N]
 //! kastio bench-diff <new.json> <baseline.json> [--band PCT]
 //! kastio help     [command]
 //! kastio --version
@@ -59,13 +61,15 @@ usage:
   kastio serve    [--port N] [--shards N] [--corpus <dir>] [--save <dir>]
                   [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]
                   [--cut N] [--ignore-bytes] [--candidates N]
-                  [--slow-query-micros N]
+                  [--slow-query-micros N] [--max-memory-bytes N]
+                  [--max-connections N] [--idle-timeout-secs N]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio query    <addr> --snapshot
   kastio loadgen  [--scenario NAME] [--clients N] [--duration 2s]
                   [--seed N] [--addr HOST:PORT] [--out FILE]
                   [--shards N] [--dry-run] [--ops N]
+                  [--max-memory-bytes N]
   kastio bench-diff <new.json> <baseline.json> [--band PCT]
   kastio help     [command]
   kastio --version
@@ -106,7 +110,8 @@ const HELP_TOPICS: &[(&str, &str)] = &[
         "kastio serve [--port N] [--shards N] [--corpus <dir>] [--save <dir>]\n\
          \u{20}            [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]\n\
          \u{20}            [--cut N] [--ignore-bytes] [--candidates N]\n\
-         \u{20}            [--slow-query-micros N]\n\n\
+         \u{20}            [--slow-query-micros N] [--max-memory-bytes N]\n\
+         \u{20}            [--max-connections N] [--idle-timeout-secs N]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
          bound. --shards splits the corpus across N read-concurrent\n\
@@ -128,8 +133,17 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          in-memory ring (newest 128) readable over SLOWLOG. The daemon\n\
          always records per-verb and per-stage latency histograms,\n\
          exposed by METRICS (Prometheus text format) and summarised as\n\
-         p50/p95/p99 in STATS. The wire protocol is line based (full\n\
-         spec in docs/PROTOCOL.md):\n\n\
+         p50/p95/p99 in STATS. --max-memory-bytes puts the corpus,\n\
+         kernel cache and in-flight request buffers under one byte\n\
+         budget: the cache is reclaimed under pressure and ingests that\n\
+         would exceed the budget are shed with `ERR busy reason=memory`\n\
+         (the connection stays open; reads keep working). Default:\n\
+         unlimited. --max-connections (default 1024) sheds connections\n\
+         beyond the cap with `ERR busy reason=connections` before a\n\
+         handler thread is spawned. --idle-timeout-secs closes\n\
+         connections silent for N seconds (default: never). Every shed,\n\
+         reclaim and timeout is counted in STATS and METRICS. The wire\n\
+         protocol is line based (full spec in docs/PROTOCOL.md):\n\n\
          \u{20} HELLO <proto-version> [client]\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
          \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
@@ -157,10 +171,15 @@ const HELP_TOPICS: &[(&str, &str)] = &[
         "loadgen",
         "kastio loadgen [--scenario NAME] [--clients N] [--duration 2s]\n\
          \u{20}              [--seed N] [--addr HOST:PORT] [--out FILE]\n\
-         \u{20}              [--shards N] [--dry-run] [--ops N]\n\n\
+         \u{20}              [--shards N] [--dry-run] [--ops N]\n\
+         \u{20}              [--max-memory-bytes N]\n\n\
          End-to-end load harness for the daemon. Runs the named scenario\n\
          (read-heavy | write-heavy | hot-key | save-storm; default: all\n\
-         four in that order) with N concurrent clients (default 4) for the\n\
+         four in that order; `overload` is opt-in — it pairs an\n\
+         aggressive BATCH INGEST / MQUERY mix with a small\n\
+         --max-memory-bytes budget on the self-spawned server and\n\
+         verifies the daemon sheds with `ERR busy` instead of growing)\n\
+         with N concurrent clients (default 4) for the\n\
          duration each (default 2s; accepts `500ms`, `2s` or plain\n\
          seconds), then writes per-verb throughput, p50/p95/p99 latency\n\
          (client-side and, scraped from METRICS fences around each\n\
@@ -202,6 +221,9 @@ struct Flags {
     ops: usize,
     band: u64,
     slow_query_micros: Option<u64>,
+    max_memory_bytes: Option<u64>,
+    max_connections: Option<usize>,
+    idle_timeout_secs: Option<u64>,
     duration: Duration,
     scenario: Option<String>,
     addr: Option<String>,
@@ -248,6 +270,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         ops: 20,
         band: 25,
         slow_query_micros: None,
+        max_memory_bytes: None,
+        max_connections: None,
+        idle_timeout_secs: None,
         duration: Duration::from_secs(2),
         scenario: None,
         addr: None,
@@ -296,7 +321,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             | "--clients"
             | "--ops"
             | "--band"
-            | "--slow-query-micros" => {
+            | "--slow-query-micros"
+            | "--max-memory-bytes"
+            | "--max-connections"
+            | "--idle-timeout-secs" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 let parsed: u64 =
                     value.parse().map_err(|_| format!("{arg} needs an integer, got `{value}`"))?;
@@ -314,6 +342,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "--band" => flags.band = parsed,
                     // 0 is meaningful: log every request.
                     "--slow-query-micros" => flags.slow_query_micros = Some(parsed),
+                    "--max-memory-bytes" => flags.max_memory_bytes = Some(parsed.max(1)),
+                    "--max-connections" => flags.max_connections = Some((parsed as usize).max(1)),
+                    // 0 would time every read out instantly; treat it
+                    // as "disabled", same as not passing the flag.
+                    "--idle-timeout-secs" => {
+                        flags.idle_timeout_secs = (parsed > 0).then_some(parsed)
+                    }
                     _ => {
                         flags.port = u16::try_from(parsed).map_err(|_| {
                             format!("--port needs a value in 0..=65535, got `{value}`")
@@ -483,11 +518,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         _ => None,
     };
 
-    let server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
+    let mut server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?
         .with_save_dir(save_dir.clone())
         .with_wal(wal.clone())
-        .with_slow_log(flags.slow_query_micros);
+        .with_slow_log(flags.slow_query_micros)
+        .with_memory_limit(flags.max_memory_bytes)
+        .with_idle_timeout(flags.idle_timeout_secs.map(Duration::from_secs));
+    if let Some(max) = flags.max_connections {
+        server = server.with_max_connections(max);
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
 
     // Signal-triggered shutdown: SIGTERM/SIGINT snapshot the corpus (when
@@ -627,7 +667,8 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         None | Some("all") => ScenarioKind::ALL.to_vec(),
         Some(name) => vec![ScenarioKind::parse(name).ok_or_else(|| {
             format!(
-                "unknown scenario `{name}` (read-heavy | write-heavy | hot-key | save-storm | all)"
+                "unknown scenario `{name}` (read-heavy | write-heavy | hot-key | save-storm | \
+                 overload | all)"
             )
         })?],
     };
@@ -646,6 +687,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         seed: flags.seed,
         addr: flags.addr.clone(),
         shards: flags.shards,
+        max_memory_bytes: flags.max_memory_bytes,
         ..LoadConfig::default()
     };
     let report = kastio::loadgen::run(&config)?;

@@ -263,3 +263,49 @@ fn sharded_daemon_serves_concurrent_readers_under_writer_load() {
 
     assert_eq!(conn.roundtrip("SHUTDOWN\n"), vec!["OK bye".to_string()]);
 }
+
+/// The shared kernel cache warms once per (query, entry) pair across the
+/// whole corpus, not once per shard: a repeated hot query is answered
+/// entirely from cache even though its candidates span all 4 shards —
+/// and the similarities stay bit-identical between the cold and warm
+/// passes (the cache changes where values come from, never what they
+/// are).
+#[test]
+fn shared_cache_warms_a_cross_shard_query_once() {
+    let server = start_server(&["--shards", "4"]);
+    let mut conn = Connection::open(&server.addr);
+
+    let initial = initial_corpus();
+    let items: Vec<String> = initial
+        .iter()
+        .map(|(label, trace)| format!("{label} {}", encode_trace_inline(trace)))
+        .collect();
+    let reply = conn.roundtrip(&format!("BATCH INGEST {}\n{}\n", items.len(), items.join("\n")));
+    assert_eq!(reply, vec!["OK batch=12 entries=12".to_string()]);
+
+    let probe = encode_trace_inline(&initial[3].1);
+    let cold = conn.roundtrip(&format!("QUERY k=3 {probe}\n"));
+    let after_cold = conn.roundtrip("STATS\n");
+    let cold_evals = stat_value(&after_cold, "kernel_evals");
+    let cold_hits = stat_value(&after_cold, "cache_hits");
+    assert!(cold_evals > 0, "a cold query pays for kernel evaluations: {after_cold:?}");
+
+    // The candidates genuinely span every shard (id % 4 placement of a
+    // 12-entry corpus puts 3 entries in each), so a per-shard cache
+    // would need up to 4 warm-ups. The shared cache needs exactly one.
+    let warm = conn.roundtrip(&format!("QUERY k=3 {probe}\n"));
+    let after_warm = conn.roundtrip("STATS\n");
+    assert_eq!(
+        stat_value(&after_warm, "kernel_evals"),
+        cold_evals,
+        "the warm pass re-evaluated nothing: {after_warm:?}"
+    );
+    assert_eq!(
+        stat_value(&after_warm, "cache_hits") - cold_hits,
+        cold_evals,
+        "every pair the cold pass evaluated was served from the shared cache: {after_warm:?}"
+    );
+    assert_eq!(cold, warm, "cache hits change nothing about the reply bytes");
+
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), vec!["OK bye".to_string()]);
+}

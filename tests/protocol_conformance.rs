@@ -353,9 +353,22 @@ fn stats_reports_metrics_counters_in_documented_order() {
         "verb_shutdown",
         "verb_metrics",
         "verb_slowlog",
+        // The memory-governance block: rendered (as zeros) even without
+        // --max-memory-bytes, like the WAL block, so parsers never
+        // branch on configuration.
+        "mem_used_bytes",
+        "mem_limit_bytes",
+        "mem_reclaims",
+        "shed_memory",
+        "shed_connections",
+        "timeouts",
     ];
     let start = keys.iter().position(|&k| k == "uptime_secs").expect("metrics block present");
     assert_eq!(&keys[start..start + metrics_keys.len()], &metrics_keys);
+    for key in ["mem_used_bytes", "mem_limit_bytes", "shed_memory", "shed_connections", "timeouts"]
+    {
+        assert!(stats.contains(&format!("STAT {key} 0\n")), "{key} zero when ungoverned: {stats}");
+    }
 
     // The WAL block sits immediately before the metrics block and is
     // rendered even without --wal (all zeros), so parsers never branch
@@ -409,6 +422,18 @@ fn metrics_exposition_is_framed_and_internally_consistent() {
     assert!(reply.contains("# TYPE kastio_request_latency_ns histogram"), "{reply}");
     assert!(reply.contains("# TYPE kastio_stage_latency_ns histogram"), "{reply}");
     assert!(reply.contains("kastio_slowlog_entries 0\n"), "{reply}");
+
+    // The memory-governance families are exposed (as zeros) even
+    // without --max-memory-bytes.
+    assert!(reply.contains("# TYPE kastio_mem_used_bytes gauge\n"), "{reply}");
+    assert!(reply.contains("kastio_mem_used_bytes 0\n"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_mem_limit_bytes gauge\n"), "{reply}");
+    assert!(reply.contains("kastio_mem_limit_bytes 0\n"), "{reply}");
+    assert!(reply.contains("kastio_mem_reclaims_total 0\n"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_shed_total counter\n"), "{reply}");
+    assert!(reply.contains("kastio_shed_total{reason=\"memory\"} 0\n"), "{reply}");
+    assert!(reply.contains("kastio_shed_total{reason=\"connections\"} 0\n"), "{reply}");
+    assert!(reply.contains("kastio_timeouts_total 0\n"), "{reply}");
 
     // The WAL families are exposed (as zeros) even without --wal.
     assert!(reply.contains("# TYPE kastio_wal_records_total counter\n"), "{reply}");
@@ -511,4 +536,81 @@ fn slowlog_records_and_resets_over_the_wire() {
     // Only the RESET itself (logged after it answered) remains.
     assert_eq!(conn.roundtrip("SLOWLOG LEN\n"), "OK slowlog len=1\n");
     conn.roundtrip("SHUTDOWN\n");
+}
+
+/// The request-line size cap: a line over 1 MiB is answered with the
+/// exact documented error, the oversized line is drained, and the
+/// connection stays framed — the next request gets its own reply.
+#[test]
+fn oversized_lines_get_the_documented_error_and_a_drained_connection() {
+    let server = start_server(&[]);
+    let mut conn = Connection::open(&server.addr);
+
+    let mut line = "QUERY k=1 ".to_string();
+    line.push_str(&"h0 read 8;".repeat(120_000)); // ~1.2 MiB, over the 1 MiB cap
+    line.push('\n');
+    assert_eq!(conn.roundtrip(&line), "ERR line too long\n");
+
+    // Framing intact: the very next request works on the same connection.
+    assert_eq!(
+        conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n"),
+        "OK id=0 name=e0 entries=1\n"
+    );
+    // An oversized *item line* inside a batch reports the same error and
+    // also keeps the frame (remaining announced lines are consumed).
+    let fat_item = format!("flash {}\n", "h0 read 8;".repeat(120_000));
+    assert_eq!(
+        conn.roundtrip(&format!("BATCH INGEST 2\n{fat_item}posix h0 read 8\n")),
+        "ERR line too long\n"
+    );
+    let stats = conn.roundtrip("STATS\n");
+    assert!(stats.contains("STAT entries 1\n"), "failed batch ingested nothing: {stats}");
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+/// Memory governance over the wire: with a tiny --max-memory-bytes the
+/// daemon sheds ingests with the exact documented busy error, keeps the
+/// connection open, keeps answering reads, and counts each shed.
+#[test]
+fn memory_governed_server_sheds_with_the_documented_busy_error() {
+    let server = start_server(&["--max-memory-bytes", "4096"]);
+    let mut conn = Connection::open(&server.addr);
+
+    assert_eq!(
+        conn.roundtrip("INGEST flash h0 write 64;h0 write 64\n"),
+        "OK id=0 name=e0 entries=1\n"
+    );
+    // ~100 ops ≈ 5 KiB of corpus footprint: over the 4 KiB budget.
+    let fat = format!("INGEST flash {}\n", "h0 write 64;".repeat(100));
+    assert_eq!(conn.roundtrip(&fat), "ERR busy reason=memory\n");
+
+    // Reads still work, the corpus did not grow, and the shed is counted.
+    assert!(conn.roundtrip("QUERY k=1 h0 write 64;h0 write 64\n").starts_with("OK matches=1"));
+    let stats = conn.roundtrip("STATS\n");
+    assert!(stats.contains("STAT entries 1\n"), "{stats}");
+    assert!(stats.contains("STAT shed_memory 1\n"), "{stats}");
+    assert!(stats.contains("STAT mem_limit_bytes 4096\n"), "{stats}");
+    assert_eq!(conn.roundtrip("SHUTDOWN\n"), "OK bye\n");
+}
+
+/// Connection admission control: --max-connections 1 sheds the second
+/// concurrent connection with the documented busy error before reading
+/// anything from it, then hangs up.
+#[test]
+fn connection_cap_sheds_with_the_documented_busy_error() {
+    let server = start_server(&["--max-connections", "1"]);
+    let mut first = Connection::open(&server.addr);
+    assert!(first.roundtrip("HELLO 1\n").starts_with("OK kastio proto="));
+
+    let mut second = Connection::open(&server.addr);
+    let mut reply = String::new();
+    second.reader.read_line(&mut reply).expect("shed notice");
+    assert_eq!(reply, "ERR busy reason=connections\n");
+    reply.clear();
+    assert_eq!(second.reader.read_line(&mut reply).expect("EOF"), 0, "server hung up");
+
+    let stats = first.roundtrip("STATS\n");
+    assert!(stats.contains("STAT shed_connections 1\n"), "{stats}");
+    assert!(stats.contains("STAT request_errors 0\n"), "sheds are not request errors: {stats}");
+    assert_eq!(first.roundtrip("SHUTDOWN\n"), "OK bye\n");
 }

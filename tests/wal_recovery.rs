@@ -354,6 +354,56 @@ fn startup_establishes_a_snapshot_and_resets_the_wal() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Memory pressure and durability compose: drive a `--max-memory-bytes`
+/// daemon until it sheds, then `kill -9` it. Every `OK`-acked ingest
+/// must reload; every `ERR busy` shed must have left no entry and no id
+/// gap (a gap would make WAL replay drop the records past it).
+#[cfg(unix)]
+#[test]
+fn sigkill_under_memory_pressure_loses_no_acked_entry() {
+    let dir = tmpdir("sigkill-pressure");
+    let save = dir.join("corpus");
+    let mut server = start_server(
+        &[
+            "--save",
+            save.to_str().unwrap(),
+            "--wal",
+            "--wal-sync-micros",
+            "500",
+            "--max-memory-bytes",
+            "8192",
+        ],
+        &[],
+    );
+    let mut conn = Connection::open(&server.addr);
+    let (mut acked, mut sheds) = (0usize, 0usize);
+    while sheds < 4 {
+        let reply = conn.roundtrip(&format!("INGEST flash {}\n", wire_trace(acked)));
+        if reply[0].starts_with("OK id=") {
+            assert_eq!(
+                reply[0],
+                format!("OK id={acked} name=e{acked} entries={}", acked + 1),
+                "sheds leave no id gap"
+            );
+            acked += 1;
+        } else {
+            assert_eq!(reply[0], "ERR busy reason=memory", "the only failure mode is the shed");
+            sheds += 1;
+        }
+        assert!(acked + sheds < 1000, "an 8 KiB budget never filled");
+    }
+    assert!(acked > 0, "some ingests fit the budget before it filled");
+    send_signal(&server.child, "-KILL");
+    let _ = server.child.wait();
+
+    let restored = load_index(&save, IndexOptions::default()).expect("durable root loads");
+    assert_eq!(restored.len(), acked, "exactly the acked ingests reload — no shed leaked in");
+    for i in 0..acked {
+        assert_recovered(&restored, i, "flash");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// `--wal` without `--save` has no durable root to log under.
 #[test]
 fn wal_without_save_is_rejected() {
