@@ -191,6 +191,31 @@ impl TokenInterner {
         self.rev.is_empty()
     }
 
+    /// Approximate heap footprint of the interner, in bytes.
+    ///
+    /// Counts both directions of the mapping (the hash map and the
+    /// reverse vector) plus the spilled bytes of any `Sym` literals.
+    /// The estimate is deterministic for a given set of interned
+    /// literals, which is what quota accounting needs: the index
+    /// charges the *growth* of this number after each intern batch
+    /// against a report-only memory account.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(TokenLiteral, TokenId)>();
+        let spilled: usize = self
+            .rev
+            .iter()
+            .map(|literal| match literal {
+                TokenLiteral::Sym(s) => s.capacity(),
+                _ => 0,
+            })
+            .sum();
+        // Each literal is stored twice (map key + rev entry); `Sym`
+        // strings clone their bytes, so spilled bytes count twice too.
+        self.map.capacity() * entry
+            + self.rev.capacity() * std::mem::size_of::<TokenLiteral>()
+            + 2 * spilled
+    }
+
     /// Interns a whole weighted string into an [`IdString`].
     pub fn intern_string(&mut self, string: &WeightedString) -> IdString {
         let mut ids = Vec::with_capacity(string.len());
@@ -331,6 +356,26 @@ mod tests {
         assert_eq!(s.total_weight(), 8);
         assert_eq!(s.weight_at_least(4), 5);
         assert_eq!(s.weight_at_least(6), 0);
+    }
+
+    #[test]
+    fn interner_footprint_grows_with_interned_literals() {
+        let mut i = TokenInterner::new();
+        assert_eq!(i.approx_bytes(), 0, "an empty interner holds nothing");
+        i.intern(&TokenLiteral::Root);
+        let small = i.approx_bytes();
+        assert!(small > 0);
+        let sym = "a".repeat(1024);
+        i.intern(&TokenLiteral::Sym(sym.clone()));
+        let with_sym = i.approx_bytes();
+        assert!(
+            with_sym >= small + 2 * sym.len(),
+            "Sym bytes are stored twice (map key + rev): {small} -> {with_sym}"
+        );
+        // Deterministic for the same contents: re-interning changes nothing.
+        i.intern(&TokenLiteral::Root);
+        i.intern(&TokenLiteral::Sym(sym));
+        assert_eq!(i.approx_bytes(), with_sym);
     }
 
     #[test]

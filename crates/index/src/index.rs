@@ -388,6 +388,16 @@ pub struct PatternIndex {
     /// [`PatternIndex::attach_quota`] — an unattached index does no
     /// memory admission at all.
     corpus_account: OnceLock<Account>,
+    /// Report-only account carrying the interner's heap footprint —
+    /// interned tokens are never evicted, so the bytes are visible to
+    /// the quota (and to `STATS`) but are not a reclaim source.
+    /// `interner_charged` remembers the bytes charged so far, so each
+    /// intern batch charges only its growth.
+    interner_account: OnceLock<Account>,
+    interner_charged: AtomicU64,
+    /// Report-only account carrying the query registry's memoised
+    /// entries; released wholesale when the registry resets.
+    registry_account: OnceLock<Account>,
     next_id: AtomicU32,
     queries: Mutex<QueryRegistry>,
     stats: SharedStats,
@@ -428,6 +438,15 @@ struct QueryRegistry {
     next_id: u64,
 }
 
+/// Approximate bytes one memoised registry entry keeps alive: the cloned
+/// key vectors plus the map entry itself. Charged to the report-only
+/// `query-registry` account on insert and released in bulk on reset.
+fn registry_entry_bytes(key: &QueryKey) -> u64 {
+    (std::mem::size_of::<(QueryKey, QueryInfo)>()
+        + key.0.len() * std::mem::size_of::<TokenId>()
+        + key.1.len() * std::mem::size_of::<u64>()) as u64
+}
+
 /// A candidate surviving the prefilter: which shard holds it and its
 /// position inside that shard's entry vector.
 type Candidate = (usize, usize);
@@ -444,6 +463,9 @@ impl PatternIndex {
             shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
             cache: Arc::new(SharedKernelCache::new(opts.cache_capacity, shard_count)),
             corpus_account: OnceLock::new(),
+            interner_account: OnceLock::new(),
+            interner_charged: AtomicU64::new(0),
+            registry_account: OnceLock::new(),
             next_id: AtomicU32::new(0),
             queries: Mutex::new(QueryRegistry::default()),
             stats: SharedStats::default(),
@@ -605,6 +627,18 @@ impl PatternIndex {
         quota.set_reclaimer("cache", move |_wanted| {
             cache.upgrade().map_or(0, |cache| cache.clear())
         });
+        // Unreclaimable side: the interner and the query registry hold
+        // memory the index can never give back, so they are charged to
+        // report-only accounts — counted in the root total (and the
+        // `mem_unreclaimable_bytes` gauge) but never a reclaim source.
+        let interner = quota.report_account("interner");
+        let preinterned = self.lock_interner().approx_bytes() as u64;
+        if preinterned > 0 {
+            interner.charge(preinterned);
+        }
+        self.interner_charged.store(preinterned, Ordering::Relaxed);
+        let _ = self.interner_account.set(interner);
+        let _ = self.registry_account.set(quota.report_account("query-registry"));
     }
 
     /// Runs the trace → weighted string pipeline and interns the result
@@ -613,7 +647,20 @@ impl PatternIndex {
     /// same-interner invariant).
     pub fn intern_trace(&self, trace: &Trace) -> IdString {
         let string = self.pipeline.string_of_trace(trace);
-        self.interner.lock().unwrap_or_else(|p| p.into_inner()).intern_string(&string)
+        let mut interner = self.lock_interner();
+        let ids = interner.intern_string(&string);
+        if let Some(account) = self.interner_account.get() {
+            // Charge the growth while still holding the interner lock, so
+            // concurrent interns each account exactly their own delta.
+            let now = interner.approx_bytes() as u64;
+            let before = self.interner_charged.swap(now, Ordering::Relaxed);
+            account.charge(now.saturating_sub(before));
+        }
+        ids
+    }
+
+    fn lock_interner(&self) -> MutexGuard<'_, TokenInterner> {
+        self.interner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The kernel the index evaluates (for direct cross-checks).
@@ -986,6 +1033,12 @@ impl PatternIndex {
             if registry.map.len() >= self.opts.cache_capacity && !registry.map.contains_key(&key) {
                 registry.map.clear();
                 self.cache.clear();
+                if let Some(account) = self.registry_account.get() {
+                    // The reset frees every memoised entry at once; the
+                    // account only ever holds registry bytes, so its own
+                    // balance is exactly what to give back.
+                    account.release(account.used());
+                }
             }
             let QueryRegistry { map, next_id } = &mut *registry;
             let fresh_id = *next_id;
@@ -993,6 +1046,9 @@ impl PatternIndex {
                 map.entry(key.clone()).or_insert(QueryInfo { id: fresh_id, self_kernel: None });
             if info.id == fresh_id {
                 *next_id += 1;
+                if let Some(account) = self.registry_account.get() {
+                    account.charge(registry_entry_bytes(&key));
+                }
             }
             if !need_self {
                 return (info.id, 0.0);

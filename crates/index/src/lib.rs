@@ -81,6 +81,7 @@ pub mod lru;
 pub mod persist;
 pub mod prefilter;
 pub mod protocol;
+pub mod runtime;
 pub mod server;
 pub mod signal;
 pub mod wal;
@@ -100,6 +101,7 @@ pub use protocol::{
     decode_trace_inline, encode_trace_inline, parse_batch_ingest_item, parse_request, read_reply,
     MetricsSnapshot, Request, MAX_BATCH_ITEMS, PROTOCOL_VERBS, PROTOCOL_VERSION,
 };
+pub use runtime::{EpollRuntime, Runtime, RuntimeKind, ThreadsRuntime};
 pub use server::{Server, ServerMetrics, ShutdownHandle};
 pub use signal::{watch_termination, SignalWatcher, TermSignal};
 pub use wal::WalManager;

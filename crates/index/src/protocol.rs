@@ -64,6 +64,150 @@ pub const MAX_BATCH_ITEMS: usize = 4096;
 /// bump it; a breaking change (renamed verb, reshaped reply) must.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Upper bound on one request (or batch item) line: 1 MiB. A client
+/// streaming data with no newline would otherwise grow the line buffer
+/// without limit and OOM the daemon; 1 MiB comfortably fits any
+/// realistic inline trace (a trace line of `n` operations is well under
+/// 16 bytes per op). An over-long line is answered with
+/// `ERR line too long` and *drained to its newline* — the connection
+/// stays framed and usable. The cap is runtime-independent: the blocking
+/// reader enforces it through a `take()` adapter, the epoll reactor
+/// through [`LineFramer`].
+pub const MAX_REQUEST_LINE_BYTES: u64 = 1 << 20;
+
+/// One framed line as [`LineFramer`] emits them.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FramedLine {
+    /// A complete line, **including** its trailing newline (matching the
+    /// blocking reader's `read_line` output byte for byte, so downstream
+    /// byte accounting is identical under both runtimes).
+    Full(String),
+    /// The line hit [`MAX_REQUEST_LINE_BYTES`] without a newline. The
+    /// capped prefix has been discarded and the framer is now *draining*:
+    /// it silently swallows bytes until the newline, then resumes
+    /// framing. Emitted once per over-long line.
+    TooLong,
+}
+
+/// Incremental, non-blocking line framing for the epoll reactor: bytes
+/// arrive in arbitrary chunks ([`LineFramer::push_bytes`]) and complete
+/// protocol lines come out ([`LineFramer::next_line`]), with the same
+/// 1 MiB cap, UTF-8 validation and over-long-line drain semantics as the
+/// blocking `take(MAX).read_line()` path — proven byte-identical by the
+/// conformance suite running against both runtimes.
+///
+/// Invalid UTF-8 is connection-fatal (an `InvalidData` error), exactly
+/// as `read_line` treats it; validation happens *before* the over-long
+/// check so a binary blast cannot be laundered into a polite
+/// `ERR line too long`.
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline — re-scanning from 0
+    /// on every small chunk would make framing O(n²) per line.
+    scanned: usize,
+    /// Swallowing the remainder of an over-long line (everything up to
+    /// and including the next newline).
+    draining: bool,
+}
+
+impl LineFramer {
+    pub fn new() -> LineFramer {
+        LineFramer::default()
+    }
+
+    /// Appends freshly read bytes to the frame buffer.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether nothing is buffered and no drain is in progress (the
+    /// connection is between requests — safe to reap as idle).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && !self.draining
+    }
+
+    /// The next complete line, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when a completed line (or the capped prefix of an
+    /// over-long one) is not valid UTF-8 — connection-fatal, as under the
+    /// blocking reader.
+    pub fn next_line(&mut self) -> std::io::Result<Option<FramedLine>> {
+        let max = usize::try_from(MAX_REQUEST_LINE_BYTES).unwrap_or(usize::MAX);
+        if self.draining {
+            match self.buf.iter().position(|&byte| byte == b'\n') {
+                Some(at) => {
+                    self.buf.drain(..=at);
+                    self.scanned = 0;
+                    self.draining = false;
+                }
+                None => {
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return Ok(None);
+                }
+            }
+        }
+        let scan_end = self.buf.len().min(max);
+        match self.buf[self.scanned..scan_end].iter().position(|&byte| byte == b'\n') {
+            Some(at) => {
+                let end = self.scanned + at;
+                let line: Vec<u8> = self.buf.drain(..=end).collect();
+                self.scanned = 0;
+                Ok(Some(FramedLine::Full(utf8(line)?)))
+            }
+            // `>=` with a newline *at* the cap boundary still frames: a
+            // line whose newline is byte `max` (1-indexed) is exactly
+            // what `take(max).read_line` accepts, found above because
+            // `scan_end` includes index `max - 1`.
+            None if self.buf.len() >= max => {
+                // The capped prefix must be UTF-8 even though it is
+                // discarded — read_line validates before the server can
+                // notice the length.
+                let prefix: Vec<u8> = self.buf.drain(..max).collect();
+                utf8(prefix)?;
+                self.scanned = 0;
+                self.draining = true;
+                Ok(Some(FramedLine::TooLong))
+            }
+            None => {
+                self.scanned = scan_end;
+                Ok(None)
+            }
+        }
+    }
+
+    /// The peer sent EOF: the final, newline-less partial line — which
+    /// `read_line` *does* return and the server *does* process — or
+    /// `None` when the connection ended cleanly (empty buffer, or EOF in
+    /// the middle of draining an over-long line: hangup, no reply).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the trailing bytes are not valid UTF-8.
+    pub fn finish(&mut self) -> std::io::Result<Option<FramedLine>> {
+        if self.draining {
+            self.buf.clear();
+            self.scanned = 0;
+            return Ok(None);
+        }
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        let tail: Vec<u8> = std::mem::take(&mut self.buf);
+        self.scanned = 0;
+        Ok(Some(FramedLine::Full(utf8(tail)?)))
+    }
+}
+
+fn utf8(bytes: Vec<u8>) -> std::io::Result<String> {
+    String::from_utf8(bytes).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "stream did not contain valid UTF-8")
+    })
+}
+
 /// The verb list advertised in the `HELLO` reply, in documentation order.
 pub const PROTOCOL_VERBS: &str =
     "HELLO,INGEST,BATCH,QUERY,MQUERY,STATS,METRICS,SLOWLOG,SAVE,SHUTDOWN";
@@ -396,6 +540,10 @@ pub struct MetricsSnapshot {
     pub mem_used_bytes: u64,
     /// The configured `--max-memory-bytes` budget; 0 when unlimited.
     pub mem_limit_bytes: u64,
+    /// Bytes charged through report-only accounts (interned token
+    /// tables, memoised query self-kernels): live memory that is
+    /// included in `mem_used_bytes` but that no reclaim pass can free.
+    pub mem_unreclaimable_bytes: u64,
     /// Reclaim passes that actually freed memory (cache clears under
     /// pressure).
     pub mem_reclaims: u64,
@@ -440,7 +588,8 @@ impl MetricsSnapshot {
 /// The trailing block renders the daemon's [`MetricsSnapshot`]: uptime,
 /// connections accepted, total/erroneous request counts and one
 /// `STAT verb_<name>` line per verb, then the memory-governance block
-/// (`mem_used_bytes`, `mem_limit_bytes`, `mem_reclaims`, `shed_memory`,
+/// (`mem_used_bytes`, `mem_limit_bytes`, `mem_unreclaimable_bytes`,
+/// `mem_reclaims`, `shed_memory`,
 /// `shed_connections`, `timeouts` — zeros when ungoverned), then one
 /// `STAT latency_<verb>_{p50,p95,p99}_us` triple per verb in `latency`
 /// (the server passes only verbs that have recorded samples, so a fresh
@@ -515,12 +664,14 @@ pub fn render_stats_reply(
     out.push_str(&format!(
         "STAT mem_used_bytes {}\n\
          STAT mem_limit_bytes {}\n\
+         STAT mem_unreclaimable_bytes {}\n\
          STAT mem_reclaims {}\n\
          STAT shed_memory {}\n\
          STAT shed_connections {}\n\
          STAT timeouts {}\n",
         metrics.mem_used_bytes,
         metrics.mem_limit_bytes,
+        metrics.mem_unreclaimable_bytes,
         metrics.mem_reclaims,
         metrics.shed_memory,
         metrics.shed_connections,
@@ -609,6 +760,8 @@ pub fn render_metrics_reply(
     exp.sample("kastio_mem_used_bytes", "", metrics.mem_used_bytes);
     exp.type_line("kastio_mem_limit_bytes", "gauge");
     exp.sample("kastio_mem_limit_bytes", "", metrics.mem_limit_bytes);
+    exp.type_line("kastio_mem_unreclaimable_bytes", "gauge");
+    exp.sample("kastio_mem_unreclaimable_bytes", "", metrics.mem_unreclaimable_bytes);
     exp.type_line("kastio_mem_reclaims_total", "counter");
     exp.sample("kastio_mem_reclaims_total", "", metrics.mem_reclaims);
     exp.type_line("kastio_shed_total", "counter");
@@ -719,6 +872,87 @@ mod tests {
     use super::*;
     use crate::entry::EntryId;
     use crate::index::Neighbor;
+
+    fn full(framer: &mut LineFramer) -> String {
+        match framer.next_line().unwrap() {
+            Some(FramedLine::Full(line)) => line,
+            other => panic!("expected a full line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framer_reassembles_lines_from_arbitrary_chunks() {
+        let mut framer = LineFramer::new();
+        for byte in b"QUERY k=1 h0 read 8\nSTATS\n" {
+            framer.push_bytes(&[*byte]);
+        }
+        assert_eq!(full(&mut framer), "QUERY k=1 h0 read 8\n");
+        assert_eq!(full(&mut framer), "STATS\n");
+        assert!(framer.next_line().unwrap().is_none());
+        assert!(framer.is_empty());
+    }
+
+    #[test]
+    fn framer_caps_lines_and_drains_like_read_line() {
+        let max = usize::try_from(MAX_REQUEST_LINE_BYTES).unwrap();
+        let mut framer = LineFramer::new();
+        framer.push_bytes(&vec![b'a'; max + 10]);
+        assert!(matches!(framer.next_line().unwrap(), Some(FramedLine::TooLong)));
+        assert!(framer.next_line().unwrap().is_none(), "still draining");
+        assert!(!framer.is_empty(), "a drain in progress is not idle");
+        framer.push_bytes(b"tail\nSTATS\n");
+        assert_eq!(full(&mut framer), "STATS\n", "drain swallows through the newline");
+
+        // A newline exactly at the cap boundary still frames — the same
+        // line take(max).read_line() accepts.
+        let mut framer = LineFramer::new();
+        let mut at_cap = vec![b'b'; max - 1];
+        at_cap.push(b'\n');
+        framer.push_bytes(&at_cap);
+        assert_eq!(full(&mut framer).len(), max);
+    }
+
+    #[test]
+    fn framer_finish_returns_the_newlineless_tail() {
+        let mut framer = LineFramer::new();
+        framer.push_bytes(b"STATS");
+        assert!(framer.next_line().unwrap().is_none());
+        assert_eq!(
+            framer.finish().unwrap(),
+            Some(FramedLine::Full("STATS".to_string())),
+            "read_line returns the trailing partial line, so finish must too"
+        );
+        assert!(framer.finish().unwrap().is_none(), "clean EOF after the tail");
+
+        // EOF mid-drain is a hangup: the over-long line was already
+        // answered, its unterminated remainder earns nothing.
+        let mut framer = LineFramer::new();
+        framer.push_bytes(&vec![b'c'; usize::try_from(MAX_REQUEST_LINE_BYTES).unwrap() + 1]);
+        assert!(matches!(framer.next_line().unwrap(), Some(FramedLine::TooLong)));
+        assert!(framer.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn framer_rejects_invalid_utf8_as_connection_fatal() {
+        let mut framer = LineFramer::new();
+        framer.push_bytes(&[0xff, 0xfe, b'\n']);
+        let err = framer.next_line().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Validation happens on the capped prefix of an over-long line
+        // too, before TooLong can be reported.
+        let mut framer = LineFramer::new();
+        let mut blast = vec![0xff_u8; usize::try_from(MAX_REQUEST_LINE_BYTES).unwrap()];
+        blast.extend_from_slice(b"more");
+        framer.push_bytes(&blast);
+        assert_eq!(framer.next_line().unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+
+        // And on the EOF tail.
+        let mut framer = LineFramer::new();
+        framer.push_bytes(&[0xff, 0xfe]);
+        assert!(framer.next_line().unwrap().is_none());
+        assert_eq!(framer.finish().unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+    }
 
     #[test]
     fn trace_inline_roundtrip() {

@@ -1,0 +1,721 @@
+//! The runtime-agnostic request core: everything between "a framed
+//! request line arrived" and "these reply bytes leave, then record
+//! latency" lives here, shared verbatim by the threads runtime and the
+//! epoll reactor so the wire bytes cannot drift between them.
+//!
+//! The split with the runtimes:
+//!
+//! * [`execute_parsed`] turns one parsed request (plus its batched item
+//!   lines, live-read or pre-collected) into an [`Executed`] reply with
+//!   all the bookkeeping a runtime needs afterwards.
+//! * [`finish_after_write`] records the stage/latency histograms and the
+//!   slow-log entry once the runtime has written and flushed the reply.
+//! * [`ItemCollector`] is the incremental item-line state machine for the
+//!   batched verbs, preserving the exact error priority of the original
+//!   blocking reader (over-long line ≻ cumulative cap ≻ memory admission
+//!   ≻ parse error), byte-counted and budget-charged line by line.
+
+use std::io::{self, BufRead, Read};
+use std::time::Instant;
+
+use kastio_quota::Account;
+use kastio_trace::wal::WalRecord;
+use kastio_trace::Trace;
+
+use crate::index::{IngestError, PatternIndex, QueryTimings};
+use crate::persist::save_index_wal;
+use crate::protocol::{
+    decode_trace_inline, parse_batch_ingest_item, render_hello_reply, render_hello_unsupported,
+    render_metrics_reply, render_mquery_reply, render_query_reply, render_slowlog_get,
+    render_slowlog_len, render_slowlog_reset, render_stats_reply, render_trace_line, Request,
+    SlowlogCmd, MAX_REQUEST_LINE_BYTES, PROTOCOL_VERSION,
+};
+use crate::server::{
+    verb_slot, ServerMetrics, STAGE_CACHE, STAGE_KERNEL, STAGE_PARSE, STAGE_PREFILTER, STAGE_REPLY,
+    VERB_NAMES,
+};
+use crate::wal::WalManager;
+
+use super::ServeState;
+
+/// The shared daemon state one request executes against. Runtimes build
+/// one per connection (threads) or per worker (epoll) from the
+/// [`ServeState`]; cloning is cheap (all `Arc`s and handles).
+#[derive(Clone)]
+pub(crate) struct RequestContext {
+    pub index: std::sync::Arc<PatternIndex>,
+    pub save_dir: Option<std::path::PathBuf>,
+    pub wal: Option<std::sync::Arc<WalManager>>,
+    pub metrics: std::sync::Arc<ServerMetrics>,
+    pub slow_log: std::sync::Arc<kastio_obs::SlowLog>,
+    pub quota: kastio_quota::MemoryQuota,
+    pub buffers: Account,
+}
+
+impl RequestContext {
+    /// The context shared by every request of a [`ServeState`].
+    pub fn of(state: &ServeState) -> RequestContext {
+        RequestContext {
+            index: std::sync::Arc::clone(&state.index),
+            save_dir: state.save_dir.clone(),
+            wal: state.wal.clone(),
+            metrics: std::sync::Arc::clone(&state.metrics),
+            slow_log: std::sync::Arc::clone(&state.slow_log),
+            quota: state.quota.clone(),
+            buffers: state.buffers.clone(),
+        }
+    }
+}
+
+/// The slow-log presentation of a request: its wire verb (space-free, so
+/// `SLOW` lines stay token-aligned) and a compact argument summary.
+pub(crate) fn request_summary(request: &Request) -> (&'static str, String) {
+    match request {
+        Request::Hello { version, .. } => ("HELLO", format!("proto={version}")),
+        Request::Ingest { label, trace } => {
+            ("INGEST", format!("label={label},ops={}", trace.len()))
+        }
+        Request::BatchIngest { count } => ("BATCH_INGEST", format!("count={count}")),
+        Request::Query { k, trace, .. } => ("QUERY", format!("k={k},ops={}", trace.len())),
+        Request::MultiQuery { k, count, .. } => ("MQUERY", format!("k={k},count={count}")),
+        Request::Stats => ("STATS", String::new()),
+        Request::Metrics => ("METRICS", String::new()),
+        Request::Slowlog(SlowlogCmd::Get) => ("SLOWLOG", "GET".to_string()),
+        Request::Slowlog(SlowlogCmd::Reset) => ("SLOWLOG", "RESET".to_string()),
+        Request::Slowlog(SlowlogCmd::Len) => ("SLOWLOG", "LEN".to_string()),
+        Request::Save => ("SAVE", String::new()),
+        Request::Shutdown => ("SHUTDOWN", String::new()),
+    }
+}
+
+/// What reading one request (or batch item) line produced.
+pub(crate) enum Line {
+    /// A complete newline-terminated line is in the buffer.
+    Full,
+    /// The peer closed the connection.
+    Eof,
+    /// The line hit [`MAX_REQUEST_LINE_BYTES`] without a newline; the
+    /// remainder (up to the next newline) is still unread — drain it
+    /// with [`drain_line`] to keep the connection framed.
+    TooLong,
+}
+
+pub(crate) fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Result<Line> {
+    line.clear();
+    if reader.by_ref().take(MAX_REQUEST_LINE_BYTES).read_line(line)? == 0 {
+        return Ok(Line::Eof);
+    }
+    if line.len() as u64 >= MAX_REQUEST_LINE_BYTES && !line.ends_with('\n') {
+        return Ok(Line::TooLong);
+    }
+    Ok(Line::Full)
+}
+
+/// Discards the unread remainder of an over-long line — everything up to
+/// and including the next newline — without buffering it, so the
+/// connection can keep serving requests after an `ERR line too long`.
+/// Returns `false` when the stream ends first (nothing left to serve).
+pub(crate) fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<bool> {
+    loop {
+        let buffered = reader.fill_buf()?;
+        if buffered.is_empty() {
+            return Ok(false); // EOF mid-line
+        }
+        match buffered.iter().position(|&byte| byte == b'\n') {
+            Some(at) => {
+                reader.consume(at + 1);
+                return Ok(true);
+            }
+            None => {
+                let len = buffered.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Whether a read error is the per-connection idle deadline firing
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+pub(crate) fn is_timeout(error: &io::Error) -> bool {
+    matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Nanoseconds elapsed since `start`, saturating.
+pub(crate) fn span_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Bytes of one in-flight batched request charged against the `buffers`
+/// account, released when the request's reply has been rendered (drop).
+/// Admission is all-or-nothing per line: a line that no longer fits
+/// sheds the whole request. Owns a handle to the account (rather than
+/// borrowing) so the epoll reactor can keep a charge alive across the
+/// collect → dispatch → execute handoff.
+pub(crate) struct BufferCharge {
+    account: Account,
+    bytes: u64,
+}
+
+impl BufferCharge {
+    pub fn new(account: &Account) -> BufferCharge {
+        BufferCharge { account: account.clone(), bytes: 0 }
+    }
+
+    /// Tries to admit `bytes` more buffered request bytes; on refusal
+    /// (budget exhausted even after reclaim) nothing is charged.
+    #[must_use]
+    pub fn add(&mut self, bytes: u64) -> bool {
+        if self.account.try_charge(bytes) {
+            self.bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases everything charged so far (the request was shed).
+    pub fn release_all(&mut self) {
+        self.account.release(self.bytes);
+        self.bytes = 0;
+    }
+}
+
+impl Drop for BufferCharge {
+    fn drop(&mut self) {
+        self.account.release(self.bytes);
+    }
+}
+
+/// Upper bound on the *cumulative* item bytes of one batched request.
+/// The per-line cap alone would let a 4096-item batch buffer gigabytes of
+/// parsed items before replying; this keeps a whole `BATCH INGEST` /
+/// `MQUERY` within a 16 MiB envelope even without a `--max-memory-bytes`
+/// budget (the remaining announced lines are still consumed — without
+/// being stored — so the connection stays framed).
+pub(crate) const MAX_BATCH_TOTAL_BYTES: u64 = 16 << 20;
+
+/// Outcome of collecting a batch's item lines.
+pub(crate) enum Items<T> {
+    /// All items read and parsed.
+    Parsed(Vec<T>),
+    /// An item failed to parse, ran over a size cap or was shed by memory
+    /// admission; the `ERR` reply to send (every announced line was still
+    /// consumed or drained, so the connection stays framed).
+    Bad(String),
+}
+
+/// One framed item line as a runtime hands it to the collector.
+pub(crate) enum ItemLine {
+    /// A complete line, **including** its trailing newline (the
+    /// cumulative byte cap counts the newline, exactly as the blocking
+    /// reader's `read_line` did).
+    Full(String),
+    /// The line hit the 1 MiB cap without a newline; the runtime has
+    /// drained (or is draining) the remainder.
+    TooLong,
+}
+
+/// The incremental state machine that gathers the `count` announced item
+/// lines of a batched request — one [`ItemCollector::push`] per framed
+/// line, from either a blocking reader or the reactor. Every accepted
+/// line's bytes are first admitted against the memory budget through the
+/// owned [`BufferCharge`]; the first line that no longer fits sheds the
+/// whole request with `ERR busy reason=memory` (buffered items and their
+/// charges are dropped), while the remaining announced lines are still
+/// consumed so the connection stays framed.
+pub(crate) struct ItemCollector<T> {
+    count: usize,
+    seen: usize,
+    items: Vec<T>,
+    first_error: Option<String>,
+    total_bytes: u64,
+    charge: BufferCharge,
+    parse: fn(&str) -> Result<T, String>,
+}
+
+impl<T> ItemCollector<T> {
+    pub fn new(count: usize, buffers: &Account, parse: fn(&str) -> Result<T, String>) -> Self {
+        ItemCollector {
+            count,
+            seen: 0,
+            items: Vec::new(),
+            first_error: None,
+            total_bytes: 0,
+            charge: BufferCharge::new(buffers),
+            parse,
+        }
+    }
+
+    /// Whether all announced lines have been consumed.
+    pub fn done(&self) -> bool {
+        self.seen >= self.count
+    }
+
+    /// Feeds the next announced line. Error priority matches the
+    /// blocking reader exactly: the first failure wins, later lines are
+    /// still counted (consumed) but neither stored nor charged.
+    pub fn push(&mut self, line: ItemLine) {
+        self.seen += 1;
+        let line = match line {
+            ItemLine::TooLong => {
+                if self.first_error.is_none() {
+                    self.items = Vec::new();
+                    self.charge.release_all();
+                    self.first_error = Some("ERR line too long\n".to_string());
+                }
+                return;
+            }
+            ItemLine::Full(line) => line,
+        };
+        if self.first_error.is_some() {
+            return; // keep consuming announced lines to stay framed
+        }
+        self.total_bytes += line.len() as u64;
+        if self.total_bytes > MAX_BATCH_TOTAL_BYTES {
+            self.items = Vec::new(); // release what was buffered
+            self.charge.release_all();
+            self.first_error =
+                Some(format!("ERR batch exceeds {MAX_BATCH_TOTAL_BYTES} total bytes\n"));
+            return;
+        }
+        if !self.charge.add(line.len() as u64) {
+            self.items = Vec::new();
+            self.charge.release_all();
+            self.first_error = Some("ERR busy reason=memory\n".to_string());
+            return;
+        }
+        match (self.parse)(&line) {
+            Ok(item) => self.items.push(item),
+            Err(message) => {
+                self.first_error =
+                    Some(format!("ERR item {}/{}: {message}\n", self.seen, self.count));
+            }
+        }
+    }
+
+    /// The collected outcome plus the still-held buffer charge (released
+    /// by the caller once the reply has been rendered).
+    pub fn finish(self) -> (Items<T>, BufferCharge) {
+        let ItemCollector { items, first_error, charge, .. } = self;
+        let outcome = match first_error {
+            Some(message) => Items::Bad(message),
+            None => Items::Parsed(items),
+        };
+        (outcome, charge)
+    }
+}
+
+/// Parses one `MQUERY` item line (a bare inline trace).
+pub(crate) fn parse_mquery_item(item: &str) -> Result<Trace, String> {
+    decode_trace_inline(item.trim())
+}
+
+/// Feeds the collector from a live blocking reader (the threads
+/// runtime). Returns `false` on hangup — EOF or the idle deadline
+/// mid-batch — in which case the caller closes the connection without a
+/// reply.
+pub(crate) fn fill_collector<R: BufRead, T>(
+    reader: &mut R,
+    metrics: &ServerMetrics,
+    collector: &mut ItemCollector<T>,
+) -> io::Result<bool> {
+    let mut line = String::new();
+    while !collector.done() {
+        let status = match read_request_line(reader, &mut line) {
+            Ok(status) => status,
+            Err(error) if is_timeout(&error) => {
+                metrics.record_timeout();
+                return Ok(false);
+            }
+            Err(error) => return Err(error),
+        };
+        match status {
+            Line::Eof => return Ok(false),
+            Line::TooLong => {
+                // Drain to the newline and keep the connection framed;
+                // the batch as a whole is refused.
+                collector.push(ItemLine::TooLong);
+                if !drain_line(reader)? {
+                    return Ok(false);
+                }
+            }
+            Line::Full => collector.push(ItemLine::Full(std::mem::take(&mut line))),
+        }
+    }
+    Ok(true)
+}
+
+/// Pre-collected item lines of a batched request (the epoll reactor
+/// gathers them through [`ItemCollector`] before dispatching to a
+/// worker), or nothing for the unbatched verbs.
+pub(crate) enum CollectedItems {
+    None,
+    Batch(Items<(String, Trace)>, BufferCharge),
+    Queries(Items<Trace>, BufferCharge),
+}
+
+/// Where a batched request's item lines come from: read live off the
+/// connection (threads runtime — blocking, inline with execution), or
+/// already collected by the reactor.
+pub(crate) enum ItemsInput<'a, R: BufRead> {
+    Live(&'a mut R),
+    Collected(CollectedItems),
+}
+
+/// One executed request, ready for its runtime to write out: the reply
+/// bytes (TRACE line already inserted when requested) plus everything
+/// [`finish_after_write`] needs afterwards.
+pub(crate) struct Executed {
+    pub reply: String,
+    /// The verb's histogram slot (`None` for a parse failure).
+    pub slot: Option<usize>,
+    /// When the request line was framed — the latency clock's zero.
+    pub started: Instant,
+    pub parse_ns: u64,
+    pub timings: QueryTimings,
+    pub ran_query: bool,
+    /// Slow-log verb + argument summary, built only when the log could
+    /// actually keep it.
+    pub summary: Option<(&'static str, String)>,
+    /// A `SHUTDOWN` was honoured: stop the daemon once the reply is out.
+    pub shutting_down: bool,
+    /// An acked ingest: the runtime fires the `CRASH_AFTER_ACK` fault
+    /// injection point right after the reply bytes leave the socket.
+    pub ack_ingest: bool,
+}
+
+/// Executes one parsed request against the daemon state. The caller has
+/// already read and framed the request line, counted it
+/// ([`ServerMetrics::record_request`]) and measured `parse_ns`; this
+/// renders the reply and the post-write bookkeeping packet.
+///
+/// Returns `Ok(None)` on hangup — the connection died (EOF or idle
+/// deadline) while the announced item lines of a batched request were
+/// being read; the caller closes without replying.
+///
+/// # Errors
+///
+/// Propagates only live item-line read failures (threads runtime); a
+/// pre-collected input never does I/O and never fails.
+pub(crate) fn execute_parsed<R: BufRead>(
+    ctx: &RequestContext,
+    request: Result<Request, String>,
+    started: Instant,
+    mut parse_ns: u64,
+    items_input: ItemsInput<'_, R>,
+) -> io::Result<Option<Executed>> {
+    let index = &*ctx.index;
+    let wal = ctx.wal.as_deref();
+    let metrics = &*ctx.metrics;
+    let slot = request.as_ref().ok().map(verb_slot);
+    // The argument summary allocates, so it is only built when the slow
+    // log could actually keep it.
+    let summary =
+        ctx.slow_log.threshold_micros().and_then(|_| request.as_ref().ok().map(request_summary));
+    let mut query_timings = QueryTimings::default();
+    let mut ran_query = false;
+    let mut timed = false;
+    let mut shutting_down = false;
+    let mut reply = match request {
+        Err(message) => format!("ERR {message}\n"),
+        Ok(Request::Hello { version, client: _ }) => {
+            // Version negotiation: the handshake succeeds only on an
+            // exact match today (there is one version). Every other
+            // verb keeps working without a HELLO, so old clients are
+            // unaffected.
+            if version == PROTOCOL_VERSION {
+                render_hello_reply()
+            } else {
+                render_hello_unsupported(version)
+            }
+        }
+        Ok(Request::Ingest { label, trace }) => {
+            // `ingest_auto` consumes the label and trace, but the WAL
+            // record needs them too — and only exists on the success
+            // path, so the clone is taken up front.
+            let journal = wal.map(|wal| (wal, label.clone(), trace.clone()));
+            match index.ingest_auto(label, trace) {
+                Ok(id) => {
+                    let durable = journal.map_or(Ok(()), |(wal, label, trace)| {
+                        wal_commit(
+                            wal,
+                            vec![WalRecord { id: id.0, name: format!("e{}", id.0), label, trace }],
+                        )
+                    });
+                    match durable {
+                        Ok(()) => {
+                            format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
+                        }
+                        Err(e) => format!("ERR wal: {e}\n"),
+                    }
+                }
+                Err(e) => format!("ERR {e}\n"),
+            }
+        }
+        Ok(Request::BatchIngest { count }) => {
+            let items_started = Instant::now();
+            let (items, charge) = match items_input {
+                ItemsInput::Live(reader) => {
+                    let mut collector =
+                        ItemCollector::new(count, &ctx.buffers, parse_batch_ingest_item);
+                    if !fill_collector(reader, metrics, &mut collector)? {
+                        return Ok(None);
+                    }
+                    collector.finish()
+                }
+                ItemsInput::Collected(CollectedItems::Batch(items, charge)) => (items, charge),
+                ItemsInput::Collected(_) => unreachable!("reactor collects per parsed verb"),
+            };
+            parse_ns += span_ns(items_started);
+            let reply = match items {
+                Items::Bad(message) => message,
+                Items::Parsed(items) => batch_ingest_reply(index, count, items, wal),
+            };
+            drop(charge); // buffered bytes released once the reply exists
+            reply
+        }
+        Ok(Request::Query { k, trace, timed: t }) => {
+            let result = index.query(&trace, k);
+            query_timings = result.timings;
+            ran_query = true;
+            timed = t;
+            render_query_reply(&result)
+        }
+        Ok(Request::MultiQuery { k, count, timed: t }) => {
+            let items_started = Instant::now();
+            let (items, charge) = match items_input {
+                ItemsInput::Live(reader) => {
+                    let mut collector = ItemCollector::new(count, &ctx.buffers, parse_mquery_item);
+                    if !fill_collector(reader, metrics, &mut collector)? {
+                        return Ok(None);
+                    }
+                    collector.finish()
+                }
+                ItemsInput::Collected(CollectedItems::Queries(items, charge)) => (items, charge),
+                ItemsInput::Collected(_) => unreachable!("reactor collects per parsed verb"),
+            };
+            parse_ns += span_ns(items_started);
+            let reply = match items {
+                Items::Bad(message) => message,
+                Items::Parsed(traces) => {
+                    let results = index.query_batch(&traces, k);
+                    for result in &results {
+                        query_timings.merge(&result.timings);
+                    }
+                    ran_query = true;
+                    timed = t;
+                    render_mquery_reply(&results)
+                }
+            };
+            drop(charge);
+            reply
+        }
+        Ok(Request::Stats) => {
+            // One shard-size snapshot, with `entries` derived from it:
+            // a concurrent ingest between two separate scans could
+            // otherwise make the reply violate the documented
+            // invariant that the shard counts sum to `entries`.
+            let shard_sizes = index.shard_sizes();
+            let entries = shard_sizes.iter().sum();
+            render_stats_reply(
+                entries,
+                index.cached_pairs(),
+                &shard_sizes,
+                &index.stats(),
+                index.generation(),
+                &snapshot_status_with_wal(index, wal),
+                &metrics.snapshot_with_quota(&ctx.quota),
+                &metrics.latency_quantiles(),
+            )
+        }
+        Ok(Request::Metrics) => render_metrics_reply(
+            &metrics.snapshot_with_quota(&ctx.quota),
+            &metrics.verb_latency_snapshots(),
+            &metrics.stage_latency_snapshots(),
+            &snapshot_status_with_wal(index, wal),
+            ctx.slow_log.len(),
+        ),
+        Ok(Request::Slowlog(SlowlogCmd::Get)) => render_slowlog_get(&ctx.slow_log.entries()),
+        Ok(Request::Slowlog(SlowlogCmd::Len)) => render_slowlog_len(ctx.slow_log.len()),
+        Ok(Request::Slowlog(SlowlogCmd::Reset)) => {
+            ctx.slow_log.reset();
+            render_slowlog_reset()
+        }
+        Ok(Request::Save) => match ctx.save_dir.as_deref() {
+            None => "ERR no save directory (start the server with --save)\n".to_string(),
+            Some(dir) => match save_index_wal(index, dir, wal) {
+                Ok(info) => {
+                    // Under --wal a snapshot is a compaction point:
+                    // the reply says the log was trimmed too, so a
+                    // client (and the conformance suite) can tell the
+                    // two durability modes apart on the wire.
+                    let wal_note = if wal.is_some() { " wal=truncated" } else { "" };
+                    format!(
+                        "OK saved entries={} generation={}{wal_note}\n",
+                        info.entries, info.generation
+                    )
+                }
+                Err(e) => format!("ERR save failed: {e}\n"),
+            },
+        },
+        Ok(Request::Shutdown) => {
+            // Save *before* replying, so the client that requested
+            // the shutdown learns whether the corpus actually made it
+            // to disk. The server shuts down either way — the caller
+            // of serve() re-checks the snapshot status and surfaces
+            // the failure in its exit code.
+            shutting_down = true;
+            match ctx.save_dir.as_deref() {
+                None => "OK bye\n".to_string(),
+                Some(dir) => match save_index_wal(index, dir, wal) {
+                    Ok(info) => {
+                        format!("OK bye saved={} generation={}\n", info.entries, info.generation)
+                    }
+                    Err(e) => format!("ERR save failed: {e} (shutting down anyway)\n"),
+                },
+            }
+        }
+    };
+    if reply.starts_with("ERR") {
+        metrics.record_error();
+    }
+    // Every memory shed reply — whatever path produced it (ingest
+    // admission, batch item, request buffers) — is counted here, so
+    // the STATS tally equals the ERR busy replies clients observed.
+    if reply.starts_with("ERR busy reason=memory") {
+        metrics.record_shed_memory();
+    }
+    if timed && reply.ends_with("END\n") {
+        // The reply-write span cannot be known before the reply is
+        // written, so the inline TRACE total covers read → render;
+        // `reply` still shows up in the stage histograms and the
+        // slow log. Per-field flooring to µs keeps the rendered
+        // stage sum at or under the rendered total.
+        let trace_line = render_trace_line(
+            span_ns(started),
+            &[
+                ("parse", parse_ns),
+                ("prefilter", query_timings.prefilter_ns),
+                ("cache", query_timings.cache_ns),
+                ("kernel", query_timings.kernel_ns),
+            ],
+        );
+        reply.insert_str(reply.len() - "END\n".len(), &trace_line);
+    }
+    let ack_ingest = reply.starts_with("OK")
+        && matches!(slot.map(|s| VERB_NAMES[s]), Some("ingest" | "batch_ingest"));
+    Ok(Some(Executed {
+        reply,
+        slot,
+        started,
+        parse_ns,
+        timings: query_timings,
+        ran_query,
+        summary,
+        shutting_down,
+        ack_ingest,
+    }))
+}
+
+/// Post-write bookkeeping, identical under every runtime: stage spans,
+/// the verb's total-latency histogram, and the slow-log entry. `reply_ns`
+/// is the measured write+flush span.
+pub(crate) fn finish_after_write(ctx: &RequestContext, done: &Executed, reply_ns: u64) {
+    let metrics = &*ctx.metrics;
+    let total_ns = span_ns(done.started);
+    metrics.record_stage(STAGE_PARSE, done.parse_ns);
+    if done.ran_query {
+        metrics.record_stage(STAGE_PREFILTER, done.timings.prefilter_ns);
+        metrics.record_stage(STAGE_CACHE, done.timings.cache_ns);
+        metrics.record_stage(STAGE_KERNEL, done.timings.kernel_ns);
+    }
+    metrics.record_stage(STAGE_REPLY, reply_ns);
+    if let Some(slot) = done.slot {
+        metrics.record_latency(slot, total_ns);
+    }
+    if let Some((verb, args)) = &done.summary {
+        let mut stages = vec![("parse", done.parse_ns / 1_000)];
+        if done.ran_query {
+            stages.push(("prefilter", done.timings.prefilter_ns / 1_000));
+            stages.push(("cache", done.timings.cache_ns / 1_000));
+            stages.push(("kernel", done.timings.kernel_ns / 1_000));
+        }
+        stages.push(("reply", reply_ns / 1_000));
+        ctx.slow_log.record(metrics.uptime_micros(), verb, args.clone(), total_ns / 1_000, stages);
+    }
+}
+
+/// Applies a fully parsed `BATCH INGEST` item list. Labels were validated
+/// line by line during parsing; the remaining mid-batch failure is memory
+/// admission — with a budget attached, the first item that no longer fits
+/// sheds the rest of the batch with `ERR busy reason=memory` (the
+/// already-applied prefix is kept, as the reply says, and logged to the
+/// WAL so later acked ingests never sit past an id gap at replay).
+pub(crate) fn batch_ingest_reply(
+    index: &PatternIndex,
+    count: usize,
+    items: Vec<(String, Trace)>,
+    wal: Option<&WalManager>,
+) -> String {
+    let mut records = Vec::new();
+    for (i, (label, trace)) in items.into_iter().enumerate() {
+        let journal = wal.map(|_| (label.clone(), trace.clone()));
+        match index.ingest_auto(label, trace) {
+            Ok(id) => {
+                if let Some((label, trace)) = journal {
+                    records.push(WalRecord { id: id.0, name: format!("e{}", id.0), label, trace });
+                }
+            }
+            Err(e) => {
+                // The applied prefix is in memory either way; with a WAL
+                // it must also be logged, or a *later* acked ingest would
+                // sit past an id gap and be dropped at replay. The ERR
+                // still means this batch as a whole was not acked.
+                if let Some(wal) = wal {
+                    let _ = wal_commit(wal, records);
+                }
+                // A memory shed keeps the canonical busy prefix so
+                // clients (and the shed counter) recognise it.
+                return match e {
+                    IngestError::OverMemoryBudget => {
+                        format!(
+                            "ERR busy reason=memory (first {i} of {count} items were ingested)\n"
+                        )
+                    }
+                    e => {
+                        format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1)
+                    }
+                };
+            }
+        }
+    }
+    if let Some(wal) = wal {
+        if let Err(e) = wal_commit(wal, records) {
+            return format!("ERR wal: {e}\n");
+        }
+    }
+    format!("OK batch={count} entries={}\n", index.len())
+}
+
+/// Appends `records` to the log and blocks until one group-commit fsync
+/// covers them all — the gate an ingest reply waits behind.
+pub(crate) fn wal_commit(wal: &WalManager, records: Vec<WalRecord>) -> io::Result<()> {
+    let mut last = 0;
+    for record in &records {
+        last = wal.append(record)?;
+    }
+    wal.wait_durable(last)
+}
+
+/// The index's snapshot status with the live WAL counters overlaid (when
+/// a WAL is attached) — the form `STATS` / `METRICS` report.
+pub(crate) fn snapshot_status_with_wal(
+    index: &PatternIndex,
+    wal: Option<&WalManager>,
+) -> crate::index::SnapshotStatus {
+    let mut status = index.snapshot_status();
+    if let Some(wal) = wal {
+        wal.overlay(&mut status);
+    }
+    status
+}

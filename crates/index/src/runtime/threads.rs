@@ -1,0 +1,221 @@
+//! The thread-per-connection runtime: the daemon's original serving
+//! strategy, now behind the [`Runtime`] trait. One OS thread per client,
+//! blocking I/O, no reactor — simple, portable, and entirely adequate up
+//! to a few hundred concurrent connections (past that, thread stacks and
+//! scheduler pressure argue for [`super::EpollRuntime`]).
+//!
+//! There is **no server-side lock**: the index is internally sharded and
+//! synchronised (see [`crate::index`]), so handler threads share it
+//! behind a plain [`Arc`]. `QUERY`/`MQUERY` take shard *read* locks and
+//! run concurrently with each other; `INGEST`/`BATCH INGEST` write-lock
+//! only the shard that owns each new entry, so writers never stall
+//! queries on the other shards.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::fault::{crash_point, CRASH_AFTER_ACK};
+use crate::index::PatternIndex;
+use crate::protocol::parse_request;
+
+use super::dispatch::{
+    drain_line, execute_parsed, finish_after_write, is_timeout, read_request_line, span_ns,
+    ItemsInput, Line, RequestContext,
+};
+use super::{Runtime, ServeState};
+
+/// Thread-per-connection with blocking I/O (the default runtime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadsRuntime;
+
+impl Runtime for ThreadsRuntime {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    /// Accepts and serves connections — each on its own thread — until a
+    /// client sends `SHUTDOWN` (or the stop flag fires), then joins the
+    /// handlers and returns the shared index.
+    ///
+    /// Accept errors are treated as transient (EMFILE under fd pressure,
+    /// ECONNABORTED, …): the loop backs off briefly and retries, so the
+    /// in-memory corpus is never lost to a hiccup. Only a long unbroken
+    /// run of failures abandons accepting — and even then the index is
+    /// returned intact so the caller's save path still runs.
+    fn serve(&self, state: ServeState) -> io::Result<Arc<PatternIndex>> {
+        let ctx = RequestContext::of(&state);
+        let ServeState {
+            listener, addr, index, stop, metrics, max_connections, idle_timeout, ..
+        } = state;
+        // Registry of live client sockets, keyed by connection id. Each
+        // handler removes its own entry on exit, so finished connections
+        // release their file descriptors immediately; whatever is left at
+        // shutdown is force-closed below to wake blocked readers.
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut consecutive_errors: u32 = 0;
+        for (connection_id, stream) in (0_u64..).zip(listener.incoming()) {
+            let stream = match stream {
+                Ok(stream) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(_) if stop.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors > 100 {
+                        break; // listener looks permanently broken
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if stop.load(Ordering::SeqCst) {
+                break; // woken by the shutdown nudge below
+            }
+            // Reap finished handlers so the handle list tracks live
+            // connections, not total connections served.
+            let (done, live): (Vec<_>, Vec<_>) =
+                handlers.into_iter().partition(|handler| handler.is_finished());
+            for handler in done {
+                let _ = handler.join();
+            }
+            handlers = live;
+
+            // Connection admission: past the cap, shed loudly — one
+            // readable reply line, then close — instead of spawning a
+            // thread the box cannot afford. The write is best-effort (a
+            // peer that already hung up gets nothing, which is fine).
+            if handlers.len() >= max_connections {
+                metrics.record_shed_connection();
+                let mut stream = stream;
+                let _ = stream.write_all(b"ERR busy reason=connections\n");
+                let _ = stream.flush();
+                continue;
+            }
+            if let Some(timeout) = idle_timeout {
+                // Best-effort: a socket that refuses the deadline just
+                // keeps blocking reads, as without the flag.
+                let _ = stream.set_read_timeout(Some(timeout));
+            }
+
+            match stream.try_clone() {
+                Ok(clone) => {
+                    lock_registry(&connections).insert(connection_id, clone);
+                }
+                // Without a registered clone the socket could not be
+                // force-closed at shutdown and its handler would block
+                // serve() in join() forever — refuse the connection
+                // instead (try_clone only fails under fd exhaustion).
+                Err(_) => continue,
+            }
+            metrics.record_connection();
+            let (ctx, stop, connections) =
+                (ctx.clone(), Arc::clone(&stop), Arc::clone(&connections));
+            handlers.push(std::thread::spawn(move || {
+                let disposition = handle_connection(stream, &ctx);
+                lock_registry(&connections).remove(&connection_id);
+                if let Ok(Disposition::Shutdown) = disposition {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        // Close the remaining client sockets so handlers blocked in
+        // read_line wake up and exit, making the joins below finite.
+        for (_, connection) in lock_registry(&connections).drain() {
+            let _ = connection.shutdown(std::net::Shutdown::Both);
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        drop(listener);
+        Ok(index)
+    }
+}
+
+/// What handling one connection concluded.
+enum Disposition {
+    /// The client went away; accept the next connection.
+    ClientDone,
+    /// A `SHUTDOWN` request was honoured; stop the server.
+    Shutdown,
+}
+
+fn lock_registry(
+    connections: &Mutex<HashMap<u64, TcpStream>>,
+) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+    connections.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Serves one client: one reply per request until EOF or `SHUTDOWN`. For
+/// the batched forms (`BATCH INGEST`, `MQUERY`) the announced item lines
+/// are consumed — even when an item is malformed — before the single
+/// reply, so one bad item never desyncs the connection's framing. All the
+/// protocol semantics live in [`super::dispatch`]; this loop only frames
+/// lines, moves bytes, and applies the blocking-I/O governance (idle
+/// deadline as a read timeout, over-long lines drained inline).
+fn handle_connection(stream: TcpStream, ctx: &RequestContext) -> io::Result<Disposition> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        let status = match read_request_line(&mut reader, &mut line) {
+            Ok(status) => status,
+            // The idle deadline fired between requests: count it and
+            // close cleanly — an abandoned socket is not an I/O error.
+            Err(error) if is_timeout(&error) => {
+                ctx.metrics.record_timeout();
+                return Ok(Disposition::ClientDone);
+            }
+            Err(error) => return Err(error),
+        };
+        match status {
+            Line::Eof => return Ok(Disposition::ClientDone),
+            Line::TooLong => {
+                ctx.metrics.record_error();
+                writer.write_all(b"ERR line too long\n")?;
+                writer.flush()?;
+                // Skip to the next newline: the over-long line is the
+                // client's mistake, not a reason to hang up on it.
+                if !drain_line(&mut reader)? {
+                    return Ok(Disposition::ClientDone);
+                }
+                continue;
+            }
+            Line::Full => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let request = parse_request(&line);
+        ctx.metrics.record_request(request.as_ref().ok());
+        let parse_ns = span_ns(started);
+        let done =
+            match execute_parsed(ctx, request, started, parse_ns, ItemsInput::Live(&mut reader))? {
+                None => return Ok(Disposition::ClientDone),
+                Some(done) => done,
+            };
+        let write_started = Instant::now();
+        writer.write_all(done.reply.as_bytes())?;
+        writer.flush()?;
+        if done.ack_ingest {
+            // Fault injection: with ack-after-fsync ordering, a crash
+            // *after* the ack has left the socket must already find the
+            // record durable — tests/wal_recovery.rs aborts here and
+            // asserts exactly that.
+            crash_point(CRASH_AFTER_ACK);
+        }
+        let reply_ns = span_ns(write_started);
+        finish_after_write(ctx, &done, reply_ns);
+        if done.shutting_down {
+            return Ok(Disposition::Shutdown);
+        }
+    }
+}

@@ -1,46 +1,41 @@
-//! The `serve` daemon: a [`TcpListener`] loop around a [`PatternIndex`].
+//! The `serve` daemon: a [`TcpListener`] bound around a [`PatternIndex`],
+//! served by a pluggable [`Runtime`](crate::runtime::Runtime).
 //!
 //! Deliberately dependency-free (no async runtime — the build environment
-//! is offline, and blocking I/O is entirely adequate for a line-oriented
-//! request/reply protocol whose unit of work is a kernel batch). Each
-//! connection gets its own OS thread so an idle client never blocks the
-//! others.
+//! is offline). This module owns the daemon's *configuration* surface:
+//! the [`Server`] builder, the shared [`ServerMetrics`] counters, and the
+//! [`ShutdownHandle`]. The actual socket loops live in
+//! [`crate::runtime`] — thread-per-connection by default, or a
+//! hand-rolled epoll reactor on Linux (`--runtime epoll`) — and the
+//! runtime-agnostic protocol semantics in `crate::runtime::dispatch`, so
+//! the wire bytes are identical whichever runtime is serving.
 //!
 //! There is **no server-side lock**: the index is internally sharded and
-//! synchronised (see [`crate::index`]), so handler threads share it behind
-//! a plain [`Arc`]. `QUERY`/`MQUERY` take shard *read* locks and run
+//! synchronised (see [`crate::index`]), so handlers share it behind a
+//! plain [`Arc`]. `QUERY`/`MQUERY` take shard *read* locks and run
 //! concurrently with each other; `INGEST`/`BATCH INGEST` write-lock only
 //! the shard that owns each new entry, so writers never stall queries on
 //! the other shards. Within a query the index additionally fans the
 //! kernel batch out across scoped threads, which is where the actual CPU
 //! time goes.
 
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kastio_obs::{Histogram, SlowLog, StripedHistogram};
-use kastio_quota::{Account, MemoryQuota};
+use kastio_quota::MemoryQuota;
 
-use kastio_trace::wal::WalRecord;
-
-use crate::fault::{crash_point, CRASH_AFTER_ACK};
-use crate::index::{IngestError, PatternIndex, QueryTimings};
-use crate::persist::save_index_wal;
-use crate::protocol::{
-    parse_batch_ingest_item, parse_request, render_hello_reply, render_hello_unsupported,
-    render_metrics_reply, render_mquery_reply, render_query_reply, render_slowlog_get,
-    render_slowlog_len, render_slowlog_reset, render_stats_reply, render_trace_line,
-    MetricsSnapshot, Request, SlowlogCmd, PROTOCOL_VERSION,
-};
+use crate::index::PatternIndex;
+use crate::protocol::{MetricsSnapshot, Request};
+use crate::runtime::{RuntimeKind, ServeState};
 use crate::wal::WalManager;
 
 /// Per-verb histogram slots, in [`MetricsSnapshot::verb_counts`] order.
-const VERB_NAMES: [&str; 10] = [
+pub(crate) const VERB_NAMES: [&str; 10] = [
     "hello",
     "ingest",
     "batch_ingest",
@@ -59,14 +54,14 @@ const VERB_NAMES: [&str; 10] = [
 /// `reply` is the reply write + flush.
 const STAGE_NAMES: [&str; 5] = ["parse", "prefilter", "cache", "kernel", "reply"];
 
-const STAGE_PARSE: usize = 0;
-const STAGE_PREFILTER: usize = 1;
-const STAGE_CACHE: usize = 2;
-const STAGE_KERNEL: usize = 3;
-const STAGE_REPLY: usize = 4;
+pub(crate) const STAGE_PARSE: usize = 0;
+pub(crate) const STAGE_PREFILTER: usize = 1;
+pub(crate) const STAGE_CACHE: usize = 2;
+pub(crate) const STAGE_KERNEL: usize = 3;
+pub(crate) const STAGE_REPLY: usize = 4;
 
 /// The histogram slot a parsed request records into.
-fn verb_slot(request: &Request) -> usize {
+pub(crate) fn verb_slot(request: &Request) -> usize {
     match request {
         Request::Hello { .. } => 0,
         Request::Ingest { .. } => 1,
@@ -78,27 +73,6 @@ fn verb_slot(request: &Request) -> usize {
         Request::Shutdown => 7,
         Request::Metrics => 8,
         Request::Slowlog(_) => 9,
-    }
-}
-
-/// The slow-log presentation of a request: its wire verb (space-free, so
-/// `SLOW` lines stay token-aligned) and a compact argument summary.
-fn request_summary(request: &Request) -> (&'static str, String) {
-    match request {
-        Request::Hello { version, .. } => ("HELLO", format!("proto={version}")),
-        Request::Ingest { label, trace } => {
-            ("INGEST", format!("label={label},ops={}", trace.len()))
-        }
-        Request::BatchIngest { count } => ("BATCH_INGEST", format!("count={count}")),
-        Request::Query { k, trace, .. } => ("QUERY", format!("k={k},ops={}", trace.len())),
-        Request::MultiQuery { k, count, .. } => ("MQUERY", format!("k={k},count={count}")),
-        Request::Stats => ("STATS", String::new()),
-        Request::Metrics => ("METRICS", String::new()),
-        Request::Slowlog(SlowlogCmd::Get) => ("SLOWLOG", "GET".to_string()),
-        Request::Slowlog(SlowlogCmd::Reset) => ("SLOWLOG", "RESET".to_string()),
-        Request::Slowlog(SlowlogCmd::Len) => ("SLOWLOG", "LEN".to_string()),
-        Request::Save => ("SAVE", String::new()),
-        Request::Shutdown => ("SHUTDOWN", String::new()),
     }
 }
 
@@ -159,49 +133,49 @@ impl ServerMetrics {
         }
     }
 
-    fn record_connection(&self) {
+    pub(crate) fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one received request line; `parsed` selects the per-verb
     /// counter (`None` for a line that failed to parse).
-    fn record_request(&self, parsed: Option<&Request>) {
+    pub(crate) fn record_request(&self, parsed: Option<&Request>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(request) = parsed {
             self.verbs[verb_slot(request)].fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    fn record_error(&self) {
+    pub(crate) fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_shed_memory(&self) {
+    pub(crate) fn record_shed_memory(&self) {
         self.shed_memory.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_shed_connection(&self) {
+    pub(crate) fn record_shed_connection(&self) {
         self.shed_connections.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_timeout(&self) {
+    pub(crate) fn record_timeout(&self) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed request's total latency into its verb's
     /// histogram.
-    fn record_latency(&self, slot: usize, total_ns: u64) {
+    pub(crate) fn record_latency(&self, slot: usize, total_ns: u64) {
         self.verb_latency[slot].record(total_ns);
     }
 
     /// Records one pipeline stage span.
-    fn record_stage(&self, stage: usize, ns: u64) {
+    pub(crate) fn record_stage(&self, stage: usize, ns: u64) {
         self.stage_latency[stage].record(ns);
     }
 
     /// Microseconds since the listener was bound — the slow log's
     /// timestamp base.
-    fn uptime_micros(&self) -> u64 {
+    pub(crate) fn uptime_micros(&self) -> u64 {
         u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
@@ -275,17 +249,10 @@ impl ServerMetrics {
         let mut snapshot = self.snapshot();
         snapshot.mem_used_bytes = quota.used();
         snapshot.mem_limit_bytes = quota.limit().unwrap_or(0);
+        snapshot.mem_unreclaimable_bytes = quota.unreclaimable();
         snapshot.mem_reclaims = quota.reclaims();
         snapshot
     }
-}
-
-/// What handling one connection concluded.
-enum Disposition {
-    /// The client went away; accept the next connection.
-    ClientDone,
-    /// A `SHUTDOWN` request was honoured; stop the server.
-    Shutdown,
 }
 
 /// A running (not yet serving) daemon: a bound listener plus the index it
@@ -322,6 +289,7 @@ pub struct Server {
     quota: MemoryQuota,
     max_connections: usize,
     idle_timeout: Option<Duration>,
+    runtime: RuntimeKind,
 }
 
 /// Default `--max-connections`: generous enough that only a runaway
@@ -367,7 +335,17 @@ impl Server {
             quota: MemoryQuota::unlimited(),
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: None,
+            runtime: RuntimeKind::default(),
         })
+    }
+
+    /// Selects the serving runtime (default [`RuntimeKind::Threads`]).
+    /// The wire protocol is byte-identical under every runtime; what
+    /// changes is the concurrency model — see [`crate::runtime`].
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Server {
+        self.runtime = runtime;
+        self
     }
 
     /// Attaches a memory budget of `limit` bytes (`None`: unlimited, the
@@ -480,701 +458,67 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accepts and serves connections — each on its own thread — until a
-    /// client sends `SHUTDOWN` (or a [`ShutdownHandle`] fires), then
-    /// joins the handlers and returns the shared index (so the caller can
-    /// persist it or inspect its [`crate::index::SnapshotStatus`]).
+    /// Serves connections on the selected runtime until a client sends
+    /// `SHUTDOWN` (or a [`ShutdownHandle`] fires), then returns the
+    /// shared index (so the caller can persist it or inspect its
+    /// [`crate::index::SnapshotStatus`]).
     ///
     /// Accept errors are treated as transient (EMFILE under fd pressure,
-    /// ECONNABORTED, …): the loop backs off briefly and retries, so the
+    /// ECONNABORTED, …): runtimes back off briefly and retry, so the
     /// in-memory corpus is never lost to a hiccup. Only a long unbroken
     /// run of failures abandons accepting — and even then the index is
     /// returned intact so the caller's save path still runs.
     ///
     /// # Errors
     ///
-    /// Currently none after a successful bind; the `io::Result` is kept
-    /// for callers that treat serving uniformly with binding.
+    /// Runtime setup failures only — the epoll runtime can fail to build
+    /// its reactor (`epoll_create1`, `eventfd`) or is simply
+    /// [`io::ErrorKind::Unsupported`] off Linux; the threads runtime
+    /// never fails after a successful bind.
     pub fn serve(self) -> io::Result<Arc<PatternIndex>> {
         let addr = self.listener.local_addr()?;
-        let index = self.index;
-        let stop = self.stop;
-        let metrics = self.metrics;
-        let slow_log = self.slow_log;
-        let save_dir = self.save_dir.map(Arc::new);
-        let wal = self.wal;
-        let quota = self.quota;
         // One account for every connection's in-flight request buffers:
         // admission is against the *root* budget anyway, and a shared
         // account keeps the STATS story simple.
-        let buffers = quota.account("buffers");
-        let (max_connections, idle_timeout) = (self.max_connections, self.idle_timeout);
-        // Registry of live client sockets, keyed by connection id. Each
-        // handler removes its own entry on exit, so finished connections
-        // release their file descriptors immediately; whatever is left at
-        // shutdown is force-closed below to wake blocked readers.
-        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        let mut consecutive_errors: u32 = 0;
-        for (connection_id, stream) in (0_u64..).zip(self.listener.incoming()) {
-            let stream = match stream {
-                Ok(stream) => {
-                    consecutive_errors = 0;
-                    stream
-                }
-                Err(_) if stop.load(Ordering::SeqCst) => break,
-                Err(_) => {
-                    consecutive_errors += 1;
-                    if consecutive_errors > 100 {
-                        break; // listener looks permanently broken
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
-                }
-            };
-            if stop.load(Ordering::SeqCst) {
-                break; // woken by the shutdown nudge below
-            }
-            // Reap finished handlers so the handle list tracks live
-            // connections, not total connections served.
-            let (done, live): (Vec<_>, Vec<_>) =
-                handlers.into_iter().partition(|handler| handler.is_finished());
-            for handler in done {
-                let _ = handler.join();
-            }
-            handlers = live;
-
-            // Connection admission: past the cap, shed loudly — one
-            // readable reply line, then close — instead of spawning a
-            // thread the box cannot afford. The write is best-effort (a
-            // peer that already hung up gets nothing, which is fine).
-            if handlers.len() >= max_connections {
-                metrics.record_shed_connection();
-                let mut stream = stream;
-                let _ = stream.write_all(b"ERR busy reason=connections\n");
-                let _ = stream.flush();
-                continue;
-            }
-            if let Some(timeout) = idle_timeout {
-                // Best-effort: a socket that refuses the deadline just
-                // keeps blocking reads, as without the flag.
-                let _ = stream.set_read_timeout(Some(timeout));
-            }
-
-            match stream.try_clone() {
-                Ok(clone) => {
-                    lock_registry(&connections).insert(connection_id, clone);
-                }
-                // Without a registered clone the socket could not be
-                // force-closed at shutdown and its handler would block
-                // serve() in join() forever — refuse the connection
-                // instead (try_clone only fails under fd exhaustion).
-                Err(_) => continue,
-            }
-            metrics.record_connection();
-            let (index, stop, connections) =
-                (Arc::clone(&index), Arc::clone(&stop), Arc::clone(&connections));
-            let (save_dir, metrics) = (save_dir.clone(), Arc::clone(&metrics));
-            let (slow_log, wal) = (Arc::clone(&slow_log), wal.clone());
-            let (quota, buffers) = (quota.clone(), buffers.clone());
-            handlers.push(std::thread::spawn(move || {
-                let disposition = handle_connection(
-                    stream,
-                    &index,
-                    save_dir.as_deref().map(PathBuf::as_path),
-                    wal.as_deref(),
-                    &metrics,
-                    &slow_log,
-                    &quota,
-                    &buffers,
-                );
-                lock_registry(&connections).remove(&connection_id);
-                if let Ok(Disposition::Shutdown) = disposition {
-                    stop.store(true, Ordering::SeqCst);
-                    // Unblock the accept loop so it observes the flag.
-                    let _ = TcpStream::connect(addr);
-                }
-            }));
-        }
-        // Close the remaining client sockets so handlers blocked in
-        // read_line wake up and exit, making the joins below finite.
-        for (_, connection) in lock_registry(&connections).drain() {
-            let _ = connection.shutdown(std::net::Shutdown::Both);
-        }
-        for handler in handlers {
-            let _ = handler.join();
-        }
-        Ok(index)
-    }
-}
-
-fn lock_registry(
-    connections: &Mutex<HashMap<u64, TcpStream>>,
-) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
-    connections.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// Upper bound on one request (or batch item) line: 1 MiB. A client
-/// streaming data with no newline would otherwise grow the line buffer
-/// without limit and OOM the daemon; 1 MiB comfortably fits any
-/// realistic inline trace (a trace line of `n` operations is well under
-/// 16 bytes per op). An over-long line is answered with
-/// `ERR line too long` and *drained to its newline* — the connection
-/// stays framed and usable.
-const MAX_REQUEST_LINE_BYTES: u64 = 1 << 20;
-
-/// What reading one request (or batch item) line produced.
-enum Line {
-    /// A complete newline-terminated line is in the buffer.
-    Full,
-    /// The peer closed the connection.
-    Eof,
-    /// The line hit [`MAX_REQUEST_LINE_BYTES`] without a newline; the
-    /// remainder (up to the next newline) is still unread — drain it
-    /// with [`drain_line`] to keep the connection framed.
-    TooLong,
-}
-
-fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Result<Line> {
-    line.clear();
-    if reader.by_ref().take(MAX_REQUEST_LINE_BYTES).read_line(line)? == 0 {
-        return Ok(Line::Eof);
-    }
-    if line.len() as u64 >= MAX_REQUEST_LINE_BYTES && !line.ends_with('\n') {
-        return Ok(Line::TooLong);
-    }
-    Ok(Line::Full)
-}
-
-/// Discards the unread remainder of an over-long line — everything up to
-/// and including the next newline — without buffering it, so the
-/// connection can keep serving requests after an `ERR line too long`.
-/// Returns `false` when the stream ends first (nothing left to serve).
-fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<bool> {
-    loop {
-        let buffered = reader.fill_buf()?;
-        if buffered.is_empty() {
-            return Ok(false); // EOF mid-line
-        }
-        match buffered.iter().position(|&byte| byte == b'\n') {
-            Some(at) => {
-                reader.consume(at + 1);
-                return Ok(true);
-            }
-            None => {
-                let len = buffered.len();
-                reader.consume(len);
-            }
-        }
-    }
-}
-
-/// Whether a read error is the per-connection idle deadline firing
-/// (`WouldBlock` on Unix, `TimedOut` on Windows).
-fn is_timeout(error: &io::Error) -> bool {
-    matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-}
-
-/// Bytes of one in-flight batched request charged against the `buffers`
-/// account, released when the request's reply has been rendered (drop).
-/// Admission is all-or-nothing per line: a line that no longer fits
-/// sheds the whole request.
-struct BufferCharge<'a> {
-    account: &'a Account,
-    bytes: u64,
-}
-
-impl<'a> BufferCharge<'a> {
-    fn new(account: &'a Account) -> BufferCharge<'a> {
-        BufferCharge { account, bytes: 0 }
-    }
-
-    /// Tries to admit `bytes` more buffered request bytes; on refusal
-    /// (budget exhausted even after reclaim) nothing is charged.
-    #[must_use]
-    fn add(&mut self, bytes: u64) -> bool {
-        if self.account.try_charge(bytes) {
-            self.bytes += bytes;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Releases everything charged so far (the request was shed).
-    fn release_all(&mut self) {
-        self.account.release(self.bytes);
-        self.bytes = 0;
-    }
-}
-
-impl Drop for BufferCharge<'_> {
-    fn drop(&mut self) {
-        self.account.release(self.bytes);
-    }
-}
-
-/// Nanoseconds elapsed since `start`, saturating.
-fn span_ns(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
-}
-
-/// Serves one client: one reply per request until EOF or `SHUTDOWN`. For
-/// the batched forms (`BATCH INGEST`, `MQUERY`) the announced item lines
-/// are consumed — even when an item is malformed — before the single
-/// reply, so one bad item never desyncs the connection's framing.
-/// `save_dir` is the snapshot target for `SAVE` (and the pre-reply save
-/// of `SHUTDOWN`); without one, `SAVE` is answered with an `ERR`. With a
-/// `wal`, ingest replies are written only after the covering fsync — an
-/// `OK` a client reads is a durability promise, proven by
-/// `tests/wal_recovery.rs` against `kill -9` at injected crash points.
-///
-/// Every request is timed from the end of its request-line read to the
-/// reply flush; the total lands in the verb's latency histogram, the
-/// stage spans in the per-stage histograms, and — when the slow-log
-/// threshold is crossed — a summary in the [`SlowLog`].
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    stream: TcpStream,
-    index: &PatternIndex,
-    save_dir: Option<&Path>,
-    wal: Option<&WalManager>,
-    metrics: &ServerMetrics,
-    slow_log: &SlowLog,
-    quota: &MemoryQuota,
-    buffers: &Account,
-) -> io::Result<Disposition> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        let status = match read_request_line(&mut reader, &mut line) {
-            Ok(status) => status,
-            // The idle deadline fired between requests: count it and
-            // close cleanly — an abandoned socket is not an I/O error.
-            Err(error) if is_timeout(&error) => {
-                metrics.record_timeout();
-                return Ok(Disposition::ClientDone);
-            }
-            Err(error) => return Err(error),
+        let buffers = self.quota.account("buffers");
+        let state = ServeState {
+            listener: self.listener,
+            addr,
+            index: self.index,
+            stop: self.stop,
+            save_dir: self.save_dir,
+            wal: self.wal,
+            metrics: self.metrics,
+            slow_log: self.slow_log,
+            quota: self.quota,
+            buffers,
+            max_connections: self.max_connections,
+            idle_timeout: self.idle_timeout,
         };
-        match status {
-            Line::Eof => return Ok(Disposition::ClientDone),
-            Line::TooLong => {
-                metrics.record_error();
-                writer.write_all(b"ERR line too long\n")?;
-                writer.flush()?;
-                // Skip to the next newline: the over-long line is the
-                // client's mistake, not a reason to hang up on it.
-                if !drain_line(&mut reader)? {
-                    return Ok(Disposition::ClientDone);
-                }
-                continue;
-            }
-            Line::Full => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let started = Instant::now();
-        let request = parse_request(&line);
-        metrics.record_request(request.as_ref().ok());
-        let slot = request.as_ref().ok().map(verb_slot);
-        // The argument summary allocates, so it is only built when the
-        // slow log could actually keep it.
-        let summary =
-            slow_log.threshold_micros().and_then(|_| request.as_ref().ok().map(request_summary));
-        let mut parse_ns = span_ns(started);
-        let mut query_timings = QueryTimings::default();
-        let mut ran_query = false;
-        let mut timed = false;
-        let mut shutting_down = false;
-        let mut reply = match request {
-            Err(message) => format!("ERR {message}\n"),
-            Ok(Request::Hello { version, client: _ }) => {
-                // Version negotiation: the handshake succeeds only on an
-                // exact match today (there is one version). Every other
-                // verb keeps working without a HELLO, so old clients are
-                // unaffected.
-                if version == PROTOCOL_VERSION {
-                    render_hello_reply()
-                } else {
-                    render_hello_unsupported(version)
-                }
-            }
-            Ok(Request::Ingest { label, trace }) => {
-                // `ingest_auto` consumes the label and trace, but the WAL
-                // record needs them too — and only exists on the success
-                // path, so the clone is taken up front.
-                let journal = wal.map(|wal| (wal, label.clone(), trace.clone()));
-                match index.ingest_auto(label, trace) {
-                    Ok(id) => {
-                        let durable = journal.map_or(Ok(()), |(wal, label, trace)| {
-                            wal_commit(
-                                wal,
-                                vec![WalRecord {
-                                    id: id.0,
-                                    name: format!("e{}", id.0),
-                                    label,
-                                    trace,
-                                }],
-                            )
-                        });
-                        match durable {
-                            Ok(()) => {
-                                format!("OK id={} name=e{} entries={}\n", id.0, id.0, index.len())
-                            }
-                            Err(e) => format!("ERR wal: {e}\n"),
-                        }
-                    }
-                    Err(e) => format!("ERR {e}\n"),
-                }
-            }
-            Ok(Request::BatchIngest { count }) => {
-                let items_started = Instant::now();
-                let mut charge = BufferCharge::new(buffers);
-                let items =
-                    read_items(&mut reader, count, metrics, &mut charge, parse_batch_ingest_item)?;
-                parse_ns += span_ns(items_started);
-                match items {
-                    Items::Hangup => return Ok(Disposition::ClientDone),
-                    Items::Bad(message) => message,
-                    Items::Parsed(items) => batch_ingest_reply(index, count, items, wal),
-                }
-            }
-            Ok(Request::Query { k, trace, timed: t }) => {
-                let result = index.query(&trace, k);
-                query_timings = result.timings;
-                ran_query = true;
-                timed = t;
-                render_query_reply(&result)
-            }
-            Ok(Request::MultiQuery { k, count, timed: t }) => {
-                let items_started = Instant::now();
-                let mut charge = BufferCharge::new(buffers);
-                let items = read_items(&mut reader, count, metrics, &mut charge, |item| {
-                    crate::protocol::decode_trace_inline(item.trim())
-                })?;
-                parse_ns += span_ns(items_started);
-                match items {
-                    Items::Hangup => return Ok(Disposition::ClientDone),
-                    Items::Bad(message) => message,
-                    Items::Parsed(traces) => {
-                        let results = index.query_batch(&traces, k);
-                        for result in &results {
-                            query_timings.merge(&result.timings);
-                        }
-                        ran_query = true;
-                        timed = t;
-                        render_mquery_reply(&results)
-                    }
-                }
-            }
-            Ok(Request::Stats) => {
-                // One shard-size snapshot, with `entries` derived from it:
-                // a concurrent ingest between two separate scans could
-                // otherwise make the reply violate the documented
-                // invariant that the shard counts sum to `entries`.
-                let shard_sizes = index.shard_sizes();
-                let entries = shard_sizes.iter().sum();
-                render_stats_reply(
-                    entries,
-                    index.cached_pairs(),
-                    &shard_sizes,
-                    &index.stats(),
-                    index.generation(),
-                    &snapshot_status_with_wal(index, wal),
-                    &metrics.snapshot_with_quota(quota),
-                    &metrics.latency_quantiles(),
-                )
-            }
-            Ok(Request::Metrics) => render_metrics_reply(
-                &metrics.snapshot_with_quota(quota),
-                &metrics.verb_latency_snapshots(),
-                &metrics.stage_latency_snapshots(),
-                &snapshot_status_with_wal(index, wal),
-                slow_log.len(),
-            ),
-            Ok(Request::Slowlog(SlowlogCmd::Get)) => render_slowlog_get(&slow_log.entries()),
-            Ok(Request::Slowlog(SlowlogCmd::Len)) => render_slowlog_len(slow_log.len()),
-            Ok(Request::Slowlog(SlowlogCmd::Reset)) => {
-                slow_log.reset();
-                render_slowlog_reset()
-            }
-            Ok(Request::Save) => match save_dir {
-                None => "ERR no save directory (start the server with --save)\n".to_string(),
-                Some(dir) => match save_index_wal(index, dir, wal) {
-                    Ok(info) => {
-                        // Under --wal a snapshot is a compaction point:
-                        // the reply says the log was trimmed too, so a
-                        // client (and the conformance suite) can tell the
-                        // two durability modes apart on the wire.
-                        let wal_note = if wal.is_some() { " wal=truncated" } else { "" };
-                        format!(
-                            "OK saved entries={} generation={}{wal_note}\n",
-                            info.entries, info.generation
-                        )
-                    }
-                    Err(e) => format!("ERR save failed: {e}\n"),
-                },
-            },
-            Ok(Request::Shutdown) => {
-                // Save *before* replying, so the client that requested
-                // the shutdown learns whether the corpus actually made it
-                // to disk. The server shuts down either way — the caller
-                // of serve() re-checks the snapshot status and surfaces
-                // the failure in its exit code.
-                shutting_down = true;
-                match save_dir {
-                    None => "OK bye\n".to_string(),
-                    Some(dir) => match save_index_wal(index, dir, wal) {
-                        Ok(info) => format!(
-                            "OK bye saved={} generation={}\n",
-                            info.entries, info.generation
-                        ),
-                        Err(e) => format!("ERR save failed: {e} (shutting down anyway)\n"),
-                    },
-                }
-            }
-        };
-        if reply.starts_with("ERR") {
-            metrics.record_error();
-        }
-        // Every memory shed reply — whatever path produced it (ingest
-        // admission, batch item, request buffers) — is counted here, so
-        // the STATS tally equals the ERR busy replies clients observed.
-        if reply.starts_with("ERR busy reason=memory") {
-            metrics.record_shed_memory();
-        }
-        if timed && reply.ends_with("END\n") {
-            // The reply-write span cannot be known before the reply is
-            // written, so the inline TRACE total covers read → render;
-            // `reply` still shows up in the stage histograms and the
-            // slow log. Per-field flooring to µs keeps the rendered
-            // stage sum at or under the rendered total.
-            let trace_line = render_trace_line(
-                span_ns(started),
-                &[
-                    ("parse", parse_ns),
-                    ("prefilter", query_timings.prefilter_ns),
-                    ("cache", query_timings.cache_ns),
-                    ("kernel", query_timings.kernel_ns),
-                ],
-            );
-            reply.insert_str(reply.len() - "END\n".len(), &trace_line);
-        }
-        let write_started = Instant::now();
-        writer.write_all(reply.as_bytes())?;
-        writer.flush()?;
-        if reply.starts_with("OK")
-            && matches!(slot.map(|s| VERB_NAMES[s]), Some("ingest" | "batch_ingest"))
-        {
-            // Fault injection: with ack-after-fsync ordering, a crash
-            // *after* the ack has left the socket must already find the
-            // record durable — tests/wal_recovery.rs aborts here and
-            // asserts exactly that.
-            crash_point(CRASH_AFTER_ACK);
-        }
-        let reply_ns = span_ns(write_started);
-        let total_ns = span_ns(started);
-        metrics.record_stage(STAGE_PARSE, parse_ns);
-        if ran_query {
-            metrics.record_stage(STAGE_PREFILTER, query_timings.prefilter_ns);
-            metrics.record_stage(STAGE_CACHE, query_timings.cache_ns);
-            metrics.record_stage(STAGE_KERNEL, query_timings.kernel_ns);
-        }
-        metrics.record_stage(STAGE_REPLY, reply_ns);
-        if let Some(slot) = slot {
-            metrics.record_latency(slot, total_ns);
-        }
-        if let Some((verb, args)) = summary {
-            let mut stages = vec![("parse", parse_ns / 1_000)];
-            if ran_query {
-                stages.push(("prefilter", query_timings.prefilter_ns / 1_000));
-                stages.push(("cache", query_timings.cache_ns / 1_000));
-                stages.push(("kernel", query_timings.kernel_ns / 1_000));
-            }
-            stages.push(("reply", reply_ns / 1_000));
-            slow_log.record(metrics.uptime_micros(), verb, args, total_ns / 1_000, stages);
-        }
-        if shutting_down {
-            return Ok(Disposition::Shutdown);
-        }
+        self.runtime.runtime().serve(state)
     }
-}
-
-/// Applies a fully parsed `BATCH INGEST` item list. Labels were validated
-/// line by line during parsing; the remaining mid-batch failure is memory
-/// admission — with a budget attached, the first item that no longer fits
-/// sheds the rest of the batch with `ERR busy reason=memory` (the
-/// already-applied prefix is kept, as the reply says, and logged to the
-/// WAL so later acked ingests never sit past an id gap at replay).
-fn batch_ingest_reply(
-    index: &PatternIndex,
-    count: usize,
-    items: Vec<(String, kastio_trace::Trace)>,
-    wal: Option<&WalManager>,
-) -> String {
-    let mut records = Vec::new();
-    for (i, (label, trace)) in items.into_iter().enumerate() {
-        let journal = wal.map(|_| (label.clone(), trace.clone()));
-        match index.ingest_auto(label, trace) {
-            Ok(id) => {
-                if let Some((label, trace)) = journal {
-                    records.push(WalRecord { id: id.0, name: format!("e{}", id.0), label, trace });
-                }
-            }
-            Err(e) => {
-                // The applied prefix is in memory either way; with a WAL
-                // it must also be logged, or a *later* acked ingest would
-                // sit past an id gap and be dropped at replay. The ERR
-                // still means this batch as a whole was not acked.
-                if let Some(wal) = wal {
-                    let _ = wal_commit(wal, records);
-                }
-                // A memory shed keeps the canonical busy prefix so
-                // clients (and the shed counter) recognise it.
-                return match e {
-                    IngestError::OverMemoryBudget => {
-                        format!(
-                            "ERR busy reason=memory (first {i} of {count} items were ingested)\n"
-                        )
-                    }
-                    e => {
-                        format!("ERR item {}/{count}: {e} (previous items were ingested)\n", i + 1)
-                    }
-                };
-            }
-        }
-    }
-    if let Some(wal) = wal {
-        if let Err(e) = wal_commit(wal, records) {
-            return format!("ERR wal: {e}\n");
-        }
-    }
-    format!("OK batch={count} entries={}\n", index.len())
-}
-
-/// Appends `records` to the log and blocks until one group-commit fsync
-/// covers them all — the gate an ingest reply waits behind.
-fn wal_commit(wal: &WalManager, records: Vec<WalRecord>) -> io::Result<()> {
-    let mut last = 0;
-    for record in &records {
-        last = wal.append(record)?;
-    }
-    wal.wait_durable(last)
-}
-
-/// The index's snapshot status with the live WAL counters overlaid (when
-/// a WAL is attached) — the form `STATS` / `METRICS` report.
-fn snapshot_status_with_wal(
-    index: &PatternIndex,
-    wal: Option<&WalManager>,
-) -> crate::index::SnapshotStatus {
-    let mut status = index.snapshot_status();
-    if let Some(wal) = wal {
-        wal.overlay(&mut status);
-    }
-    status
-}
-
-/// Outcome of reading a batch's item lines.
-enum Items<T> {
-    /// All items read and parsed.
-    Parsed(Vec<T>),
-    /// An item failed to parse, ran over a size cap or was shed by memory
-    /// admission; the `ERR` reply to send (every announced line was still
-    /// consumed or drained, so the connection stays framed).
-    Bad(String),
-    /// EOF (or the idle deadline) mid-batch; hang up.
-    Hangup,
-}
-
-/// Upper bound on the *cumulative* item bytes of one batched request.
-/// The per-line cap alone would let a 4096-item batch buffer gigabytes of
-/// parsed items before replying; this keeps a whole `BATCH INGEST` /
-/// `MQUERY` within a 16 MiB envelope even without a `--max-memory-bytes`
-/// budget (the remaining announced lines are still consumed — without
-/// being stored — so the connection stays framed).
-const MAX_BATCH_TOTAL_BYTES: u64 = 16 << 20;
-
-/// Reads the `count` announced item lines of a batched request. Every
-/// accepted line's bytes are first admitted against the memory budget
-/// through `charge`; the first line that no longer fits sheds the whole
-/// request with `ERR busy reason=memory` (buffered items and their
-/// charges are dropped), while the remaining announced lines are still
-/// consumed so the connection stays framed.
-fn read_items<R: BufRead, T>(
-    reader: &mut R,
-    count: usize,
-    metrics: &ServerMetrics,
-    charge: &mut BufferCharge<'_>,
-    parse: impl Fn(&str) -> Result<T, String>,
-) -> io::Result<Items<T>> {
-    let mut items: Vec<T> = Vec::new();
-    let mut first_error: Option<String> = None;
-    let mut total_bytes: u64 = 0;
-    let mut line = String::new();
-    for i in 1..=count {
-        let status = match read_request_line(reader, &mut line) {
-            Ok(status) => status,
-            Err(error) if is_timeout(&error) => {
-                metrics.record_timeout();
-                return Ok(Items::Hangup);
-            }
-            Err(error) => return Err(error),
-        };
-        match status {
-            Line::Eof => return Ok(Items::Hangup),
-            Line::TooLong => {
-                // Drain to the newline and keep the connection framed;
-                // the batch as a whole is refused.
-                if first_error.is_none() {
-                    items = Vec::new();
-                    charge.release_all();
-                    first_error = Some("ERR line too long\n".to_string());
-                }
-                if !drain_line(reader)? {
-                    return Ok(Items::Hangup);
-                }
-                continue;
-            }
-            Line::Full => {}
-        }
-        if first_error.is_some() {
-            continue; // keep consuming announced lines to stay framed
-        }
-        total_bytes += line.len() as u64;
-        if total_bytes > MAX_BATCH_TOTAL_BYTES {
-            items = Vec::new(); // release what was buffered
-            charge.release_all();
-            first_error = Some(format!("ERR batch exceeds {MAX_BATCH_TOTAL_BYTES} total bytes\n"));
-            continue;
-        }
-        if !charge.add(line.len() as u64) {
-            items = Vec::new();
-            charge.release_all();
-            first_error = Some("ERR busy reason=memory\n".to_string());
-            continue;
-        }
-        match parse(&line) {
-            Ok(item) => items.push(item),
-            Err(message) => first_error = Some(format!("ERR item {i}/{count}: {message}\n")),
-        }
-    }
-    Ok(match first_error {
-        Some(message) => Items::Bad(message),
-        None => Items::Parsed(items),
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::IndexOptions;
+    use std::io::{BufRead, BufReader, Write};
+
+    /// The runtime this test process exercises: `threads` by default,
+    /// overridden by `KASTIO_TEST_RUNTIME=epoll` so CI can run the whole
+    /// suite — byte for byte the same assertions — against the reactor.
+    fn test_runtime() -> RuntimeKind {
+        match std::env::var("KASTIO_TEST_RUNTIME") {
+            Ok(name) => name.parse().expect("valid KASTIO_TEST_RUNTIME"),
+            Err(_) => RuntimeKind::default(),
+        }
+    }
 
     fn start_with(opts: IndexOptions) -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
-        let server = Server::bind("127.0.0.1:0", PatternIndex::new(opts)).unwrap();
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(opts))
+            .unwrap()
+            .with_runtime(test_runtime());
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
         (addr, handle)
@@ -1190,7 +534,11 @@ mod tests {
         opts: IndexOptions,
         configure: impl FnOnce(Server) -> Server,
     ) -> (SocketAddr, std::thread::JoinHandle<Arc<PatternIndex>>) {
-        let server = configure(Server::bind("127.0.0.1:0", PatternIndex::new(opts)).unwrap());
+        let server = configure(
+            Server::bind("127.0.0.1:0", PatternIndex::new(opts))
+                .unwrap()
+                .with_runtime(test_runtime()),
+        );
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
         (addr, handle)
@@ -1431,6 +779,11 @@ mod tests {
         assert_eq!(stat_value(&stats, "shed_memory"), busy_seen);
         assert_eq!(stat_value(&stats, "mem_limit_bytes"), 4096);
         assert!(stat_value(&stats, "mem_used_bytes") <= 4096, "{stats}");
+        // The interner held tokens before STATS ran, so the report-only
+        // accounts must show up — and they are a subset of mem_used_bytes.
+        let unreclaimable = stat_value(&stats, "mem_unreclaimable_bytes");
+        assert!(unreclaimable > 0, "interned tokens are charged: {stats}");
+        assert!(unreclaimable <= stat_value(&stats, "mem_used_bytes"), "{stats}");
         assert_eq!(stat_value(&stats, "entries"), 1);
 
         assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
@@ -1488,8 +841,14 @@ mod tests {
         let (addr, handle) = start();
         let mut stream = TcpStream::connect(addr).unwrap();
         let stats = roundtrip(&mut stream, "STATS\n");
-        for key in ["mem_used_bytes", "mem_limit_bytes", "mem_reclaims", "shed_memory", "timeouts"]
-        {
+        for key in [
+            "mem_used_bytes",
+            "mem_limit_bytes",
+            "mem_unreclaimable_bytes",
+            "mem_reclaims",
+            "shed_memory",
+            "timeouts",
+        ] {
             assert_eq!(stat_value(&stats, key), 0, "{key}");
         }
         assert_eq!(roundtrip(&mut stream, "SHUTDOWN\n"), "OK bye\n");
@@ -1527,6 +886,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
             .unwrap()
+            .with_runtime(test_runtime())
             .with_save_dir(Some(dir.clone()));
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
@@ -1561,6 +921,7 @@ mod tests {
         // fails with a real IO error even when running as root.
         let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
             .unwrap()
+            .with_runtime(test_runtime())
             .with_save_dir(Some(std::path::PathBuf::from("/dev/null/corpus")));
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
@@ -1581,8 +942,9 @@ mod tests {
     #[test]
     fn shutdown_handle_stops_the_server_without_a_client() {
         let (addr, handle, shutdown) = {
-            let server =
-                Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+            let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
+                .unwrap()
+                .with_runtime(test_runtime());
             let addr = server.local_addr().unwrap();
             let shutdown = server.shutdown_handle().unwrap();
             let handle = std::thread::spawn(move || server.serve().expect("server runs"));
@@ -1625,8 +987,9 @@ mod tests {
 
     #[test]
     fn stats_reports_connection_and_verb_counters() {
-        let server =
-            Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default())).unwrap();
+        let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
+            .unwrap()
+            .with_runtime(test_runtime());
         let addr = server.local_addr().unwrap();
         let metrics = server.metrics();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));
@@ -1734,6 +1097,7 @@ mod tests {
         // Threshold 0 logs everything — the deterministic test hook.
         let server = Server::bind("127.0.0.1:0", PatternIndex::new(IndexOptions::default()))
             .unwrap()
+            .with_runtime(test_runtime())
             .with_slow_log(Some(0));
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.serve().expect("server runs"));

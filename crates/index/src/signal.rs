@@ -95,8 +95,13 @@ mod imp {
             let byte = signo as u8;
             // A full pipe or racing close is fine: dropping the byte only
             // loses signal *coalescing*, and SIG_DFL is re-armed anyway.
+            // SAFETY: writing 1 byte from a live stack value; `write` is
+            // async-signal-safe.
             let _ = unsafe { sys::write(fd, (&byte as *const u8).cast(), 1) };
         }
+        // SAFETY: `signal` with SIG_DFL takes no pointers and is
+        // async-signal-safe when re-arming a disposition this same
+        // handler was installed for.
         unsafe {
             sys::signal(sys::SIGTERM, sys::SIG_DFL);
             sys::signal(sys::SIGINT, sys::SIG_DFL);
@@ -110,6 +115,8 @@ mod imp {
 
     // The watcher only owns the pipe's read end; reading from a distinct
     // thread than the installer is the whole point.
+    // SAFETY: the wrapped value is a plain file descriptor (an integer);
+    // `read`/`close` on it are thread-safe kernel calls.
     unsafe impl Send for SignalWatcher {}
 
     pub fn watch_termination() -> io::Result<SignalWatcher> {
@@ -120,6 +127,7 @@ mod imp {
             ));
         }
         let mut fds: [std::os::raw::c_int; 2] = [-1, -1];
+        // SAFETY: `fds` is a live 2-element array the kernel fills.
         if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
             INSTALLED.store(false, Ordering::SeqCst);
             return Err(io::Error::last_os_error());
@@ -127,9 +135,13 @@ mod imp {
         PIPE_WRITE_FD.store(fds[1], Ordering::SeqCst);
         let handler: extern "C" fn(std::os::raw::c_int) = on_signal;
         for signo in [sys::SIGTERM, sys::SIGINT] {
+            // SAFETY: `handler` is a live `extern "C" fn(c_int)` whose
+            // address fits the pointer-sized integer `signal` expects.
             if unsafe { sys::signal(signo, handler as *const () as usize) } == sys::SIG_ERR {
                 let err = io::Error::last_os_error();
                 PIPE_WRITE_FD.store(-1, Ordering::SeqCst);
+                // SAFETY: both fds came from the successful `pipe` above
+                // and are closed exactly once, on this error path.
                 unsafe {
                     sys::close(fds[0]);
                     sys::close(fds[1]);
@@ -153,6 +165,7 @@ mod imp {
         pub fn wait(&self) -> io::Result<TermSignal> {
             loop {
                 let mut byte = 0u8;
+                // SAFETY: reading 1 byte into a live stack value.
                 let n = unsafe { sys::read(self.read_fd, (&mut byte as *mut u8).cast(), 1) };
                 match n {
                     1 => {
@@ -182,6 +195,7 @@ mod imp {
         fn drop(&mut self) {
             // Leave the write fd and the handlers armed (they are
             // process-global anyway); just release the read end.
+            // SAFETY: we own the fd and drop it exactly once.
             unsafe { sys::close(self.read_fd) };
         }
     }

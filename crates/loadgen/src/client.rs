@@ -1,7 +1,8 @@
-//! The concurrent client pool: N OS threads, one TCP connection each,
-//! every client driving its own deterministic [`ScenarioGen`] stream
-//! against the daemon until the deadline, timing each request from first
-//! write to complete framed reply.
+//! The concurrent client pool: N OS threads, one TCP connection each
+//! (except [`ScenarioKind::Churn`], which opens a fresh connection per
+//! operation), every client driving its own deterministic
+//! [`ScenarioGen`] stream against the daemon until the deadline, timing
+//! each request from first write to complete framed reply.
 
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
@@ -64,6 +65,9 @@ fn drive_client(
     client: u64,
     deadline: Instant,
 ) -> Result<BTreeMap<&'static str, VerbStats>, String> {
+    if kind.reconnects_per_op() {
+        return drive_churn_client(addr, kind, seed, client, deadline);
+    }
     let stream = TcpStream::connect(addr)
         .map_err(|e| format!("client {client}: cannot connect to {addr}: {e}"))?;
     let mut writer =
@@ -104,6 +108,58 @@ fn drive_client(
                 stats.busy += 1;
             }
         }
+    }
+    Ok(per_verb)
+}
+
+/// The churn variant of [`drive_client`]: every operation is a whole
+/// short-lived connection — connect → `HELLO` → the op → close — so the
+/// recorded latency *includes* TCP setup and the handshake. That is the
+/// point: the scenario measures the server's accept path (thread spawn
+/// or reactor registration, connection accounting) under a flood of
+/// one-shot clients, the c10k anti-pattern persistent pools hide.
+fn drive_churn_client(
+    addr: &str,
+    kind: ScenarioKind,
+    seed: u64,
+    client: u64,
+    deadline: Instant,
+) -> Result<BTreeMap<&'static str, VerbStats>, String> {
+    let mut gen = ScenarioGen::new(kind, seed, client);
+    let mut per_verb: BTreeMap<&'static str, VerbStats> = BTreeMap::new();
+    while Instant::now() < deadline {
+        let op = gen.next_op();
+        let wire = op.render();
+        let start = Instant::now();
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("client {client}: cannot connect to {addr}: {e}"))?;
+        let mut writer =
+            stream.try_clone().map_err(|e| format!("client {client}: clone failed: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"HELLO 1 kastio-loadgen\n")
+            .and_then(|()| writer.write_all(wire.as_bytes()))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("client {client}: write failed: {e}"))?;
+        let hello = read_reply(&mut reader)
+            .map_err(|e| format!("client {client}: handshake read failed: {e}"))?;
+        if !hello.starts_with("OK kastio proto=") {
+            return Err(format!("client {client}: server rejected the handshake: {hello}"));
+        }
+        let reply =
+            read_reply(&mut reader).map_err(|e| format!("client {client}: read failed: {e}"))?;
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = per_verb.entry(op.verb()).or_default();
+        stats.count += 1;
+        stats.histogram.record(nanos);
+        if reply.starts_with("ERR") {
+            stats.errors += 1;
+            if reply.starts_with("ERR busy") {
+                stats.busy += 1;
+            }
+        }
+        // Dropping writer+reader closes the connection; the next op
+        // starts from a fresh socket.
     }
     Ok(per_verb)
 }

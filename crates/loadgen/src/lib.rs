@@ -8,7 +8,13 @@
 //! and p50/p95/p99 latency with a constant-memory log-bucketed
 //! [`Histogram`], and bracketing every scenario with `STATS` snapshots so
 //! the report correlates client-side latency with server-side cache,
-//! kernel and snapshot counters.
+//! kernel and snapshot counters. Three scenarios are opt-in
+//! (`--scenario <name>`) because they measure things a baseline should
+//! not contain: [`ScenarioKind::Overload`] (load shedding under a tiny
+//! memory budget), [`ScenarioKind::SnapshotStall`] (aggressive `SAVE`
+//! pressure inside hot reads) and [`ScenarioKind::Churn`] (one fresh
+//! connect → `HELLO` → `QUERY` → close connection per operation, timing
+//! the accept path itself).
 //!
 //! The harness either targets a running daemon (`addr`) or self-spawns an
 //! in-process [`kastio_index::Server`] on an ephemeral port — with a
@@ -375,6 +381,87 @@ mod tests {
         let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
         assert!(delta("wal_records") > 0, "ingests were journalled: {:?}", scenario.stats_delta);
         assert!(delta("wal_fsyncs") > 0, "group commits ran: {:?}", scenario.stats_delta);
+    }
+
+    /// The snapshot-stall contract: SAVEs land five times as often as in
+    /// save-storm, right in the middle of hot QUERY traffic, and the
+    /// per-verb histograms prove the point of the scenario — the SAVE
+    /// histogram prices a snapshot, the QUERY histogram shows readers
+    /// kept flowing past it (snapshots hold shard *read* locks only).
+    #[test]
+    fn snapshot_stall_keeps_queries_flowing_past_saves() {
+        let config = LoadConfig {
+            scenarios: vec![ScenarioKind::SnapshotStall],
+            clients: 2,
+            duration: Duration::from_millis(150),
+            seed_corpus: 24,
+            shards: 2,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("snapshot-stall run succeeds");
+        let scenario = &report.scenarios[0];
+        assert_eq!(scenario.errors, 0, "every SAVE (and everything else) was served");
+
+        let verb = |name: &str| {
+            scenario
+                .per_verb
+                .iter()
+                .find(|v| v.verb == name)
+                .unwrap_or_else(|| panic!("snapshot-stall recorded no {name} ops"))
+        };
+        let (save, query) = (verb("SAVE"), verb("QUERY"));
+        assert!(save.count >= 2, "a ~10% SAVE mix must snapshot repeatedly ({})", save.count);
+        assert!(query.count > save.count, "queries dominate the mix");
+        assert!(save.p99_us > 0.0, "the SAVE histogram actually recorded samples");
+        // The stall assertion itself: a QUERY that serialised behind a
+        // snapshot would cost ~a SAVE; allow generous CI noise but not
+        // serialization.
+        assert!(
+            query.p99_us <= (3.0 * save.p99_us).max(50_000.0),
+            "QUERY p99 {}us vs SAVE p99 {}us — snapshots are stalling readers",
+            query.p99_us,
+            save.p99_us
+        );
+        // Each effective SAVE bumped the snapshot counter.
+        let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
+        assert!(delta("snapshots") >= 1, "snapshots ran: {:?}", scenario.stats_delta);
+    }
+
+    /// The churn contract: every op is a fresh connect → HELLO → QUERY →
+    /// close, so the server's connection counter advances once per
+    /// operation — the accept path is the thing under test.
+    #[test]
+    fn churn_opens_one_connection_per_operation() {
+        let config = LoadConfig {
+            scenarios: vec![ScenarioKind::Churn],
+            clients: 2,
+            duration: Duration::from_millis(120),
+            seed_corpus: 8,
+            shards: 2,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).expect("churn run succeeds");
+        let scenario = &report.scenarios[0];
+        assert_eq!(scenario.errors, 0, "short-lived connections were all served");
+        let query = scenario
+            .per_verb
+            .iter()
+            .find(|v| v.verb == "QUERY")
+            .expect("churn sends one QUERY per connection");
+        assert_eq!(query.count, scenario.requests, "churn is all queries");
+        assert!(query.count >= 2, "the run had time for a few connections");
+        // One connection per op, exactly: the STATS fences bracket the
+        // scenario and the control connection predates the `before`
+        // fence, so the connections delta is the scenario's own churn.
+        let delta = |key: &str| scenario.stats_delta.get(key).copied().unwrap_or(0);
+        assert_eq!(
+            delta("connections"),
+            query.count as i64,
+            "server accepted a different number of connections than ops: {:?}",
+            scenario.stats_delta
+        );
+        // And each of those connections said HELLO before its QUERY.
+        assert_eq!(delta("verb_hello"), query.count as i64, "{:?}", scenario.stats_delta);
     }
 
     /// The overload contract: against a deliberately tiny memory budget

@@ -41,19 +41,43 @@ pub enum ScenarioKind {
     /// [`ScenarioKind::ALL`]: against an ungoverned server it is just a
     /// write flood, and bench baselines should not contain it.
     Overload,
+    /// ~80% `QUERY`, ~10% `INGEST`, ~10% `SAVE`: save-storm's aggressive
+    /// sibling. Snapshots land five times as often, each preceded by
+    /// enough ingests that `save_index_if_changed` actually rewrites the
+    /// directory — so the per-verb SAVE histogram measures real snapshot
+    /// cost and the QUERY histogram shows whether those snapshots stall
+    /// hot read traffic. Opt-in (`--scenario snapshot-stall`): it spends
+    /// most of its wall clock on disk I/O, so baselines stay lean
+    /// without it.
+    SnapshotStall,
+    /// Connection churn: every operation is a *fresh* short-lived
+    /// connection — connect → `HELLO` → one `QUERY` → close — so the
+    /// measured latency includes TCP setup and the handshake, and the
+    /// server's accept path (thread spawn or reactor registration,
+    /// connection accounting, idle bookkeeping) is exercised thousands
+    /// of times instead of once per client. Opt-in
+    /// (`--scenario churn`): its histogram measures connection setup,
+    /// not steady-state request service, so it would skew baselines.
+    Churn,
 }
 
 impl ScenarioKind {
     /// Every *default* scenario, in the order `kastio loadgen` runs
-    /// them. [`ScenarioKind::Overload`] is opt-in (`--scenario
-    /// overload`) because it only measures something against a
-    /// memory-governed server.
+    /// them. [`ScenarioKind::Overload`], [`ScenarioKind::SnapshotStall`]
+    /// and [`ScenarioKind::Churn`] are opt-in (`--scenario <name>`)
+    /// because each measures something a default baseline should not
+    /// contain: sheds, snapshot disk I/O, connection-setup cost.
     pub const ALL: [ScenarioKind; 4] = [
         ScenarioKind::ReadHeavy,
         ScenarioKind::WriteHeavy,
         ScenarioKind::HotKey,
         ScenarioKind::SaveStorm,
     ];
+
+    /// The opt-in scenarios, for tests and docs that want to cover every
+    /// kind: [`ScenarioKind::ALL`] plus these is the full set.
+    pub const OPT_IN: [ScenarioKind; 3] =
+        [ScenarioKind::Overload, ScenarioKind::SnapshotStall, ScenarioKind::Churn];
 
     /// The scenario's CLI/report name.
     pub fn name(self) -> &'static str {
@@ -63,6 +87,8 @@ impl ScenarioKind {
             ScenarioKind::HotKey => "hot-key",
             ScenarioKind::SaveStorm => "save-storm",
             ScenarioKind::Overload => "overload",
+            ScenarioKind::SnapshotStall => "snapshot-stall",
+            ScenarioKind::Churn => "churn",
         }
     }
 
@@ -74,8 +100,17 @@ impl ScenarioKind {
             "hot-key" | "skewed-hot-key" => Some(ScenarioKind::HotKey),
             "save-storm" => Some(ScenarioKind::SaveStorm),
             "overload" => Some(ScenarioKind::Overload),
+            "snapshot-stall" => Some(ScenarioKind::SnapshotStall),
+            "churn" => Some(ScenarioKind::Churn),
             _ => None,
         }
+    }
+
+    /// Whether each operation runs on its own fresh connection
+    /// (connect → `HELLO` → op → close) instead of a persistent one.
+    /// Only [`ScenarioKind::Churn`] — the scenario *is* the reconnect.
+    pub fn reconnects_per_op(self) -> bool {
+        matches!(self, ScenarioKind::Churn)
     }
 }
 
@@ -377,6 +412,24 @@ impl ScenarioGen {
                 }
                 _ => Op::Stats,
             },
+            ScenarioKind::SnapshotStall => match draw {
+                0..=79 => {
+                    let idx = self.uniform_pick();
+                    Op::Query { k: 3, trace: self.pool.entry(idx).1.to_string() }
+                }
+                80..=89 => {
+                    let (label, trace) = self.fresh_ingest();
+                    Op::Ingest { label, trace }
+                }
+                _ => Op::Save,
+            },
+            ScenarioKind::Churn => {
+                // Every op is one whole connection; a single uniform
+                // QUERY keeps the scenario about connection setup, not
+                // request mix.
+                let idx = self.uniform_pick();
+                Op::Query { k: 2, trace: self.pool.entry(idx).1.to_string() }
+            }
             ScenarioKind::HotKey => match draw {
                 0..=79 => {
                     let idx = self.zipf_pick();
@@ -443,7 +496,7 @@ mod tests {
     #[test]
     fn every_rendered_op_is_valid_protocol() {
         use kastio_index::protocol::{decode_trace_inline, parse_batch_ingest_item, parse_request};
-        for kind in ScenarioKind::ALL.into_iter().chain([ScenarioKind::Overload]) {
+        for kind in ScenarioKind::ALL.into_iter().chain(ScenarioKind::OPT_IN) {
             let mut gen = ScenarioGen::new(kind, 42, 0);
             for _ in 0..200 {
                 let op = gen.next_op();
@@ -509,14 +562,41 @@ mod tests {
 
     #[test]
     fn scenario_names_round_trip() {
-        for kind in ScenarioKind::ALL.into_iter().chain([ScenarioKind::Overload]) {
+        for kind in ScenarioKind::ALL.into_iter().chain(ScenarioKind::OPT_IN) {
             assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(ScenarioKind::parse("skewed-hot-key"), Some(ScenarioKind::HotKey));
         assert_eq!(ScenarioKind::parse("nope"), None);
+        for kind in ScenarioKind::OPT_IN {
+            assert!(
+                !ScenarioKind::ALL.contains(&kind),
+                "{} is opt-in, never part of a default (baseline) run",
+                kind.name()
+            );
+        }
+        assert!(ScenarioKind::Churn.reconnects_per_op(), "churn is the reconnecting scenario");
         assert!(
-            !ScenarioKind::ALL.contains(&ScenarioKind::Overload),
-            "overload is opt-in, never part of a default (baseline) run"
+            ScenarioKind::ALL.iter().all(|kind| !kind.reconnects_per_op()),
+            "default scenarios keep persistent connections"
         );
+    }
+
+    #[test]
+    fn churn_streams_are_all_queries() {
+        let mut gen = ScenarioGen::new(ScenarioKind::Churn, 11, 0);
+        for _ in 0..100 {
+            assert!(matches!(gen.next_op(), Op::Query { .. }));
+        }
+    }
+
+    #[test]
+    fn snapshot_stall_saves_far_more_often_than_save_storm() {
+        let saves = |kind: ScenarioKind| {
+            let mut gen = ScenarioGen::new(kind, 11, 0);
+            (0..1000).filter(|_| matches!(gen.next_op(), Op::Save)).count()
+        };
+        let (storm, stall) = (saves(ScenarioKind::SaveStorm), saves(ScenarioKind::SnapshotStall));
+        assert!(stall >= 3 * storm, "snapshot-stall saved {stall}x vs save-storm {storm}x");
+        assert!(stall >= 50, "~10% of 1000 draws should SAVE, got {stall}");
     }
 }

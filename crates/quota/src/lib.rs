@@ -23,6 +23,13 @@
 //!   usage is back under the low-water mark (3/4) — so unconditional
 //!   charges ride on the 1/8 headroom the watermarks keep clear.
 //!
+//! [`MemoryQuota::report_account`] opens a **report-only** account for
+//! memory the process can never give back (interned token tables,
+//! memoised self-kernels): its charges count toward the root total and
+//! a separate [`MemoryQuota::unreclaimable`] gauge, and it can never
+//! have a reclaimer — so operators can see how much of the budget is
+//! permanently spoken for.
+//!
 //! Reclaim callbacks ([`MemoryQuota::set_reclaimer`]) free memory on
 //! their own (e.g. clear cache stripes) and report the bytes they
 //! released via their own [`Account::release`] calls; the pass observes
@@ -97,6 +104,11 @@ type Reclaimer = Box<dyn Fn(u64) -> u64 + Send + Sync>;
 struct AccountInner {
     name: &'static str,
     used: AtomicU64,
+    /// Report-only accounts track bytes the process cannot give back
+    /// (interned tokens, memoised self-kernels). Their usage counts
+    /// toward the root total *and* the [`MemoryQuota::unreclaimable`]
+    /// gauge, and they can never have a reclaimer.
+    report_only: bool,
     quota: Weak<QuotaInner>,
 }
 
@@ -113,6 +125,9 @@ struct QuotaInner {
     /// A reclaim pass stops once usage is back under this.
     low_water: u64,
     used: AtomicU64,
+    /// Bytes charged through report-only accounts: memory that is live
+    /// and counted in `used`, but that no reclaim pass can free.
+    unreclaimable: AtomicU64,
     reclaims: AtomicU64,
     /// Single-flight guard: one reclaim pass at a time, and a reclaimer
     /// releasing bytes can never recurse into another pass.
@@ -147,6 +162,7 @@ impl MemoryQuota {
                 high_water: limit.saturating_sub(limit / 8),
                 low_water: limit.saturating_sub(limit / 4),
                 used: AtomicU64::new(0),
+                unreclaimable: AtomicU64::new(0),
                 reclaims: AtomicU64::new(0),
                 reclaiming: AtomicBool::new(false),
                 accounts: Mutex::new(Vec::new()),
@@ -163,9 +179,24 @@ impl MemoryQuota {
     /// [`MemoryQuota::set_reclaimer`]; opening the same name twice makes
     /// two independent accounts.
     pub fn account(&self, name: &'static str) -> Account {
+        self.open_account(name, false)
+    }
+
+    /// Opens a **report-only** child account for memory the process can
+    /// never give back (interned token tables, memoised self-kernels).
+    /// Charges count toward [`MemoryQuota::used`] — so admission and the
+    /// watermarks see the true footprint — and toward the
+    /// [`MemoryQuota::unreclaimable`] gauge. A report-only account can
+    /// never have a reclaimer: [`MemoryQuota::set_reclaimer`] ignores it.
+    pub fn report_account(&self, name: &'static str) -> Account {
+        self.open_account(name, true)
+    }
+
+    fn open_account(&self, name: &'static str, report_only: bool) -> Account {
         let inner = Arc::new(AccountInner {
             name,
             used: AtomicU64::new(0),
+            report_only,
             quota: Arc::downgrade(&self.inner),
         });
         lock_accounts(&self.inner.accounts)
@@ -185,7 +216,7 @@ impl MemoryQuota {
         if let Some(entry) = accounts
             .iter_mut()
             .rev()
-            .find(|entry| entry.inner.upgrade().is_some_and(|a| a.name == name))
+            .find(|entry| entry.inner.upgrade().is_some_and(|a| a.name == name && !a.report_only))
         {
             entry.reclaimer = Some(Box::new(reclaim));
         }
@@ -199,6 +230,14 @@ impl MemoryQuota {
     /// The configured limit, or `None` when unlimited.
     pub fn limit(&self) -> Option<u64> {
         (self.inner.limit != u64::MAX).then_some(self.inner.limit)
+    }
+
+    /// Bytes charged through report-only accounts: live memory that is
+    /// included in [`MemoryQuota::used`] but that no reclaim pass can
+    /// free. The gap between the limit and this number is the budget
+    /// that load shedding can actually defend.
+    pub fn unreclaimable(&self) -> u64 {
+        self.inner.unreclaimable.load(Ordering::Relaxed)
     }
 
     /// Number of reclaimer invocations that freed bytes.
@@ -277,6 +316,9 @@ impl Account {
         self.inner.used.fetch_add(bytes, Ordering::Relaxed);
         if let Some(quota) = self.inner.quota.upgrade() {
             quota.used.fetch_add(bytes, Ordering::Relaxed);
+            if self.inner.report_only {
+                quota.unreclaimable.fetch_add(bytes, Ordering::Relaxed);
+            }
             quota.reclaim_down_from(quota.high_water);
         }
     }
@@ -311,6 +353,9 @@ impl Account {
                 .is_ok()
             {
                 self.inner.used.fetch_add(bytes, Ordering::Relaxed);
+                if self.inner.report_only {
+                    quota.unreclaimable.fetch_add(bytes, Ordering::Relaxed);
+                }
                 return true;
             }
         }
@@ -322,6 +367,9 @@ impl Account {
         saturating_sub(&self.inner.used, bytes);
         if let Some(quota) = self.inner.quota.upgrade() {
             saturating_sub(&quota.used, bytes);
+            if self.inner.report_only {
+                saturating_sub(&quota.unreclaimable, bytes);
+            }
         }
     }
 }
@@ -463,6 +511,39 @@ mod tests {
         });
         assert!(quota.used() <= 10_000, "admission overshot: {}", quota.used());
         assert_eq!(quota.used(), admitted.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn report_accounts_count_toward_used_and_unreclaimable() {
+        let quota = MemoryQuota::new(Some(4096));
+        let interner = quota.report_account("interner");
+        let buffers = quota.account("buffers");
+        interner.charge(300);
+        buffers.charge(100);
+        assert_eq!(quota.used(), 400, "report-only bytes are real bytes");
+        assert_eq!(quota.unreclaimable(), 300, "only report-only bytes are unreclaimable");
+        interner.release(200);
+        assert_eq!(quota.unreclaimable(), 100);
+        assert_eq!(quota.used(), 200);
+    }
+
+    #[test]
+    fn report_accounts_never_get_a_reclaimer() {
+        let quota = MemoryQuota::new(Some(1000));
+        let registry = quota.report_account("registry");
+        registry.charge(990);
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        quota.set_reclaimer("registry", move |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            0
+        });
+        // Admission pressure runs a pass, but the report-only account is
+        // not a reclaim source, so nothing can make room.
+        let buffers = quota.account("buffers");
+        assert!(!buffers.try_charge(100));
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "report-only accounts are unreclaimable");
+        assert_eq!(registry.used(), 990);
     }
 
     #[test]

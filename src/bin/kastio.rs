@@ -11,6 +11,7 @@
 //!                 [--cut N] [--ignore-bytes] [--candidates N]
 //!                 [--slow-query-micros N] [--max-memory-bytes N]
 //!                 [--max-connections N] [--idle-timeout-secs N]
+//!                 [--runtime threads|epoll]
 //! kastio query    <addr> <trace-file> [--k N]
 //! kastio query    <addr> --stats
 //! kastio query    <addr> --snapshot
@@ -63,6 +64,7 @@ usage:
                   [--cut N] [--ignore-bytes] [--candidates N]
                   [--slow-query-micros N] [--max-memory-bytes N]
                   [--max-connections N] [--idle-timeout-secs N]
+                  [--runtime threads|epoll]
   kastio query    <addr> <trace-file> [--k N]
   kastio query    <addr> --stats
   kastio query    <addr> --snapshot
@@ -111,7 +113,8 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          \u{20}            [--wal] [--wal-sync-micros N] [--snapshot-every <secs>]\n\
          \u{20}            [--cut N] [--ignore-bytes] [--candidates N]\n\
          \u{20}            [--slow-query-micros N] [--max-memory-bytes N]\n\
-         \u{20}            [--max-connections N] [--idle-timeout-secs N]\n\n\
+         \u{20}            [--max-connections N] [--idle-timeout-secs N]\n\
+         \u{20}            [--runtime threads|epoll]\n\n\
          Starts the online index daemon on 127.0.0.1:<port> (default 7878;\n\
          0 picks an ephemeral port). Prints `listening on <addr>` once\n\
          bound. --shards splits the corpus across N read-concurrent\n\
@@ -142,8 +145,13 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          beyond the cap with `ERR busy reason=connections` before a\n\
          handler thread is spawned. --idle-timeout-secs closes\n\
          connections silent for N seconds (default: never). Every shed,\n\
-         reclaim and timeout is counted in STATS and METRICS. The wire\n\
-         protocol is line based (full spec in docs/PROTOCOL.md):\n\n\
+         reclaim and timeout is counted in STATS and METRICS.\n\
+         --runtime selects the serving strategy: `threads` (default,\n\
+         one blocking OS thread per connection) or `epoll` (Linux only,\n\
+         a single-threaded reactor over non-blocking sockets with a\n\
+         bounded worker pool — holds tens of thousands of idle\n\
+         connections); the wire protocol is byte-identical under both.\n\
+         The protocol is line based (full spec in docs/PROTOCOL.md):\n\n\
          \u{20} HELLO <proto-version> [client]\n\
          \u{20} INGEST <label> <op>;<op>;...\n\
          \u{20} BATCH INGEST <count>   (then <count> `<label> <trace>` lines)\n\
@@ -175,11 +183,16 @@ const HELP_TOPICS: &[(&str, &str)] = &[
          \u{20}              [--max-memory-bytes N]\n\n\
          End-to-end load harness for the daemon. Runs the named scenario\n\
          (read-heavy | write-heavy | hot-key | save-storm; default: all\n\
-         four in that order; `overload` is opt-in — it pairs an\n\
-         aggressive BATCH INGEST / MQUERY mix with a small\n\
-         --max-memory-bytes budget on the self-spawned server and\n\
-         verifies the daemon sheds with `ERR busy` instead of growing)\n\
-         with N concurrent clients (default 4) for the\n\
+         four in that order) with N concurrent clients. Three scenarios\n\
+         are opt-in: `overload` pairs an aggressive BATCH INGEST /\n\
+         MQUERY mix with a small --max-memory-bytes budget on the\n\
+         self-spawned server and verifies the daemon sheds with\n\
+         `ERR busy` instead of growing; `snapshot-stall` mixes ~10%\n\
+         SAVE into hot QUERY traffic and reports what snapshots cost\n\
+         (per-verb SAVE histogram) and whether they stall readers;\n\
+         `churn` opens a fresh connection per operation\n\
+         (connect, HELLO, one QUERY, close), timing the accept path.\n\
+         Clients default to 4, running for the\n\
          duration each (default 2s; accepts `500ms`, `2s` or plain\n\
          seconds), then writes per-verb throughput, p50/p95/p99 latency\n\
          (client-side and, scraped from METRICS fences around each\n\
@@ -225,6 +238,7 @@ struct Flags {
     max_connections: Option<usize>,
     idle_timeout_secs: Option<u64>,
     duration: Duration,
+    runtime: Option<String>,
     scenario: Option<String>,
     addr: Option<String>,
     out: Option<String>,
@@ -274,6 +288,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_connections: None,
         idle_timeout_secs: None,
         duration: Duration::from_secs(2),
+        runtime: None,
         scenario: None,
         addr: None,
         out: None,
@@ -299,10 +314,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 flags.duration = parse_duration(value)?;
             }
-            "--corpus" | "--save" | "--scenario" | "--addr" | "--out" => {
+            "--corpus" | "--save" | "--runtime" | "--scenario" | "--addr" | "--out" => {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 match arg.as_str() {
                     "--corpus" => flags.corpus = Some(value.clone()),
+                    "--runtime" => flags.runtime = Some(value.clone()),
                     "--scenario" => flags.scenario = Some(value.clone()),
                     "--addr" => flags.addr = Some(value.clone()),
                     "--out" => flags.out = Some(value.clone()),
@@ -518,8 +534,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         _ => None,
     };
 
+    let runtime = match &flags.runtime {
+        Some(name) => name.parse::<kastio::RuntimeKind>()?,
+        None => kastio::RuntimeKind::default(),
+    };
+
     let mut server = Server::bind(&format!("127.0.0.1:{}", flags.port), index)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", flags.port))?
+        .with_runtime(runtime)
         .with_save_dir(save_dir.clone())
         .with_wal(wal.clone())
         .with_slow_log(flags.slow_query_micros)
@@ -668,7 +690,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         Some(name) => vec![ScenarioKind::parse(name).ok_or_else(|| {
             format!(
                 "unknown scenario `{name}` (read-heavy | write-heavy | hot-key | save-storm | \
-                 overload | all)"
+                 overload | snapshot-stall | churn | all)"
             )
         })?],
     };

@@ -27,9 +27,20 @@ impl Drop for ServerGuard {
     }
 }
 
+/// The runtime under test: `KASTIO_TEST_RUNTIME=epoll` re-runs this whole
+/// suite against the epoll reactor — the replies must stay byte-identical
+/// to the threads runtime's (that equality *is* the runtime contract).
+fn runtime_args() -> Vec<String> {
+    match std::env::var("KASTIO_TEST_RUNTIME") {
+        Ok(name) => vec!["--runtime".to_string(), name],
+        Err(_) => Vec::new(),
+    }
+}
+
 fn start_server(extra_args: &[&str]) -> ServerGuard {
     let mut child = Command::new(env!("CARGO_BIN_EXE_kastio"))
         .args(["serve", "--port", "0"])
+        .args(runtime_args())
         .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -358,6 +369,7 @@ fn stats_reports_metrics_counters_in_documented_order() {
         // branch on configuration.
         "mem_used_bytes",
         "mem_limit_bytes",
+        "mem_unreclaimable_bytes",
         "mem_reclaims",
         "shed_memory",
         "shed_connections",
@@ -365,8 +377,14 @@ fn stats_reports_metrics_counters_in_documented_order() {
     ];
     let start = keys.iter().position(|&k| k == "uptime_secs").expect("metrics block present");
     assert_eq!(&keys[start..start + metrics_keys.len()], &metrics_keys);
-    for key in ["mem_used_bytes", "mem_limit_bytes", "shed_memory", "shed_connections", "timeouts"]
-    {
+    for key in [
+        "mem_used_bytes",
+        "mem_limit_bytes",
+        "mem_unreclaimable_bytes",
+        "shed_memory",
+        "shed_connections",
+        "timeouts",
+    ] {
         assert!(stats.contains(&format!("STAT {key} 0\n")), "{key} zero when ungoverned: {stats}");
     }
 
@@ -429,6 +447,8 @@ fn metrics_exposition_is_framed_and_internally_consistent() {
     assert!(reply.contains("kastio_mem_used_bytes 0\n"), "{reply}");
     assert!(reply.contains("# TYPE kastio_mem_limit_bytes gauge\n"), "{reply}");
     assert!(reply.contains("kastio_mem_limit_bytes 0\n"), "{reply}");
+    assert!(reply.contains("# TYPE kastio_mem_unreclaimable_bytes gauge\n"), "{reply}");
+    assert!(reply.contains("kastio_mem_unreclaimable_bytes 0\n"), "{reply}");
     assert!(reply.contains("kastio_mem_reclaims_total 0\n"), "{reply}");
     assert!(reply.contains("# TYPE kastio_shed_total counter\n"), "{reply}");
     assert!(reply.contains("kastio_shed_total{reason=\"memory\"} 0\n"), "{reply}");
